@@ -1,0 +1,60 @@
+"""Ablation — GKArray buffer sizing.
+
+GKArray's buffer capacity tracks Theta(|L|) (DESIGN.md design choice).
+This ablation sweeps the proportionality factor: a smaller buffer flushes
+more often (more merge passes per element), a larger one holds more raw
+elements (more transient space).  The default factor 1.0 should sit at a
+sane point on that tradeoff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once, write_exhibit
+from repro.cash_register import GKArray
+from repro.evaluation import format_table, measure_errors, scaled_n
+from repro.streams import uniform_stream
+
+FACTORS = [0.25, 0.5, 1.0, 2.0, 4.0]
+EPS = 0.001
+
+
+def test_ablation_gkarray_buffer(benchmark) -> None:
+    n = scaled_n(100_000)
+    data = uniform_stream(n, universe_log2=24, seed=20)
+    sorted_truth = np.sort(data)
+
+    def compute():
+        import time
+
+        rows = []
+        for factor in FACTORS:
+            sk = GKArray(eps=EPS, buffer_factor=factor)
+            start = time.perf_counter()
+            sk.extend(data.tolist())
+            seconds = time.perf_counter() - start
+            report = measure_errors(sk, sorted_truth, EPS, 499)
+            sk._prepare_query()
+            rows.append([
+                factor, report.max_error, sk.tuple_count(),
+                sk.size_words() * 4 / 1024, 1e6 * seconds / n,
+            ])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    write_exhibit(
+        "ablation_gkarray_buffer",
+        format_table(
+            ["buffer factor", "max_err", "|L|", "space KB", "us/update"],
+            rows,
+            title=(
+                f"Ablation: GKArray buffer capacity factor "
+                f"(uniform, n={n}, eps={EPS})"
+            ),
+        ),
+    )
+    # The guarantee must hold at every factor.
+    assert all(row[1] <= EPS for row in rows)
+    # A bigger buffer never makes updates slower by much (amortization).
+    assert rows[-1][4] < 3 * rows[2][4]

@@ -1,0 +1,68 @@
+"""Ablation — Random's design choices.
+
+Two knobs of the Random sketch (DESIGN.md):
+
+* the randomized odd/even coin in the merge step vs deterministically
+  keeping odd positions.  The coin is what makes the merge estimator
+  unbiased; derandomizing introduces a systematic drift that grows with
+  the number of merge rounds.
+* the buffer count ``b`` (default ``h + 1``): fewer buffers force merges
+  to higher levels sooner (more error), more buffers spend space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once, write_exhibit
+from repro.cash_register import RandomSketch
+from repro.evaluation import format_table, measure_errors, scaled_n
+from repro.streams import uniform_stream
+
+EPS = 0.005
+REPEATS = 5
+
+
+def test_ablation_random_merge(benchmark) -> None:
+    n = scaled_n(200_000)
+    data = uniform_stream(n, universe_log2=24, seed=21)
+    sorted_truth = np.sort(data)
+
+    def run_variant(**kwargs):
+        maxes, avgs = [], []
+        for seed in range(REPEATS):
+            sk = RandomSketch(eps=EPS, seed=seed, **kwargs)
+            sk.extend(data.tolist())
+            report = measure_errors(sk, sorted_truth, EPS, 199)
+            maxes.append(report.max_error)
+            avgs.append(report.avg_error)
+        return float(np.mean(maxes)), float(np.mean(avgs)), sk.size_words()
+
+    def compute():
+        rows = []
+        for label, kwargs in [
+            ("randomized merge (paper)", {"randomized_merge": True}),
+            ("always-odd merge", {"randomized_merge": False}),
+            ("b = h-1 (fewer buffers)", {"b": max(2, RandomSketch(EPS).b - 2)}),
+            ("b = h+3 (more buffers)", {"b": RandomSketch(EPS).b + 2}),
+        ]:
+            mx, avg, words = run_variant(**kwargs)
+            rows.append([label, mx, avg, words * 4 / 1024])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    write_exhibit(
+        "ablation_random_merge",
+        format_table(
+            ["variant", "max_err", "avg_err", "space KB"],
+            rows,
+            title=(
+                f"Ablation: Random's merge coin and buffer count "
+                f"(uniform, n={n}, eps={EPS}, {REPEATS} seeds)"
+            ),
+        ),
+    )
+    # All variants stay within the guarantee on this stream.
+    assert all(row[1] <= EPS for row in rows), rows
+    # More buffers cost more space.
+    assert rows[3][3] > rows[2][3]

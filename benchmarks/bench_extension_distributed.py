@@ -1,0 +1,89 @@
+"""Extension — distributed aggregation: communication vs accuracy.
+
+The sensor-network setting that motivated q-digest [26] and the sampling
+protocols [17]: compare, at equal target accuracy, the words each
+protocol moves across the network.  Expected shape: shipping raw data
+costs ~n x depth; mergeable summaries cost ~sites x summary; sampling
+costs ~1/eps^2 regardless of n — so the winner flips with n, eps, and
+topology, which is exactly why all three exist.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, write_exhibit
+from repro.distributed import (
+    make_network,
+    merge_summaries,
+    sample_and_send,
+    ship_everything,
+)
+from repro.evaluation import format_table, scaled_n
+
+PHIS = [0.1, 0.25, 0.5, 0.75, 0.9]
+EPS = 0.02
+SITES = 16
+
+
+def test_extension_distributed(benchmark) -> None:
+    n = scaled_n(100_000)
+
+    def compute():
+        rows = []
+        for topology in ("star", "tree", "chain"):
+            for runner, kwargs in [
+                (ship_everything, {}),
+                (merge_summaries, {"eps": EPS, "summary": "qdigest"}),
+                (merge_summaries, {"eps": EPS, "summary": "random",
+                                   "seed": 5}),
+                (sample_and_send, {"eps": EPS, "seed": 5}),
+            ]:
+                net = make_network(
+                    n, sites=SITES, topology=topology, seed=42, skew=0.6
+                )
+                truth = net.union_sorted()
+                result = runner(net, **kwargs)
+                rows.append([
+                    result.name,
+                    topology,
+                    result.words_sent,
+                    result.messages_sent,
+                    result.max_rank_error(truth, PHIS),
+                ])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    write_exhibit(
+        "extension_distributed",
+        format_table(
+            ["protocol", "topology", "words sent", "messages", "max err"],
+            rows,
+            title=(
+                f"Extension: distributed aggregation, n={n}, "
+                f"{SITES} sites, eps={EPS}"
+            ),
+        ),
+    )
+
+    def words(name, topology):
+        return next(
+            r[2] for r in rows if r[0] == name and r[1] == topology
+        )
+
+    # Summaries beat raw shipping on every topology.
+    for topology in ("star", "tree", "chain"):
+        assert words("merge-qdigest", topology) < words(
+            "ship-everything", topology
+        )
+        assert words("merge-random", topology) < words(
+            "ship-everything", topology
+        )
+    # Chains hurt raw shipping far more than summary merging.
+    ship_ratio = words("ship-everything", "chain") / words(
+        "ship-everything", "star"
+    )
+    merge_ratio = words("merge-random", "chain") / words(
+        "merge-random", "star"
+    )
+    assert ship_ratio > 2 * merge_ratio
+    # Accuracy within budget for every protocol (merge may stack layers).
+    assert all(r[4] <= 3 * EPS for r in rows), rows

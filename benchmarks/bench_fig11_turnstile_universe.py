@@ -1,0 +1,68 @@
+"""Figure 11 — turnstile algorithms vs universe size (normal sigma=0.15).
+
+The universe size sets the height of the dyadic hierarchy, so it drives
+both the space (one sketch per level) and the update time (one sketch
+touch per level) of every turnstile algorithm.  The paper compares
+u = 2^16 against u = 2^32: the smaller universe is more accurate at equal
+space and faster at equal eps; its curves halt early because at some
+point the sketch can store all frequencies exactly.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, write_exhibit
+from repro.evaluation import format_table, scaled_n, sweep
+from repro.streams import normal_stream
+
+UNIVERSES = [16, 32]
+EPS_VALUES = [0.05, 0.01, 0.005]
+ALGORITHMS = ["dcm", "dcs", "dcs+post"]
+
+
+def test_fig11_turnstile_universe(benchmark) -> None:
+    n = scaled_n(100_000)
+
+    def compute():
+        tagged = []
+        for log_u in UNIVERSES:
+            data = normal_stream(n, universe_log2=log_u, sigma=0.15, seed=11)
+            for r in sweep(
+                ALGORITHMS, data, EPS_VALUES,
+                universe_log2=log_u, repeats=3, seed=2,
+            ):
+                tagged.append((log_u, r))
+        return tagged
+
+    tagged = run_once(benchmark, compute)
+    rows = [
+        [f"{r.algorithm}@u=2^{log_u}", r.eps, r.max_error, r.avg_error,
+         r.peak_kb, r.update_time_us]
+        for log_u, r in tagged
+    ]
+    write_exhibit(
+        "fig11_turnstile_universe",
+        format_table(
+            ["algorithm@universe", "eps", "max_err", "avg_err",
+             "space KB (11a)", "us/update (11b)"],
+            rows,
+            title=(
+                f"Figure 11: universe size, normal sigma=0.15 (n={n})"
+            ),
+        ),
+    )
+
+    def pick(log_u, name, eps):
+        return next(
+            r for lu, r in tagged
+            if lu == log_u and r.algorithm == name and r.eps == eps
+        )
+
+    for name in ALGORITHMS:
+        for eps in EPS_VALUES:
+            small = pick(16, name, eps)
+            big = pick(32, name, eps)
+            # Smaller universe: less space and faster updates...
+            assert small.peak_words < big.peak_words
+            assert small.update_time_us < big.update_time_us
+            # ...and at least comparable accuracy.
+            assert small.avg_error <= 3 * big.avg_error + 1e-6

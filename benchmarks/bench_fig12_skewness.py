@@ -1,0 +1,73 @@
+"""Figure 12 — turnstile accuracy vs data skewness (normal sigma = 0.05
+vs 0.25).
+
+The Count-Sketch error scales with sqrt(F2), the second frequency moment:
+concentrated (skewed, small sigma) data has large F2, diffuse data small
+F2.  Count-Min's error depends on n, not F2.  So when sigma grows (less
+skew), DCS and Post improve markedly while DCM barely moves — the paper's
+closing evidence that the unbiased sketch is the right choice.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, write_exhibit
+from repro.evaluation import format_table, scaled_n, sweep
+from repro.streams import normal_stream
+
+SIGMAS = [0.05, 0.25]
+EPS_VALUES = [0.05, 0.02, 0.01]
+ALGORITHMS = ["dcm", "dcs", "dcs+post"]
+UNIVERSE_LOG2 = 24
+
+
+def test_fig12_skewness(benchmark) -> None:
+    n = scaled_n(100_000)
+
+    def compute():
+        tagged = []
+        for sigma in SIGMAS:
+            data = normal_stream(
+                n, universe_log2=UNIVERSE_LOG2, sigma=sigma, seed=12
+            )
+            for r in sweep(
+                ALGORITHMS, data, EPS_VALUES,
+                universe_log2=UNIVERSE_LOG2, repeats=3, seed=3,
+            ):
+                tagged.append((sigma, r))
+        return tagged
+
+    tagged = run_once(benchmark, compute)
+    rows = [
+        [f"{r.algorithm}@sigma={sigma}", r.eps, r.max_error, r.avg_error]
+        for sigma, r in tagged
+    ]
+    write_exhibit(
+        "fig12_skewness",
+        format_table(
+            ["algorithm@sigma", "eps", "max_err (12a)", "avg_err (12b)"],
+            rows,
+            title=(
+                f"Figure 12: data skewness, normal u=2^{UNIVERSE_LOG2} "
+                f"(n={n})"
+            ),
+        ),
+    )
+
+    def pick(sigma, name, eps):
+        return next(
+            r for s, r in tagged
+            if s == sigma and r.algorithm == name and r.eps == eps
+        )
+
+    # Less skew (larger sigma) helps the Count-Sketch-based algorithms.
+    improvements = {}
+    for name in ALGORITHMS:
+        ratios = []
+        for eps in EPS_VALUES:
+            skewed = pick(0.05, name, eps).avg_error
+            diffuse = pick(0.25, name, eps).avg_error
+            ratios.append(diffuse / skewed if skewed else 1.0)
+        improvements[name] = sum(ratios) / len(ratios)
+    assert improvements["dcs"] < 1.0, improvements
+    # DCS gains more from reduced skew than DCM does (the F2 effect).
+    assert improvements["dcs"] < improvements["dcm"] + 0.15, improvements

@@ -1,0 +1,88 @@
+"""Figure 6 — q-digest vs universe size (normal data, random order).
+
+The q-digest bound is ``O((1/eps) log u)``, so the paper varies
+``log u`` in {16, 24, 32} with everything else fixed and compares against
+the best deterministic (GK) and randomized (Random) comparison-based
+algorithms, which are unaffected by the universe size.
+
+Expected shapes: q-digest's space/time improve as ``log u`` shrinks, yet
+it "is only competitive when log u = 16 and eps < 1e-5" — i.e. never at
+practical settings; GK and Random curves barely move across universes.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, write_exhibit
+from repro.evaluation import results_table, scaled_n, sweep, tradeoff_series
+from repro.streams import normal_stream
+
+UNIVERSES = [16, 24, 32]
+EPS_VALUES = [0.01, 0.002, 0.0005]
+
+
+def test_fig6_universe(benchmark) -> None:
+    n = scaled_n(100_000)
+
+    def compute():
+        results = []
+        for log_u in UNIVERSES:
+            data = normal_stream(n, universe_log2=log_u, sigma=0.15, seed=6)
+            runs = sweep(
+                ["qdigest"], data, EPS_VALUES,
+                universe_log2=log_u, repeats=1, seed=0,
+            )
+            for r in runs:
+                results.append((log_u, r))
+            # Comparison-based references, once per universe for the table
+            # (their behavior should be flat across universes).
+            for name in ("gk_array", "random"):
+                for r in sweep([name], data, EPS_VALUES, repeats=3, seed=0):
+                    results.append((log_u, r))
+        return results
+
+    tagged = run_once(benchmark, compute)
+    rows = [
+        [f"{r.algorithm}@u=2^{log_u}", r.eps, r.n, r.max_error,
+         r.avg_error, r.peak_kb, r.update_time_us]
+        for log_u, r in tagged
+    ]
+    from repro.evaluation import format_table
+
+    write_exhibit(
+        "fig6_universe",
+        format_table(
+            ["algorithm@universe", "eps", "n", "max_err", "avg_err",
+             "space_KB", "us/update"],
+            rows,
+            title=(
+                f"Figure 6: varying universe size, normal sigma=0.15 "
+                f"(n={n})"
+            ),
+        ),
+    )
+
+    # Shapes: q-digest space grows with log u at fixed eps ...
+    def qd(log_u, eps):
+        return next(
+            r for lu, r in tagged
+            if lu == log_u and r.algorithm == "qdigest" and r.eps == eps
+        )
+
+    for eps in EPS_VALUES:
+        assert qd(16, eps).peak_words <= qd(32, eps).peak_words
+    # ... and q-digest never beats GKArray's space at these settings.
+    for log_u in UNIVERSES:
+        for eps in EPS_VALUES:
+            gk = next(
+                r for lu, r in tagged
+                if lu == log_u and r.algorithm == "gk_array"
+                and r.eps == eps
+            )
+            assert qd(log_u, eps).peak_words > gk.peak_words
+    # Comparison-based algorithms are insensitive to the universe.
+    for name in ("gk_array", "random"):
+        spaces = [
+            r.peak_words for lu, r in tagged
+            if r.algorithm == name and r.eps == EPS_VALUES[0]
+        ]
+        assert max(spaces) < 1.6 * min(spaces)

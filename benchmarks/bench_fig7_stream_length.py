@@ -1,0 +1,83 @@
+"""Figure 7 — scaling the stream length (uniform data, u = 2^32,
+eps = 1e-4 in the paper; eps scales with our smaller streams).
+
+Expected shapes (Section 4.2.5): update time and space are essentially
+flat in n for every algorithm; Random's per-element time *decreases*
+(sampling discards ever more of the stream), and so does q-digest's
+(COMPRESS runs only log n times).  GK variants' space stays flat on
+randomly ordered data.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, write_exhibit
+from repro.evaluation import (
+    build_sketch,
+    feed_stream,
+    format_table,
+    scaled_n,
+)
+from repro.streams import uniform_stream
+
+ALGORITHMS = [
+    ("gk_adaptive", {}),
+    ("gk_array", {}),
+    ("random", {}),
+    ("qdigest", {"universe_log2": 32}),
+]
+#: Length multipliers standing in for the paper's 10^7..10^10 range.
+LENGTHS = [1, 4, 16]
+EPS = 0.002
+
+
+def test_fig7_stream_length(benchmark) -> None:
+    base = scaled_n(25_000)
+
+    def compute():
+        out = []
+        for mult in LENGTHS:
+            n = base * mult
+            data = uniform_stream(n, universe_log2=32, seed=7)
+            for name, kwargs in ALGORITHMS:
+                sketch = build_sketch(name, eps=EPS, seed=0, **kwargs)
+                seconds, peak = feed_stream(sketch, data)
+                out.append(
+                    [name, n, 1e6 * seconds / n, peak * 4 / 1024]
+                )
+        return out
+
+    rows = run_once(benchmark, compute)
+    write_exhibit(
+        "fig7_stream_length",
+        format_table(
+            ["algorithm", "n", "us/update (7a)", "space KB (7b)"],
+            rows,
+            title=(
+                f"Figure 7: varying stream length, uniform u=2^32, "
+                f"eps={EPS}"
+            ),
+        ),
+    )
+
+    def series(name, col):
+        return [row[col] for row in rows if row[0] == name]
+
+    # Space is essentially flat in n once past the startup transient
+    # (q-digest only saturates when n >> k, so compare the larger two).
+    for name, _ in ALGORITHMS:
+        spaces = series(name, 3)
+        assert spaces[-1] < 1.5 * spaces[-2], (name, spaces)
+        if name != "qdigest":
+            assert max(spaces) < 2.5 * min(spaces), (name, spaces)
+    # Random's space is *constant* (pre-allocated buffers).
+    rnd = series("random", 3)
+    assert max(rnd) == min(rnd)
+    # Per-element time does not blow up with n.  q-digest's time first
+    # *rises* into its compression regime (COMPRESS is idle while
+    # n < k), so it is compared across the last two lengths only.
+    for name, _ in ALGORITHMS:
+        times = series(name, 2)
+        if name == "qdigest":
+            assert times[-1] < 3 * times[-2], (name, times)
+        else:
+            assert times[-1] < 3 * times[0], (name, times)

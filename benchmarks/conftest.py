@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark suite.
+
+Every paper exhibit (table or figure) has one benchmark module.  Each
+module times its computation under pytest-benchmark and *also* emits the
+exhibit itself — the same rows/series the paper reports — via
+:func:`write_exhibit`, which prints it (visible with ``-s``) and saves it
+under ``benchmarks/results/``.  EXPERIMENTS.md records paper-vs-measured
+from those files.
+
+Stream sizes honor ``REPRO_SCALE`` (see repro.evaluation.runner): the
+defaults keep the full suite in minutes on a laptop; scale up for
+closer-to-paper runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.evaluation import scaled_n
+from repro.streams import synthetic_mpcat_obs
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_exhibit(name: str, text: str) -> None:
+    """Print an exhibit and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def mpcat_small():
+    """MPCAT-like stream for error/space exhibits (moderate n)."""
+    return synthetic_mpcat_obs(scaled_n(100_000), seed=42)
+
+
+@pytest.fixture(scope="session")
+def mpcat_tiny():
+    """Smaller MPCAT-like stream for the slowest sweeps."""
+    return synthetic_mpcat_obs(scaled_n(40_000), seed=42)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

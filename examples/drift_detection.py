@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Distribution drift detection via sliding-window quantiles and the
+Kolmogorov–Smirnov divergence.
+
+The paper's introduction motivates quantiles as the nonparametric way to
+describe and *compare* distributions — Q-Q plots and the KS divergence.
+This example puts that to work: a model-serving pipeline watches a
+feature's distribution for drift, comparing a reference summary (built
+during training) against a sliding window over live traffic.
+
+Scenario: a credit-score-like feature streams in.  Halfway through, an
+upstream schema change rescales it.  The monitor compares window vs
+reference with KS every batch and raises drift when KS exceeds a
+threshold; it also prints the equi-probable histogram so an operator can
+see *where* the distributions diverge.
+
+Run:  python examples/drift_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GKArray
+from repro.cash_register.sliding_window import SlidingWindowQuantiles
+from repro.evaluation.analysis import describe, ks_distance, pdf_histogram
+
+WINDOW = 20_000
+BATCH = 10_000
+BATCHES = 12
+DRIFT_AT = 6  # batches before the upstream change
+KS_THRESHOLD = 0.15
+
+
+def batch_of_scores(batch_idx: int, rng: np.random.Generator) -> np.ndarray:
+    scores = rng.beta(5, 2, size=BATCH) * 800 + 100
+    if batch_idx >= DRIFT_AT:
+        scores = scores * 0.7 + 50  # upstream rescaling bug
+    return scores
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+
+    # Reference distribution from "training time".
+    reference = GKArray(eps=0.002)
+    reference.extend((rng.beta(5, 2, size=100_000) * 800 + 100).tolist())
+    ref_card = describe(reference)
+    print(
+        f"reference: n={ref_card.n:,} median={ref_card.median:.0f} "
+        f"iqr={ref_card.iqr:.0f} p01={ref_card.p01:.0f} "
+        f"p99={ref_card.p99:.0f}"
+    )
+
+    window = SlidingWindowQuantiles(eps=0.01, window=WINDOW)
+    drift_flagged_at = None
+
+    print(f"\n{'batch':>5} | {'win median':>10} | {'KS':>6} | status")
+    print("-" * 42)
+    for batch_idx in range(BATCHES):
+        for x in batch_of_scores(batch_idx, rng).tolist():
+            window.update(x)
+        ks = ks_distance(window, reference, resolution=100)
+        status = "ok"
+        if ks > KS_THRESHOLD and drift_flagged_at is None:
+            drift_flagged_at = batch_idx
+            status = "DRIFT"
+        elif ks > KS_THRESHOLD:
+            status = "drift (ongoing)"
+        print(
+            f"{batch_idx:>5} | {float(window.query(0.5)):>10.0f} | "
+            f"{ks:>6.3f} | {status}"
+        )
+
+    assert drift_flagged_at is not None, "drift was never detected"
+    assert drift_flagged_at >= DRIFT_AT, "false positive before the change"
+    lag = drift_flagged_at - DRIFT_AT
+    print(f"\ndrift detected {lag} batch(es) after the change "
+          f"(window must part-fill with new data first)")
+
+    # Show WHERE the distributions diverge: side-by-side histograms.
+    print("\nequi-probable histogram (density x 1e3):")
+    ref_edges, ref_dens = pdf_histogram(reference, bins=10)
+    win_edges, win_dens = pdf_histogram(window, bins=10)
+    print(f"{'ref bucket':>15} {'dens':>6} | {'window bucket':>15} {'dens':>6}")
+    for i in range(10):
+        print(
+            f"[{ref_edges[i]:6.0f},{ref_edges[i + 1]:6.0f}) "
+            f"{ref_dens[i] * 1e3:6.2f} | "
+            f"[{win_edges[i]:6.0f},{win_edges[i + 1]:6.0f}) "
+            f"{win_dens[i] * 1e3:6.2f}"
+        )
+    print("\nthe window's mass sits visibly left of the reference —"
+          " the rescaling bug.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Network health monitoring with streaming quantiles.
+
+The paper's motivating application from ISP practice [8]: track the
+distribution of per-packet round-trip times across the day and alert when
+the tail moves.  The stream never fits in memory; a quantile summary per
+time window does — and windows can be *merged* to answer queries over
+longer horizons, which is why this example uses the mergeable ``Random``
+summary.
+
+Scenario: 24 "hours" of RTT measurements.  Most hours are healthy
+(RTT ~ 20ms lognormal); hours 14-16 suffer a congestion event that
+inflates the tail.  The monitor keeps one summary per hour, flags hours
+whose p99 deviates from the trailing baseline, and merges hourly
+summaries into a daily one at the end.
+
+Run:  python examples/network_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RandomSketch
+
+EPS = 0.005
+HOURS = 24
+PACKETS_PER_HOUR = 100_000
+CONGESTED = {14, 15, 16}
+ALERT_FACTOR = 1.5  # alert when p99 exceeds 1.5x the trailing median p99
+
+
+def hour_of_traffic(hour: int, rng: np.random.Generator) -> np.ndarray:
+    """RTT samples (ms) for one hour; congested hours grow a heavy tail."""
+    base = rng.lognormal(mean=3.0, sigma=0.35, size=PACKETS_PER_HOUR)
+    if hour in CONGESTED:
+        spikes = rng.random(PACKETS_PER_HOUR) < 0.08
+        base[spikes] *= rng.uniform(3, 10, size=int(spikes.sum()))
+    return base
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    hourly: list[RandomSketch] = []
+    p99_history: list[float] = []
+    alerts: list[int] = []
+
+    print(f"monitoring {HOURS}h x {PACKETS_PER_HOUR:,} packets, eps={EPS}")
+    print(f"{'hour':>4} | {'p50':>7} | {'p99':>8} | {'memory':>8} | status")
+    print("-" * 50)
+
+    for hour in range(HOURS):
+        sketch = RandomSketch(eps=EPS, seed=hour)
+        sketch.extend(hour_of_traffic(hour, rng).tolist())
+        p50 = float(sketch.query(0.5))
+        p99 = float(sketch.query(0.99))
+        baseline = float(np.median(p99_history)) if p99_history else p99
+        status = "ok"
+        if p99 > ALERT_FACTOR * baseline:
+            status = f"ALERT p99 {p99 / baseline:.1f}x baseline"
+            alerts.append(hour)
+        else:
+            # Congested hours are excluded from the baseline window.
+            p99_history = (p99_history + [p99])[-6:]
+        print(
+            f"{hour:>4} | {p50:7.1f} | {p99:8.1f} | "
+            f"{sketch.size_bytes() / 1024:6.1f}KB | {status}"
+        )
+        hourly.append(sketch)
+
+    # Merge the hourly summaries into a daily summary (mergeability!).
+    daily = hourly[0]
+    for sketch in hourly[1:]:
+        daily.merge(sketch)
+    print(
+        f"\ndaily summary over {daily.n:,} packets: "
+        f"p50={float(daily.query(0.5)):.1f}ms "
+        f"p99={float(daily.query(0.99)):.1f}ms "
+        f"p99.9={float(daily.query(0.999)):.1f}ms "
+        f"({daily.size_bytes() / 1024:.1f} KB)"
+    )
+
+    assert set(alerts) == CONGESTED, (
+        f"expected alerts exactly in {sorted(CONGESTED)}, got {alerts}"
+    )
+    print(f"alerts fired for hours {alerts} — congestion detected.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: summarize a stream you cannot afford to store.
+
+Builds each of the library's main summaries over one million latency-like
+measurements, queries the median and tail quantiles, and compares answers
+and memory against the exact (store-everything) baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ExactQuantiles, make_sketch
+
+N = 1_000_000
+EPS = 0.001  # quantiles accurate to within 0.1% of the rank
+PHIS = [0.5, 0.9, 0.99, 0.999]
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    # A lognormal "request latency" stream (milliseconds): heavy tail,
+    # exactly where naive averages mislead and quantiles shine.
+    latencies_ms = rng.lognormal(mean=1.0, sigma=0.7, size=N)
+
+    exact = ExactQuantiles(latencies_ms.tolist())
+
+    print(f"stream: {N:,} latency measurements, eps = {EPS}")
+    print(f"exact baseline stores {exact.size_bytes() / 1e6:.1f} MB\n")
+    header = (
+        f"{'summary':>12} | {'p50':>7} | {'p90':>7} | {'p99':>7} | "
+        f"{'p99.9':>7} | {'memory':>9} | notes"
+    )
+    print(header)
+    print("-" * len(header))
+
+    truth = exact.quantiles(PHIS)
+    print(_row("exact", truth, exact.size_bytes(), "ground truth"))
+
+    for name, note in [
+        ("gk_array", "deterministic guarantee, batched merges"),
+        ("gk_adaptive", "deterministic guarantee, per-element heap"),
+        ("random", "randomized, smallest space"),
+        ("mrl99", "randomized, the 1999 classic"),
+    ]:
+        sketch = make_sketch(name, eps=EPS)
+        sketch.extend(latencies_ms.tolist())
+        answers = sketch.quantiles(PHIS)
+        print(_row(sketch.name, answers, sketch.size_bytes(), note))
+
+    # Verify the guarantee on the tail quantile.
+    sketch = make_sketch("gk_array", eps=EPS)
+    sketch.extend(latencies_ms.tolist())
+    p999 = sketch.query(0.999)
+    lo, hi = exact.rank_interval(p999)
+    err = 0 if lo <= 0.999 * N <= hi else min(
+        abs(0.999 * N - lo), abs(0.999 * N - hi)
+    )
+    print(
+        f"\nGKArray's p99.9 has rank error {err / N:.2e} "
+        f"(guarantee: <= {EPS})"
+    )
+    assert err <= EPS * N
+
+
+def _row(name: str, answers, size_bytes: int, note: str) -> str:
+    cells = " | ".join(f"{a:7.2f}" for a in answers)
+    return f"{name:>12} | {cells} | {_fmt_bytes(size_bytes):>9} | {note}"
+
+
+def _fmt_bytes(b: int) -> str:
+    if b >= 1e6:
+        return f"{b / 1e6:.1f} MB"
+    return f"{b / 1e3:.1f} KB"
+
+
+if __name__ == "__main__":
+    main()

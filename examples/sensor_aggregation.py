@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Sensor-network aggregation with mergeable q-digests.
+
+q-digest was designed for exactly this (Shrivastava et al. [26], the
+paper's reference for the algorithm): each sensor summarizes its own
+readings in bounded memory, summaries travel up an aggregation tree, and
+inner nodes *merge* children without ever seeing raw readings.  q-digest
+is the only deterministic mergeable quantile summary, so the error bound
+survives arbitrary merge topologies.
+
+Scenario: 64 temperature sensors on a LIDAR-like terrain (our synthetic
+Neuse River stand-in supplies spatially-correlated readings), aggregated
+through a 3-level tree: 64 sensors -> 8 relays -> 1 base station.  The
+base station extracts terrain elevation quantiles and we verify them
+against the pooled raw data.
+
+Run:  python examples/sensor_aggregation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ExactQuantiles, QDigest
+from repro.streams import synthetic_lidar
+
+SENSORS = 64
+RELAYS = 8
+READINGS = 4_000
+UNIVERSE_LOG2 = 20
+EPS = 0.01
+PHIS = [0.1, 0.25, 0.5, 0.75, 0.9]
+
+
+def main() -> None:
+    # Each sensor observes one shard of the terrain scan.
+    all_readings = synthetic_lidar(SENSORS * READINGS, seed=3,
+                                   universe_log2=UNIVERSE_LOG2)
+    shards = np.array_split(all_readings, SENSORS)
+
+    # Level 0: every sensor builds its own digest.
+    sensor_digests = []
+    for shard in shards:
+        digest = QDigest(eps=EPS, universe_log2=UNIVERSE_LOG2)
+        digest.extend(shard.tolist())
+        sensor_digests.append(digest)
+    sensor_kb = sensor_digests[0].size_bytes() / 1024
+    print(
+        f"{SENSORS} sensors x {READINGS:,} readings; each digest "
+        f"~{sensor_kb:.1f} KB (raw shard would be "
+        f"{READINGS * 4 / 1024:.0f} KB)"
+    )
+
+    # Level 1: relays merge groups of sensors.
+    relay_digests = []
+    per_relay = SENSORS // RELAYS
+    for r in range(RELAYS):
+        merged = sensor_digests[r * per_relay]
+        for digest in sensor_digests[r * per_relay + 1 : (r + 1) * per_relay]:
+            merged.merge(digest)
+        relay_digests.append(merged)
+    print(f"{RELAYS} relays merged {per_relay} digests each")
+
+    # Level 2: the base station merges the relays.
+    base = relay_digests[0]
+    for digest in relay_digests[1:]:
+        base.merge(digest)
+    print(
+        f"base station digest: n={base.n:,}, "
+        f"{base.size_bytes() / 1024:.1f} KB, {base.node_count()} nodes\n"
+    )
+
+    exact = ExactQuantiles(all_readings.tolist())
+    n = exact.n
+    print(f"{'phi':>5} | {'digest':>8} | {'exact':>8} | rank err")
+    print("-" * 40)
+    worst = 0.0
+    for phi in PHIS:
+        approx = base.query(phi)
+        truth = exact.query(phi)
+        lo, hi = exact.rank_interval(approx)
+        err = 0.0 if lo <= phi * n <= hi else min(
+            abs(phi * n - lo), abs(phi * n - hi)
+        )
+        worst = max(worst, err / n)
+        print(f"{phi:>5} | {approx:>8} | {truth:>8} | {err / n:.2e}")
+
+    # Merging multiplies the error budget by the tree depth in the worst
+    # case; q-digest's mergeability bounds it by eps per merge "layer".
+    budget = EPS * 3
+    print(f"\nworst rank error {worst:.2e} (tree-depth budget {budget})")
+    assert worst <= budget
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""repro — streaming quantile algorithms, reproduced.
+
+A production-quality reimplementation of every algorithm studied in
+"Quantiles over Data Streams: An Experimental Study" (Wang, Luo, Yi,
+Cormode — SIGMOD 2013) and its journal extension (The VLDB Journal,
+2016), together with the paper's full experimental harness.
+
+Quick start::
+
+    from repro import make_sketch
+    sk = make_sketch("gk_array", eps=1e-3)
+    for x in stream:
+        sk.update(x)
+    median = sk.query(0.5)
+
+Cash-register (insert-only) algorithms: ``gk_adaptive``, ``gk_array``,
+``gk_theory``, ``mrl99``, ``random``, ``qdigest``, ``reservoir``.
+Turnstile (insert+delete): ``dcm``, ``dcs``, ``post``, ``rss``.
+"""
+
+from repro.cash_register import (
+    BiasedQuantiles,
+    GKAdaptive,
+    GKArray,
+    GKTheory,
+    MRL99,
+    QDigest,
+    RandomSketch,
+    ReservoirSampling,
+    SlidingWindowQuantiles,
+)
+from repro.core import (
+    EmptySummaryError,
+    ExactQuantiles,
+    InvalidParameterError,
+    MergeError,
+    MergeableSketch,
+    NegativeFrequencyError,
+    QuantileSketch,
+    ReproError,
+    TurnstileSketch,
+    UniverseOverflowError,
+    algorithms,
+    get_algorithm,
+    make_sketch,
+)
+from repro.successors import KLL, SampledGK, TDigest
+from repro.turnstile import (
+    DCSWithPostProcessing,
+    DyadicCountMin,
+    DyadicCountSketch,
+    PostProcessedSnapshot,
+    RandomSubsetSums,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BiasedQuantiles",
+    "DCSWithPostProcessing",
+    "DyadicCountMin",
+    "DyadicCountSketch",
+    "EmptySummaryError",
+    "ExactQuantiles",
+    "GKAdaptive",
+    "GKArray",
+    "GKTheory",
+    "KLL",
+    "InvalidParameterError",
+    "MRL99",
+    "MergeError",
+    "MergeableSketch",
+    "NegativeFrequencyError",
+    "PostProcessedSnapshot",
+    "QDigest",
+    "QuantileSketch",
+    "RandomSketch",
+    "RandomSubsetSums",
+    "ReproError",
+    "SampledGK",
+    "TDigest",
+    "ReservoirSampling",
+    "SlidingWindowQuantiles",
+    "TurnstileSketch",
+    "UniverseOverflowError",
+    "__version__",
+    "algorithms",
+    "get_algorithm",
+    "make_sketch",
+]

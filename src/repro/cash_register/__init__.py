@@ -1,0 +1,35 @@
+"""Cash-register (insertion-only) quantile algorithms (Section 2)."""
+
+from repro.cash_register.biased import BiasedQuantiles
+from repro.cash_register.gk_adaptive import GKAdaptive
+from repro.cash_register.gk_array import GKArray
+from repro.cash_register.gk_base import (
+    GKBase,
+    check_gk_invariants,
+    gk_query,
+    gk_rank,
+)
+from repro.cash_register.gk_theory import GKTheory, band
+from repro.cash_register.mrl99 import MRL99, weighted_collapse
+from repro.cash_register.qdigest import QDigest
+from repro.cash_register.random_sketch import RandomSketch
+from repro.cash_register.sampling import ReservoirSampling
+from repro.cash_register.sliding_window import SlidingWindowQuantiles
+
+__all__ = [
+    "BiasedQuantiles",
+    "GKAdaptive",
+    "GKArray",
+    "GKBase",
+    "GKTheory",
+    "MRL99",
+    "QDigest",
+    "RandomSketch",
+    "ReservoirSampling",
+    "SlidingWindowQuantiles",
+    "band",
+    "check_gk_invariants",
+    "gk_query",
+    "gk_rank",
+    "weighted_collapse",
+]

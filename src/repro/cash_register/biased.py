@@ -1,0 +1,176 @@
+"""Biased (relative-error) quantiles — the extension of Cormode, Korn,
+Muthukrishnan and Srivastava cited by the paper as [10].
+
+The uniform guarantee of GK spends the same absolute rank budget
+``eps * n`` on every quantile, which is wasteful when the interesting
+quantiles are at one end (the p99/p999 of a latency distribution, the
+head of a frequency ranking).  The *biased* guarantee is relative: the
+``phi``-quantile may be off by at most ``eps * phi * n`` ranks — sharper
+by a factor ``1/phi`` at the head, degrading gracefully toward the tail.
+
+Implementation: the batched GKArray skeleton with a rank-dependent
+removability budget.  A tuple with successor rank floor ``rmin`` may be
+folded only while the combined uncertainty stays within ``max(1,
+floor(2 * eps * rmin))`` — the bq invariant — and insertion Deltas are
+derived from the successor exactly as in GK, which never violates it.
+Queries use the same sandwich rule with tolerance ``eps * r``.
+
+Space is ``O((1/eps) log(eps n) log n)``-ish in theory; empirically a few
+times a uniform GK summary at the same ``eps``, which is the price of the
+head accuracy (see ``benchmarks/bench_extension_biased.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.core.base import QuantileSketch, reject_nan, validate_eps, validate_phi
+from repro.core.errors import EmptySummaryError
+from repro.core.registry import register
+
+
+@register("biased_gk")
+class BiasedQuantiles(QuantileSketch):
+    """GK-style summary with a relative (biased) error guarantee.
+
+    Args:
+        eps: relative rank error: the ``phi``-quantile is off by at most
+            ``eps * phi * n`` ranks.
+        buffer_factor: buffer capacity as a multiple of the tuple count
+            (same batching engineering as GKArray).
+    """
+
+    name = "BiasedGK"
+    deterministic = True
+    comparison_based = True
+
+    def __init__(self, eps: float, buffer_factor: float = 1.0) -> None:
+        self.eps = validate_eps(eps)
+        if buffer_factor <= 0:
+            raise ValueError(
+                f"buffer_factor must be positive, got {buffer_factor!r}"
+            )
+        self.buffer_factor = float(buffer_factor)
+        self._values: List = []
+        self._gs: List[int] = []
+        self._deltas: List[int] = []
+        self._buffer: List = []
+        self._n = 0
+        self._min_capacity = max(16, math.ceil(1.0 / (2.0 * self.eps)))
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def _budget(self, rmin: int) -> int:
+        """Removability budget at rank floor ``rmin`` (the bq invariant)."""
+        return max(1, math.floor(2.0 * self.eps * rmin))
+
+    def _capacity(self) -> int:
+        return max(
+            self._min_capacity,
+            int(self.buffer_factor * len(self._values)),
+        )
+
+    def update(self, value) -> None:
+        reject_nan(value)
+        self._buffer.append(value)
+        self._n += 1
+        if len(self._buffer) >= self._capacity():
+            self._flush()
+
+    def extend(self, values) -> None:
+        for value in values:
+            reject_nan(value)
+            self._buffer.append(value)
+            self._n += 1
+            if len(self._buffer) >= self._capacity():
+                self._flush()
+
+    def _flush(self) -> None:
+        """Merge the sorted buffer into the tuple arrays, pruning with the
+        rank-dependent budget.
+
+        The pass runs front to back tracking the exact rank floor of each
+        outgoing tuple, so the budget at each fold is the budget *at that
+        rank* — cheap ranks (small rmin) fold reluctantly, tail ranks
+        aggressively.
+        """
+        self._buffer.sort()
+        values, gs, deltas = self._values, self._gs, self._deltas
+        new_values: List = []
+        new_gs: List[int] = []
+        new_deltas: List[int] = []
+        rmin = 0  # rank floor of the last emitted tuple
+
+        def emit(value, g: int, delta: int) -> None:
+            nonlocal rmin
+            rmin += g
+            if (
+                len(new_values) >= 2
+                and new_gs[-1] + g + delta <= self._budget(rmin)
+            ):
+                g += new_gs.pop()
+                new_values.pop()
+                new_deltas.pop()
+            new_values.append(value)
+            new_gs.append(g)
+            new_deltas.append(delta)
+
+        i = 0
+        buf = self._buffer
+        m = len(buf)
+        for j, v_l in enumerate(values):
+            while i < m and buf[i] < v_l:
+                delta = gs[j] + deltas[j] - 1
+                if not new_values and i == 0:
+                    delta = 0
+                emit(buf[i], 1, delta)
+                i += 1
+            emit(v_l, gs[j], deltas[j])
+        while i < m:
+            emit(buf[i], 1, 0)
+            i += 1
+
+        self._values = new_values
+        self._gs = new_gs
+        self._deltas = new_deltas
+        self._buffer = []
+
+    def _prepare_query(self) -> None:
+        if self._buffer:
+            self._flush()
+
+    def rank(self, value) -> float:
+        self._prepare_query()
+        rmin = 0.0
+        best = 0.0
+        for v, g, delta in zip(self._values, self._gs, self._deltas):
+            if v > value:
+                break
+            rmin += g
+            best = rmin + delta / 2.0 - 1.0
+        return max(0.0, best)
+
+    def query(self, phi: float):
+        validate_phi(phi)
+        if self._n <= 0:
+            raise EmptySummaryError("BiasedGK: cannot query empty summary")
+        self._prepare_query()
+        r = max(1, math.ceil(phi * self._n))
+        tol = max(0.5, self.eps * r)
+        rmin = 0
+        for v, g, delta in zip(self._values, self._gs, self._deltas):
+            rmin += g
+            if r - rmin <= tol and rmin + delta - r <= tol:
+                return v
+        return self._values[-1]
+
+    def tuple_count(self) -> int:
+        """Number of stored tuples."""
+        self._prepare_query()
+        return len(self._values)
+
+    def size_words(self) -> int:
+        return 3 * len(self._values) + self._capacity()

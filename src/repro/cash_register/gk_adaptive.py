@@ -1,0 +1,216 @@
+"""GKAdaptive — the heap-assisted adaptive GK variant (Section 2.1.1).
+
+This is the variant Greenwald and Khanna actually implemented in [15],
+with the removable-tuple search engineered as in the journal paper:
+
+1. Insert ``v`` with ``Delta = g_i + Delta_i - 1`` where ``(v_i, g_i,
+   Delta_i)`` is the successor tuple (``Delta = 0`` when ``v`` is a new
+   minimum or maximum — its rank is known exactly at that moment).
+2. After each insertion, try to remove one *removable* tuple: a tuple
+   ``t`` with successor ``s`` is removable when ``g_t + g_s + Delta_s <=
+   floor(2 * eps * n)``.  The candidate with the smallest such key sits on
+   top of a min-heap; if the top is not removable, nothing is, and the
+   summary grows by one tuple.
+
+COMPRESS is never called, so the ``O((1/eps) log(eps n))`` bound of
+GKTheory is not guaranteed — but empirically this variant is smaller
+(Section 4.2).
+
+Implementation notes.  Tuples are nodes of a doubly-linked list.  A
+parallel Python list, kept in value order but allowed to contain dead
+nodes (tombstones), provides O(log) successor search via ``bisect``; it is
+compacted whenever more than half its nodes are dead.  The heap holds
+``(key, uid)`` entries with lazy invalidation: every time a node's key
+changes, a fresh entry is pushed; a popped entry whose key is stale is
+re-pushed at its current value.  Keys therefore always cover the true
+minimum, and a single heap inspection per update suffices.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import itertools
+from typing import List, Optional
+
+from repro.cash_register.gk_base import GKBase
+from repro.core.base import reject_nan
+from repro.core.registry import register
+
+
+class _Node:
+    """One GK tuple, wired into the doubly-linked list."""
+
+    __slots__ = ("value", "g", "delta", "prev", "next", "alive", "uid")
+
+    def __init__(self, value, g: int, delta: int, uid: int) -> None:
+        self.value = value
+        self.g = g
+        self.delta = delta
+        self.prev: Optional[_Node] = None
+        self.next: Optional[_Node] = None
+        self.alive = True
+        self.uid = uid
+
+
+@register("gk_adaptive")
+class GKAdaptive(GKBase):
+    """Adaptive GK summary with heap-assisted tuple removal."""
+
+    name = "GKAdaptive"
+
+    def __init__(self, eps: float) -> None:
+        super().__init__(eps)
+        self._order: List[_Node] = []  # value-sorted, may contain dead nodes
+        self._dead = 0
+        self._heap: List = []  # (key, uid) with lazy invalidation
+        self._by_uid = {}
+        self._uids = itertools.count()
+        self._dirty = True  # arrays in GKBase need rebuilding
+
+    # ------------------------------------------------------------------
+    # update path
+    # ------------------------------------------------------------------
+
+    def update(self, value) -> None:
+        reject_nan(value)
+        self._n += 1
+        self._dirty = True
+        node = self._insert_node(value)
+        # Try the newly inserted tuple first (it is often removable right
+        # away when it landed in a dense region), then the heap top.
+        if not self._try_remove(node):
+            top = self._pop_min_key()
+            if top is not None:
+                key, cand = top
+                if not self._try_remove(cand):
+                    # Not removable now; keep its entry for later (the
+                    # threshold grows with n).
+                    heapq.heappush(self._heap, (key, cand.uid))
+
+    def _insert_node(self, value) -> _Node:
+        i = bisect.bisect_right(self._order, value, key=lambda nd: nd.value)
+        succ = self._alive_at_or_after(i)
+        if succ is None or succ.prev is None and succ.value > value:
+            # New maximum (no successor) or new minimum: rank known exactly.
+            delta = 0
+        else:
+            delta = succ.g + succ.delta - 1
+        node = _Node(value, 1, delta, next(self._uids))
+        self._by_uid[node.uid] = node
+        self._order.insert(i, node)
+        # Wire into the linked list around the alive successor.
+        if succ is None:
+            tail = self._alive_before(len(self._order) - 1, exclude=node)
+            node.prev = tail
+            if tail is not None:
+                tail.next = node
+        else:
+            node.next = succ
+            node.prev = succ.prev
+            if succ.prev is not None:
+                succ.prev.next = node
+            succ.prev = node
+        # Keys that may have changed: the new node's own, its
+        # predecessor's (new successor), and its successor's — the old
+        # minimum gains a predecessor (and thus a key) when a new minimum
+        # arrives in front of it.
+        self._push_key(node)
+        if node.prev is not None:
+            self._push_key(node.prev)
+        if node.next is not None:
+            self._push_key(node.next)
+        return node
+
+    def _alive_at_or_after(self, i: int) -> Optional[_Node]:
+        while i < len(self._order):
+            if self._order[i].alive:
+                return self._order[i]
+            i += 1
+        return None
+
+    def _alive_before(self, i: int, exclude: _Node) -> Optional[_Node]:
+        while i >= 0:
+            node = self._order[i]
+            if node.alive and node is not exclude:
+                return node
+            i -= 1
+        return None
+
+    # ------------------------------------------------------------------
+    # removal machinery
+    # ------------------------------------------------------------------
+
+    def _key(self, node: _Node) -> Optional[int]:
+        """The removal key ``g + g_next + delta_next``, or None when the
+        node is not removable at all: the maximum (no successor) and the
+        minimum (its exact rank anchors small-rank queries) are kept."""
+        if node.next is None or node.prev is None:
+            return None
+        return node.g + node.next.g + node.next.delta
+
+    def _push_key(self, node: _Node) -> None:
+        key = self._key(node)
+        if key is not None:
+            heapq.heappush(self._heap, (key, node.uid))
+
+    def _pop_min_key(self):
+        """Pop until the top entry reflects a live node's current key."""
+        while self._heap:
+            key, uid = heapq.heappop(self._heap)
+            node = self._by_uid.get(uid)
+            if node is None or not node.alive:
+                continue
+            current = self._key(node)
+            if current is None:
+                continue
+            if current != key:
+                heapq.heappush(self._heap, (current, uid))
+                continue
+            return key, node
+        return None
+
+    def _try_remove(self, node: _Node) -> bool:
+        """Remove ``node`` if condition (2) allows; returns success."""
+        if not node.alive or node.next is None or node.prev is None:
+            return False
+        succ = node.next
+        if node.g + succ.g + succ.delta > self._budget():
+            return False
+        succ.g += node.g
+        node.alive = False
+        del self._by_uid[node.uid]
+        succ.prev = node.prev
+        if node.prev is not None:
+            node.prev.next = succ
+        self._dead += 1
+        # Keys of the predecessor and of the successor both changed.
+        if node.prev is not None:
+            self._push_key(node.prev)
+        self._push_key(succ)
+        if self._dead * 2 > len(self._order):
+            self._order = [nd for nd in self._order if nd.alive]
+            self._dead = 0
+        return True
+
+    # ------------------------------------------------------------------
+    # query path
+    # ------------------------------------------------------------------
+
+    def _prepare_query(self) -> None:
+        if not self._dirty:
+            return
+        alive = [nd for nd in self._order if nd.alive]
+        self._values = [nd.value for nd in alive]
+        self._gs = [nd.g for nd in alive]
+        self._deltas = [nd.delta for nd in alive]
+        self._dirty = False
+
+    def tuple_count(self) -> int:
+        """Number of live tuples |L| (without materializing arrays)."""
+        return len(self._order) - self._dead
+
+    def size_words(self) -> int:
+        """Three words per tuple plus two heap words (key + reference) per
+        tuple, matching an idealized (non-lazy) heap implementation."""
+        return 5 * self.tuple_count()

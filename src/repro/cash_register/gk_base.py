@@ -1,0 +1,198 @@
+"""Shared machinery for the Greenwald–Khanna (GK) summary family.
+
+A GK summary (Section 2.1) is an ordered list of tuples
+``(v_i, g_i, Delta_i)`` where the ``v_i`` are stream elements in
+non-decreasing order and the integers ``g_i, Delta_i`` maintain:
+
+(1) ``sum_{j<=i} g_j <= r(v_i) + 1 <= sum_{j<=i} g_j + Delta_i``
+    — a sandwich on the (1-based) rank of each stored element;
+(2) ``g_i + Delta_i <= floor(2 * eps * n)``
+    — the rank uncertainty between neighbors stays below the budget.
+
+All three variants in this package (GKAdaptive, GKArray, GKTheory) store
+the same tuples and answer queries identically; they differ only in how
+tuples are inserted and pruned.  This module holds the query rule, the
+rank estimator, and the invariant checker used by the property tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.core.base import QuantileSketch, validate_eps, validate_phi
+from repro.core.errors import EmptySummaryError
+
+GKTuple = Tuple[object, int, int]  # (value, g, delta)
+
+
+def gk_query(
+    values: Sequence,
+    gs: Sequence[int],
+    deltas: Sequence[int],
+    n: int,
+    phi: float,
+):
+    """Extract a ``phi``-quantile from GK tuple arrays.
+
+    Uses the standard GK rule: with target (1-based) rank
+    ``r = max(1, ceil(phi * n))`` and tolerance ``e = max_i(g_i +
+    Delta_i) / 2``, return the first stored element whose rank interval
+    ``[rmin_i, rmax_i]`` lies within ``e`` of ``r`` on both sides.
+    Condition (2) guarantees such an element exists with ``e`` as above.
+    """
+    if n <= 0 or not values:
+        raise EmptySummaryError("GK: cannot query an empty summary")
+    r = max(1, math.ceil(phi * n))
+    e = max(g + d for g, d in zip(gs, deltas)) / 2.0
+    rmin = 0
+    for value, g, delta in zip(values, gs, deltas):
+        rmin += g
+        rmax = rmin + delta
+        if r - rmin <= e and rmax - r <= e:
+            return value
+    return values[-1]
+
+
+def gk_rank(
+    values: Sequence,
+    gs: Sequence[int],
+    deltas: Sequence[int],
+    value,
+) -> float:
+    """Estimate the (0-based) rank of ``value`` from GK tuple arrays.
+
+    For the rightmost stored ``v_i <= value`` the true 1-based rank of
+    ``v_i`` lies in ``[rmin_i, rmin_i + Delta_i]``; we return the midpoint
+    minus one (back to 0-based).  Values below the stored minimum rank 0.
+    """
+    rmin = 0
+    best = 0.0
+    for v, g, delta in zip(values, gs, deltas):
+        if v > value:
+            break
+        rmin += g
+        best = rmin + delta / 2.0 - 1.0
+    return max(0.0, best)
+
+
+def check_gk_invariants(
+    values: Sequence,
+    gs: Sequence[int],
+    deltas: Sequence[int],
+    n: int,
+    eps: float,
+    exact_ranks,
+) -> None:
+    """Assert invariants (1) and (2) against exact ranks (test helper).
+
+    Args:
+        exact_ranks: callable mapping a value to its exact 0-based rank
+            interval ``(lo, hi)`` in the stream so far (elements strictly
+            smaller, elements smaller-or-equal).
+
+    Raises:
+        AssertionError: if any invariant is violated.
+    """
+    budget = math.floor(2 * eps * n)
+    rmin = 0
+    prev = None
+    for i, (v, g, delta) in enumerate(zip(values, gs, deltas)):
+        assert g >= 1, f"tuple {i}: g={g} < 1"
+        assert delta >= 0, f"tuple {i}: delta={delta} < 0"
+        if prev is not None:
+            assert prev <= v, f"tuple {i}: values out of order"
+        prev = v
+        rmin += g
+        lo, hi = exact_ranks(v)
+        # 1-based rank r(v)+1 of the stored occurrence lies in [lo+1, hi];
+        # invariant (1) demands [rmin, rmin + delta] to intersect it.
+        assert rmin <= hi, (
+            f"tuple {i} ({v!r}): rmin={rmin} exceeds max 1-based rank {hi}"
+        )
+        assert rmin + delta >= lo + 1, (
+            f"tuple {i} ({v!r}): rmax={rmin + delta} below min rank {lo + 1}"
+        )
+        if i > 0:  # the minimum tuple may carry g=1, delta=0 trivially
+            assert g + delta <= max(budget, 1), (
+                f"tuple {i}: g+delta={g + delta} > budget {budget}"
+            )
+    assert rmin == n, f"sum of g = {rmin} != n = {n}"
+
+
+class GKBase(QuantileSketch):
+    """Common constructor/query surface for the GK variants.
+
+    Subclasses maintain ``self._values``, ``self._gs``, ``self._deltas``
+    (parallel lists in value order) and ``self._n``, and implement
+    :meth:`update`.
+    """
+
+    deterministic = True
+    comparison_based = True
+
+    def __init__(self, eps: float) -> None:
+        self.eps = validate_eps(eps)
+        self._values: List = []
+        self._gs: List[int] = []
+        self._deltas: List[int] = []
+        self._n = 0
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def _budget(self) -> int:
+        """Current removability threshold ``floor(2 * eps * n)``."""
+        return math.floor(2 * self.eps * self._n)
+
+    def _prepare_query(self) -> None:
+        """Hook for subclasses that defer work (e.g. GKArray's buffer)."""
+
+    def query(self, phi: float):
+        validate_phi(phi)
+        self._require_nonempty()
+        self._prepare_query()
+        return gk_query(self._values, self._gs, self._deltas, self._n, phi)
+
+    def quantiles(self, phis: Sequence[float]) -> List:
+        """Batch extraction: one prefix-sum pass answers every ``phi``.
+
+        Each query only inspects the tuples whose rank window can contain
+        its target, found by bisection on the rmin prefix sums.
+        """
+        for phi in phis:
+            validate_phi(phi)
+        self._require_nonempty()
+        self._prepare_query()
+        import bisect
+        from itertools import accumulate
+
+        rmins = list(accumulate(self._gs))
+        e = max(g + d for g, d in zip(self._gs, self._deltas)) / 2.0
+        out = []
+        for phi in phis:
+            r = max(1, math.ceil(phi * self._n))
+            start = bisect.bisect_left(rmins, r - e)
+            answer = self._values[-1]
+            for i in range(start, len(rmins)):
+                if rmins[i] - r > e:
+                    break
+                if rmins[i] + self._deltas[i] - r <= e:
+                    answer = self._values[i]
+                    break
+            out.append(answer)
+        return out
+
+    def rank(self, value) -> float:
+        self._prepare_query()
+        return gk_rank(self._values, self._gs, self._deltas, value)
+
+    def tuples(self) -> List[GKTuple]:
+        """The current tuple list (for tests and inspection)."""
+        self._prepare_query()
+        return list(zip(self._values, self._gs, self._deltas))
+
+    def size_words(self) -> int:
+        """Three words per stored tuple (value, g, delta)."""
+        return 3 * len(self._values)

@@ -1,0 +1,106 @@
+"""GKTheory — the original Greenwald–Khanna algorithm with COMPRESS [15].
+
+This is the analyzed version: insertions use the worst-case
+``Delta = floor(2 * eps * n) - 1``, and a periodic COMPRESS pass prunes
+tuples according to *bands*.  Bands partition possible ``Delta`` values by
+how recently a tuple could have been inserted — tuples with large
+``Delta`` (recent, band near 0) are merged in preference to old, small-
+``Delta`` tuples (band large), which is what yields the
+``O((1/eps) log(eps n))`` worst-case size.
+
+Band ``alpha`` of ``Delta`` given ``p = floor(2 eps n)`` (from [15]):
+
+* ``Delta == p``  -> band 0;
+* ``Delta == 0``  -> the maximal band (treated as +infinity);
+* otherwise ``alpha`` is the unique value with
+  ``p - 2**alpha - (p mod 2**alpha) < Delta <= p - 2**(alpha-1) - (p mod
+  2**(alpha-1))``.
+
+COMPRESS runs every ``ceil(1/(2 eps))`` insertions and makes one right-to-
+left pass, merging tuple ``i`` into ``i+1`` whenever ``band(Delta_i) <=
+band(Delta_{i+1})`` and the combined ``g`` stays within the budget — the
+single-pass rendering of the descendant-subtree merge in [15].
+
+The paper's experiments (Section 1.2.1) found this variant loses to
+GKAdaptive in practice despite the better worst-case bound; we keep it to
+reproduce that comparison.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+from repro.cash_register.gk_base import GKBase
+from repro.core.base import reject_nan
+from repro.core.registry import register
+
+
+def band(delta: int, p: int) -> int:
+    """The band index of ``delta`` for threshold ``p`` (see module doc).
+
+    Larger band means older/more valuable tuple.  ``delta == 0`` returns
+    ``ceil(log2 p) + 1``, one past every finite band.
+    """
+    if delta == p:
+        return 0
+    if delta == 0:
+        return (max(p, 1)).bit_length() + 1
+    diff = p - delta  # >= 1
+    # alpha is the position of the highest band boundary below delta:
+    # p - 2**a - (p mod 2**a) < delta  <=>  2**a + (p mod 2**a) > diff.
+    alpha = 1
+    while (1 << alpha) + (p % (1 << alpha)) <= diff:
+        alpha += 1
+    return alpha
+
+
+@register("gk_theory")
+class GKTheory(GKBase):
+    """Original GK01 summary with banded COMPRESS."""
+
+    name = "GKTheory"
+
+    def __init__(self, eps: float) -> None:
+        super().__init__(eps)
+        self._compress_every = max(1, math.ceil(1.0 / (2.0 * self.eps)))
+        self._since_compress = 0
+
+    def update(self, value) -> None:
+        reject_nan(value)
+        self._n += 1
+        i = bisect.bisect_right(self._values, value)
+        if i == 0 or i == len(self._values):
+            delta = 0  # new minimum or maximum: rank known exactly
+        else:
+            delta = max(0, self._budget() - 1)
+        self._values.insert(i, value)
+        self._gs.insert(i, 1)
+        self._deltas.insert(i, delta)
+        self._since_compress += 1
+        if self._since_compress >= self._compress_every:
+            self._compress()
+            self._since_compress = 0
+
+    def _compress(self) -> None:
+        """One right-to-left banded merge pass over the tuple list."""
+        if len(self._values) < 3:
+            return
+        p = self._budget()
+        values, gs, deltas = self._values, self._gs, self._deltas
+        # Never merge into or past the last tuple's successor slot: the
+        # maximum tuple (index len-1) must survive; candidates run from
+        # len-2 down to 1 (the minimum tuple at 0 is also kept exact).
+        i = len(values) - 2
+        while i >= 1:
+            if (
+                band(deltas[i], p) <= band(deltas[i + 1], p)
+                and gs[i] + gs[i + 1] + deltas[i + 1] <= p
+            ):
+                gs[i + 1] += gs[i]
+                del values[i], gs[i], deltas[i]
+            i -= 1
+
+    def tuple_count(self) -> int:
+        """Number of stored tuples |L|."""
+        return len(self._values)

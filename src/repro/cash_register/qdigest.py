@@ -1,0 +1,205 @@
+"""FastQDigest — the q-digest of Shrivastava et al. [26].
+
+A q-digest summarizes a multiset over the fixed universe ``[0, u)`` (``u``
+a power of two) by counts attached to nodes of the complete binary tree
+whose leaves are the universe elements.  The *digest property* keeps the
+structure small: any non-root node ``v`` whose count, plus its sibling's,
+plus its parent's, totals at most ``floor(n / k)`` is folded into the
+parent.  With ``k = ceil(log2(u) / eps)`` the rank error of any query is
+at most ``log2(u) * n / k <= eps * n``, and at most ``O(k)`` nodes
+survive compression — the ``O((1/eps) log u)`` bound of Table 1.
+
+The "Fast" engineering from the paper: nodes live in a hash map keyed by
+their heap index (root = 1, children ``2i``/``2i + 1``, leaf for value
+``x`` = ``u + x``); updates drop a count on the leaf in O(1); COMPRESS
+runs bottom-up over the map only when the map outgrows a multiple of
+``k``, so its linear cost amortizes.
+
+q-digest is deterministic and *mergeable* (it is the only deterministic
+mergeable quantile summary [1]): merging adds the count maps and
+recompresses.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import defaultdict
+from itertools import accumulate as _accumulate
+from typing import Dict, List, Tuple
+
+from repro.core.base import (
+    MergeableSketch,
+    QuantileSketch,
+    validate_eps,
+    validate_phi,
+    validate_universe_log2,
+)
+from repro.core.errors import MergeError, UniverseOverflowError
+from repro.core.registry import register
+
+
+@register("qdigest")
+class QDigest(QuantileSketch, MergeableSketch):
+    """q-digest over the universe ``[0, 2**universe_log2)``.
+
+    Args:
+        eps: target rank error.
+        universe_log2: log2 of the universe size (elements are ints in
+            ``[0, 2**universe_log2)``).
+        compress_factor: COMPRESS triggers when the node map exceeds
+            ``compress_factor * k`` entries (engineering knob; larger
+            trades space for speed).
+    """
+
+    name = "FastQDigest"
+    deterministic = True
+    comparison_based = False
+
+    def __init__(
+        self,
+        eps: float,
+        universe_log2: int,
+        compress_factor: float = 6.0,
+    ) -> None:
+        self.eps = validate_eps(eps)
+        self.universe_log2 = validate_universe_log2(universe_log2)
+        if compress_factor < 1.0:
+            raise ValueError(
+                f"compress_factor must be >= 1, got {compress_factor!r}"
+            )
+        self.universe = 1 << universe_log2
+        self.k = max(1, math.ceil(universe_log2 / self.eps))
+        self._compress_at = max(64, int(compress_factor * self.k))
+        self._counts: Dict[int, int] = defaultdict(int)
+        self._n = 0
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def update(self, value) -> None:
+        value = int(value)
+        if not (0 <= value < self.universe):
+            raise UniverseOverflowError(
+                f"value {value!r} outside universe [0, {self.universe})"
+            )
+        self._counts[self.universe + value] += 1
+        self._n += 1
+        if len(self._counts) > self._compress_at:
+            self.compress()
+
+    def extend(self, values) -> None:
+        counts = self._counts
+        u = self.universe
+        for value in values:
+            value = int(value)
+            if not (0 <= value < u):
+                raise UniverseOverflowError(
+                    f"value {value!r} outside universe [0, {u})"
+                )
+            counts[u + value] += 1
+            self._n += 1
+            if len(counts) > self._compress_at:
+                self.compress()
+
+    def compress(self) -> None:
+        """Restore the digest property bottom-up (fold light siblings)."""
+        threshold = self._n // self.k
+        if threshold == 0:
+            return
+        counts = self._counts
+        # Group nodes by depth so we can sweep bottom-up.
+        by_depth: Dict[int, set] = defaultdict(set)
+        for node in counts:
+            by_depth[node.bit_length() - 1].add(node)
+        # Sweep every depth from the leaves up (folding creates parents at
+        # depths that may have started empty, so iterate them all).
+        for depth in range(self.universe_log2, 0, -1):
+            for node in list(by_depth[depth]):
+                count = counts.get(node)
+                if count is None:
+                    continue  # already folded via its sibling
+                sibling = node ^ 1
+                parent = node >> 1
+                combined = (
+                    count + counts.get(sibling, 0) + counts.get(parent, 0)
+                )
+                if combined <= threshold:
+                    counts.pop(node, None)
+                    counts.pop(sibling, None)
+                    if combined:
+                        counts[parent] = combined
+                        by_depth[depth - 1].add(parent)
+
+    # ------------------------------------------------------------------
+    # query path
+    # ------------------------------------------------------------------
+
+    def _node_interval(self, node: int) -> Tuple[int, int]:
+        """The value interval ``[lo, hi]`` covered by heap node ``node``."""
+        depth = node.bit_length() - 1
+        span_log = self.universe_log2 - depth
+        lo = (node - (1 << depth)) << span_log
+        return lo, lo + (1 << span_log) - 1
+
+    def _postorder_nodes(self) -> List[Tuple[int, int, int, int]]:
+        """Nodes as ``(hi, span, lo, count)`` sorted in the q-digest query
+        order: increasing right endpoint, smaller intervals first."""
+        out = []
+        for node, count in self._counts.items():
+            lo, hi = self._node_interval(node)
+            out.append((hi, hi - lo, lo, count))
+        out.sort()
+        return out
+
+    def query(self, phi: float):
+        return self.quantiles([phi])[0]
+
+    def quantiles(self, phis) -> list:
+        """Batch quantile extraction: one postorder sweep answers every
+        ``phi`` (the sweep dominates, so batching is much faster)."""
+        for phi in phis:
+            validate_phi(phi)
+        self._require_nonempty()
+        nodes = self._postorder_nodes()
+        his = [node[0] for node in nodes]
+        cum = list(_accumulate(node[3] for node in nodes))
+        out = []
+        for phi in phis:
+            target = max(1, math.ceil(phi * self._n))
+            idx = bisect.bisect_left(cum, target)
+            out.append(his[min(idx, len(his) - 1)])
+        return out
+
+    def rank(self, value) -> float:
+        """Estimated rank: full counts of nodes entirely below ``value``
+        plus half the counts of straddling nodes."""
+        value = int(value)
+        total = 0.0
+        for node, count in self._counts.items():
+            lo, hi = self._node_interval(node)
+            if hi < value:
+                total += count
+            elif lo < value <= hi:
+                total += count / 2.0
+        return total
+
+    def merge(self, other: "QDigest") -> None:
+        """Fold another q-digest over the same universe into this one."""
+        if not isinstance(other, QDigest):
+            raise MergeError(f"cannot merge QDigest with {type(other)!r}")
+        if other.universe_log2 != self.universe_log2:
+            raise MergeError("cannot merge q-digests over different universes")
+        for node, count in other._counts.items():
+            self._counts[node] += count
+        self._n += other._n
+        self.compress()
+
+    def node_count(self) -> int:
+        """Number of live nodes in the digest."""
+        return len(self._counts)
+
+    def size_words(self) -> int:
+        """Two words per stored node (id, count)."""
+        return 2 * len(self._counts)

@@ -1,0 +1,315 @@
+"""Random — the paper's simplified randomized quantile sketch (Section 2.2).
+
+The algorithm keeps ``b = h + 1`` buffers of ``s`` elements each, where
+``h = ceil(log2(1/eps))`` and ``s = ceil((1/eps) * sqrt(log2(1/eps)))`` —
+total space ``O((1/eps) log^1.5 (1/eps))``, the paper's new bound.
+
+* Each buffer carries a *level* ``l``; its elements each stand for
+  ``2**l`` stream elements.
+* An empty buffer is filled at the current active level
+  ``l = max(0, ceil(log2(n / (s * 2**(h-1)))))``: for every block of
+  ``2**l`` consecutive stream elements one uniform representative is kept.
+* When every buffer is full, the two buffers at the lowest level are
+  merged: their elements are unioned in sorted order and either the odd
+  or the even positions are kept, each with probability 1/2 — a buffer at
+  level ``l + 1``.
+* If the two lowest buffers sit at different levels, the lower one is
+  first promoted by halving (the same odd/even coin) until levels match —
+  the standard fix for the off-schedule case, which only arises around
+  level transitions and after merges of summaries.
+
+The rank of ``v`` is estimated as ``sum_X 2**l(X) * |{x in X : x < v}|``;
+a quantile query returns the stored element whose estimated rank is
+closest to ``phi * n``.
+
+Random is a *mergeable* summary (it is inspired by Agarwal et al. [1]):
+``merge`` concatenates buffer sets and re-merges down to ``b`` buffers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import (
+    MergeableSketch,
+    to_element_array,
+    QuantileSketch,
+    reject_nan,
+    validate_eps,
+    validate_phi,
+)
+from repro.core.errors import MergeError
+from repro.core.registry import register
+from repro.sketches.hashing import make_rng
+
+
+class _Buffer:
+    """A sealed, sorted buffer of samples at a given level."""
+
+    __slots__ = ("level", "items")
+
+    def __init__(self, level: int, items: np.ndarray) -> None:
+        self.level = level
+        self.items = items  # sorted 1-D array
+
+    @property
+    def weight(self) -> int:
+        return 1 << self.level
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def _halve(items: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Keep the odd or the even positions of a sorted array (coin flip)."""
+    start = int(rng.integers(0, 2))
+    return items[start::2]
+
+
+def _merge_buffers(
+    a: _Buffer, b: _Buffer, rng: np.random.Generator
+) -> _Buffer:
+    """Merge two same-level buffers into one at the next level."""
+    if a.level != b.level:
+        raise MergeError("internal: merging buffers at different levels")
+    combined = np.sort(np.concatenate([a.items, b.items]), kind="mergesort")
+    return _Buffer(a.level + 1, _halve(combined, rng))
+
+
+@register("random")
+class RandomSketch(QuantileSketch, MergeableSketch):
+    """The paper's ``Random`` algorithm.
+
+    Args:
+        eps: target rank error (holds for all quantiles with constant
+            probability).
+        seed: seed for the sampling/merging randomness.
+        s: override the buffer size (ablation knob; default from eps).
+        b: override the buffer count (ablation knob; default ``h + 1``).
+        randomized_merge: if False, always keep odd positions when merging
+            (ablation of the random-offset design choice).
+    """
+
+    name = "Random"
+    deterministic = False
+    comparison_based = True
+
+    def __init__(
+        self,
+        eps: float,
+        seed: Optional[int] = None,
+        s: Optional[int] = None,
+        b: Optional[int] = None,
+        randomized_merge: bool = True,
+    ) -> None:
+        self.eps = validate_eps(eps)
+        self._rng = make_rng(seed)
+        h = max(1, math.ceil(math.log2(1.0 / self.eps)))
+        self.h = h
+        self.s = s if s is not None else max(
+            2, math.ceil((1.0 / self.eps) * math.sqrt(h))
+        )
+        self.b = b if b is not None else h + 1
+        self.randomized_merge = randomized_merge
+        self._buffers: List[_Buffer] = []
+        self._n = 0
+        # Filling state: samples committed so far, plus the current block.
+        self._fill_level = 0
+        self._fill_items: List = []
+        self._block_size = 1
+        self._block_seen = 0
+        self._block_pick = 0
+        self._block_candidate = None
+
+    # ------------------------------------------------------------------
+    # update path
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def _active_level(self) -> int:
+        """Level assigned to the next buffer that starts filling."""
+        if self._n <= 0:
+            return 0
+        ratio = self._n / (self.s * (1 << (self.h - 1)))
+        return max(0, math.ceil(math.log2(ratio)) if ratio > 1 else 0)
+
+    def _start_block(self) -> None:
+        self._block_seen = 0
+        self._block_candidate = None
+        self._block_pick = (
+            int(self._rng.integers(0, self._block_size))
+            if self._block_size > 1
+            else 0
+        )
+
+    def update(self, value) -> None:
+        reject_nan(value)
+        self._n += 1
+        if self._block_seen == self._block_pick:
+            self._block_candidate = value
+        self._block_seen += 1
+        if self._block_seen >= self._block_size:
+            self._fill_items.append(self._block_candidate)
+            if len(self._fill_items) >= self.s:
+                self._seal_fill_buffer()
+            self._start_block()
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.update(value)
+
+    def _seal_fill_buffer(self) -> None:
+        items = np.sort(to_element_array(self._fill_items))
+        self._buffers.append(_Buffer(self._fill_level, items))
+        self._fill_items = []
+        if len(self._buffers) >= self.b:
+            self._collapse_once()
+        # The next buffer fills at the (possibly advanced) active level.
+        self._fill_level = self._active_level()
+        self._block_size = 1 << self._fill_level
+        self._start_block()
+
+    def _coin_rng(self) -> np.random.Generator:
+        """RNG for merge coins; a fixed generator when derandomized."""
+        if self.randomized_merge:
+            return self._rng
+        return _ALWAYS_ODD
+
+    def _collapse_once(self) -> None:
+        """Merge two buffers at the lowest level containing at least two
+        (the paper's rule).  When every level holds a single buffer — a
+        transient "full binary counter" state the paper leaves undefined —
+        the lowest buffer is promoted by halving until it matches the
+        second-lowest, then merged."""
+        self._buffers.sort(key=lambda buf: buf.level)
+        pair_at = None
+        for i in range(len(self._buffers) - 1):
+            if self._buffers[i].level == self._buffers[i + 1].level:
+                pair_at = i
+                break
+        rng = self._coin_rng()
+        if pair_at is not None:
+            low = self._buffers.pop(pair_at + 1)
+            second = self._buffers.pop(pair_at)
+        else:
+            low = self._buffers.pop(0)
+            second = self._buffers.pop(0)
+            while low.level < second.level:
+                low = _Buffer(low.level + 1, _halve(low.items, rng))
+        self._buffers.append(_merge_buffers(low, second, rng))
+
+    # ------------------------------------------------------------------
+    # query path
+    # ------------------------------------------------------------------
+
+    def _snapshot(self) -> List[Tuple[np.ndarray, int]]:
+        """All live (sorted_items, weight) pairs, including the partial
+        filling buffer and the current in-flight block candidate."""
+        parts = [(buf.items, buf.weight) for buf in self._buffers if len(buf)]
+        pending = list(self._fill_items)
+        if self._block_candidate is not None and self._block_seen > 0:
+            pending.append(self._block_candidate)
+        if pending:
+            parts.append(
+                (np.sort(to_element_array(pending)), 1 << self._fill_level)
+            )
+        return parts
+
+    def rank(self, value) -> float:
+        """Estimated number of stream elements smaller than ``value``."""
+        total = 0.0
+        for items, weight in self._snapshot():
+            total += weight * float(np.searchsorted(items, value, "left"))
+        return total
+
+    def query(self, phi: float):
+        validate_phi(phi)
+        self._require_nonempty()
+        parts = self._snapshot()
+        values = np.concatenate([items for items, _ in parts])
+        weights = np.concatenate(
+            [np.full(len(items), w, dtype=np.float64) for items, w in parts]
+        )
+        order = np.argsort(values, kind="mergesort")
+        values = values[order]
+        weights = weights[order]
+        # Estimated rank of the k-th stored element = cumulative weight of
+        # the elements before it; pick the element closest to phi * n.
+        cum = np.concatenate([[0.0], np.cumsum(weights)[:-1]])
+        idx = int(np.argmin(np.abs(cum - phi * self._n)))
+        return values[idx]
+
+    def quantiles(self, phis) -> list:
+        parts = self._snapshot()
+        if not parts:
+            self._require_nonempty()
+        values = np.concatenate([items for items, _ in parts])
+        weights = np.concatenate(
+            [np.full(len(items), w, dtype=np.float64) for items, w in parts]
+        )
+        order = np.argsort(values, kind="mergesort")
+        values = values[order]
+        cum = np.concatenate([[0.0], np.cumsum(weights[order])[:-1]])
+        out = []
+        for phi in phis:
+            validate_phi(phi)
+            idx = int(np.argmin(np.abs(cum - phi * self._n)))
+            out.append(values[idx])
+        return out
+
+    # ------------------------------------------------------------------
+    # merge (mergeable-summary model)
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "RandomSketch") -> None:
+        """Fold another Random summary (same eps) into this one."""
+        if not isinstance(other, RandomSketch):
+            raise MergeError(f"cannot merge RandomSketch with {type(other)!r}")
+        if (self.s, self.b) != (other.s, other.b):
+            raise MergeError("cannot merge Random summaries with different "
+                             "parameters")
+        # Seal both partial fill buffers at their levels (short buffers
+        # merge fine: the odd/even rule never requires equal sizes).
+        for sketch in (self, other):
+            pending = list(sketch._fill_items)
+            if sketch._block_candidate is not None and sketch._block_seen > 0:
+                pending.append(sketch._block_candidate)
+            if pending:
+                sketch._buffers.append(
+                    _Buffer(
+                        sketch._fill_level,
+                        np.sort(to_element_array(pending)),
+                    )
+                )
+            sketch._fill_items = []
+            sketch._block_candidate = None
+            sketch._block_seen = 0
+        self._buffers.extend(other._buffers)
+        other._buffers = []
+        self._n += other._n
+        while len(self._buffers) > self.b:
+            self._collapse_once()
+        self._fill_level = self._active_level()
+        self._block_size = 1 << self._fill_level
+        self._start_block()
+
+    def size_words(self) -> int:
+        """Pre-allocated space: ``b`` buffers of ``s`` plus the fill buffer
+        (the paper: "the buffers are pre-allocated according to eps")."""
+        return (self.b + 1) * self.s
+
+
+class _AlwaysOdd:
+    """Degenerate RNG used when ``randomized_merge=False``: always 'odd'."""
+
+    def integers(self, low: int, high: int) -> int:
+        return low
+
+
+_ALWAYS_ODD = _AlwaysOdd()

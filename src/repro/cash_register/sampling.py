@@ -1,0 +1,100 @@
+"""Reservoir-sampling baseline for quantile estimation.
+
+The classic result (Vapnik–Chervonenkis [28], reproved in [21]): a uniform
+random sample of size ``O((1/eps**2) * log(1/eps))`` preserves every
+quantile to within ``eps * n`` with constant probability.  The paper uses
+this as a conceptual baseline — the quadratic dependence on ``1/eps``
+makes it uncompetitive for small ``eps``, which every sketch in this
+library is designed to beat; we include it so examples and benches can
+demonstrate exactly that.
+
+Implemented with Vitter's Algorithm R; unlike the sample-then-summarize
+scheme in [21], a reservoir needs no advance knowledge of ``n``, so this
+is a true streaming algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.base import QuantileSketch, reject_nan, validate_eps, validate_phi
+from repro.core.registry import register
+from repro.sketches.hashing import make_rng
+
+
+@register("reservoir")
+class ReservoirSampling(QuantileSketch):
+    """Uniform reservoir sample answering quantile queries.
+
+    Args:
+        eps: target rank error; sets the default sample size
+            ``ceil((1/eps**2) * log2(2/eps))``.
+        seed: randomness for the reservoir.
+        capacity: override the sample size directly (the default is
+            quadratic in ``1/eps`` and becomes impractical below
+            ``eps ~ 1e-3``; pass a cap for exploratory use).
+    """
+
+    name = "Reservoir"
+    deterministic = False
+    comparison_based = True
+
+    def __init__(
+        self,
+        eps: float,
+        seed: Optional[int] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        self.eps = validate_eps(eps)
+        self._rng = make_rng(seed)
+        if capacity is None:
+            capacity = math.ceil(
+                (1.0 / self.eps**2) * math.log2(2.0 / self.eps)
+            )
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        self._sample: List = []
+        self._sorted_cache: Optional[np.ndarray] = None
+        self._n = 0
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def update(self, value) -> None:
+        reject_nan(value)
+        self._n += 1
+        self._sorted_cache = None
+        if len(self._sample) < self.capacity:
+            self._sample.append(value)
+            return
+        j = int(self._rng.integers(0, self._n))
+        if j < self.capacity:
+            self._sample[j] = value
+
+    def _sorted(self) -> np.ndarray:
+        if self._sorted_cache is None:
+            self._sorted_cache = np.sort(np.asarray(self._sample))
+        return self._sorted_cache
+
+    def rank(self, value) -> float:
+        """Estimated rank: sample rank scaled up to the stream."""
+        if not self._sample:
+            return 0.0
+        sample_rank = float(np.searchsorted(self._sorted(), value, "left"))
+        return sample_rank * self._n / len(self._sample)
+
+    def query(self, phi: float):
+        validate_phi(phi)
+        self._require_nonempty()
+        data = self._sorted()
+        idx = min(len(data) - 1, int(phi * len(data)))
+        return data[idx]
+
+    def size_words(self) -> int:
+        """One word per reservoir slot (pre-allocated)."""
+        return self.capacity

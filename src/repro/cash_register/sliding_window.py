@@ -1,0 +1,196 @@
+"""Quantiles over sliding windows — the extension of Arasu and Manku
+cited by the paper as [3].
+
+Answers quantile queries over the **last W elements** of the stream in
+space sublinear in W.  The structure here is the practical chunked
+coreset design (a simplification of [3]'s dyadic levels):
+
+* the stream is cut into chunks of ``c = eps * W / 2`` consecutive
+  elements;
+* a finished chunk is compressed into an *equi-spaced coreset*: every
+  ``ceil(eps * c / 2)``-th element of its sorted contents, each carrying
+  that many elements' weight — a static summary with rank error at most
+  ``(eps / 2) * c`` inside the chunk;
+* only chunks overlapping the window are retained (at most
+  ``2 / eps + 1`` of them), plus the raw in-progress buffer.
+
+A rank query sums: exact ranks from the raw buffer, weighted coreset
+ranks from fully-live chunks, and the straddling oldest chunk scaled by
+its overlap fraction.  Total rank error is at most ``eps * W``: the
+per-chunk coreset errors sum to ``(eps / 2) * W`` and the straddling
+chunk's fractional attribution adds at most one chunk, ``(eps / 2) * W``.
+
+Space: ``O(1 / eps**2)`` samples plus the ``eps * W / 2`` element raw
+buffer — the classic window/accuracy tradeoff of [3] up to log factors.
+The structure only beats storing the raw window when ``W >> 4 / eps**2``;
+below that regime just keep a deque.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import (
+    QuantileSketch,
+    reject_nan,
+    to_element_array,
+    validate_eps,
+    validate_phi,
+)
+from repro.core.errors import EmptySummaryError, InvalidParameterError
+from repro.core.registry import register
+
+
+class _Chunk:
+    """A compressed coreset of one stream chunk."""
+
+    __slots__ = ("start", "end", "samples", "weight")
+
+    def __init__(
+        self, start: int, end: int, samples: np.ndarray, weight: float
+    ) -> None:
+        self.start = start  # position of the chunk's first element
+        self.end = end  # one past its last element
+        self.samples = samples  # sorted representatives
+        self.weight = weight  # elements represented per sample
+
+
+@register("sliding_window")
+class SlidingWindowQuantiles(QuantileSketch):
+    """eps-approximate quantiles over the last ``window`` elements.
+
+    Args:
+        eps: rank error as a fraction of the window size.
+        window: number of most recent elements a query covers (``W``).
+    """
+
+    name = "SlidingWindow"
+    deterministic = True
+    comparison_based = True
+
+    def __init__(self, eps: float, window: int = 65536) -> None:
+        self.eps = validate_eps(eps)
+        if window < 4:
+            raise InvalidParameterError(
+                f"window must be >= 4, got {window!r}"
+            )
+        self.window = int(window)
+        self._chunk_size = max(1, math.floor(self.eps * self.window / 2.0))
+        self._stride = max(1, math.ceil(self.eps * self._chunk_size / 2.0))
+        self._chunks: List[_Chunk] = []
+        self._buffer: List = []
+        self._count = 0  # total stream length so far
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of elements the next query covers (≤ window)."""
+        return min(self._count, self.window)
+
+    @property
+    def stream_length(self) -> int:
+        """Total elements ever seen."""
+        return self._count
+
+    def update(self, value) -> None:
+        reject_nan(value)
+        self._buffer.append(value)
+        self._count += 1
+        if len(self._buffer) >= self._chunk_size:
+            self._seal_chunk()
+
+    def _seal_chunk(self) -> None:
+        data = np.sort(to_element_array(self._buffer))
+        end = self._count
+        start = end - len(data)
+        # Equi-spaced coreset: sample the stride/2-th, (3/2)stride-th, ...
+        # element so each sample sits mid-run of the elements it stands
+        # for (halves the worst-case rank offset).
+        idx = np.arange(self._stride // 2, len(data), self._stride)
+        if len(idx) == 0:
+            idx = np.asarray([len(data) // 2])
+        samples = data[idx]
+        weight = len(data) / len(samples)
+        self._chunks.append(_Chunk(start, end, samples, weight))
+        self._buffer = []
+        self._expire()
+
+    def _expire(self) -> None:
+        horizon = self._count - self.window
+        self._chunks = [c for c in self._chunks if c.end > horizon]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def _live_parts(self) -> List[Tuple[np.ndarray, float]]:
+        """(sorted_values, per-sample weight) pairs covering the window."""
+        horizon = self._count - self.window
+        parts: List[Tuple[np.ndarray, float]] = []
+        for chunk in self._chunks:
+            if chunk.end <= horizon:
+                continue
+            overlap = (chunk.end - max(chunk.start, horizon)) / (
+                chunk.end - chunk.start
+            )
+            parts.append((chunk.samples, chunk.weight * overlap))
+        if self._buffer:
+            parts.append((np.sort(to_element_array(self._buffer)), 1.0))
+        return parts
+
+    def rank(self, value) -> float:
+        """Estimated number of in-window elements smaller than ``value``."""
+        total = 0.0
+        for samples, weight in self._live_parts():
+            total += weight * float(np.searchsorted(samples, value, "left"))
+        return total
+
+    def query(self, phi: float):
+        """Approximate ``phi``-quantile of the last ``window`` elements."""
+        validate_phi(phi)
+        self._require_nonempty()
+        parts = self._live_parts()
+        values = np.concatenate([samples for samples, _ in parts])
+        weights = np.concatenate(
+            [np.full(len(s), w, dtype=np.float64) for s, w in parts]
+        )
+        order = np.argsort(values, kind="mergesort")
+        values = values[order]
+        cum = np.concatenate([[0.0], np.cumsum(weights[order])[:-1]])
+        target = phi * self.n
+        return values[int(np.argmin(np.abs(cum - target)))]
+
+    def quantiles(self, phis) -> list:
+        parts = self._live_parts()
+        if not parts:
+            self._require_nonempty()
+        values = np.concatenate([samples for samples, _ in parts])
+        weights = np.concatenate(
+            [np.full(len(s), w, dtype=np.float64) for s, w in parts]
+        )
+        order = np.argsort(values, kind="mergesort")
+        values = values[order]
+        cum = np.concatenate([[0.0], np.cumsum(weights[order])[:-1]])
+        out = []
+        for phi in phis:
+            validate_phi(phi)
+            target = phi * self.n
+            out.append(values[int(np.argmin(np.abs(cum - target)))])
+        return out
+
+    def size_words(self) -> int:
+        """Samples plus chunk bookkeeping plus the raw buffer capacity."""
+        sample_words = sum(len(c.samples) + 4 for c in self._chunks)
+        return sample_words + self._chunk_size
+
+    def _require_nonempty(self) -> None:
+        if self._count <= 0:
+            raise EmptySummaryError(
+                "SlidingWindow: cannot query an empty summary"
+            )

@@ -1,0 +1,136 @@
+"""Command-line interface: streaming quantiles over a file or stdin.
+
+Usage examples::
+
+    # median and tail quantiles of a column of numbers
+    python -m repro --eps 0.001 --phi 0.5,0.99 < values.txt
+
+    # deterministic guarantee, explicit algorithm
+    python -m repro -a gk_array --eps 0.0001 --phi 0.5 values.txt
+
+    # integer data over a fixed universe, turnstile algorithm
+    python -m repro -a dcs --universe-log2 32 --eps 0.01 --phi 0.9 ints.txt
+
+Input is one number per line (blank lines skipped).  Values are parsed
+as floats unless the chosen algorithm needs a fixed universe, in which
+case they must be non-negative integers below ``2**universe_log2``.
+The report shows each requested quantile plus the summary's memory
+footprint and throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Iterable, List, Optional
+
+from repro.core.errors import ReproError
+from repro.core.registry import algorithms
+from repro.evaluation.harness import build_sketch
+
+
+def _parse_phis(text: str) -> List[float]:
+    try:
+        phis = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad phi list {text!r}") from exc
+    if not phis or not all(0.0 <= phi <= 1.0 for phi in phis):
+        raise argparse.ArgumentTypeError(
+            f"phis must be in [0, 1], got {text!r}"
+        )
+    return phis
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Approximate quantiles over a stream of numbers.",
+    )
+    parser.add_argument(
+        "input", nargs="?", default="-",
+        help="input file of one number per line (default: stdin)",
+    )
+    parser.add_argument(
+        "-a", "--algorithm", default="gk_array", choices=algorithms(),
+        help="summary algorithm (default: gk_array)",
+    )
+    parser.add_argument(
+        "--eps", type=float, default=1e-3,
+        help="rank error budget as a fraction of n (default: 1e-3)",
+    )
+    parser.add_argument(
+        "--phi", type=_parse_phis, default=[0.5],
+        help="comma-separated quantile fractions (default: 0.5)",
+    )
+    parser.add_argument(
+        "--universe-log2", type=int, default=None,
+        help="log2 of the universe (required by fixed-universe "
+             "algorithms: qdigest, dcm, dcs, post, rss)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="seed for randomized algorithms",
+    )
+    parser.add_argument(
+        "--int", dest="as_int", action="store_true",
+        help="parse values as integers",
+    )
+    return parser
+
+
+def _read_values(source: Iterable[str], as_int: bool) -> Iterable:
+    for lineno, line in enumerate(source, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield int(line) if as_int else float(line)
+        except ValueError:
+            raise ReproError(
+                f"line {lineno}: cannot parse {line!r} as a number"
+            ) from None
+
+
+def run(argv: Optional[List[str]] = None, stdin=None, stdout=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    args = make_parser().parse_args(argv)
+
+    needs_int = args.universe_log2 is not None or args.algorithm in (
+        "qdigest", "dcm", "dcs", "post", "rss"
+    )
+    try:
+        sketch = build_sketch(
+            args.algorithm, args.eps,
+            universe_log2=args.universe_log2, seed=args.seed,
+        )
+        if args.input == "-":
+            lines: Iterable[str] = stdin
+        else:
+            lines = open(args.input)
+        start = time.perf_counter()
+        sketch.extend(_read_values(lines, args.as_int or needs_int))
+        elapsed = time.perf_counter() - start
+        if args.input != "-":
+            lines.close()
+        if sketch.n == 0:
+            print("no input values", file=stdout)
+            return 1
+        for phi, answer in zip(args.phi, sketch.quantiles(args.phi)):
+            print(f"phi={phi:g}\t{answer}", file=stdout)
+        rate = sketch.n / elapsed / 1e3 if elapsed > 0 else float("inf")
+        print(
+            f"# n={sketch.n} algorithm={sketch.name} eps={args.eps:g} "
+            f"memory={sketch.size_bytes()}B rate={rate:.0f}k/s",
+            file=stdout,
+        )
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=stdout)
+        return 2
+
+
+def main() -> None:  # pragma: no cover - thin wrapper
+    sys.exit(run())

@@ -1,0 +1,46 @@
+"""Core protocols, exceptions, registry, and the exact baseline."""
+
+from repro.core.base import (
+    MergeableSketch,
+    QuantileSketch,
+    TurnstileSketch,
+    WORD_BYTES,
+    validate_eps,
+    validate_phi,
+    validate_universe_log2,
+)
+from repro.core.errors import (
+    EmptySummaryError,
+    InvalidParameterError,
+    MergeError,
+    NegativeFrequencyError,
+    ReproError,
+    UniverseOverflowError,
+)
+from repro.core.exact import ExactQuantiles
+from repro.core.registry import algorithms, get_algorithm, make_sketch, register
+from repro.core.selection import MunroPaterson, exact_median_passes, select
+
+__all__ = [
+    "EmptySummaryError",
+    "ExactQuantiles",
+    "InvalidParameterError",
+    "MergeError",
+    "MergeableSketch",
+    "MunroPaterson",
+    "NegativeFrequencyError",
+    "QuantileSketch",
+    "ReproError",
+    "TurnstileSketch",
+    "UniverseOverflowError",
+    "WORD_BYTES",
+    "algorithms",
+    "get_algorithm",
+    "make_sketch",
+    "register",
+    "select",
+    "exact_median_passes",
+    "validate_eps",
+    "validate_phi",
+    "validate_universe_log2",
+]

@@ -1,0 +1,240 @@
+"""Abstract interfaces shared by every quantile summary in the library.
+
+The paper (Section 1.1) classifies streaming quantile algorithms along
+three axes: cash-register vs. turnstile, comparison-based vs. fixed
+universe, and deterministic vs. randomized.  These interfaces encode the
+first two axes structurally:
+
+* :class:`QuantileSketch` is the cash-register interface: insertions only.
+* :class:`TurnstileSketch` extends it with deletions.
+
+Both expose the same query surface — ``rank``, ``query`` (one quantile),
+``quantiles`` (many) — together with the space accounting used throughout
+the paper's evaluation (4-byte words; see :mod:`repro.evaluation.space`).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Iterable, List, Sequence
+
+from repro.core.errors import EmptySummaryError, InvalidParameterError
+
+#: Size, in bytes, of one machine word under the paper's space accounting
+#: ("every element from the stream, counter, or pointer consumes 4 bytes").
+WORD_BYTES = 4
+
+
+def validate_eps(eps: float) -> float:
+    """Check that ``eps`` is a usable error parameter and return it.
+
+    Raises:
+        InvalidParameterError: if ``eps`` is not in the open interval (0, 1).
+    """
+    if not (0.0 < eps < 1.0):
+        raise InvalidParameterError(f"eps must be in (0, 1), got {eps!r}")
+    return float(eps)
+
+
+def validate_phi(phi: float) -> float:
+    """Check that ``phi`` is a usable quantile fraction and return it.
+
+    Raises:
+        InvalidParameterError: if ``phi`` is not in the closed interval
+            [0, 1].  The endpoints are allowed and map to the minimum and
+            maximum of the data.
+    """
+    if not (0.0 <= phi <= 1.0):
+        raise InvalidParameterError(f"phi must be in [0, 1], got {phi!r}")
+    return float(phi)
+
+
+def to_element_array(items):
+    """Build a 1-D numpy array of stream elements, whatever their type.
+
+    Scalars produce ordinary numeric arrays (fast path).  Sequence-like
+    elements (e.g. tuples as composite sort keys) would be coerced into
+    a 2-D array by ``np.asarray``, so they fall back to a 1-D object
+    array — numpy sorts and searches those with Python comparisons,
+    preserving the comparison-model contract.
+    """
+    import numpy as np
+
+    arr = np.asarray(items)
+    if arr.ndim != 1:
+        arr = np.empty(len(items), dtype=object)
+        arr[:] = items
+    return arr
+
+
+def reject_nan(value):
+    """Reject NaN inputs to comparison-based summaries and return value.
+
+    NaN compares false against everything, which silently corrupts any
+    order-based structure (tuples land in arbitrary positions and the
+    guarantee quietly dies).  ``x != x`` is the cheapest NaN test and is
+    False for every well-behaved type.
+    """
+    if value != value:
+        raise InvalidParameterError(
+            "NaN cannot be ranked; filter NaNs before summarizing"
+        )
+    return value
+
+
+def validate_universe_log2(universe_log2: int) -> int:
+    """Check that ``universe_log2`` describes a usable fixed universe.
+
+    The fixed-universe algorithms operate on integers in ``[0, 2**b)``.
+    ``b`` must be a positive integer; we cap it at 64 since elements are
+    treated as machine integers.
+    """
+    if not isinstance(universe_log2, int) or isinstance(universe_log2, bool):
+        raise InvalidParameterError(
+            f"universe_log2 must be an int, got {universe_log2!r}"
+        )
+    if not (1 <= universe_log2 <= 64):
+        raise InvalidParameterError(
+            f"universe_log2 must be in [1, 64], got {universe_log2!r}"
+        )
+    return universe_log2
+
+
+class QuantileSketch(abc.ABC):
+    """A one-pass summary of a stream supporting approximate quantiles.
+
+    Subclasses promise that, after any prefix of the stream, ``query(phi)``
+    returns an element whose rank is within ``eps * n`` of ``phi * n``
+    (deterministically, or with the algorithm's stated probability).
+
+    The summary never needs to know the stream length in advance: queries
+    may be interleaved with updates at any point.
+    """
+
+    #: Human-readable algorithm name, e.g. ``"GKArray"``.  Set by subclass.
+    name: str = "abstract"
+
+    #: Whether the error guarantee is deterministic.
+    deterministic: bool = False
+
+    #: Whether the algorithm only compares elements (vs. fixed universe).
+    comparison_based: bool = False
+
+    @property
+    @abc.abstractmethod
+    def n(self) -> int:
+        """Number of elements currently summarized."""
+
+    @abc.abstractmethod
+    def update(self, value) -> None:
+        """Insert one element from the stream."""
+
+    def extend(self, values: Iterable) -> None:
+        """Insert every element of ``values``, in order.
+
+        Subclasses with a batch-friendly structure override this with a
+        faster bulk path; the default simply loops.
+        """
+        for value in values:
+            self.update(value)
+
+    @abc.abstractmethod
+    def rank(self, value) -> float:
+        """Estimate the rank of ``value``: the number of stream elements
+        strictly smaller than ``value``."""
+
+    @abc.abstractmethod
+    def query(self, phi: float):
+        """Return an approximate ``phi``-quantile of the stream so far.
+
+        Raises:
+            EmptySummaryError: if no elements have been inserted.
+            InvalidParameterError: if ``phi`` is outside [0, 1].
+        """
+
+    def quantiles(self, phis: Sequence[float]) -> List:
+        """Return approximate quantiles for every fraction in ``phis``.
+
+        Equivalent to ``[self.query(phi) for phi in phis]`` but subclasses
+        may override it with a single-pass implementation.
+        """
+        return [self.query(phi) for phi in phis]
+
+    def cdf_points(self, count: int) -> List:
+        """Return ``count`` evenly spaced quantiles, a staircase CDF sketch.
+
+        Convenience for plotting and for distribution comparison; returns
+        the ``i / (count + 1)`` quantiles for ``i = 1 .. count``.
+        """
+        if count < 1:
+            raise InvalidParameterError(f"count must be >= 1, got {count!r}")
+        return self.quantiles([i / (count + 1) for i in range(1, count + 1)])
+
+    @abc.abstractmethod
+    def size_words(self) -> int:
+        """Current space usage in 4-byte words, per the paper's accounting."""
+
+    def size_bytes(self) -> int:
+        """Current space usage in bytes (``size_words() * 4``)."""
+        return self.size_words() * WORD_BYTES
+
+    def _require_nonempty(self) -> None:
+        if self.n <= 0:
+            raise EmptySummaryError(
+                f"{self.name}: cannot query an empty summary"
+            )
+
+    def _target_rank(self, phi: float) -> int:
+        """The rank targeted by a ``phi``-quantile query: ``floor(phi * n)``
+        clamped to ``[0, n - 1]``."""
+        validate_phi(phi)
+        self._require_nonempty()
+        return min(self.n - 1, max(0, math.floor(phi * self.n)))
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} n={self.n} words={self.size_words()}>"
+
+
+class TurnstileSketch(QuantileSketch):
+    """A quantile summary that also supports deletions.
+
+    In the turnstile model ``n`` counts the elements *currently remaining*
+    (insertions minus deletions).  Implementations assume the stream is
+    well-formed: no element's multiplicity ever goes negative.  Use
+    :mod:`repro.streams.updates` to generate or validate such streams.
+    """
+
+    comparison_based = False
+
+    @abc.abstractmethod
+    def delete(self, value) -> None:
+        """Remove one previously inserted occurrence of ``value``."""
+
+    def apply(self, updates: Iterable) -> None:
+        """Apply a sequence of ``(value, +1 | -1)`` update pairs."""
+        for value, delta in updates:
+            if delta == 1:
+                self.update(value)
+            elif delta == -1:
+                self.delete(value)
+            else:
+                raise InvalidParameterError(
+                    f"update delta must be +1 or -1, got {delta!r}"
+                )
+
+
+class MergeableSketch(abc.ABC):
+    """Mixin for summaries supporting the mergeable-summary model [1].
+
+    ``merge`` combines another summary *of the same type and parameters*
+    into ``self``; afterwards ``self`` summarizes the concatenation of both
+    streams with an unchanged error guarantee.
+    """
+
+    @abc.abstractmethod
+    def merge(self, other) -> None:
+        """Fold ``other`` into ``self`` (``other`` should be discarded)."""

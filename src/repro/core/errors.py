@@ -1,0 +1,42 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A constructor or method argument is outside its legal range.
+
+    Raised, for example, for ``eps`` outside (0, 1), non-positive universe
+    sizes, or quantile fractions outside (0, 1).
+    """
+
+
+class EmptySummaryError(ReproError, RuntimeError):
+    """A quantile was requested from a summary that has seen no elements."""
+
+
+class UniverseOverflowError(ReproError, ValueError):
+    """An element fell outside the fixed universe ``[0, u)`` of a sketch."""
+
+
+class NegativeFrequencyError(ReproError, ValueError):
+    """A turnstile deletion would drive an element's multiplicity negative.
+
+    The turnstile model (Section 1.1 of the paper) forbids deleting an
+    element that is not currently present.  Sketches cannot detect every
+    violation cheaply, so this is raised only by the strict update-stream
+    helpers in :mod:`repro.streams.updates`.
+    """
+
+
+class MergeError(ReproError, ValueError):
+    """Two summaries are incompatible for merging (different parameters)."""

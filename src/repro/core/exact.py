@@ -1,0 +1,112 @@
+"""Exact (non-streaming) quantile computation.
+
+This is the ground truth every experiment measures against: it stores the
+whole stream and answers rank and quantile queries exactly by sorting.  It
+also supports deletions, so it doubles as the turnstile ground truth.
+
+Ranks of duplicated elements are reported as an interval ``[lo, hi]``
+(``lo`` = number of elements strictly smaller, ``hi`` = number of elements
+smaller-or-equal).  Section 4.1.2 of the paper resolves ambiguity in the
+algorithms' favor by measuring distance to the nearer interval endpoint;
+:mod:`repro.evaluation.metrics` implements that rule on top of this class.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.base import QuantileSketch, validate_phi
+from repro.core.errors import EmptySummaryError, NegativeFrequencyError
+
+
+class ExactQuantiles(QuantileSketch):
+    """Store-everything baseline with exact answers.
+
+    Elements are buffered and sorted lazily: updates are O(1) amortized and
+    the first query after a batch of updates pays one sort.
+    """
+
+    name = "Exact"
+    deterministic = True
+    comparison_based = True
+
+    def __init__(self, values: Iterable = ()) -> None:
+        self._sorted: List = []
+        self._pending: List = []
+        self._deleted: Counter = Counter()
+        self._n = 0
+        self.extend(values)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def update(self, value) -> None:
+        self._pending.append(value)
+        self._n += 1
+
+    def extend(self, values: Iterable) -> None:
+        before = len(self._pending)
+        self._pending.extend(values)
+        self._n += len(self._pending) - before
+
+    def delete(self, value) -> None:
+        """Remove one occurrence of ``value``.
+
+        Raises:
+            NegativeFrequencyError: if ``value`` is not currently present.
+        """
+        self._flush()
+        i = bisect.bisect_left(self._sorted, value)
+        if i >= len(self._sorted) or self._sorted[i] != value:
+            raise NegativeFrequencyError(
+                f"cannot delete {value!r}: not present"
+            )
+        del self._sorted[i]
+        self._n -= 1
+
+    def _flush(self) -> None:
+        if self._pending:
+            self._sorted.extend(self._pending)
+            self._pending.clear()
+            self._sorted.sort()
+
+    def values(self) -> Sequence:
+        """The current multiset, sorted ascending (a view; do not mutate)."""
+        self._flush()
+        return self._sorted
+
+    def rank(self, value) -> int:
+        """Exact rank: the number of elements strictly smaller than
+        ``value``."""
+        self._flush()
+        return bisect.bisect_left(self._sorted, value)
+
+    def rank_interval(self, value) -> Tuple[int, int]:
+        """Exact rank interval ``(lo, hi)`` of ``value``.
+
+        ``lo`` counts elements strictly smaller; ``hi`` counts elements
+        smaller-or-equal.  For an element appearing once, ``hi == lo + 1``;
+        for an absent element, ``hi == lo``.
+        """
+        self._flush()
+        lo = bisect.bisect_left(self._sorted, value)
+        hi = bisect.bisect_right(self._sorted, value)
+        return lo, hi
+
+    def query(self, phi: float):
+        validate_phi(phi)
+        self._flush()
+        if not self._sorted:
+            raise EmptySummaryError("Exact: cannot query an empty summary")
+        target = min(len(self._sorted) - 1, int(phi * len(self._sorted)))
+        return self._sorted[target]
+
+    def quantiles(self, phis: Sequence[float]) -> List:
+        self._flush()
+        return [self.query(phi) for phi in phis]
+
+    def size_words(self) -> int:
+        return len(self._sorted) + len(self._pending)

@@ -1,0 +1,69 @@
+"""Name-based registry of quantile algorithms.
+
+The experiment harness and the examples construct algorithms by name, so
+benchmark configuration stays declarative::
+
+    sk = make_sketch("gk_array", eps=1e-3)
+    sk = make_sketch("dcs", eps=1e-3, universe_log2=32, seed=7)
+
+Registration happens at import time via the :func:`register` decorator on
+each algorithm class.  ``repro/__init__`` imports every algorithm module,
+so the registry is fully populated whenever ``repro`` is imported.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from repro.core.base import QuantileSketch
+from repro.core.errors import InvalidParameterError
+
+_REGISTRY: Dict[str, Type[QuantileSketch]] = {}
+
+
+def register(key: str) -> Callable[[type], type]:
+    """Class decorator: register ``cls`` under ``key`` (lowercase)."""
+    key = key.lower()
+
+    def decorator(cls: type) -> type:
+        if key in _REGISTRY and _REGISTRY[key] is not cls:
+            raise InvalidParameterError(
+                f"algorithm key {key!r} already registered "
+                f"to {_REGISTRY[key].__name__}"
+            )
+        _REGISTRY[key] = cls
+        return cls
+
+    return decorator
+
+
+def make_sketch(key: str, **kwargs) -> QuantileSketch:
+    """Construct a registered algorithm by name.
+
+    Args:
+        key: registry name, case-insensitive (see :func:`algorithms`).
+        **kwargs: forwarded to the algorithm constructor (``eps`` always;
+            fixed-universe algorithms also need ``universe_log2``;
+            randomized ones accept ``seed``).
+
+    Raises:
+        InvalidParameterError: if ``key`` is unknown.
+    """
+    cls = get_algorithm(key)
+    return cls(**kwargs)
+
+
+def get_algorithm(key: str) -> Type[QuantileSketch]:
+    """Look up a registered algorithm class by name."""
+    try:
+        return _REGISTRY[key.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise InvalidParameterError(
+            f"unknown algorithm {key!r}; known algorithms: {known}"
+        ) from None
+
+
+def algorithms() -> List[str]:
+    """Sorted list of every registered algorithm name."""
+    return sorted(_REGISTRY)

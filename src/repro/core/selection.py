@@ -1,0 +1,205 @@
+"""Classical selection algorithms — the paper's historical substrate.
+
+The introduction roots streaming quantiles in two classical results, both
+implemented here for completeness and as test oracles:
+
+* **Linear-time selection** (Blum–Floyd–Pratt–Rivest–Tarjan 1973, the
+  paper's [4]): find the rank-``k`` element of an array in worst-case
+  O(n) time via median-of-medians pivoting.
+
+* **Munro–Paterson multi-pass selection** (1980, the paper's [23]): find
+  the *exact* rank-``k`` element of a stream using ``p`` passes and
+  ``O(n^(1/p))`` memory — the lower bound says this is optimal, which is
+  precisely why one-pass algorithms must approximate.  Each pass scans
+  the stream keeping a bounded sample of candidates inside the current
+  ``(lo, hi)`` bracket and exact counts outside it, narrowing the bracket
+  until the candidate set fits in memory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from repro.core.errors import EmptySummaryError, InvalidParameterError
+
+
+def select(values: Sequence, k: int) -> object:
+    """Rank-``k`` element (0-based: ``k`` elements are strictly smaller
+    or equal-and-earlier) in worst-case linear time.
+
+    Median-of-medians: groups of 5, recursive pivot choice, three-way
+    partition.  Equivalent to ``sorted(values)[k]``.
+    """
+    n = len(values)
+    if not (0 <= k < n):
+        raise InvalidParameterError(f"k must be in [0, {n}), got {k!r}")
+    return _select(list(values), k)
+
+
+def _median_of_medians(arr: List) -> object:
+    if len(arr) <= 5:
+        return sorted(arr)[len(arr) // 2]
+    medians = [
+        sorted(arr[i : i + 5])[min(2, (len(arr) - i - 1) // 2)]
+        for i in range(0, len(arr), 5)
+    ]
+    return _select(medians, len(medians) // 2)
+
+
+def _select(arr: List, k: int) -> object:
+    while True:
+        if len(arr) <= 5:
+            return sorted(arr)[k]
+        pivot = _median_of_medians(arr)
+        less = [x for x in arr if x < pivot]
+        equal = [x for x in arr if x == pivot]
+        if k < len(less):
+            arr = less
+        elif k < len(less) + len(equal):
+            return pivot
+        else:
+            k -= len(less) + len(equal)
+            arr = [x for x in arr if x > pivot]
+
+
+class MunroPaterson:
+    """Exact rank selection over a re-scannable stream in ``p`` passes.
+
+    The stream is abstracted as a zero-argument callable returning a
+    fresh iterator (a file can be re-opened; a generator factory
+    re-created).  Memory is bounded by ``memory`` retained elements.
+
+    Each pass scans once, counting elements below the current bracket
+    and *uniformly thinning* the in-bracket elements to at most
+    ``memory`` retained candidates (keep every ``ceil(b / memory)``-th
+    in-bracket element in arrival order, plus the running min/max of the
+    bracket).  Retained candidates split the bracket into runs of at most
+    ``stride`` elements, so bracketing the target between adjacent
+    retained candidates shrinks the in-bracket population by a factor
+    ``~memory / 2`` per pass — giving the classic
+    ``O(log n / log memory)`` pass bound of [23].
+    """
+
+    def __init__(self, stream_factory: Callable[[], Iterable],
+                 memory: int) -> None:
+        if memory < 4:
+            raise InvalidParameterError(
+                f"memory must be >= 4, got {memory!r}"
+            )
+        self._factory = stream_factory
+        self.memory = memory
+        self.passes_used = 0
+
+    def select(self, k: int):
+        """The exact element of 0-based rank ``k`` (duplicates counted)."""
+        n = sum(1 for _ in self._factory())
+        self.passes_used = 1
+        if n == 0:
+            raise EmptySummaryError("MunroPaterson: empty stream")
+        if not (0 <= k < n):
+            raise InvalidParameterError(f"k must be in [0, {n}), got {k!r}")
+
+        lo = hi = None  # bracket (lo, hi]: everything is a candidate
+        while True:
+            below, inside, candidates = self._scan(lo, hi)
+            self.passes_used += 1
+            if inside <= self.memory:
+                # All in-bracket elements were retained: finish exactly.
+                candidates.sort()
+                return candidates[k - below]
+            found, payload = self._narrow(candidates, k, lo, hi)
+            if found:
+                return payload
+            lo, hi = payload
+
+    def _scan(self, lo, hi) -> Tuple[int, int, List]:
+        """One pass: (count below bracket, count inside, thinned sample).
+
+        The sample keeps every ``stride``-th in-bracket element; stride
+        doubles whenever the retained list would overflow ``memory``, and
+        the list is re-thinned in place — total memory stays bounded.
+        """
+        below = 0
+        inside = 0
+        stride = 1
+        kept: List = []
+        vmin = vmax = None
+        for x in self._factory():
+            if lo is not None and x <= lo:
+                below += 1
+                continue
+            if hi is not None and x > hi:
+                continue
+            if vmin is None or x < vmin:
+                vmin = x
+            if vmax is None or x > vmax:
+                vmax = x
+            if inside % stride == 0:
+                kept.append(x)
+                if len(kept) > self.memory:
+                    kept = kept[::2]
+                    stride *= 2
+            inside += 1
+        # The bracket's extremes must stay candidates: thinning can drop
+        # them, and without the minimum the bracket can never close on a
+        # smallest-rank target (and symmetrically for the maximum).  Only
+        # needed when thinning happened — an unthinned kept list must
+        # remain exactly the in-bracket multiset for the exact finish.
+        if stride > 1 and vmin is not None:
+            kept.extend([vmin, vmax])
+        return below, inside, kept
+
+    def _narrow(self, kept: List, k: int, lo, hi):
+        """Bracket the target between retained candidates, or find it.
+
+        Arrival-order thinning leaves candidate ranks unknown, so a
+        counting pass computes, for each retained candidate, how many
+        stream elements are strictly below it and how many equal it.  If
+        rank ``k`` falls inside some candidate's occupancy interval the
+        answer is that candidate; otherwise the tightest ``(lo, hi]``
+        pair around rank ``k`` becomes the next bracket.  Returns
+        ``(True, answer)`` or ``(False, (lo, hi))``.
+        """
+        import bisect
+
+        kept = sorted(set(kept))
+        # Histogram stream elements by candidate slot: strictly-below
+        # counts from bisect_left positions, equality counts separately.
+        hist = [0] * (len(kept) + 1)
+        equal = [0] * len(kept)
+        for x in self._factory():
+            pos = bisect.bisect_left(kept, x)
+            if pos < len(kept) and kept[pos] == x:
+                equal[pos] += 1
+            else:
+                hist[pos] += 1
+        self.passes_used += 1
+        new_lo, new_hi = lo, hi
+        running_below = 0
+        for j, candidate in enumerate(kept):
+            running_below += hist[j]
+            count_lt = running_below  # elements strictly below candidate
+            count_le = count_lt + equal[j]
+            running_below = count_le
+            if count_lt <= k < count_le:
+                return True, candidate  # rank k lands on the candidate
+            if count_le <= k and (new_lo is None or candidate > new_lo):
+                new_lo = candidate
+            if count_lt > k and (new_hi is None or candidate < new_hi):
+                new_hi = candidate
+                break
+        if (new_lo, new_hi) == (lo, hi):
+            raise InvalidParameterError(
+                "bracket failed to narrow; memory too small for stream"
+            )
+        return False, (new_lo, new_hi)
+
+
+def exact_median_passes(n: int, memory: int) -> int:
+    """The pass bound of [23]: ``O(log n / log memory)`` (informative)."""
+    if n <= 1:
+        return 1
+    if memory < 2:
+        raise InvalidParameterError(f"memory must be >= 2, got {memory!r}")
+    return max(1, math.ceil(math.log(n) / math.log(memory)))

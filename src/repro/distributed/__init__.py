@@ -1,0 +1,21 @@
+"""Distributed quantile aggregation (the paper's sensor-network context)."""
+
+from repro.distributed.monitoring import ContinuousQuantileMonitor
+from repro.distributed.network import AggregationNetwork, Site, make_network
+from repro.distributed.protocols import (
+    ProtocolResult,
+    merge_summaries,
+    sample_and_send,
+    ship_everything,
+)
+
+__all__ = [
+    "AggregationNetwork",
+    "ContinuousQuantileMonitor",
+    "ProtocolResult",
+    "Site",
+    "make_network",
+    "merge_summaries",
+    "sample_and_send",
+    "ship_everything",
+]

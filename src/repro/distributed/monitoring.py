@@ -1,0 +1,176 @@
+"""Continuous distributed quantile monitoring (the paper's refs [9], [30]).
+
+The one-shot protocols in :mod:`repro.distributed.protocols` answer a
+single query.  Monitoring is harder: ``k`` sites each receive their own
+stream *over time*, and a coordinator must be able to answer quantiles
+over the union **at any moment** while paying communication only when
+distributions actually move.
+
+Protocol (the standard threshold scheme, simplified from [9]):
+
+* every site keeps a local eps/2 summary (GKArray) plus a counter of
+  elements accumulated since its last synchronization;
+* a site synchronizes — ships its summary snapshot (3 words per tuple)
+  and its exact count — whenever the unsynchronized count exceeds
+  ``theta = max(1, eps * N / (2k))``, where ``N`` is the global count at
+  the last round; the coordinator rebroadcasts ``N`` on every sync
+  (metered as one word per site);
+* the coordinator answers from the latest snapshots by *rank merging*:
+  the rank of ``v`` is the sum of per-site rank estimates, and a
+  quantile query binary-searches the merged candidate values.
+
+Error at query time is at most ``eps * N``: the snapshots contribute
+``(eps/2) * N_synced`` and the unsynchronized elements at most
+``k * theta = (eps/2) * N``.  Communication grows with ``(k/eps) log``
+factors rather than with ``n`` — the point of the scheme.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cash_register.gk_array import GKArray
+from repro.core.base import validate_eps, validate_phi
+from repro.core.errors import EmptySummaryError, InvalidParameterError
+
+
+class _SiteState:
+    """Coordinator-side view of one site."""
+
+    __slots__ = ("summary", "synced_n", "pending")
+
+    def __init__(self, eps: float) -> None:
+        self.summary = GKArray(eps=eps)  # local, authoritative
+        self.synced_n = 0  # elements covered by the last snapshot
+        self.pending = 0  # elements observed since the last sync
+
+
+class _Snapshot:
+    """An immutable shipped copy of a site summary (values/gs/deltas)."""
+
+    __slots__ = ("values", "gs", "deltas", "n")
+
+    def __init__(self, summary: GKArray) -> None:
+        summary._prepare_query()
+        self.values = np.asarray(summary._values)
+        self.gs = np.asarray(summary._gs, dtype=np.int64)
+        self.deltas = np.asarray(summary._deltas, dtype=np.int64)
+        self.n = summary.n
+
+    def size_words(self) -> int:
+        return 3 * len(self.values) + 1
+
+    def rank(self, value) -> float:
+        """Midpoint rank estimate of ``value`` within this snapshot."""
+        if len(self.values) == 0:
+            return 0.0
+        idx = int(np.searchsorted(self.values, value, "right"))
+        if idx == 0:
+            return 0.0
+        rmin = int(self.gs[:idx].sum())
+        return max(0.0, rmin + float(self.deltas[idx - 1]) / 2.0 - 1.0)
+
+
+class ContinuousQuantileMonitor:
+    """Coordinator + ``k`` sites with threshold-triggered synchronization.
+
+    Args:
+        sites: number of observation sites.
+        eps: total rank error budget at the coordinator.
+    """
+
+    def __init__(self, sites: int, eps: float) -> None:
+        if sites < 1:
+            raise InvalidParameterError(f"sites must be >= 1, got {sites!r}")
+        self.eps = validate_eps(eps)
+        self.k = sites
+        self._sites: Dict[int, _SiteState] = {
+            i: _SiteState(eps / 2.0) for i in range(sites)
+        }
+        self._snapshots: Dict[int, Optional[_Snapshot]] = {
+            i: None for i in range(sites)
+        }
+        self._known_n = 0  # coordinator's count as of the last sync round
+        self.words_sent = 0
+        self.messages_sent = 0
+        self.syncs = 0
+
+    # ------------------------------------------------------------------
+    # site side
+    # ------------------------------------------------------------------
+
+    def _threshold(self) -> int:
+        return max(1, math.floor(self.eps * self._known_n / (2.0 * self.k)))
+
+    def observe(self, site_id: int, value) -> bool:
+        """One element arrives at ``site_id``; returns True if it
+        triggered a synchronization."""
+        if site_id not in self._sites:
+            raise InvalidParameterError(f"unknown site {site_id!r}")
+        state = self._sites[site_id]
+        state.summary.update(value)
+        state.pending += 1
+        if state.pending > self._threshold():
+            self._sync(site_id)
+            return True
+        return False
+
+    def _sync(self, site_id: int) -> None:
+        state = self._sites[site_id]
+        snapshot = _Snapshot(state.summary)
+        self._snapshots[site_id] = snapshot
+        state.synced_n = snapshot.n
+        state.pending = 0
+        self.words_sent += snapshot.size_words()
+        self.messages_sent += 1
+        self.syncs += 1
+        # Coordinator learns the new global count and rebroadcasts it so
+        # every site's threshold tracks N (one word per site).
+        self._known_n = sum(s.synced_n for s in self._sites.values())
+        self.words_sent += self.k
+        self.messages_sent += self.k
+
+    # ------------------------------------------------------------------
+    # coordinator side
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """True global element count (for evaluation; the coordinator's
+        own view lags by at most ``k * threshold``)."""
+        return sum(
+            s.synced_n + s.pending for s in self._sites.values()
+        )
+
+    def coordinator_rank(self, value) -> float:
+        """Rank estimate using only shipped snapshots (no communication)."""
+        return sum(
+            snap.rank(value)
+            for snap in self._snapshots.values()
+            if snap is not None
+        )
+
+    def query(self, phi: float):
+        """Coordinator-side quantile over the union, from snapshots only."""
+        validate_phi(phi)
+        snaps = [s for s in self._snapshots.values() if s is not None]
+        if not snaps:
+            raise EmptySummaryError(
+                "coordinator has no snapshots yet (no site synced)"
+            )
+        candidates = np.sort(np.concatenate([s.values for s in snaps]))
+        target = phi * self._known_n
+        lo, hi = 0, len(candidates) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.coordinator_rank(candidates[mid]) < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return candidates[lo]
+
+    def quantiles(self, phis) -> List:
+        return [self.query(phi) for phi in phis]

@@ -1,0 +1,160 @@
+"""A simulated aggregation network with message accounting.
+
+The paper's quantile algorithms grew out of sensor-network aggregation
+([26], [16], [17]): many sites each observe part of the data, and a base
+station wants quantiles of the union while minimizing *communication*,
+the scarce resource (radio drains sensor batteries, not CPU).
+
+This module is the substrate the distributed protocols run on: sites
+hold local data, a topology wires them toward a root, and every payload
+moving along an edge is metered in 4-byte words — the same accounting
+the rest of the library uses for memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.sketches.hashing import make_rng
+
+
+@dataclasses.dataclass
+class Site:
+    """One node of the network holding a shard of the data."""
+
+    site_id: int
+    data: np.ndarray
+    parent: Optional[int]  #: None marks the root (base station)
+    children: List[int] = dataclasses.field(default_factory=list)
+
+
+class AggregationNetwork:
+    """Sites wired into a rooted aggregation topology.
+
+    Args:
+        shards: one data array per site; site 0 is the root.
+        topology: ``"star"`` (every site talks to the root), ``"tree"``
+            (balanced binary aggregation tree), or ``"chain"`` (a path —
+            the worst case for summary-size accumulation).
+    """
+
+    def __init__(
+        self, shards: Sequence[np.ndarray], topology: str = "tree"
+    ) -> None:
+        if len(shards) < 1:
+            raise InvalidParameterError("need at least one site")
+        if topology not in ("star", "tree", "chain"):
+            raise InvalidParameterError(
+                f"unknown topology {topology!r}; use star, tree, or chain"
+            )
+        self.topology = topology
+        self.sites: Dict[int, Site] = {}
+        for i, shard in enumerate(shards):
+            self.sites[i] = Site(
+                site_id=i,
+                data=np.asarray(shard),
+                parent=self._parent_of(i, len(shards)),
+            )
+        for site in self.sites.values():
+            if site.parent is not None:
+                self.sites[site.parent].children.append(site.site_id)
+        self.words_sent = 0
+        self.messages_sent = 0
+
+    def _parent_of(self, i: int, count: int) -> Optional[int]:
+        if i == 0:
+            return None
+        if self.topology == "star":
+            return 0
+        if self.topology == "chain":
+            return i - 1
+        return (i - 1) // 2  # binary tree, root at 0
+
+    @property
+    def root(self) -> Site:
+        return self.sites[0]
+
+    def total_n(self) -> int:
+        """Total elements across all shards."""
+        return sum(len(site.data) for site in self.sites.values())
+
+    def union_sorted(self) -> np.ndarray:
+        """Ground truth: the sorted union of every site's data."""
+        return np.sort(
+            np.concatenate([site.data for site in self.sites.values()])
+        )
+
+    def send(self, payload_words: int) -> None:
+        """Meter one upward message of ``payload_words`` words."""
+        if payload_words < 0:
+            raise InvalidParameterError("payload_words must be >= 0")
+        self.words_sent += payload_words
+        self.messages_sent += 1
+
+    def postorder(self) -> List[int]:
+        """Site ids with children before parents (aggregation order)."""
+        order: List[int] = []
+        stack = [(0, False)]
+        while stack:
+            site_id, expanded = stack.pop()
+            if expanded:
+                order.append(site_id)
+                continue
+            stack.append((site_id, True))
+            for child in self.sites[site_id].children:
+                stack.append((child, False))
+        return order
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path (merge layers a summary crosses)."""
+        best = 0
+        for site in self.sites.values():
+            d = 0
+            cursor = site
+            while cursor.parent is not None:
+                cursor = self.sites[cursor.parent]
+                d += 1
+            best = max(best, d)
+        return best
+
+
+def make_network(
+    n: int,
+    sites: int,
+    topology: str = "tree",
+    universe_log2: int = 16,
+    seed: Optional[int] = None,
+    skew: float = 0.0,
+) -> AggregationNetwork:
+    """Build a network with ``n`` values spread over ``sites`` shards.
+
+    Args:
+        skew: 0 gives every site an iid uniform shard; > 0 gives each
+            site its own value neighborhood (site i sees mostly values
+            near ``i / sites`` of the universe) — the realistic sensor
+            case where shards are *not* exchangeable.
+    """
+    if sites < 1 or n < sites:
+        raise InvalidParameterError(
+            f"need n >= sites >= 1, got n={n!r} sites={sites!r}"
+        )
+    rng = make_rng(seed)
+    universe = 1 << universe_log2
+    per = [n // sites + (1 if i < n % sites else 0) for i in range(sites)]
+    shards = []
+    for i, size in enumerate(per):
+        if skew <= 0:
+            shard = rng.integers(0, universe, size=size, dtype=np.int64)
+        else:
+            center = (i + 0.5) / sites
+            spread = max(0.02, 1.0 - skew)
+            unit = np.clip(
+                rng.normal(center, spread / 2, size=size), 0, 1 - 1e-12
+            )
+            shard = (unit * universe).astype(np.int64)
+        shards.append(shard)
+    return AggregationNetwork(shards, topology=topology)

@@ -1,0 +1,61 @@
+"""Measurement harness: error metrics, space accounting, sweeps, reports."""
+
+from repro.evaluation.analysis import (
+    DistributionSummary,
+    cdf,
+    compare,
+    describe,
+    ks_distance,
+    pdf_histogram,
+    qq_points,
+)
+from repro.evaluation.harness import RunResult, build_sketch, feed_stream, run_experiment
+from repro.evaluation.metrics import (
+    ErrorReport,
+    ks_divergence,
+    measure_errors,
+    phi_grid,
+    quantile_grid_truth,
+    rank_error,
+)
+from repro.evaluation.plotting import plot_results, text_plot
+from repro.evaluation.reporting import (
+    format_table,
+    matrix_table,
+    results_table,
+    tradeoff_series,
+)
+from repro.evaluation.runner import BASE_N, by_algorithm, scaled_n, sweep
+from repro.evaluation.space import PeakSpaceTracker, bytes_to_words
+
+__all__ = [
+    "BASE_N",
+    "DistributionSummary",
+    "cdf",
+    "compare",
+    "describe",
+    "ks_distance",
+    "pdf_histogram",
+    "qq_points",
+    "plot_results",
+    "text_plot",
+    "ErrorReport",
+    "PeakSpaceTracker",
+    "RunResult",
+    "build_sketch",
+    "by_algorithm",
+    "bytes_to_words",
+    "feed_stream",
+    "format_table",
+    "ks_divergence",
+    "matrix_table",
+    "measure_errors",
+    "phi_grid",
+    "quantile_grid_truth",
+    "rank_error",
+    "results_table",
+    "run_experiment",
+    "scaled_n",
+    "sweep",
+    "tradeoff_series",
+]

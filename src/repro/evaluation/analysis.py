@@ -1,0 +1,162 @@
+"""Distribution analytics on top of quantile summaries.
+
+The paper's introduction motivates quantiles as *the* nonparametric
+distribution description: they give the CDF, the CDF gives the PDF, and
+comparing distributions via quantiles yields quantile-quantile plots and
+the Kolmogorov–Smirnov divergence.  This module turns any summary in the
+library into those artifacts:
+
+* :func:`cdf` — a step-function CDF approximation (value grid + levels);
+* :func:`pdf_histogram` — an equi-probable histogram (density per bin);
+* :func:`qq_points` — Q-Q plot coordinates between two summaries;
+* :func:`ks_distance` — KS divergence between two summaries, computed
+  from their quantile grids without touching raw data.
+
+Everything works on the ``quantiles(phis)`` surface, so exact baselines,
+streaming summaries, and post-processed snapshots are all accepted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+
+def _grid(resolution: int) -> List[float]:
+    if resolution < 2:
+        raise InvalidParameterError(
+            f"resolution must be >= 2, got {resolution!r}"
+        )
+    return [i / (resolution + 1) for i in range(1, resolution + 1)]
+
+
+def cdf(sketch, resolution: int = 100) -> Tuple[np.ndarray, np.ndarray]:
+    """Approximate CDF of the summarized stream.
+
+    Returns ``(values, probabilities)``: at ``values[i]`` the CDF is
+    approximately ``probabilities[i]``.  Values are non-decreasing, so
+    the pair plots directly as a step function.
+    """
+    phis = _grid(resolution)
+    values = np.asarray(sketch.quantiles(phis), dtype=np.float64)
+    values = np.maximum.accumulate(values)  # enforce monotone steps
+    return values, np.asarray(phis)
+
+
+def pdf_histogram(
+    sketch, bins: int = 20
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Equi-probable histogram: ``bins`` buckets of equal probability mass.
+
+    Returns ``(edges, densities)`` with ``len(edges) == bins + 1``;
+    ``densities[i]`` is probability mass / width over
+    ``[edges[i], edges[i+1])``.  Equi-probable bins are the natural
+    histogram for a quantile summary — narrow where the data is dense.
+    """
+    if bins < 1:
+        raise InvalidParameterError(f"bins must be >= 1, got {bins!r}")
+    phis = [i / bins for i in range(bins + 1)]
+    phis[0], phis[-1] = 0.0, 1.0
+    edges = np.asarray(sketch.quantiles(phis), dtype=np.float64)
+    edges = np.maximum.accumulate(edges)
+    widths = np.diff(edges)
+    mass = 1.0 / bins
+    densities = np.where(widths > 0, mass / np.where(widths > 0, widths, 1),
+                         0.0)
+    return edges, densities
+
+
+def qq_points(
+    sketch_a, sketch_b, resolution: int = 50
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantile-quantile plot coordinates between two summaries.
+
+    Point ``i`` is ``(a's phi_i-quantile, b's phi_i-quantile)``; identical
+    distributions hug the diagonal.
+    """
+    phis = _grid(resolution)
+    a = np.asarray(sketch_a.quantiles(phis), dtype=np.float64)
+    b = np.asarray(sketch_b.quantiles(phis), dtype=np.float64)
+    return a, b
+
+
+def ks_distance(sketch_a, sketch_b, resolution: int = 200) -> float:
+    """Kolmogorov–Smirnov divergence between two summarized streams.
+
+    Evaluates both empirical CDFs on the union of their quantile grids
+    via the summaries' ``rank`` estimates.  Accuracy is bounded by the
+    summaries' eps plus the grid resolution.
+    """
+    phis = _grid(resolution)
+    probes = np.union1d(
+        np.asarray(sketch_a.quantiles(phis), dtype=np.float64),
+        np.asarray(sketch_b.quantiles(phis), dtype=np.float64),
+    )
+    n_a = max(1, sketch_a.n)
+    n_b = max(1, sketch_b.n)
+    worst = 0.0
+    for probe in probes:
+        fa = min(1.0, max(0.0, sketch_a.rank(probe) / n_a))
+        fb = min(1.0, max(0.0, sketch_b.rank(probe) / n_b))
+        worst = max(worst, abs(fa - fb))
+    return worst
+
+
+@dataclasses.dataclass(frozen=True)
+class DistributionSummary:
+    """A compact descriptive-statistics card computed from a summary."""
+
+    n: int
+    median: float
+    iqr: float
+    p01: float
+    p99: float
+    skew_proxy: float  #: (p90 - p50) / (p50 - p10) - 1; 0 for symmetric
+
+
+def describe(sketch) -> DistributionSummary:
+    """Descriptive statistics from one pass over the summary."""
+    phis = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+    p01, p10, p25, p50, p75, p90, p99 = (
+        float(v) for v in sketch.quantiles(phis)
+    )
+    upper = p90 - p50
+    lower = p50 - p10
+    skew = (upper / lower - 1.0) if lower > 0 else 0.0
+    return DistributionSummary(
+        n=sketch.n,
+        median=p50,
+        iqr=p75 - p25,
+        p01=p01,
+        p99=p99,
+        skew_proxy=skew,
+    )
+
+
+def compare(
+    sketch_a, sketch_b, resolution: int = 200
+) -> dict:
+    """One-call comparison report between two summarized streams."""
+    return {
+        "ks_distance": ks_distance(sketch_a, sketch_b, resolution),
+        "a": describe(sketch_a),
+        "b": describe(sketch_b),
+        "median_shift": float(sketch_b.query(0.5)) - float(
+            sketch_a.query(0.5)
+        ),
+    }
+
+
+__all__: Sequence[str] = [
+    "DistributionSummary",
+    "cdf",
+    "compare",
+    "describe",
+    "ks_distance",
+    "pdf_histogram",
+    "qq_points",
+]

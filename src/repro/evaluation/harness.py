@@ -1,0 +1,209 @@
+"""The measurement harness: run one algorithm over one stream and record
+the paper's five measurements (Section 4.1.2).
+
+For every (algorithm, stream, eps) the harness reports:
+
+1. the error parameter ``eps`` handed to the algorithm,
+2. observed **maximum** rank error (KS divergence),
+3. observed **average** rank error,
+4. **update time** per element (wall clock),
+5. **space** — peak words over the stream, 4 bytes each.
+
+Streams are fed in chunks so peak space can be sampled between chunks and
+batch-update fast paths can be used where they exist.  Randomized
+algorithms are run ``repeats`` times with derived seeds and their error
+measurements averaged, as in the paper (which uses 100 repetitions; the
+default here is smaller because pure Python pays ~100x the update cost).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.base import QuantileSketch, TurnstileSketch
+from repro.core.errors import InvalidParameterError
+from repro.core.registry import get_algorithm
+from repro.evaluation.metrics import ErrorReport, measure_errors
+from repro.evaluation.space import PeakSpaceTracker
+
+#: Constructor parameter names understood by fixed-universe algorithms.
+_UNIVERSE_PARAM = "universe_log2"
+
+
+@dataclasses.dataclass(frozen=True)
+class RunResult:
+    """One harness run: algorithm x stream x eps -> five measurements."""
+
+    algorithm: str
+    eps: float
+    n: int
+    update_time_us: float  #: mean wall-clock microseconds per element
+    peak_words: int
+    max_error: float
+    avg_error: float
+    repeats: int
+    extra: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def peak_bytes(self) -> int:
+        return self.peak_words * 4
+
+    @property
+    def peak_kb(self) -> float:
+        return self.peak_bytes / 1024.0
+
+
+def _needs_universe(cls) -> bool:
+    import inspect
+
+    return _UNIVERSE_PARAM in inspect.signature(cls.__init__).parameters
+
+
+def _accepts_seed(cls) -> bool:
+    import inspect
+
+    return "seed" in inspect.signature(cls.__init__).parameters
+
+
+def build_sketch(
+    algorithm: str,
+    eps: float,
+    universe_log2: Optional[int] = None,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> QuantileSketch:
+    """Instantiate a registered algorithm with only the kwargs it needs."""
+    cls = get_algorithm(algorithm)
+    params = dict(kwargs)
+    params["eps"] = eps
+    if _needs_universe(cls):
+        if universe_log2 is None:
+            raise InvalidParameterError(
+                f"{algorithm} is fixed-universe: pass universe_log2"
+            )
+        params[_UNIVERSE_PARAM] = universe_log2
+    if _accepts_seed(cls):
+        params["seed"] = seed
+    return cls(**params)
+
+
+def feed_stream(
+    sketch: QuantileSketch,
+    data: np.ndarray,
+    deletions: Optional[np.ndarray] = None,
+    chunk: int = 4096,
+) -> tuple:
+    """Feed a stream (and optional trailing deletions) through a sketch.
+
+    Returns ``(seconds, peak_words)``.  Uses the vectorized batch path for
+    turnstile sketches and chunked ``extend`` otherwise, sampling peak
+    space between chunks.
+    """
+    tracker = PeakSpaceTracker(sketch)
+    is_turnstile = isinstance(sketch, TurnstileSketch)
+    start = time.perf_counter()
+    for lo in range(0, len(data), chunk):
+        part = data[lo : lo + chunk]
+        if is_turnstile:
+            sketch.update_batch(part)
+        else:
+            sketch.extend(part.tolist())
+        tracker.sample()
+    if deletions is not None and len(deletions):
+        if not is_turnstile:
+            raise InvalidParameterError(
+                f"{sketch.name} cannot process deletions"
+            )
+        for lo in range(0, len(deletions), chunk):
+            sketch.update_batch(deletions[lo : lo + chunk], -1)
+            tracker.sample()
+    elapsed = time.perf_counter() - start
+    tracker.sample()
+    return elapsed, tracker.peak_words
+
+
+def run_experiment(
+    algorithm: str,
+    data: np.ndarray,
+    eps: float,
+    universe_log2: Optional[int] = None,
+    deletions: Optional[np.ndarray] = None,
+    repeats: int = 3,
+    seed: int = 0,
+    max_queries: int = 499,
+    post_process: bool = False,
+    **kwargs,
+) -> RunResult:
+    """Run one full measurement: build, stream, and evaluate.
+
+    Args:
+        algorithm: registry name ("gk_array", "random", "dcs", ...).
+        data: insertion stream (int64 values).
+        eps: error parameter for the algorithm and the phi grid.
+        universe_log2: required for fixed-universe algorithms.
+        deletions: optional trailing deletion stream (turnstile only);
+            ground truth becomes the remaining multiset.
+        repeats: times to repeat with different seeds (errors averaged,
+            times/space taken from the first run).  Deterministic
+            algorithms always run once.
+        seed: base seed; repeat ``i`` uses ``seed + 1000 * i``.
+        max_queries: cap on the phi grid (see metrics.phi_grid).
+        post_process: evaluate through the OLS snapshot (DCS only).
+        **kwargs: forwarded to the algorithm constructor (width, depth,
+            eta, ...).
+    """
+    if deletions is not None and len(deletions):
+        counts: Dict[int, int] = {}
+        for v in data.tolist():
+            counts[v] = counts.get(v, 0) + 1
+        for v in deletions.tolist():
+            counts[v] = counts.get(v, 0) - 1
+            if counts[v] < 0:
+                raise InvalidParameterError(
+                    "deletions must form a sub-multiset of the insertions"
+                )
+        remaining = [v for v, c in counts.items() for _ in range(c)]
+        sorted_truth = np.sort(np.asarray(remaining, dtype=data.dtype))
+    else:
+        sorted_truth = np.sort(data)
+
+    cls = get_algorithm(algorithm)
+    effective_repeats = repeats if not cls.deterministic else 1
+    post_eta = kwargs.pop("eta", 0.1) if post_process else None
+
+    max_errors = []
+    avg_errors = []
+    elapsed = peak = None
+    for i in range(effective_repeats):
+        sketch = build_sketch(
+            algorithm, eps, universe_log2, seed + 1000 * i, **kwargs
+        )
+        run_elapsed, run_peak = feed_stream(sketch, data, deletions)
+        if elapsed is None:
+            elapsed, peak = run_elapsed, run_peak
+        target = sketch
+        if post_process:
+            target = sketch.post_processed(eta=post_eta)
+        report: ErrorReport = measure_errors(
+            target, sorted_truth, eps, max_queries
+        )
+        max_errors.append(report.max_error)
+        avg_errors.append(report.avg_error)
+
+    n_effective = len(sorted_truth)
+    return RunResult(
+        algorithm=algorithm + ("+post" if post_process else ""),
+        eps=eps,
+        n=n_effective,
+        update_time_us=1e6 * elapsed / max(1, len(data)),
+        peak_words=peak,
+        max_error=float(np.mean(max_errors)),
+        avg_error=float(np.mean(avg_errors)),
+        repeats=effective_repeats,
+    )
+
+

@@ -1,0 +1,141 @@
+"""Terminal plots for benchmark exhibits.
+
+The paper's figures are log-log tradeoff curves; the benchmark scripts
+print their numeric series, and this module renders them as monospace
+scatter charts so a figure is recognizable at a glance in CI logs and in
+``benchmarks/results/*.txt``.  No plotting dependency — pure text.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.errors import InvalidParameterError
+
+#: Marker characters assigned to series in insertion order.
+MARKERS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise InvalidParameterError(
+                "log-scale axis requires positive values"
+            )
+        return math.log10(value)
+    return float(value)
+
+
+def _axis_ticks(lo: float, hi: float, log: bool, count: int = 4) -> List[str]:
+    ticks = []
+    for i in range(count):
+        t = lo + (hi - lo) * i / (count - 1)
+        value = 10**t if log else t
+        ticks.append(f"{value:.3g}")
+    return ticks
+
+
+def text_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    x_log: bool = True,
+    y_log: bool = True,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter chart.
+
+    Args:
+        series: mapping of series name to points; each series gets a
+            marker from :data:`MARKERS` (shown in the legend).
+        width, height: plot area in characters.
+        x_log, y_log: log10 axes (the paper's figures are mostly log-log).
+    """
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        raise InvalidParameterError("nothing to plot")
+    if width < 16 or height < 4:
+        raise InvalidParameterError("plot area too small")
+
+    points = []
+    for name, pts in series.items():
+        for x, y in pts:
+            points.append((_transform(x, x_log), _transform(y, y_log)))
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = MARKERS[idx % len(MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in pts:
+            tx = _transform(x, x_log)
+            ty = _transform(y, y_log)
+            col = round((tx - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((ty - y_lo) / (y_hi - y_lo) * (height - 1))
+            cell = grid[height - 1 - row][col]
+            # Overlapping series show as '?' so collisions are visible.
+            grid[height - 1 - row][col] = marker if cell == " " else "?"
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_ticks = _axis_ticks(y_lo, y_hi, y_log, count=3)
+    tick_rows = {0: y_ticks[2], height // 2: y_ticks[1], height - 1: y_ticks[0]}
+    label_width = max(len(t) for t in tick_rows.values())
+    for r, row in enumerate(grid):
+        label = tick_rows.get(r, "").rjust(label_width)
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_ticks = _axis_ticks(x_lo, x_hi, x_log, count=4)
+    axis_line = " " * (label_width + 2)
+    slot = width // (len(x_ticks) - 1)
+    for i, t in enumerate(x_ticks):
+        pos = label_width + 2 + i * slot - (0 if i == 0 else len(t) // 2)
+        if pos + len(t) > len(axis_line):
+            axis_line = axis_line.ljust(pos + len(t))
+        axis_line = axis_line[:pos] + t + axis_line[pos + len(t):]
+    lines.append(axis_line.rstrip())
+    scale = (
+        f"[x: {x_label}{' (log)' if x_log else ''}, "
+        f"y: {y_label}{' (log)' if y_log else ''}]   "
+    )
+    lines.append(scale + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def plot_results(
+    results,
+    x: str,
+    y: str,
+    title: str = "",
+    x_log: bool = True,
+    y_log: bool = True,
+) -> str:
+    """Plot per-algorithm curves from harness RunResults (like the
+    paper's figures: one marker per algorithm)."""
+    from repro.evaluation.runner import by_algorithm
+
+    series = {}
+    for name, curve in by_algorithm(results).items():
+        points = [(getattr(r, x), getattr(r, y)) for r in curve]
+        # Log axes cannot place zeros (e.g. an algorithm that answered
+        # exactly); drop those points rather than fail the whole chart.
+        if x_log:
+            points = [p for p in points if p[0] > 0]
+        if y_log:
+            points = [p for p in points if p[1] > 0]
+        if points:
+            series[name] = points
+    return text_plot(
+        series, title=title, x_label=x, y_label=y, x_log=x_log, y_log=y_log
+    )

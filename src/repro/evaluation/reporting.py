@@ -1,0 +1,110 @@
+"""Plain-text reporting for benchmark output.
+
+Benchmarks print the same rows/series the paper's figures plot: one table
+per exhibit, curves keyed by algorithm.  Everything is monospace ASCII so
+results read cleanly in CI logs and ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.evaluation.harness import RunResult
+from repro.evaluation.runner import by_algorithm
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Render rows as a boxed monospace table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) < 1e-3 or abs(cell) >= 1e6:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def results_table(
+    results: Sequence[RunResult], title: str = ""
+) -> str:
+    """The standard five-measurement table for a list of runs."""
+    headers = [
+        "algorithm", "eps", "n", "max_err", "avg_err",
+        "space_KB", "us/update",
+    ]
+    rows = [
+        [
+            r.algorithm,
+            r.eps,
+            r.n,
+            r.max_error,
+            r.avg_error,
+            r.peak_kb,
+            r.update_time_us,
+        ]
+        for r in results
+    ]
+    return format_table(headers, rows, title)
+
+
+def tradeoff_series(
+    results: Sequence[RunResult], x: str, y: str, title: str = ""
+) -> str:
+    """Per-algorithm (x, y) series — the paper's figures as text.
+
+    ``x`` / ``y`` name RunResult attributes or properties, e.g.
+    ``tradeoff_series(rs, "avg_error", "peak_kb")`` is Fig. 5d.
+    """
+    lines = [title] if title else []
+    for name, curve in by_algorithm(results).items():
+        pts = ", ".join(
+            f"({_fmt(getattr(r, x))}, {_fmt(getattr(r, y))})" for r in curve
+        )
+        lines.append(f"  {name:>12}: {pts}")
+    return "\n".join(lines)
+
+
+def matrix_table(
+    row_label: str,
+    row_values: Sequence,
+    col_label: str,
+    col_values: Sequence,
+    cells: Dict,
+    title: str = "",
+    scale: float = 1.0,
+    fmt: str = "{:.3f}",
+) -> str:
+    """A 2-D matrix table (used by the Table 3/4 style exhibits).
+
+    ``cells`` maps ``(row_value, col_value)`` to a number; ``scale``
+    multiplies each cell before formatting (the paper prints errors as
+    multiples of 1e-4).
+    """
+    headers = [f"{row_label}\\{col_label}"] + [_fmt(c) for c in col_values]
+    rows: List[List] = []
+    for rv in row_values:
+        row: List = [_fmt(rv)]
+        for cv in col_values:
+            value = cells.get((rv, cv))
+            row.append("-" if value is None else fmt.format(value * scale))
+        rows.append(row)
+    return format_table(headers, rows, title)

@@ -1,0 +1,63 @@
+"""Space accounting (Section 4.1.2).
+
+"We report space usage in bytes, where every element from the stream,
+counter, or pointer consumes 4 bytes.  [...]  For algorithms whose space
+usage changes over time, we measured the maximum space usage."
+
+Every summary in the library implements ``size_words()`` under that
+convention; this module adds the *maximum-over-time* tracking, which needs
+periodic sampling during the stream.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import WORD_BYTES
+from repro.core.errors import InvalidParameterError
+
+
+class PeakSpaceTracker:
+    """Tracks the maximum ``size_words()`` of a summary over a stream.
+
+    Sampling every update would dominate runtime for cheap summaries, so
+    the tracker samples every ``interval`` updates (and whenever asked
+    explicitly).  GK-style summaries only grow between removals, so peaks
+    between samples are bounded by ``interval`` extra tuples; the default
+    interval keeps that slack well under measurement noise.
+    """
+
+    def __init__(self, sketch, interval: int = 256) -> None:
+        if interval < 1:
+            raise InvalidParameterError(
+                f"interval must be >= 1, got {interval!r}"
+            )
+        self._sketch = sketch
+        self._interval = interval
+        self._since = 0
+        self.peak_words = sketch.size_words()
+
+    def tick(self, count: int = 1) -> None:
+        """Note that ``count`` updates happened; sample if due."""
+        self._since += count
+        if self._since >= self._interval:
+            self.sample()
+
+    def sample(self) -> int:
+        """Force a sample; returns the current size in words."""
+        self._since = 0
+        words = self._sketch.size_words()
+        if words > self.peak_words:
+            self.peak_words = words
+        return words
+
+    @property
+    def peak_bytes(self) -> int:
+        return self.peak_words * WORD_BYTES
+
+
+def bytes_to_words(size_bytes: int) -> int:
+    """Convert a byte budget to 4-byte words (floor)."""
+    if size_bytes < 0:
+        raise InvalidParameterError(
+            f"size_bytes must be >= 0, got {size_bytes!r}"
+        )
+    return size_bytes // WORD_BYTES

@@ -1,0 +1,25 @@
+"""Frequency-estimation sketches and hash families (turnstile substrate)."""
+
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.exact_counter import ExactCounter
+from repro.sketches.hashing import (
+    KWiseHash,
+    MERSENNE_P,
+    SignHash,
+    make_rng,
+    mulmod61,
+)
+from repro.sketches.subset_sum import SubsetSumSketch
+
+__all__ = [
+    "CountMinSketch",
+    "CountSketch",
+    "ExactCounter",
+    "KWiseHash",
+    "MERSENNE_P",
+    "SignHash",
+    "SubsetSumSketch",
+    "make_rng",
+    "mulmod61",
+]

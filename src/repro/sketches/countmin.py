@@ -1,0 +1,100 @@
+"""The Count-Min sketch of Cormode and Muthukrishnan [7].
+
+A ``d x w`` array of counters.  Each row ``i`` owns a pairwise independent
+hash ``h_i : [m] -> [w]``; an update ``(x, delta)`` adds ``delta`` to
+``C[i, h_i(x)]`` in every row.  With non-negative frequencies the estimate
+``min_i C[i, h_i(x)]`` never underestimates, and with ``w = O(1/eps)`` and
+``d = O(log 1/delta)`` it overestimates by more than ``eps * n`` with
+probability at most ``delta``.
+
+This implementation supports negative deltas (the dyadic quantile
+algorithms feed it turnstile streams); the *strict turnstile* assumption —
+every true frequency stays non-negative — keeps the min estimator valid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.sketches.hashing import ArrayLike, KWiseHash, make_rng
+
+
+class CountMinSketch:
+    """Count-Min frequency sketch over keys in ``[0, 2**32)``.
+
+    Args:
+        width: counters per row (``w``); controls the error ``~ n / w``.
+        depth: number of rows (``d``); controls the failure probability.
+        rng: numpy Generator for the hash coefficients (or ``seed=``).
+        seed: convenience alternative to ``rng``.
+    """
+
+    #: Estimates are upper bounds (strict turnstile streams).
+    biased_up = True
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if width < 1:
+            raise InvalidParameterError(f"width must be >= 1, got {width!r}")
+        if depth < 1:
+            raise InvalidParameterError(f"depth must be >= 1, got {depth!r}")
+        if rng is None:
+            rng = make_rng(seed)
+        self.width = width
+        self.depth = depth
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        self._hashes = [KWiseHash(2, width, rng) for _ in range(depth)]
+
+    def update(self, key: int, delta: int = 1) -> None:
+        """Add ``delta`` to the frequency of ``key``."""
+        for i, h in enumerate(self._hashes):
+            self._table[i, h.hash_one(key)] += delta
+
+    def update_batch(self, keys: ArrayLike, deltas: ArrayLike = 1) -> None:
+        """Vectorized bulk update: ``deltas`` broadcasts against ``keys``."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        deltas = np.broadcast_to(
+            np.asarray(deltas, dtype=np.int64), keys.shape
+        )
+        for i, h in enumerate(self._hashes):
+            np.add.at(self._table[i], h(keys), deltas)
+
+    def estimate(self, key: int) -> int:
+        """Point estimate of the frequency of ``key`` (min over rows)."""
+        return int(
+            min(
+                self._table[i, h.hash_one(key)]
+                for i, h in enumerate(self._hashes)
+            )
+        )
+
+    def estimate_batch(self, keys: ArrayLike) -> np.ndarray:
+        """Vectorized point estimates for an array of keys."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        rows = np.empty((self.depth,) + keys.shape, dtype=np.int64)
+        for i, h in enumerate(self._hashes):
+            rows[i] = self._table[i, h(keys)]
+        return rows.min(axis=0)
+
+    def variance_estimate(self) -> float:
+        """A rough per-estimate variance proxy, for parity with
+        :meth:`CountSketch.variance_estimate` (Count-Min is biased, so this
+        is only a scale indicator: mean squared row mass over ``w``)."""
+        sq = (self._table.astype(np.float64) ** 2).sum(axis=1)
+        return float(sq.mean() / self.width)
+
+    def size_words(self) -> int:
+        """Space in 4-byte words: counters plus hash coefficients (each
+        61-bit coefficient counted as two words)."""
+        return self.width * self.depth + 2 * 2 * self.depth
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CountMinSketch w={self.width} d={self.depth}>"

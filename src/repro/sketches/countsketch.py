@@ -1,0 +1,114 @@
+"""The Count-Sketch of Charikar, Chen and Farach-Colton [5].
+
+Like Count-Min, a ``d x w`` counter array with a pairwise independent
+``h_i : [m] -> [w]`` per row — but each row also owns a 4-wise independent
+sign hash ``g_i : [m] -> {-1, +1}``, and updates add ``g_i(x) * delta``.
+The row estimate ``g_i(x) * C[i, h_i(x)]`` is *unbiased* with variance
+``F_2 / w``; the returned estimate is the median over rows.
+
+Unbiasedness is what makes the Count-Sketch the right brick for dyadic
+quantiles (Section 3.1): summing ``log u`` unbiased estimates lets the
+errors partially cancel, which the paper's new analysis turns into a
+``sqrt(log u)`` factor instead of ``log u``.
+
+The sketch also exposes the AMS variance proxy used by the OLS
+post-processing step (Section 3.2.4): the sum of squared counters in one
+row estimates ``F_2``, so ``F_2 / w`` estimates the per-row estimator
+variance.  Post-processing only needs variances up to a common scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.sketches.hashing import ArrayLike, KWiseHash, SignHash, make_rng
+
+
+class CountSketch:
+    """Count-Sketch frequency estimator over keys in ``[0, 2**32)``.
+
+    Args:
+        width: counters per row (``w``); row variance is ``~ F_2 / w``.
+        depth: number of rows (``d``), odd recommended (median of ``d``).
+        rng: numpy Generator for hash coefficients (or ``seed=``).
+        seed: convenience alternative to ``rng``.
+    """
+
+    biased_up = False
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if width < 1:
+            raise InvalidParameterError(f"width must be >= 1, got {width!r}")
+        if depth < 1:
+            raise InvalidParameterError(f"depth must be >= 1, got {depth!r}")
+        if rng is None:
+            rng = make_rng(seed)
+        self.width = width
+        self.depth = depth
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        self._hashes = [KWiseHash(2, width, rng) for _ in range(depth)]
+        self._signs = [SignHash(rng) for _ in range(depth)]
+
+    def update(self, key: int, delta: int = 1) -> None:
+        """Add ``delta`` to the frequency of ``key``."""
+        for i in range(self.depth):
+            col = self._hashes[i].hash_one(key)
+            self._table[i, col] += self._signs[i].sign_one(key) * delta
+
+    def update_batch(self, keys: ArrayLike, deltas: ArrayLike = 1) -> None:
+        """Vectorized bulk update: ``deltas`` broadcasts against ``keys``."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        deltas = np.broadcast_to(
+            np.asarray(deltas, dtype=np.int64), keys.shape
+        )
+        for i in range(self.depth):
+            signed = self._signs[i](keys) * deltas
+            np.add.at(self._table[i], self._hashes[i](keys), signed)
+
+    def estimate(self, key: int) -> int:
+        """Point estimate of the frequency of ``key``: median over rows of
+        the signed counters."""
+        vals = [
+            self._signs[i].sign_one(key)
+            * int(self._table[i, self._hashes[i].hash_one(key)])
+            for i in range(self.depth)
+        ]
+        return int(np.median(vals))
+
+    def estimate_batch(self, keys: ArrayLike) -> np.ndarray:
+        """Vectorized point estimates for an array of keys."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        rows = np.empty((self.depth,) + keys.shape, dtype=np.int64)
+        for i in range(self.depth):
+            rows[i] = self._signs[i](keys) * self._table[
+                i, self._hashes[i](keys)
+            ]
+        return np.median(rows, axis=0).astype(np.int64)
+
+    def variance_estimate(self) -> float:
+        """AMS estimate of the single-row estimator variance ``F_2 / w``.
+
+        Averaged over rows for stability.  The OLS post-processing step is
+        scale-invariant, so the (unknown) variance reduction from taking a
+        median of ``d`` rows does not need to be modeled (Section 3.2.4).
+        """
+        sq = (self._table.astype(np.float64) ** 2).sum(axis=1)
+        return float(sq.mean() / self.width)
+
+    def size_words(self) -> int:
+        """Space in 4-byte words: counters plus hash coefficients (each
+        61-bit coefficient counted as two words; sign hashes are degree-3
+        polynomials, i.e. 4 coefficients)."""
+        return self.width * self.depth + (2 + 4) * 2 * self.depth
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CountSketch w={self.width} d={self.depth}>"

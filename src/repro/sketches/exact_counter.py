@@ -1,0 +1,82 @@
+"""Dense exact frequency counters for small (reduced) universes.
+
+Section 3 of the paper: "if the reduced universe size ``u / 2**i`` is
+smaller than the sketch size, we should maintain the frequencies exactly,
+rather than using a sketch".  This class is that exact store, with the same
+update/estimate surface as the sketches so the dyadic structure can treat
+both uniformly.  Exact levels have variance zero, which is what lets the
+OLS post-processing anchor its subtrees (Definition 1's ``sigma_i = 0``
+rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError, UniverseOverflowError
+from repro.sketches.hashing import ArrayLike
+
+
+class ExactCounter:
+    """Exact frequencies for keys in ``[0, universe)`` via a dense array."""
+
+    biased_up = False
+
+    def __init__(self, universe: int) -> None:
+        if universe < 1:
+            raise InvalidParameterError(
+                f"universe must be >= 1, got {universe!r}"
+            )
+        self.universe = universe
+        self._counts = np.zeros(universe, dtype=np.int64)
+
+    def update(self, key: int, delta: int = 1) -> None:
+        """Add ``delta`` to the frequency of ``key``."""
+        if not (0 <= key < self.universe):
+            raise UniverseOverflowError(
+                f"key {key!r} outside universe [0, {self.universe})"
+            )
+        self._counts[key] += delta
+
+    def update_batch(self, keys: ArrayLike, deltas: ArrayLike = 1) -> None:
+        """Vectorized bulk update."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size and (keys.min() < 0 or keys.max() >= self.universe):
+            raise UniverseOverflowError(
+                f"keys outside universe [0, {self.universe})"
+            )
+        deltas = np.broadcast_to(
+            np.asarray(deltas, dtype=np.int64), keys.shape
+        )
+        np.add.at(self._counts, keys, deltas)
+
+    def estimate(self, key: int) -> int:
+        """The exact frequency of ``key``."""
+        if not (0 <= key < self.universe):
+            raise UniverseOverflowError(
+                f"key {key!r} outside universe [0, {self.universe})"
+            )
+        return int(self._counts[key])
+
+    def estimate_batch(self, keys: ArrayLike) -> np.ndarray:
+        """Exact frequencies for an array of keys."""
+        return self._counts[np.asarray(keys, dtype=np.int64)]
+
+    def variance_estimate(self) -> float:
+        """Exact counts have zero variance."""
+        return 0.0
+
+    def prefix_sums(self) -> np.ndarray:
+        """Exclusive prefix sums: entry ``k`` is the total frequency of keys
+        ``< k`` (length ``universe + 1``).  Used for fast rank queries on
+        fully-exact levels."""
+        out = np.zeros(self.universe + 1, dtype=np.int64)
+        np.cumsum(self._counts, out=out[1:])
+        return out
+
+    def size_words(self) -> int:
+        """Space in 4-byte words: one counter per universe element."""
+        return self.universe
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ExactCounter universe={self.universe}>"

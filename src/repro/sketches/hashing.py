@@ -1,0 +1,159 @@
+"""k-wise independent hash families over the Mersenne prime ``2**61 - 1``.
+
+The turnstile sketches need two kinds of hash functions (Section 3.1):
+
+* a **pairwise independent** ``h : [u] -> [w]`` that spreads elements over
+  the ``w`` counters of a sketch row, and
+* a **4-wise independent** ``g : [u] -> {-1, +1}`` sign hash (Count-Sketch
+  only), which makes each counter an unbiased estimator with bounded
+  variance.
+
+Both are degree-(k-1) polynomials with random coefficients modulo the
+Mersenne prime ``p = 2**61 - 1`` — the textbook construction, which is
+exactly k-wise independent.  Evaluation is vectorized with numpy: products
+of a 61-bit accumulator by a 32-bit key are emulated in 64-bit arithmetic
+by splitting the accumulator and folding with ``2**61 ≡ 1 (mod p)``.
+
+Keys must fit in 32 bits (the paper's largest universe is ``2**32``); the
+dyadic structure always hashes *reduced* universes, so this is never a
+constraint in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+#: The Mersenne prime 2**61 - 1 used as the field size.
+MERSENNE_P = (1 << 61) - 1
+
+_M61 = np.uint64(MERSENNE_P)
+_SHIFT61 = np.uint64(61)
+_LOW31 = np.uint64((1 << 31) - 1)
+_LOW30 = np.uint64((1 << 30) - 1)
+_SHIFT31 = np.uint64(31)
+_SHIFT30 = np.uint64(30)
+
+ArrayLike = Union[int, np.ndarray, Sequence[int]]
+
+
+def _fold61(v: np.ndarray) -> np.ndarray:
+    """Reduce ``v < 2**63`` modulo ``2**61 - 1`` (result may still be >= p,
+    but is < 2**61 + 3; callers finish with a conditional subtract)."""
+    return (v & _M61) + (v >> _SHIFT61)
+
+
+def _finish_mod(v: np.ndarray) -> np.ndarray:
+    """Final reduction after folding (``v`` is already < 2**62)."""
+    return v % _M61
+
+
+def mulmod61(a: ArrayLike, b: ArrayLike) -> np.ndarray:
+    """Compute ``a * b mod (2**61 - 1)`` element-wise in uint64 arithmetic.
+
+    Requires ``a < 2**61`` and ``b < 2**32``.  Both may be scalars or
+    arrays (numpy broadcasting applies).
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    a_lo = a & _LOW31  # < 2**31
+    a_hi = a >> _SHIFT31  # < 2**30
+    # a*b = a_hi * b * 2**31 + a_lo * b; each partial product fits in 64 bits.
+    t1 = _fold61(a_lo * b)  # a_lo*b < 2**63
+    t2 = _finish_mod(_fold61(a_hi * b))  # (a_hi*b mod p) < 2**61
+    # t2 * 2**31 mod p, folding with 2**61 ≡ 1 (mod p):
+    t2_lo = t2 & _LOW30  # < 2**30
+    t2_hi = t2 >> _SHIFT30  # < 2**31
+    t2_shifted = t2_hi + (t2_lo << _SHIFT31)  # ≡ t2 * 2**31, < 2**61 + 2**31
+    total = _fold61(t1 + t2_shifted)  # operands < 2**62, sum < 2**63
+    return _finish_mod(total)
+
+
+def _poly_eval(coeffs: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Horner evaluation of a polynomial mod p at 32-bit ``keys``.
+
+    ``coeffs`` is highest-degree first; all coefficients are in ``[0, p)``.
+    """
+    acc = np.full(keys.shape, coeffs[0], dtype=np.uint64)
+    for c in coeffs[1:]:
+        acc = mulmod61(acc, keys)
+        acc = _finish_mod(_fold61(acc + c))
+    return acc
+
+
+def _check_keys(keys: ArrayLike) -> np.ndarray:
+    arr = np.asarray(keys, dtype=np.uint64)
+    if arr.size and int(arr.max()) >= (1 << 32):
+        raise InvalidParameterError(
+            "hash keys must fit in 32 bits; reduce the universe first"
+        )
+    return arr
+
+
+class KWiseHash:
+    """An exactly k-wise independent hash function ``[2**32] -> [range_]``.
+
+    A random degree-(k-1) polynomial over GF(p), reduced mod ``range_``.
+    The mod-``range_`` step costs a negligible amount of independence
+    (standard practice for sketch implementations).
+
+    Args:
+        k: independence (2 for pairwise, 4 for the sign hash).
+        range_: output range; values land in ``[0, range_)``.
+        rng: numpy Generator supplying the coefficients.
+    """
+
+    def __init__(self, k: int, range_: int, rng: np.random.Generator) -> None:
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k!r}")
+        if range_ < 1:
+            raise InvalidParameterError(f"range_ must be >= 1, got {range_!r}")
+        self.k = k
+        self.range = range_
+        # Leading coefficient non-zero keeps the polynomial degree exactly
+        # k-1; the remaining coefficients are uniform in [0, p).
+        lead = int(rng.integers(1, MERSENNE_P, dtype=np.int64))
+        rest = rng.integers(0, MERSENNE_P, size=k - 1, dtype=np.int64)
+        self._coeffs = np.array([lead, *rest.tolist()], dtype=np.uint64)
+        self._range64 = np.uint64(range_)
+
+    def __call__(self, keys: ArrayLike) -> np.ndarray:
+        """Hash ``keys`` (scalar or array) into ``[0, range)``; returns an
+        array of the broadcast shape (0-d for scalar input)."""
+        arr = _check_keys(keys)
+        return _poly_eval(self._coeffs, arr) % self._range64
+
+    def hash_one(self, key: int) -> int:
+        """Hash a single int key (convenience scalar wrapper)."""
+        return int(self(np.uint64(key)))
+
+
+class SignHash:
+    """A 4-wise independent sign hash ``[2**32] -> {-1, +1}``.
+
+    The low bit of a 4-wise independent value is an unbiased ±1 with the
+    4-wise independence needed by the Count-Sketch variance analysis.
+    """
+
+    def __init__(self, rng: np.random.Generator, k: int = 4) -> None:
+        self._hash = KWiseHash(k, 2, rng)
+
+    def __call__(self, keys: ArrayLike) -> np.ndarray:
+        """Return an int64 array of +1/-1 signs for ``keys``."""
+        bits = self._hash(keys).astype(np.int64)
+        return 2 * bits - 1
+
+    def sign_one(self, key: int) -> int:
+        """Sign of a single int key."""
+        return int(self(np.uint64(key)))
+
+
+def make_rng(seed: Optional[int]) -> np.random.Generator:
+    """The library-wide way to build a numpy Generator from a seed.
+
+    ``None`` yields OS entropy; an int yields a reproducible stream.
+    """
+    return np.random.default_rng(seed)

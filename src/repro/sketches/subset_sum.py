@@ -1,0 +1,114 @@
+"""The random subset-sum sketch of Gilbert, Kotidis, Muthukrishnan and
+Strauss [13] — the first turnstile quantile sketch.
+
+Each counter owns a pairwise independent membership hash ``s : [m] ->
+{0, 1}`` (each key included with probability 1/2) and stores the total
+frequency of included keys.  Conditioned on ``x`` being included, the
+counter's expectation is ``f_x + (T - f_x) / 2`` where ``T`` is the total
+mass, so ``2 * C - T`` is an unbiased estimator of ``f_x``; symmetrically
+``T - 2 * C`` is unbiased when ``x`` is excluded.  Averaging ``reps``
+counters and taking a median over ``groups`` gives the usual
+median-of-means concentration.
+
+The variance per counter is ``Theta(F_2)`` — not ``F_2 / w`` as for the
+Count-Sketch — which is why RSS needs ``O(1/eps**2)`` counters and loses
+badly in the experiments (the paper drops it from most figures; we keep it
+implemented for completeness and for Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.sketches.hashing import ArrayLike, KWiseHash, make_rng
+
+
+class SubsetSumSketch:
+    """Random subset-sum frequency estimator over keys in ``[0, 2**32)``.
+
+    Args:
+        groups: number of independent groups (median is taken over these).
+        reps: counters per group (mean is taken within a group).
+        rng: numpy Generator for hash coefficients (or ``seed=``).
+        seed: convenience alternative to ``rng``.
+    """
+
+    biased_up = False
+
+    def __init__(
+        self,
+        groups: int,
+        reps: int,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if groups < 1:
+            raise InvalidParameterError(f"groups must be >= 1, got {groups!r}")
+        if reps < 1:
+            raise InvalidParameterError(f"reps must be >= 1, got {reps!r}")
+        if rng is None:
+            rng = make_rng(seed)
+        self.groups = groups
+        self.reps = reps
+        self._counters = np.zeros((groups, reps), dtype=np.int64)
+        self._total = 0
+        self._members = [
+            [KWiseHash(2, 2, rng) for _ in range(reps)] for _ in range(groups)
+        ]
+
+    def update(self, key: int, delta: int = 1) -> None:
+        """Add ``delta`` to the frequency of ``key``."""
+        self._total += delta
+        for g in range(self.groups):
+            for j in range(self.reps):
+                if self._members[g][j].hash_one(key):
+                    self._counters[g, j] += delta
+
+    def update_batch(self, keys: ArrayLike, deltas: ArrayLike = 1) -> None:
+        """Vectorized bulk update."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        deltas = np.broadcast_to(
+            np.asarray(deltas, dtype=np.int64), keys.shape
+        )
+        self._total += int(deltas.sum())
+        for g in range(self.groups):
+            for j in range(self.reps):
+                included = self._members[g][j](keys).astype(bool)
+                self._counters[g, j] += int(deltas[included].sum())
+
+    def estimate(self, key: int) -> int:
+        """Median-of-means unbiased point estimate of ``key``'s frequency."""
+        return int(self.estimate_batch(np.uint64([key]))[0])
+
+    def estimate_batch(self, keys: ArrayLike) -> np.ndarray:
+        """Vectorized point estimates for an array of keys."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        means = np.empty((self.groups,) + keys.shape, dtype=np.float64)
+        for g in range(self.groups):
+            acc = np.zeros(keys.shape, dtype=np.float64)
+            for j in range(self.reps):
+                included = self._members[g][j](keys).astype(bool)
+                counter = float(self._counters[g, j])
+                est_in = 2.0 * counter - self._total
+                est_out = self._total - 2.0 * counter
+                acc += np.where(included, est_in, est_out)
+            means[g] = acc / self.reps
+        return np.rint(np.median(means, axis=0)).astype(np.int64)
+
+    def variance_estimate(self) -> float:
+        """Rough variance proxy: empirical variance of ``2C - T`` across
+        counters (each is an unbiased estimator of *some* frequency, and
+        their spread tracks ``F_2``)."""
+        ests = 2.0 * self._counters.astype(np.float64) - self._total
+        return float(ests.var() / self.reps) if ests.size > 1 else 0.0
+
+    def size_words(self) -> int:
+        """Space in 4-byte words: counters, the total, and hash coefficients
+        (two 61-bit coefficients = four words per membership hash)."""
+        return self.groups * self.reps * (1 + 4) + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SubsetSumSketch groups={self.groups} reps={self.reps}>"

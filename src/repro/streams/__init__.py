@@ -1,0 +1,39 @@
+"""Stream and data-set generators for experiments and examples."""
+
+from repro.streams.datasets import (
+    MPCAT_UNIVERSE,
+    MPCAT_UNIVERSE_LOG2,
+    synthetic_lidar,
+    synthetic_mpcat_obs,
+)
+from repro.streams.generators import (
+    chunked_sorted_stream,
+    normal_stream,
+    sorted_stream,
+    uniform_stream,
+    zipf_stream,
+)
+from repro.streams.updates import (
+    adversarial_teardown,
+    churn_stream,
+    insert_only,
+    remaining_values,
+    validate_updates,
+)
+
+__all__ = [
+    "MPCAT_UNIVERSE",
+    "MPCAT_UNIVERSE_LOG2",
+    "adversarial_teardown",
+    "chunked_sorted_stream",
+    "churn_stream",
+    "insert_only",
+    "normal_stream",
+    "remaining_values",
+    "sorted_stream",
+    "synthetic_lidar",
+    "synthetic_mpcat_obs",
+    "uniform_stream",
+    "validate_updates",
+    "zipf_stream",
+]

@@ -1,0 +1,122 @@
+"""Synthetic stream generators for the paper's experiments (Section 4.1.1).
+
+The paper's synthetic suite varies four data characteristics:
+
+* **size** — stream length ``n``;
+* **universe** — elements are ints in ``[0, 2**universe_log2)``;
+* **distribution** — uniform, or normal with varying sigma (skewness in
+  the paper's sense: smaller sigma = more concentrated = more skew), plus
+  a Zipf generator for heavy-tail experiments;
+* **order** — random, sorted, reverse-sorted, or "chunked" (sorted runs
+  of random lengths, the arrival pattern of the MPCAT-OBS archive).
+
+Every generator returns an ``np.int64`` array — the whole library treats
+streams as value sequences, so materializing keeps experiments fast and
+reproducible.  Generators take an explicit seed; the same seed always
+yields the same stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.sketches.hashing import make_rng
+
+
+def _validate(n: int, universe_log2: int) -> None:
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n!r}")
+    if not (1 <= universe_log2 <= 63):
+        raise InvalidParameterError(
+            f"universe_log2 must be in [1, 63], got {universe_log2!r}"
+        )
+
+
+def uniform_stream(
+    n: int, universe_log2: int = 32, seed: Optional[int] = None
+) -> np.ndarray:
+    """``n`` ints uniform over ``[0, 2**universe_log2)``, random order."""
+    _validate(n, universe_log2)
+    rng = make_rng(seed)
+    return rng.integers(0, 1 << universe_log2, size=n, dtype=np.int64)
+
+
+def normal_stream(
+    n: int,
+    universe_log2: int = 32,
+    sigma: float = 0.15,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Normal values mapped onto the integer universe.
+
+    Draws from ``N(0.5, sigma)`` on the unit interval (clipped), then
+    scales to ``[0, 2**universe_log2)`` — the paper's normal data sets
+    with their sigma-controlled skewness (Figs. 6, 11, 12 use sigma in
+    {0.05, 0.15, 0.25}).
+    """
+    _validate(n, universe_log2)
+    if sigma <= 0:
+        raise InvalidParameterError(f"sigma must be > 0, got {sigma!r}")
+    rng = make_rng(seed)
+    unit = np.clip(rng.normal(0.5, sigma, size=n), 0.0, 1.0 - 1e-12)
+    return (unit * (1 << universe_log2)).astype(np.int64)
+
+
+def zipf_stream(
+    n: int,
+    universe_log2: int = 32,
+    alpha: float = 1.2,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Heavy-tailed (Zipf) values clipped into the universe.
+
+    Not in the paper's original suite; included because heavy duplicate
+    mass exercises the duplicate-handling paths of every algorithm.
+    """
+    _validate(n, universe_log2)
+    if alpha <= 1.0:
+        raise InvalidParameterError(f"alpha must be > 1, got {alpha!r}")
+    rng = make_rng(seed)
+    draws = rng.zipf(alpha, size=n)
+    return np.minimum(draws - 1, (1 << universe_log2) - 1).astype(np.int64)
+
+
+def sorted_stream(
+    n: int,
+    universe_log2: int = 32,
+    seed: Optional[int] = None,
+    descending: bool = False,
+) -> np.ndarray:
+    """Uniform values arriving in fully sorted order (Fig. 8)."""
+    data = np.sort(uniform_stream(n, universe_log2, seed))
+    return data[::-1].copy() if descending else data
+
+
+def chunked_sorted_stream(
+    n: int,
+    universe_log2: int = 32,
+    mean_chunk: int = 1000,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Random values arriving in sorted runs of geometric random lengths.
+
+    Models the MPCAT-OBS arrival pattern: "chunks of ordered data of
+    various lengths" from observation sessions.
+    """
+    _validate(n, universe_log2)
+    if mean_chunk < 1:
+        raise InvalidParameterError(
+            f"mean_chunk must be >= 1, got {mean_chunk!r}"
+        )
+    rng = make_rng(seed)
+    data = rng.integers(0, 1 << universe_log2, size=n, dtype=np.int64)
+    pos = 0
+    while pos < n:
+        length = int(rng.geometric(1.0 / mean_chunk))
+        chunk = data[pos : pos + length]
+        chunk.sort()
+        pos += length
+    return data

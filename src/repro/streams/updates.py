@@ -1,0 +1,119 @@
+"""Turnstile update streams: interleaved insertions and deletions.
+
+The turnstile model (Section 1.1) only allows deleting elements that are
+currently present — multiplicities never go negative.  These helpers
+generate and validate such well-formed update sequences.  (Section 4.3
+notes that turnstile sketches behave identically whether deletions are
+explicit or the deleted elements were never inserted; benches exploit
+that, but the example applications and the correctness tests exercise
+real deletions through these streams.)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError, NegativeFrequencyError
+from repro.sketches.hashing import make_rng
+
+Update = Tuple[int, int]  # (value, +1 or -1)
+
+
+def insert_only(values: Iterable[int]) -> Iterator[Update]:
+    """Wrap a plain value stream as an update stream of insertions."""
+    for value in values:
+        yield int(value), 1
+
+
+def churn_stream(
+    n_ops: int,
+    universe_log2: int = 16,
+    delete_fraction: float = 0.3,
+    seed: Optional[int] = None,
+) -> List[Update]:
+    """A random well-formed update stream with the given deletion rate.
+
+    Each operation is a deletion of a uniformly chosen *live* element with
+    probability ``delete_fraction`` (when any are live), otherwise an
+    insertion of a uniform universe element.
+
+    Returns the materialized list so tests can replay it.
+    """
+    if not (0.0 <= delete_fraction < 1.0):
+        raise InvalidParameterError(
+            f"delete_fraction must be in [0, 1), got {delete_fraction!r}"
+        )
+    rng = make_rng(seed)
+    live: List[int] = []
+    ops: List[Update] = []
+    for _ in range(n_ops):
+        if live and rng.random() < delete_fraction:
+            idx = int(rng.integers(0, len(live)))
+            live[idx], live[-1] = live[-1], live[idx]
+            value = live.pop()
+            ops.append((value, -1))
+        else:
+            value = int(rng.integers(0, 1 << universe_log2))
+            live.append(value)
+            ops.append((value, 1))
+    return ops
+
+
+def adversarial_teardown(
+    n: int, universe_log2: int = 16, survivors: int = 1,
+    seed: Optional[int] = None,
+) -> List[Update]:
+    """The lower-bound stream of Section 1.2.2: insert ``n`` elements,
+    then delete all but ``survivors`` of them.
+
+    This is the pattern that defeats every comparison-based algorithm;
+    fixed-universe sketches must still answer correctly about the
+    survivors.
+    """
+    if survivors < 0 or survivors > n:
+        raise InvalidParameterError(
+            f"survivors must be in [0, n], got {survivors!r}"
+        )
+    rng = make_rng(seed)
+    values = rng.integers(0, 1 << universe_log2, size=n, dtype=np.int64)
+    ops: List[Update] = [(int(v), 1) for v in values]
+    doomed = values[survivors:] if survivors else values
+    order = rng.permutation(len(doomed))
+    ops.extend((int(doomed[i]), -1) for i in order)
+    return ops
+
+
+def validate_updates(updates: Iterable[Update]) -> Counter:
+    """Check well-formedness; returns the final multiplicity Counter.
+
+    Raises:
+        NegativeFrequencyError: on the first deletion of an absent element.
+        InvalidParameterError: on a delta other than +1/-1.
+    """
+    counts: Counter = Counter()
+    for i, (value, delta) in enumerate(updates):
+        if delta == 1:
+            counts[value] += 1
+        elif delta == -1:
+            if counts[value] <= 0:
+                raise NegativeFrequencyError(
+                    f"update {i}: deleting absent element {value!r}"
+                )
+            counts[value] -= 1
+        else:
+            raise InvalidParameterError(
+                f"update {i}: delta must be +1 or -1, got {delta!r}"
+            )
+    return counts
+
+
+def remaining_values(updates: Iterable[Update]) -> np.ndarray:
+    """The sorted multiset of values remaining after all updates."""
+    counts = validate_updates(updates)
+    out: List[int] = []
+    for value, mult in counts.items():
+        out.extend([value] * mult)
+    return np.sort(np.asarray(out, dtype=np.int64))

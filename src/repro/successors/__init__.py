@@ -1,0 +1,14 @@
+"""Successor and prototype algorithms: the lineage this paper feeds.
+
+KLL (Karnin-Lang-Liberty) descends directly from the paper's ``Random``;
+t-digest is the industrial cousin that trades the comparison-model
+contract for tail-relative accuracy; SampledGK is a prototype of the
+Felber-Ostrovsky flavor, included (as the paper included theirs) to show
+why it was excluded.
+"""
+
+from repro.successors.kll import KLL
+from repro.successors.sampled_gk import SampledGK
+from repro.successors.tdigest import TDigest
+
+__all__ = ["KLL", "SampledGK", "TDigest"]

@@ -1,0 +1,227 @@
+"""t-digest — Dunning's centroid sketch, the other industrial successor.
+
+Where the paper's algorithms bound *rank* error uniformly, the t-digest
+(Dunning & Ertl) targets *relative* accuracy at the tails: it clusters
+values into centroids whose maximum weight shrinks near ``q = 0`` and
+``q = 1`` under a scale function, so p99.9 estimates stay sharp while
+the middle of the distribution is summarized coarsely.  It returns
+interpolated values (not stream elements), trading the comparison-model
+contract for smoothness — a design point the paper's taxonomy (Section
+1.1) excludes, which is exactly why it is interesting to compare.
+
+This is the *merging* t-digest: incoming points buffer, and a flush
+merge-sorts buffer plus centroids and re-clusters greedily under the
+``k1`` scale function ``k(q) = (delta / 2 pi) asin(2q - 1)`` — a cluster
+may absorb the next point only while its k-size stays below 1.
+
+Accuracy is empirical (no worst-case rank bound — the known t-digest
+caveat); the bench against the paper's winners shows where it shines
+(extreme tails, tiny memory) and where GK/Random beat it (uniform rank
+guarantees).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.core.base import (
+    MergeableSketch,
+    QuantileSketch,
+    reject_nan,
+    validate_phi,
+)
+from repro.core.errors import EmptySummaryError, MergeError
+from repro.core.registry import register
+
+
+def _k1(q: float, delta: float) -> float:
+    """The k1 scale function: tail-emphasizing cluster sizing."""
+    q = min(1.0, max(0.0, q))
+    return (delta / (2.0 * math.pi)) * math.asin(2.0 * q - 1.0)
+
+
+def _cluster(
+    merged: List[Tuple[float, int]], delta: float
+) -> List[Tuple[float, int]]:
+    """Greedy left-to-right re-clustering under the k1 scale function.
+
+    ``merged`` is a sorted list of (mean, count) pairs; adjacent pairs
+    coalesce while the open cluster's k-size stays below 1.
+    """
+    total = sum(count for _mean, count in merged)
+    out: List[Tuple[float, int]] = []
+    cum = 0  # weight before the open cluster
+    open_mean, open_count = merged[0]
+    k_lo = _k1(0.0, delta)
+    for mean, count in merged[1:]:
+        q_hi = (cum + open_count + count) / total
+        if _k1(q_hi, delta) - k_lo < 1.0:
+            open_mean = (
+                open_mean * open_count + mean * count
+            ) / (open_count + count)
+            open_count += count
+        else:
+            out.append((open_mean, open_count))
+            cum += open_count
+            k_lo = _k1(cum / total, delta)
+            open_mean, open_count = mean, count
+    out.append((open_mean, open_count))
+    return out
+
+
+@register("tdigest")
+class TDigest(QuantileSketch, MergeableSketch):
+    """Merging t-digest.
+
+    Args:
+        delta: compression parameter; ~``delta`` centroids are kept and
+            mid-distribution rank error is roughly ``1 / delta``.
+        eps: registry-uniform alternative to ``delta``: when ``delta`` is
+            not given, ``delta = max(10, 2 / eps)`` targets a comparable
+            mid-distribution rank error.
+        buffer_size: points accumulated between merges (default
+            ``10 * delta``).
+    """
+
+    name = "TDigest"
+    deterministic = False  # centroid layout depends on arrival order
+    comparison_based = False  # interpolates: may return unseen values
+
+    def __init__(
+        self,
+        delta: Optional[float] = None,
+        eps: Optional[float] = None,
+        buffer_size: Optional[int] = None,
+    ) -> None:
+        if delta is None:
+            delta = 100.0 if eps is None else max(10.0, 2.0 / eps)
+        if delta < 10:
+            raise ValueError(f"delta must be >= 10, got {delta!r}")
+        self.delta = float(delta)
+        self.buffer_size = buffer_size or int(10 * delta)
+        self._centroids: List[Tuple[float, int]] = []  # (mean, count)
+        self._buffer: List[float] = []
+        self._n = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def update(self, value) -> None:
+        value = float(value)
+        reject_nan(value)
+        self._buffer.append(value)
+        self._n += 1
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if len(self._buffer) >= self.buffer_size:
+            self._flush()
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.update(value)
+
+    def _flush(self) -> None:
+        """Merge buffered points and existing centroids, re-clustering
+        greedily under the scale function."""
+        if not self._buffer:
+            return
+        incoming = [(float(v), 1) for v in self._buffer]
+        merged = sorted(self._centroids + incoming)
+        self._buffer = []
+        self._centroids = _cluster(merged, self.delta)
+
+    # ------------------------------------------------------------------
+    # query path
+    # ------------------------------------------------------------------
+
+    def rank(self, value) -> float:
+        """Interpolated rank estimate of ``value``."""
+        self._flush()
+        value = float(value)
+        if not self._centroids or value <= self._min:
+            return 0.0
+        if value > self._max:
+            return float(self._n)
+        cum = 0.0
+        prev_mean, prev_count = None, 0
+        for mean, count in self._centroids:
+            if value < mean:
+                if prev_mean is None:
+                    # Between the minimum and the first centroid.
+                    span = mean - self._min
+                    frac = (value - self._min) / span if span > 0 else 0.0
+                    return frac * count / 2.0
+                span = mean - prev_mean
+                frac = (value - prev_mean) / span if span > 0 else 1.0
+                return cum - prev_count / 2.0 + frac * (
+                    prev_count + count
+                ) / 2.0
+            cum += count
+            prev_mean, prev_count = mean, count
+        # Between the last centroid and the maximum.
+        span = self._max - prev_mean
+        frac = (value - prev_mean) / span if span > 0 else 1.0
+        return cum - prev_count / 2.0 + frac * prev_count / 2.0 + 0.0
+
+    def query(self, phi: float) -> float:
+        """Interpolated ``phi``-quantile (may not be a stream element)."""
+        validate_phi(phi)
+        self._flush()
+        if self._n <= 0:
+            raise EmptySummaryError("TDigest: cannot query empty summary")
+        target = phi * self._n
+        cum = 0.0
+        prev_mean: Optional[float] = None
+        prev_mid = 0.0
+        for mean, count in self._centroids:
+            mid = cum + count / 2.0
+            if target < mid:
+                if prev_mean is None:
+                    span = mean - self._min
+                    return self._min + span * (target / mid if mid else 0)
+                frac = (target - prev_mid) / (mid - prev_mid)
+                return prev_mean + frac * (mean - prev_mean)
+            cum += count
+            prev_mean, prev_mid = mean, mid
+        span = self._max - (prev_mean if prev_mean is not None else self._min)
+        denom = self._n - prev_mid
+        frac = (target - prev_mid) / denom if denom > 0 else 1.0
+        base = prev_mean if prev_mean is not None else self._min
+        return base + span * min(1.0, max(0.0, frac))
+
+    def merge(self, other: "TDigest") -> None:
+        """Fold another t-digest (same delta) into this one."""
+        if not isinstance(other, TDigest):
+            raise MergeError(f"cannot merge TDigest with {type(other)!r}")
+        if other.delta != self.delta:
+            raise MergeError("cannot merge t-digests with different delta")
+        other._flush()
+        self._flush()
+        combined = sorted(self._centroids + other._centroids)
+        if combined:
+            self._centroids = _cluster(combined, self.delta)
+        self._n += other._n
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        other._centroids = []
+        other._buffer = []
+        other._n = 0
+
+    def centroid_count(self) -> int:
+        """Number of live centroids."""
+        self._flush()
+        return len(self._centroids)
+
+    def size_words(self) -> int:
+        """Two words per centroid plus the buffer capacity."""
+        return 2 * len(self._centroids) + self.buffer_size
+
+    def _require_nonempty(self) -> None:
+        if self._n <= 0:
+            raise EmptySummaryError("TDigest: cannot query empty summary")

@@ -1,0 +1,27 @@
+"""Turnstile (insert+delete) quantile algorithms (Section 3)."""
+
+from repro.turnstile.dcm import DyadicCountMin
+from repro.turnstile.dcs import DyadicCountSketch
+from repro.turnstile.dyadic import DyadicQuantiles
+from repro.turnstile.postprocess import (
+    DCSWithPostProcessing,
+    PostProcessedSnapshot,
+    TreeNode,
+    blue_correct,
+    blue_correct_forest,
+    brute_force_blue,
+)
+from repro.turnstile.rss import RandomSubsetSums
+
+__all__ = [
+    "DCSWithPostProcessing",
+    "DyadicCountMin",
+    "DyadicCountSketch",
+    "DyadicQuantiles",
+    "PostProcessedSnapshot",
+    "RandomSubsetSums",
+    "TreeNode",
+    "blue_correct",
+    "blue_correct_forest",
+    "brute_force_blue",
+]

@@ -1,0 +1,62 @@
+"""DCM — Dyadic Count-Min, the turnstile quantile algorithm of Cormode
+and Muthukrishnan [7].
+
+One Count-Min sketch per dyadic level.  Following the paper's tuned
+settings (Section 4.3.1): ``d = 7`` rows and ``w = (1/eps) * log2(u)``
+columns — the extra ``log2(u)`` factor splits the error budget across the
+levels whose estimates a rank query sums, since Count-Min errors are
+one-sided and add up rather than cancel.  Total space
+``O((1/eps) log^2 u ...)``, the pre-DCS record (Table 1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.registry import register
+from repro.sketches.countmin import CountMinSketch
+from repro.turnstile.dyadic import DyadicQuantiles
+
+
+@register("dcm")
+class DyadicCountMin(DyadicQuantiles):
+    """Dyadic Count-Min turnstile quantile sketch.
+
+    Args:
+        eps: target rank error.
+        universe_log2: log2 of the universe size (at most 32).
+        seed: hash randomness.
+        width: override the per-level sketch width ``w`` (tuning knob for
+            the Table 3/4 style experiments).
+        depth: rows per sketch; the paper tunes this to 7.
+        exact_cutoff: see :class:`DyadicQuantiles`.
+    """
+
+    name = "DCM"
+
+    def __init__(
+        self,
+        eps: float,
+        universe_log2: int,
+        seed: Optional[int] = None,
+        width: Optional[int] = None,
+        depth: int = 7,
+        exact_cutoff: Optional[int] = None,
+    ) -> None:
+        self.depth = depth
+        self._width = width if width is not None else max(
+            2, math.ceil(universe_log2 / eps)
+        )
+        super().__init__(eps, universe_log2, seed, exact_cutoff)
+
+    @property
+    def width(self) -> int:
+        """Per-level sketch width ``w``."""
+        return self._width
+
+    def _sketch_words(self) -> int:
+        return self._width * self.depth
+
+    def _make_estimator(self, level: int):
+        return CountMinSketch(self._width, self.depth, rng=self._rng)

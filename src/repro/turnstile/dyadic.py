@@ -1,0 +1,195 @@
+"""The dyadic structure underlying every turnstile quantile algorithm.
+
+Section 3: impose ``log2(u)`` levels over the universe ``[0, u)``.  At
+level ``i`` the universe is partitioned into intervals of length ``2**i``;
+an element ``x`` maps to the interval (cell) ``x >> i``.  Each level owns
+a frequency estimator over its reduced universe ``[0, u / 2**i)`` — a
+sketch, or exact counters once the reduced universe is smaller than the
+sketch would be ("we should maintain the frequencies exactly").
+
+* ``rank(x)`` decomposes ``[0, x)`` into at most one dyadic interval per
+  level — for every set bit ``i`` of ``x``, the level-``i`` cell
+  ``(x >> i) ^ 1`` — and sums the estimated interval counts.
+* ``query(phi)`` binary-searches ``[0, u)`` for the largest element whose
+  rank is below ``phi * n``.
+
+Subclasses (DCM, DCS, RSS) choose the estimator; everything else —
+update/delete fan-out, rank decomposition, quantile search, space
+accounting — lives here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import (
+    TurnstileSketch,
+    validate_eps,
+    validate_phi,
+    validate_universe_log2,
+)
+from repro.core.errors import UniverseOverflowError
+from repro.sketches.exact_counter import ExactCounter
+from repro.sketches.hashing import make_rng
+
+
+class DyadicQuantiles(TurnstileSketch):
+    """Base class: dyadic hierarchy of frequency estimators.
+
+    Args:
+        eps: target rank error.
+        universe_log2: log2 of the universe size (elements are ints in
+            ``[0, 2**universe_log2)``; at most 32).
+        seed: randomness for the level sketches.
+        exact_cutoff: keep exact counters at a level whenever its reduced
+            universe has at most this many cells.  ``None`` (default)
+            derives it from the per-level sketch footprint; ``0`` disables
+            exact levels entirely except the implicit root (ablation).
+    """
+
+    name = "Dyadic"
+    deterministic = False
+
+    def __init__(
+        self,
+        eps: float,
+        universe_log2: int,
+        seed: Optional[int] = None,
+        exact_cutoff: Optional[int] = None,
+    ) -> None:
+        self.eps = validate_eps(eps)
+        self.universe_log2 = validate_universe_log2(universe_log2)
+        if universe_log2 > 32:
+            raise UniverseOverflowError(
+                "dyadic sketches support universes up to 2**32"
+            )
+        self.universe = 1 << universe_log2
+        self._rng = make_rng(seed)
+        self._n = 0
+        if exact_cutoff is None:
+            exact_cutoff = self._sketch_words()
+        self.exact_cutoff = exact_cutoff
+        self._levels = []
+        for level in range(universe_log2):
+            cells = 1 << (universe_log2 - level)
+            if cells <= self.exact_cutoff:
+                self._levels.append(ExactCounter(cells))
+            else:
+                self._levels.append(self._make_estimator(level))
+
+    # -- subclass hooks -------------------------------------------------
+
+    def _sketch_words(self) -> int:
+        """Approximate per-level sketch footprint (sets exact_cutoff)."""
+        raise NotImplementedError
+
+    def _make_estimator(self, level: int):
+        """Build the frequency estimator for one (sketched) level."""
+        raise NotImplementedError
+
+    # -- updates ---------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def _check(self, value: int) -> int:
+        value = int(value)
+        if not (0 <= value < self.universe):
+            raise UniverseOverflowError(
+                f"value {value!r} outside universe [0, {self.universe})"
+            )
+        return value
+
+    def update(self, value) -> None:
+        value = self._check(value)
+        self._n += 1
+        for level, est in enumerate(self._levels):
+            est.update(value >> level, 1)
+
+    def delete(self, value) -> None:
+        value = self._check(value)
+        self._n -= 1
+        for level, est in enumerate(self._levels):
+            est.update(value >> level, -1)
+
+    def update_batch(self, values: Sequence[int], deltas=1) -> None:
+        """Vectorized bulk update (``deltas`` is +/-1 scalar or array)."""
+        keys = np.asarray(values, dtype=np.int64)
+        if keys.size == 0:
+            return
+        if keys.min() < 0 or keys.max() >= self.universe:
+            raise UniverseOverflowError(
+                f"values outside universe [0, {self.universe})"
+            )
+        deltas_arr = np.broadcast_to(
+            np.asarray(deltas, dtype=np.int64), keys.shape
+        )
+        self._n += int(deltas_arr.sum())
+        keys = keys.astype(np.uint64)
+        for level, est in enumerate(self._levels):
+            est.update_batch(keys >> np.uint64(level), deltas_arr)
+
+    def extend(self, values) -> None:
+        self.update_batch(np.fromiter(values, dtype=np.int64))
+
+    # -- queries ----------------------------------------------------------
+
+    def level_estimate(self, level: int, cell: int) -> float:
+        """Estimated number of elements in the level-``level`` cell."""
+        return float(self._levels[level].estimate(cell))
+
+    def rank(self, value) -> float:
+        """Estimated number of elements smaller than ``value``.
+
+        ``value`` may be ``universe`` (one past the top), in which case the
+        answer is ``n`` exactly.
+        """
+        value = int(value)
+        if value <= 0:
+            return 0.0
+        if value >= self.universe:
+            return float(self._n)
+        total = 0.0
+        for level in range(self.universe_log2):
+            if (value >> level) & 1:
+                total += float(
+                    self._levels[level].estimate((value >> level) ^ 1)
+                )
+        return total
+
+    def query(self, phi: float) -> int:
+        """Approximate ``phi``-quantile via binary search on the rank."""
+        validate_phi(phi)
+        self._require_nonempty()
+        target = max(1, math.ceil(phi * self._n))
+        lo, hi = 0, self.universe - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            # rank(mid + 1) estimates the count of elements <= mid.
+            if self.rank(mid + 1) < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # -- introspection ----------------------------------------------------
+
+    def exact_levels(self) -> List[int]:
+        """Levels currently backed by exact counters."""
+        return [
+            level
+            for level, est in enumerate(self._levels)
+            if isinstance(est, ExactCounter)
+        ]
+
+    def level_variance(self, level: int) -> float:
+        """Variance proxy for one estimate at ``level`` (0 if exact)."""
+        return float(self._levels[level].variance_estimate())
+
+    def size_words(self) -> int:
+        """Sum of the level structures plus the element counter."""
+        return 1 + sum(est.size_words() for est in self._levels)

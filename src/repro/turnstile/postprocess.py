@@ -1,0 +1,431 @@
+"""OLS post-processing for dyadic sketches (Section 3.2).
+
+The per-level estimates of a dyadic sketch are redundant: the true count
+at a node equals the sum at its two children, but independent sketches
+know nothing of each other, so their estimates disagree.  Treating the
+leaf frequencies of a *truncated* dyadic tree as unknowns and every node
+estimate as a noisy linear observation yields an ordinary-least-squares
+problem; the Gauss–Markov theorem says its solution (the BLUE) minimizes
+the variance of *every* linear functional of the leaves — in particular
+of every rank, which is what quantile queries consume.
+
+Pipeline (all linear in the truncated tree size, ``O((1/eps) log u)``):
+
+1. **Truncate** (Section 3.2.2): walk the dyadic tree top-down, expanding
+   only nodes whose estimated count exceeds ``eta * eps * n``.  Every
+   expanded node keeps both children, so the tree stays full-binary.
+2. **Decompose** at exact nodes: levels stored exactly (variance 0)
+   shield their subtrees, so each deepest-exact node roots an independent
+   BLUE problem (Definition 1 with ``sigma_r = 0``).
+3. **Solve** each subtree with the three-traversal algorithm of Section
+   3.2.3: node weights ``lambda`` / ``pi`` from the bottom-up system (2),
+   then ``Z``, ``Delta``, ``F`` and finally the corrected counts ``x*``
+   from (3).
+
+Erratum implemented here (see DESIGN.md): for internal nodes the paper
+defines ``Z_v = sum_{w < v} lambda_w Z_w``, but reproducing its own worked
+example (Fig. 3 / Table 2) requires ``Z_v = sum_{w < v} Z_w`` — the leaf
+``Z_w`` values already carry their ``lambda`` factor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.base import validate_phi
+from repro.core.errors import EmptySummaryError, InvalidParameterError
+
+
+class TreeNode:
+    """A node of a (truncated) estimate tree.
+
+    Attributes:
+        y: the observed (estimated or exact) count of the node's interval.
+        sigma2: variance of the observation; 0 marks an exact node.
+        children: zero or exactly two child nodes.
+        lo, hi: the value interval ``[lo, hi)`` covered (optional, used by
+            query snapshots; pure solver tests may leave them at 0).
+        xstar: the corrected count, filled in by :func:`blue_correct`.
+    """
+
+    __slots__ = (
+        "y", "sigma2", "children", "lo", "hi", "xstar",
+        "_beta", "_alpha", "lam", "pi", "_zprime", "z",
+    )
+
+    def __init__(
+        self,
+        y: float,
+        sigma2: float,
+        children: Optional[List["TreeNode"]] = None,
+        lo: int = 0,
+        hi: int = 0,
+    ) -> None:
+        if children and len(children) != 2:
+            raise InvalidParameterError(
+                "estimate-tree nodes must have exactly 0 or 2 children"
+            )
+        self.y = float(y)
+        self.sigma2 = float(sigma2)
+        self.children = children or []
+        self.lo = lo
+        self.hi = hi
+        self.xstar: Optional[float] = None
+        self._beta = 0.0
+        self._alpha = 0.0
+        self.lam = 0.0
+        self.pi = 0.0
+        self._zprime = 0.0
+        self.z = 0.0
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def walk(self):
+        """Yield every node, parents before children."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+
+def blue_correct(root: TreeNode) -> None:
+    """Compute the BLUE ``x*`` for every node of one subtree in place.
+
+    Requirements (Definition 1): ``root.sigma2 == 0`` (its count is exact)
+    and every other node has ``sigma2 > 0``.  After the call each node's
+    ``xstar`` holds the corrected count; parents equal the sum of their
+    children exactly, and ``root.xstar == root.y``.
+    """
+    if root.sigma2 != 0.0:
+        raise InvalidParameterError("subtree root must be exact (sigma2=0)")
+    if root.is_leaf():
+        root.xstar = root.y
+        return
+    nodes_topdown = list(root.walk())
+    for node in nodes_topdown:
+        if node is not root and node.sigma2 <= 0.0:
+            raise InvalidParameterError(
+                "only the subtree root may be exact (sigma2=0)"
+            )
+
+    # --- bottom-up: beta (and the children's alpha split ratios) --------
+    for node in reversed(nodes_topdown):
+        if node.is_leaf():
+            node._beta = 1.0 / node.sigma2
+            continue
+        c1, c2 = node.children
+        total = c1._beta + c2._beta
+        c1._alpha = c2._beta / total
+        c2._alpha = c1._beta / total
+        # pi_v = pi_{left child} + lambda_v / sigma_v^2 and
+        # pi_{left child} = beta_c1 * lambda_c1 = beta_c1 * alpha_c1 * lam_v.
+        own = 0.0 if node is root else 1.0 / node.sigma2
+        node._beta = c1._beta * c1._alpha + own
+
+    # --- top-down: lambda and pi ----------------------------------------
+    root.lam = 1.0
+    for node in nodes_topdown:
+        if node is root:
+            node.pi = node._beta  # pi of root is unused (sigma_r = 0)
+        else:
+            node.pi = node._beta * node.lam
+        for child in node.children:
+            child.lam = child._alpha * node.lam
+
+    # --- traversal 1: Z' (prefix sums of y/sigma^2 along root paths) ----
+    root._zprime = 0.0
+    for node in nodes_topdown:
+        for child in node.children:
+            child._zprime = node._zprime + child.y / child.sigma2
+
+    # --- traversal 2: Z (leaf Z = lambda * Z'; internal = sum of leaves) -
+    for node in reversed(nodes_topdown):
+        if node.is_leaf():
+            node.z = node.lam * node._zprime
+        else:
+            node.z = node.children[0].z + node.children[1].z
+
+    # --- traversal 3: Delta, F, x* ---------------------------------------
+    delta = (root.z - root.y * root.children[0].pi) / root.lam
+    root.xstar = root.y
+    f_root = 0.0
+    stack = [(root, f_root)]
+    while stack:
+        node, f_parent = stack.pop()
+        if node is not root:
+            node.xstar = (
+                node.z - node.lam * f_parent - node.lam * delta
+            ) / node.pi
+            f_here = f_parent + node.xstar / node.sigma2
+        else:
+            f_here = 0.0
+        for child in node.children:
+            stack.append((child, f_here))
+
+
+def blue_correct_forest(root: TreeNode) -> None:
+    """Correct a full truncated tree whose top is a band of exact nodes.
+
+    Exact nodes keep ``x* = y``.  Each deepest exact node whose children
+    are estimated roots an independent BLUE subproblem.
+    """
+    if root.sigma2 != 0.0:
+        raise InvalidParameterError("tree root must be exact (sigma2=0)")
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        node.xstar = node.y
+        if node.is_leaf():
+            continue
+        if all(child.sigma2 > 0.0 for child in node.children):
+            blue_correct(node)  # sets the whole subtree, incl. node again
+        elif all(child.sigma2 == 0.0 for child in node.children):
+            stack.extend(node.children)
+        else:
+            raise InvalidParameterError(
+                "exactness must be uniform per level: a node cannot mix an "
+                "exact child with an estimated child"
+            )
+
+
+def brute_force_blue(root: TreeNode) -> None:
+    """Reference BLUE via an explicit constrained weighted least squares.
+
+    Solves ``min sum_{v != r} (y_v - A_v x)^2 / sigma_v^2`` subject to
+    ``sum(x) == y_r`` with a KKT linear system over the leaf unknowns.
+    O(tau^3); used only by tests to validate :func:`blue_correct`.
+    """
+    if root.is_leaf():
+        root.xstar = root.y
+        return
+    leaves = [node for node in root.walk() if node.is_leaf()]
+    index = {id(leaf): i for i, leaf in enumerate(leaves)}
+    tau = len(leaves)
+
+    rows = []
+    weights = []
+    targets = []
+
+    def leaf_mask(node: TreeNode) -> np.ndarray:
+        mask = np.zeros(tau)
+        for leaf in node.walk():
+            if leaf.is_leaf():
+                mask[index[id(leaf)]] = 1.0
+        return mask
+
+    for node in root.walk():
+        if node is root:
+            continue
+        rows.append(leaf_mask(node))
+        weights.append(1.0 / node.sigma2)
+        targets.append(node.y)
+    a = np.asarray(rows)
+    w = np.asarray(weights)
+    t = np.asarray(targets)
+
+    # KKT system for min (Ax - t)' W (Ax - t) s.t. 1'x = y_r.
+    ata = a.T @ (w[:, None] * a)
+    rhs = a.T @ (w * t)
+    kkt = np.zeros((tau + 1, tau + 1))
+    kkt[:tau, :tau] = 2 * ata
+    kkt[:tau, tau] = 1.0
+    kkt[tau, :tau] = 1.0
+    full_rhs = np.concatenate([2 * rhs, [root.y]])
+    solution = np.linalg.solve(kkt, full_rhs)[:tau]
+
+    for leaf, value in zip(leaves, solution):
+        leaf.xstar = float(value)
+    # Internal nodes: sums of their leaves.
+    for node in reversed(list(root.walk())):
+        if not node.is_leaf():
+            node.xstar = sum(child.xstar for child in node.children)
+
+
+class PostProcessedSnapshot:
+    """A queryable OLS-corrected snapshot of a dyadic sketch.
+
+    Builds the truncated tree (Section 3.2.2) from the sketch's current
+    state, runs :func:`blue_correct_forest`, and answers rank/quantile
+    queries from the corrected leaf counts, interpolating uniformly inside
+    leaf intervals.  The snapshot is immutable: take a new one after
+    further updates.
+
+    Args:
+        sketch: any :class:`~repro.turnstile.dyadic.DyadicQuantiles`
+            whose estimators expose ``variance_estimate`` (DCS is the
+            intended one).
+        eta: truncation threshold multiplier (Fig. 9; paper sweet spot
+            0.1).  Nodes estimated at or below ``eta * eps * n`` are kept
+            as leaves and not expanded.
+    """
+
+    def __init__(self, sketch, eta: float = 0.1) -> None:
+        if eta < 0:
+            raise InvalidParameterError(f"eta must be >= 0, got {eta!r}")
+        self._universe = sketch.universe
+        self._n = sketch.n
+        self.eta = eta
+        self.root = self._build_tree(sketch)
+        blue_correct_forest(self.root)
+        self._leaf_bounds, self._leaf_cum = self._leaf_prefix()
+
+    # -- construction -----------------------------------------------------
+
+    def _build_tree(self, sketch) -> TreeNode:
+        log_u = sketch.universe_log2
+        threshold = self.eta * sketch.eps * max(sketch.n, 1)
+        variances = [sketch.level_variance(lv) for lv in range(log_u)]
+
+        def make(level: int, cell: int) -> TreeNode:
+            """Node for the level-``level`` dyadic cell ``cell``."""
+            lo = cell << level
+            hi = lo + (1 << level)
+            if level == log_u:
+                y, sigma2 = float(sketch.n), 0.0
+            else:
+                y = float(sketch.level_estimate(level, cell))
+                sigma2 = variances[level]
+            node = TreeNode(y, sigma2, lo=lo, hi=hi)
+            if level > 0 and y > threshold:
+                node.children = [
+                    make(level - 1, cell * 2),
+                    make(level - 1, cell * 2 + 1),
+                ]
+            return node
+
+        return make(log_u, 0)
+
+    def _leaf_prefix(self):
+        """Sorted leaf interval bounds and cumulative corrected counts.
+
+        Corrected leaf counts can be slightly negative (Count-Sketch noise
+        survives OLS); clamping them would bias the total mass upward, so
+        instead the raw prefix sums are made monotone by a running-maximum
+        envelope.  BLUE consistency keeps the total at exactly ``n``, and
+        rank queries interpolate a monotone piecewise-linear CDF.
+        """
+        leaves = [node for node in self.root.walk() if node.is_leaf()]
+        leaves.sort(key=lambda node: node.lo)
+        bounds = np.asarray(
+            [leaf.lo for leaf in leaves] + [leaves[-1].hi], dtype=np.int64
+        )
+        counts = np.asarray(
+            [leaf.xstar for leaf in leaves], dtype=np.float64
+        )
+        cum = np.concatenate([[0.0], np.cumsum(counts)])
+        return bounds, np.maximum.accumulate(cum)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def node_count(self) -> int:
+        """Size of the truncated tree (Fig. 9's x-axis ingredient)."""
+        return sum(1 for _ in self.root.walk())
+
+    def rank(self, value) -> float:
+        """Corrected estimate of the number of elements < ``value``."""
+        value = int(value)
+        if value <= 0:
+            return 0.0
+        if value >= self._universe:
+            value = self._universe
+        bounds, cum = self._leaf_bounds, self._leaf_cum
+        idx = int(np.searchsorted(bounds, value, "right")) - 1
+        if idx >= len(cum) - 1:
+            return float(cum[-1])
+        span = bounds[idx + 1] - bounds[idx]
+        frac = (value - bounds[idx]) / span
+        return float(cum[idx] + frac * (cum[idx + 1] - cum[idx]))
+
+    def query(self, phi: float) -> int:
+        """Approximate ``phi``-quantile from the corrected counts."""
+        validate_phi(phi)
+        if self._n <= 0:
+            raise EmptySummaryError("Post: cannot query an empty snapshot")
+        bounds, cum = self._leaf_bounds, self._leaf_cum
+        target = min(float(cum[-1]), max(0.0, phi * self._n))
+        idx = int(np.searchsorted(cum, target, "right")) - 1
+        idx = min(idx, len(cum) - 2)
+        width = cum[idx + 1] - cum[idx]
+        frac = 0.0 if width <= 0 else (target - cum[idx]) / width
+        span = bounds[idx + 1] - bounds[idx]
+        value = bounds[idx] + frac * span
+        return min(self._universe - 1, int(value))
+
+    def quantiles(self, phis) -> list:
+        return [self.query(phi) for phi in phis]
+
+    def size_words(self) -> int:
+        """Words held by the snapshot: ~4 per tree node (interval, y,
+        sigma ref, x*)."""
+        return 4 * self.node_count()
+
+
+from repro.core.registry import register  # noqa: E402
+from repro.turnstile.dcs import DyadicCountSketch  # noqa: E402
+
+
+@register("post")
+class DCSWithPostProcessing(DyadicCountSketch):
+    """DCS whose queries go through the OLS post-processing step.
+
+    The paper's "Post" algorithm (Figs. 9-12): identical streaming state
+    to DCS — post-processing happens only at query time, so update cost
+    and space are unchanged — but ranks and quantiles come from a
+    corrected snapshot, rebuilt lazily after each batch of updates.
+    """
+
+    name = "Post"
+
+    def __init__(
+        self,
+        eps: float,
+        universe_log2: int,
+        seed=None,
+        width=None,
+        depth: int = 7,
+        exact_cutoff=None,
+        eta: float = 0.1,
+    ) -> None:
+        super().__init__(
+            eps, universe_log2, seed=seed, width=width, depth=depth,
+            exact_cutoff=exact_cutoff,
+        )
+        self.eta = eta
+        self._snapshot_cache = None
+
+    def _invalidate(self) -> None:
+        self._snapshot_cache = None
+
+    def update(self, value) -> None:
+        self._invalidate()
+        super().update(value)
+
+    def delete(self, value) -> None:
+        self._invalidate()
+        super().delete(value)
+
+    def update_batch(self, values, deltas=1) -> None:
+        self._invalidate()
+        super().update_batch(values, deltas)
+
+    def snapshot(self) -> PostProcessedSnapshot:
+        """The current corrected snapshot (cached until the next update)."""
+        if self._snapshot_cache is None:
+            self._snapshot_cache = self.post_processed(eta=self.eta)
+        return self._snapshot_cache
+
+    def rank(self, value) -> float:
+        return self.snapshot().rank(value)
+
+    def query(self, phi: float) -> int:
+        validate_phi(phi)
+        self._require_nonempty()
+        return self.snapshot().query(phi)

@@ -1,0 +1,62 @@
+"""RSS — dyadic random subset sums, Gilbert et al.'s original turnstile
+quantile algorithm [13].
+
+One :class:`~repro.sketches.subset_sum.SubsetSumSketch` per dyadic level.
+Each counter's variance is ``Theta(F_2)`` regardless of how many counters
+there are — so reaching error ``eps * n`` takes ``O(1/eps**2)`` counters
+per level, a quadratic dependence that DCM and DCS avoid.  The paper
+excludes RSS from most figures for exactly this reason ("its performance
+is much worse"); we implement it for completeness, for Table 1, and so
+benches can demonstrate the gap.
+
+The defaults are sized for experimentation, not for the theoretical
+guarantee: ``groups = 5`` and ``reps = ceil(4 / eps)`` (capped), which is
+already far larger than the other sketches at small ``eps``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.registry import register
+from repro.sketches.subset_sum import SubsetSumSketch
+from repro.turnstile.dyadic import DyadicQuantiles
+
+
+@register("rss")
+class RandomSubsetSums(DyadicQuantiles):
+    """Dyadic random-subset-sum turnstile quantile sketch.
+
+    Args:
+        eps: target rank error (advisory; see module docstring).
+        universe_log2: log2 of the universe size (at most 32).
+        seed: hash randomness.
+        groups: independent estimator groups per level (median over these).
+        reps: counters per group (mean within a group); default scales
+            like ``1/eps`` and is capped at 4096 to stay runnable.
+        exact_cutoff: see :class:`DyadicQuantiles`.
+    """
+
+    name = "RSS"
+
+    def __init__(
+        self,
+        eps: float,
+        universe_log2: int,
+        seed: Optional[int] = None,
+        groups: int = 5,
+        reps: Optional[int] = None,
+        exact_cutoff: Optional[int] = None,
+    ) -> None:
+        self.groups = groups
+        self.reps = reps if reps is not None else min(
+            4096, max(8, math.ceil(4.0 / eps))
+        )
+        super().__init__(eps, universe_log2, seed, exact_cutoff)
+
+    def _sketch_words(self) -> int:
+        return self.groups * self.reps
+
+    def _make_estimator(self, level: int):
+        return SubsetSumSketch(self.groups, self.reps, rng=self._rng)

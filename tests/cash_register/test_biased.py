@@ -1,0 +1,100 @@
+"""Tests for the biased (relative-error) quantile extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cash_register import BiasedQuantiles, GKArray
+from repro.core import EmptySummaryError, ExactQuantiles
+
+
+def _relative_errors(sketch, exact: ExactQuantiles, phis):
+    n = exact.n
+    out = []
+    for phi in phis:
+        q = sketch.query(phi)
+        lo, hi = exact.rank_interval(q)
+        target = phi * n
+        err = 0.0 if lo <= target <= hi else min(
+            abs(target - lo), abs(target - hi)
+        )
+        out.append(err / max(1.0, phi * n))
+    return out
+
+
+class TestRelativeGuarantee:
+    @pytest.mark.parametrize("order", ["random", "sorted"])
+    def test_relative_error_within_eps(self, order, rng) -> None:
+        eps = 0.05
+        data = rng.integers(0, 1 << 20, size=20_000, dtype=np.int64)
+        if order == "sorted":
+            data = np.sort(data)
+        sk = BiasedQuantiles(eps=eps)
+        sk.extend(data.tolist())
+        exact = ExactQuantiles(data.tolist())
+        phis = [0.0005, 0.001, 0.01, 0.05, 0.1, 0.5, 0.9]
+        rel = _relative_errors(sk, exact, phis)
+        assert max(rel) <= eps, dict(zip(phis, rel))
+
+    def test_head_sharper_than_uniform_gk(self, rng) -> None:
+        """At matched eps, the head quantiles (small phi) must be far more
+        accurate than uniform GK's absolute budget allows."""
+        eps = 0.02
+        n = 40_000
+        data = rng.integers(0, 1 << 24, size=n, dtype=np.int64)
+        biased = BiasedQuantiles(eps=eps)
+        biased.extend(data.tolist())
+        exact = ExactQuantiles(data.tolist())
+        phi = 0.002  # uniform GK could legally be off by eps*n = 800 ranks
+        q = biased.query(phi)
+        lo, hi = exact.rank_interval(q)
+        target = phi * n  # = 80; biased budget is eps*phi*n = 1.6 ranks
+        err = 0.0 if lo <= target <= hi else min(
+            abs(target - lo), abs(target - hi)
+        )
+        assert err <= max(1.0, eps * phi * n) + 1
+
+    def test_mid_stream_queries(self, rng) -> None:
+        eps = 0.1
+        sk = BiasedQuantiles(eps=eps)
+        exact = ExactQuantiles()
+        for i, x in enumerate(rng.normal(0, 1, size=5_000).tolist()):
+            sk.update(x)
+            exact.update(x)
+            if i in (100, 2_000, 4_999):
+                rel = _relative_errors(sk, exact, [0.01, 0.1, 0.5])
+                assert max(rel) <= eps
+
+
+class TestBehavior:
+    def test_space_larger_than_uniform_but_bounded(self, rng) -> None:
+        data = rng.integers(0, 1 << 24, size=30_000, dtype=np.int64)
+        eps = 0.01
+        biased = BiasedQuantiles(eps=eps)
+        uniform = GKArray(eps=eps)
+        biased.extend(data.tolist())
+        uniform.extend(data.tolist())
+        assert biased.tuple_count() > uniform.tuple_count()
+        # ... but still a summary, not the stream.
+        assert biased.tuple_count() < len(data) / 5
+
+    def test_empty_query_raises(self) -> None:
+        with pytest.raises(EmptySummaryError):
+            BiasedQuantiles(eps=0.1).query(0.5)
+
+    def test_invalid_buffer_factor(self) -> None:
+        with pytest.raises(ValueError):
+            BiasedQuantiles(eps=0.1, buffer_factor=0)
+
+    def test_rank_monotone(self, rng) -> None:
+        sk = BiasedQuantiles(eps=0.05)
+        sk.extend(rng.normal(0, 1, size=5_000).tolist())
+        probes = np.linspace(-3, 3, 15)
+        ranks = [sk.rank(p) for p in probes]
+        assert all(a <= b for a, b in zip(ranks, ranks[1:]))
+
+    def test_single_element(self) -> None:
+        sk = BiasedQuantiles(eps=0.1)
+        sk.update(7)
+        assert sk.query(0.5) == 7

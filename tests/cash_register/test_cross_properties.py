@@ -1,0 +1,142 @@
+"""Cross-algorithm property tests for the cash-register summaries.
+
+Properties from the paper's model definitions (Section 1.1):
+
+* comparison-based summaries only return elements they have *seen*
+  ("the algorithm cannot create or compute elements to return");
+* comparison-based summaries work on any totally ordered type — the
+  paper explicitly calls out variable-length strings;
+* answers are consistent: the rank of a returned phi-quantile, as
+  estimated by the summary itself, is near phi * n.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cash_register import (
+    BiasedQuantiles,
+    GKAdaptive,
+    GKArray,
+    GKTheory,
+    MRL99,
+    RandomSketch,
+    SlidingWindowQuantiles,
+)
+from repro.core import ExactQuantiles
+
+COMPARISON_FACTORIES = [
+    ("gk_adaptive", lambda: GKAdaptive(eps=0.1)),
+    ("gk_array", lambda: GKArray(eps=0.1)),
+    ("gk_theory", lambda: GKTheory(eps=0.1)),
+    ("mrl99", lambda: MRL99(eps=0.1, seed=5)),
+    ("random", lambda: RandomSketch(eps=0.1, seed=5)),
+    ("biased", lambda: BiasedQuantiles(eps=0.1)),
+    ("window", lambda: SlidingWindowQuantiles(eps=0.1, window=1 << 16)),
+]
+
+
+@pytest.fixture(
+    params=COMPARISON_FACTORIES, ids=[n for n, _ in COMPARISON_FACTORIES]
+)
+def factory(request):
+    return request.param[1]
+
+
+class TestReturnsSeenElements:
+    @given(
+        data=st.lists(
+            st.integers(-10**6, 10**6), min_size=1, max_size=400
+        )
+    )
+    def test_answers_are_stream_elements(self, factory, data) -> None:
+        sk = factory()
+        sk.extend(data)
+        universe = set(data)
+        for phi in (0.0, 0.1, 0.5, 0.9, 1.0):
+            assert sk.query(phi) in universe
+
+
+class TestArbitraryOrderedTypes:
+    def test_strings(self, factory, rng) -> None:
+        """The paper: comparison-based algorithms 'can handle elements
+        that cannot be easily mapped to a fixed universe, such as
+        variable-length strings'."""
+        words = [
+            "".join(rng.choice(list("abcdefg"), size=rng.integers(1, 12)))
+            for _ in range(3_000)
+        ]
+        sk = factory()
+        sk.extend(words)
+        exact = ExactQuantiles(words)
+        for phi in (0.1, 0.5, 0.9):
+            answer = sk.query(phi)
+            lo, hi = exact.rank_interval(answer)
+            target = phi * len(words)
+            err = 0.0 if lo <= target <= hi else min(
+                abs(target - lo), abs(target - hi)
+            )
+            assert err <= 2 * 0.1 * len(words)
+
+    def test_tuples(self, factory, rng) -> None:
+        """Composite keys (tuples compare lexicographically)."""
+        pairs = [
+            (int(a), int(b))
+            for a, b in rng.integers(0, 50, size=(2_000, 2))
+        ]
+        sk = factory()
+        sk.extend(pairs)
+        assert isinstance(sk.query(0.5), tuple)
+
+
+class TestSelfConsistency:
+    def test_rank_of_quantile_near_target(self, factory, rng) -> None:
+        sk = factory()
+        n = 20_000
+        sk.extend(rng.integers(0, 1 << 20, size=n).tolist())
+        for phi in (0.2, 0.5, 0.8):
+            answer = sk.query(phi)
+            est = sk.rank(answer)
+            assert abs(est - phi * sk.n) <= 3 * 0.1 * sk.n
+
+    @given(st.data())
+    def test_incremental_matches_rebuild(self, data) -> None:
+        """Deterministic summaries are online: feeding a stream in two
+        halves equals feeding it at once."""
+        stream = data.draw(
+            st.lists(st.integers(0, 1000), min_size=2, max_size=300)
+        )
+        half = len(stream) // 2
+        a = GKArray(eps=0.1)
+        a.extend(stream)
+        b = GKArray(eps=0.1)
+        b.extend(stream[:half])
+        b.extend(stream[half:])
+        # Same elements, same order => identical summaries.
+        assert a.tuples() == b.tuples()
+
+
+class TestGKRankProperties:
+    @given(
+        data=st.lists(st.integers(0, 100), min_size=5, max_size=300),
+        probe=st.integers(-10, 110),
+    )
+    def test_rank_brackets_truth(self, data, probe) -> None:
+        eps = 0.1
+        sk = GKArray(eps=eps)
+        sk.extend(data)
+        exact = ExactQuantiles(data)
+        lo, hi = exact.rank_interval(probe)
+        est = sk.rank(probe)
+        slack = 2 * eps * len(data) + 2
+        assert lo - slack <= est <= hi + slack
+
+    def test_rank_extremes(self, rng) -> None:
+        data = rng.integers(10, 90, size=1_000).tolist()
+        sk = GKArray(eps=0.05)
+        sk.extend(data)
+        assert sk.rank(0) == 0.0
+        assert sk.rank(100) >= 0.9 * len(data)

@@ -1,0 +1,107 @@
+"""Direct unit tests for the shared GK machinery (gk_base)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cash_register import check_gk_invariants, gk_query, gk_rank
+from repro.core import EmptySummaryError, ExactQuantiles
+
+
+def exact_tuples(sorted_values):
+    """The trivially exact GK representation of a sorted multiset."""
+    return (
+        list(sorted_values),
+        [1] * len(sorted_values),
+        [0] * len(sorted_values),
+    )
+
+
+class TestGKQuery:
+    def test_exact_representation_answers_exactly(self) -> None:
+        values, gs, deltas = exact_tuples([10, 20, 30, 40, 50])
+        assert gk_query(values, gs, deltas, 5, 0.5) == 30
+        assert gk_query(values, gs, deltas, 5, 0.0) == 10
+        assert gk_query(values, gs, deltas, 5, 1.0) == 50
+
+    def test_uncertain_middle_tuple(self) -> None:
+        # Tuple (20, g=3, delta=1): its 1-based rank is in [4, 5].
+        values = [10, 20, 50]
+        gs = [1, 3, 1]
+        deltas = [0, 1, 0]
+        n = 5
+        # Target rank 4 (phi=0.8): tolerance (3+1)/2 = 2 accepts tuple 2.
+        assert gk_query(values, gs, deltas, n, 0.8) in (20, 50)
+
+    def test_empty_raises(self) -> None:
+        with pytest.raises(EmptySummaryError):
+            gk_query([], [], [], 0, 0.5)
+
+    @given(
+        st.lists(st.integers(0, 100), min_size=1, max_size=60),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_exact_tuples_property(self, data, phi) -> None:
+        data.sort()
+        values, gs, deltas = exact_tuples(data)
+        answer = gk_query(values, gs, deltas, len(data), phi)
+        import math
+
+        target = max(1, math.ceil(phi * len(data)))
+        # With all-exact tuples tolerance is 0.5: the answer's 1-based
+        # rank must equal the target (for distinct positions).
+        assert answer == data[target - 1]
+
+
+class TestGKRank:
+    def test_midpoint_semantics(self) -> None:
+        values, gs, deltas = exact_tuples([10, 20, 30])
+        assert gk_rank(values, gs, deltas, 5) == 0.0
+        assert gk_rank(values, gs, deltas, 10) == 0.0
+        assert gk_rank(values, gs, deltas, 15) == 0.0
+        assert gk_rank(values, gs, deltas, 25) == 1.0
+        assert gk_rank(values, gs, deltas, 99) == 2.0
+
+
+class TestInvariantChecker:
+    def test_accepts_valid_summary(self) -> None:
+        exact = ExactQuantiles([1, 2, 3, 4])
+        values, gs, deltas = exact_tuples([1, 2, 3, 4])
+        check_gk_invariants(values, gs, deltas, 4, 0.25, exact.rank_interval)
+
+    def test_rejects_wrong_total_weight(self) -> None:
+        exact = ExactQuantiles([1, 2, 3, 4])
+        values, gs, deltas = exact_tuples([1, 2, 3])
+        with pytest.raises(AssertionError):
+            check_gk_invariants(
+                values, gs, deltas, 4, 0.25, exact.rank_interval
+            )
+
+    def test_rejects_rank_violation(self) -> None:
+        exact = ExactQuantiles([1, 2, 3, 4])
+        # A single tuple claiming value 3 has rank floor 4 — but only
+        # three elements are <= 3, so invariant (1) is violated.
+        with pytest.raises(AssertionError):
+            check_gk_invariants([3], [4], [0], 4, 0.25, exact.rank_interval)
+
+    def test_rejects_unordered_values(self) -> None:
+        exact = ExactQuantiles([1, 2, 3])
+        values = [2, 1, 3]
+        gs = [1, 1, 1]
+        deltas = [0, 0, 0]
+        with pytest.raises(AssertionError):
+            check_gk_invariants(
+                values, gs, deltas, 3, 0.5, exact.rank_interval
+            )
+
+    def test_rejects_budget_violation(self) -> None:
+        exact = ExactQuantiles(list(range(100)))
+        values = [0, 50, 99]
+        gs = [1, 50, 49]
+        deltas = [0, 48, 0]  # g+delta = 98 >> 2*eps*n = 20
+        with pytest.raises(AssertionError):
+            check_gk_invariants(
+                values, gs, deltas, 100, 0.1, exact.rank_interval
+            )

@@ -1,0 +1,241 @@
+"""Tests for the GK family: GKAdaptive, GKArray, GKTheory.
+
+The deterministic guarantee is absolute: after *any* prefix of *any*
+stream, every extracted quantile must be within ``eps * n`` of its target
+rank, and the internal tuple invariants (1) and (2) must hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cash_register import (
+    GKAdaptive,
+    GKArray,
+    GKTheory,
+    band,
+    check_gk_invariants,
+)
+from repro.core import EmptySummaryError, ExactQuantiles, InvalidParameterError
+
+GK_CLASSES = [GKAdaptive, GKArray, GKTheory]
+GK_IDS = ["adaptive", "array", "theory"]
+
+PHIS = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+
+
+def _max_rank_error(sketch, exact: ExactQuantiles, phis=PHIS) -> float:
+    n = exact.n
+    worst = 0.0
+    for phi in phis:
+        q = sketch.query(phi)
+        lo, hi = exact.rank_interval(q)
+        target = phi * n
+        if lo <= target <= hi:
+            err = 0.0
+        else:
+            err = min(abs(target - lo), abs(target - hi))
+        worst = max(worst, err / n)
+    return worst
+
+
+@pytest.fixture(params=list(zip(GK_CLASSES, GK_IDS)), ids=GK_IDS)
+def gk_class(request):
+    return request.param[0]
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("order", ["random", "sorted", "reversed"])
+    def test_error_within_eps(self, gk_class, order, rng) -> None:
+        eps = 0.02
+        data = rng.integers(0, 1 << 20, size=8_000, dtype=np.int64)
+        if order == "sorted":
+            data = np.sort(data)
+        elif order == "reversed":
+            data = np.sort(data)[::-1]
+        sk = gk_class(eps=eps)
+        sk.extend(data.tolist())
+        exact = ExactQuantiles(data.tolist())
+        assert _max_rank_error(sk, exact) <= eps
+
+    def test_error_mid_stream(self, gk_class, rng) -> None:
+        """Queries must be valid at any prefix, not just at the end."""
+        eps = 0.05
+        data = rng.normal(0, 1, size=3_000)
+        sk = gk_class(eps=eps)
+        exact = ExactQuantiles()
+        for i, x in enumerate(data.tolist()):
+            sk.update(x)
+            exact.update(x)
+            if i in (10, 100, 999, 2500):
+                assert _max_rank_error(sk, exact) <= eps
+
+    def test_duplicates_heavy(self, gk_class, rng) -> None:
+        eps = 0.02
+        data = rng.integers(0, 8, size=6_000, dtype=np.int64)
+        sk = gk_class(eps=eps)
+        sk.extend(data.tolist())
+        exact = ExactQuantiles(data.tolist())
+        assert _max_rank_error(sk, exact) <= eps
+
+    def test_invariants_hold(self, gk_class, rng) -> None:
+        eps = 0.05
+        data = rng.integers(0, 1000, size=2_000, dtype=np.int64).tolist()
+        sk = gk_class(eps=eps)
+        exact = ExactQuantiles()
+        for i, x in enumerate(data):
+            sk.update(x)
+            exact.update(x)
+            if i % 401 == 400:
+                vs, gs, ds = zip(*sk.tuples())
+                check_gk_invariants(
+                    vs, gs, ds, sk.n, eps, exact.rank_interval
+                )
+        vs, gs, ds = zip(*sk.tuples())
+        check_gk_invariants(vs, gs, ds, sk.n, eps, exact.rank_interval)
+
+    @given(
+        data=st.lists(
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    def test_invariants_property(self, gk_class, data) -> None:
+        eps = 0.1
+        sk = gk_class(eps=eps)
+        exact = ExactQuantiles()
+        for x in data:
+            sk.update(x)
+            exact.update(x)
+        vs, gs, ds = zip(*sk.tuples())
+        check_gk_invariants(vs, gs, ds, sk.n, eps, exact.rank_interval)
+        assert _max_rank_error(sk, exact) <= eps + 1.0 / len(data)
+
+
+class TestBehavior:
+    def test_empty_query_raises(self, gk_class) -> None:
+        with pytest.raises(EmptySummaryError):
+            gk_class(eps=0.01).query(0.5)
+
+    def test_invalid_phi_rejected(self, gk_class) -> None:
+        sk = gk_class(eps=0.01)
+        sk.update(1.0)
+        with pytest.raises(InvalidParameterError):
+            sk.query(1.5)
+        with pytest.raises(InvalidParameterError):
+            sk.query(-0.1)
+
+    def test_invalid_eps_rejected(self, gk_class) -> None:
+        with pytest.raises(InvalidParameterError):
+            gk_class(eps=0.0)
+        with pytest.raises(InvalidParameterError):
+            gk_class(eps=1.0)
+
+    def test_single_element(self, gk_class) -> None:
+        sk = gk_class(eps=0.1)
+        sk.update(42)
+        for phi in (0.0, 0.5, 1.0):
+            assert sk.query(phi) == 42
+
+    def test_extremes_preserved(self, gk_class, rng) -> None:
+        """Min and max must always be answerable exactly (delta = 0)."""
+        data = rng.integers(0, 10**6, size=4_000, dtype=np.int64)
+        sk = gk_class(eps=0.05)
+        sk.extend(data.tolist())
+        vs, _gs, _ds = zip(*sk.tuples())
+        assert vs[0] == data.min()
+        assert vs[-1] == data.max()
+
+    @pytest.mark.parametrize("order", ["sorted", "reversed"])
+    def test_space_sublinear_on_monotone_input(self, gk_class, order) -> None:
+        """Regression: reverse-sorted input once disabled GKAdaptive's
+        heap entirely (no key was pushed when the old minimum gained a
+        predecessor), so |L| grew linearly."""
+        data = np.arange(20_000, dtype=np.int64)
+        if order == "reversed":
+            data = data[::-1]
+        sk = gk_class(eps=0.01)
+        sk.extend(data.tolist())
+        assert sk.tuple_count() < len(data) / 10
+
+    def test_space_sublinear(self, gk_class, rng) -> None:
+        eps = 0.01
+        data = rng.integers(0, 1 << 30, size=20_000, dtype=np.int64)
+        sk = gk_class(eps=eps)
+        sk.extend(data.tolist())
+        # A summary must be far smaller than the input.
+        assert sk.tuple_count() < len(data) / 8
+
+    def test_rank_monotone(self, gk_class, rng) -> None:
+        data = rng.normal(0, 1, size=2_000)
+        sk = gk_class(eps=0.05)
+        sk.extend(data.tolist())
+        probes = np.linspace(-3, 3, 20)
+        ranks = [sk.rank(p) for p in probes]
+        assert all(a <= b for a, b in zip(ranks, ranks[1:]))
+
+    def test_quantiles_batch_matches_single(self, gk_class, rng) -> None:
+        data = rng.integers(0, 1 << 16, size=3_000, dtype=np.int64)
+        sk = gk_class(eps=0.02)
+        sk.extend(data.tolist())
+        assert sk.quantiles(PHIS) == [sk.query(p) for p in PHIS]
+
+    def test_works_on_floats_and_negative(self, gk_class, rng) -> None:
+        data = rng.normal(-5.0, 2.0, size=2_000)
+        sk = gk_class(eps=0.05)
+        sk.extend(data.tolist())
+        exact = ExactQuantiles(data.tolist())
+        assert _max_rank_error(sk, exact) <= 0.05
+
+
+class TestGKArraySpecific:
+    def test_query_flushes_buffer(self, rng) -> None:
+        sk = GKArray(eps=0.01)
+        data = rng.integers(0, 100, size=50, dtype=np.int64).tolist()
+        sk.extend(data)
+        # Fewer than capacity elements: everything still buffered, but a
+        # query must see them.
+        exact = ExactQuantiles(data)
+        assert _max_rank_error(sk, exact) <= 0.01 + 1.0 / len(data)
+
+    def test_buffer_factor_validated(self) -> None:
+        with pytest.raises(ValueError):
+            GKArray(eps=0.01, buffer_factor=0.0)
+
+    def test_smaller_than_adaptive_or_close(self, rng) -> None:
+        """GKArray's batch pruning should be in the same size ballpark as
+        GKAdaptive (the paper finds them close; allow slack)."""
+        data = rng.integers(0, 1 << 24, size=20_000, dtype=np.int64).tolist()
+        arr = GKArray(eps=0.01)
+        ada = GKAdaptive(eps=0.01)
+        arr.extend(data)
+        ada.extend(data)
+        arr._prepare_query()
+        assert arr.tuple_count() < 4 * ada.tuple_count()
+
+
+class TestGKTheorySpecific:
+    def test_band_edges(self) -> None:
+        p = 100
+        assert band(p, p) == 0
+        assert band(0, p) == p.bit_length() + 1
+        # bands weakly decrease as delta increases
+        bands = [band(d, p) for d in range(1, p + 1)]
+        assert all(a >= b for a, b in zip(bands, bands[1:]))
+
+    def test_logarithmic_growth(self, rng) -> None:
+        """|L| should grow roughly like log(eps * n), not linearly."""
+        eps = 0.02
+        sk = GKTheory(eps=eps)
+        sizes = []
+        for chunk in range(8):
+            sk.extend(
+                rng.integers(0, 1 << 30, size=4_000, dtype=np.int64).tolist()
+            )
+            sizes.append(sk.tuple_count())
+        # Doubling n from 16k to 32k should grow |L| by far less than 2x.
+        assert sizes[-1] < 1.5 * sizes[3]

@@ -1,0 +1,67 @@
+"""NaN inputs must be rejected by every comparison-based summary.
+
+NaN compares false with everything, so a NaN that slips into an ordered
+structure silently destroys the rank invariants.  Rejection is the only
+safe behavior; this file pins it for every order-based summary.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cash_register import (
+    BiasedQuantiles,
+    GKAdaptive,
+    GKArray,
+    GKTheory,
+    MRL99,
+    RandomSketch,
+    ReservoirSampling,
+    SlidingWindowQuantiles,
+)
+from repro.core import InvalidParameterError
+
+FACTORIES = [
+    lambda: GKAdaptive(eps=0.1),
+    lambda: GKArray(eps=0.1),
+    lambda: GKTheory(eps=0.1),
+    lambda: MRL99(eps=0.1, seed=0),
+    lambda: RandomSketch(eps=0.1, seed=0),
+    lambda: BiasedQuantiles(eps=0.1),
+    lambda: SlidingWindowQuantiles(eps=0.1, window=100),
+    lambda: ReservoirSampling(eps=0.1, capacity=10, seed=0),
+]
+IDS = [
+    "gk_adaptive", "gk_array", "gk_theory", "mrl99", "random",
+    "biased", "sliding_window", "reservoir",
+]
+
+
+@pytest.mark.parametrize("factory", FACTORIES, ids=IDS)
+def test_nan_update_rejected(factory) -> None:
+    sk = factory()
+    with pytest.raises(InvalidParameterError):
+        sk.update(float("nan"))
+    with pytest.raises(InvalidParameterError):
+        sk.update(math.nan)
+
+
+@pytest.mark.parametrize("factory", FACTORIES, ids=IDS)
+def test_nan_in_extend_rejected_and_state_usable(factory) -> None:
+    sk = factory()
+    sk.update(1.0)
+    with pytest.raises(InvalidParameterError):
+        sk.extend([2.0, float("nan"), 3.0])
+    # The summary must remain queryable after the rejection.
+    assert sk.query(0.5) in (1.0, 2.0)
+
+
+@pytest.mark.parametrize("factory", FACTORIES, ids=IDS)
+def test_normal_floats_unaffected(factory) -> None:
+    sk = factory()
+    sk.extend([0.5, -1.5, math.inf, -math.inf, 3.25])
+    assert sk.n == 5
+    assert sk.query(0.0) == -math.inf
+    assert sk.query(1.0) == math.inf

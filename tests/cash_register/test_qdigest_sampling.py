@@ -1,0 +1,184 @@
+"""Tests for FastQDigest and the reservoir-sampling baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cash_register import QDigest, ReservoirSampling
+from repro.core import (
+    EmptySummaryError,
+    ExactQuantiles,
+    InvalidParameterError,
+    MergeError,
+    UniverseOverflowError,
+)
+
+PHIS = [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95]
+
+
+def _max_rank_error(sketch, exact: ExactQuantiles, phis=PHIS) -> float:
+    n = exact.n
+    worst = 0.0
+    for phi in phis:
+        q = sketch.query(phi)
+        lo, hi = exact.rank_interval(q)
+        target = phi * n
+        err = 0.0 if lo <= target <= hi else min(
+            abs(target - lo), abs(target - hi)
+        )
+        worst = max(worst, err / n)
+    return worst
+
+
+class TestQDigestAccuracy:
+    @pytest.mark.parametrize("universe_log2", [8, 12, 16])
+    def test_error_within_eps(self, universe_log2, rng) -> None:
+        eps = 0.02
+        data = rng.integers(0, 1 << universe_log2, size=20_000, dtype=np.int64)
+        sk = QDigest(eps=eps, universe_log2=universe_log2)
+        sk.extend(data.tolist())
+        exact = ExactQuantiles(data.tolist())
+        assert _max_rank_error(sk, exact) <= eps
+
+    def test_skewed_data(self, rng) -> None:
+        eps = 0.05
+        data = np.minimum(
+            rng.geometric(0.01, size=20_000) - 1, (1 << 12) - 1
+        ).astype(np.int64)
+        sk = QDigest(eps=eps, universe_log2=12)
+        sk.extend(data.tolist())
+        exact = ExactQuantiles(data.tolist())
+        assert _max_rank_error(sk, exact) <= eps
+
+    def test_error_mid_stream(self, rng) -> None:
+        eps = 0.05
+        data = rng.integers(0, 1 << 10, size=10_000, dtype=np.int64)
+        sk = QDigest(eps=eps, universe_log2=10)
+        exact = ExactQuantiles()
+        for i, x in enumerate(data.tolist()):
+            sk.update(x)
+            exact.update(x)
+            if i in (99, 2_000, 9_999):
+                assert _max_rank_error(sk, exact) <= eps
+
+    @given(
+        data=st.lists(
+            st.integers(min_value=0, max_value=255), min_size=1, max_size=400
+        )
+    )
+    def test_weight_conservation_property(self, data) -> None:
+        """Compression moves counts around but never loses or invents."""
+        sk = QDigest(eps=0.1, universe_log2=8)
+        for x in data:
+            sk.update(x)
+        sk.compress()
+        assert sum(sk._counts.values()) == len(data)
+        assert sk.n == len(data)
+
+    def test_compress_shrinks(self, rng) -> None:
+        sk = QDigest(eps=0.05, universe_log2=16, compress_factor=1e9)
+        sk.extend(rng.integers(0, 1 << 16, size=30_000).tolist())
+        before = sk.node_count()
+        sk.compress()
+        assert sk.node_count() < before
+        assert sk.node_count() <= 3 * sk.k  # O(k) size after compression
+
+
+class TestQDigestBehavior:
+    def test_rejects_out_of_universe(self) -> None:
+        sk = QDigest(eps=0.1, universe_log2=8)
+        with pytest.raises(UniverseOverflowError):
+            sk.update(256)
+        with pytest.raises(UniverseOverflowError):
+            sk.update(-1)
+        with pytest.raises(UniverseOverflowError):
+            sk.extend([0, 300])
+
+    def test_empty_query_raises(self) -> None:
+        with pytest.raises(EmptySummaryError):
+            QDigest(eps=0.1, universe_log2=8).query(0.5)
+
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            QDigest(eps=0.0, universe_log2=8)
+        with pytest.raises(InvalidParameterError):
+            QDigest(eps=0.1, universe_log2=0)
+        with pytest.raises(ValueError):
+            QDigest(eps=0.1, universe_log2=8, compress_factor=0.5)
+
+    def test_merge(self, rng) -> None:
+        data1 = rng.integers(0, 1 << 10, size=8_000, dtype=np.int64)
+        data2 = rng.integers(0, 1 << 10, size=8_000, dtype=np.int64)
+        a = QDigest(eps=0.02, universe_log2=10)
+        b = QDigest(eps=0.02, universe_log2=10)
+        a.extend(data1.tolist())
+        b.extend(data2.tolist())
+        a.merge(b)
+        assert a.n == 16_000
+        exact = ExactQuantiles(np.concatenate([data1, data2]).tolist())
+        assert _max_rank_error(a, exact) <= 0.04  # merge may double error
+
+    def test_merge_rejects_mismatched(self) -> None:
+        a = QDigest(eps=0.1, universe_log2=8)
+        b = QDigest(eps=0.1, universe_log2=10)
+        with pytest.raises(MergeError):
+            a.merge(b)
+        with pytest.raises(MergeError):
+            a.merge(42)
+
+    def test_rank_estimates(self, rng) -> None:
+        data = rng.integers(0, 1 << 10, size=10_000, dtype=np.int64)
+        sk = QDigest(eps=0.02, universe_log2=10)
+        sk.extend(data.tolist())
+        exact = ExactQuantiles(data.tolist())
+        for probe in (10, 256, 512, 1000):
+            lo, hi = exact.rank_interval(probe)
+            est = sk.rank(probe)
+            assert lo - 0.02 * 10_000 <= est <= hi + 0.02 * 10_000
+
+    def test_deterministic(self, rng) -> None:
+        data = rng.integers(0, 1 << 12, size=10_000).tolist()
+        a = QDigest(eps=0.02, universe_log2=12)
+        b = QDigest(eps=0.02, universe_log2=12)
+        a.extend(data)
+        b.extend(data)
+        assert a.quantiles(PHIS) == b.quantiles(PHIS)
+
+
+class TestReservoir:
+    def test_error_reasonable(self, rng) -> None:
+        data = rng.integers(0, 1 << 20, size=30_000, dtype=np.int64)
+        sk = ReservoirSampling(eps=0.05, seed=1)
+        sk.extend(data.tolist())
+        exact = ExactQuantiles(data.tolist())
+        assert _max_rank_error(sk, exact) <= 0.05
+
+    def test_capacity_override(self, rng) -> None:
+        sk = ReservoirSampling(eps=0.001, capacity=500, seed=2)
+        assert sk.size_words() == 500
+        sk.extend(rng.integers(0, 100, size=5_000).tolist())
+        assert len(sk._sample) == 500
+
+    def test_sample_is_unbiased_size(self, rng) -> None:
+        """Every element should end up in the reservoir with probability
+        capacity / n (checked via a marked element over repeats)."""
+        hits = 0
+        repeats = 200
+        for seed in range(repeats):
+            sk = ReservoirSampling(eps=0.5, capacity=10, seed=seed)
+            for x in range(100):
+                sk.update(x)
+            hits += 42 in sk._sample
+        # Expected 20 hits; allow a generous binomial envelope.
+        assert 8 <= hits <= 36
+
+    def test_invalid_capacity(self) -> None:
+        with pytest.raises(ValueError):
+            ReservoirSampling(eps=0.1, capacity=0)
+
+    def test_empty_query_raises(self) -> None:
+        with pytest.raises(EmptySummaryError):
+            ReservoirSampling(eps=0.1).query(0.5)

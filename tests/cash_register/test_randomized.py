@@ -1,0 +1,205 @@
+"""Tests for the randomized cash-register algorithms: Random and MRL99.
+
+Randomized guarantees are probabilistic, so error assertions use fixed
+seeds with generous envelopes; structural invariants (buffer accounting,
+weight conservation) are exact and checked tightly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cash_register import MRL99, RandomSketch, weighted_collapse
+from repro.cash_register.mrl99 import _WeightedBuffer
+from repro.core import EmptySummaryError, ExactQuantiles, InvalidParameterError, MergeError
+
+PHIS = [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95]
+
+
+def _max_rank_error(sketch, exact: ExactQuantiles, phis=PHIS) -> float:
+    n = exact.n
+    worst = 0.0
+    for phi in phis:
+        q = sketch.query(phi)
+        lo, hi = exact.rank_interval(q)
+        target = phi * n
+        err = 0.0 if lo <= target <= hi else min(
+            abs(target - lo), abs(target - hi)
+        )
+        worst = max(worst, err / n)
+    return worst
+
+
+RANDOMIZED = [
+    lambda eps, seed: RandomSketch(eps=eps, seed=seed),
+    lambda eps, seed: MRL99(eps=eps, seed=seed),
+]
+RAND_IDS = ["random", "mrl99"]
+
+
+@pytest.fixture(params=list(zip(RANDOMIZED, RAND_IDS)), ids=RAND_IDS)
+def factory(request):
+    return request.param[0]
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("order", ["random", "sorted"])
+    def test_error_within_eps(self, factory, order, rng) -> None:
+        eps = 0.02
+        data = rng.integers(0, 1 << 24, size=30_000, dtype=np.int64)
+        if order == "sorted":
+            data = np.sort(data)
+        sk = factory(eps, 7)
+        sk.extend(data.tolist())
+        exact = ExactQuantiles(data.tolist())
+        # Observed error on real streams is well below eps (Fig 5a/5b);
+        # we allow up to eps since the guarantee is probabilistic.
+        assert _max_rank_error(sk, exact) <= eps
+
+    def test_error_mid_stream(self, factory, rng) -> None:
+        """Correct answers must be available at any prefix (sampling and
+        level bookkeeping cannot assume a known n)."""
+        eps = 0.05
+        data = rng.normal(0, 1, size=20_000)
+        sk = factory(eps, 3)
+        exact = ExactQuantiles()
+        checkpoints = {500, 5_000, 12_345, 19_999}
+        for i, x in enumerate(data.tolist()):
+            sk.update(x)
+            exact.update(x)
+            if i in checkpoints:
+                assert _max_rank_error(sk, exact) <= 2 * eps
+
+    def test_average_error_over_seeds(self, factory, rng) -> None:
+        """Across seeds, the median-rank estimate should be unbiased-ish."""
+        data = rng.integers(0, 10_000, size=8_000, dtype=np.int64)
+        exact = ExactQuantiles(data.tolist())
+        true_median = exact.query(0.5)
+        meds = []
+        for seed in range(15):
+            sk = factory(0.05, seed)
+            sk.extend(data.tolist())
+            meds.append(float(sk.query(0.5)))
+        assert abs(np.median(meds) - true_median) <= 0.05 * 10_000
+
+    def test_duplicates_heavy(self, factory, rng) -> None:
+        data = rng.integers(0, 4, size=20_000, dtype=np.int64)
+        sk = factory(0.05, 11)
+        sk.extend(data.tolist())
+        exact = ExactQuantiles(data.tolist())
+        assert _max_rank_error(sk, exact) <= 0.05
+
+
+class TestBehavior:
+    def test_empty_query_raises(self, factory) -> None:
+        with pytest.raises(EmptySummaryError):
+            factory(0.05, 0).query(0.5)
+
+    def test_invalid_phi_rejected(self, factory) -> None:
+        sk = factory(0.05, 0)
+        sk.update(1)
+        with pytest.raises(InvalidParameterError):
+            sk.query(2.0)
+
+    def test_deterministic_given_seed(self, factory, rng) -> None:
+        data = rng.integers(0, 1 << 20, size=10_000, dtype=np.int64).tolist()
+        a = factory(0.02, 99)
+        b = factory(0.02, 99)
+        a.extend(data)
+        b.extend(data)
+        assert a.quantiles(PHIS) == b.quantiles(PHIS)
+
+    def test_space_constant_in_n(self, factory, rng) -> None:
+        sk = factory(0.02, 1)
+        sk.extend(rng.integers(0, 100, size=1_000).tolist())
+        w1 = sk.size_words()
+        sk.extend(rng.integers(0, 100, size=50_000).tolist())
+        assert sk.size_words() == w1
+
+    def test_rank_monotone(self, factory, rng) -> None:
+        sk = factory(0.05, 5)
+        sk.extend(rng.normal(0, 1, size=10_000).tolist())
+        probes = np.linspace(-3, 3, 15)
+        ranks = [sk.rank(float(p)) for p in probes]
+        assert all(a <= b for a, b in zip(ranks, ranks[1:]))
+
+    def test_total_weight_tracks_n(self, factory, rng) -> None:
+        """Sum over buffers of weight * size must stay close to n."""
+        sk = factory(0.05, 13)
+        sk.extend(rng.integers(0, 1 << 16, size=25_000).tolist())
+        total = sum(w * len(items) for items, w in sk._snapshot())
+        # Partial blocks/collapse rounding cost at most one buffer's worth.
+        slack = getattr(sk, "s", 0) or getattr(sk, "k", 0)
+        max_level_weight = max(w for _items, w in sk._snapshot())
+        assert abs(total - sk.n) <= slack * max_level_weight
+
+
+class TestRandomSpecific:
+    def test_buffer_count_bounded(self, rng) -> None:
+        sk = RandomSketch(eps=0.02, seed=1)
+        sk.extend(rng.integers(0, 1 << 20, size=60_000).tolist())
+        assert len(sk._buffers) <= sk.b
+
+    def test_merge_two_sketches(self, rng) -> None:
+        data1 = rng.integers(0, 1 << 16, size=15_000, dtype=np.int64)
+        data2 = rng.integers(1 << 15, 1 << 17, size=15_000, dtype=np.int64)
+        a = RandomSketch(eps=0.02, seed=1)
+        b = RandomSketch(eps=0.02, seed=2)
+        a.extend(data1.tolist())
+        b.extend(data2.tolist())
+        a.merge(b)
+        assert a.n == 30_000
+        exact = ExactQuantiles(np.concatenate([data1, data2]).tolist())
+        assert _max_rank_error(a, exact) <= 0.04
+
+    def test_merge_rejects_mismatched(self) -> None:
+        a = RandomSketch(eps=0.02, seed=1)
+        b = RandomSketch(eps=0.1, seed=1)
+        with pytest.raises(MergeError):
+            a.merge(b)
+        with pytest.raises(MergeError):
+            a.merge(object())
+
+    def test_derandomized_merge_still_accurate(self, rng) -> None:
+        data = rng.integers(0, 1 << 20, size=30_000, dtype=np.int64)
+        sk = RandomSketch(eps=0.02, seed=4, randomized_merge=False)
+        sk.extend(data.tolist())
+        exact = ExactQuantiles(data.tolist())
+        assert _max_rank_error(sk, exact) <= 0.04
+
+    def test_parameter_overrides(self) -> None:
+        sk = RandomSketch(eps=0.1, s=100, b=4)
+        assert sk.s == 100 and sk.b == 4
+
+
+class TestMRL99Specific:
+    def test_weighted_collapse_weight_conservation(self, rng) -> None:
+        bufs = [
+            _WeightedBuffer(1, np.sort(rng.integers(0, 100, size=20))),
+            _WeightedBuffer(1, np.sort(rng.integers(0, 100, size=20))),
+            _WeightedBuffer(2, np.sort(rng.integers(0, 100, size=20))),
+        ]
+        out = weighted_collapse(bufs, 20, rng)
+        assert out.weight == 4
+        assert len(out) <= 20
+        assert np.all(np.diff(out.items) >= 0)
+
+    def test_weighted_collapse_preserves_distribution(self, rng) -> None:
+        """Collapsing buffers drawn from one distribution should keep the
+        median in place."""
+        bufs = [
+            _WeightedBuffer(1, np.sort(rng.normal(0, 1, size=500)))
+            for _ in range(4)
+        ]
+        out = weighted_collapse(bufs, 500, rng)
+        assert abs(float(np.median(out.items))) < 0.2
+
+    def test_buffer_count_bounded(self, rng) -> None:
+        sk = MRL99(eps=0.02, seed=1)
+        sk.extend(rng.integers(0, 1 << 20, size=60_000).tolist())
+        assert len(sk._buffers) < sk.b
+
+    def test_parameter_overrides(self) -> None:
+        sk = MRL99(eps=0.1, b=5, k=64)
+        assert sk.b == 5 and sk.k == 64

@@ -1,0 +1,116 @@
+"""Tests for the sliding-window quantile extension."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.cash_register.sliding_window import SlidingWindowQuantiles
+from repro.core import EmptySummaryError, InvalidParameterError
+
+
+def _window_error(sk, window_values, phis):
+    """Max normalized rank error of sk's answers vs the exact window."""
+    arr = np.sort(np.asarray(window_values))
+    n = len(arr)
+    worst = 0.0
+    for phi in phis:
+        q = sk.query(phi)
+        lo = float(np.searchsorted(arr, q, "left"))
+        hi = float(np.searchsorted(arr, q, "right"))
+        target = phi * n
+        err = 0.0 if lo <= target <= hi else min(
+            abs(target - lo), abs(target - hi)
+        )
+        worst = max(worst, err / n)
+    return worst
+
+
+PHIS = [0.1, 0.25, 0.5, 0.75, 0.9]
+
+
+class TestWindowAccuracy:
+    def test_tracks_shifting_distribution(self, rng) -> None:
+        """The window must forget: after a distribution shift, answers
+        reflect only recent data."""
+        eps, window = 0.05, 4_000
+        sk = SlidingWindowQuantiles(eps=eps, window=window)
+        exact = deque(maxlen=window)
+        old = rng.integers(0, 1_000, size=10_000, dtype=np.int64)
+        new = rng.integers(100_000, 101_000, size=10_000, dtype=np.int64)
+        for x in np.concatenate([old, new]).tolist():
+            sk.update(x)
+            exact.append(x)
+        assert _window_error(sk, list(exact), PHIS) <= eps
+        # The median must be in the NEW range.
+        assert sk.query(0.5) >= 100_000
+
+    @pytest.mark.parametrize("eps", [0.1, 0.05, 0.02])
+    def test_error_bound_throughout(self, eps, rng) -> None:
+        window = 5_000
+        sk = SlidingWindowQuantiles(eps=eps, window=window)
+        exact = deque(maxlen=window)
+        data = rng.normal(0, 1, size=20_000)
+        checkpoints = {500, 4_999, 7_777, 19_999}
+        for i, x in enumerate(data.tolist()):
+            sk.update(x)
+            exact.append(x)
+            if i in checkpoints:
+                assert _window_error(sk, list(exact), PHIS) <= eps
+
+    def test_before_window_fills(self, rng) -> None:
+        sk = SlidingWindowQuantiles(eps=0.1, window=10_000)
+        data = rng.integers(0, 100, size=500, dtype=np.int64)
+        for x in data.tolist():
+            sk.update(x)
+        assert sk.n == 500
+        assert _window_error(sk, data.tolist(), PHIS) <= 0.1 + 1 / 500
+
+    def test_rank_monotone(self, rng) -> None:
+        sk = SlidingWindowQuantiles(eps=0.05, window=2_000)
+        for x in rng.normal(0, 1, size=6_000).tolist():
+            sk.update(x)
+        probes = np.linspace(-3, 3, 15)
+        ranks = [sk.rank(p) for p in probes]
+        assert all(a <= b for a, b in zip(ranks, ranks[1:]))
+
+
+class TestWindowBehavior:
+    def test_space_sublinear_in_window(self, rng) -> None:
+        eps, window = 0.02, 50_000
+        sk = SlidingWindowQuantiles(eps=eps, window=window)
+        for x in rng.integers(0, 1 << 20, size=150_000).tolist():
+            sk.update(int(x))
+        # Raw window would be `window` words.
+        assert sk.size_words() < window / 3
+
+    def test_chunks_expire(self, rng) -> None:
+        sk = SlidingWindowQuantiles(eps=0.1, window=1_000)
+        for x in rng.integers(0, 100, size=50_000).tolist():
+            sk.update(int(x))
+        horizon = sk.stream_length - sk.window
+        assert all(c.end > horizon for c in sk._chunks)
+        assert len(sk._chunks) <= 2 / 0.1 + 2
+
+    def test_n_caps_at_window(self) -> None:
+        sk = SlidingWindowQuantiles(eps=0.1, window=100)
+        for x in range(500):
+            sk.update(x)
+        assert sk.n == 100
+        assert sk.stream_length == 500
+
+    def test_empty_query_raises(self) -> None:
+        with pytest.raises(EmptySummaryError):
+            SlidingWindowQuantiles(eps=0.1, window=100).query(0.5)
+
+    def test_invalid_window(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            SlidingWindowQuantiles(eps=0.1, window=2)
+
+    def test_quantiles_batch_matches_single(self, rng) -> None:
+        sk = SlidingWindowQuantiles(eps=0.05, window=3_000)
+        for x in rng.integers(0, 1 << 16, size=9_000).tolist():
+            sk.update(int(x))
+        assert sk.quantiles(PHIS) == [sk.query(p) for p in PHIS]

@@ -1,0 +1,35 @@
+"""Shared pytest fixtures and hypothesis settings for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# One shared profile: tests that stream many elements through pure-Python
+# sketches are slow per example, so keep example counts modest and silence
+# the too-slow health check.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    # function_scoped_fixture: our fixtures parameterize stateless factory
+    # classes, which are safe to share across generated examples.
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A reproducible numpy Generator for tests."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_stream(rng) -> np.ndarray:
+    """A small uniform integer stream for smoke tests."""
+    return rng.integers(0, 1 << 16, size=5_000, dtype=np.int64)

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import make_parser, run
+
+
+def _run(argv, stdin_text="") -> tuple:
+    out = io.StringIO()
+    code = run(argv, stdin=io.StringIO(stdin_text), stdout=out)
+    return code, out.getvalue()
+
+
+class TestCLI:
+    def test_median_from_stdin(self) -> None:
+        data = "\n".join(str(x) for x in range(1, 101))
+        code, out = _run(["--eps", "0.01", "--phi", "0.5"], data)
+        assert code == 0
+        value = float(out.splitlines()[0].split("\t")[1])
+        assert abs(value - 50) <= 2
+
+    def test_multiple_phis(self) -> None:
+        data = "\n".join(str(x) for x in range(1000))
+        code, out = _run(["--phi", "0.1,0.9"], data)
+        assert code == 0
+        lines = [ln for ln in out.splitlines() if ln.startswith("phi=")]
+        assert len(lines) == 2
+
+    def test_file_input(self, tmp_path) -> None:
+        path = tmp_path / "values.txt"
+        path.write_text("\n".join(str(x) for x in range(500)))
+        code, out = _run(["--phi", "0.5", str(path)])
+        assert code == 0
+        assert "n=500" in out
+
+    def test_fixed_universe_algorithm(self) -> None:
+        data = "\n".join(str(x) for x in range(1024))
+        code, out = _run(
+            ["-a", "dcs", "--universe-log2", "10", "--eps", "0.05",
+             "--seed", "1", "--phi", "0.5"],
+            data,
+        )
+        assert code == 0
+        value = float(out.splitlines()[0].split("\t")[1])
+        assert abs(value - 512) <= 0.05 * 1024 + 64
+
+    def test_blank_lines_skipped(self) -> None:
+        code, out = _run(["--phi", "0.5"], "1\n\n2\n\n3\n")
+        assert code == 0
+        assert "n=3" in out
+
+    def test_empty_input(self) -> None:
+        code, out = _run([], "")
+        assert code == 1
+        assert "no input" in out
+
+    def test_bad_value_reports_line(self) -> None:
+        code, out = _run([], "1\nbanana\n")
+        assert code == 2
+        assert "line 2" in out
+
+    def test_randomized_algorithm_with_seed(self) -> None:
+        data = "\n".join(str(x) for x in range(5000))
+        code1, out1 = _run(["-a", "random", "--seed", "9"], data)
+        code2, out2 = _run(["-a", "random", "--seed", "9"], data)
+        assert code1 == code2 == 0
+        phi_lines = lambda out: [  # noqa: E731 - local helper
+            ln for ln in out.splitlines() if ln.startswith("phi=")
+        ]
+        assert phi_lines(out1) == phi_lines(out2)
+
+    def test_parser_rejects_bad_phi(self) -> None:
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["--phi", "1.5"])
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["--phi", "abc"])
+
+    def test_parser_rejects_unknown_algorithm(self) -> None:
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["-a", "nope"])

@@ -1,0 +1,182 @@
+"""Tests for the exact baseline, the registry, and the base protocols."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import algorithms, get_algorithm, make_sketch
+from repro.core import (
+    EmptySummaryError,
+    ExactQuantiles,
+    InvalidParameterError,
+    NegativeFrequencyError,
+    QuantileSketch,
+    WORD_BYTES,
+    validate_eps,
+    validate_phi,
+    validate_universe_log2,
+)
+from repro.core.registry import register
+
+
+class TestExactQuantiles:
+    def test_median_of_known_data(self) -> None:
+        exact = ExactQuantiles([5, 1, 3, 2, 4])
+        assert exact.query(0.5) == 3
+        assert exact.query(0.0) == 1
+        assert exact.query(1.0) == 5
+
+    def test_rank_and_interval(self) -> None:
+        exact = ExactQuantiles([1, 2, 2, 2, 5])
+        assert exact.rank(2) == 1
+        assert exact.rank_interval(2) == (1, 4)
+        assert exact.rank_interval(3) == (4, 4)
+        assert exact.rank(0) == 0
+        assert exact.rank(99) == 5
+
+    def test_delete(self) -> None:
+        exact = ExactQuantiles([1, 2, 3])
+        exact.delete(2)
+        assert exact.values() == [1, 3]
+        assert exact.n == 2
+        with pytest.raises(NegativeFrequencyError):
+            exact.delete(2)
+
+    def test_lazy_sort_interleaving(self, rng) -> None:
+        exact = ExactQuantiles()
+        data = rng.integers(0, 100, size=500).tolist()
+        for i, x in enumerate(data):
+            exact.update(x)
+            if i % 37 == 0:
+                exact.rank(50)  # forces a flush mid-stream
+        assert exact.n == 500
+        assert list(exact.values()) == sorted(data)
+
+    def test_empty_query(self) -> None:
+        with pytest.raises(EmptySummaryError):
+            ExactQuantiles().query(0.5)
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=200))
+    def test_matches_numpy_percentiles(self, data) -> None:
+        exact = ExactQuantiles(data)
+        arr = np.sort(np.asarray(data))
+        for phi in (0.1, 0.5, 0.9):
+            idx = min(len(arr) - 1, int(phi * len(arr)))
+            assert exact.query(phi) == arr[idx]
+
+    def test_len_and_size(self) -> None:
+        exact = ExactQuantiles([1, 2, 3])
+        assert len(exact) == 3
+        assert exact.size_bytes() == 3 * WORD_BYTES
+
+    def test_cdf_points(self) -> None:
+        exact = ExactQuantiles(list(range(100)))
+        points = exact.cdf_points(3)
+        assert len(points) == 3
+        assert points[0] < points[1] < points[2]
+        with pytest.raises(InvalidParameterError):
+            exact.cdf_points(0)
+
+
+class TestRegistry:
+    def test_all_expected_algorithms_registered(self) -> None:
+        expected = {
+            "dcm", "dcs", "gk_adaptive", "gk_array", "gk_theory",
+            "mrl99", "post", "qdigest", "random", "reservoir", "rss",
+        }
+        assert expected <= set(algorithms())
+
+    def test_make_sketch_case_insensitive(self) -> None:
+        assert make_sketch("GK_ARRAY", eps=0.1).name == "GKArray"
+
+    def test_unknown_name_lists_known(self) -> None:
+        with pytest.raises(InvalidParameterError) as exc:
+            get_algorithm("bogus")
+        assert "gk_array" in str(exc.value)
+
+    def test_double_registration_rejected(self) -> None:
+        @register("test_dummy_algo")
+        class Dummy:  # noqa: D401 - test fixture
+            pass
+
+        with pytest.raises(InvalidParameterError):
+            @register("test_dummy_algo")
+            class Dummy2:
+                pass
+
+    def test_every_registered_algorithm_roundtrips(self, rng) -> None:
+        """Smoke: every algorithm can ingest a stream and answer."""
+        data = rng.integers(0, 1 << 10, size=400, dtype=np.int64)
+        for name in algorithms():
+            if name == "test_dummy_algo":
+                continue
+            kwargs = {}
+            cls = get_algorithm(name)
+            import inspect
+
+            sig = inspect.signature(cls.__init__).parameters
+            if "universe_log2" in sig:
+                kwargs["universe_log2"] = 10
+            if "seed" in sig:
+                kwargs["seed"] = 0
+            if name == "rss":
+                kwargs["reps"] = 16
+            sk = cls(eps=0.1, **kwargs)
+            sk.extend(data.tolist())
+            answer = sk.query(0.5)
+            assert 0 <= answer < (1 << 10)
+
+
+class TestValidation:
+    def test_validate_eps(self) -> None:
+        assert validate_eps(0.5) == 0.5
+        for bad in (0.0, 1.0, -1, 2):
+            with pytest.raises(InvalidParameterError):
+                validate_eps(bad)
+
+    def test_validate_phi(self) -> None:
+        assert validate_phi(0.0) == 0.0
+        assert validate_phi(1.0) == 1.0
+        for bad in (-0.01, 1.01):
+            with pytest.raises(InvalidParameterError):
+                validate_phi(bad)
+
+    def test_validate_universe_log2(self) -> None:
+        assert validate_universe_log2(32) == 32
+        for bad in (0, 65, 2.5, True, "8"):
+            with pytest.raises(InvalidParameterError):
+                validate_universe_log2(bad)
+
+
+class TestProtocolDefaults:
+    def test_extend_default_loops(self) -> None:
+        calls = []
+
+        class Minimal(QuantileSketch):
+            name = "Minimal"
+
+            @property
+            def n(self):
+                return len(calls)
+
+            def update(self, value):
+                calls.append(value)
+
+            def rank(self, value):
+                return 0.0
+
+            def query(self, phi):
+                self._require_nonempty()
+                return calls[0]
+
+            def size_words(self):
+                return len(calls)
+
+        m = Minimal()
+        m.extend([1, 2, 3])
+        assert calls == [1, 2, 3]
+        assert m.quantiles([0.5, 0.9]) == [1, 1]
+        assert repr(m)

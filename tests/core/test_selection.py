@@ -1,0 +1,119 @@
+"""Tests for the classical selection substrate (BFPRT and Munro–Paterson)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import EmptySummaryError, InvalidParameterError
+from repro.core.selection import (
+    MunroPaterson,
+    exact_median_passes,
+    select,
+)
+
+
+class TestLinearSelect:
+    @given(
+        data=st.lists(st.integers(-100, 100), min_size=1, max_size=200),
+        seed=st.integers(0, 10_000),
+    )
+    def test_matches_sorted(self, data, seed) -> None:
+        k = seed % len(data)
+        assert select(data, k) == sorted(data)[k]
+
+    def test_all_duplicates(self) -> None:
+        assert select([7] * 50, 25) == 7
+
+    def test_bounds_checked(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            select([1, 2, 3], 3)
+        with pytest.raises(InvalidParameterError):
+            select([1, 2, 3], -1)
+
+    def test_median_of_large_array(self, rng) -> None:
+        data = rng.integers(0, 1 << 30, size=50_001).tolist()
+        assert select(data, 25_000) == sorted(data)[25_000]
+
+    def test_floats_and_negatives(self, rng) -> None:
+        data = rng.normal(0, 10, size=999).tolist()
+        for k in (0, 499, 998):
+            assert select(data, k) == sorted(data)[k]
+
+
+class TestMunroPaterson:
+    def _factory(self, data):
+        return lambda: iter(data)
+
+    @pytest.mark.parametrize("memory", [8, 32, 256])
+    def test_exact_median(self, memory, rng) -> None:
+        data = rng.integers(0, 1 << 20, size=20_001, dtype=np.int64).tolist()
+        mp = MunroPaterson(self._factory(data), memory=memory)
+        k = len(data) // 2
+        assert mp.select(k) == sorted(data)[k]
+
+    @pytest.mark.parametrize("k_frac", [0.0, 0.1, 0.5, 0.9, 0.999])
+    def test_arbitrary_ranks(self, k_frac, rng) -> None:
+        data = rng.integers(0, 1000, size=5_000, dtype=np.int64).tolist()
+        mp = MunroPaterson(self._factory(data), memory=16)
+        k = min(len(data) - 1, int(k_frac * len(data)))
+        assert mp.select(k) == sorted(data)[k]
+
+    def test_duplicate_heavy(self, rng) -> None:
+        """Streams with huge duplicate runs exercise the candidate-hit
+        path in the narrowing pass."""
+        data = rng.integers(0, 4, size=10_000, dtype=np.int64).tolist()
+        mp = MunroPaterson(self._factory(data), memory=8)
+        for k in (0, 2_500, 5_000, 9_999):
+            assert mp.select(k) == sorted(data)[k]
+
+    def test_sorted_and_reversed_input(self) -> None:
+        data = list(range(5_000))
+        mp = MunroPaterson(self._factory(data), memory=16)
+        assert mp.select(2_500) == 2_500
+        mp = MunroPaterson(self._factory(data[::-1]), memory=16)
+        assert mp.select(2_500) == 2_500
+
+    def test_more_memory_fewer_passes(self, rng) -> None:
+        data = rng.integers(0, 1 << 24, size=30_000, dtype=np.int64).tolist()
+        small = MunroPaterson(self._factory(data), memory=8)
+        big = MunroPaterson(self._factory(data), memory=1024)
+        k = 15_000
+        assert small.select(k) == big.select(k) == sorted(data)[k]
+        assert big.passes_used <= small.passes_used
+
+    def test_small_stream_two_passes(self) -> None:
+        """A stream that fits in memory finishes in count + scan."""
+        mp = MunroPaterson(self._factory([3, 1, 2]), memory=8)
+        assert mp.select(1) == 2
+        assert mp.passes_used == 2
+
+    def test_empty_stream(self) -> None:
+        mp = MunroPaterson(self._factory([]), memory=8)
+        with pytest.raises(EmptySummaryError):
+            mp.select(0)
+
+    def test_bounds_checked(self) -> None:
+        mp = MunroPaterson(self._factory([1, 2]), memory=8)
+        with pytest.raises(InvalidParameterError):
+            mp.select(2)
+        with pytest.raises(InvalidParameterError):
+            MunroPaterson(self._factory([1]), memory=3)
+
+    @given(
+        data=st.lists(st.integers(0, 50), min_size=1, max_size=300),
+        k_seed=st.integers(0, 10_000),
+    )
+    def test_property_matches_sorted(self, data, k_seed) -> None:
+        k = k_seed % len(data)
+        mp = MunroPaterson(self._factory(data), memory=4)
+        assert mp.select(k) == sorted(data)[k]
+
+
+def test_pass_bound_helper() -> None:
+    assert exact_median_passes(1, 10) == 1
+    assert exact_median_passes(10**6, 10**3) == 2
+    with pytest.raises(InvalidParameterError):
+        exact_median_passes(100, 1)

@@ -1,0 +1,128 @@
+"""Tests for continuous distributed quantile monitoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EmptySummaryError, InvalidParameterError
+from repro.distributed.monitoring import ContinuousQuantileMonitor
+
+PHIS = [0.1, 0.25, 0.5, 0.75, 0.9]
+
+
+def _max_error(monitor, all_values, phis=PHIS) -> float:
+    arr = np.sort(np.asarray(all_values))
+    n = len(arr)
+    worst = 0.0
+    for phi in phis:
+        q = monitor.query(phi)
+        lo = float(np.searchsorted(arr, q, "left"))
+        hi = float(np.searchsorted(arr, q, "right"))
+        target = phi * n
+        err = 0.0 if lo <= target <= hi else min(
+            abs(target - lo), abs(target - hi)
+        )
+        worst = max(worst, err / n)
+    return worst
+
+
+class TestAccuracy:
+    def test_error_bounded_at_any_time(self, rng) -> None:
+        eps, sites = 0.05, 8
+        monitor = ContinuousQuantileMonitor(sites=sites, eps=eps)
+        seen = []
+        data = rng.integers(0, 1 << 20, size=20_000, dtype=np.int64)
+        site_of = rng.integers(0, sites, size=len(data))
+        checkpoints = {2_000, 7_500, 19_999}
+        for i, (x, s) in enumerate(zip(data.tolist(), site_of.tolist())):
+            monitor.observe(s, x)
+            seen.append(x)
+            if i in checkpoints:
+                assert _max_error(monitor, seen) <= eps
+
+    def test_skewed_site_distributions(self, rng) -> None:
+        """Each site sees a different value range; the coordinator must
+        still merge ranks correctly."""
+        eps, sites = 0.05, 4
+        monitor = ContinuousQuantileMonitor(sites=sites, eps=eps)
+        seen = []
+        for step in range(4_000):
+            site = step % sites
+            value = int(rng.integers(site * 1_000, (site + 1) * 1_000))
+            monitor.observe(site, value)
+            seen.append(value)
+        assert _max_error(monitor, seen) <= eps
+
+    def test_idle_sites_tolerated(self, rng) -> None:
+        monitor = ContinuousQuantileMonitor(sites=10, eps=0.1)
+        seen = []
+        for x in rng.integers(0, 1_000, size=3_000).tolist():
+            monitor.observe(0, int(x))  # only site 0 ever observes
+            seen.append(int(x))
+        assert _max_error(monitor, seen) <= 0.1
+
+
+class TestCommunication:
+    def test_sublinear_in_stream(self, rng) -> None:
+        """Total words shipped must be far less than forwarding every
+        element (the naive protocol's cost of n words).  Communication is
+        O((k/eps) log n * summary), so the advantage needs n past the
+        crossover — hence the moderate eps and larger n here."""
+        eps, sites = 0.1, 4
+        monitor = ContinuousQuantileMonitor(sites=sites, eps=eps)
+        n = 150_000
+        data = rng.integers(0, 1 << 16, size=n, dtype=np.int64)
+        site_of = rng.integers(0, sites, size=n)
+        for x, s in zip(data.tolist(), site_of.tolist()):
+            monitor.observe(s, x)
+        assert monitor.words_sent < n / 3
+        assert monitor.syncs < n / 100
+
+    def test_sync_rate_decays(self, rng) -> None:
+        """Thresholds grow with N, so syncs per element must fall."""
+        monitor = ContinuousQuantileMonitor(sites=4, eps=0.1)
+        data = rng.integers(0, 1_000, size=40_000, dtype=np.int64)
+        site_of = rng.integers(0, 4, size=len(data))
+        halfway_syncs = None
+        for i, (x, s) in enumerate(zip(data.tolist(), site_of.tolist())):
+            monitor.observe(s, int(x))
+            if i == len(data) // 2:
+                halfway_syncs = monitor.syncs
+        second_half = monitor.syncs - halfway_syncs
+        assert second_half < halfway_syncs
+
+    def test_tighter_eps_costs_more(self, rng) -> None:
+        data = rng.integers(0, 1 << 16, size=20_000, dtype=np.int64)
+        site_of = rng.integers(0, 4, size=len(data))
+        costs = {}
+        for eps in (0.1, 0.02):
+            monitor = ContinuousQuantileMonitor(sites=4, eps=eps)
+            for x, s in zip(data.tolist(), site_of.tolist()):
+                monitor.observe(s, int(x))
+            costs[eps] = monitor.words_sent
+        assert costs[0.02] > costs[0.1]
+
+
+class TestValidation:
+    def test_unknown_site(self) -> None:
+        monitor = ContinuousQuantileMonitor(sites=2, eps=0.1)
+        with pytest.raises(InvalidParameterError):
+            monitor.observe(5, 1)
+
+    def test_query_before_any_sync(self) -> None:
+        monitor = ContinuousQuantileMonitor(sites=2, eps=0.1)
+        with pytest.raises(EmptySummaryError):
+            monitor.query(0.5)
+
+    def test_bad_parameters(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            ContinuousQuantileMonitor(sites=0, eps=0.1)
+        with pytest.raises(InvalidParameterError):
+            ContinuousQuantileMonitor(sites=2, eps=0.0)
+
+    def test_n_counts_everything(self, rng) -> None:
+        monitor = ContinuousQuantileMonitor(sites=3, eps=0.1)
+        for i in range(100):
+            monitor.observe(i % 3, i)
+        assert monitor.n == 100

@@ -1,0 +1,122 @@
+"""Tests for the distributed aggregation substrate and protocols."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InvalidParameterError
+from repro.distributed import (
+    AggregationNetwork,
+    make_network,
+    merge_summaries,
+    sample_and_send,
+    ship_everything,
+)
+
+PHIS = [0.1, 0.25, 0.5, 0.75, 0.9]
+
+
+class TestNetwork:
+    @pytest.mark.parametrize("topology", ["star", "tree", "chain"])
+    def test_structure(self, topology) -> None:
+        net = make_network(1_000, sites=8, topology=topology, seed=1)
+        assert net.total_n() == 1_000
+        assert net.root.parent is None
+        # Every non-root site reaches the root.
+        for site in net.sites.values():
+            cursor, hops = site, 0
+            while cursor.parent is not None:
+                cursor = net.sites[cursor.parent]
+                hops += 1
+                assert hops <= len(net.sites)
+        if topology == "star":
+            assert net.depth() == 1
+        if topology == "chain":
+            assert net.depth() == 7
+
+    def test_postorder_children_first(self) -> None:
+        net = make_network(100, sites=7, topology="tree", seed=2)
+        seen = set()
+        for sid in net.postorder():
+            for child in net.sites[sid].children:
+                assert child in seen
+            seen.add(sid)
+        assert seen == set(net.sites)
+
+    def test_skewed_shards_differ(self) -> None:
+        net = make_network(8_000, sites=8, seed=3, skew=0.9)
+        medians = [float(np.median(s.data)) for s in net.sites.values()]
+        assert max(medians) > 2 * min(medians) + 1
+
+    def test_validation(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            make_network(2, sites=5)
+        with pytest.raises(InvalidParameterError):
+            make_network(100, sites=4, topology="ring")
+        with pytest.raises(InvalidParameterError):
+            AggregationNetwork([])
+        net = make_network(100, sites=2, seed=0)
+        with pytest.raises(InvalidParameterError):
+            net.send(-1)
+
+
+class TestProtocols:
+    @pytest.mark.parametrize("topology", ["star", "tree", "chain"])
+    def test_ship_everything_exact(self, topology) -> None:
+        net = make_network(5_000, sites=16, topology=topology, seed=4)
+        truth = net.union_sorted()
+        result = ship_everything(net)
+        assert result.max_rank_error(truth, PHIS) <= 1.0 / 5_000
+        assert result.words_sent >= net.total_n() - len(net.root.data)
+
+    @pytest.mark.parametrize("summary", ["qdigest", "random"])
+    def test_merge_summaries_accuracy(self, summary) -> None:
+        eps = 0.02
+        net = make_network(40_000, sites=16, topology="tree", seed=5,
+                           skew=0.7)
+        truth = net.union_sorted()
+        result = merge_summaries(net, eps=eps, summary=summary, seed=9)
+        # Merging across depth-4 trees can stack error; generous budget.
+        assert result.max_rank_error(truth, PHIS) <= 3 * eps
+        assert result.answerer.n == 40_000
+
+    def test_merge_cheaper_than_shipping(self) -> None:
+        eps = 0.05
+        net_a = make_network(60_000, sites=16, topology="tree", seed=6)
+        net_b = make_network(60_000, sites=16, topology="tree", seed=6)
+        shipped = ship_everything(net_a)
+        merged = merge_summaries(net_b, eps=eps, summary="qdigest")
+        assert merged.words_sent < shipped.words_sent / 4
+
+    def test_sampling_accuracy_and_cost(self) -> None:
+        eps = 0.05
+        net = make_network(80_000, sites=16, topology="star", seed=7)
+        truth = net.union_sorted()
+        result = sample_and_send(net, eps=eps, seed=11)
+        assert result.max_rank_error(truth, PHIS) <= eps
+        assert result.words_sent < 80_000
+
+    def test_sampling_cost_independent_of_n(self) -> None:
+        eps = 0.1
+        small = make_network(20_000, sites=8, topology="star", seed=8)
+        large = make_network(80_000, sites=8, topology="star", seed=8)
+        a = sample_and_send(small, eps=eps, seed=12)
+        b = sample_and_send(large, eps=eps, seed=12)
+        assert b.words_sent < 2 * a.words_sent  # ~flat in n
+
+    def test_invalid_summary_rejected(self) -> None:
+        net = make_network(100, sites=2, seed=0)
+        with pytest.raises(InvalidParameterError):
+            merge_summaries(net, eps=0.1, summary="gk")
+
+    def test_chain_topology_summary_size_bounded(self) -> None:
+        """Along a chain, merge-aggregation still sends one summary per
+        edge (the whole point of mergeability)."""
+        eps = 0.05
+        net = make_network(20_000, sites=10, topology="chain", seed=13)
+        result = merge_summaries(net, eps=eps, summary="random")
+        # 9 edges, each carrying ~one summary.
+        per_edge = result.words_sent / 9
+        single = result.answerer.size_words()
+        assert per_edge <= 1.5 * single

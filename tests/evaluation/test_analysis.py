@@ -1,0 +1,119 @@
+"""Tests for the distribution-analytics layer (CDF/PDF/QQ/KS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ExactQuantiles, GKArray, RandomSketch
+from repro.core import InvalidParameterError
+from repro.evaluation.analysis import (
+    cdf,
+    compare,
+    describe,
+    ks_distance,
+    pdf_histogram,
+    qq_points,
+)
+
+
+@pytest.fixture
+def normal_sketch(rng):
+    sk = GKArray(eps=0.005)
+    sk.extend(rng.normal(0, 1, size=30_000).tolist())
+    return sk
+
+
+class TestCDF:
+    def test_monotone_and_anchored(self, normal_sketch) -> None:
+        values, probs = cdf(normal_sketch, resolution=50)
+        assert np.all(np.diff(values) >= 0)
+        assert np.all(np.diff(probs) > 0)
+        assert 0 < probs[0] < probs[-1] < 1
+
+    def test_matches_normal_cdf(self, normal_sketch) -> None:
+        from scipy.stats import norm
+
+        values, probs = cdf(normal_sketch, resolution=99)
+        theoretical = norm.cdf(values)
+        assert float(np.abs(theoretical - probs).max()) < 0.02
+
+    def test_rejects_bad_resolution(self, normal_sketch) -> None:
+        with pytest.raises(InvalidParameterError):
+            cdf(normal_sketch, resolution=1)
+
+
+class TestPDF:
+    def test_densities_integrate_to_one(self, normal_sketch) -> None:
+        edges, densities = pdf_histogram(normal_sketch, bins=25)
+        mass = float((densities * np.diff(edges)).sum())
+        assert mass == pytest.approx(1.0, abs=0.02)
+
+    def test_peak_near_mode(self, normal_sketch) -> None:
+        edges, densities = pdf_histogram(normal_sketch, bins=25)
+        centers = (edges[:-1] + edges[1:]) / 2
+        assert abs(float(centers[np.argmax(densities)])) < 0.5
+
+    def test_rejects_bad_bins(self, normal_sketch) -> None:
+        with pytest.raises(InvalidParameterError):
+            pdf_histogram(normal_sketch, bins=0)
+
+
+class TestQQ:
+    def test_same_distribution_on_diagonal(self, rng) -> None:
+        a = RandomSketch(eps=0.01, seed=1)
+        b = RandomSketch(eps=0.01, seed=2)
+        a.extend(rng.normal(0, 1, size=20_000).tolist())
+        b.extend(rng.normal(0, 1, size=20_000).tolist())
+        xs, ys = qq_points(a, b, resolution=30)
+        assert float(np.abs(xs - ys).max()) < 0.15
+
+    def test_shift_visible(self, rng) -> None:
+        a = ExactQuantiles(rng.normal(0, 1, size=5_000).tolist())
+        b = ExactQuantiles(rng.normal(2, 1, size=5_000).tolist())
+        xs, ys = qq_points(a, b, resolution=30)
+        assert float(np.median(ys - xs)) == pytest.approx(2.0, abs=0.2)
+
+
+class TestKS:
+    def test_identical_near_zero(self, rng) -> None:
+        data = rng.normal(0, 1, size=20_000)
+        a = GKArray(eps=0.005)
+        b = GKArray(eps=0.005)
+        a.extend(data.tolist())
+        b.extend(data.tolist())
+        assert ks_distance(a, b) < 0.02
+
+    def test_disjoint_near_one(self, rng) -> None:
+        a = ExactQuantiles(rng.uniform(0, 1, size=2_000).tolist())
+        b = ExactQuantiles(rng.uniform(10, 11, size=2_000).tolist())
+        assert ks_distance(a, b) > 0.95
+
+    def test_matches_theoretical_shift(self, rng) -> None:
+        """KS between N(0,1) and N(1,1) is about 0.38."""
+        a = GKArray(eps=0.005)
+        b = GKArray(eps=0.005)
+        a.extend(rng.normal(0, 1, size=30_000).tolist())
+        b.extend(rng.normal(1, 1, size=30_000).tolist())
+        assert ks_distance(a, b) == pytest.approx(0.383, abs=0.04)
+
+
+class TestDescribe:
+    def test_normal_card(self, normal_sketch) -> None:
+        card = describe(normal_sketch)
+        assert card.n == 30_000
+        assert abs(card.median) < 0.05
+        assert card.iqr == pytest.approx(1.35, abs=0.1)
+        assert abs(card.skew_proxy) < 0.15
+
+    def test_skewed_card(self, rng) -> None:
+        sk = ExactQuantiles(rng.lognormal(0, 1, size=10_000).tolist())
+        assert describe(sk).skew_proxy > 0.5
+
+    def test_compare_report(self, rng) -> None:
+        a = ExactQuantiles(rng.normal(0, 1, size=3_000).tolist())
+        b = ExactQuantiles(rng.normal(3, 1, size=3_000).tolist())
+        report = compare(a, b)
+        assert report["median_shift"] == pytest.approx(3.0, abs=0.2)
+        assert report["ks_distance"] > 0.8
+        assert report["a"].n == report["b"].n == 3_000

@@ -1,0 +1,211 @@
+"""Tests for the measurement harness, sweeps, and reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InvalidParameterError
+from repro.evaluation import (
+    PeakSpaceTracker,
+    RunResult,
+    build_sketch,
+    by_algorithm,
+    bytes_to_words,
+    feed_stream,
+    format_table,
+    matrix_table,
+    results_table,
+    run_experiment,
+    scaled_n,
+    sweep,
+    tradeoff_series,
+)
+from repro.streams import uniform_stream
+
+
+class TestBuildSketch:
+    def test_comparison_algorithm(self) -> None:
+        sk = build_sketch("gk_array", eps=0.01)
+        assert sk.name == "GKArray"
+
+    def test_fixed_universe_requires_log(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            build_sketch("dcs", eps=0.01)
+        sk = build_sketch("dcs", eps=0.01, universe_log2=16, seed=1)
+        assert sk.universe == 1 << 16
+
+    def test_extra_kwargs_forwarded(self) -> None:
+        sk = build_sketch(
+            "dcs", eps=0.01, universe_log2=16, seed=1, width=99, depth=3
+        )
+        assert sk.width == 99 and sk.depth == 3
+
+    def test_unknown_algorithm(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            build_sketch("nope", eps=0.01)
+
+
+class TestFeedStream:
+    def test_insert_only(self) -> None:
+        data = uniform_stream(5_000, universe_log2=16, seed=1)
+        sk = build_sketch("gk_array", eps=0.02)
+        seconds, peak = feed_stream(sk, data)
+        assert sk.n == 5_000
+        assert seconds > 0 and peak > 0
+
+    def test_turnstile_with_deletions(self) -> None:
+        data = uniform_stream(3_000, universe_log2=12, seed=2)
+        sk = build_sketch("dcs", eps=0.05, universe_log2=12, seed=3)
+        feed_stream(sk, data, deletions=data[:1_000])
+        assert sk.n == 2_000
+
+    def test_deletions_rejected_for_cash_register(self) -> None:
+        data = uniform_stream(100, universe_log2=12, seed=2)
+        sk = build_sketch("gk_array", eps=0.05)
+        with pytest.raises(InvalidParameterError):
+            feed_stream(sk, data, deletions=data[:10])
+
+
+class TestRunExperiment:
+    def test_deterministic_runs_once(self) -> None:
+        data = uniform_stream(5_000, universe_log2=16, seed=4)
+        result = run_experiment("gk_array", data, eps=0.02, repeats=5)
+        assert result.repeats == 1
+        assert result.max_error <= 0.02
+        assert result.n == 5_000
+        assert result.peak_bytes == result.peak_words * 4
+
+    def test_randomized_repeats(self) -> None:
+        data = uniform_stream(5_000, universe_log2=16, seed=4)
+        result = run_experiment("random", data, eps=0.05, repeats=3, seed=1)
+        assert result.repeats == 3
+        assert result.max_error <= 0.05
+
+    def test_turnstile_with_deletions_ground_truth(self) -> None:
+        data = np.concatenate(
+            [np.arange(1_000, dtype=np.int64),
+             np.full(1_000, 4_000, dtype=np.int64)]
+        )
+        deletions = np.full(1_000, 4_000, dtype=np.int64)
+        result = run_experiment(
+            "dcs", data, eps=0.05, universe_log2=12,
+            deletions=deletions, seed=2,
+        )
+        assert result.n == 1_000  # ground truth is the remaining multiset
+
+    def test_invalid_deletions_rejected(self) -> None:
+        data = np.asarray([1, 2, 3], dtype=np.int64)
+        with pytest.raises(InvalidParameterError):
+            run_experiment(
+                "dcs", data, eps=0.1, universe_log2=8,
+                deletions=np.asarray([9], dtype=np.int64),
+            )
+
+    def test_post_processing_flag(self) -> None:
+        data = uniform_stream(8_000, universe_log2=16, seed=6)
+        result = run_experiment(
+            "dcs", data, eps=0.02, universe_log2=16, seed=7,
+            post_process=True, eta=0.1, repeats=1,
+        )
+        assert result.algorithm == "dcs+post"
+
+
+class TestSweep:
+    def test_sweep_shape_and_grouping(self) -> None:
+        data = uniform_stream(4_000, universe_log2=16, seed=8)
+        results = sweep(
+            ["gk_array", "random"], data, [0.05, 0.02], repeats=1, seed=0
+        )
+        assert len(results) == 4
+        curves = by_algorithm(results)
+        assert set(curves) == {"GKArray".lower() and "gk_array", "random"}
+        assert [r.eps for r in curves["gk_array"]] == [0.05, 0.02]
+
+    def test_sweep_with_post_suffix(self) -> None:
+        data = uniform_stream(4_000, universe_log2=12, seed=9)
+        results = sweep(
+            ["dcs", "dcs+post"], data, [0.05],
+            universe_log2=12, repeats=1, seed=0,
+        )
+        names = {r.algorithm for r in results}
+        assert names == {"dcs", "dcs+post"}
+
+    def test_per_algorithm_kwargs(self) -> None:
+        data = uniform_stream(2_000, universe_log2=12, seed=10)
+        results = sweep(
+            ["dcs"], data, [0.05], universe_log2=12, repeats=1,
+            per_algorithm_kwargs={"dcs": {"width": 33}},
+        )
+        assert len(results) == 1
+
+
+class TestSpaceTracker:
+    def test_peak_tracking(self) -> None:
+        class Growing:
+            words = 10
+
+            def size_words(self):
+                return self.words
+
+        g = Growing()
+        tracker = PeakSpaceTracker(g, interval=2)
+        g.words = 100
+        tracker.tick()  # 1 < 2: not sampled yet
+        assert tracker.peak_words == 10
+        tracker.tick()  # hits interval
+        assert tracker.peak_words == 100
+        g.words = 50
+        tracker.sample()
+        assert tracker.peak_words == 100
+        assert tracker.peak_bytes == 400
+
+    def test_invalid_interval(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            PeakSpaceTracker(None, interval=0)
+
+    def test_bytes_to_words(self) -> None:
+        assert bytes_to_words(1024) == 256
+        with pytest.raises(InvalidParameterError):
+            bytes_to_words(-1)
+
+
+class TestReporting:
+    def _result(self, name: str, eps: float) -> RunResult:
+        return RunResult(
+            algorithm=name, eps=eps, n=100, update_time_us=1.5,
+            peak_words=256, max_error=0.01, avg_error=0.005, repeats=1,
+        )
+
+    def test_results_table_contains_rows(self) -> None:
+        text = results_table(
+            [self._result("gk", 0.01), self._result("random", 0.01)],
+            title="demo",
+        )
+        assert "demo" in text and "gk" in text and "random" in text
+        assert "us/update" in text
+
+    def test_tradeoff_series(self) -> None:
+        rs = [self._result("gk", 0.01), self._result("gk", 0.001)]
+        text = tradeoff_series(rs, "avg_error", "peak_kb", title="fig")
+        assert text.startswith("fig")
+        assert text.count("(") == 2
+
+    def test_matrix_table(self) -> None:
+        cells = {(3, 64): 0.5, (3, 128): 0.25, (5, 64): 0.4}
+        text = matrix_table(
+            "d", [3, 5], "KB", [64, 128], cells, title="tuning"
+        )
+        assert "tuning" in text
+        assert "-" in text  # the missing (5, 128) cell
+
+    def test_format_table_empty(self) -> None:
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+def test_scaled_n_env(monkeypatch) -> None:
+    monkeypatch.setenv("REPRO_SCALE", "2.0")
+    assert scaled_n(100_000) == 200_000
+    monkeypatch.delenv("REPRO_SCALE")
+    assert scaled_n(100_000) == 100_000

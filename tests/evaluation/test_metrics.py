@@ -1,0 +1,99 @@
+"""Tests for the error metrics (Section 4.1.2 semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ExactQuantiles, InvalidParameterError
+from repro.evaluation import (
+    ErrorReport,
+    ks_divergence,
+    measure_errors,
+    phi_grid,
+    quantile_grid_truth,
+    rank_error,
+)
+
+
+class TestPhiGrid:
+    def test_paper_grid(self) -> None:
+        grid = phi_grid(0.25)
+        assert grid == [0.25, 0.5, 0.75]
+
+    def test_capped_for_small_eps(self) -> None:
+        grid = phi_grid(1e-6, max_queries=101)
+        assert len(grid) == 101
+        assert grid[0] == pytest.approx(1e-6)
+        assert grid[-1] == pytest.approx(1 - 1e-6)
+
+    def test_rejects_bad_eps(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            phi_grid(0.0)
+        with pytest.raises(InvalidParameterError):
+            phi_grid(1.5)
+
+
+class TestRankError:
+    def test_inside_interval_is_zero(self) -> None:
+        data = np.asarray([1, 2, 2, 2, 5])
+        # value 2 occupies ranks [1, 4]
+        for target in (1.0, 2.5, 4.0):
+            assert rank_error(data, 2, target) == 0.0
+
+    def test_outside_interval_distance(self) -> None:
+        data = np.asarray([1, 2, 2, 2, 5])
+        assert rank_error(data, 2, 0.0) == 1.0
+        assert rank_error(data, 2, 4.5) == 0.5
+
+    def test_absent_value(self) -> None:
+        data = np.asarray([1, 5])
+        # value 3 has empty interval at rank 1
+        assert rank_error(data, 3, 1.0) == 0.0
+        assert rank_error(data, 3, 2.0) == 1.0
+
+
+class TestMeasureErrors:
+    def test_exact_summary_has_zero_error(self, rng) -> None:
+        data = rng.integers(0, 1000, size=5_000, dtype=np.int64)
+        exact = ExactQuantiles(data.tolist())
+        report = measure_errors(exact, np.sort(data), eps=0.01)
+        assert isinstance(report, ErrorReport)
+        assert report.max_error <= 1.0 / 5_000  # quantization only
+        assert report.avg_error <= report.max_error
+
+    def test_shifted_summary_measured(self, rng) -> None:
+        """A summary answering from shifted data shows the shift."""
+        data = np.arange(10_000, dtype=np.int64)
+
+        class Shifted:
+            def quantiles(self, phis):
+                return [int(phi * 10_000) + 500 for phi in phis]
+
+        report = measure_errors(Shifted(), data, eps=0.1)
+        assert report.max_error == pytest.approx(0.05, abs=0.01)
+
+    def test_empty_data_rejected(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            measure_errors(ExactQuantiles([1]), np.asarray([]), eps=0.1)
+
+
+class TestKS:
+    def test_identical_is_zero(self, rng) -> None:
+        data = np.sort(rng.normal(0, 1, size=1_000))
+        assert ks_divergence(data, data) == 0.0
+
+    def test_disjoint_is_one(self) -> None:
+        a = np.asarray([1.0, 2.0])
+        b = np.asarray([10.0, 11.0])
+        assert ks_divergence(a, b) == 1.0
+
+    def test_empty_rejected(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            ks_divergence(np.asarray([]), np.asarray([1.0]))
+
+
+def test_quantile_grid_truth() -> None:
+    data = np.arange(100, dtype=np.int64)
+    truth = quantile_grid_truth(data, [0.0, 0.5, 0.999])
+    assert truth.tolist() == [0, 50, 99]

@@ -1,0 +1,81 @@
+"""Tests for the terminal plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InvalidParameterError
+from repro.evaluation import RunResult
+from repro.evaluation.plotting import plot_results, text_plot
+
+
+def _series():
+    return {
+        "alpha": [(0.01, 100.0), (0.001, 1000.0), (0.0001, 10000.0)],
+        "beta": [(0.01, 50.0), (0.001, 200.0)],
+    }
+
+
+class TestTextPlot:
+    def test_contains_markers_and_legend(self) -> None:
+        out = text_plot(_series(), title="demo")
+        assert out.startswith("demo")
+        assert "o alpha" in out and "x beta" in out
+        body = out.split("\n", 1)[1]
+        assert "o" in body and "x" in body
+
+    def test_axis_ticks_rendered(self) -> None:
+        out = text_plot(_series())
+        assert "0.0001" in out or "1e-04" in out.replace("e-04", "e-04")
+        assert "1e+04" in out or "10000" in out or "1e4" in out
+
+    def test_linear_axes(self) -> None:
+        out = text_plot(
+            {"s": [(0.0, 1.0), (5.0, 2.0)]}, x_log=False, y_log=False
+        )
+        assert "s" in out
+
+    def test_log_axis_rejects_nonpositive(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            text_plot({"s": [(0.0, 1.0)]}, x_log=True)
+        with pytest.raises(InvalidParameterError):
+            text_plot({"s": [(1.0, -1.0)]}, y_log=True)
+
+    def test_empty_rejected(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            text_plot({})
+        with pytest.raises(InvalidParameterError):
+            text_plot({"s": []})
+
+    def test_tiny_area_rejected(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            text_plot(_series(), width=4)
+
+    def test_collisions_marked(self) -> None:
+        out = text_plot(
+            {"a": [(1.0, 1.0)], "b": [(1.0, 1.0)]},
+            x_log=False, y_log=False,
+        )
+        assert "?" in out
+
+    def test_single_point_degenerate_ranges(self) -> None:
+        out = text_plot({"s": [(2.0, 3.0)]}, x_log=False, y_log=False)
+        assert "o" in out
+
+
+class TestPlotResults:
+    def _result(self, name, eps, kb):
+        return RunResult(
+            algorithm=name, eps=eps, n=100, update_time_us=1.0,
+            peak_words=int(kb * 256), max_error=eps / 2,
+            avg_error=eps / 4, repeats=1,
+        )
+
+    def test_per_algorithm_series(self) -> None:
+        results = [
+            self._result("gk", 0.01, 10),
+            self._result("gk", 0.001, 100),
+            self._result("random", 0.01, 5),
+        ]
+        out = plot_results(results, "avg_error", "peak_kb", title="fig")
+        assert "o gk" in out and "x random" in out

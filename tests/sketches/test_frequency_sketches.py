@@ -1,0 +1,217 @@
+"""Tests for Count-Min, Count-Sketch, ExactCounter and SubsetSumSketch.
+
+Key invariants (from the papers the sketches come from):
+
+* Count-Min never underestimates on insert-only streams.
+* Count-Sketch is unbiased across seeds.
+* Batch updates are equivalent to loops of single updates.
+* Turnstile: insert-then-delete leaves the counters exactly as before.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError, UniverseOverflowError
+from repro.sketches import (
+    CountMinSketch,
+    CountSketch,
+    ExactCounter,
+    SubsetSumSketch,
+)
+
+ALL_SKETCHES = [
+    lambda seed: CountMinSketch(width=256, depth=5, seed=seed),
+    lambda seed: CountSketch(width=256, depth=5, seed=seed),
+    lambda seed: ExactCounter(universe=1 << 12),
+    lambda seed: SubsetSumSketch(groups=5, reps=32, seed=seed),
+]
+
+SKETCH_IDS = ["countmin", "countsketch", "exact", "subsetsum"]
+
+
+@pytest.fixture(params=list(zip(ALL_SKETCHES, SKETCH_IDS)), ids=SKETCH_IDS)
+def sketch_factory(request):
+    return request.param[0]
+
+
+def _counts_of(sketch):
+    """Snapshot of the internal counter state for equality checks."""
+    if isinstance(sketch, ExactCounter):
+        return sketch._counts.copy()
+    if isinstance(sketch, SubsetSumSketch):
+        return sketch._counters.copy()
+    return sketch._table.copy()
+
+
+class TestCommonBehavior:
+    def test_batch_equals_loop(self, sketch_factory, rng) -> None:
+        keys = rng.integers(0, 1 << 12, size=500, dtype=np.int64)
+        one = sketch_factory(33)
+        two = sketch_factory(33)
+        for k in keys.tolist():
+            one.update(int(k))
+        two.update_batch(keys)
+        assert np.array_equal(_counts_of(one), _counts_of(two))
+
+    def test_insert_delete_cancels(self, sketch_factory, rng) -> None:
+        keys = rng.integers(0, 1 << 12, size=300, dtype=np.int64)
+        sk = sketch_factory(5)
+        sk.update_batch(keys)
+        before = _counts_of(sk)
+        extra = rng.integers(0, 1 << 12, size=200, dtype=np.int64)
+        sk.update_batch(extra, 1)
+        sk.update_batch(extra, -1)
+        assert np.array_equal(_counts_of(sk), before)
+
+    def test_estimate_batch_matches_scalar(self, sketch_factory, rng) -> None:
+        keys = rng.integers(0, 1 << 12, size=400, dtype=np.int64)
+        sk = sketch_factory(9)
+        sk.update_batch(keys)
+        probe = np.arange(0, 1 << 12, 173, dtype=np.int64)
+        batch = sk.estimate_batch(probe)
+        for k, b in zip(probe.tolist(), batch.tolist()):
+            assert sk.estimate(int(k)) == b
+
+    def test_size_words_positive(self, sketch_factory) -> None:
+        assert sketch_factory(0).size_words() > 0
+
+
+class TestCountMin:
+    def test_never_underestimates(self, rng) -> None:
+        sk = CountMinSketch(width=512, depth=5, seed=1)
+        keys = rng.integers(0, 1 << 20, size=5_000, dtype=np.int64)
+        sk.update_batch(keys)
+        true = {}
+        for k in keys.tolist():
+            true[k] = true.get(k, 0) + 1
+        for k, f in list(true.items())[:200]:
+            assert sk.estimate(k) >= f
+
+    def test_error_bound(self, rng) -> None:
+        """Estimate error should be ~ n / w on uniform data."""
+        n, w = 20_000, 1024
+        sk = CountMinSketch(width=w, depth=5, seed=2)
+        keys = rng.integers(0, 1 << 20, size=n, dtype=np.int64)
+        sk.update_batch(keys)
+        probe = rng.integers(0, 1 << 20, size=100, dtype=np.int64)
+        errors = sk.estimate_batch(probe)  # most probes have true freq ~0
+        assert float(np.mean(errors)) < 5 * n / w
+
+    def test_rejects_bad_parameters(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            CountMinSketch(width=0, depth=3)
+        with pytest.raises(InvalidParameterError):
+            CountMinSketch(width=8, depth=0)
+
+
+class TestCountSketch:
+    def test_unbiased_across_seeds(self, rng) -> None:
+        """Mean estimate over many seeds should approach the truth."""
+        keys = rng.integers(0, 1 << 16, size=2_000, dtype=np.int64)
+        target = int(keys[0])
+        truth = int((keys == target).sum())
+        estimates = []
+        for seed in range(60):
+            sk = CountSketch(width=64, depth=1, seed=seed)
+            sk.update_batch(keys)
+            estimates.append(sk.estimate(target))
+        err = abs(float(np.mean(estimates)) - truth)
+        # std of the mean ~ sqrt(F2/w)/sqrt(60); generous envelope below.
+        assert err < 3 * np.sqrt(len(keys) / 64 / 60) * np.sqrt(
+            len(keys) / (1 << 16) + 1
+        ) + 5
+
+    def test_heavy_hitter_recovered(self, rng) -> None:
+        keys = rng.integers(0, 1 << 20, size=5_000, dtype=np.int64)
+        heavy = np.full(2_000, 777, dtype=np.int64)
+        sk = CountSketch(width=512, depth=5, seed=3)
+        sk.update_batch(np.concatenate([keys, heavy]))
+        assert abs(sk.estimate(777) - 2_000) < 300
+
+    def test_variance_estimate_tracks_f2(self, rng) -> None:
+        keys = rng.integers(0, 1 << 16, size=10_000, dtype=np.int64)
+        sk = CountSketch(width=256, depth=5, seed=4)
+        sk.update_batch(keys)
+        f2 = float(
+            (np.bincount(keys.astype(np.int64)).astype(np.float64) ** 2).sum()
+        )
+        est = sk.variance_estimate() * 256  # un-normalize: ~F2
+        assert 0.5 * f2 < est < 2.0 * f2
+
+    def test_rejects_bad_parameters(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            CountSketch(width=-1, depth=3)
+
+
+class TestExactCounter:
+    def test_exact(self, rng) -> None:
+        sk = ExactCounter(universe=100)
+        keys = rng.integers(0, 100, size=1_000, dtype=np.int64)
+        sk.update_batch(keys)
+        counts = np.bincount(keys, minlength=100)
+        assert np.array_equal(sk.estimate_batch(np.arange(100)), counts)
+
+    def test_prefix_sums(self, rng) -> None:
+        sk = ExactCounter(universe=64)
+        keys = rng.integers(0, 64, size=500, dtype=np.int64)
+        sk.update_batch(keys)
+        ps = sk.prefix_sums()
+        assert ps[0] == 0 and ps[-1] == 500
+        for k in (1, 13, 63):
+            assert ps[k] == int((keys < k).sum())
+
+    def test_rejects_out_of_universe(self) -> None:
+        sk = ExactCounter(universe=10)
+        with pytest.raises(UniverseOverflowError):
+            sk.update(10)
+        with pytest.raises(UniverseOverflowError):
+            sk.update(-1)
+        with pytest.raises(UniverseOverflowError):
+            sk.update_batch(np.int64([3, 11]))
+        with pytest.raises(UniverseOverflowError):
+            sk.estimate(12)
+
+    def test_variance_is_zero(self) -> None:
+        assert ExactCounter(universe=4).variance_estimate() == 0.0
+
+
+class TestSubsetSum:
+    def test_unbiased_across_seeds(self, rng) -> None:
+        keys = rng.integers(0, 1 << 10, size=1_000, dtype=np.int64)
+        heavy = np.full(400, 123, dtype=np.int64)
+        stream = np.concatenate([keys, heavy])
+        estimates = []
+        for seed in range(40):
+            sk = SubsetSumSketch(groups=1, reps=16, seed=seed)
+            sk.update_batch(stream)
+            estimates.append(sk.estimate(123))
+        truth = 400 + int((keys == 123).sum())
+        assert abs(float(np.mean(estimates)) - truth) < 60
+
+    def test_rejects_bad_parameters(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            SubsetSumSketch(groups=0, reps=4)
+        with pytest.raises(InvalidParameterError):
+            SubsetSumSketch(groups=4, reps=0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), max_size=60))
+def test_countsketch_state_linear(keys) -> None:
+    """Count-Sketch state is linear: inserting a multiset then deleting a
+    sub-multiset equals inserting the difference."""
+    keys = np.asarray(keys, dtype=np.int64)
+    half = keys[: len(keys) // 2]
+    a = CountSketch(width=32, depth=3, seed=77)
+    b = CountSketch(width=32, depth=3, seed=77)
+    if keys.size:
+        a.update_batch(keys)
+    if half.size:
+        a.update_batch(half, -1)
+    rest = keys[len(keys) // 2 :]
+    if rest.size:
+        b.update_batch(rest)
+    assert np.array_equal(a._table, b._table)

@@ -1,0 +1,132 @@
+"""Tests for the k-wise independent hash families.
+
+The crucial property is that the vectorized modular arithmetic is *exact*:
+``mulmod61`` must agree with Python big-int arithmetic for every operand,
+and polynomial evaluation must match a direct big-int evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError
+from repro.sketches.hashing import (
+    KWiseHash,
+    MERSENNE_P,
+    SignHash,
+    make_rng,
+    mulmod61,
+)
+
+
+class TestMulmod61:
+    @given(
+        a=st.integers(min_value=0, max_value=MERSENNE_P - 1),
+        b=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    )
+    def test_matches_bigint(self, a: int, b: int) -> None:
+        assert int(mulmod61(a, b)) == (a * b) % MERSENNE_P
+
+    def test_extremes(self) -> None:
+        cases = [
+            (MERSENNE_P - 1, (1 << 32) - 1),
+            (MERSENNE_P - 1, 1),
+            (0, (1 << 32) - 1),
+            (1, 0),
+            ((1 << 61) - 2, (1 << 32) - 1),
+        ]
+        for a, b in cases:
+            assert int(mulmod61(a, b)) == (a * b) % MERSENNE_P
+
+    def test_vectorized_matches_scalar(self) -> None:
+        rng = make_rng(1)
+        a = rng.integers(0, MERSENNE_P, size=1000).astype(np.uint64)
+        b = rng.integers(0, 1 << 32, size=1000).astype(np.uint64)
+        out = mulmod61(a, b)
+        for i in range(0, 1000, 97):
+            assert int(out[i]) == (int(a[i]) * int(b[i])) % MERSENNE_P
+
+
+class TestKWiseHash:
+    def test_polynomial_matches_bigint(self) -> None:
+        rng = make_rng(7)
+        h = KWiseHash(4, 1 << 20, rng)
+        coeffs = [int(c) for c in h._coeffs]
+        keys = make_rng(8).integers(0, 1 << 32, size=200).astype(np.uint64)
+        got = h(keys)
+        for k, g in zip(keys.tolist(), got.tolist()):
+            val = 0
+            for c in coeffs:
+                val = (val * k + c) % MERSENNE_P
+            assert g == val % (1 << 20)
+
+    def test_range_respected(self) -> None:
+        rng = make_rng(3)
+        for w in (1, 2, 7, 1024):
+            h = KWiseHash(2, w, rng)
+            out = h(np.arange(10_000, dtype=np.uint64))
+            assert out.min() >= 0 and out.max() < w
+
+    def test_deterministic_given_seed(self) -> None:
+        keys = np.arange(1000, dtype=np.uint64)
+        h1 = KWiseHash(2, 64, make_rng(42))
+        h2 = KWiseHash(2, 64, make_rng(42))
+        assert np.array_equal(h1(keys), h2(keys))
+
+    def test_different_seeds_differ(self) -> None:
+        keys = np.arange(1000, dtype=np.uint64)
+        h1 = KWiseHash(2, 1 << 30, make_rng(1))
+        h2 = KWiseHash(2, 1 << 30, make_rng(2))
+        assert not np.array_equal(h1(keys), h2(keys))
+
+    def test_pairwise_uniformity(self) -> None:
+        """Buckets of a pairwise hash should be roughly balanced."""
+        h = KWiseHash(2, 16, make_rng(11))
+        counts = np.bincount(
+            h(np.arange(160_000, dtype=np.uint64)), minlength=16
+        )
+        assert counts.min() > 8_000 and counts.max() < 12_000
+
+    def test_rejects_large_keys(self) -> None:
+        h = KWiseHash(2, 16, make_rng(0))
+        with pytest.raises(InvalidParameterError):
+            h(np.uint64([1 << 32]))
+
+    def test_rejects_bad_parameters(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            KWiseHash(0, 16, make_rng(0))
+        with pytest.raises(InvalidParameterError):
+            KWiseHash(2, 0, make_rng(0))
+
+    def test_hash_one_matches_array_path(self) -> None:
+        h = KWiseHash(4, 97, make_rng(5))
+        keys = [0, 1, 12345, (1 << 32) - 1]
+        assert [h.hash_one(k) for k in keys] == h(
+            np.uint64(keys)
+        ).tolist()
+
+
+class TestSignHash:
+    def test_values_are_signs(self) -> None:
+        g = SignHash(make_rng(2))
+        out = g(np.arange(10_000, dtype=np.uint64))
+        assert set(np.unique(out).tolist()) <= {-1, 1}
+
+    def test_roughly_balanced(self) -> None:
+        g = SignHash(make_rng(4))
+        out = g(np.arange(100_000, dtype=np.uint64))
+        assert abs(int(out.sum())) < 3_000
+
+    def test_sign_one_matches_array_path(self) -> None:
+        g = SignHash(make_rng(6))
+        keys = [0, 5, 999_999]
+        assert [g.sign_one(k) for k in keys] == g(np.uint64(keys)).tolist()
+
+    def test_mean_of_products_near_zero(self) -> None:
+        """Pairwise sign products should average out (independence proxy)."""
+        g = SignHash(make_rng(9))
+        out = g(np.arange(50_000, dtype=np.uint64)).astype(np.float64)
+        assert abs(float((out[:-1] * out[1:]).mean())) < 0.05

@@ -1,0 +1,152 @@
+"""Tests for the stream generators and synthetic data sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InvalidParameterError, NegativeFrequencyError
+from repro.streams import (
+    MPCAT_UNIVERSE,
+    adversarial_teardown,
+    chunked_sorted_stream,
+    churn_stream,
+    insert_only,
+    normal_stream,
+    remaining_values,
+    sorted_stream,
+    synthetic_lidar,
+    synthetic_mpcat_obs,
+    uniform_stream,
+    validate_updates,
+    zipf_stream,
+)
+
+
+class TestValueStreams:
+    @pytest.mark.parametrize(
+        "gen",
+        [uniform_stream, normal_stream, zipf_stream, sorted_stream,
+         chunked_sorted_stream],
+    )
+    def test_in_universe_and_reproducible(self, gen) -> None:
+        a = gen(5_000, universe_log2=16, seed=4)
+        b = gen(5_000, universe_log2=16, seed=4)
+        c = gen(5_000, universe_log2=16, seed=5)
+        assert len(a) == 5_000
+        assert a.min() >= 0 and a.max() < (1 << 16)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_sorted_is_sorted(self) -> None:
+        data = sorted_stream(2_000, seed=1)
+        assert np.all(np.diff(data) >= 0)
+        desc = sorted_stream(2_000, seed=1, descending=True)
+        assert np.all(np.diff(desc) <= 0)
+
+    def test_chunked_has_sorted_runs_but_not_global(self) -> None:
+        data = chunked_sorted_stream(20_000, seed=2, mean_chunk=500)
+        ascending_pairs = float(np.mean(np.diff(data) >= 0))
+        assert ascending_pairs > 0.9  # mostly sorted locally
+        assert not np.all(np.diff(data) >= 0)  # but not globally
+
+    def test_normal_concentration_varies_with_sigma(self) -> None:
+        tight = normal_stream(20_000, sigma=0.05, seed=3)
+        loose = normal_stream(20_000, sigma=0.25, seed=3)
+        assert np.std(tight.astype(float)) < np.std(loose.astype(float))
+
+    def test_zipf_heavy_head(self) -> None:
+        data = zipf_stream(20_000, alpha=1.5, seed=6)
+        zero_frac = float(np.mean(data == 0))
+        assert zero_frac > 0.3
+
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            uniform_stream(-1)
+        with pytest.raises(InvalidParameterError):
+            uniform_stream(10, universe_log2=0)
+        with pytest.raises(InvalidParameterError):
+            normal_stream(10, sigma=0.0)
+        with pytest.raises(InvalidParameterError):
+            zipf_stream(10, alpha=1.0)
+        with pytest.raises(InvalidParameterError):
+            chunked_sorted_stream(10, mean_chunk=0)
+
+
+class TestSyntheticDatasets:
+    def test_mpcat_shape(self) -> None:
+        data = synthetic_mpcat_obs(50_000, seed=7)
+        assert data.min() >= 0 and data.max() < MPCAT_UNIVERSE
+        # Bimodal: both humps populated, trough between them lighter.
+        hump1 = np.mean((data > 0.15 * MPCAT_UNIVERSE)
+                        & (data < 0.35 * MPCAT_UNIVERSE))
+        hump2 = np.mean((data > 0.6 * MPCAT_UNIVERSE)
+                        & (data < 0.85 * MPCAT_UNIVERSE))
+        trough = np.mean((data > 0.45 * MPCAT_UNIVERSE)
+                         & (data < 0.55 * MPCAT_UNIVERSE))
+        assert hump1 > 2 * trough and hump2 > 2 * trough
+
+    def test_mpcat_chunked_arrival(self) -> None:
+        data = synthetic_mpcat_obs(20_000, seed=8)
+        assert float(np.mean(np.diff(data) >= 0)) > 0.9
+        assert not np.all(np.diff(data) >= 0)
+
+    def test_mpcat_fits_24_bits(self) -> None:
+        data = synthetic_mpcat_obs(10_000, seed=9)
+        assert data.max() < (1 << 24)
+
+    def test_lidar_correlated_arrival(self) -> None:
+        data = synthetic_lidar(20_000, seed=10)
+        diffs = np.abs(np.diff(data.astype(np.float64)))
+        shuffled = data.copy()
+        np.random.default_rng(0).shuffle(shuffled)
+        shuffled_diffs = np.abs(np.diff(shuffled.astype(np.float64)))
+        # Consecutive points are much closer in value than random pairs.
+        assert np.median(diffs) < 0.2 * np.median(shuffled_diffs)
+
+    def test_reproducible(self) -> None:
+        assert np.array_equal(
+            synthetic_mpcat_obs(5_000, seed=1),
+            synthetic_mpcat_obs(5_000, seed=1),
+        )
+        assert np.array_equal(
+            synthetic_lidar(5_000, seed=1), synthetic_lidar(5_000, seed=1)
+        )
+
+
+class TestUpdateStreams:
+    def test_insert_only(self) -> None:
+        ops = list(insert_only([3, 1, 2]))
+        assert ops == [(3, 1), (1, 1), (2, 1)]
+
+    def test_churn_well_formed(self) -> None:
+        ops = churn_stream(5_000, delete_fraction=0.45, seed=11)
+        counts = validate_updates(ops)  # must not raise
+        assert all(c >= 0 for c in counts.values())
+        deletes = sum(1 for _v, d in ops if d == -1)
+        assert 0.3 * 5_000 < deletes < 0.6 * 5_000
+
+    def test_churn_rejects_bad_fraction(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            churn_stream(10, delete_fraction=1.0)
+
+    def test_teardown_leaves_survivors(self) -> None:
+        ops = adversarial_teardown(1_000, survivors=7, seed=12)
+        remaining = remaining_values(ops)
+        assert len(remaining) == 7
+
+    def test_teardown_rejects_bad_survivors(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            adversarial_teardown(10, survivors=11)
+
+    def test_validate_catches_negative(self) -> None:
+        with pytest.raises(NegativeFrequencyError):
+            validate_updates([(1, 1), (2, -1)])
+
+    def test_validate_catches_bad_delta(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            validate_updates([(1, 3)])
+
+    def test_remaining_values_sorted_multiset(self) -> None:
+        ops = [(5, 1), (3, 1), (5, 1), (3, -1)]
+        assert remaining_values(ops).tolist() == [5, 5]

@@ -1,0 +1,58 @@
+"""The paper's tuned default parameters must be encoded correctly.
+
+Section 4.3.1 fixes d = 7 and the widths ``w = (1/eps) log2 u`` for DCM
+vs ``w = sqrt(log2 u) / eps`` for DCS — the formulas that realize the
+two analyses.  These tests pin them so a refactor cannot silently change
+the reproduced configuration.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.turnstile import (
+    DCSWithPostProcessing,
+    DyadicCountMin,
+    DyadicCountSketch,
+)
+
+
+class TestPaperDefaults:
+    @pytest.mark.parametrize("log_u", [16, 24, 32])
+    @pytest.mark.parametrize("eps", [0.05, 0.01])
+    def test_dcm_width_formula(self, log_u, eps) -> None:
+        sk = DyadicCountMin(eps=eps, universe_log2=log_u, seed=0)
+        assert sk.width == max(2, math.ceil(log_u / eps))
+        assert sk.depth == 7
+
+    @pytest.mark.parametrize("log_u", [16, 24, 32])
+    @pytest.mark.parametrize("eps", [0.05, 0.01])
+    def test_dcs_width_formula(self, log_u, eps) -> None:
+        sk = DyadicCountSketch(eps=eps, universe_log2=log_u, seed=0)
+        assert sk.width == max(2, math.ceil(math.sqrt(log_u) / eps))
+        assert sk.depth == 7
+
+    def test_post_inherits_dcs_defaults(self) -> None:
+        post = DCSWithPostProcessing(eps=0.01, universe_log2=24, seed=0)
+        dcs = DyadicCountSketch(eps=0.01, universe_log2=24, seed=0)
+        assert post.width == dcs.width
+        assert post.depth == dcs.depth
+        assert post.eta == 0.1  # Fig. 9's sweet spot
+
+    def test_exact_cutoff_defaults_to_sketch_size(self) -> None:
+        sk = DyadicCountSketch(eps=0.01, universe_log2=20, seed=0)
+        assert sk.exact_cutoff == sk.width * sk.depth
+        # Exact levels are exactly those with <= cutoff cells.
+        for level in sk.exact_levels():
+            assert (1 << (20 - level)) <= sk.exact_cutoff
+
+    def test_widths_imply_dcs_space_advantage(self) -> None:
+        """The ratio of the default widths is log u / sqrt(log u) =
+        sqrt(log u) — the asymptotic gap Table 1 claims."""
+        for log_u in (16, 24, 32):
+            dcm = DyadicCountMin(eps=0.01, universe_log2=log_u, seed=0)
+            dcs = DyadicCountSketch(eps=0.01, universe_log2=log_u, seed=0)
+            ratio = dcm.width / dcs.width
+            assert ratio == pytest.approx(math.sqrt(log_u), rel=0.02)

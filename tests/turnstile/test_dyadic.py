@@ -1,0 +1,255 @@
+"""Tests for the dyadic structure and the DCM/DCS/RSS turnstile sketches.
+
+Core invariants:
+* the dyadic decomposition of ``[0, x)`` is exact (checked against exact
+  counters, where the whole pipeline must be error-free);
+* insert-then-delete leaves the sketch state identical;
+* rank/quantile errors stay within the expected envelope;
+* the comparison-model impossibility argument (Section 1.2.2): turnstile
+  sketches survive the insert-everything-delete-almost-everything stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EmptySummaryError,
+    InvalidParameterError,
+    UniverseOverflowError,
+)
+from repro.streams import (
+    adversarial_teardown,
+    churn_stream,
+    remaining_values,
+    uniform_stream,
+)
+from repro.turnstile import (
+    DyadicCountMin,
+    DyadicCountSketch,
+    DyadicQuantiles,
+    RandomSubsetSums,
+)
+
+TURNSTILE = [
+    lambda **kw: DyadicCountMin(**kw),
+    lambda **kw: DyadicCountSketch(**kw),
+]
+T_IDS = ["dcm", "dcs"]
+
+
+@pytest.fixture(params=list(zip(TURNSTILE, T_IDS)), ids=T_IDS)
+def factory(request):
+    return request.param[0]
+
+
+class TestDecompositionExactness:
+    def test_rank_exact_when_all_levels_exact(self, rng) -> None:
+        """With exact counters everywhere, dyadic rank must be exact."""
+        sk = DyadicCountSketch(
+            eps=0.1, universe_log2=10, seed=0, exact_cutoff=1 << 10
+        )
+        data = rng.integers(0, 1 << 10, size=5_000, dtype=np.int64)
+        sk.update_batch(data)
+        assert sk.exact_levels() == list(range(10))
+        sorted_data = np.sort(data)
+        for probe in [0, 1, 17, 512, 1000, 1023, 1024]:
+            assert sk.rank(probe) == float(
+                np.searchsorted(sorted_data, probe)
+            )
+
+    def test_quantiles_exact_when_all_levels_exact(self, rng) -> None:
+        sk = DyadicCountMin(
+            eps=0.1, universe_log2=8, seed=0, exact_cutoff=1 << 8
+        )
+        data = rng.integers(0, 256, size=2_000, dtype=np.int64)
+        sk.update_batch(data)
+        sorted_data = np.sort(data)
+        for phi in (0.1, 0.5, 0.9):
+            q = sk.query(phi)
+            target = max(1, int(np.ceil(phi * 2_000)))
+            lo = int(np.searchsorted(sorted_data, q, "left"))
+            hi = int(np.searchsorted(sorted_data, q, "right"))
+            assert lo < target <= hi
+
+
+class TestAccuracy:
+    def test_rank_error_bounded(self, factory, rng) -> None:
+        eps = 0.01
+        data = rng.integers(0, 1 << 20, size=30_000, dtype=np.int64)
+        sk = factory(eps=eps, universe_log2=20, seed=5)
+        sk.update_batch(data)
+        sorted_data = np.sort(data)
+        probes = rng.integers(0, 1 << 20, size=50, dtype=np.int64)
+        worst = 0.0
+        for probe in probes.tolist():
+            true = float(np.searchsorted(sorted_data, probe))
+            worst = max(worst, abs(sk.rank(probe) - true))
+        assert worst <= eps * len(data) * 3  # probabilistic envelope
+
+    def test_quantile_error_bounded(self, factory, rng) -> None:
+        eps = 0.01
+        n = 30_000
+        data = rng.integers(0, 1 << 20, size=n, dtype=np.int64)
+        sk = factory(eps=eps, universe_log2=20, seed=9)
+        sk.update_batch(data)
+        sorted_data = np.sort(data)
+        for phi in np.linspace(0.05, 0.95, 10):
+            q = sk.query(float(phi))
+            lo = int(np.searchsorted(sorted_data, q, "left"))
+            hi = int(np.searchsorted(sorted_data, q, "right"))
+            target = phi * n
+            err = 0.0 if lo <= target <= hi else min(
+                abs(target - lo), abs(target - hi)
+            )
+            assert err <= 3 * eps * n
+
+    def test_accuracy_after_heavy_churn(self, factory) -> None:
+        ops = churn_stream(40_000, universe_log2=16, delete_fraction=0.4,
+                           seed=21)
+        sk = factory(eps=0.02, universe_log2=16, seed=3)
+        values = np.asarray([v for v, d in ops if d == 1], dtype=np.int64)
+        dels = np.asarray([v for v, d in ops if d == -1], dtype=np.int64)
+        sk.update_batch(values)
+        sk.update_batch(dels, -1)
+        remaining = remaining_values(ops)
+        assert sk.n == len(remaining)
+        for phi in (0.25, 0.5, 0.75):
+            q = sk.query(phi)
+            lo = int(np.searchsorted(remaining, q, "left"))
+            hi = int(np.searchsorted(remaining, q, "right"))
+            target = phi * len(remaining)
+            err = 0.0 if lo <= target <= hi else min(
+                abs(target - lo), abs(target - hi)
+            )
+            assert err <= 3 * 0.02 * len(remaining)
+
+    def test_adversarial_teardown(self, factory) -> None:
+        """Insert n, delete all but a few — the comparison-model killer."""
+        ops = adversarial_teardown(5_000, universe_log2=16, survivors=25,
+                                   seed=8)
+        sk = factory(eps=0.05, universe_log2=16, seed=2)
+        for value, delta in ops:
+            if delta == 1:
+                sk.update(value)
+            else:
+                sk.delete(value)
+        remaining = remaining_values(ops)
+        assert sk.n == 25
+        q = sk.query(0.5)
+        # With 25 survivors an error of eps*n = 1.25 ranks means the
+        # answer must be one of the survivors' neighborhood.
+        lo = int(np.searchsorted(remaining, q, "left"))
+        assert abs(lo - 12.5) <= 8
+
+
+class TestTurnstileSemantics:
+    def test_insert_delete_identity(self, factory, rng) -> None:
+        sk1 = factory(eps=0.05, universe_log2=12, seed=77)
+        sk2 = factory(eps=0.05, universe_log2=12, seed=77)
+        base = rng.integers(0, 1 << 12, size=2_000, dtype=np.int64)
+        extra = rng.integers(0, 1 << 12, size=1_000, dtype=np.int64)
+        sk1.update_batch(base)
+        sk2.update_batch(base)
+        sk2.update_batch(extra)
+        sk2.update_batch(extra, -1)
+        assert sk1.n == sk2.n
+        probes = rng.integers(0, 1 << 12, size=30, dtype=np.int64)
+        for probe in probes.tolist():
+            assert sk1.rank(probe) == sk2.rank(probe)
+
+    def test_scalar_and_batch_agree(self, factory, rng) -> None:
+        data = rng.integers(0, 1 << 12, size=500, dtype=np.int64)
+        a = factory(eps=0.05, universe_log2=12, seed=13)
+        b = factory(eps=0.05, universe_log2=12, seed=13)
+        for x in data.tolist():
+            a.update(x)
+        b.update_batch(data)
+        probes = rng.integers(0, 1 << 12, size=20, dtype=np.int64)
+        for probe in probes.tolist():
+            assert a.rank(probe) == b.rank(probe)
+
+    def test_apply_update_pairs(self, factory) -> None:
+        sk = factory(eps=0.05, universe_log2=8, seed=1)
+        sk.apply([(3, 1), (5, 1), (3, -1)])
+        assert sk.n == 1
+        with pytest.raises(InvalidParameterError):
+            sk.apply([(3, 2)])
+
+
+class TestValidation:
+    def test_rejects_out_of_universe(self, factory) -> None:
+        sk = factory(eps=0.05, universe_log2=8, seed=0)
+        with pytest.raises(UniverseOverflowError):
+            sk.update(256)
+        with pytest.raises(UniverseOverflowError):
+            sk.update(-1)
+        with pytest.raises(UniverseOverflowError):
+            sk.update_batch(np.int64([0, 999]))
+
+    def test_rejects_big_universe(self, factory) -> None:
+        with pytest.raises((UniverseOverflowError, InvalidParameterError)):
+            factory(eps=0.05, universe_log2=40, seed=0)
+
+    def test_empty_query_raises(self, factory) -> None:
+        with pytest.raises(EmptySummaryError):
+            factory(eps=0.05, universe_log2=8, seed=0).query(0.5)
+
+    def test_rank_edges(self, factory, rng) -> None:
+        sk = factory(eps=0.05, universe_log2=8, seed=0)
+        sk.update_batch(rng.integers(0, 256, size=100, dtype=np.int64))
+        assert sk.rank(0) == 0.0
+        assert sk.rank(-5) == 0.0
+        assert sk.rank(256) == 100.0
+        assert sk.rank(9999) == 100.0
+
+
+class TestSpaceShape:
+    def test_dcs_smaller_than_dcm(self) -> None:
+        """DCS's default width is sqrt(log u)/eps vs DCM's log(u)/eps, so
+        DCS must be substantially smaller at equal eps (Table 1)."""
+        dcm = DyadicCountMin(eps=0.01, universe_log2=24, seed=0)
+        dcs = DyadicCountSketch(eps=0.01, universe_log2=24, seed=0)
+        assert dcs.size_words() < 0.5 * dcm.size_words()
+
+    def test_smaller_universe_smaller_sketch(self, factory) -> None:
+        small = factory(eps=0.01, universe_log2=16, seed=0)
+        big = factory(eps=0.01, universe_log2=32, seed=0)
+        assert small.size_words() < big.size_words()
+
+    def test_exact_cutoff_zero_disables_exact_levels(self) -> None:
+        sk = DyadicCountSketch(
+            eps=0.05, universe_log2=10, seed=0, exact_cutoff=0
+        )
+        assert sk.exact_levels() == []
+
+
+class TestRSS:
+    def test_basic_accuracy(self, rng) -> None:
+        """RSS works, just expensively (small universe keeps it fast)."""
+        data = rng.integers(0, 1 << 8, size=4_000, dtype=np.int64)
+        sk = RandomSubsetSums(
+            eps=0.05, universe_log2=8, seed=4, groups=5, reps=64,
+            exact_cutoff=16,
+        )
+        sk.update_batch(data)
+        sorted_data = np.sort(data)
+        q = sk.query(0.5)
+        lo = int(np.searchsorted(sorted_data, q, "left"))
+        hi = int(np.searchsorted(sorted_data, q, "right"))
+        target = 0.5 * len(data)
+        err = 0.0 if lo <= target <= hi else min(
+            abs(target - lo), abs(target - hi)
+        )
+        assert err <= 0.25 * len(data)  # RSS is noisy; envelope is wide
+
+    def test_much_larger_than_dcs_for_same_eps(self) -> None:
+        rss = RandomSubsetSums(eps=0.01, universe_log2=16, seed=0)
+        dcs = DyadicCountSketch(eps=0.01, universe_log2=16, seed=0)
+        assert rss.size_words() > dcs.size_words()
+
+
+def test_base_class_hooks_are_abstract() -> None:
+    with pytest.raises(NotImplementedError):
+        DyadicQuantiles(eps=0.1, universe_log2=4)

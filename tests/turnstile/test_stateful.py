@@ -1,0 +1,136 @@
+"""Model-based stateful testing: a turnstile sketch against an exact
+oracle under hypothesis-generated interleavings of inserts, deletes,
+batch updates, and queries.
+
+This is the strongest correctness net for the dyadic sketches: hypothesis
+explores operation orders (including delete-heavy phases and query-right-
+after-delete) that fixed scenarios miss.  The sketch under test uses all
+exact levels so answers must match the oracle *exactly* — any divergence
+is a bookkeeping bug, not noise.  A second machine runs DCS with real
+sketched levels and checks the probabilistic envelope instead.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.turnstile import DyadicCountSketch
+
+UNIVERSE_LOG2 = 8
+UNIVERSE = 1 << UNIVERSE_LOG2
+
+values = st.integers(min_value=0, max_value=UNIVERSE - 1)
+
+
+class ExactDyadicMachine(RuleBasedStateMachine):
+    """All-exact-levels DCS must agree with a Counter oracle exactly."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.sketch = DyadicCountSketch(
+            eps=0.1, universe_log2=UNIVERSE_LOG2, seed=7,
+            exact_cutoff=UNIVERSE,
+        )
+        self.model: Counter = Counter()
+
+    @rule(value=values)
+    def insert(self, value: int) -> None:
+        self.sketch.update(value)
+        self.model[value] += 1
+
+    @precondition(lambda self: sum(self.model.values()) > 0)
+    @rule(data=st.data())
+    def delete_existing(self, data) -> None:
+        live = sorted(v for v, c in self.model.items() if c > 0)
+        value = data.draw(st.sampled_from(live))
+        self.sketch.delete(value)
+        self.model[value] -= 1
+
+    @rule(batch=st.lists(values, min_size=1, max_size=30))
+    def insert_batch(self, batch) -> None:
+        self.sketch.update_batch(np.asarray(batch, dtype=np.int64))
+        self.model.update(batch)
+
+    @rule(probe=st.integers(min_value=0, max_value=UNIVERSE))
+    def check_rank(self, probe: int) -> None:
+        truth = sum(c for v, c in self.model.items() if v < probe)
+        assert self.sketch.rank(probe) == float(truth)
+
+    @precondition(lambda self: sum(self.model.values()) > 0)
+    @rule(phi=st.floats(min_value=0.0, max_value=1.0))
+    def check_quantile_valid(self, phi: float) -> None:
+        answer = self.sketch.query(phi)
+        n = sum(self.model.values())
+        lo = sum(c for v, c in self.model.items() if v < answer)
+        hi = lo + self.model[answer]
+        target = max(1, int(np.ceil(phi * n)))
+        # With exact levels, the binary search lands on an element whose
+        # inclusive rank range covers the target.
+        assert lo < target <= hi or (target <= 1 and lo == 0)
+
+    @invariant()
+    def n_matches(self) -> None:
+        assert self.sketch.n == sum(self.model.values())
+
+
+TestExactDyadic = ExactDyadicMachine.TestCase
+TestExactDyadic.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+
+
+class SketchedDyadicMachine(RuleBasedStateMachine):
+    """DCS with real sketched levels: answers within the error envelope."""
+
+    EPS = 0.05
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.sketch = DyadicCountSketch(
+            eps=self.EPS, universe_log2=UNIVERSE_LOG2, seed=11,
+            exact_cutoff=0,
+        )
+        self.model: Counter = Counter()
+
+    @rule(batch=st.lists(values, min_size=1, max_size=50))
+    def insert_batch(self, batch) -> None:
+        self.sketch.update_batch(np.asarray(batch, dtype=np.int64))
+        self.model.update(batch)
+
+    @precondition(lambda self: sum(self.model.values()) > 2)
+    @rule(data=st.data())
+    def delete_some(self, data) -> None:
+        live = sorted(v for v, c in self.model.items() if c > 0)
+        value = data.draw(st.sampled_from(live))
+        self.sketch.delete(value)
+        self.model[value] -= 1
+
+    @precondition(lambda self: sum(self.model.values()) > 0)
+    @rule(probe=st.integers(min_value=0, max_value=UNIVERSE))
+    def check_rank_envelope(self, probe: int) -> None:
+        truth = sum(c for v, c in self.model.items() if v < probe)
+        n = sum(self.model.values())
+        # Generous: small-n sketch noise is additive, so allow a floor.
+        assert abs(self.sketch.rank(probe) - truth) <= max(
+            10.0, 5 * self.EPS * n
+        )
+
+    @invariant()
+    def n_matches(self) -> None:
+        assert self.sketch.n == sum(self.model.values())
+
+
+TestSketchedDyadic = SketchedDyadicMachine.TestCase
+TestSketchedDyadic.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
