@@ -1,0 +1,98 @@
+"""Extension — fault-tolerant aggregation: drop rate x topology sweep.
+
+What does an unreliable network *cost*?  The reliable transport converts
+message loss into retransmissions (communication overhead) and site
+crashes into coverage loss (accuracy degradation).  This exhibit sweeps
+the drop rate over every topology, with the worst surviving-site case —
+one crashed mid-tree site — at the highest level, and records the three
+currencies the trade spans: observed rank error vs. the full stream,
+coverage at the root, and retransmitted words as a fraction of the
+paper's lossless accounting.
+
+Expected shape: retransmission overhead grows like ``drop / (1 - drop)``
+per edge independent of topology; rank error stays ~eps while coverage
+is 1.0 and jumps to ~(1 - coverage) once a site crashes; chains suffer
+the most extra retries because every summary crosses the most edges.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, write_exhibit
+from repro.distributed import FaultPlan, make_network, merge_summaries
+from repro.evaluation import format_table, scaled_n
+
+PHIS = [0.1, 0.25, 0.5, 0.75, 0.9]
+EPS = 0.02
+SITES = 16
+DROP_RATES = [0.0, 0.05, 0.1, 0.2]
+
+
+def test_extension_fault_tolerance(benchmark) -> None:
+    n = scaled_n(100_000)
+
+    def compute():
+        rows = []
+        for topology in ("star", "tree", "chain"):
+            for drop in DROP_RATES:
+                # Worst case at the top drop rate: also crash one
+                # non-leaf site, taking its whole subtree with it.
+                crash = (5,) if drop == DROP_RATES[-1] else ()
+                plan = FaultPlan(
+                    seed=97, drop_rate=drop, duplicate_rate=drop / 2,
+                    corrupt_rate=drop / 2, crash_sites=crash,
+                    max_retries=30,
+                )
+                net = make_network(
+                    n, sites=SITES, topology=topology, seed=42, skew=0.6,
+                    faults=plan,
+                )
+                truth = net.union_sorted()
+                result = merge_summaries(
+                    net, eps=EPS, summary="qdigest", seed=5
+                )
+                overhead = (
+                    result.retransmitted_words / result.words_sent
+                    if result.words_sent
+                    else 0.0
+                )
+                rows.append([
+                    topology,
+                    drop,
+                    len(crash),
+                    result.coverage,
+                    result.effective_eps,
+                    result.max_rank_error(truth, PHIS),
+                    result.words_sent,
+                    overhead,
+                ])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    write_exhibit(
+        "extension_fault_tolerance",
+        format_table(
+            ["topology", "drop", "crashes", "coverage", "eff eps",
+             "max err", "words", "retx overhead"],
+            rows,
+            title=(
+                f"Extension: fault-tolerant aggregation, n={n}, "
+                f"{SITES} sites, eps={EPS}, merge-qdigest"
+            ),
+        ),
+    )
+
+    by_key = {(r[0], r[1]): r for r in rows}
+    for topology in ("star", "tree", "chain"):
+        # Lossless sweep point: full coverage, no overhead, error <= eps.
+        clean = by_key[(topology, 0.0)]
+        assert clean[3] == 1.0 and clean[7] == 0.0
+        assert clean[5] <= 3 * EPS
+        # Retries keep coverage at 1.0 under pure message loss...
+        assert by_key[(topology, 0.1)][3] == 1.0
+        # ...and the observed error stays within the degraded bound
+        # even with a crashed subtree.
+        crashed = by_key[(topology, DROP_RATES[-1])]
+        assert crashed[3] < 1.0
+        assert crashed[5] <= crashed[4]
+        # Lost coverage never inflates the lossless words accounting.
+        assert crashed[6] <= clean[6]

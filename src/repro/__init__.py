@@ -30,6 +30,7 @@ from repro.cash_register import (
     SlidingWindowQuantiles,
 )
 from repro.core import (
+    CorruptSummaryError,
     EmptySummaryError,
     ExactQuantiles,
     InvalidParameterError,
@@ -38,11 +39,15 @@ from repro.core import (
     NegativeFrequencyError,
     QuantileSketch,
     ReproError,
+    SiteUnavailableError,
     TurnstileSketch,
     UniverseOverflowError,
     algorithms,
     get_algorithm,
     make_sketch,
+    restore,
+    snapshot,
+    snapshot_registry,
 )
 from repro.successors import KLL, SampledGK, TDigest
 from repro.turnstile import (
@@ -57,6 +62,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BiasedQuantiles",
+    "CorruptSummaryError",
     "DCSWithPostProcessing",
     "DyadicCountMin",
     "DyadicCountSketch",
@@ -78,6 +84,7 @@ __all__ = [
     "RandomSubsetSums",
     "ReproError",
     "SampledGK",
+    "SiteUnavailableError",
     "TDigest",
     "ReservoirSampling",
     "SlidingWindowQuantiles",
@@ -87,4 +94,7 @@ __all__ = [
     "algorithms",
     "get_algorithm",
     "make_sketch",
+    "restore",
+    "snapshot",
+    "snapshot_registry",
 ]

@@ -36,6 +36,7 @@ from typing import List, Optional
 from repro.cash_register.gk_base import GKBase
 from repro.core.base import reject_nan
 from repro.core.registry import register
+from repro.core.snapshot import snapshottable
 
 
 class _Node:
@@ -53,6 +54,7 @@ class _Node:
         self.uid = uid
 
 
+@snapshottable("gk_adaptive")
 @register("gk_adaptive")
 class GKAdaptive(GKBase):
     """Adaptive GK summary with heap-assisted tuple removal."""

@@ -21,8 +21,10 @@ from typing import List
 from repro.cash_register.gk_base import GKBase
 from repro.core.base import reject_nan
 from repro.core.registry import register
+from repro.core.snapshot import snapshottable
 
 
+@snapshottable("gk_array")
 @register("gk_array")
 class GKArray(GKBase):
     """Buffered GK summary merged in batch mode.

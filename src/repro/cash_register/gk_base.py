@@ -21,7 +21,7 @@ import math
 from typing import List, Sequence, Tuple
 
 from repro.core.base import QuantileSketch, validate_eps, validate_phi
-from repro.core.errors import EmptySummaryError
+from repro.core.errors import CorruptSummaryError, EmptySummaryError
 
 GKTuple = Tuple[object, int, int]  # (value, g, delta)
 
@@ -192,6 +192,56 @@ class GKBase(QuantileSketch):
         """The current tuple list (for tests and inspection)."""
         self._prepare_query()
         return list(zip(self._values, self._gs, self._deltas))
+
+    def validate(self) -> "GKBase":
+        """Check the GK band/gap invariants; return ``self``.
+
+        Verified: the element count is a non-negative integer, stored
+        values are non-decreasing, every ``g`` is a positive integer and
+        every ``Delta`` non-negative, the ``g`` values sum to ``n``, and
+        each non-extreme tuple respects the gap budget ``g + Delta <=
+        max(floor(2 * eps * n), 1)`` (invariant (2)).  Buffered elements
+        are flushed first, which preserves the query contract.  Called by
+        :func:`repro.core.snapshot.restore`.
+
+        Raises:
+            CorruptSummaryError: if any invariant is violated.
+        """
+        if not isinstance(self._n, int) or self._n < 0:
+            raise CorruptSummaryError(
+                f"{self.name}: bad element count {self._n!r}"
+            )
+        self._prepare_query()
+        budget = max(self._budget(), 1)
+        rmin = 0
+        prev = None
+        for i, (v, g, delta) in enumerate(
+            zip(self._values, self._gs, self._deltas)
+        ):
+            if prev is not None and prev > v:
+                raise CorruptSummaryError(
+                    f"{self.name}: tuple {i} values out of order"
+                )
+            prev = v
+            if not isinstance(g, int) or g < 1:
+                raise CorruptSummaryError(
+                    f"{self.name}: tuple {i} has g={g!r} < 1"
+                )
+            if not isinstance(delta, int) or delta < 0:
+                raise CorruptSummaryError(
+                    f"{self.name}: tuple {i} has delta={delta!r} < 0"
+                )
+            if i > 0 and g + delta > budget:
+                raise CorruptSummaryError(
+                    f"{self.name}: tuple {i} gap g+delta={g + delta} "
+                    f"exceeds budget {budget}"
+                )
+            rmin += g
+        if rmin != self._n:
+            raise CorruptSummaryError(
+                f"{self.name}: g values sum to {rmin}, expected n={self._n}"
+            )
+        return self
 
     def size_words(self) -> int:
         """Three words per stored tuple (value, g, delta)."""

@@ -35,10 +35,16 @@ from repro.core.base import (
     validate_phi,
     validate_universe_log2,
 )
-from repro.core.errors import MergeError, UniverseOverflowError
+from repro.core.errors import (
+    CorruptSummaryError,
+    MergeError,
+    UniverseOverflowError,
+)
 from repro.core.registry import register
+from repro.core.snapshot import snapshottable
 
 
+@snapshottable("qdigest")
 @register("qdigest")
 class QDigest(QuantileSketch, MergeableSketch):
     """q-digest over the universe ``[0, 2**universe_log2)``.
@@ -195,6 +201,38 @@ class QDigest(QuantileSketch, MergeableSketch):
             self._counts[node] += count
         self._n += other._n
         self.compress()
+
+    def validate(self) -> "QDigest":
+        """Check the digest's structural invariants; return ``self``.
+
+        Verified: every node id addresses a real node of the binary tree
+        over ``[0, 2 * universe)``, every stored count is a positive
+        integer, and the counts sum to exactly ``n``.  Called by
+        :func:`repro.core.snapshot.restore` and after merging payloads
+        received over an untrusted channel.
+
+        Raises:
+            CorruptSummaryError: if any invariant is violated.
+        """
+        if not isinstance(self._n, int) or self._n < 0:
+            raise CorruptSummaryError(f"q-digest: bad element count {self._n!r}")
+        total = 0
+        for node, count in self._counts.items():
+            if not isinstance(node, int) or not (1 <= node < 2 * self.universe):
+                raise CorruptSummaryError(
+                    f"q-digest: node id {node!r} outside tree "
+                    f"[1, {2 * self.universe})"
+                )
+            if not isinstance(count, int) or count <= 0:
+                raise CorruptSummaryError(
+                    f"q-digest: node {node} has non-positive count {count!r}"
+                )
+            total += count
+        if total != self._n:
+            raise CorruptSummaryError(
+                f"q-digest: node counts sum to {total}, expected n={self._n}"
+            )
+        return self
 
     def node_count(self) -> int:
         """Number of live nodes in the digest."""

@@ -41,8 +41,9 @@ from repro.core.base import (
     validate_eps,
     validate_phi,
 )
-from repro.core.errors import MergeError
+from repro.core.errors import CorruptSummaryError, MergeError
 from repro.core.registry import register
+from repro.core.snapshot import snapshottable
 from repro.sketches.hashing import make_rng
 
 
@@ -79,6 +80,7 @@ def _merge_buffers(
     return _Buffer(a.level + 1, _halve(combined, rng))
 
 
+@snapshottable("random")
 @register("random")
 class RandomSketch(QuantileSketch, MergeableSketch):
     """The paper's ``Random`` algorithm.
@@ -298,6 +300,56 @@ class RandomSketch(QuantileSketch, MergeableSketch):
         self._fill_level = self._active_level()
         self._block_size = 1 << self._fill_level
         self._start_block()
+
+    def validate(self) -> "RandomSketch":
+        """Check the sketch's structural invariants; return ``self``.
+
+        Verified: the element count is a non-negative integer, the buffer
+        count respects the ``b``-buffer budget, every sealed buffer sits
+        at a sane level with its samples in sorted order, and the filling
+        state is consistent with the current fill level.  Called by
+        :func:`repro.core.snapshot.restore` and after merging payloads
+        received over an untrusted channel.
+
+        Raises:
+            CorruptSummaryError: if any invariant is violated.
+        """
+        if not isinstance(self._n, int) or self._n < 0:
+            raise CorruptSummaryError(f"Random: bad element count {self._n!r}")
+        if len(self._buffers) > self.b:
+            raise CorruptSummaryError(
+                f"Random: {len(self._buffers)} buffers exceed budget b={self.b}"
+            )
+        for buf in self._buffers:
+            if not isinstance(buf.level, int) or not (0 <= buf.level <= 64):
+                raise CorruptSummaryError(
+                    f"Random: buffer level {buf.level!r} outside [0, 64]"
+                )
+            items = np.asarray(buf.items)
+            if items.ndim != 1:
+                raise CorruptSummaryError("Random: buffer items not 1-D")
+            if len(items) > 1 and np.any(items[:-1] > items[1:]):
+                raise CorruptSummaryError("Random: buffer items out of order")
+        if not (0 <= self._fill_level <= 64):
+            raise CorruptSummaryError(
+                f"Random: fill level {self._fill_level!r} outside [0, 64]"
+            )
+        if self._block_size != 1 << self._fill_level:
+            raise CorruptSummaryError(
+                f"Random: block size {self._block_size} != "
+                f"2**fill_level ({1 << self._fill_level})"
+            )
+        if not (0 <= self._block_seen <= self._block_size):
+            raise CorruptSummaryError(
+                f"Random: block progress {self._block_seen} outside "
+                f"[0, {self._block_size}]"
+            )
+        if len(self._fill_items) > self.s:
+            raise CorruptSummaryError(
+                f"Random: {len(self._fill_items)} pending samples exceed "
+                f"buffer size s={self.s}"
+            )
+        return self
 
     def size_words(self) -> int:
         """Pre-allocated space: ``b`` buffers of ``s`` plus the fill buffer

@@ -10,18 +10,27 @@ from repro.core.base import (
     validate_universe_log2,
 )
 from repro.core.errors import (
+    CorruptSummaryError,
     EmptySummaryError,
     InvalidParameterError,
     MergeError,
     NegativeFrequencyError,
     ReproError,
+    SiteUnavailableError,
     UniverseOverflowError,
 )
 from repro.core.exact import ExactQuantiles
 from repro.core.registry import algorithms, get_algorithm, make_sketch, register
 from repro.core.selection import MunroPaterson, exact_median_passes, select
+from repro.core.snapshot import (
+    restore,
+    snapshot,
+    snapshot_registry,
+    snapshottable,
+)
 
 __all__ = [
+    "CorruptSummaryError",
     "EmptySummaryError",
     "ExactQuantiles",
     "InvalidParameterError",
@@ -31,6 +40,7 @@ __all__ = [
     "NegativeFrequencyError",
     "QuantileSketch",
     "ReproError",
+    "SiteUnavailableError",
     "TurnstileSketch",
     "UniverseOverflowError",
     "WORD_BYTES",
@@ -38,7 +48,11 @@ __all__ = [
     "get_algorithm",
     "make_sketch",
     "register",
+    "restore",
     "select",
+    "snapshot",
+    "snapshot_registry",
+    "snapshottable",
     "exact_median_passes",
     "validate_eps",
     "validate_phi",

@@ -3,6 +3,18 @@
 Every error raised deliberately by this library derives from
 :class:`ReproError`, so callers can catch library failures without
 catching unrelated bugs.
+
+The hierarchy::
+
+    ReproError
+    ├── InvalidParameterError (ValueError)    bad constructor/method args
+    ├── EmptySummaryError (RuntimeError)      query before any update
+    ├── UniverseOverflowError (ValueError)    element outside [0, u)
+    ├── NegativeFrequencyError (ValueError)   ill-formed turnstile delete
+    ├── MergeError (ValueError)               incompatible summaries
+    ├── CorruptSummaryError (ValueError)      checksum/invariant failure on
+    │                                         a serialized or merged summary
+    └── SiteUnavailableError (RuntimeError)   distributed site unreachable
 """
 
 from __future__ import annotations
@@ -40,3 +52,26 @@ class NegativeFrequencyError(ReproError, ValueError):
 
 class MergeError(ReproError, ValueError):
     """Two summaries are incompatible for merging (different parameters)."""
+
+
+class CorruptSummaryError(ReproError, ValueError):
+    """A serialized or untrusted summary failed an integrity check.
+
+    Raised by :func:`repro.core.snapshot.restore` when a snapshot's CRC32
+    checksum, header, or structural invariants do not hold, and by the
+    ``validate()`` self-checks of the checkpointable summaries when their
+    internal invariants (GK band/gap conditions, q-digest tree capacity,
+    non-negative dyadic counts) are violated — e.g. after merging a
+    payload received over an unreliable channel.  A summary that raises
+    this error must be discarded; its answers are not trustworthy.
+    """
+
+
+class SiteUnavailableError(ReproError, RuntimeError):
+    """A distributed protocol cannot proceed because a site is unreachable.
+
+    Raised when the *root* (base station) of an aggregation network has
+    crashed — without it there is nowhere to assemble an answer.  Crashes
+    of non-root sites degrade coverage instead (see
+    :func:`repro.distributed.protocols.merge_summaries`).
+    """

@@ -1,0 +1,204 @@
+"""Checkpointable summaries: versioned, checksummed snapshot envelopes.
+
+The mergeable-summary model assumes summaries move between machines — to
+be checkpointed, shipped to an aggregator, or replayed after a crash.  On
+a real network a payload can arrive bit-flipped or stale, and a summary
+restored from such bytes would answer *silently wrong* quantiles.  This
+module makes that impossible: every snapshot is wrapped in an envelope
+whose CRC32 covers the type tag and the entire payload, and every restore
+re-checks the summary's structural invariants before handing it back.
+
+Envelope layout (all integers little-endian)::
+
+    offset  size  field
+    0       4     magic  b"RQSS"
+    4       2     format version (currently 1)
+    6       4     CRC32 over everything from offset 10 to the end
+    10      2     length of the type tag
+    12      t     type tag (utf-8 registry key; "payload" for raw data)
+    12+t    ...   pickled state
+
+A CRC32 mismatch, a truncated blob, an unknown type tag, or a restored
+summary failing :meth:`validate` all raise
+:class:`~repro.core.errors.CorruptSummaryError` — never a wrong answer.
+
+Summary classes opt in with the :func:`snapshottable` class decorator,
+which requires a ``validate()`` method; :func:`snapshot_registry` lists
+the participants (used by the round-trip property tests).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from typing import Callable, Dict, Tuple
+
+from repro.core.errors import CorruptSummaryError, InvalidParameterError
+
+#: Envelope magic bytes ("Repro Quantile Summary Snapshot").
+MAGIC = b"RQSS"
+
+#: Current envelope format version.
+FORMAT_VERSION = 1
+
+#: Reserved type tag for raw (non-summary) payloads.
+PAYLOAD_TAG = "payload"
+
+_HEADER = struct.Struct("<4sHIH")
+
+_SNAPSHOT_REGISTRY: Dict[str, type] = {}
+
+
+def snapshottable(key: str) -> Callable[[type], type]:
+    """Class decorator registering a summary type for snapshot/restore.
+
+    Args:
+        key: stable type tag written into the envelope (lowercase).
+
+    The class must define a ``validate()`` method that raises
+    :class:`CorruptSummaryError` when its structural invariants do not
+    hold; :func:`restore` calls it on every restored instance.
+    """
+    key = key.lower()
+    if key == PAYLOAD_TAG:
+        raise InvalidParameterError(
+            f"type tag {PAYLOAD_TAG!r} is reserved for raw payloads"
+        )
+
+    def decorator(cls: type) -> type:
+        if not callable(getattr(cls, "validate", None)):
+            raise InvalidParameterError(
+                f"{cls.__name__} must define validate() to be snapshottable"
+            )
+        existing = _SNAPSHOT_REGISTRY.get(key)
+        if existing is not None and existing is not cls:
+            raise InvalidParameterError(
+                f"snapshot tag {key!r} already registered "
+                f"to {existing.__name__}"
+            )
+        _SNAPSHOT_REGISTRY[key] = cls
+        cls.snapshot_tag = key
+        return cls
+
+    return decorator
+
+
+def snapshot_registry() -> Dict[str, type]:
+    """The registered checkpointable summary types (tag -> class)."""
+    return dict(_SNAPSHOT_REGISTRY)
+
+
+def _encode(tag: str, body: bytes) -> bytes:
+    tag_bytes = tag.encode("utf-8")
+    covered = tag_bytes + body
+    header = _HEADER.pack(
+        MAGIC, FORMAT_VERSION, zlib.crc32(covered), len(tag_bytes)
+    )
+    return header + covered
+
+
+def _decode(blob: bytes) -> Tuple[str, bytes]:
+    if not isinstance(blob, (bytes, bytearray, memoryview)):
+        raise CorruptSummaryError(
+            f"snapshot must be bytes, got {type(blob).__name__}"
+        )
+    blob = bytes(blob)
+    if len(blob) < _HEADER.size:
+        raise CorruptSummaryError(
+            f"snapshot truncated: {len(blob)} bytes < header"
+        )
+    magic, version, crc, tag_len = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise CorruptSummaryError(f"bad snapshot magic {magic!r}")
+    if version != FORMAT_VERSION:
+        raise CorruptSummaryError(
+            f"unsupported snapshot format version {version}"
+        )
+    covered = blob[_HEADER.size:]
+    if len(covered) < tag_len:
+        raise CorruptSummaryError("snapshot truncated inside type tag")
+    if zlib.crc32(covered) != crc:
+        raise CorruptSummaryError("snapshot checksum mismatch")
+    try:
+        tag = covered[:tag_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CorruptSummaryError("snapshot type tag is not utf-8") from exc
+    return tag, covered[tag_len:]
+
+
+def snapshot(summary) -> bytes:
+    """Serialize a registered summary into a checksummed envelope.
+
+    Raises:
+        InvalidParameterError: if the summary's type is not registered
+            via :func:`snapshottable`.
+    """
+    tag = getattr(type(summary), "snapshot_tag", None)
+    if tag is None or _SNAPSHOT_REGISTRY.get(tag) is not type(summary):
+        raise InvalidParameterError(
+            f"{type(summary).__name__} is not a snapshottable summary; "
+            f"known tags: {sorted(_SNAPSHOT_REGISTRY)}"
+        )
+    return _encode(tag, pickle.dumps(summary, protocol=4))
+
+
+def restore(blob: bytes):
+    """Rebuild a summary from :func:`snapshot` output, verifying integrity.
+
+    The envelope checksum is verified *before* unpickling (corrupted
+    bytes are never deserialized), the type tag must name a registered
+    class, the restored object must be an instance of it, and its
+    ``validate()`` self-check must pass.
+
+    Raises:
+        CorruptSummaryError: on any checksum, header, type, or invariant
+            failure — a silently wrong summary is never returned.
+    """
+    tag, body = _decode(blob)
+    cls = _SNAPSHOT_REGISTRY.get(tag)
+    if cls is None:
+        raise CorruptSummaryError(f"unknown snapshot type tag {tag!r}")
+    try:
+        summary = pickle.loads(body)
+    except Exception as exc:  # checksum passed but pickle is unusable
+        raise CorruptSummaryError(
+            f"snapshot payload for {tag!r} failed to deserialize: {exc}"
+        ) from exc
+    if not isinstance(summary, cls):
+        raise CorruptSummaryError(
+            f"snapshot tagged {tag!r} deserialized to "
+            f"{type(summary).__name__}, expected {cls.__name__}"
+        )
+    summary.validate()
+    return summary
+
+
+def encode_payload(obj) -> bytes:
+    """Wrap an arbitrary picklable object in a checksummed envelope.
+
+    Used by the distributed transport for non-summary payloads (e.g. the
+    sample arrays of the sampling protocol) so corruption on the wire is
+    detected the same way summary corruption is.
+    """
+    return _encode(PAYLOAD_TAG, pickle.dumps(obj, protocol=4))
+
+
+def decode_payload(blob: bytes):
+    """Unwrap :func:`encode_payload` output, verifying the checksum.
+
+    Raises:
+        CorruptSummaryError: if the envelope is damaged or is not a raw
+            payload envelope.
+    """
+    tag, body = _decode(blob)
+    if tag != PAYLOAD_TAG:
+        raise CorruptSummaryError(
+            f"expected a raw payload envelope, got type tag {tag!r}"
+        )
+    try:
+        return pickle.loads(body)
+    except Exception as exc:
+        raise CorruptSummaryError(
+            f"payload failed to deserialize: {exc}"
+        ) from exc

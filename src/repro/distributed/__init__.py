@@ -1,7 +1,14 @@
 """Distributed quantile aggregation (the paper's sensor-network context)."""
 
+from repro.distributed.faults import FaultDecision, FaultInjector, FaultPlan
 from repro.distributed.monitoring import ContinuousQuantileMonitor
-from repro.distributed.network import AggregationNetwork, Site, make_network
+from repro.distributed.network import (
+    AggregationNetwork,
+    SimClock,
+    Site,
+    TransmitResult,
+    make_network,
+)
 from repro.distributed.protocols import (
     ProtocolResult,
     merge_summaries,
@@ -12,8 +19,13 @@ from repro.distributed.protocols import (
 __all__ = [
     "AggregationNetwork",
     "ContinuousQuantileMonitor",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
     "ProtocolResult",
+    "SimClock",
     "Site",
+    "TransmitResult",
     "make_network",
     "merge_summaries",
     "sample_and_send",

@@ -1,0 +1,216 @@
+"""Seeded, deterministic fault injection for the aggregation network.
+
+The sensor-network setting the paper's distributed protocols come from
+(q-digest [26], Huang et al. [17]) is exactly the setting where messages
+*do* get lost: radios drop packets, payloads arrive bit-flipped, nodes
+die mid-round.  A :class:`FaultPlan` describes such an environment as
+data — drop / duplication / corruption rates and a site-crash schedule —
+and a :class:`FaultInjector` turns it into per-message decisions.
+
+Determinism is the design center: every decision is a pure function of
+``(plan.seed, src, dst, seq, attempt)``, derived by hashing those
+coordinates through a SplitMix64 mixer rather than by drawing from a
+shared stateful RNG.  Two runs of a protocol with the same seed and the
+same plan therefore fault in exactly the same places regardless of
+iteration order — which is what makes faulty runs reproducible, testable,
+and bisectable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.core.errors import InvalidParameterError
+
+_MASK64 = (1 << 64) - 1
+#: SplitMix64 increment (golden-ratio constant).
+_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _splitmix64(x: int) -> int:
+    """One SplitMix64 scrambling round (Steele et al.)."""
+    x = (x + _GAMMA) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _mix(*parts: int) -> int:
+    """Hash a tuple of non-negative ints into a well-mixed 64-bit value."""
+    x = _GAMMA
+    for part in parts:
+        x = _splitmix64((x ^ (part & _MASK64)) & _MASK64)
+    return x
+
+
+def _unit(h: int) -> float:
+    """Map a 64-bit hash to a uniform float in [0, 1)."""
+    return (h >> 11) * (2.0 ** -53)
+
+
+def _check_rate(name: str, rate: float) -> None:
+    if not (0.0 <= rate <= 1.0):
+        raise InvalidParameterError(
+            f"{name} must be in [0, 1], got {rate!r}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A declarative description of the faults a protocol run must survive.
+
+    Args:
+        seed: root of all fault randomness; same seed => same faults.
+        drop_rate: probability a message transmission attempt vanishes.
+        duplicate_rate: probability a delivered message arrives twice
+            (the at-least-once case the receiver must dedup).
+        corrupt_rate: probability a delivered payload arrives bit-flipped
+            (caught by the snapshot checksum, triggering a retransmit).
+        crash_sites: site ids dead for the whole run.
+        crash_at_step: map ``site_id -> k``: the site completes ``k``
+            sends and then dies (``k = 0`` equals listing it in
+            ``crash_sites``).
+        max_retries: retransmission attempts after the first send before
+            the sender gives up on an edge.
+        backoff_base: simulated-clock delay before the first retry.
+        backoff_factor: multiplier applied to the delay per further retry
+            (exponential backoff).
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    crash_sites: Tuple[int, ...] = ()
+    crash_at_step: Mapping[int, int] = dataclasses.field(
+        default_factory=dict
+    )
+    max_retries: int = 8
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        _check_rate("drop_rate", self.drop_rate)
+        _check_rate("duplicate_rate", self.duplicate_rate)
+        _check_rate("corrupt_rate", self.corrupt_rate)
+        if self.max_retries < 0:
+            raise InvalidParameterError(
+                f"max_retries must be >= 0, got {self.max_retries!r}"
+            )
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise InvalidParameterError(
+                "backoff_base must be >= 0 and backoff_factor >= 1"
+            )
+        # Normalize the collections so equal plans hash/compare equal.
+        object.__setattr__(
+            self, "crash_sites", tuple(sorted(set(self.crash_sites)))
+        )
+        object.__setattr__(
+            self, "crash_at_step", dict(self.crash_at_step)
+        )
+
+    @classmethod
+    def lossless(cls, seed: int = 0) -> "FaultPlan":
+        """A plan that injects nothing (useful as an explicit baseline)."""
+        return cls(seed=seed)
+
+    def is_lossless(self) -> bool:
+        """True when this plan can never perturb a run."""
+        return (
+            self.drop_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.corrupt_rate == 0.0
+            and not self.crash_sites
+            and not self.crash_at_step
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultDecision:
+    """The injector's verdict for one transmission attempt."""
+
+    drop: bool = False
+    corrupt: bool = False
+    duplicate: bool = False
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into deterministic per-message faults.
+
+    The network's reliable transport consults :meth:`decide` on every
+    transmission attempt and :meth:`site_crashed` before letting a site
+    act.  All answers are pure functions of the plan seed and the message
+    coordinates, so a run is reproducible from ``(protocol seed, plan)``
+    alone.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        if not isinstance(plan, FaultPlan):
+            raise InvalidParameterError(
+                f"expected a FaultPlan, got {type(plan).__name__}"
+            )
+        self.plan = plan
+        self._crashed: FrozenSet[int] = frozenset(plan.crash_sites)
+        self._crash_step: Dict[int, int] = dict(plan.crash_at_step)
+
+    def site_crashed(self, site_id: int, sends_completed: int = 0) -> bool:
+        """Whether ``site_id`` is dead after completing that many sends."""
+        if site_id in self._crashed:
+            return True
+        step = self._crash_step.get(site_id)
+        return step is not None and sends_completed >= step
+
+    def crashed_sites(self, site_ids: Iterable[int]) -> FrozenSet[int]:
+        """The subset of ``site_ids`` dead from the start of a run."""
+        return frozenset(
+            sid for sid in site_ids if self.site_crashed(sid, 0)
+        )
+
+    def decide(
+        self, src: int, dst: int, seq: int, attempt: int
+    ) -> FaultDecision:
+        """The fate of attempt ``attempt`` of message ``seq`` on an edge."""
+        plan = self.plan
+        base = _mix(plan.seed, src, dst, seq, attempt)
+        return FaultDecision(
+            drop=_unit(_mix(base, 1)) < plan.drop_rate,
+            corrupt=_unit(_mix(base, 2)) < plan.corrupt_rate,
+            duplicate=_unit(_mix(base, 3)) < plan.duplicate_rate,
+        )
+
+    def corrupt_blob(
+        self,
+        blob: bytes,
+        src: int = 0,
+        dst: int = 0,
+        seq: int = 0,
+        attempt: int = 0,
+        bit: Optional[int] = None,
+    ) -> bytes:
+        """Flip one bit of ``blob`` (deterministically chosen, or ``bit``).
+
+        A single flipped bit is the adversary's *best* case against a
+        CRC32 envelope — any one-bit error is guaranteed detectable — so
+        this is also what the detection tests inject.
+        """
+        if not blob:
+            return blob
+        if bit is None:
+            bit = _mix(self.plan.seed, src, dst, seq, attempt, 4) % (
+                len(blob) * 8
+            )
+        if not (0 <= bit < len(blob) * 8):
+            raise InvalidParameterError(
+                f"bit index {bit!r} outside payload of {len(blob)} bytes"
+            )
+        mutated = bytearray(blob)
+        mutated[bit // 8] ^= 1 << (bit % 8)
+        return bytes(mutated)
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Simulated delay before retry number ``attempt`` (1-based)."""
+        plan = self.plan
+        return plan.backoff_base * plan.backoff_factor ** max(
+            0, attempt - 1
+        )

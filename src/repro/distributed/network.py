@@ -9,17 +9,51 @@ This module is the substrate the distributed protocols run on: sites
 hold local data, a topology wires them toward a root, and every payload
 moving along an edge is metered in 4-byte words — the same accounting
 the rest of the library uses for memory.
+
+When a :class:`~repro.distributed.faults.FaultInjector` is attached, the
+network's :meth:`~AggregationNetwork.transmit` method becomes a reliable
+ack/retry transport: per-edge sequence numbers, receiver-side dedup (so
+at-least-once delivery cannot double-merge a summary), checksum-verified
+payload decoding, and exponential backoff over a simulated clock.  The
+paper's communication accounting stays honest: first-attempt traffic is
+metered in ``words_sent``/``messages_sent`` exactly as in the lossless
+path, while retransmissions are metered separately in
+``retransmitted_words``/``retransmissions``.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.core.errors import InvalidParameterError
+from repro.core.errors import CorruptSummaryError, InvalidParameterError
+from repro.distributed.faults import FaultInjector, FaultPlan
 from repro.sketches.hashing import make_rng
+
+
+class SimClock:
+    """A simulated clock: time only moves when someone waits on it."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, delay: float) -> None:
+        if delay < 0:
+            raise InvalidParameterError(f"delay must be >= 0, got {delay!r}")
+        self.now += delay
+
+
+@dataclasses.dataclass
+class TransmitResult:
+    """Outcome of one reliable transmission over an edge."""
+
+    delivered: bool
+    attempts: int
+    payload: object = None
+    #: "" on success; "receiver-crashed" or "retries-exhausted" otherwise.
+    reason: str = ""
 
 
 @dataclasses.dataclass
@@ -40,10 +74,17 @@ class AggregationNetwork:
         topology: ``"star"`` (every site talks to the root), ``"tree"``
             (balanced binary aggregation tree), or ``"chain"`` (a path —
             the worst case for summary-size accumulation).
+        faults: optional :class:`FaultPlan` (or prebuilt
+            :class:`FaultInjector`) enabling the reliable transport; see
+            :meth:`transmit`.  Without it the network is lossless and
+            behaves exactly as it always has.
     """
 
     def __init__(
-        self, shards: Sequence[np.ndarray], topology: str = "tree"
+        self,
+        shards: Sequence[np.ndarray],
+        topology: str = "tree",
+        faults: Optional[object] = None,
     ) -> None:
         if len(shards) < 1:
             raise InvalidParameterError("need at least one site")
@@ -64,6 +105,46 @@ class AggregationNetwork:
                 self.sites[site.parent].children.append(site.site_id)
         self.words_sent = 0
         self.messages_sent = 0
+        # Reliable-transport state and metering (all zero / inert until a
+        # fault injector is attached).
+        self.clock = SimClock()
+        self.retransmitted_words = 0
+        self.retransmissions = 0
+        self.acks_sent = 0
+        self.drops = 0
+        self.duplicates_suppressed = 0
+        self.corruptions_detected = 0
+        self.injector: Optional[FaultInjector] = None
+        self._seq: Dict[Tuple[int, int], int] = {}
+        self._seen: Set[Tuple[int, int, int]] = set()
+        self._sends_completed: Dict[int, int] = {}
+        if faults is not None:
+            self.attach_faults(faults)
+
+    def attach_faults(self, faults) -> FaultInjector:
+        """Attach a :class:`FaultPlan`/:class:`FaultInjector` and return it.
+
+        Enables the fault-aware behavior of :meth:`transmit`; pass a
+        lossless plan to exercise the reliable transport with zero
+        injected faults (accounting is then identical to the plain path).
+        """
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        if not isinstance(faults, FaultInjector):
+            raise InvalidParameterError(
+                f"faults must be a FaultPlan or FaultInjector, "
+                f"got {type(faults).__name__}"
+            )
+        self.injector = faults
+        return faults
+
+    def is_crashed(self, site_id: int) -> bool:
+        """Whether ``site_id`` is currently dead under the fault plan."""
+        if self.injector is None:
+            return False
+        return self.injector.site_crashed(
+            site_id, self._sends_completed.get(site_id, 0)
+        )
 
     def _parent_of(self, i: int, count: int) -> Optional[int]:
         if i == 0:
@@ -94,6 +175,124 @@ class AggregationNetwork:
             raise InvalidParameterError("payload_words must be >= 0")
         self.words_sent += payload_words
         self.messages_sent += 1
+
+    def transmit(
+        self,
+        src: int,
+        dst: int,
+        payload_words: int,
+        blob: Optional[bytes] = None,
+        decode: Optional[Callable[[bytes], object]] = None,
+    ) -> TransmitResult:
+        """Reliably send one message from ``src`` to ``dst``.
+
+        Without an injector this is exactly :meth:`send` plus a decode of
+        ``blob``.  With one, the message gets a per-edge sequence number
+        and is retried (exponential backoff on the simulated clock) until
+        the receiver acks or ``max_retries`` is exhausted:
+
+        * a *dropped* attempt times out and is retransmitted;
+        * a *corrupted* payload fails ``decode`` (checksum mismatch →
+          :class:`CorruptSummaryError`), is counted in
+          ``corruptions_detected``, and is retransmitted — it is never
+          accepted;
+        * a *duplicated* delivery is detected by the receiver's
+          ``(src, dst, seq)`` dedup set and suppressed, keeping merges
+          idempotent under at-least-once delivery;
+        * a *crashed* receiver never acks, so the sender retries into the
+          void and gives up (the words are still metered — radio time was
+          really spent).
+
+        First-attempt traffic is metered in ``words_sent`` /
+        ``messages_sent`` (unchanged from the lossless path); retries go
+        to ``retransmitted_words`` / ``retransmissions``.
+
+        Args:
+            src: sending site id.
+            dst: receiving site id.
+            payload_words: message size under the paper's accounting.
+            blob: serialized payload bytes (checksummed envelope).
+            decode: callable turning delivered bytes into the payload
+                object; must raise :class:`CorruptSummaryError` on a
+                damaged blob.
+
+        Returns:
+            A :class:`TransmitResult`; ``payload`` holds the decoded
+            object of the first accepted copy (``None`` for pure
+            accounting sends or on failure).
+        """
+        if src not in self.sites or dst not in self.sites:
+            raise InvalidParameterError(
+                f"unknown edge {src!r} -> {dst!r}"
+            )
+        if self.injector is None:
+            self.send(payload_words)
+            payload = None
+            if blob is not None:
+                payload = decode(blob) if decode is not None else blob
+            return TransmitResult(True, 1, payload)
+
+        injector = self.injector
+        plan = injector.plan
+        seq = self._seq.get((src, dst), 0)
+        self._seq[(src, dst)] = seq + 1
+        dst_crashed = self.is_crashed(dst)
+        self._sends_completed[src] = self._sends_completed.get(src, 0) + 1
+
+        for attempt in range(plan.max_retries + 1):
+            if attempt == 0:
+                self.send(payload_words)
+            else:
+                self.clock.advance(injector.backoff_delay(attempt))
+                self.retransmitted_words += payload_words
+                self.retransmissions += 1
+            if dst_crashed:
+                continue  # transmitting into the void; no ack ever comes
+            decision = injector.decide(src, dst, seq, attempt)
+            if decision.drop:
+                self.drops += 1
+                continue
+            copies = 2 if decision.duplicate else 1
+            accepted = None
+            acked = False
+            for copy in range(copies):
+                delivered = blob
+                if (
+                    blob is not None
+                    and decision.corrupt
+                    and copy == 0
+                ):
+                    delivered = injector.corrupt_blob(
+                        blob, src, dst, seq, attempt
+                    )
+                if blob is not None and decode is not None:
+                    try:
+                        payload = decode(delivered)
+                    except CorruptSummaryError:
+                        self.corruptions_detected += 1
+                        continue  # receiver nacks this copy
+                elif decision.corrupt and copy == 0:
+                    # Accounting-only payload: model the checksum check.
+                    self.corruptions_detected += 1
+                    continue
+                else:
+                    payload = delivered
+                if (src, dst, seq) in self._seen:
+                    self.duplicates_suppressed += 1
+                    acked = True  # duplicate is still acknowledged
+                    continue
+                self._seen.add((src, dst, seq))
+                accepted = payload
+                acked = True
+            if acked:
+                self.acks_sent += 1
+                return TransmitResult(True, attempt + 1, accepted)
+        return TransmitResult(
+            False,
+            plan.max_retries + 1,
+            None,
+            "receiver-crashed" if dst_crashed else "retries-exhausted",
+        )
 
     def postorder(self) -> List[int]:
         """Site ids with children before parents (aggregation order)."""
@@ -129,6 +328,7 @@ def make_network(
     universe_log2: int = 16,
     seed: Optional[int] = None,
     skew: float = 0.0,
+    faults: Optional[object] = None,
 ) -> AggregationNetwork:
     """Build a network with ``n`` values spread over ``sites`` shards.
 
@@ -137,6 +337,8 @@ def make_network(
             site its own value neighborhood (site i sees mostly values
             near ``i / sites`` of the universe) — the realistic sensor
             case where shards are *not* exchangeable.
+        faults: optional :class:`FaultPlan`/:class:`FaultInjector` to
+            attach (see :class:`AggregationNetwork`).
     """
     if sites < 1 or n < sites:
         raise InvalidParameterError(
@@ -157,4 +359,4 @@ def make_network(
             )
             shard = (unit * universe).astype(np.int64)
         shards.append(shard)
-    return AggregationNetwork(shards, topology=topology)
+    return AggregationNetwork(shards, topology=topology, faults=faults)

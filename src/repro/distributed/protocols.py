@@ -18,19 +18,43 @@ station, in increasing cleverness:
 Every protocol returns a :class:`ProtocolResult` with the queryable
 answer object, the words/messages metered by the network, and the
 observed error helper.
+
+Fault tolerance.  ``merge_summaries`` and ``sample_and_send`` accept a
+:class:`~repro.distributed.faults.FaultPlan` (or run on a network with an
+injector already attached).  Summaries then travel as checksummed
+snapshot envelopes over the network's reliable ack/retry transport
+(:meth:`~repro.distributed.network.AggregationNetwork.transmit`), and the
+protocols *degrade instead of crashing*: a crashed site (or an edge whose
+retries are exhausted) silently removes its subtree's mass from the
+answer, and the result reports ``coverage`` — the fraction of the stream
+represented at the root — together with ``effective_eps``, the error
+bound against the *full* stream::
+
+    effective_eps = coverage * eps + (1 - coverage)
+
+(the surviving mass is answered within ``eps`` of itself, and the lost
+mass can shift any rank by at most its own fraction).  Only a crashed
+*root* still raises, since then there is nowhere to answer from
+(:class:`~repro.core.errors.SiteUnavailableError`).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Optional
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.cash_register.qdigest import QDigest
 from repro.cash_register.random_sketch import RandomSketch
-from repro.core.errors import InvalidParameterError
+from repro.core.errors import InvalidParameterError, SiteUnavailableError
+from repro.core.snapshot import (
+    decode_payload,
+    encode_payload,
+    restore,
+    snapshot,
+)
 from repro.distributed.network import AggregationNetwork
 from repro.sketches.hashing import make_rng
 
@@ -43,6 +67,16 @@ class ProtocolResult:
     words_sent: int
     messages_sent: int
     answerer: object  #: supports quantiles(phis)
+    #: Fraction of the stream represented at the root (1.0 when lossless).
+    coverage: float = 1.0
+    #: Error bound vs. the full stream, degraded by the lost mass.
+    effective_eps: Optional[float] = None
+    #: Words re-sent by the reliable transport (excluded from words_sent).
+    retransmitted_words: int = 0
+    #: Number of retransmission attempts.
+    retransmissions: int = 0
+    #: Sites whose data never reached the root (crashed or undeliverable).
+    lost_sites: Tuple[int, ...] = ()
 
     def max_rank_error(self, truth_sorted: np.ndarray, phis) -> float:
         """Observed max normalized rank error at the root."""
@@ -57,6 +91,19 @@ class ProtocolResult:
             )
             worst = max(worst, err / n)
         return worst
+
+    def accounting(self) -> Dict[str, object]:
+        """Every accounting field as a plain dict (determinism checks)."""
+        return {
+            "name": self.name,
+            "words_sent": self.words_sent,
+            "messages_sent": self.messages_sent,
+            "coverage": self.coverage,
+            "effective_eps": self.effective_eps,
+            "retransmitted_words": self.retransmitted_words,
+            "retransmissions": self.retransmissions,
+            "lost_sites": self.lost_sites,
+        }
 
 
 class _SortedAnswerer:
@@ -86,8 +133,27 @@ def ship_everything(network: AggregationNetwork) -> ProtocolResult:
     answerer = _SortedAnswerer(network.union_sorted(), network.total_n())
     return ProtocolResult(
         "ship-everything", network.words_sent, network.messages_sent,
-        answerer,
+        answerer, effective_eps=0.0,
     )
+
+
+def _use_fault_path(network: AggregationNetwork, faults) -> bool:
+    """Attach ``faults`` if given; True when the fault-aware path runs."""
+    if faults is not None:
+        network.attach_faults(faults)
+    return network.injector is not None
+
+
+def _require_live_root(network: AggregationNetwork) -> None:
+    if network.is_crashed(0):
+        raise SiteUnavailableError(
+            "the root (base station) has crashed; nothing can aggregate"
+        )
+
+
+def _effective_eps(eps: float, coverage: float) -> float:
+    """Error bound vs. the full stream when only ``coverage`` survived."""
+    return coverage * eps + (1.0 - coverage)
 
 
 def merge_summaries(
@@ -96,12 +162,23 @@ def merge_summaries(
     summary: str = "qdigest",
     universe_log2: int = 16,
     seed: Optional[int] = None,
+    faults=None,
 ) -> ProtocolResult:
     """Mergeable-summary aggregation ([26] / [1]).
 
     Each site builds a summary of its shard, merges in its children's
     summaries, and forwards one summary upward.  The per-edge payload is
     the summary's ``size_words()`` at send time.
+
+    Args:
+        faults: optional :class:`~repro.distributed.faults.FaultPlan` (or
+            injector).  When given — or when the network already has one
+            attached — summaries travel as checksummed snapshots over the
+            reliable transport, crashed subtrees degrade ``coverage``
+            instead of crashing the run, and restored payloads are
+            integrity-checked before and after every merge.  A lossless
+            plan reproduces the plain path bit-for-bit (same accounting,
+            same answers).
     """
     if summary not in ("qdigest", "random"):
         raise InvalidParameterError(
@@ -117,19 +194,71 @@ def merge_summaries(
         sk.extend(shard.tolist())
         return sk
 
-    summaries = {}
+    if not _use_fault_path(network, faults):
+        summaries = {}
+        for sid in network.postorder():
+            site = network.sites[sid]
+            sk = build(site.data)
+            for child in site.children:
+                sk.merge(summaries.pop(child))
+            summaries[sid] = sk
+            if site.parent is not None:
+                network.send(sk.size_words())
+        root_summary = summaries[0]
+        return ProtocolResult(
+            f"merge-{summary}", network.words_sent, network.messages_sent,
+            root_summary, effective_eps=eps,
+        )
+
+    _require_live_root(network)
+    total = network.total_n()
+    # inbox[parent][child] = (restored summary, site ids it represents)
+    inbox: Dict[int, Dict[int, Tuple[object, Set[int]]]] = {}
+    lost: Set[int] = set()
+    root_summary = None
     for sid in network.postorder():
         site = network.sites[sid]
+        delivered = inbox.pop(sid, {})
+        if network.is_crashed(sid):
+            # The site's own shard dies with it, along with everything its
+            # children already handed to it.
+            lost.add(sid)
+            for _, represents in delivered.values():
+                lost |= represents
+            continue
         sk = build(site.data)
+        represents = {sid}
         for child in site.children:
-            sk.merge(summaries.pop(child))
-        summaries[sid] = sk
-        if site.parent is not None:
-            network.send(sk.size_words())
-    root_summary = summaries[0]
+            if child not in delivered:
+                continue
+            child_sk, child_set = delivered[child]
+            sk.merge(child_sk)
+            sk.validate()
+            represents |= child_set
+        if site.parent is None:
+            root_summary = sk
+            continue
+        blob = snapshot(sk)
+        outcome = network.transmit(
+            sid, site.parent, sk.size_words(), blob, restore
+        )
+        if outcome.delivered:
+            inbox.setdefault(site.parent, {})[sid] = (
+                outcome.payload, represents,
+            )
+        else:
+            lost |= represents
+    coverage = root_summary.n / total if total else 1.0
     return ProtocolResult(
-        f"merge-{summary}", network.words_sent, network.messages_sent,
+        f"merge-{summary}",
+        network.words_sent,
+        network.messages_sent,
         root_summary,
+        coverage=coverage,
+        effective_eps=_effective_eps(eps, coverage),
+        retransmitted_words=network.retransmitted_words,
+        retransmissions=network.retransmissions,
+        lost_sites=tuple(sorted(lost)),
     )
 
 
@@ -138,6 +267,7 @@ def sample_and_send(
     eps: float,
     seed: Optional[int] = None,
     oversample: float = 1.0,
+    faults=None,
 ) -> ProtocolResult:
     """Sampling protocol in the spirit of Huang et al. [17].
 
@@ -145,6 +275,12 @@ def sample_and_send(
     preserves all quantiles within ``eps`` w.h.p. [28]; each site
     contributes uniformly, proportionally to its shard, and forwards its
     own and its children's samples (relaying costs are metered).
+
+    Args:
+        faults: optional :class:`~repro.distributed.faults.FaultPlan` (or
+            injector); see :func:`merge_summaries`.  Sample bundles travel
+            as checksummed payload envelopes; lost subtrees shrink
+            ``coverage`` and the root answers from the surviving sample.
     """
     rng = make_rng(seed)
     total = network.total_n()
@@ -152,23 +288,80 @@ def sample_and_send(
         oversample * (2.0 / eps**2) * math.log(2.0 / eps)
     )
     target = min(target, total)
-    collected = {}
-    for sid in network.postorder():
-        site = network.sites[sid]
+
+    def own_sample(site) -> np.ndarray:
         share = math.ceil(target * len(site.data) / max(1, total))
         share = min(share, len(site.data))
         if share:
             picks = rng.choice(len(site.data), size=share, replace=False)
-            own = site.data[picks]
-        else:
-            own = site.data[:0]
-        bundle = [own] + [collected.pop(c) for c in site.children]
+            return site.data[picks]
+        return site.data[:0]
+
+    if not _use_fault_path(network, faults):
+        collected = {}
+        for sid in network.postorder():
+            site = network.sites[sid]
+            bundle = [own_sample(site)]
+            bundle += [collected.pop(c) for c in site.children]
+            merged = np.concatenate(bundle)
+            collected[sid] = merged
+            if site.parent is not None:
+                network.send(len(merged))
+        answerer = _SortedAnswerer(collected[0], total)
+        return ProtocolResult(
+            "sample-and-send", network.words_sent, network.messages_sent,
+            answerer, effective_eps=eps,
+        )
+
+    _require_live_root(network)
+    # inbox[parent][child] = (sample array, represented mass, site ids)
+    inbox: Dict[int, Dict[int, Tuple[np.ndarray, int, Set[int]]]] = {}
+    lost: Set[int] = set()
+    root_sample = None
+    root_mass = 0
+    for sid in network.postorder():
+        site = network.sites[sid]
+        delivered = inbox.pop(sid, {})
+        if network.is_crashed(sid):
+            lost.add(sid)
+            for _, _, represents in delivered.values():
+                lost |= represents
+            continue
+        bundle = [own_sample(site)]
+        mass = len(site.data)
+        represents = {sid}
+        for child in site.children:
+            if child not in delivered:
+                continue
+            child_sample, child_mass, child_set = delivered[child]
+            bundle.append(child_sample)
+            mass += child_mass
+            represents |= child_set
         merged = np.concatenate(bundle)
-        collected[sid] = merged
-        if site.parent is not None:
-            network.send(len(merged))
-    answerer = _SortedAnswerer(collected[0], total)
+        if site.parent is None:
+            root_sample = merged
+            root_mass = mass
+            continue
+        outcome = network.transmit(
+            sid, site.parent, len(merged),
+            encode_payload(merged), decode_payload,
+        )
+        if outcome.delivered:
+            inbox.setdefault(site.parent, {})[sid] = (
+                outcome.payload, mass, represents,
+            )
+        else:
+            lost |= represents
+    coverage = root_mass / total if total else 1.0
+    answerer = _SortedAnswerer(root_sample, root_mass)
     return ProtocolResult(
-        "sample-and-send", network.words_sent, network.messages_sent,
+        "sample-and-send",
+        network.words_sent,
+        network.messages_sent,
         answerer,
+        coverage=coverage,
+        effective_eps=_effective_eps(eps, coverage),
+        retransmitted_words=network.retransmitted_words,
+        retransmissions=network.retransmissions,
+        lost_sites=tuple(sorted(lost)),
     )

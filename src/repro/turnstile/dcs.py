@@ -20,10 +20,12 @@ import math
 from typing import Optional
 
 from repro.core.registry import register
+from repro.core.snapshot import snapshottable
 from repro.sketches.countsketch import CountSketch
 from repro.turnstile.dyadic import DyadicQuantiles
 
 
+@snapshottable("dcs")
 @register("dcs")
 class DyadicCountSketch(DyadicQuantiles):
     """Dyadic Count-Sketch turnstile quantile sketch.

@@ -31,7 +31,7 @@ from repro.core.base import (
     validate_phi,
     validate_universe_log2,
 )
-from repro.core.errors import UniverseOverflowError
+from repro.core.errors import CorruptSummaryError, UniverseOverflowError
 from repro.sketches.exact_counter import ExactCounter
 from repro.sketches.hashing import make_rng
 
@@ -177,6 +177,44 @@ class DyadicQuantiles(TurnstileSketch):
         return lo
 
     # -- introspection ----------------------------------------------------
+
+    def validate(self) -> "DyadicQuantiles":
+        """Check the dyadic structure's invariants; return ``self``.
+
+        Verified: the element count is a non-negative integer, one level
+        structure exists per dyadic level, and every exact-counter level
+        holds non-negative cell counts summing to exactly ``n`` (each
+        level partitions the universe, so each must account for every
+        element).  Sketched levels carry signed counters by design and
+        are covered by the snapshot checksum instead.  Called by
+        :func:`repro.core.snapshot.restore`.
+
+        Raises:
+            CorruptSummaryError: if any invariant is violated.
+        """
+        if not isinstance(self._n, int) or self._n < 0:
+            raise CorruptSummaryError(
+                f"{self.name}: bad element count {self._n!r}"
+            )
+        if len(self._levels) != self.universe_log2:
+            raise CorruptSummaryError(
+                f"{self.name}: {len(self._levels)} level structures, "
+                f"expected {self.universe_log2}"
+            )
+        for level, est in enumerate(self._levels):
+            if not isinstance(est, ExactCounter):
+                continue
+            counts = est._counts
+            if counts.size and int(counts.min()) < 0:
+                raise CorruptSummaryError(
+                    f"{self.name}: negative count at exact level {level}"
+                )
+            if int(counts.sum()) != self._n:
+                raise CorruptSummaryError(
+                    f"{self.name}: exact level {level} sums to "
+                    f"{int(counts.sum())}, expected n={self._n}"
+                )
+        return self
 
     def exact_levels(self) -> List[int]:
         """Levels currently backed by exact counters."""

@@ -1,0 +1,143 @@
+"""Snapshot/restore: checksummed checkpoints for every registered summary.
+
+Two properties anchor the fault-tolerance layer:
+
+* **Round-trip fidelity** — ``restore(snapshot(s))`` answers every
+  quantile exactly like ``s`` (Hypothesis property over random streams).
+* **Corruption is always detected** — any bit flip anywhere in the
+  envelope makes ``restore`` raise ``CorruptSummaryError``; a silently
+  wrong summary is never returned.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    CorruptSummaryError,
+    restore,
+    snapshot,
+    snapshot_registry,
+)
+from repro.core.errors import InvalidParameterError
+from repro.core.snapshot import decode_payload, encode_payload
+from repro.distributed import FaultInjector, FaultPlan
+
+PHIS = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+UNIVERSE_LOG2 = 12
+
+REGISTRY_KEYS = sorted(snapshot_registry())
+
+
+def build_summary(key: str, eps: float = 0.05, seed: int = 3):
+    cls = snapshot_registry()[key]
+    kwargs = {}
+    params = inspect.signature(cls.__init__).parameters
+    if "universe_log2" in params:
+        kwargs["universe_log2"] = UNIVERSE_LOG2
+    if "seed" in params:
+        kwargs["seed"] = seed
+    return cls(eps=eps, **kwargs)
+
+
+def test_registry_covers_the_checkpointable_summaries() -> None:
+    assert {"qdigest", "random", "gk_adaptive", "gk_array", "dcs"} <= set(
+        REGISTRY_KEYS
+    )
+
+
+@pytest.mark.parametrize("key", REGISTRY_KEYS)
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(0, (1 << UNIVERSE_LOG2) - 1), min_size=1, max_size=400
+    )
+)
+def test_roundtrip_answers_identically(key: str, values) -> None:
+    sk = build_summary(key)
+    sk.extend(values)
+    clone = restore(snapshot(sk))
+    assert clone.n == sk.n
+    assert clone.quantiles(PHIS) == sk.quantiles(PHIS)
+
+
+@pytest.mark.parametrize("key", REGISTRY_KEYS)
+def test_restored_summary_keeps_working(key: str, rng) -> None:
+    data = rng.integers(0, 1 << UNIVERSE_LOG2, size=3_000, dtype="int64")
+    sk = build_summary(key)
+    sk.extend(data[:2_000].tolist())
+    clone = restore(snapshot(sk))
+    sk.extend(data[2_000:].tolist())
+    clone.extend(data[2_000:].tolist())
+    assert clone.n == sk.n
+    # Deterministic summaries agree exactly; randomized ones agree because
+    # the snapshot preserves the RNG state.
+    assert clone.quantiles(PHIS) == sk.quantiles(PHIS)
+
+
+@pytest.mark.parametrize("key", REGISTRY_KEYS)
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_any_bit_flip_is_detected(key: str, data) -> None:
+    sk = build_summary(key)
+    sk.extend([1, 5, 7, 100, 2_000, 4_000])
+    blob = snapshot(sk)
+    bit = data.draw(st.integers(0, len(blob) * 8 - 1))
+    injector = FaultInjector(FaultPlan(seed=0))
+    with pytest.raises(CorruptSummaryError):
+        restore(injector.corrupt_blob(blob, bit=bit))
+
+
+@pytest.mark.parametrize("key", REGISTRY_KEYS)
+def test_truncation_is_detected(key: str) -> None:
+    sk = build_summary(key)
+    sk.extend(range(64))
+    blob = snapshot(sk)
+    for cut in (0, 3, len(blob) // 2, len(blob) - 1):
+        with pytest.raises(CorruptSummaryError):
+            restore(blob[:cut])
+
+
+def test_unregistered_type_rejected_on_snapshot() -> None:
+    with pytest.raises(InvalidParameterError):
+        snapshot(object())
+
+
+def test_validate_catches_semantic_corruption() -> None:
+    sk = build_summary("qdigest")
+    sk.extend(range(100))
+    sk._n += 7  # counts no longer sum to n
+    with pytest.raises(CorruptSummaryError):
+        sk.validate()
+
+    gk = build_summary("gk_array")
+    gk.extend(range(100))
+    gk._prepare_query()
+    gk._gs[0] = 0  # g must be >= 1
+    with pytest.raises(CorruptSummaryError):
+        gk.validate()
+
+    dcs = build_summary("dcs")
+    dcs.extend(range(100))
+    exact = dcs.exact_levels()
+    assert exact, "expected at least one exact level at this size"
+    dcs._levels[exact[0]]._counts[0] = -1  # negative dyadic count
+    with pytest.raises(CorruptSummaryError):
+        dcs.validate()
+
+
+def test_payload_envelope_roundtrip_and_detection() -> None:
+    import numpy as np
+
+    arr = np.arange(1_000, dtype="int64")
+    blob = encode_payload(arr)
+    assert (decode_payload(blob) == arr).all()
+    injector = FaultInjector(FaultPlan(seed=2))
+    with pytest.raises(CorruptSummaryError):
+        decode_payload(injector.corrupt_blob(blob, bit=123))
+    # A raw payload envelope is not a summary snapshot.
+    with pytest.raises(CorruptSummaryError):
+        restore(blob)

@@ -1,0 +1,218 @@
+"""Tests for fault injection and the reliable ack/retry transport."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    CorruptSummaryError,
+    InvalidParameterError,
+    SiteUnavailableError,
+)
+from repro.core.snapshot import decode_payload, encode_payload
+from repro.distributed import (
+    FaultInjector,
+    FaultPlan,
+    make_network,
+    merge_summaries,
+    sample_and_send,
+)
+
+PHIS = [0.1, 0.25, 0.5, 0.75, 0.9]
+
+
+class TestFaultPlan:
+    def test_validation(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(InvalidParameterError):
+            FaultPlan(corrupt_rate=-0.1)
+        with pytest.raises(InvalidParameterError):
+            FaultPlan(max_retries=-1)
+        with pytest.raises(InvalidParameterError):
+            FaultPlan(backoff_factor=0.5)
+
+    def test_losslessness(self) -> None:
+        assert FaultPlan.lossless().is_lossless()
+        assert not FaultPlan(drop_rate=0.1).is_lossless()
+        assert not FaultPlan(crash_sites=(3,)).is_lossless()
+
+    def test_crash_schedule(self) -> None:
+        injector = FaultInjector(
+            FaultPlan(crash_sites=(2,), crash_at_step={5: 1})
+        )
+        assert injector.site_crashed(2, 0)
+        assert not injector.site_crashed(5, 0)
+        assert injector.site_crashed(5, 1)
+        assert injector.crashed_sites(range(8)) == frozenset({2})
+
+
+class TestFaultInjector:
+    def test_decisions_are_deterministic(self) -> None:
+        a = FaultInjector(FaultPlan(seed=4, drop_rate=0.3,
+                                    duplicate_rate=0.2, corrupt_rate=0.1))
+        b = FaultInjector(FaultPlan(seed=4, drop_rate=0.3,
+                                    duplicate_rate=0.2, corrupt_rate=0.1))
+        coords = [(s, d, q, t) for s in range(4) for d in range(4)
+                  for q in range(3) for t in range(3)]
+        assert [a.decide(*c) for c in coords] == [b.decide(*c) for c in coords]
+
+    def test_decisions_depend_on_seed(self) -> None:
+        a = FaultInjector(FaultPlan(seed=1, drop_rate=0.5))
+        b = FaultInjector(FaultPlan(seed=2, drop_rate=0.5))
+        coords = [(0, 1, q, 0) for q in range(64)]
+        assert (
+            [a.decide(*c).drop for c in coords]
+            != [b.decide(*c).drop for c in coords]
+        )
+
+    def test_rates_are_roughly_honored(self) -> None:
+        injector = FaultInjector(FaultPlan(seed=9, drop_rate=0.25))
+        drops = sum(
+            injector.decide(0, 1, seq, 0).drop for seq in range(2_000)
+        )
+        assert 0.2 < drops / 2_000 < 0.3
+
+    def test_corrupt_blob_flips_exactly_one_bit(self) -> None:
+        injector = FaultInjector(FaultPlan(seed=3))
+        blob = bytes(range(64))
+        bad = injector.corrupt_blob(blob, 0, 1, 2, 0)
+        assert bad != blob and len(bad) == len(blob)
+        diff = [x ^ y for x, y in zip(blob, bad)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+
+
+class TestReliableTransport:
+    def test_lossless_transmit_matches_send(self) -> None:
+        net = make_network(1_000, sites=4, seed=0)
+        outcome = net.transmit(1, 0, 25)
+        assert outcome.delivered and outcome.attempts == 1
+        assert (net.words_sent, net.messages_sent) == (25, 1)
+
+    def test_drops_cause_metered_retransmissions(self) -> None:
+        plan = FaultPlan(seed=11, drop_rate=0.6, max_retries=50)
+        net = make_network(1_000, sites=4, seed=0, faults=plan)
+        for _ in range(20):
+            outcome = net.transmit(1, 0, 10)
+            assert outcome.delivered
+        assert net.retransmissions > 0
+        assert net.retransmitted_words == 10 * net.retransmissions
+        # First attempts stay in the paper's accounting, retries do not.
+        assert (net.words_sent, net.messages_sent) == (200, 20)
+        # Backoff really consumed simulated time.
+        assert net.clock.now > 0
+
+    def test_corrupted_payload_is_retransmitted_never_accepted(self) -> None:
+        plan = FaultPlan(seed=5, corrupt_rate=1.0, max_retries=3)
+        net = make_network(1_000, sites=4, seed=0, faults=plan)
+        payload = np.arange(50)
+        outcome = net.transmit(
+            1, 0, 50, encode_payload(payload), decode_payload
+        )
+        # Every attempt corrupts, every corruption is caught by the CRC.
+        assert not outcome.delivered
+        assert net.corruptions_detected == 4
+        outcome2 = net.transmit(
+            2, 0, 50, encode_payload(payload), decode_payload
+        )
+        assert not outcome2.delivered and outcome2.payload is None
+
+    def test_duplicate_delivery_suppressed_by_seq_dedup(self) -> None:
+        plan = FaultPlan(seed=6, duplicate_rate=1.0)
+        net = make_network(1_000, sites=4, seed=0, faults=plan)
+        outcome = net.transmit(
+            1, 0, 10, encode_payload(np.arange(5)), decode_payload
+        )
+        assert outcome.delivered
+        assert net.duplicates_suppressed == 1
+
+    def test_dead_receiver_exhausts_retries(self) -> None:
+        plan = FaultPlan(seed=7, crash_sites=(0,), max_retries=2)
+        net = make_network(1_000, sites=4, seed=0, faults=plan)
+        outcome = net.transmit(1, 0, 10)
+        assert not outcome.delivered
+        assert outcome.reason == "receiver-crashed"
+        assert net.retransmissions == 2
+
+    def test_unknown_edge_rejected(self) -> None:
+        net = make_network(1_000, sites=4, seed=0)
+        with pytest.raises(InvalidParameterError):
+            net.transmit(1, 99, 10)
+
+
+class TestMergeIdempotence:
+    """At-least-once delivery must not double-merge a summary."""
+
+    @pytest.mark.parametrize("summary", ["qdigest", "random"])
+    @pytest.mark.parametrize("topology", ["star", "tree", "chain"])
+    def test_duplicate_delivery_changes_nothing(
+        self, summary, topology
+    ) -> None:
+        kwargs = dict(
+            n=20_000, sites=8, topology=topology, seed=21, skew=0.4
+        )
+        baseline = merge_summaries(
+            make_network(**kwargs), eps=0.05, summary=summary, seed=9
+        )
+        plan = FaultPlan(seed=3, duplicate_rate=1.0)
+        net = make_network(**kwargs, faults=plan)
+        doubled = merge_summaries(
+            net, eps=0.05, summary=summary, seed=9, faults=None
+        )
+        # Every edge delivered twice; the dedup layer dropped each copy.
+        assert net.duplicates_suppressed == 7
+        assert doubled.answerer.n == baseline.answerer.n == 20_000
+        assert doubled.coverage == 1.0
+        assert (
+            doubled.answerer.quantiles(PHIS)
+            == baseline.answerer.quantiles(PHIS)
+        )
+        # Duplicates ride in the same radio message, so the word/message
+        # accounting matches the lossless run exactly.
+        assert doubled.words_sent == baseline.words_sent
+        assert doubled.messages_sent == baseline.messages_sent
+
+    def test_duplicated_samples_not_double_counted(self) -> None:
+        kwargs = dict(n=20_000, sites=8, topology="tree", seed=22)
+        baseline = sample_and_send(make_network(**kwargs), eps=0.05, seed=9)
+        net = make_network(**kwargs, faults=FaultPlan(seed=3,
+                                                      duplicate_rate=1.0))
+        doubled = sample_and_send(net, eps=0.05, seed=9)
+        assert doubled.answerer.n == baseline.answerer.n
+        assert (
+            doubled.answerer.quantiles(PHIS)
+            == baseline.answerer.quantiles(PHIS)
+        )
+
+
+class TestGracefulDegradation:
+    def test_crashed_root_raises_site_unavailable(self) -> None:
+        net = make_network(
+            1_000, sites=4, seed=0, faults=FaultPlan(crash_sites=(0,))
+        )
+        with pytest.raises(SiteUnavailableError):
+            merge_summaries(net, eps=0.1, summary="qdigest")
+
+    def test_crashed_inner_node_loses_its_subtree(self) -> None:
+        # Tree over 8 sites: site 1's subtree is {1, 3, 4, 7}.
+        net = make_network(
+            16_000, sites=8, topology="tree", seed=2,
+            faults=FaultPlan(crash_sites=(1,)),
+        )
+        result = merge_summaries(net, eps=0.05, summary="qdigest")
+        assert set(result.lost_sites) == {1, 3, 4, 7}
+        assert result.coverage == pytest.approx(0.5, abs=0.01)
+        assert result.effective_eps == pytest.approx(
+            result.coverage * 0.05 + (1 - result.coverage)
+        )
+
+    def test_heavy_drop_still_completes_via_retries(self) -> None:
+        plan = FaultPlan(seed=13, drop_rate=0.5, max_retries=30)
+        net = make_network(
+            20_000, sites=8, topology="chain", seed=3, faults=plan
+        )
+        result = merge_summaries(net, eps=0.05, summary="qdigest")
+        assert result.coverage == 1.0
+        assert result.retransmissions > 0
+        assert result.effective_eps == pytest.approx(0.05)

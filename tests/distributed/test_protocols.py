@@ -8,6 +8,7 @@ import pytest
 from repro.core import InvalidParameterError
 from repro.distributed import (
     AggregationNetwork,
+    FaultPlan,
     make_network,
     merge_summaries,
     sample_and_send,
@@ -120,3 +121,118 @@ class TestProtocols:
         per_edge = result.words_sent / 9
         single = result.answerer.size_words()
         assert per_edge <= 1.5 * single
+
+
+class TestFaultAwareProtocols:
+    """The fault-aware mode of merge_summaries / sample_and_send."""
+
+    PLAN = FaultPlan(
+        seed=17, drop_rate=0.1, duplicate_rate=0.05, corrupt_rate=0.05,
+        crash_sites=(11,),
+    )
+
+    @pytest.mark.parametrize("summary", ["qdigest", "random"])
+    @pytest.mark.parametrize("topology", ["star", "tree", "chain"])
+    def test_zero_fault_plan_is_bit_identical_to_lossless(
+        self, summary, topology
+    ) -> None:
+        kwargs = dict(n=30_000, sites=12, topology=topology, seed=31,
+                      skew=0.5)
+        plain = merge_summaries(
+            make_network(**kwargs), eps=0.02, summary=summary, seed=7
+        )
+        checked = merge_summaries(
+            make_network(**kwargs), eps=0.02, summary=summary, seed=7,
+            faults=FaultPlan.lossless(),
+        )
+        assert plain.words_sent == checked.words_sent
+        assert plain.messages_sent == checked.messages_sent
+        assert checked.coverage == 1.0 and checked.retransmissions == 0
+        assert (
+            plain.answerer.quantiles(PHIS)
+            == checked.answerer.quantiles(PHIS)
+        )
+
+    @pytest.mark.parametrize("topology", ["star", "tree", "chain"])
+    def test_sampling_zero_fault_plan_is_bit_identical(
+        self, topology
+    ) -> None:
+        kwargs = dict(n=30_000, sites=12, topology=topology, seed=32)
+        plain = sample_and_send(make_network(**kwargs), eps=0.05, seed=7)
+        checked = sample_and_send(
+            make_network(**kwargs), eps=0.05, seed=7,
+            faults=FaultPlan.lossless(),
+        )
+        assert plain.words_sent == checked.words_sent
+        assert plain.messages_sent == checked.messages_sent
+        assert (
+            plain.answerer.quantiles(PHIS)
+            == checked.answerer.quantiles(PHIS)
+        )
+
+    @pytest.mark.parametrize("summary", ["qdigest", "random"])
+    @pytest.mark.parametrize("topology", ["star", "tree", "chain"])
+    def test_degrades_gracefully_under_drop_and_crash(
+        self, summary, topology
+    ) -> None:
+        """10% drop + one crashed site: completes on every topology,
+        reports coverage < 1 and a degraded epsilon, raises nothing."""
+        eps = 0.05
+        net = make_network(
+            36_000, sites=12, topology=topology, seed=33, skew=0.5,
+            faults=self.PLAN,
+        )
+        truth = net.union_sorted()
+        result = merge_summaries(net, eps=eps, summary=summary, seed=7)
+        assert 0.0 < result.coverage < 1.0
+        assert 11 in result.lost_sites
+        assert eps < result.effective_eps < 1.0
+        assert result.effective_eps == pytest.approx(
+            result.coverage * eps + (1 - result.coverage)
+        )
+        # The degraded bound really holds against the full stream.
+        assert result.max_rank_error(truth, PHIS) <= result.effective_eps
+        # Surviving mass matches the bookkeeping.
+        lost_n = sum(
+            len(net.sites[sid].data) for sid in result.lost_sites
+        )
+        assert result.answerer.n == 36_000 - lost_n
+
+    @pytest.mark.parametrize("topology", ["star", "tree", "chain"])
+    def test_sampling_degrades_gracefully(self, topology) -> None:
+        net = make_network(
+            36_000, sites=12, topology=topology, seed=34, faults=self.PLAN
+        )
+        truth = net.union_sorted()
+        result = sample_and_send(net, eps=0.05, seed=7)
+        assert 0.0 < result.coverage < 1.0
+        assert result.max_rank_error(truth, PHIS) <= result.effective_eps
+
+    @pytest.mark.parametrize("summary", ["qdigest", "random"])
+    def test_same_seed_and_plan_reproduce_accounting_byte_identically(
+        self, summary
+    ) -> None:
+        """Two runs with the same seed and FaultPlan are byte-identical:
+        same fault pattern, same retries, same surviving sites."""
+        def run():
+            net = make_network(
+                24_000, sites=10, topology="tree", seed=35, skew=0.3,
+                faults=self.PLAN,
+            )
+            return merge_summaries(net, eps=0.05, summary=summary, seed=7)
+
+        a, b = run(), run()
+        assert repr(a.accounting()) == repr(b.accounting())
+        assert a.answerer.quantiles(PHIS) == b.answerer.quantiles(PHIS)
+
+    def test_sampling_determinism_under_faults(self) -> None:
+        def run():
+            net = make_network(
+                24_000, sites=10, topology="chain", seed=36,
+                faults=self.PLAN,
+            )
+            return sample_and_send(net, eps=0.05, seed=7)
+
+        a, b = run(), run()
+        assert repr(a.accounting()) == repr(b.accounting())
+        assert a.answerer.quantiles(PHIS) == b.answerer.quantiles(PHIS)
