@@ -14,14 +14,43 @@ closer-to-paper runs.
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 
 import pytest
 
+from repro import obs
 from repro.evaluation import scaled_n
 from repro.streams import synthetic_mpcat_obs
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _observability_artifacts():
+    """When ``REPRO_OBS_DIR`` is set, collect metrics + traces across the
+    whole benchmark session and write them there as artifacts (the CI
+    smoke job uploads the directory)."""
+    obs_dir = os.environ.get("REPRO_OBS_DIR")
+    if not obs_dir:
+        yield
+        return
+    out = pathlib.Path(obs_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    registry = obs.enable()
+    tracer = obs.enable_tracing()
+    try:
+        yield
+    finally:
+        obs.disable()
+        obs.disable_tracing()
+        (out / "metrics.json").write_text(
+            json.dumps(obs.to_json(registry), indent=2) + "\n"
+        )
+        (out / "metrics.prom").write_text(obs.to_prometheus(registry))
+        (out / "report.txt").write_text(obs.report(registry) + "\n")
+        tracer.write(out / "trace.jsonl")
 
 
 def write_exhibit(name: str, text: str) -> None:

@@ -37,6 +37,7 @@ from repro.cash_register.gk_base import GKBase
 from repro.core.base import reject_nan
 from repro.core.registry import register
 from repro.core.snapshot import snapshottable
+from repro.obs import metrics as obs_metrics
 
 
 class _Node:
@@ -69,6 +70,13 @@ class GKAdaptive(GKBase):
         self._by_uid = {}
         self._uids = itertools.count()
         self._dirty = True  # arrays in GKBase need rebuilding
+        # Cheap local tallies, shipped to the metrics recorder only at
+        # rare points (compaction / query) so the per-update path never
+        # touches the recorder.
+        self._pruned_total = 0
+        self._pruned_reported = 0
+        self._compactions = 0
+        self._compactions_reported = 0
 
     # ------------------------------------------------------------------
     # update path
@@ -186,6 +194,7 @@ class GKAdaptive(GKBase):
         if node.prev is not None:
             node.prev.next = succ
         self._dead += 1
+        self._pruned_total += 1
         # Keys of the predecessor and of the successor both changed.
         if node.prev is not None:
             self._push_key(node.prev)
@@ -193,13 +202,37 @@ class GKAdaptive(GKBase):
         if self._dead * 2 > len(self._order):
             self._order = [nd for nd in self._order if nd.alive]
             self._dead = 0
+            self._compactions += 1
+            self._emit_metrics()
         return True
 
     # ------------------------------------------------------------------
     # query path
     # ------------------------------------------------------------------
 
+    def _emit_metrics(self) -> None:
+        """Ship the local tallies to the recorder (rare-path only)."""
+        rec = obs_metrics.recorder()
+        if not rec.enabled:
+            return
+        if self._pruned_total > self._pruned_reported:
+            rec.inc(
+                "cash_register.pruned_tuples",
+                self._pruned_total - self._pruned_reported,
+                algo=self.name,
+            )
+            self._pruned_reported = self._pruned_total
+        if self._compactions > self._compactions_reported:
+            rec.inc(
+                "cash_register.compactions",
+                self._compactions - self._compactions_reported,
+                algo=self.name,
+            )
+            self._compactions_reported = self._compactions
+        rec.set("cash_register.tuples", self.tuple_count(), algo=self.name)
+
     def _prepare_query(self) -> None:
+        self._emit_metrics()
         if not self._dirty:
             return
         alive = [nd for nd in self._order if nd.alive]

@@ -16,12 +16,15 @@ Queries arriving mid-buffer force a flush first, preserving the
 from __future__ import annotations
 
 import math
+import time
 from typing import List
 
 from repro.cash_register.gk_base import GKBase
 from repro.core.base import reject_nan
 from repro.core.registry import register
 from repro.core.snapshot import snapshottable
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 
 
 @snapshottable("gk_array")
@@ -78,6 +81,12 @@ class GKArray(GKBase):
 
     def _flush(self) -> None:
         """Sort the buffer and merge it into the tuple arrays (step 2)."""
+        with span("cash_register.flush", algo=self.name, n=self._n):
+            self._flush_merge()
+
+    def _flush_merge(self) -> None:
+        incoming = len(self._values) + len(self._buffer)
+        start_ns = time.perf_counter_ns()
         self._buffer.sort()
         budget = self._budget()
         values, gs, deltas = self._values, self._gs, self._deltas
@@ -118,6 +127,20 @@ class GKArray(GKBase):
         self._gs = new_gs
         self._deltas = new_deltas
         self._buffer = []
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc("cash_register.buffer_flush", 1, algo=self.name)
+            rec.inc(
+                "cash_register.pruned_tuples",
+                incoming - len(new_values),
+                algo=self.name,
+            )
+            rec.observe(
+                "cash_register.flush_ns",
+                time.perf_counter_ns() - start_ns,
+                algo=self.name,
+            )
+            rec.set("cash_register.tuples", len(new_values), algo=self.name)
 
     def tuple_count(self) -> int:
         """Number of tuples |L| (excludes buffered raw elements)."""

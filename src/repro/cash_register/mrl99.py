@@ -46,6 +46,7 @@ from repro.core.base import (
 )
 from repro.core.base import validate_eps
 from repro.core.registry import register
+from repro.obs import metrics as obs_metrics
 from repro.sketches.hashing import make_rng
 
 
@@ -181,6 +182,12 @@ class MRL99(QuantileSketch):
         items = np.sort(to_element_array(self._fill_items))
         self._buffers.append(_WeightedBuffer(self._fill_rate, items))
         self._fill_items = []
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc("cash_register.buffer_seal", 1, algo=self.name)
+            rec.set(
+                "cash_register.buffers", len(self._buffers), algo=self.name
+            )
         if len(self._buffers) >= self.b:
             self._collapse()
         self._fill_rate = self._active_rate()
@@ -197,6 +204,9 @@ class MRL99(QuantileSketch):
         rest = [buf for buf in self._buffers if buf not in group]
         rest.append(weighted_collapse(group, self.k, self._rng))
         self._buffers = rest
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc("cash_register.collapse", 1, algo=self.name)
 
     # ------------------------------------------------------------------
     # query path

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import bisect
 import math
+import time
 from collections import defaultdict
 from itertools import accumulate as _accumulate
 from typing import Dict, List, Tuple
@@ -42,6 +43,8 @@ from repro.core.errors import (
 )
 from repro.core.registry import register
 from repro.core.snapshot import snapshottable
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 
 
 @snapshottable("qdigest")
@@ -114,6 +117,12 @@ class QDigest(QuantileSketch, MergeableSketch):
         threshold = self._n // self.k
         if threshold == 0:
             return
+        with span("cash_register.compress", algo=self.name, n=self._n):
+            self._compress_sweep(threshold)
+
+    def _compress_sweep(self, threshold: int) -> None:
+        before = len(self._counts)
+        start_ns = time.perf_counter_ns()
         counts = self._counts
         # Group nodes by depth so we can sweep bottom-up.
         by_depth: Dict[int, set] = defaultdict(set)
@@ -137,6 +146,20 @@ class QDigest(QuantileSketch, MergeableSketch):
                     if combined:
                         counts[parent] = combined
                         by_depth[depth - 1].add(parent)
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc("cash_register.compress", 1, algo=self.name)
+            rec.inc(
+                "cash_register.pruned_tuples",
+                max(0, before - len(counts)),
+                algo=self.name,
+            )
+            rec.observe(
+                "cash_register.compress_ns",
+                time.perf_counter_ns() - start_ns,
+                algo=self.name,
+            )
+            rec.set("cash_register.tuples", len(counts), algo=self.name)
 
     # ------------------------------------------------------------------
     # query path

@@ -44,6 +44,7 @@ from repro.core.base import (
 from repro.core.errors import CorruptSummaryError, MergeError
 from repro.core.registry import register
 from repro.core.snapshot import snapshottable
+from repro.obs import metrics as obs_metrics
 from repro.sketches.hashing import make_rng
 
 
@@ -170,6 +171,12 @@ class RandomSketch(QuantileSketch, MergeableSketch):
         items = np.sort(to_element_array(self._fill_items))
         self._buffers.append(_Buffer(self._fill_level, items))
         self._fill_items = []
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc("cash_register.buffer_seal", 1, algo=self.name)
+            rec.set(
+                "cash_register.buffers", len(self._buffers), algo=self.name
+            )
         if len(self._buffers) >= self.b:
             self._collapse_once()
         # The next buffer fills at the (possibly advanced) active level.
@@ -205,6 +212,9 @@ class RandomSketch(QuantileSketch, MergeableSketch):
             while low.level < second.level:
                 low = _Buffer(low.level + 1, _halve(low.items, rng))
         self._buffers.append(_merge_buffers(low, second, rng))
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc("cash_register.collapse", 1, algo=self.name)
 
     # ------------------------------------------------------------------
     # query path

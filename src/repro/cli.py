@@ -21,6 +21,7 @@ footprint and throughput.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Iterable, List, Optional
@@ -28,6 +29,10 @@ from typing import Iterable, List, Optional
 from repro.core.errors import ReproError
 from repro.core.registry import algorithms
 from repro.evaluation.harness import build_sketch
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.export import report as metrics_report
+from repro.obs.export import to_json as metrics_to_json
 
 
 def _parse_phis(text: str) -> List[float]:
@@ -76,6 +81,19 @@ def make_parser() -> argparse.ArgumentParser:
         "--int", dest="as_int", action="store_true",
         help="parse values as integers",
     )
+    parser.add_argument(
+        "--json", dest="as_json", action="store_true",
+        help="emit the report as a single JSON object",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect instrumentation during the run and print a "
+             "metrics report (or embed it, with --json)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record tracing spans and write them as JSONL to PATH",
+    )
     return parser
 
 
@@ -92,20 +110,52 @@ def _read_values(source: Iterable[str], as_int: bool) -> Iterable:
             ) from None
 
 
+def _scalar(value):
+    """Convert numpy scalars to plain Python for JSON output."""
+    return value.item() if hasattr(value, "item") else value
+
+
 def run(argv: Optional[List[str]] = None, stdin=None, stdout=None) -> int:
     """CLI entry point; returns a process exit code."""
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
     args = make_parser().parse_args(argv)
 
+    registry = None
+    tracer = None
+    previous_recorder = obs_metrics.recorder()
+    if args.metrics:
+        registry = obs_metrics.enable(obs_metrics.MetricsRegistry())
+    if args.trace is not None:
+        tracer = obs_trace.enable_tracing(obs_trace.Tracer())
+    try:
+        return _run(args, stdin, stdout, registry)
+    finally:
+        if args.metrics:
+            obs_metrics._recorder = previous_recorder
+        if tracer is not None:
+            obs_trace.disable_tracing()
+            tracer.write(args.trace)
+
+
+def _run(args, stdin, stdout, registry) -> int:
+    def fail(message: str, code: int) -> int:
+        if args.as_json:
+            print(json.dumps({"error": message}), file=stdout)
+        else:
+            print(message if code == 1 else f"error: {message}", file=stdout)
+        return code
+
     needs_int = args.universe_log2 is not None or args.algorithm in (
         "qdigest", "dcm", "dcs", "post", "rss"
     )
     try:
+        build_start = time.perf_counter()
         sketch = build_sketch(
             args.algorithm, args.eps,
             universe_log2=args.universe_log2, seed=args.seed,
         )
+        build_s = time.perf_counter() - build_start
         if args.input == "-":
             lines: Iterable[str] = stdin
         else:
@@ -116,20 +166,56 @@ def run(argv: Optional[List[str]] = None, stdin=None, stdout=None) -> int:
         if args.input != "-":
             lines.close()
         if sketch.n == 0:
-            print("no input values", file=stdout)
-            return 1
-        for phi, answer in zip(args.phi, sketch.quantiles(args.phi)):
-            print(f"phi={phi:g}\t{answer}", file=stdout)
+            return fail("no input values", 1)
+        query_start = time.perf_counter()
+        answers = sketch.quantiles(args.phi)
+        query_s = time.perf_counter() - query_start
         rate = sketch.n / elapsed / 1e3 if elapsed > 0 else float("inf")
-        print(
-            f"# n={sketch.n} algorithm={sketch.name} eps={args.eps:g} "
-            f"memory={sketch.size_bytes()}B rate={rate:.0f}k/s",
-            file=stdout,
-        )
+        if registry is not None:
+            registry.inc("evaluation.updates", sketch.n, algo=sketch.name)
+            registry.set("evaluation.stream.n", sketch.n)
+            for phase, seconds in (
+                ("build", build_s), ("update", elapsed), ("query", query_s)
+            ):
+                registry.observe(
+                    "evaluation.phase_ns", 1e9 * seconds, phase=phase
+                )
+        if args.as_json:
+            payload = {
+                "algorithm": sketch.name,
+                "eps": args.eps,
+                "n": sketch.n,
+                "quantiles": [
+                    {"phi": phi, "value": _scalar(answer)}
+                    for phi, answer in zip(args.phi, answers)
+                ],
+                "update_time_us": 1e6 * elapsed / sketch.n,
+                "rate_per_s": sketch.n / elapsed if elapsed > 0 else None,
+                "memory_bytes": sketch.size_bytes(),
+                "peak_words": sketch.size_words(),
+                "phases": {
+                    "build_s": build_s,
+                    "update_s": elapsed,
+                    "query_s": query_s,
+                },
+            }
+            if registry is not None:
+                payload.update(metrics_to_json(registry))
+            print(json.dumps(payload), file=stdout)
+        else:
+            for phi, answer in zip(args.phi, answers):
+                print(f"phi={phi:g}\t{answer}", file=stdout)
+            print(
+                f"# n={sketch.n} algorithm={sketch.name} eps={args.eps:g} "
+                f"memory={sketch.size_bytes()}B rate={rate:.0f}k/s",
+                file=stdout,
+            )
+            if registry is not None:
+                print("", file=stdout)
+                print(metrics_report(registry), file=stdout)
         return 0
     except ReproError as exc:
-        print(f"error: {exc}", file=stdout)
-        return 2
+        return fail(str(exc), 2)
 
 
 def main() -> None:  # pragma: no cover - thin wrapper

@@ -35,6 +35,9 @@ import numpy as np
 from repro.cash_register.gk_array import GKArray
 from repro.core.base import validate_eps, validate_phi
 from repro.core.errors import EmptySummaryError, InvalidParameterError
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span
 
 
 class _SiteState:
@@ -94,9 +97,35 @@ class ContinuousQuantileMonitor:
             i: None for i in range(sites)
         }
         self._known_n = 0  # coordinator's count as of the last sync round
-        self.words_sent = 0
-        self.messages_sent = 0
-        self.syncs = 0
+        # Communication accounting lives in a private always-on registry;
+        # the historical fields read through it (mirrored globally when
+        # the process-wide recorder is enabled — see _count).
+        self.metrics = MetricsRegistry()
+
+    def _count(self, metric: str, amount: int = 1) -> None:
+        name = "distributed.monitoring.sync." + metric
+        self.metrics.inc(name, amount)
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc(name, amount)
+
+    @property
+    def words_sent(self) -> int:
+        return int(
+            self.metrics.counter("distributed.monitoring.sync.words").value
+        )
+
+    @property
+    def messages_sent(self) -> int:
+        return int(
+            self.metrics.counter("distributed.monitoring.sync.messages").value
+        )
+
+    @property
+    def syncs(self) -> int:
+        return int(
+            self.metrics.counter("distributed.monitoring.sync.rounds").value
+        )
 
     # ------------------------------------------------------------------
     # site side
@@ -119,19 +148,23 @@ class ContinuousQuantileMonitor:
         return False
 
     def _sync(self, site_id: int) -> None:
-        state = self._sites[site_id]
-        snapshot = _Snapshot(state.summary)
-        self._snapshots[site_id] = snapshot
-        state.synced_n = snapshot.n
-        state.pending = 0
-        self.words_sent += snapshot.size_words()
-        self.messages_sent += 1
-        self.syncs += 1
-        # Coordinator learns the new global count and rebroadcasts it so
-        # every site's threshold tracks N (one word per site).
-        self._known_n = sum(s.synced_n for s in self._sites.values())
-        self.words_sent += self.k
-        self.messages_sent += self.k
+        with span("distributed.monitoring.sync", site=site_id):
+            state = self._sites[site_id]
+            snapshot = _Snapshot(state.summary)
+            self._snapshots[site_id] = snapshot
+            state.synced_n = snapshot.n
+            state.pending = 0
+            self._count("words", snapshot.size_words())
+            self._count("messages")
+            self._count("rounds")
+            # Coordinator learns the new global count and rebroadcasts it
+            # so every site's threshold tracks N (one word per site).
+            self._known_n = sum(s.synced_n for s in self._sites.values())
+            self._count("words", self.k)
+            self._count("messages", self.k)
+            rec = obs_metrics.recorder()
+            if rec.enabled:
+                rec.set("distributed.monitoring.known_n", self._known_n)
 
     # ------------------------------------------------------------------
     # coordinator side

@@ -30,6 +30,9 @@ import numpy as np
 
 from repro.core.errors import CorruptSummaryError, InvalidParameterError
 from repro.distributed.faults import FaultInjector, FaultPlan
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span
 from repro.sketches.hashing import make_rng
 
 
@@ -103,23 +106,71 @@ class AggregationNetwork:
         for site in self.sites.values():
             if site.parent is not None:
                 self.sites[site.parent].children.append(site.site_id)
-        self.words_sent = 0
-        self.messages_sent = 0
-        # Reliable-transport state and metering (all zero / inert until a
-        # fault injector is attached).
+        # All communication accounting lives in a private, always-on
+        # registry; the historical integer fields read through it as
+        # properties.  When the process-wide recorder is enabled the same
+        # writes are mirrored there (see _count).
+        self.metrics = MetricsRegistry()
+        # Reliable-transport state (inert until a fault injector is
+        # attached).
         self.clock = SimClock()
-        self.retransmitted_words = 0
-        self.retransmissions = 0
-        self.acks_sent = 0
-        self.drops = 0
-        self.duplicates_suppressed = 0
-        self.corruptions_detected = 0
         self.injector: Optional[FaultInjector] = None
         self._seq: Dict[Tuple[int, int], int] = {}
         self._seen: Set[Tuple[int, int, int]] = set()
         self._sends_completed: Dict[int, int] = {}
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.set("distributed.net.sites", len(self.sites))
         if faults is not None:
             self.attach_faults(faults)
+
+    # ------------------------------------------------------------------
+    # communication accounting
+    # ------------------------------------------------------------------
+
+    def _count(self, metric: str, amount: int = 1) -> None:
+        """Bump a private counter, mirroring into the global recorder."""
+        name = "distributed.net." + metric
+        self.metrics.inc(name, amount)
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc(name, amount)
+
+    def _counter_value(self, metric: str) -> int:
+        return int(self.metrics.counter("distributed.net." + metric).value)
+
+    @property
+    def words_sent(self) -> int:
+        """First-attempt payload words (the paper's accounting)."""
+        return self._counter_value("words_sent")
+
+    @property
+    def messages_sent(self) -> int:
+        return self._counter_value("messages_sent")
+
+    @property
+    def retransmitted_words(self) -> int:
+        return self._counter_value("retransmitted_words")
+
+    @property
+    def retransmissions(self) -> int:
+        return self._counter_value("retransmissions")
+
+    @property
+    def acks_sent(self) -> int:
+        return self._counter_value("acks_sent")
+
+    @property
+    def drops(self) -> int:
+        return self._counter_value("drops")
+
+    @property
+    def duplicates_suppressed(self) -> int:
+        return self._counter_value("duplicates_suppressed")
+
+    @property
+    def corruptions_detected(self) -> int:
+        return self._counter_value("corruptions_detected")
 
     def attach_faults(self, faults) -> FaultInjector:
         """Attach a :class:`FaultPlan`/:class:`FaultInjector` and return it.
@@ -173,8 +224,8 @@ class AggregationNetwork:
         """Meter one upward message of ``payload_words`` words."""
         if payload_words < 0:
             raise InvalidParameterError("payload_words must be >= 0")
-        self.words_sent += payload_words
-        self.messages_sent += 1
+        self._count("words_sent", payload_words)
+        self._count("messages_sent")
 
     def transmit(
         self,
@@ -232,6 +283,22 @@ class AggregationNetwork:
                 payload = decode(blob) if decode is not None else blob
             return TransmitResult(True, 1, payload)
 
+        with span("distributed.transmit", src=src, dst=dst):
+            result = self._transmit_reliable(src, dst, payload_words, blob, decode)
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.observe("distributed.net.transmit_attempts", result.attempts)
+            rec.set("distributed.net.sim_clock_s", self.clock.now)
+        return result
+
+    def _transmit_reliable(
+        self,
+        src: int,
+        dst: int,
+        payload_words: int,
+        blob: Optional[bytes],
+        decode: Optional[Callable[[bytes], object]],
+    ) -> TransmitResult:
         injector = self.injector
         plan = injector.plan
         seq = self._seq.get((src, dst), 0)
@@ -243,14 +310,16 @@ class AggregationNetwork:
             if attempt == 0:
                 self.send(payload_words)
             else:
-                self.clock.advance(injector.backoff_delay(attempt))
-                self.retransmitted_words += payload_words
-                self.retransmissions += 1
+                delay = injector.backoff_delay(attempt)
+                self.clock.advance(delay)
+                self._count("backoff_wait_s", delay)
+                self._count("retransmitted_words", payload_words)
+                self._count("retransmissions")
             if dst_crashed:
                 continue  # transmitting into the void; no ack ever comes
             decision = injector.decide(src, dst, seq, attempt)
             if decision.drop:
-                self.drops += 1
+                self._count("drops")
                 continue
             copies = 2 if decision.duplicate else 1
             accepted = None
@@ -269,23 +338,23 @@ class AggregationNetwork:
                     try:
                         payload = decode(delivered)
                     except CorruptSummaryError:
-                        self.corruptions_detected += 1
+                        self._count("corruptions_detected")
                         continue  # receiver nacks this copy
                 elif decision.corrupt and copy == 0:
                     # Accounting-only payload: model the checksum check.
-                    self.corruptions_detected += 1
+                    self._count("corruptions_detected")
                     continue
                 else:
                     payload = delivered
                 if (src, dst, seq) in self._seen:
-                    self.duplicates_suppressed += 1
+                    self._count("duplicates_suppressed")
                     acked = True  # duplicate is still acknowledged
                     continue
                 self._seen.add((src, dst, seq))
                 accepted = payload
                 acked = True
             if acked:
-                self.acks_sent += 1
+                self._count("acks_sent")
                 return TransmitResult(True, attempt + 1, accepted)
         return TransmitResult(
             False,

@@ -29,6 +29,8 @@ from repro.core.errors import InvalidParameterError
 from repro.core.registry import get_algorithm
 from repro.evaluation.metrics import ErrorReport, measure_errors
 from repro.evaluation.space import PeakSpaceTracker
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 
 #: Constructor parameter names understood by fixed-universe algorithms.
 _UNIVERSE_PARAM = "universe_log2"
@@ -96,34 +98,66 @@ def feed_stream(
     data: np.ndarray,
     deletions: Optional[np.ndarray] = None,
     chunk: int = 4096,
+    timings: Optional[Dict[str, float]] = None,
 ) -> tuple:
     """Feed a stream (and optional trailing deletions) through a sketch.
 
-    Returns ``(seconds, peak_words)``.  Uses the vectorized batch path for
-    turnstile sketches and chunked ``extend`` otherwise, sampling peak
-    space between chunks.
+    Returns ``(update_seconds, peak_words)``.  Uses the vectorized batch
+    path for turnstile sketches and chunked ``extend`` otherwise, sampling
+    peak space between chunks.
+
+    ``update_seconds`` covers only the sketch updates: space sampling
+    between chunks is timed separately, so the meter's own cost no longer
+    inflates the per-element update time.  Pass a dict as ``timings`` to
+    receive the breakdown (``update_s``, ``sample_s``).
     """
     tracker = PeakSpaceTracker(sketch)
     is_turnstile = isinstance(sketch, TurnstileSketch)
-    start = time.perf_counter()
-    for lo in range(0, len(data), chunk):
-        part = data[lo : lo + chunk]
-        if is_turnstile:
+    rec = obs_metrics.recorder()
+    update_s = 0.0
+    sample_s = 0.0
+
+    def feed_part(part, delta=None) -> None:
+        nonlocal update_s, sample_s
+        start = time.perf_counter()
+        if delta is not None:
+            sketch.update_batch(part, delta)
+        elif is_turnstile:
             sketch.update_batch(part)
         else:
             sketch.extend(part.tolist())
+        mid = time.perf_counter()
         tracker.sample()
-    if deletions is not None and len(deletions):
-        if not is_turnstile:
-            raise InvalidParameterError(
-                f"{sketch.name} cannot process deletions"
+        done = time.perf_counter()
+        update_s += mid - start
+        sample_s += done - mid
+        if rec.enabled:
+            rec.observe(
+                "evaluation.chunk_update_ns",
+                1e9 * (mid - start),
+                algo=sketch.name,
             )
-        for lo in range(0, len(deletions), chunk):
-            sketch.update_batch(deletions[lo : lo + chunk], -1)
-            tracker.sample()
-    elapsed = time.perf_counter() - start
-    tracker.sample()
-    return elapsed, tracker.peak_words
+
+    with span("evaluation.feed_stream", algo=sketch.name, n=len(data)):
+        for lo in range(0, len(data), chunk):
+            feed_part(data[lo : lo + chunk])
+        if deletions is not None and len(deletions):
+            if not is_turnstile:
+                raise InvalidParameterError(
+                    f"{sketch.name} cannot process deletions"
+                )
+            for lo in range(0, len(deletions), chunk):
+                feed_part(deletions[lo : lo + chunk], -1)
+        start = time.perf_counter()
+        tracker.sample()
+        sample_s += time.perf_counter() - start
+    if rec.enabled:
+        total = len(data) + (len(deletions) if deletions is not None else 0)
+        rec.inc("evaluation.updates", total, algo=sketch.name)
+    if timings is not None:
+        timings["update_s"] = update_s
+        timings["sample_s"] = sample_s
+    return update_s, tracker.peak_words
 
 
 def run_experiment(
@@ -136,6 +170,7 @@ def run_experiment(
     seed: int = 0,
     max_queries: int = 499,
     post_process: bool = False,
+    collect_metrics: bool = False,
     **kwargs,
 ) -> RunResult:
     """Run one full measurement: build, stream, and evaluate.
@@ -153,9 +188,17 @@ def run_experiment(
         seed: base seed; repeat ``i`` uses ``seed + 1000 * i``.
         max_queries: cap on the phi grid (see metrics.phi_grid).
         post_process: evaluate through the OLS snapshot (DCS only).
+        collect_metrics: enable the process-wide metrics recorder for
+            this run (it stays enabled afterwards so the caller can
+            export; see :mod:`repro.obs`).
         **kwargs: forwarded to the algorithm constructor (width, depth,
             eta, ...).
+
+    The per-phase wall-clock breakdown of the first repeat (``build_s``,
+    ``update_s``, ``sample_s``, ``query_s``) lands in ``RunResult.extra``.
     """
+    if collect_metrics:
+        obs_metrics.enable()
     if deletions is not None and len(deletions):
         counts: Dict[int, int] = {}
         for v in data.tolist():
@@ -178,23 +221,49 @@ def run_experiment(
     max_errors = []
     avg_errors = []
     elapsed = peak = None
+    phases: Dict[str, float] = {}
     for i in range(effective_repeats):
+        build_start = time.perf_counter()
         sketch = build_sketch(
             algorithm, eps, universe_log2, seed + 1000 * i, **kwargs
         )
-        run_elapsed, run_peak = feed_stream(sketch, data, deletions)
-        if elapsed is None:
-            elapsed, peak = run_elapsed, run_peak
+        build_s = time.perf_counter() - build_start
+        timings: Dict[str, float] = {}
+        run_elapsed, run_peak = feed_stream(
+            sketch, data, deletions, timings=timings
+        )
         target = sketch
         if post_process:
             target = sketch.post_processed(eta=post_eta)
-        report: ErrorReport = measure_errors(
-            target, sorted_truth, eps, max_queries
-        )
+        query_start = time.perf_counter()
+        with span("evaluation.measure_errors", algo=sketch.name):
+            report: ErrorReport = measure_errors(
+                target, sorted_truth, eps, max_queries
+            )
+        query_s = time.perf_counter() - query_start
+        if elapsed is None:
+            elapsed, peak = run_elapsed, run_peak
+            phases = {
+                "build_s": build_s,
+                "update_s": timings["update_s"],
+                "sample_s": timings["sample_s"],
+                "query_s": query_s,
+            }
         max_errors.append(report.max_error)
         avg_errors.append(report.avg_error)
 
     n_effective = len(sorted_truth)
+    rec = obs_metrics.recorder()
+    if rec.enabled:
+        rec.inc("evaluation.runs", 1, algo=algorithm)
+        rec.set("evaluation.stream.n", len(data))
+        for phase_name, seconds in phases.items():
+            rec.observe(
+                "evaluation.phase_ns",
+                1e9 * seconds,
+                phase=phase_name[:-2],
+                algo=algorithm,
+            )
     return RunResult(
         algorithm=algorithm + ("+post" if post_process else ""),
         eps=eps,
@@ -204,6 +273,7 @@ def run_experiment(
         max_error=float(np.mean(max_errors)),
         avg_error=float(np.mean(avg_errors)),
         repeats=effective_repeats,
+        extra=phases,
     )
 
 

@@ -1,0 +1,50 @@
+"""Observability: metrics registry, tracing spans, exposition.
+
+The instrumentation substrate every other package records into.  See
+``docs/observability.md`` for the API, naming conventions, and measured
+overhead of the disabled path.
+"""
+
+from repro.obs.export import report, to_json, to_prometheus
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_RECORDER,
+    NullRecorder,
+    collecting,
+    disable,
+    enable,
+    preregister_defaults,
+    recorder,
+)
+from repro.obs.trace import (
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Tracer",
+    "collecting",
+    "disable",
+    "disable_tracing",
+    "enable",
+    "enable_tracing",
+    "preregister_defaults",
+    "recorder",
+    "report",
+    "span",
+    "to_json",
+    "to_prometheus",
+    "tracer",
+]

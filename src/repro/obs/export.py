@@ -1,0 +1,118 @@
+"""Exposition: Prometheus text format, JSON, and a human report table.
+
+Three consumers, three formats:
+
+* :func:`to_prometheus` — the Prometheus text exposition format (names
+  sanitized, ``repro_`` prefix, histogram ``_bucket``/``_sum``/
+  ``_count`` series with cumulative ``le`` bounds) for scraping.
+* :func:`to_json` — a JSON-ready dict for machine pipelines (the CLI's
+  ``--json --metrics`` output embeds it).
+* :func:`report` — a grouped, aligned table for humans (what
+  ``python -m repro --metrics`` prints after a run).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _prom_labels(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _num(value) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every instrument in the Prometheus text format."""
+    lines: List[str] = []
+    typed: set = set()
+    for inst in registry.instruments():
+        name = _prom_name(inst.name)
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {inst.kind}")
+        if isinstance(inst, Histogram):
+            cum = 0
+            for bound, count in zip(inst.BOUNDS, inst.buckets):
+                cum += count
+                le = _prom_labels(tuple(inst.labels) + (("le", _num(bound)),))
+                lines.append(f"{name}_bucket{le} {cum}")
+            le = _prom_labels(tuple(inst.labels) + (("le", "+Inf"),))
+            lines.append(f"{name}_bucket{le} {inst.count}")
+            lines.append(
+                f"{name}_sum{_prom_labels(inst.labels)} {_num(inst.total)}"
+            )
+            lines.append(
+                f"{name}_count{_prom_labels(inst.labels)} {inst.count}"
+            )
+        else:
+            lines.append(
+                f"{name}{_prom_labels(inst.labels)} {_num(inst.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(registry: MetricsRegistry) -> Dict[str, object]:
+    """A JSON-ready snapshot of the whole registry."""
+    return {"metrics": registry.snapshot()}
+
+
+def _fmt(value) -> str:
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e4 or abs(value) < 1e-2:
+        return f"{value:.3g}"
+    return f"{value:.4g}".rstrip("0").rstrip(".")
+
+
+def _subsystem(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def report(registry: MetricsRegistry, title: str = "metrics report") -> str:
+    """A human-readable table, grouped by subsystem (the name's first
+    dotted segment), one line per instrument."""
+    groups: Dict[str, List[object]] = {}
+    for inst in registry.instruments():
+        groups.setdefault(_subsystem(inst.name), []).append(inst)
+    lines = [title, "=" * len(title)]
+    for subsystem in sorted(groups):
+        lines.append("")
+        lines.append(f"[{subsystem}]")
+        for inst in groups[subsystem]:
+            labels = " ".join(f"{k}={v}" for k, v in inst.labels) or "-"
+            if isinstance(inst, Histogram):
+                summary = (
+                    f"count={inst.count} mean={_fmt(inst.mean)} "
+                    f"p50={_fmt(inst.quantile(0.5))} "
+                    f"p99={_fmt(inst.quantile(0.99))} "
+                    f"max={_fmt(inst.max if inst.count else 0)}"
+                )
+            else:
+                summary = _fmt(inst.value)
+            lines.append(
+                f"  {inst.kind:<9} {inst.name:<40} {labels:<24} {summary}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,405 @@
+"""A process-local metrics registry: counters, gauges, histograms.
+
+The paper's whole contribution is *measurement*, yet end-of-run
+aggregates cannot explain behaviour dominated by rare expensive
+operations — a GKArray flush, a q-digest COMPRESS, a burst of
+retransmissions.  This module provides the substrate every subsystem
+records into:
+
+* :class:`Counter` — a monotonically increasing total (events, words).
+* :class:`Gauge` — a point-in-time value (live tuples, simulated clock).
+* :class:`Histogram` — a distribution over fixed log-scale (power-of-2)
+  buckets, no dependencies, O(1) per observation.
+
+Instruments are addressed by ``name`` plus optional ``labels`` (kwargs);
+the same ``(name, labels)`` pair always returns the same instrument.
+Names follow ``<subsystem>.<component>.<metric>`` with the subsystem
+matching the package that emits it (``cash_register``, ``sketches``,
+``distributed``, ``evaluation``), and duration histograms end in a unit
+suffix (``_ns``).
+
+Instrumentation must cost nothing when nobody is looking.  The module
+keeps one process-wide recorder, defaulting to :data:`NULL_RECORDER`
+whose methods are all no-ops — a call site pays one global lookup and
+one no-op method call, and call sites on hot paths additionally guard on
+``recorder().enabled`` so they skip even argument construction.  Enable
+collection with :func:`enable` (or the :func:`collecting` context
+manager) and read the active recorder back with :func:`recorder`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import contextlib
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.errors import InvalidParameterError
+
+LabelItems = Tuple[Tuple[str, object], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelItems:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise InvalidParameterError(
+                f"counter {self.name!r} cannot decrease (inc {amount!r})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def dec(self, amount=1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A distribution over fixed log-scale buckets.
+
+    Bucket ``i`` counts observations ``v <= 2**i`` (the first bucket
+    catches everything at or below 1, an overflow bucket everything above
+    ``2**40``).  Powers of two keep the mapping a single ``bisect`` with
+    no per-histogram configuration, and 41 buckets span a nanosecond to
+    ~18 minutes — wide enough for any duration or size this library
+    observes.
+    """
+
+    kind = "histogram"
+    #: Upper bounds of the regular buckets: 2**0 .. 2**40.
+    BOUNDS: Tuple[float, ...] = tuple(float(1 << i) for i in range(41))
+
+    __slots__ = ("name", "labels", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.buckets: List[int] = [0] * (len(self.BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value) -> None:
+        """Record one observation (any real number; <= 1 lands in the
+        first bucket, > 2**40 in the overflow bucket)."""
+        value = float(value)
+        self.buckets[bisect.bisect_left(self.BOUNDS, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile from the buckets (geometric bucket
+        midpoint, clamped to the observed min/max)."""
+        if not (0.0 <= q <= 1.0):
+            raise InvalidParameterError(f"q must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = 0
+        for i, c in enumerate(self.buckets):
+            cum += c
+            if cum >= target and c:
+                hi = self.BOUNDS[i] if i < len(self.BOUNDS) else self.max
+                lo = self.BOUNDS[i - 1] if i > 0 else min(self.min, hi)
+                mid = math.sqrt(max(lo, 1e-12) * max(hi, 1e-12))
+                return min(max(mid, self.min), self.max)
+        return self.max
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+
+class MetricsRegistry:
+    """Process-local store of instruments, keyed by name + labels.
+
+    ``counter``/``gauge``/``histogram`` get-or-create; asking for an
+    existing name with a different kind raises (one name, one kind — the
+    Prometheus rule).  The convenience one-liners ``inc``/``set``/
+    ``observe`` are what instrumented code calls.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelItems], object] = {}
+        self._kind_of: Dict[str, type] = {}
+
+    def _get(self, cls: type, name: str, labels: Dict[str, object]):
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            seen = self._kind_of.get(name)
+            if seen is not None and seen is not cls:
+                raise InvalidParameterError(
+                    f"metric {name!r} already registered as {seen.kind}, "
+                    f"requested as {cls.kind}"
+                )
+            self._kind_of[name] = cls
+            inst = cls(name, key[1])
+            self._instruments[key] = inst
+        elif type(inst) is not cls:
+            raise InvalidParameterError(
+                f"metric {name!r} already registered as {inst.kind}, "
+                f"requested as {cls.kind}"
+            )
+        return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def inc(self, name: str, amount=1, **labels) -> None:
+        self._get(Counter, name, labels).inc(amount)
+
+    def set(self, name: str, value, **labels) -> None:
+        self._get(Gauge, name, labels).set(value)
+
+    def observe(self, name: str, value, **labels) -> None:
+        self._get(Histogram, name, labels).observe(value)
+
+    def get(self, name: str, **labels):
+        """The instrument at ``(name, labels)``, or None if never touched."""
+        return self._instruments.get((name, _label_key(labels)))
+
+    def instruments(self) -> Iterator[object]:
+        """All instruments, sorted by (name, labels) for stable export."""
+        for key in sorted(self._instruments, key=lambda k: (k[0], repr(k[1]))):
+            yield self._instruments[key]
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """JSON-ready dump of every instrument (see also obs.export)."""
+        out: List[Dict[str, object]] = []
+        for inst in self.instruments():
+            entry: Dict[str, object] = {
+                "name": inst.name,
+                "kind": inst.kind,
+                "labels": dict(inst.labels),
+            }
+            if isinstance(inst, Histogram):
+                entry.update(
+                    count=inst.count,
+                    sum=inst.total,
+                    mean=inst.mean,
+                    min=inst.min if inst.count else 0.0,
+                    max=inst.max if inst.count else 0.0,
+                    p50=inst.quantile(0.5),
+                    p99=inst.quantile(0.99),
+                )
+            else:
+                entry["value"] = inst.value
+            out.append(entry)
+        return out
+
+    def clear(self) -> None:
+        self._instruments.clear()
+        self._kind_of.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+class _NullInstrument:
+    """Accepts every mutation and does nothing."""
+
+    kind = "null"
+    name = ""
+    labels: LabelItems = ()
+    value = 0
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def dec(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRecorder:
+    """The disabled recorder: every operation is a no-op.
+
+    Instrumented call sites either call straight through (rare paths) or
+    check :attr:`enabled` first (hot paths); both cost a dict lookup and
+    at most one no-op call.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def inc(self, name: str, amount=1, **labels) -> None:
+        pass
+
+    def set(self, name: str, value, **labels) -> None:
+        pass
+
+    def observe(self, name: str, value, **labels) -> None:
+        pass
+
+    def get(self, name: str, **labels) -> None:
+        return None
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        return []
+
+
+#: The process-wide default recorder; all instrumentation is a no-op
+#: until :func:`enable` swaps in a real :class:`MetricsRegistry`.
+NULL_RECORDER = NullRecorder()
+
+_recorder = NULL_RECORDER
+
+
+def recorder():
+    """The active recorder: a :class:`MetricsRegistry` when collection is
+    enabled, :data:`NULL_RECORDER` otherwise."""
+    return _recorder
+
+
+#: Instrument families declared up front on :func:`enable` so exports
+#: never have holes: a run that exercises no distributed code still
+#: reports the distributed families at zero (the Prometheus convention).
+DEFAULT_INSTRUMENTS: Tuple[Tuple[str, str], ...] = (
+    ("counter", "cash_register.buffer_flush"),
+    ("counter", "cash_register.buffer_seal"),
+    ("counter", "cash_register.collapse"),
+    ("counter", "cash_register.compactions"),
+    ("counter", "cash_register.compress"),
+    ("counter", "cash_register.pruned_tuples"),
+    ("gauge", "cash_register.buffers"),
+    ("gauge", "cash_register.tuples"),
+    ("histogram", "cash_register.flush_ns"),
+    ("histogram", "cash_register.compress_ns"),
+    ("counter", "sketches.hash_evals"),
+    ("counter", "sketches.row_updates"),
+    ("counter", "sketches.rank_evals"),
+    ("histogram", "sketches.query_ns"),
+    ("counter", "distributed.net.words_sent"),
+    ("counter", "distributed.net.messages_sent"),
+    ("counter", "distributed.net.retransmitted_words"),
+    ("counter", "distributed.net.retransmissions"),
+    ("counter", "distributed.net.acks_sent"),
+    ("counter", "distributed.net.drops"),
+    ("counter", "distributed.net.duplicates_suppressed"),
+    ("counter", "distributed.net.corruptions_detected"),
+    ("counter", "distributed.net.backoff_wait_s"),
+    ("gauge", "distributed.net.sites"),
+    ("gauge", "distributed.net.sim_clock_s"),
+    ("histogram", "distributed.net.transmit_attempts"),
+    ("counter", "distributed.monitoring.sync.words"),
+    ("counter", "distributed.monitoring.sync.messages"),
+    ("counter", "distributed.monitoring.sync.rounds"),
+    ("gauge", "distributed.monitoring.known_n"),
+    ("counter", "evaluation.updates"),
+    ("counter", "evaluation.runs"),
+    ("gauge", "evaluation.stream.n"),
+    ("histogram", "evaluation.phase_ns"),
+    ("histogram", "evaluation.chunk_update_ns"),
+)
+
+
+def preregister_defaults(registry: MetricsRegistry) -> None:
+    """Create the known instrument families (unlabeled series) at zero."""
+    for kind, name in DEFAULT_INSTRUMENTS:
+        registry._get(_KINDS[kind], name, {})
+
+
+def enable(
+    registry: Optional[MetricsRegistry] = None, preregister: bool = True
+) -> MetricsRegistry:
+    """Start collecting into ``registry`` (a fresh one, or the already
+    active one, when None) and return it."""
+    global _recorder
+    if registry is None:
+        registry = (
+            _recorder
+            if isinstance(_recorder, MetricsRegistry)
+            else MetricsRegistry()
+        )
+    elif not isinstance(registry, MetricsRegistry):
+        raise InvalidParameterError(
+            f"expected a MetricsRegistry, got {type(registry).__name__}"
+        )
+    if preregister:
+        preregister_defaults(registry)
+    _recorder = registry
+    return registry
+
+
+def disable() -> None:
+    """Stop collecting: instrumentation reverts to no-ops."""
+    global _recorder
+    _recorder = NULL_RECORDER
+
+
+@contextlib.contextmanager
+def collecting(
+    registry: Optional[MetricsRegistry] = None, preregister: bool = True
+):
+    """Context manager: enable collection, restore the previous recorder
+    on exit, yield the registry."""
+    global _recorder
+    previous = _recorder
+    reg = enable(registry, preregister)
+    try:
+        yield reg
+    finally:
+        _recorder = previous

@@ -1,0 +1,163 @@
+"""Lightweight tracing spans exported as JSONL events.
+
+Metrics answer "how many / how long in aggregate"; traces answer *when*
+— which update paid for a compress, how deep the retransmission storm
+nested inside one aggregation round.  A span is a ``with`` block::
+
+    from repro.obs import span
+
+    with span("cash_register.flush", algo="GKArray"):
+        ...  # timed with perf_counter_ns, nesting tracked
+
+Spans are no-ops (a shared, stateless null context manager) until
+:func:`enable_tracing` installs a :class:`Tracer`.  Each completed span
+becomes one JSON object — ``name``, ``start_ns`` (relative to tracer
+start), ``duration_ns``, ``depth``, ``labels`` — appended to the
+tracer's event list and written out as one JSONL line per span by
+:meth:`Tracer.write`.  The event buffer is bounded: past ``max_events``
+further spans are counted in ``dropped`` instead of stored, so a long
+run can never exhaust memory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+from repro.core.errors import InvalidParameterError
+
+
+class Tracer:
+    """Collects completed spans as JSON-ready event dicts.
+
+    Args:
+        max_events: cap on stored events; extra spans increment
+            ``dropped`` instead (bounded memory on long runs).
+        clock: nanosecond clock, injectable for tests.
+    """
+
+    def __init__(self, max_events: int = 100_000, clock=None) -> None:
+        if max_events < 1:
+            raise InvalidParameterError(
+                f"max_events must be >= 1, got {max_events!r}"
+            )
+        self._clock = clock if clock is not None else time.perf_counter_ns
+        self._origin = self._clock()
+        self._depth = 0
+        self.max_events = max_events
+        self.events: List[Dict[str, object]] = []
+        self.dropped = 0
+
+    def span(self, name: str, labels: Optional[Dict[str, object]] = None):
+        """An active span context manager (prefer the module-level
+        :func:`span`, which is a no-op when tracing is disabled)."""
+        return _Span(self, name, labels or {})
+
+    def _record(
+        self,
+        name: str,
+        start_ns: int,
+        end_ns: int,
+        depth: int,
+        labels: Dict[str, object],
+    ) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            {
+                "name": name,
+                "start_ns": start_ns - self._origin,
+                "duration_ns": end_ns - start_ns,
+                "depth": depth,
+                "labels": labels,
+            }
+        )
+
+    def to_jsonl(self) -> str:
+        """All events, one JSON object per line."""
+        return "\n".join(json.dumps(event) for event in self.events)
+
+    def write(self, path) -> int:
+        """Write the JSONL trace to ``path``; returns the event count."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as fh:
+            if text:
+                fh.write(text + "\n")
+        return len(self.events)
+
+
+class _Span:
+    """One active span; records itself on ``__exit__``."""
+
+    __slots__ = ("_tracer", "_name", "_labels", "_start")
+
+    def __init__(self, tracer: Tracer, name: str, labels: Dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._labels = labels
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        tracer._depth += 1
+        self._start = tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        end = tracer._clock()
+        tracer._depth -= 1
+        tracer._record(
+            self._name, self._start, end, tracer._depth, self._labels
+        )
+        return False
+
+
+class _NullSpan:
+    """Shared stateless no-op context manager for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+_tracer: Optional[Tracer] = None
+
+
+def tracer() -> Optional[Tracer]:
+    """The active tracer, or None when tracing is disabled."""
+    return _tracer
+
+
+def enable_tracing(instance: Optional[Tracer] = None) -> Tracer:
+    """Install (and return) the active tracer; a fresh one when None."""
+    global _tracer
+    if instance is None:
+        instance = _tracer if _tracer is not None else Tracer()
+    elif not isinstance(instance, Tracer):
+        raise InvalidParameterError(
+            f"expected a Tracer, got {type(instance).__name__}"
+        )
+    _tracer = instance
+    return instance
+
+
+def disable_tracing() -> None:
+    """Uninstall the tracer: spans revert to no-ops."""
+    global _tracer
+    _tracer = None
+
+
+def span(name: str, **labels):
+    """A timing span around a ``with`` block; no-op unless tracing is on."""
+    active = _tracer
+    if active is None:
+        return _NULL_SPAN
+    return _Span(active, name, labels)

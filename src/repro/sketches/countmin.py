@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.errors import InvalidParameterError
+from repro.obs import metrics as obs_metrics
 from repro.sketches.hashing import ArrayLike, KWiseHash, make_rng
 
 
@@ -66,6 +67,11 @@ class CountMinSketch:
         )
         for i, h in enumerate(self._hashes):
             np.add.at(self._table[i], h(keys), deltas)
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            touched = self.depth * int(keys.size)
+            rec.inc("sketches.row_updates", touched, sketch="countmin")
+            rec.inc("sketches.hash_evals", touched, sketch="countmin")
 
     def estimate(self, key: int) -> int:
         """Point estimate of the frequency of ``key`` (min over rows)."""

@@ -24,6 +24,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.errors import InvalidParameterError
+from repro.obs import metrics as obs_metrics
 from repro.sketches.hashing import ArrayLike, KWiseHash, SignHash, make_rng
 
 
@@ -73,6 +74,12 @@ class CountSketch:
         for i in range(self.depth):
             signed = self._signs[i](keys) * deltas
             np.add.at(self._table[i], self._hashes[i](keys), signed)
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            touched = self.depth * int(keys.size)
+            rec.inc("sketches.row_updates", touched, sketch="countsketch")
+            # Each row evaluates both the bucket hash and the sign hash.
+            rec.inc("sketches.hash_evals", 2 * touched, sketch="countsketch")
 
     def estimate(self, key: int) -> int:
         """Point estimate of the frequency of ``key``: median over rows of

@@ -21,6 +21,7 @@ accounting — lives here.
 from __future__ import annotations
 
 import math
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -32,6 +33,8 @@ from repro.core.base import (
     validate_universe_log2,
 )
 from repro.core.errors import CorruptSummaryError, UniverseOverflowError
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.sketches.exact_counter import ExactCounter
 from repro.sketches.hashing import make_rng
 
@@ -166,14 +169,26 @@ class DyadicQuantiles(TurnstileSketch):
         validate_phi(phi)
         self._require_nonempty()
         target = max(1, math.ceil(phi * self._n))
-        lo, hi = 0, self.universe - 1
-        while lo < hi:
-            mid = (lo + hi) // 2
-            # rank(mid + 1) estimates the count of elements <= mid.
-            if self.rank(mid + 1) < target:
-                lo = mid + 1
-            else:
-                hi = mid
+        start_ns = time.perf_counter_ns()
+        rank_evals = 0
+        with span("turnstile.query", algo=self.name, phi=phi):
+            lo, hi = 0, self.universe - 1
+            while lo < hi:
+                mid = (lo + hi) // 2
+                # rank(mid + 1) estimates the count of elements <= mid.
+                rank_evals += 1
+                if self.rank(mid + 1) < target:
+                    lo = mid + 1
+                else:
+                    hi = mid
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc("sketches.rank_evals", rank_evals, sketch=self.name)
+            rec.observe(
+                "sketches.query_ns",
+                time.perf_counter_ns() - start_ns,
+                sketch=self.name,
+            )
         return lo
 
     # -- introspection ----------------------------------------------------

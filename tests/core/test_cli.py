@@ -73,6 +73,83 @@ class TestCLI:
         ]
         assert phi_lines(out1) == phi_lines(out2)
 
+    def test_json_output(self) -> None:
+        import json
+
+        data = "\n".join(str(x) for x in range(1, 101))
+        code, out = _run(["--json", "--eps", "0.01", "--phi", "0.5"], data)
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["algorithm"] == "GKArray"
+        assert payload["n"] == 100
+        assert len(payload["quantiles"]) == 1
+        assert abs(payload["quantiles"][0]["value"] - 50) <= 2
+        assert payload["update_time_us"] > 0
+        assert set(payload["phases"]) == {"build_s", "update_s", "query_s"}
+        assert "metrics" not in payload
+
+    def test_json_with_metrics(self) -> None:
+        import json
+
+        data = "\n".join(str(x) for x in range(1000))
+        code, out = _run(["--json", "--metrics", "--phi", "0.5"], data)
+        assert code == 0
+        payload = json.loads(out)
+        names = {m["name"] for m in payload["metrics"]}
+        assert "cash_register.buffer_flush" in names
+        assert "distributed.net.words_sent" in names
+        assert "evaluation.updates" in names
+
+    def test_json_error_object(self) -> None:
+        import json
+
+        code, out = _run(["--json"], "")
+        assert code == 1
+        assert json.loads(out) == {"error": "no input values"}
+        code, out = _run(["--json"], "1\nbanana\n")
+        assert code == 2
+        assert "line 2" in json.loads(out)["error"]
+
+    def test_metrics_report_spans_subsystems(self) -> None:
+        data = "\n".join(str(x) for x in range(2000))
+        code, out = _run(
+            ["--metrics", "--eps", "0.01", "--phi", "0.5"], data
+        )
+        assert code == 0
+        # The normal report is intact...
+        assert out.splitlines()[0].startswith("phi=")
+        assert "n=2000" in out
+        # ...and the metrics report follows, covering at least a counter,
+        # a gauge, and a histogram across three subsystems.
+        assert "metrics report" in out
+        for section in ("[cash_register]", "[distributed]", "[evaluation]"):
+            assert section in out
+        for kind in ("counter", "gauge", "histogram"):
+            assert kind in out
+
+    def test_metrics_does_not_leak_recorder(self) -> None:
+        from repro.obs import metrics as obs_metrics
+
+        assert not obs_metrics.recorder().enabled
+        data = "\n".join(str(x) for x in range(100))
+        code, _ = _run(["--metrics", "--phi", "0.5"], data)
+        assert code == 0
+        assert not obs_metrics.recorder().enabled
+
+    def test_trace_written(self, tmp_path) -> None:
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        data = "\n".join(str(x) for x in range(5000))
+        code, _ = _run(
+            ["--trace", str(path), "--eps", "0.01", "--phi", "0.5"], data
+        )
+        assert code == 0
+        events = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert events, "expected at least one flush span"
+        assert all("duration_ns" in e for e in events)
+        assert any(e["name"] == "cash_register.flush" for e in events)
+
     def test_parser_rejects_bad_phi(self) -> None:
         with pytest.raises(SystemExit):
             make_parser().parse_args(["--phi", "1.5"])

@@ -7,6 +7,7 @@ import pytest
 
 from repro.core import EmptySummaryError, InvalidParameterError
 from repro.distributed.monitoring import ContinuousQuantileMonitor
+from repro.obs import metrics as obs_metrics
 
 PHIS = [0.1, 0.25, 0.5, 0.75, 0.9]
 
@@ -102,6 +103,47 @@ class TestCommunication:
                 monitor.observe(s, int(x))
             costs[eps] = monitor.words_sent
         assert costs[0.02] > costs[0.1]
+
+
+class TestMetricsAccounting:
+    def _drive(self, monitor, rng, n=5_000) -> None:
+        data = rng.integers(0, 1 << 16, size=n, dtype=np.int64)
+        site_of = rng.integers(0, monitor.k, size=n)
+        for x, s in zip(data.tolist(), site_of.tolist()):
+            monitor.observe(s, int(x))
+
+    def test_fields_read_through_private_registry(self, rng) -> None:
+        monitor = ContinuousQuantileMonitor(sites=4, eps=0.1)
+        self._drive(monitor, rng)
+        assert monitor.syncs > 0
+        words = monitor.metrics.counter("distributed.monitoring.sync.words")
+        rounds = monitor.metrics.counter("distributed.monitoring.sync.rounds")
+        assert monitor.words_sent == int(words.value)
+        assert monitor.syncs == int(rounds.value)
+        # Every sync round ships one snapshot message plus k broadcasts.
+        assert monitor.messages_sent == monitor.syncs * (1 + monitor.k)
+
+    def test_global_recorder_mirrors_private_counters(self, rng) -> None:
+        with obs_metrics.collecting(obs_metrics.MetricsRegistry()) as reg:
+            monitor = ContinuousQuantileMonitor(sites=4, eps=0.1)
+            self._drive(monitor, rng)
+            assert monitor.syncs > 0
+            assert (
+                reg.counter("distributed.monitoring.sync.words").value
+                == monitor.words_sent
+            )
+            assert (
+                reg.counter("distributed.monitoring.sync.rounds").value
+                == monitor.syncs
+            )
+            assert reg.gauge("distributed.monitoring.known_n").value > 0
+
+    def test_disabled_recorder_keeps_private_accounting(self, rng) -> None:
+        assert not obs_metrics.recorder().enabled
+        monitor = ContinuousQuantileMonitor(sites=4, eps=0.1)
+        self._drive(monitor, rng)
+        assert monitor.words_sent > 0
+        assert monitor.messages_sent > 0
 
 
 class TestValidation:

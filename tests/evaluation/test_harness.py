@@ -67,6 +67,42 @@ class TestFeedStream:
             feed_stream(sk, data, deletions=data[:10])
 
 
+class TestFeedStreamTiming:
+    def test_sampling_excluded_from_update_time(self, monkeypatch) -> None:
+        """The historical bug: ``tracker.sample()`` ran inside the timed
+        window, so a slow ``size_words`` inflated update_time.  Make
+        sampling artificially expensive and check it lands in the sample
+        bucket, not the update bucket."""
+        import time as _time
+
+        from repro.cash_register.gk_array import GKArray
+
+        original = GKArray.size_words
+
+        def slow_size_words(self):
+            _time.sleep(0.005)
+            return original(self)
+
+        monkeypatch.setattr(GKArray, "size_words", slow_size_words)
+        data = uniform_stream(2_000, universe_log2=16, seed=1)
+        sk = build_sketch("gk_array", eps=0.05)
+        timings = {}
+        seconds, _peak = feed_stream(sk, data, chunk=500, timings=timings)
+        assert seconds == timings["update_s"]
+        # 5 sample points x 5ms dwarf the actual update work.
+        assert timings["sample_s"] > 0.02
+        assert timings["update_s"] < timings["sample_s"]
+
+    def test_timings_dict_filled(self) -> None:
+        data = uniform_stream(1_000, universe_log2=16, seed=2)
+        sk = build_sketch("gk_array", eps=0.05)
+        timings = {}
+        feed_stream(sk, data, timings=timings)
+        assert set(timings) == {"update_s", "sample_s"}
+        assert timings["update_s"] > 0
+        assert timings["sample_s"] >= 0
+
+
 class TestRunExperiment:
     def test_deterministic_runs_once(self) -> None:
         data = uniform_stream(5_000, universe_log2=16, seed=4)
@@ -109,6 +145,42 @@ class TestRunExperiment:
             post_process=True, eta=0.1, repeats=1,
         )
         assert result.algorithm == "dcs+post"
+
+    def test_phase_breakdown_in_extra(self) -> None:
+        data = uniform_stream(3_000, universe_log2=16, seed=5)
+        result = run_experiment("gk_array", data, eps=0.05)
+        assert set(result.extra) == {
+            "build_s", "update_s", "sample_s", "query_s"
+        }
+        assert all(v >= 0 for v in result.extra.values())
+        assert result.update_time_us == pytest.approx(
+            1e6 * result.extra["update_s"] / len(data)
+        )
+
+    def test_collect_metrics_populates_recorder(self) -> None:
+        from repro.obs import metrics as obs_metrics
+
+        data = uniform_stream(3_000, universe_log2=16, seed=5)
+        previous = obs_metrics._recorder
+        try:
+            obs_metrics.disable()
+            result = run_experiment(
+                "gk_array", data, eps=0.05, collect_metrics=True
+            )
+            reg = obs_metrics.recorder()
+            assert reg.enabled
+            assert reg.counter("evaluation.runs", algo="gk_array").value == 1
+            assert (
+                reg.counter("evaluation.updates", algo="GKArray").value
+                == 3_000
+            )
+            phase = reg.histogram(
+                "evaluation.phase_ns", phase="update", algo="gk_array"
+            )
+            assert phase.count == 1
+            assert result.extra["update_s"] > 0
+        finally:
+            obs_metrics._recorder = previous
 
 
 class TestSweep:

@@ -1,0 +1,219 @@
+"""Tests for the metrics registry, recorder switching, and exposition."""
+
+import json
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.obs import metrics as obs_metrics
+from repro.obs.export import report, to_json, to_prometheus
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_RECORDER,
+    collecting,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_recorder():
+    """Every test starts and ends with the null recorder installed."""
+    previous = obs_metrics._recorder
+    obs_metrics.disable()
+    yield
+    obs_metrics._recorder = previous
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            Counter("x").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("x")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+    def test_histogram_buckets_and_stats(self):
+        h = Histogram("x")
+        for v in (1, 2, 1000, 3.5):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(1006.5)
+        assert h.min == 1
+        assert h.max == 1000
+        assert sum(h.buckets) == 4
+        # 1 lands in the first (<= 2**0) bucket.
+        assert h.buckets[0] == 1
+
+    def test_histogram_overflow_bucket(self):
+        h = Histogram("x")
+        h.observe(float(1 << 50))
+        assert h.buckets[-1] == 1
+
+    def test_histogram_quantile_within_range(self):
+        h = Histogram("x")
+        for v in range(1, 101):
+            h.observe(v)
+        p50 = h.quantile(0.5)
+        assert h.min <= p50 <= h.max
+        assert h.quantile(0.0) >= h.min
+        assert h.quantile(1.0) <= h.max
+
+    def test_histogram_quantile_empty(self):
+        assert Histogram("x").quantile(0.5) == 0.0
+
+    def test_histogram_quantile_validates(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram("x").quantile(1.5)
+
+
+class TestRegistry:
+    def test_same_name_labels_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("a.b", algo="x")
+        b = reg.counter("a.b", algo="x")
+        assert a is b
+
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        reg.inc("a.b", 1, algo="x")
+        reg.inc("a.b", 2, algo="y")
+        assert reg.counter("a.b", algo="x").value == 1
+        assert reg.counter("a.b", algo="y").value == 2
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("a.b", p=1, q=2)
+        b = reg.counter("a.b", q=2, p=1)
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b")
+        with pytest.raises(InvalidParameterError):
+            reg.gauge("a.b")
+
+    def test_get_returns_none_when_absent(self):
+        assert MetricsRegistry().get("nope") is None
+
+    def test_convenience_oneliners(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 3)
+        reg.set("g", 7)
+        reg.observe("h", 2.0)
+        assert reg.counter("c").value == 3
+        assert reg.gauge("g").value == 7
+        assert reg.histogram("h").count == 1
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2, algo="x")
+        reg.observe("h", 4)
+        snap = reg.snapshot()
+        assert {e["name"] for e in snap} == {"c", "h"}
+        by_name = {e["name"]: e for e in snap}
+        assert by_name["c"]["value"] == 2
+        assert by_name["c"]["labels"] == {"algo": "x"}
+        assert by_name["h"]["count"] == 1
+        assert by_name["h"]["mean"] == 4.0
+
+    def test_clear_and_len(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        assert len(reg) == 1
+        reg.clear()
+        assert len(reg) == 0
+
+
+class TestRecorderSwitching:
+    def test_default_is_null(self):
+        assert obs_metrics.recorder() is NULL_RECORDER
+        assert not obs_metrics.recorder().enabled
+
+    def test_null_recorder_is_inert(self):
+        NULL_RECORDER.inc("a", 1)
+        NULL_RECORDER.set("b", 2)
+        NULL_RECORDER.observe("c", 3)
+        assert NULL_RECORDER.get("a") is None
+        assert NULL_RECORDER.snapshot() == []
+
+    def test_enable_installs_registry(self):
+        reg = obs_metrics.enable()
+        assert obs_metrics.recorder() is reg
+        assert reg.enabled
+        obs_metrics.disable()
+        assert obs_metrics.recorder() is NULL_RECORDER
+
+    def test_enable_preregisters_defaults(self):
+        reg = obs_metrics.enable()
+        names = {inst.name for inst in reg.instruments()}
+        for _, name in obs_metrics.DEFAULT_INSTRUMENTS:
+            assert name in names
+
+    def test_enable_without_preregistration(self):
+        reg = obs_metrics.enable(MetricsRegistry(), preregister=False)
+        assert len(reg) == 0
+
+    def test_collecting_restores_previous(self):
+        with collecting() as reg:
+            assert obs_metrics.recorder() is reg
+            reg.inc("inside", 1)
+        assert obs_metrics.recorder() is NULL_RECORDER
+        assert reg.counter("inside").value == 1
+
+    def test_enable_rejects_non_registry(self):
+        with pytest.raises(InvalidParameterError):
+            obs_metrics.enable(registry=object())
+
+
+class TestExports:
+    def _populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.inc("cash_register.buffer_flush", 3, algo="GKArray")
+        reg.set("distributed.net.sim_clock_s", 1.5)
+        reg.observe("evaluation.phase_ns", 1000.0, phase="update")
+        return reg
+
+    def test_prometheus_format(self):
+        text = to_prometheus(self._populated())
+        assert "# TYPE repro_cash_register_buffer_flush counter" in text
+        assert 'repro_cash_register_buffer_flush{algo="GKArray"} 3' in text
+        assert "# TYPE repro_evaluation_phase_ns histogram" in text
+        assert 'le="+Inf"' in text
+        assert "repro_evaluation_phase_ns_count" in text
+        assert "repro_evaluation_phase_ns_sum" in text
+
+    def test_prometheus_histogram_cumulative(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1)
+        reg.observe("h", 2)
+        reg.observe("h", 4)
+        text = to_prometheus(reg)
+        # The final bucket line equals the total count.
+        assert 'le="+Inf"} 3' in text
+
+    def test_json_roundtrips(self):
+        blob = json.dumps(to_json(self._populated()))
+        parsed = json.loads(blob)
+        assert len(parsed["metrics"]) == 3
+
+    def test_report_groups_by_subsystem(self):
+        text = report(self._populated())
+        assert "[cash_register]" in text
+        assert "[distributed]" in text
+        assert "[evaluation]" in text
+        assert "counter" in text
+        assert "gauge" in text
+        assert "histogram" in text
+        assert "algo=GKArray" in text

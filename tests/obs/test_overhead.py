@@ -1,0 +1,136 @@
+"""Disabled-path overhead guard (ISSUE acceptance criterion).
+
+The instrumented hot paths must cost within 5% of the pre-instrumentation
+code when collection is disabled.  The baseline is captured *in this
+test*: ``_BaselineGKArray`` overrides ``_flush`` with the exact pre-PR
+body (no span wrapper, no recorder calls), so both variants run in the
+same process, same interpreter state, same data — the only difference is
+the instrumentation.  Best-of-N interleaved timing plus a small absolute
+slack keeps the comparison robust to scheduler noise.
+"""
+
+import time
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.cash_register.gk_array import GKArray
+from repro.obs import metrics as obs_metrics
+
+N_ELEMENTS = 100_000
+ROUNDS = 5
+REL_TOLERANCE = 1.05
+ABS_SLACK_S = 0.02
+
+
+class _BaselineGKArray(GKArray):
+    """GKArray with the pre-instrumentation flush body."""
+
+    def _flush(self) -> None:
+        budget = self._budget()
+        self._buffer.sort()
+        values, gs, deltas = self._values, self._gs, self._deltas
+        new_values: List = []
+        new_gs: List[int] = []
+        new_deltas: List[int] = []
+
+        def emit(value, g: int, delta: int) -> None:
+            if len(new_values) >= 2 and new_gs[-1] + g + delta <= budget:
+                g += new_gs.pop()
+                new_values.pop()
+                new_deltas.pop()
+            new_values.append(value)
+            new_gs.append(g)
+            new_deltas.append(delta)
+
+        i = 0
+        buf = self._buffer
+        m = len(buf)
+        for j, v_l in enumerate(values):
+            while i < m and buf[i] < v_l:
+                delta = gs[j] + deltas[j] - 1
+                if not new_values and i == 0:
+                    delta = 0
+                emit(buf[i], 1, delta)
+                i += 1
+            emit(v_l, gs[j], deltas[j])
+        while i < m:
+            emit(buf[i], 1, 0)
+            i += 1
+
+        self._values = new_values
+        self._gs = new_gs
+        self._deltas = new_deltas
+        self._buffer = []
+
+
+def _feed_seconds(cls, data) -> float:
+    sketch = cls(eps=0.01)
+    start = time.perf_counter()
+    sketch.extend(data)
+    return time.perf_counter() - start, sketch
+
+
+def test_instrumented_matches_baseline_results():
+    """Sanity first: instrumentation must not change the summary."""
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 1 << 20, size=20_000).tolist()
+    _, inst = _feed_seconds(GKArray, data)
+    _, base = _feed_seconds(_BaselineGKArray, data)
+    phis = [0.01, 0.25, 0.5, 0.75, 0.99]
+    assert inst.quantiles(phis) == base.quantiles(phis)
+    assert inst._values == base._values
+    assert inst._gs == base._gs
+    assert inst._deltas == base._deltas
+
+
+def test_disabled_overhead_within_five_percent():
+    assert not obs_metrics.recorder().enabled, (
+        "overhead guard must run with collection disabled"
+    )
+    rng = np.random.default_rng(11)
+    data = rng.integers(0, 1 << 20, size=N_ELEMENTS).tolist()
+
+    # Warm up both paths (JIT-free, but populates caches/allocator).
+    _feed_seconds(GKArray, data[:5000])
+    _feed_seconds(_BaselineGKArray, data[:5000])
+
+    inst_times = []
+    base_times = []
+    for _ in range(ROUNDS):  # interleaved so drift hits both equally
+        t, _sk = _feed_seconds(GKArray, data)
+        inst_times.append(t)
+        t, _sk = _feed_seconds(_BaselineGKArray, data)
+        base_times.append(t)
+
+    inst_best = min(inst_times)
+    base_best = min(base_times)
+    assert inst_best <= base_best * REL_TOLERANCE + ABS_SLACK_S, (
+        f"disabled instrumentation overhead too high: "
+        f"instrumented={inst_best:.4f}s baseline={base_best:.4f}s "
+        f"(+{100 * (inst_best / base_best - 1):.1f}%)"
+    )
+
+
+def test_null_recorder_calls_are_cheap():
+    """The guard on ``rec.enabled`` plus the null recorder itself must be
+    sub-microsecond per call site."""
+    rec = obs_metrics.recorder()
+    loops = 100_000
+    start = time.perf_counter()
+    for _ in range(loops):
+        if rec.enabled:
+            rec.inc("never", 1)
+    elapsed = time.perf_counter() - start
+    assert elapsed / loops < 1e-6
+
+
+@pytest.mark.parametrize("phi", [0.25, 0.5, 0.9])
+def test_enabled_collection_does_not_change_answers(phi):
+    rng = np.random.default_rng(3)
+    data = rng.integers(0, 1 << 16, size=10_000).tolist()
+    _, plain = _feed_seconds(GKArray, data)
+    with obs_metrics.collecting():
+        _, collected = _feed_seconds(GKArray, data)
+    assert plain.query(phi) == collected.query(phi)

@@ -1,0 +1,116 @@
+"""Tests for tracing spans: nesting, JSONL export, bounded buffers."""
+
+import json
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.obs import trace as obs_trace
+from repro.obs.trace import Tracer, _NULL_SPAN, span
+
+
+class FakeClock:
+    """Deterministic nanosecond clock advancing a fixed step per call."""
+
+    def __init__(self, step: int = 10) -> None:
+        self.now = 0
+        self.step = step
+
+    def __call__(self) -> int:
+        self.now += self.step
+        return self.now
+
+
+@pytest.fixture(autouse=True)
+def _no_global_tracer():
+    previous = obs_trace._tracer
+    obs_trace.disable_tracing()
+    yield
+    obs_trace._tracer = previous
+
+
+def test_disabled_span_is_shared_noop():
+    s = span("anything", algo="x")
+    assert s is _NULL_SPAN
+    with s:
+        pass  # must not raise
+
+
+def test_span_records_event():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("work", {"algo": "x"}):
+        pass
+    assert len(tracer.events) == 1
+    event = tracer.events[0]
+    assert event["name"] == "work"
+    assert event["labels"] == {"algo": "x"}
+    assert event["duration_ns"] == 10
+    assert event["depth"] == 0
+    assert event["start_ns"] >= 0
+
+
+def test_nested_spans_track_depth():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer", {}):
+        with tracer.span("inner", {}):
+            pass
+    # Inner completes (and records) first, at depth 1.
+    names = [(e["name"], e["depth"]) for e in tracer.events]
+    assert names == [("inner", 1), ("outer", 0)]
+
+
+def test_module_level_span_uses_installed_tracer():
+    tracer = obs_trace.enable_tracing(Tracer(clock=FakeClock()))
+    with span("gk.compress", algo="gk_array"):
+        pass
+    assert tracer.events[0]["name"] == "gk.compress"
+    obs_trace.disable_tracing()
+    with span("after"):
+        pass
+    assert len(tracer.events) == 1
+
+
+def test_bounded_buffer_counts_drops():
+    tracer = Tracer(max_events=2, clock=FakeClock())
+    for i in range(5):
+        with tracer.span(f"s{i}", {}):
+            pass
+    assert len(tracer.events) == 2
+    assert tracer.dropped == 3
+
+
+def test_jsonl_roundtrip(tmp_path):
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("a", {"k": 1}):
+        pass
+    with tracer.span("b", {}):
+        pass
+    lines = tracer.to_jsonl().splitlines()
+    assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+    path = tmp_path / "trace.jsonl"
+    assert tracer.write(path) == 2
+    on_disk = path.read_text().splitlines()
+    assert len(on_disk) == 2
+    assert json.loads(on_disk[0])["labels"] == {"k": 1}
+
+
+def test_write_empty_trace(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    assert Tracer().write(path) == 0
+    assert path.read_text() == ""
+
+
+def test_span_records_on_exception():
+    tracer = Tracer(clock=FakeClock())
+    with pytest.raises(ValueError):
+        with tracer.span("boom", {}):
+            raise ValueError("x")
+    assert tracer.events[0]["name"] == "boom"
+    assert tracer._depth == 0
+
+
+def test_validation():
+    with pytest.raises(InvalidParameterError):
+        Tracer(max_events=0)
+    with pytest.raises(InvalidParameterError):
+        obs_trace.enable_tracing(object())
