@@ -1,0 +1,190 @@
+"""Batch vs scalar ingest/query speed — the performance baseline.
+
+Measures, per algorithm, at ``scaled_n(1_000_000)`` elements:
+
+* scalar ingest: the ``update()`` loop, ns per element;
+* batch ingest: one chunked ``extend`` / ``update_batch`` pass, ns per
+  element, and the resulting speedup;
+* query: ``query_batch`` over a 99-point phi grid vs the scalar
+  ``query`` loop, µs per quantile.
+
+Results land in two places: the human-readable exhibit under
+``benchmarks/results/`` and the machine-readable ``BENCH_speed.json``
+at the repo root, which the README throughput table and the perf-smoke
+gate (``tests/evaluation/test_perf_smoke.py``) read.  Regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_speed.py
+
+(or ``pytest benchmarks/bench_speed.py -s``).  ``REPRO_SCALE`` scales
+the stream length; the committed artifact is a full-scale run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.evaluation import scaled_n
+from repro.evaluation.harness import build_sketch
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_speed.json"
+
+#: (registry name, constructor kwargs, equivalence class of extend,
+#: scalar measurement cap).  The acceptance algorithms (gk_array,
+#: qdigest, random) time the scalar loop over the full stream; the
+#: expensive scalar loops (GKAdaptive's per-element node upkeep, DCS's
+#: per-element level fan-out) are timed on a prefix and reported per
+#: item — their per-element cost is amortized-constant, and the cap is
+#: recorded in the artifact as ``scalar_measured_n``.
+SPECS = [
+    ("gk_array", dict(eps=0.001), "bit-identical", None),
+    ("gk_adaptive", dict(eps=0.001), "error-equivalent", 200_000),
+    ("qdigest", dict(eps=0.01, universe_log2=16), "error-equivalent", None),
+    ("random", dict(eps=0.01), "same-seed-identical", None),
+    ("mrl99", dict(eps=0.01), "same-seed-identical", None),
+    ("kll", dict(eps=0.01), "same-seed-identical", 200_000),
+    ("dcs", dict(eps=0.01, universe_log2=16), "exact (update_batch)", 5_000),
+]
+
+PHI_COUNT = 99
+CHUNK = 1 << 16
+
+
+def _build(name: str, params: dict):
+    kwargs = dict(params)
+    eps = kwargs.pop("eps")
+    universe_log2 = kwargs.pop("universe_log2", None)
+    return build_sketch(name, eps, universe_log2, seed=1, **kwargs)
+
+
+def _ingest_batch(sketch, data: np.ndarray) -> float:
+    """Chunked batch feed (extend or update_batch); returns seconds."""
+    feed = getattr(sketch, "update_batch", None)
+    if feed is None or not hasattr(sketch, "delete"):
+        feed = sketch.extend
+    start = time.perf_counter()
+    for lo in range(0, len(data), CHUNK):
+        feed(data[lo : lo + CHUNK])
+    return time.perf_counter() - start
+
+
+def _ingest_scalar(sketch, data: np.ndarray) -> float:
+    values = data.tolist()
+    update = sketch.update
+    start = time.perf_counter()
+    for v in values:
+        update(v)
+    return time.perf_counter() - start
+
+
+def measure_algorithm(
+    name: str,
+    params: dict,
+    data: np.ndarray,
+    scalar_cap: int | None = None,
+) -> dict:
+    """One algorithm's scalar/batch ingest and query timings."""
+    n = len(data)
+    batch_sketch = _build(name, params)
+    batch_s = _ingest_batch(batch_sketch, data)
+    scalar_n = n if scalar_cap is None else min(n, scalar_cap)
+    scalar_sketch = _build(name, params)
+    scalar_s = _ingest_scalar(scalar_sketch, data[:scalar_n])
+
+    phis = [(i + 1) / (PHI_COUNT + 1) for i in range(PHI_COUNT)]
+    start = time.perf_counter()
+    batch_answers = batch_sketch.query_batch(phis)
+    query_batch_s = time.perf_counter() - start
+    start = time.perf_counter()
+    scalar_answers = [batch_sketch.query(phi) for phi in phis]
+    query_scalar_s = time.perf_counter() - start
+    assert batch_answers == scalar_answers, (
+        f"{name}: query_batch disagrees with the query loop"
+    )
+
+    scalar_ns = 1e9 * scalar_s / scalar_n
+    batch_ns = 1e9 * batch_s / n
+    return {
+        "eps": params["eps"],
+        "n": n,
+        "scalar_measured_n": scalar_n,
+        "scalar_update_ns_per_item": scalar_ns,
+        "batch_ns_per_item": batch_ns,
+        "batch_speedup": scalar_ns / batch_ns,
+        "query_batch_us_per_quantile": 1e6 * query_batch_s / PHI_COUNT,
+        "query_scalar_us_per_quantile": 1e6 * query_scalar_s / PHI_COUNT,
+        "query_speedup": query_scalar_s / max(query_batch_s, 1e-12),
+    }
+
+
+def run_bench(n: int | None = None, seed: int = 42) -> dict:
+    """Run the full sweep and return the BENCH_speed.json payload."""
+    if n is None:
+        n = scaled_n(1_000_000)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 16, size=n, dtype=np.int64)
+    algorithms = {}
+    for name, params, equivalence, scalar_cap in SPECS:
+        row = measure_algorithm(name, params, data, scalar_cap)
+        row["equivalence"] = equivalence
+        algorithms[name] = row
+    return {
+        "schema": 1,
+        "n": n,
+        "repro_scale": float(os.environ.get("REPRO_SCALE", "1")),
+        "generated_by": "benchmarks/bench_speed.py",
+        "phi_count": PHI_COUNT,
+        "algorithms": algorithms,
+    }
+
+
+def format_table(payload: dict) -> str:
+    lines = [
+        f"Batch vs scalar speed (n={payload['n']}, "
+        f"{payload['phi_count']}-point phi grid)",
+        f"{'algorithm':12s} {'scalar ns':>10s} {'batch ns':>9s} "
+        f"{'speedup':>8s} {'qbatch us':>10s} {'qloop us':>9s} "
+        f"equivalence",
+    ]
+    for name, row in payload["algorithms"].items():
+        lines.append(
+            f"{name:12s} {row['scalar_update_ns_per_item']:10.0f} "
+            f"{row['batch_ns_per_item']:9.0f} "
+            f"{row['batch_speedup']:7.1f}x "
+            f"{row['query_batch_us_per_quantile']:10.2f} "
+            f"{row['query_scalar_us_per_quantile']:9.2f} "
+            f"{row['equivalence']}"
+        )
+    return "\n".join(lines)
+
+
+def write_artifact(payload: dict) -> None:
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def test_bench_speed(benchmark) -> None:
+    from conftest import run_once, write_exhibit
+
+    payload = run_once(benchmark, run_bench)
+    write_artifact(payload)
+    write_exhibit("BENCH_speed", format_table(payload))
+    for name in ("gk_array", "qdigest", "random"):
+        assert payload["algorithms"][name]["batch_speedup"] >= 2.0, (
+            f"{name}: batch ingest regressed below the 2x baseline"
+        )
+
+
+if __name__ == "__main__":
+    result = run_bench()
+    write_artifact(result)
+    table = format_table(result)
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "BENCH_speed.txt").write_text(table + "\n")
+    print(table)
+    print(f"\nwrote {ARTIFACT}")

@@ -11,6 +11,12 @@ asymptotic (amortized) update cost as GKAdaptive, far better constants.
 
 Queries arriving mid-buffer force a flush first, preserving the
 "answer at any time" contract.
+
+The merge itself lives in :mod:`repro.cash_register.gk_batch`: a
+vectorized numpy kernel for numeric streams (searchsorted positions,
+cumsum prefix ranks, fold-as-run-partition) with the original Python
+loop kept as the state-equivalent reference for object-dtype streams.
+See docs/performance.md for measured throughput.
 """
 
 from __future__ import annotations
@@ -19,8 +25,15 @@ import math
 import time
 from typing import List
 
+import numpy as np
+
 from repro.cash_register.gk_base import GKBase
-from repro.core.base import reject_nan
+from repro.cash_register.gk_batch import (
+    merge_sorted_run,
+    merge_sorted_run_scalar,
+)
+from repro.core.base import reject_nan, to_element_array
+from repro.core.errors import InvalidParameterError
 from repro.core.registry import register
 from repro.core.snapshot import snapshottable
 from repro.obs import metrics as obs_metrics
@@ -67,66 +80,109 @@ class GKArray(GKBase):
             self._flush()
 
     def extend(self, values) -> None:
-        """Bulk insert; slightly faster than looping ``update``."""
-        for value in values:
-            reject_nan(value)
-            self._buffer.append(value)
-            self._n += 1
-            if len(self._buffer) >= self._capacity():
+        """Bulk insert a batch of elements (numpy fast path).
+
+        State-equivalent to ``for x in values: update(x)``: the buffer
+        fills to the same capacity thresholds and flushes at the same
+        element boundaries, so the resulting summary is bit-identical to
+        elementwise feeding.  The win is per-element overhead — NaN
+        checks, appends, and capacity tests are amortized over chunks,
+        and capacity-aligned slices of the input are merged directly as
+        numpy arrays without ever staging through the Python-list buffer.
+        """
+        arr = to_element_array(values)
+        m = len(arr)
+        if arr.dtype == object:
+            for value in arr:
+                reject_nan(value)
+            staged = arr.tolist()
+            i = 0
+            while i < m:
+                take = self._capacity() - len(self._buffer)
+                if take <= 0:
+                    self._flush()
+                    continue
+                take = min(take, m - i)
+                self._buffer.extend(staged[i : i + take])
+                self._n += take
+                i += take
+                if len(self._buffer) >= self._capacity():
+                    self._flush()
+            return
+        if arr.dtype.kind == "f" and np.isnan(arr).any():
+            raise InvalidParameterError(
+                "NaN cannot be ranked; filter NaNs before summarizing"
+            )
+        i = 0
+        while i < m:
+            take = self._capacity() - len(self._buffer)
+            if take <= 0:
                 self._flush()
+                continue
+            if take > m - i:
+                # Tail smaller than the remaining capacity: stage it and
+                # leave the flush to the next batch/query, exactly as the
+                # elementwise loop would.
+                self._buffer.extend(arr[i:].tolist())
+                self._n += m - i
+                break
+            if self._buffer:
+                # Top up a partially filled buffer to its flush boundary.
+                self._buffer.extend(arr[i : i + take].tolist())
+                self._n += take
+                i += take
+                self._flush()
+            else:
+                # Empty buffer: merge a capacity-sized slice directly —
+                # same flush boundary, no list round trip.
+                run = arr[i : i + take].copy()
+                self._n += take
+                i += take
+                self._flush_run(run)
 
     def _prepare_query(self) -> None:
         if self._buffer:
             self._flush()
+        if isinstance(self._values, np.ndarray):
+            # The vectorized merge leaves the tuple arrays as numpy;
+            # normalize to plain lists (and Python ints) lazily, only
+            # when a query/inspection path actually needs them.
+            self._values = self._values.tolist()
+            self._gs = self._gs.tolist()
+            self._deltas = self._deltas.tolist()
 
     def _flush(self) -> None:
         """Sort the buffer and merge it into the tuple arrays (step 2)."""
         with span("cash_register.flush", algo=self.name, n=self._n):
-            self._flush_merge()
+            run = to_element_array(self._buffer)
+            if run.dtype == object:
+                self._buffer.sort()
+                run = self._buffer
+            else:
+                run.sort()
+            self._buffer = []
+            self._merge_run(run)
 
-    def _flush_merge(self) -> None:
-        incoming = len(self._values) + len(self._buffer)
+    def _flush_run(self, run: np.ndarray) -> None:
+        """Merge a raw (unsorted) numeric slice, bypassing the buffer."""
+        with span("cash_register.flush", algo=self.name, n=self._n):
+            run.sort()
+            self._merge_run(run)
+
+    def _merge_run(self, run) -> None:
+        incoming = len(self._values) + len(run)
         start_ns = time.perf_counter_ns()
-        self._buffer.sort()
         budget = self._budget()
-        values, gs, deltas = self._values, self._gs, self._deltas
-        new_values: List = []
-        new_gs: List[int] = []
-        new_deltas: List[int] = []
-
-        def emit(value, g: int, delta: int) -> None:
-            """Append a tuple, folding the previous one into it when the
-            previous tuple is removable (backward merge on the fly).  The
-            first tuple (the minimum) is never folded: its exact rank is
-            what anchors small-rank queries."""
-            if len(new_values) >= 2 and new_gs[-1] + g + delta <= budget:
-                g += new_gs.pop()
-                new_values.pop()
-                new_deltas.pop()
-            new_values.append(value)
-            new_gs.append(g)
-            new_deltas.append(delta)
-
-        i = 0  # cursor into the sorted buffer
-        buf = self._buffer
-        m = len(buf)
-        for j, v_l in enumerate(values):
-            while i < m and buf[i] < v_l:
-                # Successor of buf[i] in L is (v_l, gs[j], deltas[j]).
-                delta = gs[j] + deltas[j] - 1
-                if not new_values and i == 0:
-                    delta = 0  # new minimum: rank known exactly
-                emit(buf[i], 1, delta)
-                i += 1
-            emit(v_l, gs[j], deltas[j])
-        while i < m:
-            emit(buf[i], 1, 0)  # beyond the old maximum: rank exact
-            i += 1
-
-        self._values = new_values
-        self._gs = new_gs
-        self._deltas = new_deltas
-        self._buffer = []
+        if isinstance(run, np.ndarray) and run.dtype != object:
+            merged = merge_sorted_run(
+                self._values, self._gs, self._deltas, run, budget
+            )
+        else:
+            merged = merge_sorted_run_scalar(
+                self._values, self._gs, self._deltas, run, budget
+            )
+        self._values, self._gs, self._deltas = merged
+        new_values = self._values
         rec = obs_metrics.recorder()
         if rec.enabled:
             rec.inc("cash_register.buffer_flush", 1, algo=self.name)

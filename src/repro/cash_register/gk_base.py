@@ -155,7 +155,7 @@ class GKBase(QuantileSketch):
         self._prepare_query()
         return gk_query(self._values, self._gs, self._deltas, self._n, phi)
 
-    def quantiles(self, phis: Sequence[float]) -> List:
+    def query_batch(self, phis: Sequence[float]) -> List:
         """Batch extraction: one prefix-sum pass answers every ``phi``.
 
         Each query only inspects the tuples whose rank window can contain

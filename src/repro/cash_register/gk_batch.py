@@ -1,0 +1,198 @@
+"""Batch merge kernels for the GK summary family.
+
+Both GKArray's buffer flush and GKAdaptive's bulk ``extend`` reduce to
+the same operation: fold a *sorted run* of raw elements into an existing
+GK tuple list in one pass, pruning removable tuples on the fly.  This
+module holds that operation twice:
+
+* :func:`merge_sorted_run_scalar` — the straightforward Python loop, the
+  reference implementation (it is the journal paper's GKArray merge,
+  verbatim);
+* :func:`merge_sorted_run` — the numpy formulation: merge positions via
+  ``np.searchsorted``, new-tuple ``Delta`` values by fancy indexing,
+  cumulative ``g`` via ``np.cumsum``, and the backward fold expressed as
+  a greedy run partition over the prefix sums.  Only the run partition
+  remains a (minimal) Python loop; everything else is array ops.
+
+The two are *state-equivalent*: for any inputs they emit identical tuple
+lists (the property tests assert this).  The vectorized path therefore
+changes throughput only, never answers.
+
+Merge semantics, matching the scalar emit loop exactly:
+
+1. Incoming elements equal to a stored value land *after* it (stable,
+   insertion-order-respecting — ``searchsorted`` side ``"right"``).
+2. Each incoming element ``v`` takes ``Delta = g_s + Delta_s - 1`` from
+   its successor ``s`` in the stored list; ``Delta = 0`` when it is a new
+   minimum emitted first, or beyond the stored maximum.
+3. While emitting, the previous surviving tuple is folded into the
+   current one whenever the combined ``g`` plus the current ``Delta``
+   fits the budget ``floor(2 eps n)`` — except that the first two
+   survivors are never folded (the minimum anchors small-rank queries).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+GKArrays = Tuple[List, List[int], List[int]]
+
+#: Below this run length the numpy call overhead beats the Python loop.
+MIN_VECTOR_RUN = 32
+
+
+def merge_sorted_run_scalar(
+    values: Sequence,
+    gs: Sequence[int],
+    deltas: Sequence[int],
+    run: Sequence,
+    budget: int,
+) -> GKArrays:
+    """Reference merge: fold sorted ``run`` into the GK tuple arrays.
+
+    Args:
+        values, gs, deltas: the existing tuple arrays (value order);
+            plain sequences or numpy arrays.
+        run: the staged raw elements, **sorted ascending**; each enters
+            with ``g = 1``.
+        budget: the removability threshold ``floor(2 * eps * n)`` where
+            ``n`` already counts the staged elements.
+
+    Returns:
+        The merged ``(values, gs, deltas)`` lists.
+    """
+    if isinstance(values, np.ndarray):
+        values = values.tolist()
+    if isinstance(gs, np.ndarray):
+        gs = gs.tolist()
+    if isinstance(deltas, np.ndarray):
+        deltas = deltas.tolist()
+    new_values: List = []
+    new_gs: List[int] = []
+    new_deltas: List[int] = []
+
+    def emit(value, g: int, delta: int) -> None:
+        # Fold the previous survivor into this tuple when removable; the
+        # first two survivors are never folded (the minimum's exact rank
+        # anchors small-rank queries).
+        if len(new_values) >= 2 and new_gs[-1] + g + delta <= budget:
+            g += new_gs.pop()
+            new_values.pop()
+            new_deltas.pop()
+        new_values.append(value)
+        new_gs.append(g)
+        new_deltas.append(delta)
+
+    i = 0
+    m = len(run)
+    for j, v_l in enumerate(values):
+        while i < m and run[i] < v_l:
+            # Successor of run[i] in the stored list is tuple j.
+            delta = gs[j] + deltas[j] - 1
+            if not new_values and i == 0:
+                delta = 0  # new minimum: rank known exactly
+            emit(run[i], 1, delta)
+            i += 1
+        emit(v_l, gs[j], deltas[j])
+    while i < m:
+        emit(run[i], 1, 0)  # beyond the old maximum: rank exact
+        i += 1
+    return new_values, new_gs, new_deltas
+
+
+def merge_sorted_run(
+    values: Sequence,
+    gs: Sequence[int],
+    deltas: Sequence[int],
+    run: np.ndarray,
+    budget: int,
+) -> GKArrays:
+    """Vectorized merge, state-equivalent to the scalar reference.
+
+    ``run`` must be a sorted 1-D numeric numpy array.  Falls back to
+    :func:`merge_sorted_run_scalar` for tiny runs, object dtypes (tuple
+    sort keys), or mixed value types, where numpy buys nothing.
+
+    Returns numpy arrays (the scalar reference returns lists); callers
+    that need Python scalars convert lazily.
+    """
+    m = len(run)
+    if (
+        m < MIN_VECTOR_RUN
+        or run.dtype == object
+        or run.dtype.kind not in "iuf"
+    ):
+        return merge_sorted_run_scalar(
+            values, gs, deltas, run.tolist(), budget
+        )
+    values_arr = np.asarray(values)
+    if values_arr.dtype == object or (
+        len(values) and values_arr.dtype.kind not in "iuf"
+    ):
+        return merge_sorted_run_scalar(
+            values, gs, deltas, run.tolist(), budget
+        )
+
+    n_old = len(values)
+    total = n_old + m
+    gs_arr = np.asarray(gs, dtype=np.int64)
+    deltas_arr = np.asarray(deltas, dtype=np.int64)
+
+    # Merge positions.  Run elements go after equal stored values
+    # (side="right"); stored value j is preceded by the run elements
+    # strictly smaller than it (side="left").
+    pos = np.searchsorted(values_arr, run, side="right")
+    run_idx = pos + np.arange(m)  # final index of each run element
+    val_idx = (
+        np.searchsorted(run, values_arr, side="left") + np.arange(n_old)
+    )
+
+    # Delta of each run element from its stored successor.
+    run_deltas = np.zeros(m, dtype=np.int64)
+    inside = pos < n_old
+    run_deltas[inside] = gs_arr[pos[inside]] + deltas_arr[pos[inside]] - 1
+    if pos.size and pos[0] == 0:
+        run_deltas[0] = 0  # new minimum emitted first: rank exact
+
+    # Interleave into merge order.
+    if n_old:
+        merged_v = np.empty(total, dtype=np.result_type(values_arr, run))
+        merged_v[val_idx] = values_arr
+    else:
+        merged_v = np.empty(total, dtype=run.dtype)
+    merged_v[run_idx] = run
+    merged_g = np.empty(total, dtype=np.int64)
+    merged_g[val_idx] = gs_arr
+    merged_g[run_idx] = 1
+    merged_d = np.empty(total, dtype=np.int64)
+    merged_d[val_idx] = deltas_arr
+    merged_d[run_idx] = run_deltas
+
+    # Backward fold as a greedy run partition.  Survivor k absorbs its
+    # predecessor run while G[k] + delta[k] - G[start-1] <= budget; each
+    # closed run contributes its last element with the accumulated g.
+    # This chain is the one inherently sequential step, so it runs as a
+    # minimal Python loop over pre-extracted lists.
+    G = np.cumsum(merged_g)
+    A_list = (G + merged_d).tolist()
+    G_list = G.tolist()
+    ends = [0]  # survivor 1 (the minimum) always stands alone
+    if total > 1:
+        append = ends.append
+        thresh = budget + G_list[0]  # budget + G[s-1], run starting at 1
+        last = 1
+        for k, a in enumerate(A_list[2:], 2):
+            if a <= thresh:
+                last = k
+            else:
+                append(last)
+                thresh = budget + G_list[k - 1]
+                last = k
+        append(last)
+
+    ends_arr = np.asarray(ends, dtype=np.int64)
+    out_gs = G[ends_arr]
+    out_gs[1:] -= out_gs[:-1].copy()
+    return merged_v[ends_arr], out_gs, merged_d[ends_arr]

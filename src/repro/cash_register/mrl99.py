@@ -46,6 +46,7 @@ from repro.core.base import (
 )
 from repro.core.base import validate_eps
 from repro.core.registry import register
+from repro.core.weighted import weighted_query_batch
 from repro.obs import metrics as obs_metrics
 from repro.sketches.hashing import make_rng
 
@@ -166,8 +167,69 @@ class MRL99(QuantileSketch):
             self._start_block()
 
     def extend(self, values) -> None:
-        for value in values:
-            self.update(value)
+        """Bulk insert, consuming the RNG exactly as the update loop does.
+
+        Same block-skipping scheme as :meth:`RandomSketch.extend`: rate-1
+        chunks go straight into the fill buffer (no draws), higher rates
+        cost one candidate lookup per block, and the per-block pick draws
+        are prefetched in bulk — sampling rates are powers of two, for
+        which numpy's bounded draws are bit-identical to sequential
+        scalar draws — so same-seed runs match elementwise feeding.
+        """
+        arr = to_element_array(values)
+        if arr.dtype == object:
+            for value in arr.tolist():
+                self.update(value)
+            return
+        if arr.dtype.kind == "f" and np.isnan(arr).any():
+            from repro.core.errors import InvalidParameterError
+
+            raise InvalidParameterError(
+                "NaN cannot be ranked; filter NaNs before summarizing"
+            )
+        i = 0
+        m = len(arr)
+        picks: List[int] = []
+        pick_at = 0
+        while i < m:
+            rate = self._fill_rate
+            if rate == 1:
+                take = min(self.k - len(self._fill_items), m - i)
+                self._fill_items.extend(arr[i : i + take].tolist())
+                self._n += take
+                i += take
+                if len(self._fill_items) >= self.k:
+                    self._seal()
+                    self._start_block()
+                continue
+            take = min(rate - self._block_seen, m - i)
+            pick = self._block_pick
+            if self._block_seen <= pick < self._block_seen + take:
+                self._block_candidate = arr[i + pick - self._block_seen].item()
+            self._block_seen += take
+            self._n += take
+            i += take
+            if self._block_seen >= rate:
+                self._fill_items.append(self._block_candidate)
+                if len(self._fill_items) >= self.k:
+                    # The seal's COLLAPSE offset draw interleaves here,
+                    # so the pick cache is empty by construction.
+                    self._seal()
+                    self._start_block()
+                    picks = []
+                    pick_at = 0
+                else:
+                    if pick_at >= len(picks):
+                        to_seal = self.k - len(self._fill_items)
+                        draws = min(1 + (m - i) // rate, to_seal)
+                        picks = self._rng.integers(
+                            0, rate, size=draws
+                        ).tolist()
+                        pick_at = 0
+                    self._block_seen = 0
+                    self._block_candidate = None
+                    self._block_pick = picks[pick_at]
+                    pick_at += 1
 
     def _start_block(self) -> None:
         self._block_seen = 0
@@ -228,11 +290,8 @@ class MRL99(QuantileSketch):
         return total
 
     def query(self, phi: float):
-        return self.quantiles([phi])[0]
-
-    def quantiles(self, phis) -> list:
-        for phi in phis:
-            validate_phi(phi)
+        """Scalar reference path: the full argmin over the snapshot."""
+        validate_phi(phi)
         self._require_nonempty()
         parts = self._snapshot()
         values = np.concatenate([items for items, _ in parts])
@@ -242,10 +301,13 @@ class MRL99(QuantileSketch):
         order = np.argsort(values, kind="mergesort")
         values = values[order]
         cum = np.concatenate([[0.0], np.cumsum(weights[order])[:-1]])
-        return [
-            values[int(np.argmin(np.abs(cum - phi * self._n)))]
-            for phi in phis
-        ]
+        return values[int(np.argmin(np.abs(cum - phi * self._n)))]
+
+    def query_batch(self, phis) -> list:
+        """Vectorized multi-quantile extraction over the weighted
+        snapshot (bit-identical to looping :meth:`query`)."""
+        self._require_nonempty()
+        return weighted_query_batch(self._snapshot(), self._n, phis)
 
     def size_words(self) -> int:
         """Pre-allocated: ``b`` buffers of ``k`` plus the fill buffer and

@@ -29,6 +29,8 @@ from collections import defaultdict
 from itertools import accumulate as _accumulate
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from repro.core.base import (
     MergeableSketch,
     QuantileSketch,
@@ -82,6 +84,16 @@ class QDigest(QuantileSketch, MergeableSketch):
         self._compress_at = max(64, int(compress_factor * self.k))
         self._counts: Dict[int, int] = defaultdict(int)
         self._n = 0
+        # Powers 2^1 .. 2^L: the count of powers <= node is its depth.
+        # Only built when node ids fit int64 (the vectorized batch path's
+        # precondition; wider universes use the scalar path throughout).
+        if universe_log2 <= 62:
+            self._depth_powers = np.array(
+                [1 << d for d in range(1, universe_log2 + 1)],
+                dtype=np.int64,
+            )
+        else:
+            self._depth_powers = None
 
     @property
     def n(self) -> int:
@@ -99,18 +111,140 @@ class QDigest(QuantileSketch, MergeableSketch):
             self.compress()
 
     def extend(self, values) -> None:
-        counts = self._counts
+        """Bulk insert via ``np.unique``-bucketed leaf counts.
+
+        Each chunk of the batch is deduplicated into ``(leaf, count)``
+        pairs in one vectorized pass, so the per-element Python work
+        collapses to one dict update per *distinct* value; COMPRESS runs
+        at most once per chunk.  Error-equivalent to elementwise feeding:
+        the digest property is restored against the same thresholds, only
+        the compression schedule differs.  Non-numeric inputs fall back
+        to the scalar loop.  The whole batch is bounds-checked before any
+        element is applied.
+        """
+        arr = np.asarray(values)
+        if (
+            self.universe_log2 > 62  # node ids would overflow int64
+            or arr.ndim != 1
+            or arr.dtype == object
+            or arr.dtype.kind not in "iuf"
+        ):
+            for value in values:
+                self.update(value)
+            return
+        m = len(arr)
+        if m == 0:
+            return
+        # int(value) truncates toward zero; astype matches that for the
+        # float case.  NaN maps to INT64_MIN and fails the bounds check.
+        ints = arr.astype(np.int64, copy=False)
         u = self.universe
-        for value in values:
-            value = int(value)
-            if not (0 <= value < u):
-                raise UniverseOverflowError(
-                    f"value {value!r} outside universe [0, {u})"
-                )
-            counts[u + value] += 1
-            self._n += 1
+        bad = (ints < 0) | (ints >= u)
+        if bad.any():
+            idx = int(np.argmax(bad))
+            raise UniverseOverflowError(
+                f"value {arr[idx]!r} outside universe [0, {u})"
+            )
+        chunk_size = max(self._compress_at, 1 << 16)
+        for start in range(0, m, chunk_size):
+            chunk = ints[start : start + chunk_size]
+            leaves, leaf_counts = np.unique(chunk + u, return_counts=True)
+            counts = self._counts  # rebound by the vectorized compress
+            for leaf, count in zip(leaves.tolist(), leaf_counts.tolist()):
+                counts[leaf] += count
+            self._n += len(chunk)
             if len(counts) > self._compress_at:
-                self.compress()
+                self._compress_batch()
+
+    def _compress_batch(self) -> None:
+        """COMPRESS via the vectorized sweep (batch-path counterpart of
+        :meth:`compress`; same thresholds, same resulting digest)."""
+        threshold = self._n // self.k
+        if threshold == 0:
+            return
+        with span("cash_register.compress", algo=self.name, n=self._n):
+            before = len(self._counts)
+            start_ns = time.perf_counter_ns()
+            self._compress_sweep_vectorized(threshold)
+            self._record_compress(before, start_ns)
+
+    def _compress_sweep_vectorized(self, threshold: int) -> None:
+        """Array formulation of the bottom-up sweep.
+
+        Nodes are grouped by depth; at each depth the per-parent children
+        sums come from one ``np.unique`` + ``np.bincount`` pass, parent
+        lookups from ``np.searchsorted`` against the (sorted) next level.
+        Produces exactly the map the scalar sweep would (the fold decision
+        for a parent depends only on its children and its own count, so
+        within a depth the decisions are independent).
+        """
+        counts = self._counts
+        total = len(counts)
+        nodes = np.fromiter(counts.keys(), dtype=np.int64, count=total)
+        cnts = np.fromiter(counts.values(), dtype=np.int64, count=total)
+        # depth = bit_length - 1: count the powers of two <= node.
+        depths = np.searchsorted(self._depth_powers, nodes, side="right")
+        level_nodes: Dict[int, np.ndarray] = {}
+        level_cnts: Dict[int, np.ndarray] = {}
+        for d in np.unique(depths).tolist():
+            sel = depths == d
+            ln = nodes[sel]
+            order = np.argsort(ln)
+            level_nodes[d] = ln[order]
+            level_cnts[d] = cnts[sel][order]
+        surviving_nodes = []
+        surviving_cnts = []
+        for d in range(self.universe_log2, 0, -1):
+            ln = level_nodes.get(d)
+            if ln is None or not len(ln):
+                continue
+            lc = level_cnts[d]
+            parents, inv = np.unique(ln >> 1, return_inverse=True)
+            child_sum = np.bincount(
+                inv, weights=lc, minlength=len(parents)
+            ).astype(np.int64)
+            pn = level_nodes.get(d - 1)
+            if pn is not None and len(pn):
+                pc = level_cnts[d - 1]
+                pos = np.clip(np.searchsorted(pn, parents), 0, len(pn) - 1)
+                present = pn[pos] == parents
+                parent_cnt = np.where(present, pc[pos], 0)
+            else:
+                pn = pc = None
+                present = np.zeros(len(parents), dtype=bool)
+                parent_cnt = np.zeros(len(parents), dtype=np.int64)
+            combined = child_sum + parent_cnt
+            fold = combined <= threshold
+            keep = ~fold[inv]
+            if keep.any():
+                surviving_nodes.append(ln[keep])
+                surviving_cnts.append(lc[keep])
+            if fold.any():
+                if pn is not None:
+                    keep_parent = np.ones(len(pn), dtype=bool)
+                    keep_parent[pos[present & fold]] = False
+                    pn2, pc2 = pn[keep_parent], pc[keep_parent]
+                else:
+                    pn2 = np.empty(0, dtype=np.int64)
+                    pc2 = np.empty(0, dtype=np.int64)
+                merged_n = np.concatenate([pn2, parents[fold]])
+                merged_c = np.concatenate([pc2, combined[fold]])
+                order = np.argsort(merged_n)
+                level_nodes[d - 1] = merged_n[order]
+                level_cnts[d - 1] = merged_c[order]
+        root = level_nodes.get(0)
+        if root is not None and len(root):
+            surviving_nodes.append(root)
+            surviving_cnts.append(level_cnts[0])
+        rebuilt: Dict[int, int] = defaultdict(int)
+        if surviving_nodes:
+            rebuilt.update(
+                zip(
+                    np.concatenate(surviving_nodes).tolist(),
+                    np.concatenate(surviving_cnts).tolist(),
+                )
+            )
+        self._counts = rebuilt
 
     def compress(self) -> None:
         """Restore the digest property bottom-up (fold light siblings)."""
@@ -146,12 +280,15 @@ class QDigest(QuantileSketch, MergeableSketch):
                     if combined:
                         counts[parent] = combined
                         by_depth[depth - 1].add(parent)
+        self._record_compress(before, start_ns)
+
+    def _record_compress(self, before: int, start_ns: int) -> None:
         rec = obs_metrics.recorder()
         if rec.enabled:
             rec.inc("cash_register.compress", 1, algo=self.name)
             rec.inc(
                 "cash_register.pruned_tuples",
-                max(0, before - len(counts)),
+                max(0, before - len(self._counts)),
                 algo=self.name,
             )
             rec.observe(
@@ -159,7 +296,9 @@ class QDigest(QuantileSketch, MergeableSketch):
                 time.perf_counter_ns() - start_ns,
                 algo=self.name,
             )
-            rec.set("cash_register.tuples", len(counts), algo=self.name)
+            rec.set(
+                "cash_register.tuples", len(self._counts), algo=self.name
+            )
 
     # ------------------------------------------------------------------
     # query path
@@ -183,9 +322,9 @@ class QDigest(QuantileSketch, MergeableSketch):
         return out
 
     def query(self, phi: float):
-        return self.quantiles([phi])[0]
+        return self.query_batch([phi])[0]
 
-    def quantiles(self, phis) -> list:
+    def query_batch(self, phis) -> list:
         """Batch quantile extraction: one postorder sweep answers every
         ``phi`` (the sweep dominates, so batching is much faster)."""
         for phi in phis:

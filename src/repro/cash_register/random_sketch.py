@@ -44,6 +44,7 @@ from repro.core.base import (
 from repro.core.errors import CorruptSummaryError, MergeError
 from repro.core.registry import register
 from repro.core.snapshot import snapshottable
+from repro.core.weighted import weighted_query_batch
 from repro.obs import metrics as obs_metrics
 from repro.sketches.hashing import make_rng
 
@@ -164,8 +165,80 @@ class RandomSketch(QuantileSketch, MergeableSketch):
             self._start_block()
 
     def extend(self, values) -> None:
-        for value in values:
-            self.update(value)
+        """Bulk insert, consuming the RNG exactly as the update loop does.
+
+        Whole blocks are skipped in O(1): at level 0 every element is its
+        own representative, so chunks go straight into the fill buffer
+        with no RNG draws; at level ``l`` each block of ``2**l`` elements
+        costs one candidate lookup instead of ``2**l`` comparisons.  The
+        per-block pick draws happen in the same order and from the same
+        generator as elementwise feeding, so same-seed runs produce
+        bit-identical summaries (the equivalence tests assert this).
+        """
+        arr = to_element_array(values)
+        if arr.dtype == object:
+            for value in arr.tolist():
+                self.update(value)
+            return
+        if arr.dtype.kind == "f" and np.isnan(arr).any():
+            from repro.core.errors import InvalidParameterError
+
+            raise InvalidParameterError(
+                "NaN cannot be ranked; filter NaNs before summarizing"
+            )
+        i = 0
+        m = len(arr)
+        # Prefetched block picks.  For a power-of-two bound (block sizes
+        # always are) numpy's bounded-integer sampling never rejects, so
+        # one bulk draw of size k is bit-identical to k sequential scalar
+        # draws; we prefetch exactly the number of same-bound draws the
+        # elementwise loop would make before the next seal or batch end,
+        # so the generator state matches at every RNG-consuming event.
+        picks: List[int] = []
+        pick_at = 0
+        while i < m:
+            bs = self._block_size
+            if bs == 1:
+                # Level 0: each element is its own block candidate.
+                take = min(self.s - len(self._fill_items), m - i)
+                self._fill_items.extend(arr[i : i + take].tolist())
+                self._n += take
+                i += take
+                if len(self._fill_items) >= self.s:
+                    self._seal_fill_buffer()
+                    self._start_block()  # matches the update() call order
+                continue
+            take = min(bs - self._block_seen, m - i)
+            pick = self._block_pick
+            if self._block_seen <= pick < self._block_seen + take:
+                self._block_candidate = arr[i + pick - self._block_seen].item()
+            self._block_seen += take
+            self._n += take
+            i += take
+            if self._block_seen >= bs:
+                self._fill_items.append(self._block_candidate)
+                if len(self._fill_items) >= self.s:
+                    # Seal consumes merge coins, so the pick cache is
+                    # empty here by construction (see the draw count).
+                    self._seal_fill_buffer()
+                    self._start_block()
+                    picks = []
+                    pick_at = 0
+                else:
+                    if pick_at >= len(picks):
+                        # Same-bound draws the scalar loop makes from this
+                        # block boundary: one per block start, capped by
+                        # the seal (whose own draws use the new bound).
+                        to_seal = self.s - len(self._fill_items)
+                        draws = min(1 + (m - i) // bs, to_seal)
+                        picks = self._rng.integers(
+                            0, bs, size=draws
+                        ).tolist()
+                        pick_at = 0
+                    self._block_seen = 0
+                    self._block_candidate = None
+                    self._block_pick = picks[pick_at]
+                    pick_at += 1
 
     def _seal_fill_buffer(self) -> None:
         items = np.sort(to_element_array(self._fill_items))
@@ -257,23 +330,12 @@ class RandomSketch(QuantileSketch, MergeableSketch):
         idx = int(np.argmin(np.abs(cum - phi * self._n)))
         return values[idx]
 
-    def quantiles(self, phis) -> list:
-        parts = self._snapshot()
-        if not parts:
-            self._require_nonempty()
-        values = np.concatenate([items for items, _ in parts])
-        weights = np.concatenate(
-            [np.full(len(items), w, dtype=np.float64) for items, w in parts]
-        )
-        order = np.argsort(values, kind="mergesort")
-        values = values[order]
-        cum = np.concatenate([[0.0], np.cumsum(weights[order])[:-1]])
-        out = []
-        for phi in phis:
-            validate_phi(phi)
-            idx = int(np.argmin(np.abs(cum - phi * self._n)))
-            out.append(values[idx])
-        return out
+    def query_batch(self, phis) -> list:
+        """Vectorized multi-quantile extraction: one weighted-snapshot
+        flatten plus a single ``searchsorted`` answers every ``phi``
+        (answers are bit-identical to looping :meth:`query`)."""
+        self._require_nonempty()
+        return weighted_query_batch(self._snapshot(), self._n, phis)
 
     # ------------------------------------------------------------------
     # merge (mergeable-summary model)

@@ -166,7 +166,11 @@ class SlidingWindowQuantiles(QuantileSketch):
         target = phi * self.n
         return values[int(np.argmin(np.abs(cum - target)))]
 
-    def quantiles(self, phis) -> list:
+    def query_batch(self, phis) -> list:
+        """One snapshot flatten shared by every ``phi``.  Keeps the
+        argmin scan per query: chunk weights are expiry-scaled fractions
+        that can be zero, so the strictly-increasing-cum trick used by
+        the integer-weight summaries does not apply here."""
         parts = self._live_parts()
         if not parts:
             self._require_nonempty()

@@ -168,7 +168,7 @@ def _run(args, stdin, stdout, registry) -> int:
         if sketch.n == 0:
             return fail("no input values", 1)
         query_start = time.perf_counter()
-        answers = sketch.quantiles(args.phi)
+        answers = sketch.query_batch(args.phi)
         query_s = time.perf_counter() - query_start
         rate = sketch.n / elapsed / 1e3 if elapsed > 0 else float("inf")
         if registry is not None:

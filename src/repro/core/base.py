@@ -57,10 +57,13 @@ def to_element_array(items):
     elements (e.g. tuples as composite sort keys) would be coerced into
     a 2-D array by ``np.asarray``, so they fall back to a 1-D object
     array — numpy sorts and searches those with Python comparisons,
-    preserving the comparison-model contract.
+    preserving the comparison-model contract.  One-shot iterables
+    (generators) are materialized first.
     """
     import numpy as np
 
+    if not hasattr(items, "__len__"):
+        items = list(items)
     arr = np.asarray(items)
     if arr.ndim != 1:
         arr = np.empty(len(items), dtype=object)
@@ -133,8 +136,15 @@ class QuantileSketch(abc.ABC):
     def extend(self, values: Iterable) -> None:
         """Insert every element of ``values``, in order.
 
-        Subclasses with a batch-friendly structure override this with a
-        faster bulk path; the default simply loops.
+        ``values`` may be any iterable, including a numpy array — the
+        batch fast paths operate on arrays directly, so feeding an
+        ``np.ndarray`` avoids per-element conversion.  Subclasses with a
+        batch-friendly structure override this with a vectorized bulk
+        path; the default simply loops over :meth:`update`.  Either way
+        the summary afterwards answers queries for the same stream (the
+        deterministic summaries produce either bit-identical state or a
+        state with the same ``eps`` guarantee; the randomized ones consume
+        their RNG identically, so same-seed runs stay reproducible).
         """
         for value in values:
             self.update(value)
@@ -153,13 +163,24 @@ class QuantileSketch(abc.ABC):
             InvalidParameterError: if ``phi`` is outside [0, 1].
         """
 
-    def quantiles(self, phis: Sequence[float]) -> List:
-        """Return approximate quantiles for every fraction in ``phis``.
+    def query_batch(self, phis: Sequence[float]) -> List:
+        """Answer many quantile queries in one call.
 
-        Equivalent to ``[self.query(phi) for phi in phis]`` but subclasses
-        may override it with a single-pass implementation.
+        Semantically equivalent to ``[self.query(phi) for phi in phis]``
+        (the default implementation is exactly that loop), but subclasses
+        override it with a shared-work path: one prefix-sum or snapshot
+        pass answers every ``phi``, so the per-query cost amortizes.  The
+        harness's query phase goes through this method.
+
+        Raises:
+            EmptySummaryError: if no elements have been inserted.
+            InvalidParameterError: if any ``phi`` is outside [0, 1].
         """
         return [self.query(phi) for phi in phis]
+
+    def quantiles(self, phis: Sequence[float]) -> List:
+        """Historical alias for :meth:`query_batch`."""
+        return self.query_batch(phis)
 
     def cdf_points(self, count: int) -> List:
         """Return ``count`` evenly spaced quantiles, a staircase CDF sketch.
@@ -169,7 +190,7 @@ class QuantileSketch(abc.ABC):
         """
         if count < 1:
             raise InvalidParameterError(f"count must be >= 1, got {count!r}")
-        return self.quantiles([i / (count + 1) for i in range(1, count + 1)])
+        return self.query_batch([i / (count + 1) for i in range(1, count + 1)])
 
     @abc.abstractmethod
     def size_words(self) -> int:

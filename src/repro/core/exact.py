@@ -104,7 +104,8 @@ class ExactQuantiles(QuantileSketch):
         target = min(len(self._sorted) - 1, int(phi * len(self._sorted)))
         return self._sorted[target]
 
-    def quantiles(self, phis: Sequence[float]) -> List:
+    def query_batch(self, phis: Sequence[float]) -> List:
+        """One flush/sort shared by every ``phi``; each lookup is O(1)."""
         self._flush()
         return [self.query(phi) for phi in phis]
 

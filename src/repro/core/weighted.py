@@ -1,0 +1,71 @@
+"""Batched quantile extraction from weighted sample snapshots.
+
+The sampling-based summaries (Random, MRL99, KLL) all answer queries the
+same way: concatenate their buffers into one weighted sorted sample and
+return, for each ``phi``, the stored element whose estimated rank —
+the cumulative weight of the elements before it — is closest to
+``phi * n``.  The historical formulation is an ``argmin`` over
+``|cum - target|`` per query; this module gives the shared vectorized
+form used by their ``query_batch`` overrides.
+
+The key observation: every element weight is an integer ``>= 1``, so the
+cumulative-weight array is *strictly increasing* and the closest entry to
+any target can be found with one ``np.searchsorted`` instead of a full
+``argmin`` scan.  Ties (a target exactly halfway between two cumulative
+weights) resolve to the earlier element, matching ``np.argmin``'s
+first-minimum rule, so answers are bit-identical to the scalar
+formulation.  Summaries with fractional (possibly zero) weights — e.g.
+the sliding-window summary's expiry-scaled chunks — must NOT use this
+path: equal cumulative weights would break the tie rule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import validate_phi
+
+#: A weighted part: (sorted sample array, per-element integer weight).
+WeightedPart = Tuple[np.ndarray, int]
+
+
+def flatten_parts(parts: Sequence[WeightedPart]):
+    """Merge weighted parts into one value-sorted (values, cum) pair.
+
+    ``cum[i]`` is the cumulative weight strictly before element ``i`` —
+    its estimated rank.  Uses a stable mergesort so equal values keep
+    their part order, matching the scalar query paths.
+    """
+    values = np.concatenate([items for items, _ in parts])
+    weights = np.concatenate(
+        [np.full(len(items), w, dtype=np.float64) for items, w in parts]
+    )
+    order = np.argsort(values, kind="mergesort")
+    values = values[order]
+    cum = np.concatenate([[0.0], np.cumsum(weights[order])[:-1]])
+    return values, cum
+
+
+def weighted_query_batch(
+    parts: Sequence[WeightedPart], n: int, phis: Sequence[float]
+) -> List:
+    """Answer every ``phi`` against the weighted snapshot in one pass.
+
+    Equivalent to ``values[argmin(|cum - phi * n|)]`` per query, computed
+    with a single vectorized ``searchsorted`` over all targets.  Weights
+    must be integers ``>= 1`` (strictly increasing ``cum``).
+    """
+    targets = np.asarray([validate_phi(phi) for phi in phis]) * n
+    if not len(targets):
+        return []
+    values, cum = flatten_parts(parts)
+    pos = np.searchsorted(cum, targets, side="left")
+    pos = np.clip(pos, 1, len(cum) - 1)
+    # Closest of cum[pos - 1] and cum[pos]; ties go to the earlier
+    # element (np.argmin's first-minimum rule).
+    left = np.abs(targets - cum[pos - 1])
+    right = np.abs(cum[pos] - targets)
+    idx = np.where(left <= right, pos - 1, pos)
+    return values[idx].tolist()

@@ -205,5 +205,9 @@ class ContinuousQuantileMonitor:
                 hi = mid
         return candidates[lo]
 
-    def quantiles(self, phis) -> List:
+    def query_batch(self, phis) -> List:
         return [self.query(phi) for phi in phis]
+
+    def quantiles(self, phis) -> List:
+        """Alias for :meth:`query_batch` (summary API naming)."""
+        return self.query_batch(phis)

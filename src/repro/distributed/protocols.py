@@ -82,7 +82,7 @@ class ProtocolResult:
         """Observed max normalized rank error at the root."""
         n = len(truth_sorted)
         worst = 0.0
-        for phi, answer in zip(phis, self.answerer.quantiles(list(phis))):
+        for phi, answer in zip(phis, self.answerer.query_batch(list(phis))):
             lo = float(np.searchsorted(truth_sorted, answer, "left"))
             hi = float(np.searchsorted(truth_sorted, answer, "right"))
             target = phi * n
@@ -113,12 +113,16 @@ class _SortedAnswerer:
         self._values = np.sort(values)
         self.n = total_n
 
-    def quantiles(self, phis) -> list:
+    def query_batch(self, phis) -> list:
         idx = np.minimum(
             len(self._values) - 1,
             (np.asarray(phis) * len(self._values)).astype(np.int64),
         )
         return self._values[idx].tolist()
+
+    def quantiles(self, phis) -> list:
+        """Alias for :meth:`query_batch` (summary API naming)."""
+        return self.query_batch(phis)
 
 
 def ship_everything(network: AggregationNetwork) -> ProtocolResult:

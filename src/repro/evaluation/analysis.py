@@ -42,7 +42,7 @@ def cdf(sketch, resolution: int = 100) -> Tuple[np.ndarray, np.ndarray]:
     the pair plots directly as a step function.
     """
     phis = _grid(resolution)
-    values = np.asarray(sketch.quantiles(phis), dtype=np.float64)
+    values = np.asarray(sketch.query_batch(phis), dtype=np.float64)
     values = np.maximum.accumulate(values)  # enforce monotone steps
     return values, np.asarray(phis)
 
@@ -61,7 +61,7 @@ def pdf_histogram(
         raise InvalidParameterError(f"bins must be >= 1, got {bins!r}")
     phis = [i / bins for i in range(bins + 1)]
     phis[0], phis[-1] = 0.0, 1.0
-    edges = np.asarray(sketch.quantiles(phis), dtype=np.float64)
+    edges = np.asarray(sketch.query_batch(phis), dtype=np.float64)
     edges = np.maximum.accumulate(edges)
     widths = np.diff(edges)
     mass = 1.0 / bins
@@ -79,8 +79,8 @@ def qq_points(
     distributions hug the diagonal.
     """
     phis = _grid(resolution)
-    a = np.asarray(sketch_a.quantiles(phis), dtype=np.float64)
-    b = np.asarray(sketch_b.quantiles(phis), dtype=np.float64)
+    a = np.asarray(sketch_a.query_batch(phis), dtype=np.float64)
+    b = np.asarray(sketch_b.query_batch(phis), dtype=np.float64)
     return a, b
 
 
@@ -93,8 +93,8 @@ def ks_distance(sketch_a, sketch_b, resolution: int = 200) -> float:
     """
     phis = _grid(resolution)
     probes = np.union1d(
-        np.asarray(sketch_a.quantiles(phis), dtype=np.float64),
-        np.asarray(sketch_b.quantiles(phis), dtype=np.float64),
+        np.asarray(sketch_a.query_batch(phis), dtype=np.float64),
+        np.asarray(sketch_b.query_batch(phis), dtype=np.float64),
     )
     n_a = max(1, sketch_a.n)
     n_b = max(1, sketch_b.n)
@@ -122,7 +122,7 @@ def describe(sketch) -> DistributionSummary:
     """Descriptive statistics from one pass over the summary."""
     phis = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
     p01, p10, p25, p50, p75, p90, p99 = (
-        float(v) for v in sketch.quantiles(phis)
+        float(v) for v in sketch.query_batch(phis)
     )
     upper = p90 - p50
     lower = p50 - p10

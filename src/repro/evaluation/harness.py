@@ -48,7 +48,7 @@ class RunResult:
     max_error: float
     avg_error: float
     repeats: int
-    extra: Dict[str, float] = dataclasses.field(default_factory=dict)
+    extra: Dict[str, object] = dataclasses.field(default_factory=dict)
 
     @property
     def peak_bytes(self) -> int:
@@ -98,21 +98,43 @@ def feed_stream(
     data: np.ndarray,
     deletions: Optional[np.ndarray] = None,
     chunk: int = 4096,
-    timings: Optional[Dict[str, float]] = None,
+    timings: Optional[Dict[str, object]] = None,
+    batch_size: Optional[int] = None,
 ) -> tuple:
     """Feed a stream (and optional trailing deletions) through a sketch.
 
     Returns ``(update_seconds, peak_words)``.  Uses the vectorized batch
     path for turnstile sketches and chunked ``extend`` otherwise, sampling
-    peak space between chunks.
+    peak space between chunks.  Sketches that override ``extend`` receive
+    each chunk as a numpy array (their batch fast path); sketches on the
+    default update-loop ``extend`` receive plain Python scalars, exactly
+    as before.  ``batch_size`` overrides the chunk length (the knob for
+    ingest-batching experiments; ``chunk`` is kept as the historical
+    name).
 
     ``update_seconds`` covers only the sketch updates: space sampling
     between chunks is timed separately, so the meter's own cost no longer
     inflates the per-element update time.  Pass a dict as ``timings`` to
-    receive the breakdown (``update_s``, ``sample_s``).
+    receive the breakdown (``update_s``, ``sample_s``) plus the
+    ``ingest_path`` actually taken (``update_batch`` for turnstile
+    sketches, ``extend`` for batch fast paths, ``update-loop`` for the
+    scalar fallback).
     """
+    if batch_size is not None:
+        if batch_size < 1:
+            raise InvalidParameterError(
+                f"batch_size must be >= 1, got {batch_size!r}"
+            )
+        chunk = batch_size
     tracker = PeakSpaceTracker(sketch)
     is_turnstile = isinstance(sketch, TurnstileSketch)
+    has_batch_extend = type(sketch).extend is not QuantileSketch.extend
+    if is_turnstile:
+        ingest_path = "update_batch"
+    elif has_batch_extend:
+        ingest_path = "extend"
+    else:
+        ingest_path = "update-loop"
     rec = obs_metrics.recorder()
     update_s = 0.0
     sample_s = 0.0
@@ -124,6 +146,8 @@ def feed_stream(
             sketch.update_batch(part, delta)
         elif is_turnstile:
             sketch.update_batch(part)
+        elif has_batch_extend:
+            sketch.extend(part)
         else:
             sketch.extend(part.tolist())
         mid = time.perf_counter()
@@ -157,6 +181,8 @@ def feed_stream(
     if timings is not None:
         timings["update_s"] = update_s
         timings["sample_s"] = sample_s
+        timings["ingest_path"] = ingest_path
+        timings["batch_size"] = float(chunk)
     return update_s, tracker.peak_words
 
 
@@ -171,6 +197,7 @@ def run_experiment(
     max_queries: int = 499,
     post_process: bool = False,
     collect_metrics: bool = False,
+    batch_size: Optional[int] = None,
     **kwargs,
 ) -> RunResult:
     """Run one full measurement: build, stream, and evaluate.
@@ -191,11 +218,15 @@ def run_experiment(
         collect_metrics: enable the process-wide metrics recorder for
             this run (it stays enabled afterwards so the caller can
             export; see :mod:`repro.obs`).
+        batch_size: ingest chunk length handed to :func:`feed_stream`
+            (``None`` keeps its default).
         **kwargs: forwarded to the algorithm constructor (width, depth,
             eta, ...).
 
     The per-phase wall-clock breakdown of the first repeat (``build_s``,
-    ``update_s``, ``sample_s``, ``query_s``) lands in ``RunResult.extra``.
+    ``update_s``, ``sample_s``, ``query_s``) lands in ``RunResult.extra``,
+    alongside the ``ingest_path`` feed_stream actually took
+    (``update_batch`` / ``extend`` / ``update-loop``).
     """
     if collect_metrics:
         obs_metrics.enable()
@@ -222,15 +253,16 @@ def run_experiment(
     avg_errors = []
     elapsed = peak = None
     phases: Dict[str, float] = {}
+    extra: Dict[str, object] = {}
     for i in range(effective_repeats):
         build_start = time.perf_counter()
         sketch = build_sketch(
             algorithm, eps, universe_log2, seed + 1000 * i, **kwargs
         )
         build_s = time.perf_counter() - build_start
-        timings: Dict[str, float] = {}
+        timings: Dict[str, object] = {}
         run_elapsed, run_peak = feed_stream(
-            sketch, data, deletions, timings=timings
+            sketch, data, deletions, timings=timings, batch_size=batch_size
         )
         target = sketch
         if post_process:
@@ -245,10 +277,11 @@ def run_experiment(
             elapsed, peak = run_elapsed, run_peak
             phases = {
                 "build_s": build_s,
-                "update_s": timings["update_s"],
-                "sample_s": timings["sample_s"],
+                "update_s": float(timings["update_s"]),
+                "sample_s": float(timings["sample_s"]),
                 "query_s": query_s,
             }
+            extra = {**phases, "ingest_path": timings["ingest_path"]}
         max_errors.append(report.max_error)
         avg_errors.append(report.avg_error)
 
@@ -273,7 +306,7 @@ def run_experiment(
         max_error=float(np.mean(max_errors)),
         avg_error=float(np.mean(avg_errors)),
         repeats=effective_repeats,
-        extra=phases,
+        extra=extra,
     )
 
 

@@ -82,8 +82,8 @@ def measure_errors(
     """Evaluate a summary's quantiles against the sorted ground truth.
 
     Args:
-        sketch: anything with ``quantiles(phis)`` (all library summaries
-            and post-processed snapshots qualify).
+        sketch: anything with ``query_batch(phis)`` (all library
+            summaries and post-processed snapshots qualify).
         sorted_data: the exact remaining multiset, sorted ascending.
         eps: determines the quantile grid.
         max_queries: cap on the grid size (see :func:`phi_grid`).
@@ -92,7 +92,7 @@ def measure_errors(
     if n == 0:
         raise InvalidParameterError("cannot measure errors on empty data")
     phis = phi_grid(eps, max_queries)
-    answers = sketch.quantiles(phis)
+    answers = sketch.query_batch(phis)
     errors = [
         rank_error(sorted_data, answer, phi * n) / n
         for phi, answer in zip(phis, answers)

@@ -36,6 +36,7 @@ from repro.core.base import (
 )
 from repro.core.errors import MergeError
 from repro.core.registry import register
+from repro.core.weighted import weighted_query_batch
 from repro.sketches.hashing import make_rng
 
 
@@ -99,8 +100,36 @@ class KLL(QuantileSketch, MergeableSketch):
             self._compact()
 
     def extend(self, values) -> None:
-        for value in values:
-            self.update(value)
+        """Bulk insert: fill the bottom compactor in chunks.
+
+        Elements land in chunks sized to the remaining total-capacity
+        headroom, so compactions fire at exactly the same element
+        boundaries (and consume the same coin draws) as elementwise
+        feeding — same-seed runs produce bit-identical sketches.
+        """
+        arr = to_element_array(values)
+        if arr.dtype == object:
+            for value in arr.tolist():
+                self.update(value)
+            return
+        if arr.dtype.kind == "f" and np.isnan(arr).any():
+            from repro.core.errors import InvalidParameterError
+
+            raise InvalidParameterError(
+                "NaN cannot be ranked; filter NaNs before summarizing"
+            )
+        i = 0
+        m = len(arr)
+        while i < m:
+            held = sum(len(comp) for comp in self._compactors)
+            room = self._total_capacity() - held + 1  # compact at cap + 1
+            take = min(max(1, room), m - i)
+            self._compactors[0].extend(arr[i : i + take].tolist())
+            self._n += take
+            i += take
+            if sum(len(comp) for comp in self._compactors) > \
+                    self._total_capacity():
+                self._compact()
 
     def _compact(self) -> None:
         """Compact the lowest level exceeding its capacity."""
@@ -135,11 +164,8 @@ class KLL(QuantileSketch, MergeableSketch):
         return total
 
     def query(self, phi: float):
-        return self.quantiles([phi])[0]
-
-    def quantiles(self, phis) -> list:
-        for phi in phis:
-            validate_phi(phi)
+        """Scalar reference path: the full argmin over the snapshot."""
+        validate_phi(phi)
         self._require_nonempty()
         parts = self._parts()
         values = np.concatenate([items for items, _ in parts])
@@ -149,10 +175,13 @@ class KLL(QuantileSketch, MergeableSketch):
         order = np.argsort(values, kind="mergesort")
         values = values[order]
         cum = np.concatenate([[0.0], np.cumsum(weights[order])[:-1]])
-        return [
-            values[int(np.argmin(np.abs(cum - phi * self._n)))]
-            for phi in phis
-        ]
+        return values[int(np.argmin(np.abs(cum - phi * self._n)))]
+
+    def query_batch(self, phis) -> list:
+        """Vectorized multi-quantile extraction over the weighted
+        compactor snapshot (bit-identical to looping :meth:`query`)."""
+        self._require_nonempty()
+        return weighted_query_batch(self._parts(), self._n, phis)
 
     # ------------------------------------------------------------------
     # merge

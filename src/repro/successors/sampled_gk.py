@@ -125,11 +125,11 @@ class SampledGK(QuantileSketch):
         self._require_nonempty()
         return self._summary.query(phi)
 
-    def quantiles(self, phis) -> list:
+    def query_batch(self, phis) -> list:
         for phi in phis:
             validate_phi(phi)
         self._require_nonempty()
-        return self._summary.quantiles(phis)
+        return self._summary.query_batch(phis)
 
     def size_words(self) -> int:
         """Summary words plus rate/counter bookkeeping."""

@@ -164,6 +164,35 @@ class DyadicQuantiles(TurnstileSketch):
                 )
         return total
 
+    def rank_batch(self, values) -> np.ndarray:
+        """Vectorized :meth:`rank` for many values at once.
+
+        One batched estimator call per level covers every value, instead
+        of one scalar estimate per (value, set bit) pair.  Values may
+        include ``universe`` (one past the top), which ranks ``n``.
+        """
+        vals = np.asarray(values, dtype=np.int64)
+        out = np.zeros(len(vals), dtype=np.float64)
+        if not len(vals):
+            return out
+        out[vals >= self.universe] = float(self._n)
+        inside = (vals > 0) & (vals < self.universe)
+        if not inside.any():
+            return out
+        v = vals[inside]
+        total = np.zeros(len(v), dtype=np.float64)
+        for level in range(self.universe_log2):
+            shifted = v >> level
+            has_bit = (shifted & 1).astype(bool)
+            if has_bit.any():
+                cells = shifted[has_bit] ^ 1
+                total[has_bit] += np.asarray(
+                    self._levels[level].estimate_batch(cells),
+                    dtype=np.float64,
+                )
+        out[inside] = total
+        return out
+
     def query(self, phi: float) -> int:
         """Approximate ``phi``-quantile via binary search on the rank."""
         validate_phi(phi)
@@ -190,6 +219,46 @@ class DyadicQuantiles(TurnstileSketch):
                 sketch=self.name,
             )
         return lo
+
+    def query_batch(self, phis) -> List[int]:
+        """All quantile searches walk the binary-search levels together.
+
+        Every iteration halves every still-active query's interval with a
+        single :meth:`rank_batch` call, so the ``log2(u)`` level walk —
+        and its per-level estimator overhead — is shared across ``phis``.
+        Answers equal looping :meth:`query` (same rank estimates, same
+        midpoints per query).
+        """
+        targets_f = [validate_phi(phi) * self._n for phi in phis]
+        self._require_nonempty()
+        if not targets_f:
+            return []
+        targets = np.maximum(
+            1, np.ceil(np.asarray(targets_f))
+        ).astype(np.int64)
+        start_ns = time.perf_counter_ns()
+        rank_evals = 0
+        with span("turnstile.query", algo=self.name, batch=len(targets)):
+            lo = np.zeros(len(targets), dtype=np.int64)
+            hi = np.full(len(targets), self.universe - 1, dtype=np.int64)
+            active = lo < hi
+            while active.any():
+                mid = (lo[active] + hi[active]) >> 1
+                rank_evals += int(active.sum())
+                ranks = self.rank_batch(mid + 1)
+                go_up = ranks < targets[active]
+                lo[active] = np.where(go_up, mid + 1, lo[active])
+                hi[active] = np.where(go_up, hi[active], mid)
+                active = lo < hi
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc("sketches.rank_evals", rank_evals, sketch=self.name)
+            rec.observe(
+                "sketches.query_ns",
+                time.perf_counter_ns() - start_ns,
+                sketch=self.name,
+            )
+        return lo.tolist()
 
     # -- introspection ----------------------------------------------------
 

@@ -359,8 +359,13 @@ class PostProcessedSnapshot:
         value = bounds[idx] + frac * span
         return min(self._universe - 1, int(value))
 
-    def quantiles(self, phis) -> list:
+    def query_batch(self, phis) -> list:
+        """All ``phi`` answered from the one cached leaf prefix."""
         return [self.query(phi) for phi in phis]
+
+    def quantiles(self, phis) -> list:
+        """Alias for :meth:`query_batch` (summary API naming)."""
+        return self.query_batch(phis)
 
     def size_words(self) -> int:
         """Words held by the snapshot: ~4 per tree node (interval, y,
@@ -429,3 +434,11 @@ class DCSWithPostProcessing(DyadicCountSketch):
         validate_phi(phi)
         self._require_nonempty()
         return self.snapshot().query(phi)
+
+    def query_batch(self, phis) -> list:
+        """Route batched queries through the corrected snapshot too —
+        the inherited dyadic binary search would bypass the OLS step."""
+        for phi in phis:
+            validate_phi(phi)
+        self._require_nonempty()
+        return self.snapshot().query_batch(phis)

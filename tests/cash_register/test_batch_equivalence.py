@@ -1,0 +1,268 @@
+"""Batch/scalar equivalence: ``extend`` vs the update loop, and
+``query_batch`` vs the query loop.
+
+The vectorized ingest paths promise one of three equivalence classes
+(see ``docs/performance.md``):
+
+* **bit-identical** — GKArray: ``extend`` produces the exact same tuple
+  state as elementwise feeding;
+* **same-seed-identical** — Random, MRL99: ``extend`` consumes the RNG
+  in the same order as the update loop, so same-seed runs produce the
+  same summary (asserted down to the generator state);
+* **error-equivalent** — GKAdaptive, QDigest: ``extend`` builds a
+  different (usually smaller) summary with the same ``eps`` guarantee.
+
+``query_batch`` is exact everywhere: it must return precisely
+``[query(phi) for phi in phis]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cash_register import (
+    GKAdaptive,
+    GKArray,
+    MRL99,
+    QDigest,
+    RandomSketch,
+    SlidingWindowQuantiles,
+)
+from repro.core.weighted import weighted_query_batch
+
+PHI_GRID = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+
+streams = st.lists(st.integers(0, (1 << 16) - 1), max_size=600)
+seeds = st.integers(0, 2**16)
+
+
+def exact_rank(data, value) -> tuple:
+    arr = np.sort(np.asarray(data))
+    lo = int(np.searchsorted(arr, value, "left"))
+    hi = int(np.searchsorted(arr, value, "right"))
+    return lo, hi
+
+
+def assert_eps_guarantee(sketch, data, eps) -> None:
+    n = len(data)
+    for phi in PHI_GRID:
+        answer = sketch.query(phi)
+        lo, hi = exact_rank(data, answer)
+        target = phi * n
+        err = 0.0 if lo <= target <= hi else min(
+            abs(target - lo), abs(target - hi)
+        )
+        assert err <= eps * n + 1
+
+
+class TestGKArrayBitIdentical:
+    @given(data=streams)
+    def test_extend_matches_update_loop(self, data) -> None:
+        batched = GKArray(eps=0.05)
+        looped = GKArray(eps=0.05)
+        batched.extend(np.asarray(data, dtype=np.int64))
+        for v in data:
+            looped.update(v)
+        assert batched.tuples() == looped.tuples()
+        assert batched.n == looped.n == len(data)
+        if data:
+            for phi in PHI_GRID:
+                assert batched.query(phi) == looped.query(phi)
+
+    @given(data=streams)
+    def test_split_batches_match_one_batch(self, data) -> None:
+        """Chunking must not change the result either."""
+        one = GKArray(eps=0.05)
+        many = GKArray(eps=0.05)
+        arr = np.asarray(data, dtype=np.int64)
+        one.extend(arr)
+        for lo in range(0, len(arr), 37):
+            many.extend(arr[lo : lo + 37])
+        assert one.tuples() == many.tuples()
+
+
+RANDOMIZED = [
+    (
+        "random",
+        lambda seed: RandomSketch(eps=0.1, seed=seed),
+        lambda sk: (
+            sk._n,
+            sk._fill_level,
+            list(sk._fill_items),
+            sk._block_seen,
+            sk._block_pick,
+            sk._block_candidate,
+            [(b.level, b.items.tolist()) for b in sk._buffers],
+        ),
+    ),
+    (
+        "mrl99",
+        lambda seed: MRL99(eps=0.1, seed=seed),
+        lambda sk: (
+            sk._n,
+            sk._fill_rate,
+            list(sk._fill_items),
+            sk._block_seen,
+            sk._block_pick,
+            sk._block_candidate,
+        ),
+    ),
+]
+
+
+@pytest.fixture(params=RANDOMIZED, ids=[n for n, _, _ in RANDOMIZED])
+def randomized(request):
+    return request.param
+
+
+class TestSameSeedIdentical:
+    @given(data=streams, seed=seeds)
+    def test_extend_matches_update_loop(
+        self, randomized, data, seed
+    ) -> None:
+        _, factory, state_of = randomized
+        batched = factory(seed)
+        looped = factory(seed)
+        batched.extend(np.asarray(data, dtype=np.int64))
+        for v in data:
+            looped.update(v)
+        assert state_of(batched) == state_of(looped)
+        # Same generator state: every RNG draw happened in the same
+        # order, so the two summaries stay interchangeable forever.
+        assert (
+            batched._rng.bit_generator.state
+            == looped._rng.bit_generator.state
+        )
+        if data:
+            assert batched.query_batch(PHI_GRID) == looped.query_batch(
+                PHI_GRID
+            )
+
+
+ERROR_EQUIVALENT = [
+    ("gk_adaptive", lambda: GKAdaptive(eps=0.05)),
+    ("qdigest", lambda: QDigest(eps=0.05, universe_log2=16)),
+]
+
+
+@pytest.fixture(
+    params=ERROR_EQUIVALENT, ids=[n for n, _ in ERROR_EQUIVALENT]
+)
+def error_equivalent(request):
+    return request.param[1]
+
+
+class TestErrorEquivalent:
+    @given(data=streams)
+    def test_extend_keeps_the_guarantee(
+        self, error_equivalent, data
+    ) -> None:
+        batched = error_equivalent()
+        looped = error_equivalent()
+        batched.extend(np.asarray(data, dtype=np.int64))
+        for v in data:
+            looped.update(v)
+        assert batched.n == looped.n == len(data)
+        batched.validate()
+        looped.validate()
+        if data:
+            assert_eps_guarantee(batched, data, batched.eps)
+            assert_eps_guarantee(looped, data, looped.eps)
+
+
+ALL_FACTORIES = [
+    ("gk_array", lambda: GKArray(eps=0.05)),
+    ("gk_adaptive", lambda: GKAdaptive(eps=0.05)),
+    ("qdigest", lambda: QDigest(eps=0.05, universe_log2=16)),
+    ("random", lambda: RandomSketch(eps=0.1, seed=11)),
+    ("mrl99", lambda: MRL99(eps=0.1, seed=11)),
+    ("window", lambda: SlidingWindowQuantiles(eps=0.1, window=1 << 12)),
+]
+
+
+@pytest.fixture(params=ALL_FACTORIES, ids=[n for n, _ in ALL_FACTORIES])
+def any_sketch(request):
+    return request.param[1]
+
+
+class TestEdgeBatches:
+    def test_empty_batch_is_a_noop(self, any_sketch) -> None:
+        sk = any_sketch()
+        sk.extend([])
+        sk.extend(np.asarray([], dtype=np.int64))
+        assert sk.n == 0
+        sk.extend(np.asarray([7, 3, 5], dtype=np.int64))
+        sk.extend([])
+        assert sk.n == 3
+        assert sk.query(0.5) in (3, 5, 7)
+
+    def test_single_element_batches(self, any_sketch) -> None:
+        batched = any_sketch()
+        looped = any_sketch()
+        data = [9, 1, 4, 4, 8, 0, 2]
+        for v in data:
+            batched.extend(np.asarray([v], dtype=np.int64))
+            looped.update(v)
+        assert batched.n == looped.n
+        for phi in PHI_GRID:
+            assert batched.query(phi) == looped.query(phi)
+
+
+class TestQueryBatchMatchesQueryLoop:
+    def test_agreement_on_a_grid(self, any_sketch, rng) -> None:
+        sk = any_sketch()
+        data = rng.integers(0, 1 << 16, size=4_000, dtype=np.int64)
+        sk.extend(data)
+        assert sk.query_batch(PHI_GRID) == [
+            sk.query(phi) for phi in PHI_GRID
+        ]
+
+    def test_empty_phi_list(self, any_sketch) -> None:
+        sk = any_sketch()
+        sk.extend(np.asarray([1, 2, 3], dtype=np.int64))
+        assert sk.query_batch([]) == []
+
+
+class TestWeightedQueryBatchHelper:
+    """The shared searchsorted helper must match the argmin reference."""
+
+    @staticmethod
+    def _argmin_reference(parts, n, phis):
+        values = np.concatenate([items for items, _ in parts])
+        weights = np.concatenate(
+            [np.full(len(items), w, dtype=np.float64) for items, w in parts]
+        )
+        order = np.argsort(values, kind="mergesort")
+        values = values[order]
+        weights = weights[order]
+        cum = np.concatenate([[0.0], np.cumsum(weights)[:-1]])
+        return [
+            values[int(np.argmin(np.abs(cum - phi * n)))] for phi in phis
+        ]
+
+    @given(
+        part_specs=st.lists(
+            st.tuples(
+                st.lists(
+                    st.integers(0, 1 << 12), min_size=1, max_size=40
+                ),
+                st.integers(1, 16),  # integer weights >= 1
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        phis=st.lists(
+            st.floats(0.0, 1.0, allow_nan=False), max_size=12
+        ),
+    )
+    def test_matches_argmin(self, part_specs, phis) -> None:
+        parts = [
+            (np.sort(np.asarray(items, dtype=np.int64)), weight)
+            for items, weight in part_specs
+        ]
+        n = sum(len(items) * w for items, w in parts)
+        assert weighted_query_batch(parts, n, phis) == \
+            self._argmin_reference(parts, n, phis)

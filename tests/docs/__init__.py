@@ -1,0 +1,1 @@
+"""Documentation quality gates."""

@@ -1,0 +1,63 @@
+"""Documentation gates: markdown links must resolve, examples must run.
+
+Two cheap checks that keep the handbook honest:
+
+* every relative markdown link in README.md and docs/*.md points at a
+  file that exists (external http(s) links are not fetched);
+* the fenced ``>>>`` examples in docs/performance.md actually execute
+  and produce the documented output (doctest), so the handbook's code
+  can be pasted verbatim.
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+#: ``[text](target)`` — good enough for our hand-written markdown
+#: (no nested brackets, no reference-style links in these files).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md"] + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+
+def _relative_links(path: pathlib.Path):
+    for target in _LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=[p.name for p in DOC_FILES])
+def test_relative_links_resolve(doc: pathlib.Path) -> None:
+    missing = [
+        target
+        for target in _relative_links(doc)
+        if target and not (doc.parent / target).exists()
+    ]
+    assert not missing, f"{doc.name}: broken relative links {missing}"
+
+
+def test_performance_handbook_examples_run() -> None:
+    """The performance handbook's doctests pass (CI also runs
+    ``python -m doctest docs/performance.md`` from the repo root)."""
+    import os
+
+    cwd = os.getcwd()
+    os.chdir(REPO_ROOT)  # the BENCH_speed.json example opens a relative path
+    try:
+        failures, tests = doctest.testfile(
+            str(REPO_ROOT / "docs" / "performance.md"),
+            module_relative=False,
+        )
+    finally:
+        os.chdir(cwd)
+    assert tests > 0, "performance.md lost its doctests"
+    assert failures == 0

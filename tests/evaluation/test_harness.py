@@ -98,9 +98,13 @@ class TestFeedStreamTiming:
         sk = build_sketch("gk_array", eps=0.05)
         timings = {}
         feed_stream(sk, data, timings=timings)
-        assert set(timings) == {"update_s", "sample_s"}
+        assert set(timings) == {
+            "update_s", "sample_s", "ingest_path", "batch_size"
+        }
         assert timings["update_s"] > 0
         assert timings["sample_s"] >= 0
+        assert timings["ingest_path"] == "extend"
+        assert timings["batch_size"] == 4096
 
 
 class TestRunExperiment:
@@ -150,9 +154,14 @@ class TestRunExperiment:
         data = uniform_stream(3_000, universe_log2=16, seed=5)
         result = run_experiment("gk_array", data, eps=0.05)
         assert set(result.extra) == {
-            "build_s", "update_s", "sample_s", "query_s"
+            "build_s", "update_s", "sample_s", "query_s", "ingest_path"
         }
-        assert all(v >= 0 for v in result.extra.values())
+        assert result.extra["ingest_path"] == "extend"
+        assert all(
+            v >= 0
+            for k, v in result.extra.items()
+            if k != "ingest_path"
+        )
         assert result.update_time_us == pytest.approx(
             1e6 * result.extra["update_s"] / len(data)
         )

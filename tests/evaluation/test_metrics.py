@@ -67,7 +67,7 @@ class TestMeasureErrors:
         data = np.arange(10_000, dtype=np.int64)
 
         class Shifted:
-            def quantiles(self, phis):
+            def query_batch(self, phis):
                 return [int(phi * 10_000) + 500 for phi in phis]
 
         report = measure_errors(Shifted(), data, eps=0.1)

@@ -1,0 +1,67 @@
+"""Batch equivalence for the successor algorithms (KLL, SampledGK).
+
+KLL's ``extend`` fills the bottom compactor in chunks but triggers
+compactions at exactly the same element boundaries as the update loop,
+so same-seed runs are identical down to the compactor contents and the
+RNG state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.successors.kll import KLL
+from repro.successors.sampled_gk import SampledGK
+
+PHI_GRID = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+
+streams = st.lists(st.integers(0, (1 << 16) - 1), max_size=600)
+seeds = st.integers(0, 2**16)
+
+
+class TestKLLSameSeedIdentical:
+    @given(data=streams, seed=seeds)
+    def test_extend_matches_update_loop(self, data, seed) -> None:
+        batched = KLL(eps=0.1, seed=seed)
+        looped = KLL(eps=0.1, seed=seed)
+        batched.extend(np.asarray(data, dtype=np.int64))
+        for v in data:
+            looped.update(v)
+        assert batched._compactors == looped._compactors
+        assert batched.n == looped.n == len(data)
+        assert (
+            batched._rng.bit_generator.state
+            == looped._rng.bit_generator.state
+        )
+        if data:
+            assert batched.query_batch(PHI_GRID) == looped.query_batch(
+                PHI_GRID
+            )
+
+    def test_empty_and_single_element_batches(self) -> None:
+        sk = KLL(eps=0.1, seed=1)
+        sk.extend([])
+        sk.extend(np.asarray([], dtype=np.int64))
+        assert sk.n == 0
+        sk.extend(np.asarray([5], dtype=np.int64))
+        assert sk.n == 1
+        assert sk.query(0.5) == 5
+
+
+class TestQueryBatchMatchesQueryLoop:
+    def test_kll(self, rng) -> None:
+        sk = KLL(eps=0.05, seed=2)
+        sk.extend(rng.integers(0, 1 << 16, size=4_000, dtype=np.int64))
+        assert sk.query_batch(PHI_GRID) == [
+            sk.query(phi) for phi in PHI_GRID
+        ]
+        assert sk.query_batch([]) == []
+
+    def test_sampled_gk(self, rng) -> None:
+        sk = SampledGK(eps=0.05, seed=2)
+        sk.extend(rng.integers(0, 1 << 16, size=4_000, dtype=np.int64))
+        assert sk.query_batch(PHI_GRID) == [
+            sk.query(phi) for phi in PHI_GRID
+        ]

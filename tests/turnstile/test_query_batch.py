@@ -1,0 +1,75 @@
+"""Batched queries on the dyadic structures must match the scalar path.
+
+``rank_batch``/``query_batch`` share one estimator call per level across
+all probes; the estimates are deterministic functions of the sketch
+state, so the answers must be *exactly* those of looping ``rank`` /
+``query`` — including for Post, whose batched path must route through
+the OLS-corrected snapshot rather than the inherited dyadic walk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.turnstile.dcm import DyadicCountMin
+from repro.turnstile.dcs import DyadicCountSketch
+from repro.turnstile.postprocess import DCSWithPostProcessing
+from repro.turnstile.rss import RandomSubsetSums
+
+PHI_GRID = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+
+FACTORIES = [
+    ("dcm", lambda: DyadicCountMin(eps=0.05, universe_log2=12, seed=3)),
+    ("dcs", lambda: DyadicCountSketch(eps=0.05, universe_log2=12, seed=3)),
+    ("rss", lambda: RandomSubsetSums(eps=0.1, universe_log2=10, seed=3)),
+]
+
+
+@pytest.fixture(params=FACTORIES, ids=[n for n, _ in FACTORIES])
+def sketch(request, rng):
+    sk = request.param[1]()
+    data = rng.integers(0, sk.universe, size=5_000, dtype=np.int64)
+    sk.update_batch(data)
+    deletions = data[:500]
+    sk.update_batch(deletions, -1)
+    return sk
+
+
+class TestRankBatch:
+    def test_matches_scalar_rank(self, sketch, rng) -> None:
+        probes = np.concatenate([
+            rng.integers(0, sketch.universe, size=64, dtype=np.int64),
+            np.asarray([0, 1, sketch.universe - 1, sketch.universe]),
+        ])
+        batched = sketch.rank_batch(probes)
+        scalar = [sketch.rank(int(v)) for v in probes]
+        assert batched.tolist() == scalar
+
+    def test_empty_probe_list(self, sketch) -> None:
+        assert sketch.rank_batch([]).tolist() == []
+
+
+class TestQueryBatch:
+    def test_matches_scalar_query(self, sketch) -> None:
+        assert sketch.query_batch(PHI_GRID) == [
+            sketch.query(phi) for phi in PHI_GRID
+        ]
+
+    def test_empty_phi_list(self, sketch) -> None:
+        assert sketch.query_batch([]) == []
+
+
+class TestPostRoutesThroughSnapshot:
+    def test_query_batch_uses_corrected_counts(self, rng) -> None:
+        sk = DCSWithPostProcessing(eps=0.05, universe_log2=12, seed=9)
+        data = rng.integers(0, sk.universe, size=5_000, dtype=np.int64)
+        sk.update_batch(data)
+        snap = sk.snapshot()
+        assert sk.query_batch(PHI_GRID) == [
+            snap.query(phi) for phi in PHI_GRID
+        ]
+        # ...and NOT the raw dyadic walk, which skips the OLS step.
+        raw = DyadicCountSketch.query_batch(sk, PHI_GRID)
+        corrected = sk.query_batch(PHI_GRID)
+        assert len(raw) == len(corrected)
