@@ -26,10 +26,16 @@ import math
 from typing import List
 
 from repro.core.base import QuantileSketch, reject_nan, validate_eps, validate_phi
-from repro.core.errors import EmptySummaryError
+from repro.core.errors import (
+    CorruptSummaryError,
+    EmptySummaryError,
+    InvalidParameterError,
+)
 from repro.core.registry import register
+from repro.core.snapshot import snapshottable
 
 
+@snapshottable("biased_gk")
 @register("biased_gk")
 class BiasedQuantiles(QuantileSketch):
     """GK-style summary with a relative (biased) error guarantee.
@@ -48,7 +54,7 @@ class BiasedQuantiles(QuantileSketch):
     def __init__(self, eps: float, buffer_factor: float = 1.0) -> None:
         self.eps = validate_eps(eps)
         if buffer_factor <= 0:
-            raise ValueError(
+            raise InvalidParameterError(
                 f"buffer_factor must be positive, got {buffer_factor!r}"
             )
         self.buffer_factor = float(buffer_factor)
@@ -171,6 +177,53 @@ class BiasedQuantiles(QuantileSketch):
         """Number of stored tuples."""
         self._prepare_query()
         return len(self._values)
+
+    def validate(self) -> "BiasedQuantiles":
+        """Check the biased summary's structural invariants; return
+        ``self``.
+
+        Verified: the element count is a non-negative integer, stored
+        values are non-decreasing, every ``g`` is a positive integer and
+        every ``Delta`` non-negative, and the ``g`` values sum to ``n``.
+        The rank-dependent gap budget is *not* re-checked here: unlike
+        uniform GK, an insertion below an old tuple can leave a gap
+        legally above the budget at its new rank floor (the guarantee is
+        maintained at fold time, not as a pointwise state invariant).
+        Buffered elements are flushed first, which preserves the query
+        contract.  Called by :func:`repro.core.snapshot.restore`.
+
+        Raises:
+            CorruptSummaryError: if any invariant is violated.
+        """
+        if not isinstance(self._n, int) or self._n < 0:
+            raise CorruptSummaryError(
+                f"BiasedGK: bad element count {self._n!r}"
+            )
+        self._prepare_query()
+        rmin = 0
+        prev = None
+        for i, (v, g, delta) in enumerate(
+            zip(self._values, self._gs, self._deltas)
+        ):
+            if prev is not None and prev > v:
+                raise CorruptSummaryError(
+                    f"BiasedGK: tuple {i} values out of order"
+                )
+            prev = v
+            if not isinstance(g, int) or g < 1:
+                raise CorruptSummaryError(
+                    f"BiasedGK: tuple {i} has g={g!r} < 1"
+                )
+            if not isinstance(delta, int) or delta < 0:
+                raise CorruptSummaryError(
+                    f"BiasedGK: tuple {i} has delta={delta!r} < 0"
+                )
+            rmin += g
+        if rmin != self._n:
+            raise CorruptSummaryError(
+                f"BiasedGK: g values sum to {rmin}, expected n={self._n}"
+            )
+        return self
 
     def size_words(self) -> int:
         return 3 * len(self._values) + self._capacity()

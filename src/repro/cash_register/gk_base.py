@@ -21,7 +21,12 @@ import math
 from typing import List, Sequence, Tuple
 
 from repro.core.base import QuantileSketch, validate_eps, validate_phi
-from repro.core.errors import CorruptSummaryError, EmptySummaryError
+from repro.core.errors import (
+    CorruptSummaryError,
+    EmptySummaryError,
+    InvariantViolation,
+)
+from repro.devtools.marks import debug_asserts
 
 GKTuple = Tuple[object, int, int]  # (value, g, delta)
 
@@ -76,6 +81,7 @@ def gk_rank(
     return max(0.0, best)
 
 
+@debug_asserts  # test-support invariant checker, exempt from REP004
 def check_gk_invariants(
     values: Sequence,
     gs: Sequence[int],
@@ -84,7 +90,7 @@ def check_gk_invariants(
     eps: float,
     exact_ranks,
 ) -> None:
-    """Assert invariants (1) and (2) against exact ranks (test helper).
+    """Check invariants (1) and (2) against exact ranks (test helper).
 
     Args:
         exact_ranks: callable mapping a value to its exact 0-based rank
@@ -92,32 +98,43 @@ def check_gk_invariants(
             smaller, elements smaller-or-equal).
 
     Raises:
-        AssertionError: if any invariant is violated.
+        InvariantViolation: if any invariant is violated.  (A subclass of
+            ``AssertionError``, so the check fires even under
+            ``python -O`` while legacy ``pytest.raises(AssertionError)``
+            call sites keep working.)
     """
+
+    def require(cond: bool, message: str) -> None:
+        if not cond:
+            raise InvariantViolation(message)
+
     budget = math.floor(2 * eps * n)
     rmin = 0
     prev = None
     for i, (v, g, delta) in enumerate(zip(values, gs, deltas)):
-        assert g >= 1, f"tuple {i}: g={g} < 1"
-        assert delta >= 0, f"tuple {i}: delta={delta} < 0"
+        require(g >= 1, f"tuple {i}: g={g} < 1")
+        require(delta >= 0, f"tuple {i}: delta={delta} < 0")
         if prev is not None:
-            assert prev <= v, f"tuple {i}: values out of order"
+            require(prev <= v, f"tuple {i}: values out of order")
         prev = v
         rmin += g
         lo, hi = exact_ranks(v)
         # 1-based rank r(v)+1 of the stored occurrence lies in [lo+1, hi];
         # invariant (1) demands [rmin, rmin + delta] to intersect it.
-        assert rmin <= hi, (
-            f"tuple {i} ({v!r}): rmin={rmin} exceeds max 1-based rank {hi}"
+        require(
+            rmin <= hi,
+            f"tuple {i} ({v!r}): rmin={rmin} exceeds max 1-based rank {hi}",
         )
-        assert rmin + delta >= lo + 1, (
-            f"tuple {i} ({v!r}): rmax={rmin + delta} below min rank {lo + 1}"
+        require(
+            rmin + delta >= lo + 1,
+            f"tuple {i} ({v!r}): rmax={rmin + delta} below min rank {lo + 1}",
         )
         if i > 0:  # the minimum tuple may carry g=1, delta=0 trivially
-            assert g + delta <= max(budget, 1), (
-                f"tuple {i}: g+delta={g + delta} > budget {budget}"
+            require(
+                g + delta <= max(budget, 1),
+                f"tuple {i}: g+delta={g + delta} > budget {budget}",
             )
-    assert rmin == n, f"sum of g = {rmin} != n = {n}"
+    require(rmin == n, f"sum of g = {rmin} != n = {n}")
 
 
 class GKBase(QuantileSketch):

@@ -34,6 +34,7 @@ import math
 from repro.cash_register.gk_base import GKBase
 from repro.core.base import reject_nan
 from repro.core.registry import register
+from repro.core.snapshot import snapshottable
 
 
 def band(delta: int, p: int) -> int:
@@ -55,6 +56,7 @@ def band(delta: int, p: int) -> int:
     return alpha
 
 
+@snapshottable("gk_theory")
 @register("gk_theory")
 class GKTheory(GKBase):
     """Original GK01 summary with banded COMPRESS."""

@@ -45,7 +45,9 @@ from repro.core.base import (
     validate_phi,
 )
 from repro.core.base import validate_eps
+from repro.core.errors import CorruptSummaryError
 from repro.core.registry import register
+from repro.core.snapshot import snapshottable
 from repro.core.weighted import weighted_query_batch
 from repro.obs import metrics as obs_metrics
 from repro.sketches.hashing import make_rng
@@ -102,6 +104,7 @@ def weighted_collapse(
     return _WeightedBuffer(total_w, to_element_array(out))
 
 
+@snapshottable("mrl99")
 @register("mrl99")
 class MRL99(QuantileSketch):
     """The MRL99 randomized quantile sampler.
@@ -308,6 +311,56 @@ class MRL99(QuantileSketch):
         snapshot (bit-identical to looping :meth:`query`)."""
         self._require_nonempty()
         return weighted_query_batch(self._snapshot(), self._n, phis)
+
+    def validate(self) -> "MRL99":
+        """Check the sampler's structural invariants; return ``self``.
+
+        Verified: the element count is a non-negative integer, the
+        buffer count respects the ``b``-buffer budget, every sealed
+        buffer has a positive integer weight with its ``<= k`` samples
+        in sorted order, and the fill state (rate, pending items, block
+        progress) is internally consistent.  Called by
+        :func:`repro.core.snapshot.restore`.
+
+        Raises:
+            CorruptSummaryError: if any invariant is violated.
+        """
+        if not isinstance(self._n, int) or self._n < 0:
+            raise CorruptSummaryError(f"MRL99: bad element count {self._n!r}")
+        if len(self._buffers) > self.b:
+            raise CorruptSummaryError(
+                f"MRL99: {len(self._buffers)} buffers exceed budget "
+                f"b={self.b}"
+            )
+        for buf in self._buffers:
+            if not isinstance(buf.weight, int) or buf.weight < 1:
+                raise CorruptSummaryError(
+                    f"MRL99: buffer weight {buf.weight!r} < 1"
+                )
+            items = np.asarray(buf.items)
+            if items.ndim != 1:
+                raise CorruptSummaryError("MRL99: buffer items not 1-D")
+            if len(items) > self.k:
+                raise CorruptSummaryError(
+                    f"MRL99: buffer holds {len(items)} > k={self.k} samples"
+                )
+            if len(items) > 1 and np.any(items[:-1] > items[1:]):
+                raise CorruptSummaryError("MRL99: buffer items out of order")
+        if not isinstance(self._fill_rate, int) or self._fill_rate < 1:
+            raise CorruptSummaryError(
+                f"MRL99: bad sampling rate {self._fill_rate!r}"
+            )
+        if len(self._fill_items) > self.k:
+            raise CorruptSummaryError(
+                f"MRL99: {len(self._fill_items)} pending samples exceed "
+                f"k={self.k}"
+            )
+        if not (0 <= self._block_seen <= self._fill_rate):
+            raise CorruptSummaryError(
+                f"MRL99: block progress {self._block_seen} outside "
+                f"[0, {self._fill_rate}]"
+            )
+        return self
 
     def size_words(self) -> int:
         """Pre-allocated: ``b`` buffers of ``k`` plus the fill buffer and

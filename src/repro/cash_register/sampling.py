@@ -21,10 +21,13 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.base import QuantileSketch, reject_nan, validate_eps, validate_phi
+from repro.core.errors import CorruptSummaryError, InvalidParameterError
 from repro.core.registry import register
+from repro.core.snapshot import snapshottable
 from repro.sketches.hashing import make_rng
 
 
+@snapshottable("reservoir")
 @register("reservoir")
 class ReservoirSampling(QuantileSketch):
     """Uniform reservoir sample answering quantile queries.
@@ -55,7 +58,9 @@ class ReservoirSampling(QuantileSketch):
                 (1.0 / self.eps**2) * math.log2(2.0 / self.eps)
             )
         if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+            raise InvalidParameterError(
+                f"capacity must be >= 1, got {capacity!r}"
+            )
         self.capacity = capacity
         self._sample: List = []
         self._sorted_cache: Optional[np.ndarray] = None
@@ -94,6 +99,29 @@ class ReservoirSampling(QuantileSketch):
         data = self._sorted()
         idx = min(len(data) - 1, int(phi * len(data)))
         return data[idx]
+
+    def validate(self) -> "ReservoirSampling":
+        """Check the reservoir's structural invariants; return ``self``.
+
+        Verified: the element count is a non-negative integer and the
+        sample holds exactly ``min(n, capacity)`` elements — Algorithm R
+        fills the reservoir before ever replacing.  Called by
+        :func:`repro.core.snapshot.restore`.
+
+        Raises:
+            CorruptSummaryError: if any invariant is violated.
+        """
+        if not isinstance(self._n, int) or self._n < 0:
+            raise CorruptSummaryError(
+                f"Reservoir: bad element count {self._n!r}"
+            )
+        expected = min(self._n, self.capacity)
+        if len(self._sample) != expected:
+            raise CorruptSummaryError(
+                f"Reservoir: sample holds {len(self._sample)} elements, "
+                f"expected min(n, capacity) = {expected}"
+            )
+        return self
 
     def size_words(self) -> int:
         """One word per reservoir slot (pre-allocated)."""

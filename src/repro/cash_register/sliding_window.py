@@ -40,8 +40,13 @@ from repro.core.base import (
     validate_eps,
     validate_phi,
 )
-from repro.core.errors import EmptySummaryError, InvalidParameterError
+from repro.core.errors import (
+    CorruptSummaryError,
+    EmptySummaryError,
+    InvalidParameterError,
+)
 from repro.core.registry import register
+from repro.core.snapshot import snapshottable
 
 
 class _Chunk:
@@ -58,6 +63,7 @@ class _Chunk:
         self.weight = weight  # elements represented per sample
 
 
+@snapshottable("sliding_window")
 @register("sliding_window")
 class SlidingWindowQuantiles(QuantileSketch):
     """eps-approximate quantiles over the last ``window`` elements.
@@ -187,6 +193,60 @@ class SlidingWindowQuantiles(QuantileSketch):
             target = phi * self.n
             out.append(values[int(np.argmin(np.abs(cum - target)))])
         return out
+
+    def validate(self) -> "SlidingWindowQuantiles":
+        """Check the window structure's invariants; return ``self``.
+
+        Verified: the stream count is a non-negative integer, chunks
+        cover consecutive non-overlapping ranges ending at or before the
+        current position, each chunk carries sorted samples with a
+        positive weight, and the raw buffer has not outgrown the chunk
+        size.  Called by :func:`repro.core.snapshot.restore`.
+
+        Raises:
+            CorruptSummaryError: if any invariant is violated.
+        """
+        if not isinstance(self._count, int) or self._count < 0:
+            raise CorruptSummaryError(
+                f"SlidingWindow: bad stream count {self._count!r}"
+            )
+        prev_end = None
+        for chunk in self._chunks:
+            if chunk.end <= chunk.start:
+                raise CorruptSummaryError(
+                    f"SlidingWindow: chunk range [{chunk.start}, "
+                    f"{chunk.end}) is empty or inverted"
+                )
+            if chunk.end > self._count:
+                raise CorruptSummaryError(
+                    f"SlidingWindow: chunk ends at {chunk.end} beyond "
+                    f"stream position {self._count}"
+                )
+            if prev_end is not None and chunk.start < prev_end:
+                raise CorruptSummaryError(
+                    "SlidingWindow: chunks overlap or are out of order"
+                )
+            prev_end = chunk.end
+            if not (chunk.weight > 0):
+                raise CorruptSummaryError(
+                    f"SlidingWindow: chunk weight {chunk.weight!r} <= 0"
+                )
+            samples = np.asarray(chunk.samples)
+            if samples.ndim != 1 or len(samples) == 0:
+                raise CorruptSummaryError(
+                    "SlidingWindow: chunk samples must be a non-empty "
+                    "1-D array"
+                )
+            if len(samples) > 1 and np.any(samples[:-1] > samples[1:]):
+                raise CorruptSummaryError(
+                    "SlidingWindow: chunk samples out of order"
+                )
+        if len(self._buffer) > self._chunk_size:
+            raise CorruptSummaryError(
+                f"SlidingWindow: raw buffer holds {len(self._buffer)} "
+                f"elements, chunk size is {self._chunk_size}"
+            )
+        return self
 
     def size_words(self) -> int:
         """Samples plus chunk bookkeeping plus the raw buffer capacity."""

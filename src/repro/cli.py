@@ -24,7 +24,7 @@ import argparse
 import json
 import sys
 import time
-from typing import Iterable, List, Optional
+from typing import Any, Iterable, Iterator, List, Optional, TextIO
 
 from repro.core.errors import ReproError
 from repro.core.registry import algorithms
@@ -97,7 +97,7 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _read_values(source: Iterable[str], as_int: bool) -> Iterable:
+def _read_values(source: Iterable[str], as_int: bool) -> Iterator[float]:
     for lineno, line in enumerate(source, 1):
         line = line.strip()
         if not line:
@@ -110,12 +110,16 @@ def _read_values(source: Iterable[str], as_int: bool) -> Iterable:
             ) from None
 
 
-def _scalar(value):
+def _scalar(value: Any) -> Any:
     """Convert numpy scalars to plain Python for JSON output."""
     return value.item() if hasattr(value, "item") else value
 
 
-def run(argv: Optional[List[str]] = None, stdin=None, stdout=None) -> int:
+def run(
+    argv: Optional[List[str]] = None,
+    stdin: Optional[TextIO] = None,
+    stdout: Optional[TextIO] = None,
+) -> int:
     """CLI entry point; returns a process exit code."""
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
@@ -138,7 +142,12 @@ def run(argv: Optional[List[str]] = None, stdin=None, stdout=None) -> int:
             tracer.write(args.trace)
 
 
-def _run(args, stdin, stdout, registry) -> int:
+def _run(
+    args: argparse.Namespace,
+    stdin: TextIO,
+    stdout: TextIO,
+    registry: Optional[obs_metrics.MetricsRegistry],
+) -> int:
     def fail(message: str, code: int) -> int:
         if args.as_json:
             print(json.dumps({"error": message}), file=stdout)
@@ -157,7 +166,7 @@ def _run(args, stdin, stdout, registry) -> int:
         )
         build_s = time.perf_counter() - build_start
         if args.input == "-":
-            lines: Iterable[str] = stdin
+            lines: TextIO = stdin
         else:
             lines = open(args.input)
         start = time.perf_counter()

@@ -3,6 +3,7 @@
 from repro.core.base import (
     MergeableSketch,
     QuantileSketch,
+    SupportsQuantileQueries,
     TurnstileSketch,
     WORD_BYTES,
     validate_eps,
@@ -13,6 +14,7 @@ from repro.core.errors import (
     CorruptSummaryError,
     EmptySummaryError,
     InvalidParameterError,
+    InvariantViolation,
     MergeError,
     NegativeFrequencyError,
     ReproError,
@@ -34,6 +36,7 @@ __all__ = [
     "EmptySummaryError",
     "ExactQuantiles",
     "InvalidParameterError",
+    "InvariantViolation",
     "MergeError",
     "MergeableSketch",
     "MunroPaterson",
@@ -41,6 +44,7 @@ __all__ = [
     "QuantileSketch",
     "ReproError",
     "SiteUnavailableError",
+    "SupportsQuantileQueries",
     "TurnstileSketch",
     "UniverseOverflowError",
     "WORD_BYTES",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Iterable, List, Sequence
+from typing import Any, Iterable, List, Protocol, Sequence
 
 from repro.core.errors import EmptySummaryError, InvalidParameterError
 
@@ -102,6 +102,24 @@ def validate_universe_log2(universe_log2: int) -> int:
             f"universe_log2 must be in [1, 64], got {universe_log2!r}"
         )
     return universe_log2
+
+
+class SupportsQuantileQueries(Protocol):
+    """The read-only query surface shared by summaries and snapshots.
+
+    Evaluation and analysis helpers accept anything with this shape:
+    live sketches, exact baselines, and post-processed snapshots all
+    qualify without inheriting from :class:`QuantileSketch`.
+    """
+
+    @property
+    def n(self) -> int: ...
+
+    def rank(self, value: Any) -> float: ...
+
+    def query(self, phi: float) -> Any: ...
+
+    def query_batch(self, phis: Sequence[float]) -> List: ...
 
 
 class QuantileSketch(abc.ABC):

@@ -14,6 +14,8 @@ The hierarchy::
     ├── MergeError (ValueError)               incompatible summaries
     ├── CorruptSummaryError (ValueError)      checksum/invariant failure on
     │                                         a serialized or merged summary
+    ├── InvariantViolation (AssertionError)   structural invariant broken
+    │                                         (survives ``python -O``)
     └── SiteUnavailableError (RuntimeError)   distributed site unreachable
 """
 
@@ -64,6 +66,19 @@ class CorruptSummaryError(ReproError, ValueError):
     non-negative dyadic counts) are violated — e.g. after merging a
     payload received over an unreliable channel.  A summary that raises
     this error must be discarded; its answers are not trustworthy.
+    """
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """A structural invariant of a summary does not hold.
+
+    Raised by the invariant checkers (e.g.
+    :func:`repro.cash_register.gk_base.check_gk_invariants`) in place of
+    bare ``assert`` statements, so the checks still fire under
+    ``python -O`` (which strips asserts).  Deriving from
+    :class:`AssertionError` keeps ``pytest.raises(AssertionError)``
+    call sites working; deriving from :class:`ReproError` lets callers
+    catch every deliberate library failure in one clause.
     """
 
 

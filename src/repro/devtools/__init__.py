@@ -1,0 +1,42 @@
+"""Developer tooling for the repro library.
+
+``repro.devtools`` is the home of *replint*, a domain-aware static
+analysis pass that enforces the invariants the rest of the library only
+states in prose: seeded-RNG determinism, the registry/snapshot/metrics
+contracts, and the no-bare-assert rule that keeps invariant checking
+alive under ``python -O``.
+
+Run it as a module::
+
+    python -m repro.devtools.lint src tests benchmarks
+
+See ``docs/static-analysis.md`` for the rule catalog and suppression
+syntax (``# replint: disable=REP001``).
+
+This package deliberately has no third-party dependencies (not even
+numpy) so it can run in the leanest CI environment, and nothing in the
+library proper imports it except :mod:`repro.devtools.marks`, whose
+decorators are dependency-free markers.
+"""
+
+from repro.devtools.engine import (
+    Diagnostic,
+    FileContext,
+    LintResult,
+    Linter,
+    ProjectIndex,
+    Rule,
+)
+from repro.devtools.marks import debug_asserts
+from repro.devtools.rules import DEFAULT_RULES
+
+__all__ = [
+    "DEFAULT_RULES",
+    "Diagnostic",
+    "FileContext",
+    "LintResult",
+    "Linter",
+    "ProjectIndex",
+    "Rule",
+    "debug_asserts",
+]

@@ -1,0 +1,580 @@
+"""The replint rule engine: file discovery, AST indexing, suppression
+handling, and diagnostic reporting.
+
+Design
+------
+
+Linting runs in two passes:
+
+1. **Index pass** — every file is parsed once and summarized into a
+   :class:`ProjectIndex`: class definitions (name, bases, decorators,
+   methods with their signatures), ``DEFAULT_INSTRUMENTS`` metric-name
+   declarations, and ``__getstate__``/``__setstate__`` field literals.
+   Cross-file rules (sketch contracts, snapshot coverage, metric
+   preregistration) resolve names against this index, so the engine
+   never imports the code it lints.
+2. **Rule pass** — each :class:`Rule` visits each file's AST with the
+   index available through :class:`FileContext`, yielding
+   :class:`Diagnostic` records.  Project-scope rules may additionally
+   emit diagnostics once per run via :meth:`Rule.check_project`.
+
+Suppressions: a trailing ``# replint: disable=REP001`` comment silences
+the named rules (comma-separated, or ``all``) on that line; a comment
+line ``# replint: disable-file=REP001`` anywhere in the file silences
+them for the whole file.  Directories named ``replint_fixtures`` are
+never linted — that is where the test suite keeps deliberately bad
+sources.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import json
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Directory names the file walker never descends into.
+SKIP_DIR_NAMES = {
+    "__pycache__",
+    ".git",
+    ".mypy_cache",
+    ".pytest_cache",
+    "replint_fixtures",
+}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*replint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+#: Roles a file can play; rules scope themselves to a subset.
+ROLE_LIBRARY = "library"
+ROLE_TESTS = "tests"
+ROLE_BENCHMARKS = "benchmarks"
+ROLE_EXAMPLES = "examples"
+ROLE_OTHER = "other"
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One finding: rule, location, human message."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class MethodInfo:
+    """Signature summary of one function/method definition."""
+
+    name: str
+    line: int
+    #: positional parameter names, including ``self``.
+    pos_params: Tuple[str, ...]
+    #: number of positional parameters carrying defaults.
+    pos_defaults: int
+    has_vararg: bool
+    has_kwarg: bool
+    #: keyword-only parameter names without defaults.
+    required_kwonly: Tuple[str, ...]
+    decorators: Tuple[str, ...]
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """Summary of one class definition, as seen by the index pass."""
+
+    name: str
+    path: str
+    line: int
+    role: str
+    #: base-class names as written (dotted names collapsed to the last
+    #: attribute, e.g. ``base.QuantileSketch`` -> ``QuantileSketch``).
+    bases: Tuple[str, ...]
+    #: decorator call names, e.g. ``register`` / ``snapshottable``.
+    decorator_names: Tuple[str, ...]
+    #: first-argument string literal per decorator call, when present.
+    decorator_keys: Dict[str, str]
+    methods: Dict[str, MethodInfo]
+    #: constant keys written by ``__getstate__`` (dict literal returns).
+    getstate_keys: Optional[Set[str]] = None
+    #: constant keys read by ``__setstate__`` (subscripts / .get calls).
+    setstate_keys: Optional[Set[str]] = None
+
+
+def _call_name(node: ast.expr) -> Optional[str]:
+    """Last-attribute name of a decorator/call target, or None."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _summarize_function(node: ast.FunctionDef) -> MethodInfo:
+    args = node.args
+    pos = tuple(a.arg for a in args.posonlyargs + args.args)
+    required_kwonly = tuple(
+        a.arg
+        for a, default in zip(args.kwonlyargs, args.kw_defaults)
+        if default is None
+    )
+    decorators = tuple(
+        name
+        for name in (_call_name(d) for d in node.decorator_list)
+        if name is not None
+    )
+    return MethodInfo(
+        name=node.name,
+        line=node.lineno,
+        pos_params=pos,
+        pos_defaults=len(args.defaults),
+        has_vararg=args.vararg is not None,
+        has_kwarg=args.kwarg is not None,
+        required_kwonly=required_kwonly,
+        decorators=decorators,
+    )
+
+
+def _const_str(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _extract_getstate_keys(node: ast.FunctionDef) -> Optional[Set[str]]:
+    """Constant keys of dict literals returned by ``__getstate__``.
+
+    Returns None when the method's returns are not statically
+    extractable (non-literal return), meaning "don't check".
+    """
+    keys: Set[str] = set()
+    extractable = False
+    for stmt in ast.walk(node):
+        if not isinstance(stmt, ast.Return) or stmt.value is None:
+            continue
+        if isinstance(stmt.value, ast.Dict):
+            extractable = True
+            for key in stmt.value.keys:
+                text = _const_str(key) if key is not None else None
+                if text is not None:
+                    keys.add(text)
+        else:
+            return None
+    return keys if extractable else None
+
+
+def _extract_setstate_keys(node: ast.FunctionDef) -> Optional[Set[str]]:
+    """Constant keys ``__setstate__`` reads from its state argument."""
+    args = node.args.posonlyargs + node.args.args
+    if len(args) < 2:
+        return None
+    state_name = args[1].arg
+    keys: Set[str] = set()
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Subscript)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == state_name
+        ):
+            text = _const_str(sub.slice)
+            if text is not None:
+                keys.add(text)
+        elif (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in ("get", "pop")
+            and isinstance(sub.func.value, ast.Name)
+            and sub.func.value.id == state_name
+            and sub.args
+        ):
+            text = _const_str(sub.args[0])
+            if text is not None:
+                keys.add(text)
+    return keys or None
+
+
+def infer_role(path: Path) -> str:
+    """Classify a file by the directories on its path."""
+    parts = set(path.parts)
+    if "tests" in parts or "test" in parts:
+        return ROLE_TESTS
+    if "benchmarks" in parts:
+        return ROLE_BENCHMARKS
+    if "examples" in parts:
+        return ROLE_EXAMPLES
+    if "repro" in parts or "src" in parts:
+        return ROLE_LIBRARY
+    return ROLE_OTHER
+
+
+class ProjectIndex:
+    """Cross-file facts collected in the index pass."""
+
+    def __init__(self) -> None:
+        #: class name -> ClassInfo (last definition wins; the library
+        #: has no duplicate class names across modules).
+        self.classes: Dict[str, ClassInfo] = {}
+        #: metric names declared in any ``DEFAULT_INSTRUMENTS`` literal.
+        self.declared_metrics: Set[str] = set()
+        #: True once at least one DEFAULT_INSTRUMENTS literal was seen.
+        self.has_metric_declarations = False
+
+    # -- construction ---------------------------------------------------
+
+    def add_file(self, path: Path, tree: ast.Module, role: str) -> None:
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                self._add_class(path, node, role)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                self._maybe_add_instruments(node)
+
+    def _add_class(self, path: Path, node: ast.ClassDef, role: str) -> None:
+        methods: Dict[str, MethodInfo] = {}
+        getstate_keys: Optional[Set[str]] = None
+        setstate_keys: Optional[Set[str]] = None
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if isinstance(stmt, ast.AsyncFunctionDef):
+                    continue
+                methods[stmt.name] = _summarize_function(stmt)
+                if stmt.name == "__getstate__":
+                    getstate_keys = _extract_getstate_keys(stmt)
+                elif stmt.name == "__setstate__":
+                    setstate_keys = _extract_setstate_keys(stmt)
+        decorator_names = []
+        decorator_keys: Dict[str, str] = {}
+        for dec in node.decorator_list:
+            name = _call_name(dec)
+            if name is None:
+                continue
+            decorator_names.append(name)
+            if isinstance(dec, ast.Call) and dec.args:
+                key = _const_str(dec.args[0])
+                if key is not None:
+                    decorator_keys[name] = key
+        bases = tuple(
+            name
+            for name in (_call_name(b) for b in node.bases)
+            if name is not None
+        )
+        self.classes[node.name] = ClassInfo(
+            name=node.name,
+            path=str(path),
+            line=node.lineno,
+            role=role,
+            bases=bases,
+            decorator_names=tuple(decorator_names),
+            decorator_keys=decorator_keys,
+            methods=methods,
+            getstate_keys=getstate_keys,
+            setstate_keys=setstate_keys,
+        )
+
+    def _maybe_add_instruments(self, node: ast.stmt) -> None:
+        targets: List[ast.expr]
+        value: Optional[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+        else:
+            return
+        named = any(
+            isinstance(t, ast.Name) and t.id == "DEFAULT_INSTRUMENTS"
+            for t in targets
+        )
+        if not named or not isinstance(value, (ast.Tuple, ast.List)):
+            return
+        for element in value.elts:
+            if (
+                isinstance(element, (ast.Tuple, ast.List))
+                and len(element.elts) == 2
+            ):
+                metric = _const_str(element.elts[1])
+                if metric is not None:
+                    self.declared_metrics.add(metric)
+                    self.has_metric_declarations = True
+
+    # -- queries --------------------------------------------------------
+
+    def iter_subclass_chain(self, name: str) -> Iterator[ClassInfo]:
+        """The class and every indexed ancestor, breadth-first."""
+        seen: Set[str] = set()
+        queue = [name]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            yield info
+            queue.extend(info.bases)
+
+    def is_subclass_of(self, name: str, target: str) -> Optional[bool]:
+        """Whether ``name`` transitively subclasses ``target`` (by name).
+
+        Returns None when the chain leaves the index (an unresolvable
+        base), meaning "cannot prove either way".
+        """
+        unresolved = False
+        for info in self.iter_subclass_chain(name):
+            if info.name == target or target in info.bases:
+                return True
+            for base in info.bases:
+                if base == target:
+                    return True
+                if base not in self.classes and base != "object":
+                    unresolved = True
+        return None if unresolved else False
+
+    def find_method(self, name: str, method: str) -> Optional[MethodInfo]:
+        """Resolve ``method`` on ``name`` or any indexed ancestor."""
+        for info in self.iter_subclass_chain(name):
+            if method in info.methods:
+                return info.methods[method]
+        return None
+
+
+@dataclasses.dataclass
+class FileContext:
+    """Everything a rule needs to know about the file being checked."""
+
+    path: str
+    role: str
+    tree: ast.Module
+    source: str
+    project: ProjectIndex
+    #: line number -> rule ids suppressed on that line ("all" wildcard).
+    line_suppressions: Dict[int, Set[str]]
+    #: rule ids suppressed for the whole file.
+    file_suppressions: Set[str]
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self.file_suppressions or "all" in self.file_suppressions:
+            return True
+        rules = self.line_suppressions.get(line)
+        return rules is not None and (rule_id in rules or "all" in rules)
+
+
+def parse_suppressions(
+    source: str,
+) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Extract line- and file-level ``# replint:`` suppression comments."""
+    line_rules: Dict[int, Set[str]] = {}
+    file_rules: Set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = [
+            (i + 1, line[line.index("#"):])
+            for i, line in enumerate(source.splitlines())
+            if "#" in line
+        ]
+    for line, comment in comments:
+        match = _SUPPRESS_RE.search(comment)
+        if not match:
+            continue
+        kind, spec = match.groups()
+        rules = {part.strip() for part in spec.split(",") if part.strip()}
+        if kind == "disable-file":
+            file_rules |= rules
+        else:
+            line_rules.setdefault(line, set()).update(rules)
+    return line_rules, file_rules
+
+
+class Rule:
+    """Base class for replint rules.
+
+    Subclasses set :attr:`rule_id` / :attr:`title` / :attr:`rationale`,
+    declare the file roles they apply to via :attr:`roles`, and
+    implement :meth:`check` (per file) and/or :meth:`check_project`
+    (once per run, after every file has been indexed and checked).
+    """
+
+    rule_id = "REP000"
+    title = "abstract rule"
+    rationale = ""
+    roles: Tuple[str, ...] = (ROLE_LIBRARY,)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.role in self.roles
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        return iter(())
+
+    def check_project(
+        self, project: ProjectIndex, contexts: Sequence[FileContext]
+    ) -> Iterator[Diagnostic]:
+        return iter(())
+
+    def diagnostic(
+        self, ctx_path: str, node: object, message: str
+    ) -> Diagnostic:
+        # `node` is anything carrying lineno/col_offset — an ast.AST or a
+        # plain location anchor for project-scope diagnostics.
+        return Diagnostic(
+            rule_id=self.rule_id,
+            path=ctx_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    diagnostics: List[Diagnostic]
+    files_checked: int
+    suppressed: int
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.diagnostics else 0
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+        }
+
+
+def discover_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            out.append(path)
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(part in SKIP_DIR_NAMES for part in sub.parts):
+                    out.append(sub)
+    unique: List[Path] = []
+    seen: Set[Path] = set()
+    for path in out:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+class Linter:
+    """Drives the two-pass lint over a set of paths."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        select: Optional[Set[str]] = None,
+    ) -> None:
+        if select:
+            rules = [r for r in rules if r.rule_id in select]
+        self.rules: List[Rule] = list(rules)
+
+    def build_contexts(
+        self, files: Sequence[Path]
+    ) -> Tuple[ProjectIndex, List[FileContext], List[Diagnostic]]:
+        project = ProjectIndex()
+        contexts: List[FileContext] = []
+        errors: List[Diagnostic] = []
+        for path in files:
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=str(path))
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                errors.append(
+                    Diagnostic(
+                        rule_id="REP000",
+                        path=str(path),
+                        line=getattr(exc, "lineno", 1) or 1,
+                        col=0,
+                        message=f"file could not be parsed: {exc}",
+                    )
+                )
+                continue
+            role = infer_role(path)
+            project.add_file(path, tree, role)
+            line_sup, file_sup = parse_suppressions(source)
+            contexts.append(
+                FileContext(
+                    path=str(path),
+                    role=role,
+                    tree=tree,
+                    source=source,
+                    project=project,
+                    line_suppressions=line_sup,
+                    file_suppressions=file_sup,
+                )
+            )
+        return project, contexts, errors
+
+    def run(self, paths: Iterable[str]) -> LintResult:
+        files = discover_files(paths)
+        project, contexts, diagnostics = self.build_contexts(files)
+        suppressed = 0
+        for ctx in contexts:
+            for rule in self.rules:
+                if not rule.applies_to(ctx):
+                    continue
+                for diag in rule.check(ctx):
+                    if ctx.is_suppressed(diag.rule_id, diag.line):
+                        suppressed += 1
+                    else:
+                        diagnostics.append(diag)
+        ctx_by_path = {ctx.path: ctx for ctx in contexts}
+        for rule in self.rules:
+            for diag in rule.check_project(project, contexts):
+                ctx = ctx_by_path.get(diag.path)
+                if ctx is not None and ctx.is_suppressed(diag.rule_id, diag.line):
+                    suppressed += 1
+                else:
+                    diagnostics.append(diag)
+        diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule_id))
+        return LintResult(
+            diagnostics=diagnostics,
+            files_checked=len(contexts),
+            suppressed=suppressed,
+        )
+
+
+def render_text(result: LintResult) -> str:
+    lines = [diag.format() for diag in result.diagnostics]
+    summary = (
+        f"replint: {len(result.diagnostics)} problem(s) in "
+        f"{result.files_checked} file(s)"
+    )
+    if result.suppressed:
+        summary += f" ({result.suppressed} suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(result.to_json(), indent=2, sort_keys=True)

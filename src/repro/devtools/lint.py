@@ -1,0 +1,98 @@
+"""replint command-line interface.
+
+Usage::
+
+    python -m repro.devtools.lint src tests benchmarks
+    python -m repro.devtools.lint --format json src
+    python -m repro.devtools.lint --select REP001,REP004 src/repro
+    python -m repro.devtools.lint --list-rules
+
+Exit status is 0 when no diagnostics are emitted, 1 when at least one
+rule fired, and 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Set
+
+from repro.devtools.engine import Linter, render_json, render_text
+from repro.devtools.rules import DEFAULT_RULES, RULES_BY_ID
+
+#: Directories linted when no paths are given (those that exist).
+_DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="replint: domain-aware static analysis for repro",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tests "
+        "benchmarks examples, those that exist)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def list_rules() -> str:
+    lines: List[str] = []
+    for rule in DEFAULT_RULES:
+        lines.append(f"{rule.rule_id}  {rule.title}")
+        lines.append(f"    applies to: {', '.join(rule.roles)}")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    select: Optional[Set[str]] = None
+    if args.select:
+        select = {part.strip() for part in args.select.split(",") if part.strip()}
+        unknown = select - set(RULES_BY_ID)
+        if unknown:
+            parser.error(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(RULES_BY_ID))}"
+            )
+    paths: List[str] = list(args.paths)
+    if not paths:
+        paths = [p for p in _DEFAULT_PATHS if Path(p).exists()]
+        if not paths:
+            paths = ["."]
+    linter = Linter(DEFAULT_RULES, select=select)
+    result = linter.run(paths)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Marker decorators recognized by the replint rules.
+
+This module is imported by library code (unlike the rest of
+``repro.devtools``), so it must stay free of any dependency — it defines
+plain pass-through decorators whose only job is to be *visible in the
+AST* to the lint rules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+def debug_asserts(func: _F) -> _F:
+    """REP004 allowlist: permit bare ``assert`` inside ``func``.
+
+    Library code must raise typed errors from :mod:`repro.core.errors`
+    instead of asserting, because ``python -O`` strips asserts.  A
+    handful of *debug-only* helpers (invariant checkers that exist for
+    the test suite, never for production control flow) are exempt; this
+    decorator marks them explicitly so the exemption is visible at the
+    definition site and auditable by ``replint``.
+
+    The decorator changes nothing at runtime — it returns ``func``
+    untouched.
+    """
+    return func

@@ -1,0 +1,469 @@
+"""The replint domain rules, REP001–REP005.
+
+Each rule encodes one invariant the library otherwise enforces only by
+convention; ``docs/static-analysis.md`` carries the full catalog with
+rationale and examples.  Rules are pure AST analyses over the
+:class:`~repro.devtools.engine.ProjectIndex` — they never import the
+code under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.engine import (
+    Diagnostic,
+    FileContext,
+    MethodInfo,
+    ProjectIndex,
+    ROLE_BENCHMARKS,
+    ROLE_EXAMPLES,
+    ROLE_LIBRARY,
+    Rule,
+)
+
+#: Names of numpy's legacy global-RNG functions (module-level
+#: ``np.random.X`` calls share hidden process state).
+_GLOBAL_NP_RANDOM = {
+    "seed",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "normal",
+    "uniform",
+    "exponential",
+    "poisson",
+    "binomial",
+    "standard_normal",
+    "sample",
+    "bytes",
+}
+
+#: Wall-clock attribute calls (monotonic timers are fine; wall-clock
+#: reads make runs irreproducible and break the simulated-clock model).
+_WALL_CLOCK_TIME = {"time", "time_ns"}
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today", "fromtimestamp"}
+
+_METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+#: Recorder methods whose first argument is a metric name.
+_RECORDER_METHODS = {"inc", "set", "observe", "counter", "gauge", "histogram"}
+
+#: Decorator that exempts a function from REP004.
+_ASSERT_ALLOWLIST_DECORATOR = "debug_asserts"
+
+
+def _dotted_parts(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ("a", "b", "c"); None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+class DeterminismRule(Rule):
+    """REP001: algorithm code must be deterministic given its seed.
+
+    Flags unseeded ``np.random.default_rng()`` / ``RandomState()``
+    construction, any use of numpy's module-level (global-state) RNG
+    functions, the stdlib ``random`` module, and wall-clock reads
+    (``time.time``, ``datetime.now``) inside library code.  Monotonic
+    timers (``perf_counter`` / ``perf_counter_ns``) are explicitly fine:
+    they measure, they do not decide.
+    """
+
+    rule_id = "REP001"
+    title = "seeded-RNG determinism"
+    rationale = (
+        "Random/MRL99/DCS reproducibility rests on every random draw "
+        "flowing from an explicit seed; hidden global RNG state or "
+        "wall-clock reads make same-seed runs diverge."
+    )
+    roles = (ROLE_LIBRARY,)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "random."
+                    ):
+                        yield self.diagnostic(
+                            ctx.path,
+                            node,
+                            "stdlib `random` uses hidden global state; "
+                            "use numpy Generators from an explicit seed "
+                            "(repro.sketches.hashing.make_rng)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.diagnostic(
+                        ctx.path,
+                        node,
+                        "stdlib `random` uses hidden global state; "
+                        "use numpy Generators from an explicit seed",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterator[Diagnostic]:
+        parts = _dotted_parts(node.func)
+        if parts is None:
+            return
+        tail = parts[-1]
+        if tail in ("default_rng", "RandomState"):
+            unseeded = not node.args or _is_none(node.args[0])
+            seeded_by_kw = any(
+                kw.arg == "seed" and not _is_none(kw.value)
+                for kw in node.keywords
+            )
+            if unseeded and not seeded_by_kw:
+                yield self.diagnostic(
+                    ctx.path,
+                    node,
+                    f"`{'.'.join(parts)}()` without a seed is "
+                    "irreproducible; pass an explicit seed "
+                    "(None must be an opt-in caller decision)",
+                )
+            return
+        if len(parts) >= 2 and parts[-2] == "random":
+            root = parts[0]
+            if root in ("np", "numpy") and tail in _GLOBAL_NP_RANDOM:
+                yield self.diagnostic(
+                    ctx.path,
+                    node,
+                    f"`{'.'.join(parts)}` draws from numpy's global RNG; "
+                    "use a seeded Generator instead",
+                )
+            return
+        if len(parts) == 2 and parts[0] == "time" and tail in _WALL_CLOCK_TIME:
+            yield self.diagnostic(
+                ctx.path,
+                node,
+                f"wall-clock `time.{tail}()` is irreproducible; use "
+                "`time.perf_counter*` for measurement or the simulated "
+                "clock for protocol logic",
+            )
+            return
+        if tail in _WALL_CLOCK_DATETIME and any(
+            part in ("datetime", "date") for part in parts[:-1]
+        ):
+            yield self.diagnostic(
+                ctx.path,
+                node,
+                f"wall-clock `{'.'.join(parts)}()` is irreproducible "
+                "inside algorithm code",
+            )
+
+
+class SketchContractRule(Rule):
+    """REP002: registered algorithms honor the ``QuantileSketch`` contract.
+
+    Every ``@register``-decorated class must (transitively) subclass
+    ``QuantileSketch``, provide a ``validate()`` self-check (its own or
+    inherited), and keep any ``extend`` / ``query_batch`` override
+    signature-compatible with the base (``self`` plus exactly one
+    positional argument, no extra required parameters).
+    """
+
+    rule_id = "REP002"
+    title = "sketch registry contract"
+    rationale = (
+        "The harness, snapshot layer, and distributed protocols "
+        "construct sketches by registry name and call the base-class "
+        "surface blindly; a registered class that drifts from it fails "
+        "at a distance."
+    )
+    roles = (ROLE_LIBRARY,)
+
+    _UNARY_OVERRIDES = ("extend", "query_batch", "quantiles")
+
+    def check_project(
+        self, project: ProjectIndex, contexts: Sequence[FileContext]
+    ) -> Iterator[Diagnostic]:
+        for info in sorted(
+            project.classes.values(), key=lambda c: (c.path, c.line)
+        ):
+            if info.role != ROLE_LIBRARY:
+                continue
+            if "register" not in info.decorator_names:
+                continue
+            anchor = _ClassAnchor(info.line)
+            is_sketch = project.is_subclass_of(info.name, "QuantileSketch")
+            if is_sketch is False:
+                yield self.diagnostic(
+                    info.path,
+                    anchor,
+                    f"registered class {info.name} does not subclass "
+                    "QuantileSketch",
+                )
+                continue
+            if project.find_method(info.name, "validate") is None:
+                yield self.diagnostic(
+                    info.path,
+                    anchor,
+                    f"registered class {info.name} has no validate() "
+                    "self-check (own or inherited)",
+                )
+            for method_name in self._UNARY_OVERRIDES:
+                method = info.methods.get(method_name)
+                if method is None:
+                    continue
+                problem = self._signature_problem(method)
+                if problem:
+                    yield self.diagnostic(
+                        info.path,
+                        _ClassAnchor(method.line),
+                        f"{info.name}.{method_name} {problem} — must stay "
+                        "call-compatible with QuantileSketch."
+                        f"{method_name}(self, values)",
+                    )
+
+    @staticmethod
+    def _signature_problem(method: MethodInfo) -> Optional[str]:
+        required_pos = len(method.pos_params) - method.pos_defaults
+        if required_pos > 2:
+            return (
+                f"requires {required_pos - 1} positional arguments"
+            )
+        if len(method.pos_params) < 2 and not method.has_vararg:
+            return "takes no positional argument"
+        if method.required_kwonly:
+            names = ", ".join(method.required_kwonly)
+            return f"adds required keyword-only arguments ({names})"
+        return None
+
+
+class _ClassAnchor:
+    """Minimal location carrier for project-scope diagnostics."""
+
+    def __init__(self, line: int) -> None:
+        self.lineno = line
+        self.col_offset = 0
+
+
+class SnapshotCoverageRule(Rule):
+    """REP003: every registered sketch participates in snapshot/restore.
+
+    A registered class must itself carry ``@snapshottable("tag")`` (the
+    restore path checks the concrete type, so inheriting a parent's tag
+    is not enough), and when a class spells out ``__getstate__`` /
+    ``__setstate__`` with literal keys, the keys written must match the
+    keys read.
+    """
+
+    rule_id = "REP003"
+    title = "snapshot coverage"
+    rationale = (
+        "Checkpointing and fault-tolerant aggregation ship summaries "
+        "as snapshot envelopes; a registered algorithm outside the "
+        "snapshot registry cannot be checkpointed, and mismatched "
+        "getstate/setstate fields corrupt state silently."
+    )
+    roles = (ROLE_LIBRARY,)
+
+    def check_project(
+        self, project: ProjectIndex, contexts: Sequence[FileContext]
+    ) -> Iterator[Diagnostic]:
+        for info in sorted(
+            project.classes.values(), key=lambda c: (c.path, c.line)
+        ):
+            if info.role != ROLE_LIBRARY:
+                continue
+            if "register" not in info.decorator_names:
+                continue
+            anchor = _ClassAnchor(info.line)
+            if "snapshottable" not in info.decorator_names:
+                key = info.decorator_keys.get("register", info.name.lower())
+                yield self.diagnostic(
+                    info.path,
+                    anchor,
+                    f"registered class {info.name} is not @snapshottable; "
+                    f'add @snapshottable("{key}") and a validate() '
+                    "self-check so it can be checkpointed",
+                )
+            written = info.getstate_keys
+            read = info.setstate_keys
+            if written is not None and read is not None:
+                missing = sorted(read - written)
+                unused = sorted(written - read)
+                if missing:
+                    yield self.diagnostic(
+                        info.path,
+                        anchor,
+                        f"{info.name}.__setstate__ reads keys never "
+                        f"written by __getstate__: {', '.join(missing)}",
+                    )
+                if unused:
+                    yield self.diagnostic(
+                        info.path,
+                        anchor,
+                        f"{info.name}.__getstate__ writes keys never "
+                        f"read by __setstate__: {', '.join(unused)}",
+                    )
+
+
+class NoLibraryAssertRule(Rule):
+    """REP004: library code raises typed errors, never bare ``assert``.
+
+    ``python -O`` strips asserts, so an invariant guarded by ``assert``
+    silently stops being checked in optimized deployments.  Debug-only
+    helpers opt out with ``@debug_asserts``
+    (:mod:`repro.devtools.marks`).
+    """
+
+    rule_id = "REP004"
+    title = "no bare assert in library code"
+    rationale = (
+        "Asserts vanish under `python -O`; invariants must raise typed "
+        "errors from repro.core.errors so they survive optimization "
+        "and are catchable."
+    )
+    roles = (ROLE_LIBRARY,)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        yield from self._walk(ctx, ctx.tree, allowed=False)
+
+    def _walk(
+        self, ctx: FileContext, node: ast.AST, allowed: bool
+    ) -> Iterator[Diagnostic]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_allowed = allowed or any(
+                    self._is_allowlist(dec) for dec in child.decorator_list
+                )
+                yield from self._walk(ctx, child, child_allowed)
+            elif isinstance(child, ast.Assert):
+                if not allowed:
+                    yield self.diagnostic(
+                        ctx.path,
+                        child,
+                        "bare assert disappears under `python -O`; raise "
+                        "a typed error from repro.core.errors (or mark "
+                        "the helper @debug_asserts if it is test-only)",
+                    )
+                yield from self._walk(ctx, child, allowed)
+            else:
+                yield from self._walk(ctx, child, allowed)
+
+    @staticmethod
+    def _is_allowlist(dec: ast.expr) -> bool:
+        parts = _dotted_parts(dec)
+        return parts is not None and parts[-1] == _ASSERT_ALLOWLIST_DECORATOR
+
+
+class MetricsPreregistrationRule(Rule):
+    """REP005: metric names are preregistered in ``DEFAULT_INSTRUMENTS``.
+
+    Every literal metric name passed to a recorder method
+    (``inc`` / ``set`` / ``observe`` / ``counter`` / ``gauge`` /
+    ``histogram``) must appear in the ``DEFAULT_INSTRUMENTS`` table, so
+    Prometheus/JSON exports carry every family at zero instead of
+    growing holes that only show up when a code path happens to run.
+    """
+
+    rule_id = "REP005"
+    title = "metrics preregistration"
+    rationale = (
+        "Exports preregister DEFAULT_INSTRUMENTS so dashboards see "
+        "every family on every run; an unregistered name silently "
+        "disappears from runs that do not exercise its code path."
+    )
+    roles = (ROLE_LIBRARY, ROLE_BENCHMARKS, ROLE_EXAMPLES)
+
+    def __init__(
+        self, declared_metrics: Optional[Set[str]] = None
+    ) -> None:
+        self._declared_override = declared_metrics
+
+    def _declared(self, project: ProjectIndex) -> Optional[Set[str]]:
+        if self._declared_override is not None:
+            return self._declared_override
+        if project.has_metric_declarations:
+            return project.declared_metrics
+        try:
+            from repro.obs.metrics import DEFAULT_INSTRUMENTS
+        except Exception:
+            return None
+        return {name for _kind, name in DEFAULT_INSTRUMENTS}
+
+    def check_project(
+        self, project: ProjectIndex, contexts: Sequence[FileContext]
+    ) -> Iterator[Diagnostic]:
+        declared = self._declared(project)
+        if declared is None:
+            return
+        for ctx in contexts:
+            if ctx.role not in self.roles:
+                continue
+            yield from self._check_file(ctx, declared)
+
+    def _check_file(
+        self, ctx: FileContext, declared: Set[str]
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                not isinstance(func, ast.Attribute)
+                or func.attr not in _RECORDER_METHODS
+                or not node.args
+            ):
+                continue
+            name = node.args[0]
+            if not (
+                isinstance(name, ast.Constant) and isinstance(name.value, str)
+            ):
+                continue
+            metric = name.value
+            if not _METRIC_NAME_RE.match(metric):
+                continue
+            if metric not in declared and not self._has_prefix_family(
+                metric, declared
+            ):
+                yield self.diagnostic(
+                    ctx.path,
+                    node,
+                    f"metric {metric!r} is not preregistered in "
+                    "DEFAULT_INSTRUMENTS; add it there so exports have "
+                    "no holes",
+                )
+
+    @staticmethod
+    def _has_prefix_family(metric: str, declared: Set[str]) -> bool:
+        """Dynamic families: `a.b.` + suffix built at runtime registers
+        the prefix; a literal that IS a declared name's prefix is left
+        to the declared check itself, so only exact membership counts
+        here.  Kept as a hook; currently always False."""
+        return False
+
+
+#: The rule set the CLI runs by default, in catalog order.
+DEFAULT_RULES: Tuple[Rule, ...] = (
+    DeterminismRule(),
+    SketchContractRule(),
+    SnapshotCoverageRule(),
+    NoLibraryAssertRule(),
+    MetricsPreregistrationRule(),
+)
+
+#: rule_id -> rule instance, for --select and docs generation.
+RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in DEFAULT_RULES}

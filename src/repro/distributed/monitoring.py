@@ -28,7 +28,7 @@ factors rather than with ``n`` — the point of the scheme.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -66,7 +66,7 @@ class _Snapshot:
     def size_words(self) -> int:
         return 3 * len(self.values) + 1
 
-    def rank(self, value) -> float:
+    def rank(self, value: float) -> float:
         """Midpoint rank estimate of ``value`` within this snapshot."""
         if len(self.values) == 0:
             return 0.0
@@ -134,7 +134,7 @@ class ContinuousQuantileMonitor:
     def _threshold(self) -> int:
         return max(1, math.floor(self.eps * self._known_n / (2.0 * self.k)))
 
-    def observe(self, site_id: int, value) -> bool:
+    def observe(self, site_id: int, value: float) -> bool:
         """One element arrives at ``site_id``; returns True if it
         triggered a synchronization."""
         if site_id not in self._sites:
@@ -178,7 +178,7 @@ class ContinuousQuantileMonitor:
             s.synced_n + s.pending for s in self._sites.values()
         )
 
-    def coordinator_rank(self, value) -> float:
+    def coordinator_rank(self, value: float) -> float:
         """Rank estimate using only shipped snapshots (no communication)."""
         return sum(
             snap.rank(value)
@@ -186,7 +186,7 @@ class ContinuousQuantileMonitor:
             if snap is not None
         )
 
-    def query(self, phi: float):
+    def query(self, phi: float) -> float:
         """Coordinator-side quantile over the union, from snapshots only."""
         validate_phi(phi)
         snaps = [s for s in self._snapshots.values() if s is not None]
@@ -205,9 +205,9 @@ class ContinuousQuantileMonitor:
                 hi = mid
         return candidates[lo]
 
-    def query_batch(self, phis) -> List:
+    def query_batch(self, phis: Sequence[float]) -> List:
         return [self.query(phi) for phi in phis]
 
-    def quantiles(self, phis) -> List:
+    def quantiles(self, phis: Sequence[float]) -> List:
         """Alias for :meth:`query_batch` (summary API naming)."""
         return self.query_batch(phis)

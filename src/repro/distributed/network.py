@@ -24,7 +24,7 @@ path, while retransmissions are metered separately in
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -172,7 +172,9 @@ class AggregationNetwork:
     def corruptions_detected(self) -> int:
         return self._counter_value("corruptions_detected")
 
-    def attach_faults(self, faults) -> FaultInjector:
+    def attach_faults(
+        self, faults: Union[FaultPlan, FaultInjector]
+    ) -> FaultInjector:
         """Attach a :class:`FaultPlan`/:class:`FaultInjector` and return it.
 
         Enables the fault-aware behavior of :meth:`transmit`; pass a

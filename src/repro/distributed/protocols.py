@@ -42,12 +42,13 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from repro.cash_register.qdigest import QDigest
 from repro.cash_register.random_sketch import RandomSketch
+from repro.core.base import QuantileSketch
 from repro.core.errors import InvalidParameterError, SiteUnavailableError
 from repro.core.snapshot import (
     decode_payload,
@@ -55,7 +56,11 @@ from repro.core.snapshot import (
     restore,
     snapshot,
 )
-from repro.distributed.network import AggregationNetwork
+from repro.distributed.faults import FaultInjector, FaultPlan
+from repro.distributed.network import AggregationNetwork, Site
+
+#: Either fault description accepted by the fault-aware protocols.
+FaultsArg = Optional[Union[FaultPlan, FaultInjector]]
 from repro.sketches.hashing import make_rng
 
 
@@ -78,7 +83,9 @@ class ProtocolResult:
     #: Sites whose data never reached the root (crashed or undeliverable).
     lost_sites: Tuple[int, ...] = ()
 
-    def max_rank_error(self, truth_sorted: np.ndarray, phis) -> float:
+    def max_rank_error(
+        self, truth_sorted: np.ndarray, phis: Sequence[float]
+    ) -> float:
         """Observed max normalized rank error at the root."""
         n = len(truth_sorted)
         worst = 0.0
@@ -113,14 +120,14 @@ class _SortedAnswerer:
         self._values = np.sort(values)
         self.n = total_n
 
-    def query_batch(self, phis) -> list:
+    def query_batch(self, phis: Sequence[float]) -> list:
         idx = np.minimum(
             len(self._values) - 1,
             (np.asarray(phis) * len(self._values)).astype(np.int64),
         )
         return self._values[idx].tolist()
 
-    def quantiles(self, phis) -> list:
+    def quantiles(self, phis: Sequence[float]) -> list:
         """Alias for :meth:`query_batch` (summary API naming)."""
         return self.query_batch(phis)
 
@@ -141,7 +148,7 @@ def ship_everything(network: AggregationNetwork) -> ProtocolResult:
     )
 
 
-def _use_fault_path(network: AggregationNetwork, faults) -> bool:
+def _use_fault_path(network: AggregationNetwork, faults: FaultsArg) -> bool:
     """Attach ``faults`` if given; True when the fault-aware path runs."""
     if faults is not None:
         network.attach_faults(faults)
@@ -166,7 +173,7 @@ def merge_summaries(
     summary: str = "qdigest",
     universe_log2: int = 16,
     seed: Optional[int] = None,
-    faults=None,
+    faults: FaultsArg = None,
 ) -> ProtocolResult:
     """Mergeable-summary aggregation ([26] / [1]).
 
@@ -190,7 +197,7 @@ def merge_summaries(
         )
     rng = make_rng(seed)
 
-    def build(shard: np.ndarray):
+    def build(shard: np.ndarray) -> QuantileSketch:
         if summary == "qdigest":
             sk = QDigest(eps=eps, universe_log2=universe_log2)
         else:
@@ -271,7 +278,7 @@ def sample_and_send(
     eps: float,
     seed: Optional[int] = None,
     oversample: float = 1.0,
-    faults=None,
+    faults: FaultsArg = None,
 ) -> ProtocolResult:
     """Sampling protocol in the spirit of Huang et al. [17].
 
@@ -293,7 +300,7 @@ def sample_and_send(
     )
     target = min(target, total)
 
-    def own_sample(site) -> np.ndarray:
+    def own_sample(site: Site) -> np.ndarray:
         share = math.ceil(target * len(site.data) / max(1, total))
         share = min(share, len(site.data))
         if share:

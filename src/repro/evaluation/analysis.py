@@ -19,10 +19,11 @@ streaming summaries, and post-processed snapshots are all accepted.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.base import SupportsQuantileQueries
 from repro.core.errors import InvalidParameterError
 
 
@@ -34,7 +35,9 @@ def _grid(resolution: int) -> List[float]:
     return [i / (resolution + 1) for i in range(1, resolution + 1)]
 
 
-def cdf(sketch, resolution: int = 100) -> Tuple[np.ndarray, np.ndarray]:
+def cdf(
+    sketch: SupportsQuantileQueries, resolution: int = 100
+) -> Tuple[np.ndarray, np.ndarray]:
     """Approximate CDF of the summarized stream.
 
     Returns ``(values, probabilities)``: at ``values[i]`` the CDF is
@@ -48,7 +51,7 @@ def cdf(sketch, resolution: int = 100) -> Tuple[np.ndarray, np.ndarray]:
 
 
 def pdf_histogram(
-    sketch, bins: int = 20
+    sketch: SupportsQuantileQueries, bins: int = 20
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Equi-probable histogram: ``bins`` buckets of equal probability mass.
 
@@ -71,7 +74,9 @@ def pdf_histogram(
 
 
 def qq_points(
-    sketch_a, sketch_b, resolution: int = 50
+    sketch_a: SupportsQuantileQueries,
+    sketch_b: SupportsQuantileQueries,
+    resolution: int = 50,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Quantile-quantile plot coordinates between two summaries.
 
@@ -84,7 +89,11 @@ def qq_points(
     return a, b
 
 
-def ks_distance(sketch_a, sketch_b, resolution: int = 200) -> float:
+def ks_distance(
+    sketch_a: SupportsQuantileQueries,
+    sketch_b: SupportsQuantileQueries,
+    resolution: int = 200,
+) -> float:
     """Kolmogorov–Smirnov divergence between two summarized streams.
 
     Evaluates both empirical CDFs on the union of their quantile grids
@@ -118,7 +127,7 @@ class DistributionSummary:
     skew_proxy: float  #: (p90 - p50) / (p50 - p10) - 1; 0 for symmetric
 
 
-def describe(sketch) -> DistributionSummary:
+def describe(sketch: SupportsQuantileQueries) -> DistributionSummary:
     """Descriptive statistics from one pass over the summary."""
     phis = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
     p01, p10, p25, p50, p75, p90, p99 = (
@@ -138,8 +147,10 @@ def describe(sketch) -> DistributionSummary:
 
 
 def compare(
-    sketch_a, sketch_b, resolution: int = 200
-) -> dict:
+    sketch_a: SupportsQuantileQueries,
+    sketch_b: SupportsQuantileQueries,
+    resolution: int = 200,
+) -> Dict[str, Any]:
     """One-call comparison report between two summarized streams."""
     return {
         "ks_distance": ks_distance(sketch_a, sketch_b, resolution),

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -59,13 +59,13 @@ class RunResult:
         return self.peak_bytes / 1024.0
 
 
-def _needs_universe(cls) -> bool:
+def _needs_universe(cls: type) -> bool:
     import inspect
 
     return _UNIVERSE_PARAM in inspect.signature(cls.__init__).parameters
 
 
-def _accepts_seed(cls) -> bool:
+def _accepts_seed(cls: type) -> bool:
     import inspect
 
     return "seed" in inspect.signature(cls.__init__).parameters
@@ -76,11 +76,11 @@ def build_sketch(
     eps: float,
     universe_log2: Optional[int] = None,
     seed: Optional[int] = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> QuantileSketch:
     """Instantiate a registered algorithm with only the kwargs it needs."""
     cls = get_algorithm(algorithm)
-    params = dict(kwargs)
+    params: Dict[str, Any] = dict(kwargs)
     params["eps"] = eps
     if _needs_universe(cls):
         if universe_log2 is None:
@@ -98,9 +98,9 @@ def feed_stream(
     data: np.ndarray,
     deletions: Optional[np.ndarray] = None,
     chunk: int = 4096,
-    timings: Optional[Dict[str, object]] = None,
+    timings: Optional[Dict[str, Any]] = None,
     batch_size: Optional[int] = None,
-) -> tuple:
+) -> Tuple[float, int]:
     """Feed a stream (and optional trailing deletions) through a sketch.
 
     Returns ``(update_seconds, peak_words)``.  Uses the vectorized batch
@@ -128,6 +128,8 @@ def feed_stream(
         chunk = batch_size
     tracker = PeakSpaceTracker(sketch)
     is_turnstile = isinstance(sketch, TurnstileSketch)
+    # Turnstile sketches expose update_batch beyond the base interface.
+    batch_target: Any = sketch
     has_batch_extend = type(sketch).extend is not QuantileSketch.extend
     if is_turnstile:
         ingest_path = "update_batch"
@@ -139,13 +141,13 @@ def feed_stream(
     update_s = 0.0
     sample_s = 0.0
 
-    def feed_part(part, delta=None) -> None:
+    def feed_part(part: np.ndarray, delta: Optional[int] = None) -> None:
         nonlocal update_s, sample_s
         start = time.perf_counter()
         if delta is not None:
-            sketch.update_batch(part, delta)
+            batch_target.update_batch(part, delta)
         elif is_turnstile:
-            sketch.update_batch(part)
+            batch_target.update_batch(part)
         elif has_batch_extend:
             sketch.extend(part)
         else:
@@ -198,7 +200,7 @@ def run_experiment(
     post_process: bool = False,
     collect_metrics: bool = False,
     batch_size: Optional[int] = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> RunResult:
     """Run one full measurement: build, stream, and evaluate.
 
@@ -251,7 +253,8 @@ def run_experiment(
 
     max_errors = []
     avg_errors = []
-    elapsed = peak = None
+    elapsed = 0.0
+    peak = 0
     phases: Dict[str, float] = {}
     extra: Dict[str, object] = {}
     for i in range(effective_repeats):
@@ -260,20 +263,21 @@ def run_experiment(
             algorithm, eps, universe_log2, seed + 1000 * i, **kwargs
         )
         build_s = time.perf_counter() - build_start
-        timings: Dict[str, object] = {}
+        timings: Dict[str, Any] = {}
         run_elapsed, run_peak = feed_stream(
             sketch, data, deletions, timings=timings, batch_size=batch_size
         )
-        target = sketch
+        # The OLS snapshot lives beyond the base interface (DCS only).
+        target: Any = sketch
         if post_process:
-            target = sketch.post_processed(eta=post_eta)
+            target = target.post_processed(eta=post_eta)
         query_start = time.perf_counter()
         with span("evaluation.measure_errors", algo=sketch.name):
             report: ErrorReport = measure_errors(
                 target, sorted_truth, eps, max_queries
             )
         query_s = time.perf_counter() - query_start
-        if elapsed is None:
+        if i == 0:
             elapsed, peak = run_elapsed, run_peak
             phases = {
                 "build_s": build_s,

@@ -16,10 +16,11 @@ distance from ``phi * n`` to the nearer endpoint (zero if inside).
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+from typing import Any, List, Sequence
 
 import numpy as np
 
+from repro.core.base import SupportsQuantileQueries
 from repro.core.errors import InvalidParameterError
 
 
@@ -58,7 +59,7 @@ def phi_grid(eps: float, max_queries: int = 999) -> List[float]:
 
 
 def rank_error(
-    sorted_data: np.ndarray, value, target_rank: float
+    sorted_data: np.ndarray, value: Any, target_rank: float
 ) -> float:
     """Distance from ``target_rank`` to the rank interval of ``value``.
 
@@ -74,7 +75,7 @@ def rank_error(
 
 
 def measure_errors(
-    sketch,
+    sketch: SupportsQuantileQueries,
     sorted_data: np.ndarray,
     eps: float,
     max_queries: int = 999,

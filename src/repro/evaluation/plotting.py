@@ -9,9 +9,12 @@ scatter charts so a figure is recognizable at a glance in CI logs and in
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 from repro.core.errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.evaluation.harness import RunResult
 
 #: Marker characters assigned to series in insertion order.
 MARKERS = "ox+*#@%&"
@@ -114,7 +117,7 @@ def text_plot(
 
 
 def plot_results(
-    results,
+    results: Sequence["RunResult"],
     x: str,
     y: str,
     title: str = "",
@@ -125,7 +128,7 @@ def plot_results(
     paper's figures: one marker per algorithm)."""
     from repro.evaluation.runner import by_algorithm
 
-    series = {}
+    series: Dict[str, List[Tuple[float, float]]] = {}
     for name, curve in by_algorithm(results).items():
         points = [(getattr(r, x), getattr(r, y)) for r in curve]
         # Log axes cannot place zeros (e.g. an algorithm that answered

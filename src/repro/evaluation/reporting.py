@@ -33,7 +33,7 @@ def format_table(
     return "\n".join(lines)
 
 
-def _fmt(cell) -> str:
+def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         if cell == 0:
             return "0"

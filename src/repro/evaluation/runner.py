@@ -15,7 +15,7 @@ run).
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -39,7 +39,7 @@ def sweep(
     repeats: int = 3,
     seed: int = 0,
     per_algorithm_kwargs: Optional[Dict[str, Dict]] = None,
-    **common_kwargs,
+    **common_kwargs: Any,
 ) -> List[RunResult]:
     """Run every algorithm at every eps on the same stream.
 

@@ -11,8 +11,14 @@ periodic sampling during the stream.
 
 from __future__ import annotations
 
+from typing import Protocol
+
 from repro.core.base import WORD_BYTES
 from repro.core.errors import InvalidParameterError
+
+
+class _SupportsSizeWords(Protocol):
+    def size_words(self) -> int: ...
 
 
 class PeakSpaceTracker:
@@ -25,7 +31,9 @@ class PeakSpaceTracker:
     interval keeps that slack well under measurement noise.
     """
 
-    def __init__(self, sketch, interval: int = 256) -> None:
+    def __init__(
+        self, sketch: _SupportsSizeWords, interval: int = 256
+    ) -> None:
         if interval < 1:
             raise InvalidParameterError(
                 f"interval must be >= 1, got {interval!r}"

@@ -34,12 +34,18 @@ from repro.core.base import (
     validate_eps,
     validate_phi,
 )
-from repro.core.errors import MergeError
+from repro.core.errors import (
+    CorruptSummaryError,
+    InvalidParameterError,
+    MergeError,
+)
 from repro.core.registry import register
+from repro.core.snapshot import snapshottable
 from repro.core.weighted import weighted_query_batch
 from repro.sketches.hashing import make_rng
 
 
+@snapshottable("kll")
 @register("kll")
 class KLL(QuantileSketch, MergeableSketch):
     """KLL quantile sketch with geometric compactor capacities.
@@ -66,7 +72,7 @@ class KLL(QuantileSketch, MergeableSketch):
     ) -> None:
         self.eps = validate_eps(eps)
         if not (0.5 <= c < 1.0):
-            raise ValueError(f"c must be in [0.5, 1), got {c!r}")
+            raise InvalidParameterError(f"c must be in [0.5, 1), got {c!r}")
         self.k = k if k is not None else max(8, math.ceil(2.0 / self.eps))
         self.c = c
         self._rng = make_rng(seed)
@@ -208,6 +214,33 @@ class KLL(QuantileSketch, MergeableSketch):
     def compactor_sizes(self) -> List[int]:
         """Current per-level buffer sizes (introspection)."""
         return [len(comp) for comp in self._compactors]
+
+    def validate(self) -> "KLL":
+        """Check the sketch's structural invariants; return ``self``.
+
+        Verified: the element count is a non-negative integer, at least
+        one compactor exists, an empty sketch holds no elements, and a
+        non-empty sketch holds at least one.  The weighted element total
+        is *not* compared against ``n``: compacting an odd-sized buffer
+        promotes ``ceil(m/2)`` elements at double weight, so the
+        represented weight legitimately drifts around ``n`` by design.
+        Called by :func:`repro.core.snapshot.restore`.
+
+        Raises:
+            CorruptSummaryError: if any invariant is violated.
+        """
+        if not isinstance(self._n, int) or self._n < 0:
+            raise CorruptSummaryError(f"KLL: bad element count {self._n!r}")
+        if not self._compactors:
+            raise CorruptSummaryError("KLL: no compactors")
+        held = sum(len(comp) for comp in self._compactors)
+        if self._n == 0 and held != 0:
+            raise CorruptSummaryError("KLL: empty sketch holds elements")
+        if self._n > 0 and held == 0:
+            raise CorruptSummaryError(
+                f"KLL: n={self._n} but every compactor is empty"
+            )
+        return self
 
     def size_words(self) -> int:
         """Allocated capacity across compactors (elements, one word)."""

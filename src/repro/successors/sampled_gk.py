@@ -39,10 +39,13 @@ from repro.core.base import (
     validate_eps,
     validate_phi,
 )
+from repro.core.errors import CorruptSummaryError, InvalidParameterError
 from repro.core.registry import register
+from repro.core.snapshot import snapshottable
 from repro.sketches.hashing import make_rng
 
 
+@snapshottable("sampled_gk")
 @register("sampled_gk")
 class SampledGK(QuantileSketch):
     """GK over a decaying Bernoulli sample (FO-flavored prototype).
@@ -67,7 +70,7 @@ class SampledGK(QuantileSketch):
     ) -> None:
         self.eps = validate_eps(eps)
         if sample_factor <= 0:
-            raise ValueError(
+            raise InvalidParameterError(
                 f"sample_factor must be positive, got {sample_factor!r}"
             )
         self._rng = make_rng(seed)
@@ -130,6 +133,34 @@ class SampledGK(QuantileSketch):
             validate_phi(phi)
         self._require_nonempty()
         return self._summary.query_batch(phis)
+
+    def validate(self) -> "SampledGK":
+        """Check the prototype's structural invariants; return ``self``.
+
+        Verified: the element count is a non-negative integer at least
+        as large as the sample the inner summary covers, the sampling
+        rate exponent is a non-negative integer, and the inner GK
+        summary passes its own :meth:`~GKArray.validate` (band/gap
+        invariants).  Called by :func:`repro.core.snapshot.restore`.
+
+        Raises:
+            CorruptSummaryError: if any invariant is violated.
+        """
+        if not isinstance(self._n, int) or self._n < 0:
+            raise CorruptSummaryError(
+                f"SampledGK: bad element count {self._n!r}"
+            )
+        if not isinstance(self._rate_log2, int) or self._rate_log2 < 0:
+            raise CorruptSummaryError(
+                f"SampledGK: bad rate exponent {self._rate_log2!r}"
+            )
+        if self._summary.n > self._n:
+            raise CorruptSummaryError(
+                f"SampledGK: inner summary covers {self._summary.n} "
+                f"samples from a stream of only {self._n}"
+            )
+        self._summary.validate()
+        return self
 
     def size_words(self) -> int:
         """Summary words plus rate/counter bookkeeping."""

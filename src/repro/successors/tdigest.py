@@ -31,8 +31,14 @@ from repro.core.base import (
     reject_nan,
     validate_phi,
 )
-from repro.core.errors import EmptySummaryError, MergeError
+from repro.core.errors import (
+    CorruptSummaryError,
+    EmptySummaryError,
+    InvalidParameterError,
+    MergeError,
+)
 from repro.core.registry import register
+from repro.core.snapshot import snapshottable
 
 
 def _k1(q: float, delta: float) -> float:
@@ -70,6 +76,7 @@ def _cluster(
     return out
 
 
+@snapshottable("tdigest")
 @register("tdigest")
 class TDigest(QuantileSketch, MergeableSketch):
     """Merging t-digest.
@@ -97,7 +104,7 @@ class TDigest(QuantileSketch, MergeableSketch):
         if delta is None:
             delta = 100.0 if eps is None else max(10.0, 2.0 / eps)
         if delta < 10:
-            raise ValueError(f"delta must be >= 10, got {delta!r}")
+            raise InvalidParameterError(f"delta must be >= 10, got {delta!r}")
         self.delta = float(delta)
         self.buffer_size = buffer_size or int(10 * delta)
         self._centroids: List[Tuple[float, int]] = []  # (mean, count)
@@ -217,6 +224,48 @@ class TDigest(QuantileSketch, MergeableSketch):
         """Number of live centroids."""
         self._flush()
         return len(self._centroids)
+
+    def validate(self) -> "TDigest":
+        """Check the digest's structural invariants; return ``self``.
+
+        Verified: the element count is a non-negative integer, centroid
+        means are non-decreasing with positive integer counts, centroid
+        counts plus buffered points account for exactly ``n``, and the
+        tracked min/max bracket every centroid mean when non-empty.
+        Called by :func:`repro.core.snapshot.restore`.
+
+        Raises:
+            CorruptSummaryError: if any invariant is violated.
+        """
+        if not isinstance(self._n, int) or self._n < 0:
+            raise CorruptSummaryError(
+                f"TDigest: bad element count {self._n!r}"
+            )
+        total = 0
+        prev_mean = None
+        for i, (mean, count) in enumerate(self._centroids):
+            if not isinstance(count, int) or count < 1:
+                raise CorruptSummaryError(
+                    f"TDigest: centroid {i} has count={count!r} < 1"
+                )
+            if prev_mean is not None and mean < prev_mean:
+                raise CorruptSummaryError(
+                    f"TDigest: centroid {i} means out of order"
+                )
+            prev_mean = mean
+            total += count
+        if total + len(self._buffer) != self._n:
+            raise CorruptSummaryError(
+                f"TDigest: centroids + buffer account for "
+                f"{total + len(self._buffer)} points, expected n={self._n}"
+            )
+        if self._centroids:
+            means = [m for m, _c in self._centroids]
+            if means[0] < self._min or means[-1] > self._max:
+                raise CorruptSummaryError(
+                    "TDigest: centroid means escape the [min, max] bracket"
+                )
+        return self
 
     def size_words(self) -> int:
         """Two words per centroid plus the buffer capacity."""

@@ -15,10 +15,12 @@ import math
 from typing import Optional
 
 from repro.core.registry import register
+from repro.core.snapshot import snapshottable
 from repro.sketches.countmin import CountMinSketch
 from repro.turnstile.dyadic import DyadicQuantiles
 
 
+@snapshottable("dcm")
 @register("dcm")
 class DyadicCountMin(DyadicQuantiles):
     """Dyadic Count-Min turnstile quantile sketch.

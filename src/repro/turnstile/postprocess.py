@@ -374,9 +374,11 @@ class PostProcessedSnapshot:
 
 
 from repro.core.registry import register  # noqa: E402
+from repro.core.snapshot import snapshottable  # noqa: E402
 from repro.turnstile.dcs import DyadicCountSketch  # noqa: E402
 
 
+@snapshottable("post")
 @register("post")
 class DCSWithPostProcessing(DyadicCountSketch):
     """DCS whose queries go through the OLS post-processing step.
@@ -426,6 +428,14 @@ class DCSWithPostProcessing(DyadicCountSketch):
         if self._snapshot_cache is None:
             self._snapshot_cache = self.post_processed(eta=self.eta)
         return self._snapshot_cache
+
+    def __getstate__(self):
+        """Drop the corrected-snapshot cache from checkpoints: it is a
+        deep node tree, derivable from the streaming state, and rebuilt
+        lazily on the first post-restore query."""
+        state = self.__dict__.copy()
+        state["_snapshot_cache"] = None
+        return state
 
     def rank(self, value) -> float:
         return self.snapshot().rank(value)

@@ -20,10 +20,12 @@ import math
 from typing import Optional
 
 from repro.core.registry import register
+from repro.core.snapshot import snapshottable
 from repro.sketches.subset_sum import SubsetSumSketch
 from repro.turnstile.dyadic import DyadicQuantiles
 
 
+@snapshottable("rss")
 @register("rss")
 class RandomSubsetSums(DyadicQuantiles):
     """Dyadic random-subset-sum turnstile quantile sketch.

@@ -1,0 +1,31 @@
+"""REP001 bad fixture: hidden global RNG state and wall-clock reads."""
+
+import datetime
+import random
+import time
+
+import numpy as np
+
+
+def unseeded():
+    return np.random.default_rng()
+
+
+def explicit_none():
+    return np.random.default_rng(None)
+
+
+def global_rng(count):
+    return np.random.normal(size=count)
+
+
+def stdlib_random():
+    return random.random()
+
+
+def wall_clock():
+    return time.time()
+
+
+def wall_clock_datetime():
+    return datetime.datetime.now()

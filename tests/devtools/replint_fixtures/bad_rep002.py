@@ -1,0 +1,60 @@
+"""REP002 bad fixture: registered classes that drift from the
+QuantileSketch contract in each way the rule checks."""
+
+
+def register(key):
+    return lambda cls: cls
+
+
+def snapshottable(tag):
+    return lambda cls: cls
+
+
+class QuantileSketch:
+    def update(self, value):
+        raise NotImplementedError
+
+    def extend(self, values):
+        for value in values:
+            self.update(value)
+
+
+@register("not_a_sketch")
+@snapshottable("not_a_sketch")
+class NotASketch:
+    def update(self, value):
+        pass
+
+
+@register("no_validate")
+@snapshottable("no_validate")
+class NoValidate(QuantileSketch):
+    def update(self, value):
+        pass
+
+
+@register("bad_extend")
+@snapshottable("bad_extend")
+class BadExtend(QuantileSketch):
+    def update(self, value):
+        pass
+
+    def validate(self):
+        return self
+
+    def extend(self, values, weights):
+        for value in values:
+            self.update(value)
+
+
+@register("bad_kwonly")
+@snapshottable("bad_kwonly")
+class BadKwonly(QuantileSketch):
+    def update(self, value):
+        pass
+
+    def validate(self):
+        return self
+
+    def query_batch(self, phis, *, strict):
+        return [phis, strict]

@@ -1,0 +1,38 @@
+"""REP003 bad fixture: a registered sketch outside the snapshot
+registry, and one whose getstate/setstate field sets disagree."""
+
+
+def register(key):
+    return lambda cls: cls
+
+
+def snapshottable(tag):
+    return lambda cls: cls
+
+
+class QuantileSketch:
+    def update(self, value):
+        raise NotImplementedError
+
+    def validate(self):
+        return self
+
+
+@register("unsnapshotted")
+class Unsnapshotted(QuantileSketch):
+    def update(self, value):
+        pass
+
+
+@register("mismatched")
+@snapshottable("mismatched")
+class Mismatched(QuantileSketch):
+    def update(self, value):
+        pass
+
+    def __getstate__(self):
+        return {"items": [], "stale": 0}
+
+    def __setstate__(self, state):
+        self._items = state["items"]
+        self._n = state["n"]

@@ -1,0 +1,12 @@
+"""REP004 bad fixture: bare asserts in library code."""
+
+
+def check(n):
+    assert n >= 0
+    return n
+
+
+class Summary:
+    def merge(self, other):
+        assert other is not None
+        return self

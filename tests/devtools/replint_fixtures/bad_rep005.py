@@ -1,0 +1,5 @@
+"""REP005 bad fixture: a metric name missing from DEFAULT_INSTRUMENTS."""
+
+
+def record(registry):
+    registry.inc("repro.bogus.metric")

@@ -1,0 +1,21 @@
+"""REP001 good fixture: every random draw flows from an explicit seed,
+and only monotonic timers are used for measurement."""
+
+import time
+
+import numpy as np
+
+
+def draw(seed, count):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(count)
+
+
+def draw_kw(seed):
+    return np.random.default_rng(seed=seed)
+
+
+def timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

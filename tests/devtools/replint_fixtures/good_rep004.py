@@ -1,0 +1,22 @@
+"""REP004 good fixture: invariants raise typed errors; the one bare
+assert lives inside a @debug_asserts-marked helper."""
+
+
+class CorruptSummaryError(ValueError):
+    pass
+
+
+def debug_asserts(func):
+    return func
+
+
+def check(n):
+    if n < 0:
+        raise CorruptSummaryError("n must be non-negative")
+    return n
+
+
+@debug_asserts
+def check_invariants_debug(summary):
+    assert summary.n >= 0
+    assert len(summary.items) <= summary.n

@@ -1,0 +1,7 @@
+"""REP005 good fixture: every recorded metric name is preregistered."""
+
+
+def record(registry, count, words):
+    registry.inc("repro.ingest.items", count)
+    registry.set("repro.sketch.size_words", words)
+    registry.observe("repro.query.latency_seconds", 0.001)

@@ -1,0 +1,50 @@
+"""REP002/REP003 good fixture: a registered sketch that honors the
+contract — subclasses QuantileSketch, carries its own @snapshottable
+tag, has validate(), a compatible extend() override, and matching
+__getstate__/__setstate__ keys."""
+
+
+def register(key):
+    return lambda cls: cls
+
+
+def snapshottable(tag):
+    return lambda cls: cls
+
+
+class QuantileSketch:
+    def update(self, value):
+        raise NotImplementedError
+
+    def extend(self, values):
+        for value in values:
+            self.update(value)
+
+    def validate(self):
+        return self
+
+
+@register("good_sketch")
+@snapshottable("good_sketch")
+class GoodSketch(QuantileSketch):
+    def __init__(self):
+        self._items = []
+        self._n = 0
+
+    def update(self, value):
+        self._items.append(value)
+        self._n += 1
+
+    def extend(self, values):
+        for value in values:
+            self.update(value)
+
+    def validate(self):
+        return self
+
+    def __getstate__(self):
+        return {"items": list(self._items), "n": self._n}
+
+    def __setstate__(self, state):
+        self._items = list(state["items"])
+        self._n = state["n"]

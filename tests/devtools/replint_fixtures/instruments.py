@@ -1,0 +1,7 @@
+"""Shared REP005 fixture: the preregistered instrument table."""
+
+DEFAULT_INSTRUMENTS = (
+    ("counter", "repro.ingest.items"),
+    ("gauge", "repro.sketch.size_words"),
+    ("histogram", "repro.query.latency_seconds"),
+)

@@ -1,0 +1,14 @@
+"""Suppression fixture: a file-level disable silences every REP001
+violation in the file."""
+
+# replint: disable-file=REP001
+
+import time
+
+
+def first():
+    return time.time()
+
+
+def second():
+    return time.time()

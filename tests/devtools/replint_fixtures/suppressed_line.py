@@ -1,0 +1,12 @@
+"""Suppression fixture: the same violation twice — once silenced by a
+line-level disable comment, once left to fire."""
+
+import time
+
+
+def silenced():
+    return time.time()  # replint: disable=REP001
+
+
+def still_fires():
+    return time.time()
