@@ -1,0 +1,275 @@
+"""Sharded-ingest scaling curve: 1/2/4/8 workers per algorithm.
+
+For every mergeable algorithm in the spec this measures, at
+``scaled_n(1_000_000)`` elements:
+
+* a serial baseline: one sketch, one chunked batch feed;
+* the sharded engine at 1, 2, 4, and 8 workers (wall clock covers
+  ingest *and* the merge tree — the honest end-to-end number);
+* the merged summary's observed max rank error (must stay within the
+  shards' ``eps``);
+* run-to-run determinism of the merged answers at a fixed
+  :class:`~repro.parallel.plan.ShardPlan`.
+
+Results land in ``BENCH_parallel.json`` at the repo root together with
+the machine context (CPU count, Python, platform, git sha) — a scaling
+number without its core count is meaningless, and a 1-core box
+truthfully reports speedup ~1x with the engine's transport overhead on
+display.  The speedup acceptance gate only arms on boxes with >= 4
+cores.  Regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+
+``--smoke`` runs a small-n, 2-worker subset for CI;  ``REPRO_SCALE``
+scales the stream length as usual.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.evaluation import machine_context, scaled_n
+from repro.evaluation.harness import build_sketch
+from repro.parallel import ShardPlan, parallel_feed
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_parallel.json"
+
+#: (registry name, constructor kwargs).  Mergeable algorithms only;
+#: dcs exercises the shared-seed turnstile path.
+SPECS = [
+    ("gk_array", dict(eps=0.001)),
+    ("gk_adaptive", dict(eps=0.001)),
+    ("kll", dict(eps=0.01)),
+    ("random", dict(eps=0.01)),
+    ("mrl99", dict(eps=0.01)),
+    ("qdigest", dict(eps=0.01, universe_log2=16)),
+    ("dcs", dict(eps=0.01, universe_log2=16)),
+]
+
+SMOKE_SPECS = [
+    ("gk_array", dict(eps=0.001)),
+    ("kll", dict(eps=0.01)),
+    ("qdigest", dict(eps=0.01, universe_log2=16)),
+]
+
+WORKERS = (1, 2, 4, 8)
+SMOKE_WORKERS = (1, 2)
+PHI_COUNT = 99
+CHUNK = 1 << 16
+SEED = 42
+
+#: Minimum cores before the 4-worker speedup gate arms.
+SPEEDUP_GATE_CORES = 4
+SPEEDUP_TARGET = 2.5
+
+
+def _serial_seconds(name: str, params: dict, data: np.ndarray) -> float:
+    kwargs = dict(params)
+    eps = kwargs.pop("eps")
+    universe_log2 = kwargs.pop("universe_log2", None)
+    sketch = build_sketch(name, eps, universe_log2, seed=SEED, **kwargs)
+    feed = getattr(sketch, "update_batch", None)
+    if feed is None or not hasattr(sketch, "delete"):
+        feed = sketch.extend
+    start = time.perf_counter()
+    for lo in range(0, len(data), CHUNK):
+        feed(data[lo : lo + CHUNK])
+    return time.perf_counter() - start
+
+
+def _max_error(sketch, sorted_data: np.ndarray) -> float:
+    n = len(sorted_data)
+    worst = 0.0
+    for i in range(PHI_COUNT):
+        phi = (i + 1) / (PHI_COUNT + 1)
+        value = sketch.query(phi)
+        lo = float(np.searchsorted(sorted_data, value, "left"))
+        hi = float(np.searchsorted(sorted_data, value, "right"))
+        target = phi * n
+        if lo <= target <= hi:
+            continue
+        worst = max(worst, min(abs(target - lo), abs(target - hi)) / n)
+    return worst
+
+
+def _answers(sketch) -> list:
+    phis = [(i + 1) / (PHI_COUNT + 1) for i in range(PHI_COUNT)]
+    return list(sketch.query_batch(phis))
+
+
+def measure_algorithm(
+    name: str,
+    params: dict,
+    data: np.ndarray,
+    sorted_data: np.ndarray,
+    workers: tuple,
+) -> dict:
+    """Serial baseline plus the per-worker-count scaling curve."""
+    kwargs = dict(params)
+    eps = kwargs.pop("eps")
+    universe_log2 = kwargs.pop("universe_log2", None)
+    serial_s = _serial_seconds(name, params, data)
+    curve = {}
+    for count in workers:
+        plan = ShardPlan(seed=SEED, shards=count)
+        merged, seconds = parallel_feed(
+            name, data, eps, plan,
+            universe_log2=universe_log2, **kwargs,
+        )
+        error = _max_error(merged, sorted_data)
+        row = {
+            "seconds": seconds,
+            "speedup_vs_serial": serial_s / max(seconds, 1e-12),
+            "max_error": error,
+            "within_eps": bool(error <= eps),
+        }
+        if count > 1:
+            again, _ = parallel_feed(
+                name, data, eps, plan,
+                universe_log2=universe_log2, **kwargs,
+            )
+            row["deterministic"] = _answers(merged) == _answers(again)
+        curve[str(count)] = row
+    return {
+        "eps": eps,
+        "serial_seconds": serial_s,
+        "workers": curve,
+    }
+
+
+def run_bench(
+    n: int | None = None,
+    smoke: bool = False,
+) -> dict:
+    """Run the scaling sweep and return the BENCH_parallel.json payload."""
+    specs = SMOKE_SPECS if smoke else SPECS
+    workers = SMOKE_WORKERS if smoke else WORKERS
+    if n is None:
+        n = scaled_n(50_000 if smoke else 1_000_000)
+    rng = np.random.default_rng(SEED)
+    data = rng.integers(0, 1 << 16, size=n, dtype=np.int64)
+    sorted_data = np.sort(data)
+    algorithms = {}
+    for name, params in specs:
+        algorithms[name] = measure_algorithm(
+            name, params, data, sorted_data, workers
+        )
+    return {
+        "schema": 1,
+        "n": n,
+        "smoke": smoke,
+        "repro_scale": float(os.environ.get("REPRO_SCALE", "1")),
+        "generated_by": "benchmarks/bench_parallel.py",
+        "phi_count": PHI_COUNT,
+        "worker_counts": list(workers),
+        "machine": machine_context(timestamp=time.time()),
+        "algorithms": algorithms,
+    }
+
+
+def check_payload(payload: dict) -> list[str]:
+    """Acceptance checks; returns a list of failure strings.
+
+    Error and determinism checks always apply.  The 4-worker >= 2.5x
+    speedup gate arms only when the box has >= 4 cores (the machine
+    block records the truth either way).
+    """
+    failures = []
+    for name, row in payload["algorithms"].items():
+        for count, cell in row["workers"].items():
+            if not cell["within_eps"]:
+                failures.append(
+                    f"{name}@{count}w: max_error {cell['max_error']:.5f} "
+                    f"exceeds eps {row['eps']}"
+                )
+            if cell.get("deterministic") is False:
+                failures.append(f"{name}@{count}w: non-deterministic merge")
+    cores = payload["machine"]["cpu_count"] or 1
+    if cores >= SPEEDUP_GATE_CORES and not payload["smoke"]:
+        scaled = [
+            name
+            for name, row in payload["algorithms"].items()
+            if row["workers"].get("4", {}).get("speedup_vs_serial", 0.0)
+            >= SPEEDUP_TARGET
+        ]
+        if len(scaled) < 3:
+            failures.append(
+                f"only {len(scaled)} algorithm(s) reached "
+                f"{SPEEDUP_TARGET}x at 4 workers on a {cores}-core box"
+            )
+    return failures
+
+
+def format_table(payload: dict) -> str:
+    counts = payload["worker_counts"]
+    header = " ".join(f"{f'{c}w':>8s}" for c in counts)
+    lines = [
+        f"Sharded ingest scaling (n={payload['n']}, "
+        f"{payload['machine']['cpu_count']} cores)",
+        f"{'algorithm':12s} {'serial s':>9s} {header}  max_err(last)",
+    ]
+    for name, row in payload["algorithms"].items():
+        cells = " ".join(
+            f"{row['workers'][str(c)]['speedup_vs_serial']:7.2f}x"
+            for c in counts
+        )
+        last = row["workers"][str(counts[-1])]["max_error"]
+        lines.append(
+            f"{name:12s} {row['serial_seconds']:9.2f} {cells}  {last:.5f}"
+        )
+    return "\n".join(lines)
+
+
+def write_artifact(payload: dict) -> None:
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def test_bench_parallel(benchmark) -> None:
+    from conftest import run_once, write_exhibit
+
+    payload = run_once(benchmark, lambda: run_bench(smoke=True))
+    write_exhibit("BENCH_parallel_smoke", format_table(payload))
+    failures = check_payload(payload)
+    assert not failures, "\n".join(failures)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small-n, 2-worker subset (CI smoke; does not overwrite a "
+             "full artifact with a smoke one unless none exists)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="artifact path (default: repo-root BENCH_parallel.json)",
+    )
+    args = parser.parse_args()
+    result = run_bench(smoke=args.smoke)
+    out = args.out
+    table_name = "BENCH_parallel.txt"
+    if out is None:
+        out = ARTIFACT
+        if args.smoke and ARTIFACT.exists():
+            existing = json.loads(ARTIFACT.read_text())
+            if not existing.get("smoke", False):
+                out = REPO_ROOT / "BENCH_parallel.smoke.json"
+                table_name = "BENCH_parallel.smoke.txt"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    table = format_table(result)
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / table_name).write_text(table + "\n")
+    print(table)
+    print(f"\nwrote {out}")
+    problems = check_payload(result)
+    if problems:
+        raise SystemExit("FAIL:\n" + "\n".join(problems))
+    print("all acceptance checks passed")

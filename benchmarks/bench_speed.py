@@ -28,7 +28,7 @@ import time
 
 import numpy as np
 
-from repro.evaluation import scaled_n
+from repro.evaluation import machine_context, scaled_n
 from repro.evaluation.harness import build_sketch
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -139,6 +139,7 @@ def run_bench(n: int | None = None, seed: int = 42) -> dict:
         "repro_scale": float(os.environ.get("REPRO_SCALE", "1")),
         "generated_by": "benchmarks/bench_speed.py",
         "phi_count": PHI_COUNT,
+        "machine": machine_context(timestamp=time.time()),
         "algorithms": algorithms,
     }
 

@@ -42,9 +42,12 @@ from repro.core import (
     SiteUnavailableError,
     TurnstileSketch,
     UniverseOverflowError,
+    UnmergeableSketchError,
     algorithms,
     get_algorithm,
     make_sketch,
+    merge_shares_seed,
+    mergeable_algorithms,
     restore,
     snapshot,
     snapshot_registry,
@@ -90,10 +93,13 @@ __all__ = [
     "SlidingWindowQuantiles",
     "TurnstileSketch",
     "UniverseOverflowError",
+    "UnmergeableSketchError",
     "__version__",
     "algorithms",
     "get_algorithm",
     "make_sketch",
+    "merge_shares_seed",
+    "mergeable_algorithms",
     "restore",
     "snapshot",
     "snapshot_registry",

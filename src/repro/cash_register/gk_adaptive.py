@@ -72,6 +72,7 @@ class GKAdaptive(GKBase):
     """Adaptive GK summary with heap-assisted tuple removal."""
 
     name = "GKAdaptive"
+    mergeable = True
 
     def __init__(self, eps: float) -> None:
         super().__init__(eps)
@@ -155,6 +156,19 @@ class GKAdaptive(GKBase):
         self._pruned_total += max(0, pruned)
         self._rebuild_nodes(*merged)
 
+    def merge(self, other) -> None:
+        """Fold another GK summary of the same ``eps`` into this one.
+
+        Shares the interleave-and-fold kernel with GKArray (the ``eps``
+        guarantee is preserved; see :mod:`repro.cash_register.gk_batch`),
+        then rebuilds the node list and removal heap from the merged
+        arrays.  ``other`` should be discarded afterwards.
+        """
+        self._merge_gk(other)
+
+    def _adopt_tuples(self, values, gs, deltas) -> None:
+        self._rebuild_nodes(values, gs, deltas)
+
     def _rebuild_nodes(self, values, gs, deltas) -> None:
         """Reconstruct the linked list, order list, and heap from arrays."""
         if isinstance(values, np.ndarray):
@@ -235,6 +249,36 @@ class GKAdaptive(GKBase):
                 return node
             i -= 1
         return None
+
+    # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Flat tuple arrays instead of the linked nodes.
+
+        Default pickling would recurse through the ``next`` chain and hit
+        the recursion limit past ~1000 tuples; the live (value, g, delta)
+        triples carry the full summary state, and the node list, order
+        list, and heap are derived structures rebuilt on load.
+        """
+        alive = [nd for nd in self._order if nd.alive]
+        return {
+            "eps": self.eps,
+            "n": self._n,
+            "values": [nd.value for nd in alive],
+            "gs": [nd.g for nd in alive],
+            "deltas": [nd.delta for nd in alive],
+            "pruned_total": self._pruned_total,
+            "compactions": self._compactions,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["eps"])
+        self._n = state["n"]
+        self._rebuild_nodes(state["values"], state["gs"], state["deltas"])
+        self._pruned_total = state["pruned_total"]
+        self._compactions = state["compactions"]
 
     # ------------------------------------------------------------------
     # removal machinery

@@ -53,6 +53,7 @@ class GKArray(GKBase):
     """
 
     name = "GKArray"
+    mergeable = True
 
     def __init__(self, eps: float, buffer_factor: float = 1.0) -> None:
         super().__init__(eps)
@@ -197,6 +198,17 @@ class GKArray(GKBase):
                 algo=self.name,
             )
             rec.set("cash_register.tuples", len(new_values), algo=self.name)
+
+    def merge(self, other) -> None:
+        """Fold another GK summary of the same ``eps`` into this one.
+
+        Both buffers are flushed, the tuple lists are interleaved with
+        the summary-merge ``Delta`` accounting, and the union is folded
+        at the union budget — the ``eps`` guarantee is preserved (see
+        :mod:`repro.cash_register.gk_batch`).  ``other`` should be
+        discarded afterwards.
+        """
+        self._merge_gk(other)
 
     def tuple_count(self) -> int:
         """Number of tuples |L| (excludes buffered raw elements)."""

@@ -25,6 +25,7 @@ from repro.core.errors import (
     CorruptSummaryError,
     EmptySummaryError,
     InvariantViolation,
+    MergeError,
 )
 from repro.devtools.marks import debug_asserts
 
@@ -263,3 +264,55 @@ class GKBase(QuantileSketch):
     def size_words(self) -> int:
         """Three words per stored tuple (value, g, delta)."""
         return 3 * len(self._values)
+
+    def _adopt_tuples(self, values, gs, deltas) -> None:
+        """Install merged tuple arrays as the summary state.
+
+        The default normalizes to plain lists (Python ints), which every
+        GK query path accepts; subclasses with auxiliary structures
+        (GKAdaptive's node list/heap) override to rebuild them.
+        """
+        import numpy as np
+
+        if isinstance(values, np.ndarray):
+            values = values.tolist()
+            gs = gs.tolist()
+            deltas = deltas.tolist()
+        self._values = list(values)
+        self._gs = list(gs)
+        self._deltas = list(deltas)
+
+    def _merge_gk(self, other: "GKBase") -> None:
+        """Shared merge: interleave both tuple lists, fold at the union
+        budget (see :func:`repro.cash_register.gk_batch.merge_tuple_arrays`
+        for the ``Delta`` accounting and why ``eps`` is preserved)."""
+        from repro.cash_register.gk_batch import merge_tuple_arrays
+
+        if not isinstance(other, GKBase):
+            raise MergeError(
+                f"cannot merge {type(other).__name__} into {self.name}"
+            )
+        if other.eps != self.eps:
+            raise MergeError(
+                f"{self.name}: eps mismatch ({self.eps} vs {other.eps})"
+            )
+        self._prepare_query()
+        other._prepare_query()
+        if other._n == 0:
+            return
+        total = self._n + other._n
+        if self._n == 0:
+            merged = (other._values, other._gs, other._deltas)
+        else:
+            budget = math.floor(2 * self.eps * total)
+            merged = merge_tuple_arrays(
+                self._values,
+                self._gs,
+                self._deltas,
+                other._values,
+                other._gs,
+                other._deltas,
+                budget,
+            )
+        self._n = total
+        self._adopt_tuples(*merged)

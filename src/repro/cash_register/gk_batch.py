@@ -29,6 +29,31 @@ Merge semantics, matching the scalar emit loop exactly:
    current one whenever the combined ``g`` plus the current ``Delta``
    fits the budget ``floor(2 eps n)`` — except that the first two
    survivors are never folded (the minimum anchors small-rank queries).
+
+This module also holds the *summary-merge* kernel
+(:func:`merge_tuple_arrays`), used by ``GKArray.merge`` /
+``GKAdaptive.merge`` for the sharded ingest engine.  Merging two GK
+summaries interleaves both tuple lists by value (ties: the left summary
+first); every tuple keeps its own ``g`` (the interleaved rmin prefix
+sums telescope), and picks up from the *other* summary the uncertainty
+of its successor there::
+
+    Delta' = Delta + g_q + Delta_q - 1
+
+where ``q`` is, for left tuples, the other side's first tuple with
+value ``>= v`` and, for right tuples, the other side's first tuple with
+value ``> v`` (no ``q``: ``Delta`` is unchanged).  Both choices bound
+the other stream's contribution to the tuple's rank window, so
+invariant (1) holds for the union stream.  Because every summary built
+by this package anchors its minimum as ``(min, 1, 0)`` (the fold never
+touches survivor 0, and GKAdaptive never removes the head node), the
+worst extra uncertainty is ``floor(2 eps n_other)``, hence::
+
+    g' + Delta' <= floor(2 eps n_a) + floor(2 eps n_b) <= floor(2 eps n')
+
+— invariant (2) holds at the *same* ``eps`` after merging, and the
+standard greedy fold (:func:`fold_tuples`) then prunes the combined
+list back down at the union budget.
 """
 
 from __future__ import annotations
@@ -170,11 +195,25 @@ def merge_sorted_run(
     merged_d[val_idx] = deltas_arr
     merged_d[run_idx] = run_deltas
 
-    # Backward fold as a greedy run partition.  Survivor k absorbs its
-    # predecessor run while G[k] + delta[k] - G[start-1] <= budget; each
-    # closed run contributes its last element with the accumulated g.
-    # This chain is the one inherently sequential step, so it runs as a
-    # minimal Python loop over pre-extracted lists.
+    return fold_tuples(merged_v, merged_g, merged_d, budget)
+
+
+def fold_tuples(
+    merged_v: np.ndarray,
+    merged_g: np.ndarray,
+    merged_d: np.ndarray,
+    budget: int,
+) -> GKArrays:
+    """Greedy backward fold over already-interleaved GK tuple arrays.
+
+    Expressed as a run partition over the prefix sums: survivor ``k``
+    absorbs its predecessor run while ``G[k] + delta[k] - G[start-1] <=
+    budget``; each closed run contributes its last element with the
+    accumulated ``g``.  Tuple 0 (the minimum) always stands alone.  The
+    partition chain is the one inherently sequential step, so it runs as
+    a minimal Python loop over pre-extracted lists.
+    """
+    total = len(merged_v)
     G = np.cumsum(merged_g)
     A_list = (G + merged_d).tolist()
     G_list = G.tolist()
@@ -196,3 +235,118 @@ def merge_sorted_run(
     out_gs = G[ends_arr]
     out_gs[1:] -= out_gs[:-1].copy()
     return merged_v[ends_arr], out_gs, merged_d[ends_arr]
+
+
+def merge_tuple_arrays_scalar(
+    a_values: Sequence,
+    a_gs: Sequence[int],
+    a_deltas: Sequence[int],
+    b_values: Sequence,
+    b_gs: Sequence[int],
+    b_deltas: Sequence[int],
+    budget: int,
+) -> GKArrays:
+    """Reference summary merge: combine two GK tuple lists, then fold.
+
+    Two-pointer stable interleave (left summary wins ties).  Each tuple
+    keeps its ``g``; its ``Delta`` picks up ``g_q + Delta_q - 1`` from
+    its successor ``q`` in the *other* summary (first ``>=`` for left
+    tuples, first ``>`` for right tuples; ``Delta`` unchanged past the
+    other maximum).  The fold uses the same emit rule as
+    :func:`merge_sorted_run_scalar`.
+    """
+    av = list(a_values)
+    bv = list(b_values)
+    na, nb = len(av), len(bv)
+    out_v: List = []
+    out_g: List[int] = []
+    out_d: List[int] = []
+
+    def emit(value, g: int, delta: int) -> None:
+        if len(out_v) >= 2 and out_g[-1] + g + delta <= budget:
+            g += out_g.pop()
+            out_v.pop()
+            out_d.pop()
+        out_v.append(value)
+        out_g.append(g)
+        out_d.append(delta)
+
+    i = j = 0
+    while i < na or j < nb:
+        if j >= nb or (i < na and av[i] <= bv[j]):
+            # Left tuple; its successor in B is the first B value >= it,
+            # which is exactly b[j] (everything before j is < av[i]).
+            extra = b_gs[j] + b_deltas[j] - 1 if j < nb else 0
+            emit(av[i], int(a_gs[i]), int(a_deltas[i]) + extra)
+            i += 1
+        else:
+            # Right tuple; its successor in A is the first A value > it,
+            # which is exactly a[i] (ties were emitted from A first).
+            extra = a_gs[i] + a_deltas[i] - 1 if i < na else 0
+            emit(bv[j], int(b_gs[j]), int(b_deltas[j]) + extra)
+            j += 1
+    return out_v, out_g, out_d
+
+
+def merge_tuple_arrays(
+    a_values: Sequence,
+    a_gs: Sequence[int],
+    a_deltas: Sequence[int],
+    b_values: Sequence,
+    b_gs: Sequence[int],
+    b_deltas: Sequence[int],
+    budget: int,
+) -> GKArrays:
+    """Vectorized summary merge, state-equivalent to the scalar reference.
+
+    Falls back to :func:`merge_tuple_arrays_scalar` for tiny inputs or
+    non-numeric (object-dtype) values.  Returns numpy arrays on the
+    vectorized path; callers normalize lazily.
+    """
+    na, nb = len(a_values), len(b_values)
+    if na == 0 or nb == 0 or na + nb < MIN_VECTOR_RUN:
+        return merge_tuple_arrays_scalar(
+            a_values, a_gs, a_deltas, b_values, b_gs, b_deltas, budget
+        )
+    av = np.asarray(a_values)
+    bv = np.asarray(b_values)
+    if (
+        av.dtype == object
+        or bv.dtype == object
+        or av.dtype.kind not in "iuf"
+        or bv.dtype.kind not in "iuf"
+    ):
+        return merge_tuple_arrays_scalar(
+            a_values, a_gs, a_deltas, b_values, b_gs, b_deltas, budget
+        )
+    ag = np.asarray(a_gs, dtype=np.int64)
+    ad = np.asarray(a_deltas, dtype=np.int64)
+    bg = np.asarray(b_gs, dtype=np.int64)
+    bd = np.asarray(b_deltas, dtype=np.int64)
+
+    # Successor of each A tuple in B: first B value >= it (A wins ties,
+    # so equal B tuples still sit ahead of it in merge order).  Successor
+    # of each B tuple in A: first A value strictly greater.
+    pos_a = np.searchsorted(bv, av, side="left")
+    pos_b = np.searchsorted(av, bv, side="right")
+
+    extra_a = np.zeros(na, dtype=np.int64)
+    inside = pos_a < nb
+    extra_a[inside] = bg[pos_a[inside]] + bd[pos_a[inside]] - 1
+    extra_b = np.zeros(nb, dtype=np.int64)
+    inside = pos_b < na
+    extra_b[inside] = ag[pos_b[inside]] + ad[pos_b[inside]] - 1
+
+    total = na + nb
+    idx_a = pos_a + np.arange(na)
+    idx_b = pos_b + np.arange(nb)
+    merged_v = np.empty(total, dtype=np.result_type(av, bv))
+    merged_v[idx_a] = av
+    merged_v[idx_b] = bv
+    merged_g = np.empty(total, dtype=np.int64)
+    merged_g[idx_a] = ag
+    merged_g[idx_b] = bg
+    merged_d = np.empty(total, dtype=np.int64)
+    merged_d[idx_a] = ad + extra_a
+    merged_d[idx_b] = bd + extra_b
+    return fold_tuples(merged_v, merged_g, merged_d, budget)

@@ -45,7 +45,7 @@ from repro.core.base import (
     validate_phi,
 )
 from repro.core.base import validate_eps
-from repro.core.errors import CorruptSummaryError
+from repro.core.errors import CorruptSummaryError, MergeError
 from repro.core.registry import register
 from repro.core.snapshot import snapshottable
 from repro.core.weighted import weighted_query_batch
@@ -120,6 +120,7 @@ class MRL99(QuantileSketch):
     name = "MRL99"
     deterministic = False
     comparison_based = True
+    mergeable = True
 
     def __init__(
         self,
@@ -272,6 +273,58 @@ class MRL99(QuantileSketch):
         rec = obs_metrics.recorder()
         if rec.enabled:
             rec.inc("cash_register.collapse", 1, algo=self.name)
+
+    # ------------------------------------------------------------------
+    # merging
+    # ------------------------------------------------------------------
+
+    def _seal_partial(self) -> None:
+        """Seal the fill buffer (and any in-progress block candidate) as
+        a weighted buffer at the current rate, as the query snapshot
+        already treats it."""
+        pending = list(self._fill_items)
+        if self._block_candidate is not None and self._block_seen > 0:
+            pending.append(self._block_candidate)
+        if pending:
+            items = np.sort(to_element_array(pending))
+            self._buffers.append(_WeightedBuffer(self._fill_rate, items))
+        self._fill_items = []
+        self._block_seen = 0
+        self._block_candidate = None
+
+    def merge(self, other) -> None:
+        """Fold another MRL99 sampler with the same schedule into this one.
+
+        Both fill buffers are sealed, the weighted buffer lists are
+        concatenated, and COLLAPSE fires until the ``b``-buffer budget
+        holds again — the same operation the sampler performs on a single
+        stream, so the weighted-sample guarantee carries over.  The two
+        samplers should be built from *independent* seeds (their coins
+        are independent shard randomness).  ``other`` should be
+        discarded afterwards.
+
+        Raises:
+            MergeError: if ``other`` has a different type, ``eps``, or
+                buffer schedule ``(b, k)``.
+        """
+        if type(other) is not type(self):
+            raise MergeError(
+                f"cannot merge {type(other).__name__} into {self.name}"
+            )
+        if self.eps != other.eps or (self.b, self.k) != (other.b, other.k):
+            raise MergeError(
+                f"{self.name}: schedule mismatch "
+                f"(eps={self.eps}, b={self.b}, k={self.k} vs "
+                f"eps={other.eps}, b={other.b}, k={other.k})"
+            )
+        self._seal_partial()
+        other._seal_partial()
+        self._buffers.extend(other._buffers)
+        self._n += other._n
+        while len(self._buffers) > self.b:
+            self._collapse()
+        self._fill_rate = self._active_rate()
+        self._start_block()
 
     # ------------------------------------------------------------------
     # query path

@@ -66,6 +66,7 @@ class QDigest(QuantileSketch, MergeableSketch):
     name = "FastQDigest"
     deterministic = True
     comparison_based = False
+    mergeable = True
 
     def __init__(
         self,
@@ -359,6 +360,10 @@ class QDigest(QuantileSketch, MergeableSketch):
             raise MergeError(f"cannot merge QDigest with {type(other)!r}")
         if other.universe_log2 != self.universe_log2:
             raise MergeError("cannot merge q-digests over different universes")
+        if other.eps != self.eps:
+            raise MergeError(
+                f"QDigest: eps mismatch ({self.eps} vs {other.eps})"
+            )
         for node, count in other._counts.items():
             self._counts[node] += count
         self._n += other._n

@@ -100,6 +100,7 @@ class RandomSketch(QuantileSketch, MergeableSketch):
     name = "Random"
     deterministic = False
     comparison_based = True
+    mergeable = True
 
     def __init__(
         self,

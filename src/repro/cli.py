@@ -82,6 +82,12 @@ def make_parser() -> argparse.ArgumentParser:
         help="parse values as integers",
     )
     parser.add_argument(
+        "--parallel", type=int, default=None, metavar="K",
+        help="shard the stream across K worker processes and merge "
+             "(mergeable algorithms only; see "
+             "repro.core.registry.mergeable_algorithms())",
+    )
+    parser.add_argument(
         "--json", dest="as_json", action="store_true",
         help="emit the report as a single JSON object",
     )
@@ -158,22 +164,50 @@ def _run(
     needs_int = args.universe_log2 is not None or args.algorithm in (
         "qdigest", "dcm", "dcs", "post", "rss"
     )
+    if args.parallel is not None and args.parallel < 1:
+        return fail(f"--parallel must be >= 1, got {args.parallel}", 2)
     try:
-        build_start = time.perf_counter()
-        sketch = build_sketch(
-            args.algorithm, args.eps,
-            universe_log2=args.universe_log2, seed=args.seed,
-        )
-        build_s = time.perf_counter() - build_start
         if args.input == "-":
             lines: TextIO = stdin
         else:
             lines = open(args.input)
-        start = time.perf_counter()
-        sketch.extend(_read_values(lines, args.as_int or needs_int))
-        elapsed = time.perf_counter() - start
-        if args.input != "-":
-            lines.close()
+        if args.parallel is not None:
+            import numpy as np
+
+            from repro.parallel.engine import parallel_feed
+            from repro.parallel.plan import ShardPlan
+
+            as_int = args.as_int or needs_int
+            values = np.asarray(
+                list(_read_values(lines, as_int)),
+                dtype=np.int64 if as_int else np.float64,
+            )
+            if args.input != "-":
+                lines.close()
+            plan = ShardPlan(
+                seed=args.seed if args.seed is not None else 0,
+                shards=args.parallel,
+            )
+            build_s = 0.0  # workers build their shard sketches
+            if len(values) == 0:
+                return fail("no input values", 1)
+            sketch, elapsed = parallel_feed(
+                args.algorithm, values, args.eps, plan,
+                universe_log2=args.universe_log2,
+                collect_metrics=registry is not None,
+            )
+        else:
+            build_start = time.perf_counter()
+            sketch = build_sketch(
+                args.algorithm, args.eps,
+                universe_log2=args.universe_log2, seed=args.seed,
+            )
+            build_s = time.perf_counter() - build_start
+            start = time.perf_counter()
+            sketch.extend(_read_values(lines, args.as_int or needs_int))
+            elapsed = time.perf_counter() - start
+            if args.input != "-":
+                lines.close()
         if sketch.n == 0:
             return fail("no input values", 1)
         query_start = time.perf_counter()
@@ -208,6 +242,8 @@ def _run(
                     "query_s": query_s,
                 },
             }
+            if args.parallel is not None:
+                payload["workers"] = args.parallel
             if registry is not None:
                 payload.update(metrics_to_json(registry))
             print(json.dumps(payload), file=stdout)
@@ -229,3 +265,7 @@ def _run(
 
 def main() -> None:  # pragma: no cover - thin wrapper
     sys.exit(run())
+
+
+if __name__ == "__main__":  # pragma: no cover - python -m repro.cli
+    main()

@@ -20,9 +20,18 @@ from repro.core.errors import (
     ReproError,
     SiteUnavailableError,
     UniverseOverflowError,
+    UnmergeableSketchError,
 )
 from repro.core.exact import ExactQuantiles
-from repro.core.registry import algorithms, get_algorithm, make_sketch, register
+from repro.core.registry import (
+    algorithms,
+    get_algorithm,
+    make_sketch,
+    merge_shares_seed,
+    mergeable_algorithms,
+    register,
+    supports_merge,
+)
 from repro.core.selection import MunroPaterson, exact_median_passes, select
 from repro.core.snapshot import (
     restore,
@@ -47,11 +56,15 @@ __all__ = [
     "SupportsQuantileQueries",
     "TurnstileSketch",
     "UniverseOverflowError",
+    "UnmergeableSketchError",
     "WORD_BYTES",
     "algorithms",
     "get_algorithm",
     "make_sketch",
+    "merge_shares_seed",
+    "mergeable_algorithms",
     "register",
+    "supports_merge",
     "restore",
     "select",
     "snapshot",

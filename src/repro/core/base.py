@@ -19,7 +19,11 @@ import abc
 import math
 from typing import Any, Iterable, List, Protocol, Sequence
 
-from repro.core.errors import EmptySummaryError, InvalidParameterError
+from repro.core.errors import (
+    EmptySummaryError,
+    InvalidParameterError,
+    UnmergeableSketchError,
+)
 
 #: Size, in bytes, of one machine word under the paper's space accounting
 #: ("every element from the stream, counter, or pointer consumes 4 bytes").
@@ -142,6 +146,21 @@ class QuantileSketch(abc.ABC):
     #: Whether the algorithm only compares elements (vs. fixed universe).
     comparison_based: bool = False
 
+    #: Whether :meth:`merge` is implemented (the mergeable-summary model).
+    #: Set to True by subclasses that override :meth:`merge`; consumers
+    #: (the parallel ingest engine, distributed aggregation) check this
+    #: flag — or :func:`repro.core.registry.mergeable_algorithms` — before
+    #: sharding a stream.
+    mergeable: bool = False
+
+    #: Whether two summaries must be built from the *same* ``seed`` to be
+    #: merge-compatible.  True for the hash-based turnstile sketches,
+    #: whose counter addition is only linear when both sides share hash
+    #: functions; False for the comparison-based randomized sketches,
+    #: which want *independent* coins per shard.  Meaningless when
+    #: ``mergeable`` is False.
+    merge_shares_seed: bool = False
+
     @property
     @abc.abstractmethod
     def n(self) -> int:
@@ -218,6 +237,24 @@ class QuantileSketch(abc.ABC):
         """Current space usage in bytes (``size_words() * 4``)."""
         return self.size_words() * WORD_BYTES
 
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold ``other`` into ``self`` (``other`` should be discarded).
+
+        Afterwards ``self`` summarizes the concatenation of both streams
+        with the algorithm's stated error guarantee.  The base
+        implementation refuses: algorithms advertise merge support by
+        overriding this method and setting ``mergeable = True``.
+
+        Raises:
+            UnmergeableSketchError: always, unless overridden.
+            MergeError: (in overrides) when ``other`` has incompatible
+                parameters.
+        """
+        raise UnmergeableSketchError(
+            f"{self.name} does not support merging; pick a mergeable "
+            "algorithm (see repro.core.registry.mergeable_algorithms())"
+        )
+
     def _require_nonempty(self) -> None:
         if self.n <= 0:
             raise EmptySummaryError(
@@ -272,7 +309,13 @@ class MergeableSketch(abc.ABC):
     ``merge`` combines another summary *of the same type and parameters*
     into ``self``; afterwards ``self`` summarizes the concatenation of both
     streams with an unchanged error guarantee.
+
+    Inheriting this mixin also sets the ``mergeable`` capability flag, so
+    registry-level consumers discover the implementation without an
+    isinstance ladder.
     """
+
+    mergeable: bool = True
 
     @abc.abstractmethod
     def merge(self, other) -> None:

@@ -12,11 +12,14 @@ The hierarchy::
     ├── UniverseOverflowError (ValueError)    element outside [0, u)
     ├── NegativeFrequencyError (ValueError)   ill-formed turnstile delete
     ├── MergeError (ValueError)               incompatible summaries
+    │   └── UnmergeableSketchError            the algorithm has no merge
+    │                                         operation at all
     ├── CorruptSummaryError (ValueError)      checksum/invariant failure on
     │                                         a serialized or merged summary
     ├── InvariantViolation (AssertionError)   structural invariant broken
     │                                         (survives ``python -O``)
-    └── SiteUnavailableError (RuntimeError)   distributed site unreachable
+    ├── SiteUnavailableError (RuntimeError)   distributed site unreachable
+    └── ParallelIngestError (RuntimeError)    sharded-ingest worker died
 """
 
 from __future__ import annotations
@@ -56,6 +59,19 @@ class MergeError(ReproError, ValueError):
     """Two summaries are incompatible for merging (different parameters)."""
 
 
+class UnmergeableSketchError(MergeError):
+    """The algorithm does not support merging at all.
+
+    Distinct from its parent :class:`MergeError`, which reports that two
+    summaries of a *mergeable* algorithm are parameter-incompatible
+    (different ``eps``, universe, or hash seeds).  This subclass means the
+    algorithm itself defines no merge operation — check
+    ``cls.mergeable`` (see :class:`repro.core.base.QuantileSketch`) or
+    :func:`repro.core.registry.mergeable_algorithms` before sharding a
+    stream or building an aggregation tree.
+    """
+
+
 class CorruptSummaryError(ReproError, ValueError):
     """A serialized or untrusted summary failed an integrity check.
 
@@ -89,4 +105,14 @@ class SiteUnavailableError(ReproError, RuntimeError):
     crashed — without it there is nowhere to assemble an answer.  Crashes
     of non-root sites degrade coverage instead (see
     :func:`repro.distributed.protocols.merge_summaries`).
+    """
+
+
+class ParallelIngestError(ReproError, RuntimeError):
+    """The sharded ingest engine lost a worker or its transport.
+
+    Raised by :class:`repro.parallel.engine.ShardedIngestEngine` when a
+    worker process dies, reports an exception, or stops draining its
+    shared-memory chunk queue.  Carries the worker's formatted traceback
+    when one was reported.
     """

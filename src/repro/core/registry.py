@@ -67,3 +67,42 @@ def get_algorithm(key: str) -> Type[QuantileSketch]:
 def algorithms() -> List[str]:
     """Sorted list of every registered algorithm name."""
     return sorted(_REGISTRY)
+
+
+def mergeable_algorithms() -> List[str]:
+    """Sorted names of every algorithm whose class implements ``merge``.
+
+    The parallel ingest engine and the distributed aggregation protocols
+    only work over these (capability flag ``cls.mergeable``; see
+    :class:`repro.core.base.QuantileSketch`).
+    """
+    return sorted(
+        k for k, cls in _REGISTRY.items()
+        if getattr(cls, "mergeable", False)
+    )
+
+
+def supports_merge(key: str) -> bool:
+    """Whether the registered algorithm ``key`` implements ``merge``.
+
+    A registrant that never declares the capability flag (possible for
+    classes outside the :class:`~repro.core.base.QuantileSketch`
+    hierarchy) counts as unmergeable.
+
+    Raises:
+        InvalidParameterError: if ``key`` is unknown.
+    """
+    return bool(getattr(get_algorithm(key), "mergeable", False))
+
+
+def merge_shares_seed(key: str) -> bool:
+    """Whether shards of algorithm ``key`` must be built from one seed.
+
+    True for the hash-based turnstile sketches (counter addition is only
+    linear when both sides evaluate identical hash functions), False for
+    comparison-based randomized sketches (independent per-shard coins).
+
+    Raises:
+        InvalidParameterError: if ``key`` is unknown.
+    """
+    return bool(getattr(get_algorithm(key), "merge_shares_seed", False))

@@ -1,4 +1,4 @@
-"""The replint domain rules, REP001–REP005.
+"""The replint domain rules, REP001–REP006.
 
 Each rule encodes one invariant the library otherwise enforces only by
 convention; ``docs/static-analysis.md`` carries the full catalog with
@@ -11,7 +11,16 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.devtools.engine import (
     Diagnostic,
@@ -74,6 +83,10 @@ def _dotted_parts(node: ast.expr) -> Optional[Tuple[str, ...]]:
 
 def _is_none(node: ast.expr) -> bool:
     return isinstance(node, ast.Constant) and node.value is None
+
+
+#: Both function-definition node flavors (REP006 checks either).
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
 
 class DeterminismRule(Rule):
@@ -456,6 +469,180 @@ class MetricsPreregistrationRule(Rule):
         return False
 
 
+class WorkerSeedDisciplineRule(Rule):
+    """REP006: worker entry points derive every seed from the ShardPlan.
+
+    A function that runs inside a worker process (``_shard_worker``, or
+    any ``worker_*`` / ``*_worker`` name) must take a ``plan`` parameter,
+    and every RNG it constructs (``make_rng`` / ``default_rng`` /
+    ``RandomState``) and every ``seed=`` keyword it passes must be a
+    value derived from that plan — a direct ``plan.<method>(...)`` call,
+    ``plan.<attr>``, or a local name assigned from one.  REP001 ensures
+    seeds exist; this rule ensures *parallel* seeds are reproducible
+    functions of the :class:`~repro.parallel.plan.ShardPlan`, so a run
+    is deterministic for a fixed (seed, shard count) no matter which
+    worker draws first.
+    """
+
+    rule_id = "REP006"
+    title = "plan-derived worker seeds"
+    rationale = (
+        "Sharded runs are only reproducible when every worker's random "
+        "coins are a pure function of the ShardPlan; a worker that "
+        "seeds from anything else (constants, worker ids, ambient "
+        "state) silently breaks fixed-plan determinism."
+    )
+    roles = (ROLE_LIBRARY,)
+
+    _RNG_CONSTRUCTORS: Set[str] = {"make_rng", "default_rng", "RandomState"}
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and self._is_worker_entry(node):
+                yield from self._check_worker(ctx, node)
+
+    @classmethod
+    def _is_worker_entry(cls, fn: _FuncDef) -> bool:
+        # Methods are never process entry points; only free functions
+        # get handed to a worker process.
+        first = (*fn.args.posonlyargs, *fn.args.args)
+        if first and first[0].arg in ("self", "cls"):
+            return False
+        return cls._is_worker_name(fn.name)
+
+    @staticmethod
+    def _is_worker_name(name: str) -> bool:
+        bare = name.lstrip("_")
+        return (
+            bare == "worker"
+            or bare.startswith("worker_")
+            or bare.endswith("_worker")
+        )
+
+    @staticmethod
+    def _plan_params(fn: _FuncDef) -> Set[str]:
+        args = fn.args
+        names = [
+            arg.arg
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        ]
+        return {
+            name for name in names
+            if name == "plan" or name.endswith("_plan")
+        }
+
+    def _walk_own_body(self, fn: _FuncDef) -> Iterator[ast.AST]:
+        """Walk ``fn`` without descending into nested worker entries
+        (those are checked on their own)."""
+        stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and self._is_worker_entry(node):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _is_derived(
+        self, expr: ast.expr, plan_names: Set[str], derived: Set[str]
+    ) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in derived
+        if isinstance(expr, ast.Attribute):
+            parts = _dotted_parts(expr)
+            return parts is not None and parts[0] in plan_names
+        if isinstance(expr, ast.Call):
+            parts = _dotted_parts(expr.func)
+            if parts is not None and len(parts) >= 2 and (
+                parts[0] in plan_names
+            ):
+                return True
+            if (
+                parts is not None
+                and parts[-1] == "int"
+                and len(expr.args) == 1
+            ):
+                return self._is_derived(expr.args[0], plan_names, derived)
+        return False
+
+    def _derived_names(
+        self, fn: _FuncDef, plan_names: Set[str]
+    ) -> Set[str]:
+        derived: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in self._walk_own_body(fn):
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value:
+                    targets, value = [node.target], node.value
+                else:
+                    continue
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id not in derived
+                        and self._is_derived(value, plan_names, derived)
+                    ):
+                        derived.add(target.id)
+                        changed = True
+        return derived
+
+    def _check_worker(
+        self, ctx: FileContext, fn: _FuncDef
+    ) -> Iterator[Diagnostic]:
+        plan_names = self._plan_params(fn)
+        if not plan_names:
+            yield self.diagnostic(
+                ctx.path,
+                fn,
+                f"worker entry point {fn.name} takes no ShardPlan; "
+                "thread a `plan` parameter through so every seed "
+                "derives from it",
+            )
+            return
+        derived = self._derived_names(fn, plan_names)
+        for node in self._walk_own_body(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = _dotted_parts(node.func)
+            if parts is not None and parts[-1] in self._RNG_CONSTRUCTORS:
+                seed_expr: Optional[ast.expr] = (
+                    node.args[0] if node.args else None
+                )
+                if seed_expr is None:
+                    for kw in node.keywords:
+                        if kw.arg == "seed":
+                            seed_expr = kw.value
+                if seed_expr is None or not self._is_derived(
+                    seed_expr, plan_names, derived
+                ):
+                    yield self.diagnostic(
+                        ctx.path,
+                        node,
+                        f"`{'.'.join(parts)}` in worker entry point "
+                        f"{fn.name} is not seeded from the plan; derive "
+                        "the seed via plan.worker_seed()/sketch_seed()",
+                    )
+                continue
+            for kw in node.keywords:
+                if kw.arg == "seed" and not self._is_derived(
+                    kw.value, plan_names, derived
+                ):
+                    yield self.diagnostic(
+                        ctx.path,
+                        node,
+                        f"seed= passed in worker entry point {fn.name} "
+                        "does not derive from the plan; use "
+                        "plan.worker_seed()/sketch_seed() (directly or "
+                        "via a local assignment)",
+                    )
+
+
 #: The rule set the CLI runs by default, in catalog order.
 DEFAULT_RULES: Tuple[Rule, ...] = (
     DeterminismRule(),
@@ -463,6 +650,7 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     SnapshotCoverageRule(),
     NoLibraryAssertRule(),
     MetricsPreregistrationRule(),
+    WorkerSeedDisciplineRule(),
 )
 
 #: rule_id -> rule instance, for --select and docs generation.

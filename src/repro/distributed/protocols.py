@@ -46,10 +46,9 @@ from typing import Dict, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
-from repro.cash_register.qdigest import QDigest
-from repro.cash_register.random_sketch import RandomSketch
 from repro.core.base import QuantileSketch
-from repro.core.errors import InvalidParameterError, SiteUnavailableError
+from repro.core.errors import SiteUnavailableError, UnmergeableSketchError
+from repro.core.registry import merge_shares_seed, supports_merge
 from repro.core.snapshot import (
     decode_payload,
     encode_payload,
@@ -182,6 +181,14 @@ def merge_summaries(
     the summary's ``size_words()`` at send time.
 
     Args:
+        summary: any registry algorithm whose class advertises
+            ``mergeable`` (see
+            :func:`repro.core.registry.mergeable_algorithms`); sketches
+            that cannot merge raise
+            :class:`~repro.core.errors.UnmergeableSketchError`.
+            Shared-seed sketches (the linear ones — dcs, dcm, post, rss)
+            get the same master seed at every site so their hash
+            functions line up; the rest get independent per-site seeds.
         faults: optional :class:`~repro.distributed.faults.FaultPlan` (or
             injector).  When given — or when the network already has one
             attached — summaries travel as checksummed snapshots over the
@@ -191,17 +198,24 @@ def merge_summaries(
             plan reproduces the plain path bit-for-bit (same accounting,
             same answers).
     """
-    if summary not in ("qdigest", "random"):
-        raise InvalidParameterError(
-            f"summary must be 'qdigest' or 'random', got {summary!r}"
+    if not supports_merge(summary):
+        raise UnmergeableSketchError(
+            f"summary {summary!r} does not support merge; pick one of "
+            "repro.core.registry.mergeable_algorithms()"
         )
+    from repro.evaluation.harness import build_sketch
+
     rng = make_rng(seed)
+    shared_seed = merge_shares_seed(summary)
+    master_seed = int(rng.integers(1 << 30)) if shared_seed else None
 
     def build(shard: np.ndarray) -> QuantileSketch:
-        if summary == "qdigest":
-            sk = QDigest(eps=eps, universe_log2=universe_log2)
-        else:
-            sk = RandomSketch(eps=eps, seed=int(rng.integers(1 << 30)))
+        site_seed = master_seed if shared_seed else int(
+            rng.integers(1 << 30)
+        )
+        sk = build_sketch(
+            summary, eps, universe_log2=universe_log2, seed=site_seed
+        )
         sk.extend(shard.tolist())
         return sk
 

@@ -9,6 +9,7 @@ from repro.evaluation.analysis import (
     pdf_histogram,
     qq_points,
 )
+from repro.evaluation.context import git_sha, machine_context
 from repro.evaluation.harness import RunResult, build_sketch, feed_stream, run_experiment
 from repro.evaluation.metrics import (
     ErrorReport,
@@ -25,7 +26,13 @@ from repro.evaluation.reporting import (
     results_table,
     tradeoff_series,
 )
-from repro.evaluation.runner import BASE_N, by_algorithm, scaled_n, sweep
+from repro.evaluation.runner import (
+    BASE_N,
+    by_algorithm,
+    parallel_sweep,
+    scaled_n,
+    sweep,
+)
 from repro.evaluation.space import PeakSpaceTracker, bytes_to_words
 
 __all__ = [
@@ -47,13 +54,16 @@ __all__ = [
     "bytes_to_words",
     "feed_stream",
     "format_table",
+    "git_sha",
     "ks_divergence",
+    "machine_context",
     "matrix_table",
     "measure_errors",
     "phi_grid",
     "quantile_grid_truth",
     "rank_error",
     "results_table",
+    "parallel_sweep",
     "run_experiment",
     "scaled_n",
     "sweep",

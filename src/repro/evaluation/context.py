@@ -1,0 +1,62 @@
+"""Machine and build context for benchmark artifacts.
+
+A benchmark number without its machine is noise: the paper's speed
+tables are per-machine, and the committed ``BENCH_*.json`` artifacts are
+regenerated on whatever box runs them.  :func:`machine_context` captures
+the facts needed to read a number honestly — CPU count (the ceiling on
+any parallel speedup), Python version and implementation, platform, and
+the git commit the run was built from.
+
+The wall-clock ``timestamp`` is a *parameter*: library code never reads
+the clock (replint REP001); benchmark scripts — exempt from the rule —
+pass ``time.time()`` in themselves.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import platform
+import subprocess
+from typing import Dict, Optional
+
+
+def git_sha(cwd: Optional[pathlib.Path] = None) -> Optional[str]:
+    """The current git commit hash, or None outside a work tree."""
+    if cwd is None:
+        cwd = pathlib.Path(__file__).resolve().parent
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    sha = proc.stdout.strip()
+    return sha or None
+
+
+def machine_context(
+    timestamp: Optional[float] = None,
+) -> Dict[str, object]:
+    """JSON-ready description of the machine and build behind a run.
+
+    Args:
+        timestamp: wall-clock seconds since the epoch, supplied by the
+            caller (benchmark scripts pass ``time.time()``); ``None``
+            when the artifact should stay timestamp-free.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "git_sha": git_sha(),
+        "timestamp": timestamp,
+    }

@@ -200,6 +200,7 @@ def run_experiment(
     post_process: bool = False,
     collect_metrics: bool = False,
     batch_size: Optional[int] = None,
+    parallel: Optional[int] = None,
     **kwargs: Any,
 ) -> RunResult:
     """Run one full measurement: build, stream, and evaluate.
@@ -221,7 +222,12 @@ def run_experiment(
             this run (it stays enabled afterwards so the caller can
             export; see :mod:`repro.obs`).
         batch_size: ingest chunk length handed to :func:`feed_stream`
-            (``None`` keeps its default).
+            (``None`` keeps its default; with ``parallel`` it becomes
+            the shard plan's chunk size).
+        parallel: shard the stream across this many worker processes
+            (:class:`repro.parallel.engine.ShardedIngestEngine`) and
+            evaluate the *merged* summary.  Requires a mergeable
+            algorithm and no deletions; ``None`` runs serially.
         **kwargs: forwarded to the algorithm constructor (width, depth,
             eta, ...).
 
@@ -232,6 +238,16 @@ def run_experiment(
     """
     if collect_metrics:
         obs_metrics.enable()
+    if parallel is not None:
+        if parallel < 1:
+            raise InvalidParameterError(
+                f"parallel must be >= 1, got {parallel!r}"
+            )
+        if deletions is not None and len(deletions):
+            raise InvalidParameterError(
+                "parallel ingest supports insertion-only streams; feed "
+                "deletion workloads serially"
+            )
     if deletions is not None and len(deletions):
         counts: Dict[int, int] = {}
         for v in data.tolist():
@@ -258,15 +274,48 @@ def run_experiment(
     phases: Dict[str, float] = {}
     extra: Dict[str, object] = {}
     for i in range(effective_repeats):
-        build_start = time.perf_counter()
-        sketch = build_sketch(
-            algorithm, eps, universe_log2, seed + 1000 * i, **kwargs
-        )
-        build_s = time.perf_counter() - build_start
         timings: Dict[str, Any] = {}
-        run_elapsed, run_peak = feed_stream(
-            sketch, data, deletions, timings=timings, batch_size=batch_size
-        )
+        if parallel is not None:
+            from repro.parallel.engine import ShardedIngestEngine
+            from repro.parallel.plan import DEFAULT_CHUNK_SIZE, ShardPlan
+
+            plan = ShardPlan(
+                seed=seed + 1000 * i,
+                shards=parallel,
+                chunk_size=(
+                    batch_size if batch_size is not None
+                    else DEFAULT_CHUNK_SIZE
+                ),
+            )
+            build_start = time.perf_counter()
+            with ShardedIngestEngine(
+                algorithm, eps, plan,
+                universe_log2=universe_log2,
+                collect_metrics=collect_metrics,
+                dtype=data.dtype,
+                **kwargs,
+            ) as engine:
+                build_s = time.perf_counter() - build_start
+                feed_start = time.perf_counter()
+                engine.ingest(data)
+                sketch = engine.finish()
+                run_elapsed = time.perf_counter() - feed_start
+            run_peak = engine.worker_peak_words
+            timings.update(
+                update_s=run_elapsed,
+                sample_s=0.0,
+                ingest_path=f"parallel[{parallel}]",
+            )
+        else:
+            build_start = time.perf_counter()
+            sketch = build_sketch(
+                algorithm, eps, universe_log2, seed + 1000 * i, **kwargs
+            )
+            build_s = time.perf_counter() - build_start
+            run_elapsed, run_peak = feed_stream(
+                sketch, data, deletions, timings=timings,
+                batch_size=batch_size,
+            )
         # The OLS snapshot lives beyond the base interface (DCS only).
         target: Any = sketch
         if post_process:
@@ -286,6 +335,8 @@ def run_experiment(
                 "query_s": query_s,
             }
             extra = {**phases, "ingest_path": timings["ingest_path"]}
+            if parallel is not None:
+                extra["workers"] = parallel
         max_errors.append(report.max_error)
         avg_errors.append(report.avg_error)
 

@@ -82,6 +82,72 @@ def sweep(
     return results
 
 
+def _sweep_config(payload: Dict[str, Any]) -> RunResult:
+    """Run one (algorithm, eps) cell; module-level so process pools can
+    pickle it."""
+    name = payload.pop("name")
+    post = name.endswith("+post")
+    base_name = name[: -len("+post")] if post else name
+    return run_experiment(base_name, post_process=post, **payload)
+
+
+def parallel_sweep(
+    algorithms: Sequence[str],
+    data: np.ndarray,
+    eps_values: Iterable[float],
+    universe_log2: Optional[int] = None,
+    repeats: int = 3,
+    seed: int = 0,
+    per_algorithm_kwargs: Optional[Dict[str, Dict]] = None,
+    max_workers: Optional[int] = None,
+    **common_kwargs: Any,
+) -> List[RunResult]:
+    """:func:`sweep`, fanned across a process pool.
+
+    Every (algorithm, eps) cell is an independent :func:`run_experiment`
+    call, so the cross-product parallelizes embarrassingly: each cell
+    runs in its own process and the result list comes back in exactly
+    :func:`sweep`'s order (``pool.map`` preserves it).  Seeds are
+    per-cell constants, so a parallel sweep reports the same errors and
+    spaces as the serial sweep — only wall-clock timing fields differ.
+
+    Args:
+        max_workers: process-pool size (``None`` = one per core).  The
+            stream is pickled once per cell; keep cells coarse.
+
+    Other arguments match :func:`sweep`.
+    """
+    per_algorithm_kwargs = per_algorithm_kwargs or {}
+    configs: List[Dict[str, Any]] = []
+    for name in algorithms:
+        extra = dict(per_algorithm_kwargs.get(name, {}))
+        for eps in eps_values:
+            configs.append(
+                dict(
+                    name=name,
+                    data=data,
+                    eps=eps,
+                    universe_log2=universe_log2,
+                    repeats=repeats,
+                    seed=seed,
+                    **extra,
+                    **common_kwargs,
+                )
+            )
+    if len(configs) <= 1 or max_workers == 1:
+        return [_sweep_config(config) for config in configs]
+    import concurrent.futures
+    import multiprocessing as mp
+
+    method = (
+        "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    )
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=max_workers, mp_context=mp.get_context(method)
+    ) as pool:
+        return list(pool.map(_sweep_config, configs))
+
+
 def by_algorithm(results: Sequence[RunResult]) -> Dict[str, List[RunResult]]:
     """Group sweep results into per-algorithm curves (sweep order kept)."""
     curves: Dict[str, List[RunResult]] = {}

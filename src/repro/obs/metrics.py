@@ -348,6 +348,12 @@ DEFAULT_INSTRUMENTS: Tuple[Tuple[str, str], ...] = (
     ("counter", "distributed.monitoring.sync.messages"),
     ("counter", "distributed.monitoring.sync.rounds"),
     ("gauge", "distributed.monitoring.known_n"),
+    ("counter", "parallel.chunks"),
+    ("counter", "parallel.elements"),
+    ("counter", "parallel.merges"),
+    ("gauge", "parallel.workers"),
+    ("histogram", "parallel.ingest_ns"),
+    ("histogram", "parallel.merge_ns"),
     ("counter", "evaluation.updates"),
     ("counter", "evaluation.runs"),
     ("gauge", "evaluation.stream.n"),
@@ -360,6 +366,76 @@ def preregister_defaults(registry: MetricsRegistry) -> None:
     """Create the known instrument families (unlabeled series) at zero."""
     for kind, name in DEFAULT_INSTRUMENTS:
         registry._get(_KINDS[kind], name, {})
+
+
+#: Compact picklable instrument dump: (kind, name, labels, payload).
+InstrumentState = Tuple[str, str, Dict[str, object], Tuple]
+
+
+def export_state(
+    registry: MetricsRegistry, skip_idle: bool = True
+) -> List[InstrumentState]:
+    """Dump a registry into compact picklable tuples.
+
+    The sharded ingest engine ships each worker's registry back to the
+    parent this way (queues carry tuples, never instrument objects).
+    ``skip_idle`` drops untouched instruments — preregistered families
+    sitting at zero — so the payload only carries real activity.
+    """
+    out: List[InstrumentState] = []
+    for inst in registry.instruments():
+        labels = dict(inst.labels)
+        payload: Tuple
+        if isinstance(inst, Histogram):
+            if skip_idle and inst.count == 0:
+                continue
+            payload = (
+                list(inst.buckets), inst.count, inst.total, inst.min,
+                inst.max,
+            )
+        else:
+            if skip_idle and inst.value == 0:
+                continue
+            payload = (inst.value,)
+        out.append((inst.kind, inst.name, labels, payload))
+    return out
+
+
+def absorb_state(
+    registry: MetricsRegistry,
+    state: List[InstrumentState],
+    **extra_labels: object,
+) -> None:
+    """Re-register exported instruments into ``registry``.
+
+    Each incoming series keeps its name and labels plus ``extra_labels``
+    (the parent tags worker registries with ``worker=<shard>``), so
+    per-worker series stay distinguishable in exports.  Counters and
+    histograms *add* into any existing series; gauges overwrite (last
+    write wins, as for any gauge).
+    """
+    for kind, name, labels, payload in state:
+        merged = dict(labels)
+        merged.update(extra_labels)
+        if kind == Counter.kind:
+            registry.counter(name, **merged).inc(payload[0])
+        elif kind == Gauge.kind:
+            registry.gauge(name, **merged).set(payload[0])
+        elif kind == Histogram.kind:
+            hist = registry.histogram(name, **merged)
+            buckets, count, total, low, high = payload
+            for i, bucket_count in enumerate(buckets):
+                hist.buckets[i] += bucket_count
+            hist.count += count
+            hist.total += total
+            if low < hist.min:
+                hist.min = low
+            if high > hist.max:
+                hist.max = high
+        else:
+            raise InvalidParameterError(
+                f"unknown instrument kind {kind!r} in exported state"
+            )
 
 
 def enable(

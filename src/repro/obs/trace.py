@@ -75,6 +75,29 @@ class Tracer:
             }
         )
 
+    def ingest(
+        self, events: List[Dict[str, object]], **extra_labels: object
+    ) -> None:
+        """Append completed span events recorded by *another* tracer.
+
+        The sharded ingest engine ships each worker's ``events`` list
+        back to the parent and re-registers them here, tagged with
+        ``extra_labels`` (``worker=<shard>``).  Start offsets stay
+        relative to the recording tracer's own origin — workers start
+        their clocks when they boot — so cross-process offsets are not
+        comparable; durations and nesting are.  The ``max_events`` bound
+        applies as usual (overflow counts into ``dropped``).
+        """
+        for event in events:
+            if len(self.events) >= self.max_events:
+                self.dropped += 1
+                continue
+            labels = dict(event.get("labels") or {})  # type: ignore[arg-type]
+            labels.update(extra_labels)
+            merged = dict(event)
+            merged["labels"] = labels
+            self.events.append(merged)
+
     def to_jsonl(self) -> str:
         """All events, one JSON object per line."""
         return "\n".join(json.dumps(event) for event in self.events)

@@ -1,0 +1,28 @@
+"""Multi-core sharded ingest: shard plans, shared-memory chunk
+transport, persistent worker processes, and merge-tree aggregation.
+
+Quick start::
+
+    from repro.parallel import ShardPlan, parallel_feed
+
+    plan = ShardPlan(seed=42, shards=4)
+    summary, seconds = parallel_feed("gk_array", data, eps=0.001, plan=plan)
+    summary.query(0.5)
+
+The merged summary answers within the same ``eps`` the shards ran at —
+see :mod:`repro.parallel.engine` for the mechanics and
+:mod:`repro.cash_register.gk_batch` for the GK merge argument.
+"""
+
+from repro.parallel.engine import ShardedIngestEngine, parallel_feed
+from repro.parallel.plan import DEFAULT_CHUNK_SIZE, ShardPlan
+from repro.parallel.shm import SLOTS_PER_WORKER, ChunkSlot
+
+__all__ = [
+    "ChunkSlot",
+    "DEFAULT_CHUNK_SIZE",
+    "SLOTS_PER_WORKER",
+    "ShardPlan",
+    "ShardedIngestEngine",
+    "parallel_feed",
+]

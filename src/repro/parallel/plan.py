@@ -1,0 +1,125 @@
+"""Deterministic shard plans for multi-core ingest.
+
+A :class:`ShardPlan` fixes, up front, everything that makes a parallel
+run reproducible: the master ``seed``, the number of ``shards``
+(workers), and the ``chunk_size`` in which the stream is cut.  Chunks
+are dealt to shards round-robin, so for a fixed plan every element of
+the stream lands on the same worker on every run, and every worker's
+random coins are a pure function of the plan:
+
+* ``worker_seed(shard)`` spawns an independent child seed per shard via
+  :class:`numpy.random.SeedSequence` — statistically independent streams
+  for randomized comparison-based sketches (Random, MRL99, KLL, ...).
+* ``sketch_seed(shard, shares_seed)`` additionally honors the
+  registry's ``merge_shares_seed`` capability: linear turnstile sketches
+  (DCM/DCS/RSS) only merge when every shard drew *identical* hash
+  functions, so for those every shard gets the plan's master seed.
+
+Nothing here touches wall clocks or global RNG state — the replint
+REP006 rule holds worker entry points to exactly this discipline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+#: Default chunk length (elements) cut from the input stream; 64K int64
+#: elements is 512 KiB per slot — large enough to amortize queue hops,
+#: small enough that double-buffering two slots per worker stays cheap.
+DEFAULT_CHUNK_SIZE = 65536
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardPlan:
+    """Deterministic recipe for splitting one stream across workers.
+
+    Args:
+        seed: master seed; every per-shard seed derives from it.
+        shards: number of workers the stream is dealt across.
+        chunk_size: elements per chunk (chunks are dealt round-robin).
+    """
+
+    seed: int
+    shards: int
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int) or self.seed < 0:
+            raise InvalidParameterError(
+                f"seed must be a non-negative int, got {self.seed!r}"
+            )
+        if not isinstance(self.shards, int) or self.shards < 1:
+            raise InvalidParameterError(
+                f"shards must be an int >= 1, got {self.shards!r}"
+            )
+        if not isinstance(self.chunk_size, int) or self.chunk_size < 1:
+            raise InvalidParameterError(
+                f"chunk_size must be an int >= 1, got {self.chunk_size!r}"
+            )
+
+    def _check_shard(self, shard: int) -> None:
+        if not (0 <= shard < self.shards):
+            raise InvalidParameterError(
+                f"shard {shard!r} outside [0, {self.shards})"
+            )
+
+    def worker_seed(self, shard: int) -> int:
+        """Independent derived seed for ``shard`` (SeedSequence spawn)."""
+        self._check_shard(shard)
+        seq = np.random.SeedSequence(entropy=self.seed, spawn_key=(shard,))
+        return int(seq.generate_state(1, dtype=np.uint64)[0])
+
+    def sketch_seed(self, shard: int, shares_seed: bool) -> int:
+        """The seed the shard's sketch is built from.
+
+        ``shares_seed=True`` (linear sketches whose merge requires
+        identical hash functions) returns the master seed for every
+        shard; otherwise each shard gets its independent
+        :meth:`worker_seed`.
+        """
+        if shares_seed:
+            self._check_shard(shard)
+            return self.seed
+        return self.worker_seed(shard)
+
+    def shard_of_chunk(self, chunk_index: int) -> int:
+        """Which shard chunk ``chunk_index`` is dealt to (round-robin)."""
+        if chunk_index < 0:
+            raise InvalidParameterError(
+                f"chunk_index must be >= 0, got {chunk_index!r}"
+            )
+        return chunk_index % self.shards
+
+    def chunks(self, n: int, first_chunk: int = 0) -> Iterator[
+        Tuple[int, int, int]
+    ]:
+        """Yield ``(chunk_index, lo, hi)`` slices covering ``[0, n)``.
+
+        ``first_chunk`` offsets the global chunk numbering so repeated
+        :meth:`~repro.parallel.engine.ShardedIngestEngine.ingest` calls
+        continue the same round-robin deal.
+        """
+        if n < 0:
+            raise InvalidParameterError(f"n must be >= 0, got {n!r}")
+        index = first_chunk
+        for lo in range(0, n, self.chunk_size):
+            yield index, lo, min(n, lo + self.chunk_size)
+            index += 1
+
+    def shard_sizes(self, n: int) -> List[int]:
+        """Elements each shard receives from an ``n``-element stream."""
+        sizes = [0] * self.shards
+        for index, lo, hi in self.chunks(n):
+            sizes[self.shard_of_chunk(index)] += hi - lo
+        return sizes
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardPlan(seed={self.seed}, shards={self.shards}, "
+            f"chunk_size={self.chunk_size})"
+        )

@@ -18,7 +18,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.errors import InvalidParameterError
+from repro.core.errors import InvalidParameterError, MergeError
 from repro.obs import metrics as obs_metrics
 from repro.sketches.hashing import ArrayLike, KWiseHash, make_rng
 
@@ -89,6 +89,32 @@ class CountMinSketch:
         for i, h in enumerate(self._hashes):
             rows[i] = self._table[i, h(keys)]
         return rows.min(axis=0)
+
+    def merge_compatible(self, other) -> bool:
+        """Whether :meth:`merge` with ``other`` is well-defined: same
+        shape *and* identical row-hash coefficients (build both sketches
+        from one seed; the coefficients are compared, not trusted)."""
+        return (
+            isinstance(other, CountMinSketch)
+            and (self.width, self.depth) == (other.width, other.depth)
+            and all(
+                mine.same_function(theirs)
+                for mine, theirs in zip(self._hashes, other._hashes)
+            )
+        )
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Add another Count-Min table into this one (linearity).
+
+        Valid only when both sketches evaluate identical row hashes —
+        see :meth:`merge_compatible`.
+        """
+        if not self.merge_compatible(other):
+            raise MergeError(
+                "CountMinSketch merge requires equal shape and identical "
+                "hash functions; build both sketches from the same seed"
+            )
+        self._table += other._table
 
     def variance_estimate(self) -> float:
         """A rough per-estimate variance proxy, for parity with

@@ -23,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.errors import InvalidParameterError
+from repro.core.errors import InvalidParameterError, MergeError
 from repro.obs import metrics as obs_metrics
 from repro.sketches.hashing import ArrayLike, KWiseHash, SignHash, make_rng
 
@@ -100,6 +100,37 @@ class CountSketch:
                 i, self._hashes[i](keys)
             ]
         return np.median(rows, axis=0).astype(np.int64)
+
+    def merge_compatible(self, other) -> bool:
+        """Whether :meth:`merge` with ``other`` is well-defined: same
+        shape *and* identical bucket and sign hash coefficients (build
+        both sketches from one seed; coefficients are compared, not
+        trusted)."""
+        return (
+            isinstance(other, CountSketch)
+            and (self.width, self.depth) == (other.width, other.depth)
+            and all(
+                mine.same_function(theirs)
+                for mine, theirs in zip(self._hashes, other._hashes)
+            )
+            and all(
+                mine.same_function(theirs)
+                for mine, theirs in zip(self._signs, other._signs)
+            )
+        )
+
+    def merge(self, other: "CountSketch") -> None:
+        """Add another Count-Sketch table into this one (linearity).
+
+        Valid only when both sketches evaluate identical bucket *and*
+        sign hashes — see :meth:`merge_compatible`.
+        """
+        if not self.merge_compatible(other):
+            raise MergeError(
+                "CountSketch merge requires equal shape and identical "
+                "hash functions; build both sketches from the same seed"
+            )
+        self._table += other._table
 
     def variance_estimate(self) -> float:
         """AMS estimate of the single-row estimator variance ``F_2 / w``.

@@ -13,7 +13,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.errors import InvalidParameterError, UniverseOverflowError
+from repro.core.errors import (
+    InvalidParameterError,
+    MergeError,
+    UniverseOverflowError,
+)
 from repro.sketches.hashing import ArrayLike
 
 
@@ -61,6 +65,22 @@ class ExactCounter:
     def estimate_batch(self, keys: ArrayLike) -> np.ndarray:
         """Exact frequencies for an array of keys."""
         return self._counts[np.asarray(keys, dtype=np.int64)]
+
+    def merge_compatible(self, other) -> bool:
+        """Whether :meth:`merge` with ``other`` is well-defined."""
+        return (
+            isinstance(other, ExactCounter)
+            and other.universe == self.universe
+        )
+
+    def merge(self, other: "ExactCounter") -> None:
+        """Add another counter array over the same universe into this one."""
+        if not self.merge_compatible(other):
+            raise MergeError(
+                f"cannot merge {type(other).__name__} into ExactCounter "
+                f"over universe {self.universe}"
+            )
+        self._counts += other._counts
 
     def variance_estimate(self) -> float:
         """Exact counts have zero variance."""

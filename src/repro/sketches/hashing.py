@@ -130,6 +130,21 @@ class KWiseHash:
         """Hash a single int key (convenience scalar wrapper)."""
         return int(self(np.uint64(key)))
 
+    def same_function(self, other: "KWiseHash") -> bool:
+        """Whether ``other`` computes the identical hash function.
+
+        Counter-addition merges of hash sketches are only linear when
+        both sides evaluate the same polynomials, so merge paths compare
+        the actual coefficients — not just the seed the caller claims to
+        have used.
+        """
+        return (
+            isinstance(other, KWiseHash)
+            and self.k == other.k
+            and self.range == other.range
+            and bool(np.array_equal(self._coeffs, other._coeffs))
+        )
+
 
 class SignHash:
     """A 4-wise independent sign hash ``[2**32] -> {-1, +1}``.
@@ -149,6 +164,12 @@ class SignHash:
     def sign_one(self, key: int) -> int:
         """Sign of a single int key."""
         return int(self(np.uint64(key)))
+
+    def same_function(self, other: "SignHash") -> bool:
+        """Whether ``other`` computes the identical sign hash."""
+        return isinstance(other, SignHash) and self._hash.same_function(
+            other._hash
+        )
 
 
 def make_rng(seed: Optional[int]) -> np.random.Generator:

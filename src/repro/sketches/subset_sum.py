@@ -22,7 +22,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.errors import InvalidParameterError
+from repro.core.errors import InvalidParameterError, MergeError
 from repro.sketches.hashing import ArrayLike, KWiseHash, make_rng
 
 
@@ -97,6 +97,35 @@ class SubsetSumSketch:
                 acc += np.where(included, est_in, est_out)
             means[g] = acc / self.reps
         return np.rint(np.median(means, axis=0)).astype(np.int64)
+
+    def merge_compatible(self, other) -> bool:
+        """Whether :meth:`merge` with ``other`` is well-defined: same
+        shape *and* identical membership-hash coefficients (build both
+        sketches from one seed; coefficients are compared, not
+        trusted)."""
+        return (
+            isinstance(other, SubsetSumSketch)
+            and (self.groups, self.reps) == (other.groups, other.reps)
+            and all(
+                self._members[g][j].same_function(other._members[g][j])
+                for g in range(self.groups)
+                for j in range(self.reps)
+            )
+        )
+
+    def merge(self, other: "SubsetSumSketch") -> None:
+        """Add another subset-sum sketch into this one (linearity).
+
+        Valid only when both sketches draw identical membership hashes —
+        see :meth:`merge_compatible`.
+        """
+        if not self.merge_compatible(other):
+            raise MergeError(
+                "SubsetSumSketch merge requires equal shape and identical "
+                "membership hashes; build both sketches from the same seed"
+            )
+        self._counters += other._counters
+        self._total += other._total
 
     def variance_estimate(self) -> float:
         """Rough variance proxy: empirical variance of ``2C - T`` across

@@ -62,6 +62,7 @@ class KLL(QuantileSketch, MergeableSketch):
     name = "KLL"
     deterministic = False
     comparison_based = True
+    mergeable = True
 
     def __init__(
         self,

@@ -94,6 +94,7 @@ class TDigest(QuantileSketch, MergeableSketch):
     name = "TDigest"
     deterministic = False  # centroid layout depends on arrival order
     comparison_based = False  # interpolates: may return unseen values
+    mergeable = True
 
     def __init__(
         self,

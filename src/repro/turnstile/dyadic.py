@@ -32,7 +32,11 @@ from repro.core.base import (
     validate_phi,
     validate_universe_log2,
 )
-from repro.core.errors import CorruptSummaryError, UniverseOverflowError
+from repro.core.errors import (
+    CorruptSummaryError,
+    MergeError,
+    UniverseOverflowError,
+)
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
 from repro.sketches.exact_counter import ExactCounter
@@ -55,6 +59,11 @@ class DyadicQuantiles(TurnstileSketch):
 
     name = "Dyadic"
     deterministic = False
+    mergeable = True
+    #: Counter addition is linear only when both sides evaluate identical
+    #: level hashes — shard sketches of a dyadic algorithm must be built
+    #: from one shared seed (the hash coefficients are verified at merge).
+    merge_shares_seed = True
 
     def __init__(
         self,
@@ -259,6 +268,61 @@ class DyadicQuantiles(TurnstileSketch):
                 sketch=self.name,
             )
         return lo.tolist()
+
+    # -- merging ----------------------------------------------------------
+
+    def merge(self, other) -> None:
+        """Add another dyadic structure into this one, level by level.
+
+        Every level estimator is linear (exact counters and hash-sketch
+        tables alike), so the merged structure summarizes the combined
+        update stream exactly as if it had ingested both.  Requires the
+        same algorithm, ``eps``, universe, cutoff, and — for sketched
+        levels — identical hash functions, i.e. both sketches built from
+        the same seed (coefficients are verified, not trusted).
+
+        Raises:
+            MergeError: on any parameter or hash-function mismatch.
+        """
+        if type(other) is not type(self):
+            raise MergeError(
+                f"cannot merge {type(other).__name__} into {self.name}"
+            )
+        if self.eps != other.eps:
+            raise MergeError(
+                f"{self.name}: eps mismatch ({self.eps} vs {other.eps})"
+            )
+        if self.universe_log2 != other.universe_log2:
+            raise MergeError(
+                f"{self.name}: universe mismatch "
+                f"(2**{self.universe_log2} vs 2**{other.universe_log2})"
+            )
+        if self.exact_cutoff != other.exact_cutoff:
+            raise MergeError(
+                f"{self.name}: exact_cutoff mismatch "
+                f"({self.exact_cutoff} vs {other.exact_cutoff})"
+            )
+        for level, (mine, theirs) in enumerate(
+            zip(self._levels, other._levels)
+        ):
+            if type(mine) is not type(theirs):
+                raise MergeError(
+                    f"{self.name}: level {level} estimator kind mismatch"
+                )
+        # Validate-then-mutate: the loop above (and the hash checks inside
+        # each estimator merge) run before any counter is touched only if
+        # every estimator checks before adding — they do, so a mismatch at
+        # level k could leave levels < k merged.  Check all hashes first.
+        for mine, theirs in zip(self._levels, other._levels):
+            checker = getattr(mine, "merge_compatible", None)
+            if checker is not None and not checker(theirs):
+                raise MergeError(
+                    f"{self.name}: level hash functions differ; build "
+                    "shard sketches from the same seed to merge them"
+                )
+        for mine, theirs in zip(self._levels, other._levels):
+            mine.merge(theirs)
+        self._n += other._n
 
     # -- introspection ----------------------------------------------------
 

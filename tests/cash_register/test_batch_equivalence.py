@@ -31,6 +31,10 @@ from repro.cash_register import (
     RandomSketch,
     SlidingWindowQuantiles,
 )
+from repro.cash_register.gk_batch import (
+    merge_tuple_arrays,
+    merge_tuple_arrays_scalar,
+)
 from repro.core.weighted import weighted_query_batch
 
 PHI_GRID = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
@@ -266,3 +270,28 @@ class TestWeightedQueryBatchHelper:
         n = sum(len(items) * w for items, w in parts)
         assert weighted_query_batch(parts, n, phis) == \
             self._argmin_reference(parts, n, phis)
+
+
+class TestMergeKernelEquivalence:
+    """The vectorized summary-merge kernel must reproduce the scalar
+    reference tuple-for-tuple (the parallel engine's merge tree runs on
+    it; see ``repro.cash_register.gk_batch.merge_tuple_arrays``)."""
+
+    @given(a=streams, b=streams)
+    def test_vector_merge_matches_scalar_reference(self, a, b) -> None:
+        eps = 0.02
+        sa, sb = GKArray(eps=eps), GKArray(eps=eps)
+        sa.extend(a)
+        sb.extend(b)
+        sa._prepare_query()
+        sb._prepare_query()
+        budget = int(2 * eps * (len(a) + len(b)))
+        args = (
+            sa._values, sa._gs, sa._deltas,
+            sb._values, sb._gs, sb._deltas,
+            budget,
+        )
+        ref = merge_tuple_arrays_scalar(*args)
+        vec = merge_tuple_arrays(*args)
+        assert [np.asarray(col).tolist() for col in vec] == \
+            [list(col) for col in ref]

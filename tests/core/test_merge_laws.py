@@ -1,0 +1,214 @@
+"""Merge laws for every mergeable summary.
+
+The sharded ingest engine (:mod:`repro.parallel`) and the distributed
+``merge_summaries`` protocol both rely on the same contract, checked
+here for every algorithm that advertises ``mergeable``:
+
+* **error law** — splitting a stream into shards, summarizing each at
+  ``eps``, and merging answers every quantile within ``eps`` of the full
+  stream's truth.  Deterministic summaries must obey it on *every*
+  stream hypothesis finds; randomized summaries promise it only with
+  high probability, so they are checked on fixed-seed streams at a
+  realistic ``n`` where the concentration bounds have kicked in;
+* **count law** — ``merge`` adds the element counts exactly;
+* **compatibility law** — eps mismatches, cross-type merges, and (for
+  shared-seed linear sketches) seed mismatches raise
+  :class:`~repro.core.errors.MergeError` instead of silently corrupting;
+* **capability law** — every non-mergeable summary raises a typed
+  :class:`~repro.core.errors.UnmergeableSketchError` from the base
+  class, and the registry flags match the classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import MergeError, UnmergeableSketchError
+from repro.core.registry import (
+    algorithms,
+    get_algorithm,
+    merge_shares_seed,
+    mergeable_algorithms,
+    supports_merge,
+)
+from repro.evaluation.harness import build_sketch
+from repro.evaluation.metrics import measure_errors
+
+EPS = 0.1
+UNIVERSE_LOG2 = 10
+UNIVERSE = 1 << UNIVERSE_LOG2
+
+MERGEABLE = mergeable_algorithms()
+DETERMINISTIC = [
+    n for n in MERGEABLE if get_algorithm(n).deterministic
+]
+RANDOMIZED = [
+    n for n in MERGEABLE if not get_algorithm(n).deterministic
+]
+
+values = st.integers(0, UNIVERSE - 1)
+shard = st.lists(values, min_size=1, max_size=200)
+
+
+def build(name: str, eps: float = EPS, seed: int = 7):
+    return build_sketch(name, eps, universe_log2=UNIVERSE_LOG2, seed=seed)
+
+
+@pytest.fixture(params=MERGEABLE)
+def name(request) -> str:
+    return request.param
+
+
+class TestErrorLaw:
+    @pytest.mark.parametrize("det_name", DETERMINISTIC)
+    @given(a=shard, b=shard)
+    def test_shard_then_merge_stays_within_eps(
+        self, det_name, a, b
+    ) -> None:
+        sa, sb = build(det_name), build(det_name)
+        sa.extend(a)
+        sb.extend(b)
+        sa.merge(sb)
+        truth = np.sort(np.asarray(a + b, dtype=np.int64))
+        report = measure_errors(sa, truth, EPS)
+        assert report.max_error <= EPS + 1e-9
+
+    @pytest.mark.parametrize("det_name", DETERMINISTIC)
+    @given(a=shard, b=shard, c=shard)
+    def test_merge_tree_stays_within_eps(self, det_name, a, b, c) -> None:
+        sa, sb, sc = build(det_name), build(det_name), build(det_name)
+        sa.extend(a)
+        sb.extend(b)
+        sc.extend(c)
+        sa.merge(sb)
+        sa.merge(sc)
+        truth = np.sort(np.asarray(a + b + c, dtype=np.int64))
+        report = measure_errors(sa, truth, EPS)
+        assert report.max_error <= EPS + 1e-9
+
+    @pytest.mark.parametrize("rand_name", RANDOMIZED)
+    def test_randomized_shard_then_merge_at_scale(self, rand_name) -> None:
+        rng = np.random.default_rng(0xFEED)
+        shards = [
+            rng.integers(0, UNIVERSE, size=4_000).tolist()
+            for _ in range(4)
+        ]
+        sketches = [build(rand_name) for _ in shards]
+        for sk, chunk in zip(sketches, shards):
+            sk.extend(chunk)
+        merged = sketches[0]
+        for sk in sketches[1:]:
+            merged.merge(sk)
+        truth = np.sort(
+            np.asarray([v for s in shards for v in s], dtype=np.int64)
+        )
+        report = measure_errors(merged, truth, EPS)
+        assert report.max_error <= EPS + 1e-9
+
+
+class TestCountLaw:
+    @given(a=shard, b=shard)
+    def test_n_adds_exactly(self, name, a, b) -> None:
+        sa, sb = build(name), build(name)
+        sa.extend(a)
+        sb.extend(b)
+        sa.merge(sb)
+        assert sa.n == len(a) + len(b)
+
+    def test_merge_into_empty(self, name) -> None:
+        sa, sb = build(name), build(name)
+        sb.extend(range(50))
+        sa.merge(sb)
+        assert sa.n == 50
+
+    def test_merge_empty_into_full(self, name) -> None:
+        sa, sb = build(name), build(name)
+        sa.extend(range(50))
+        sa.merge(sb)
+        assert sa.n == 50
+
+
+class TestCompatibilityLaw:
+    def test_eps_mismatch_raises(self, name) -> None:
+        sa, sb = build(name, eps=0.1), build(name, eps=0.05)
+        sa.extend(range(100))
+        sb.extend(range(100))
+        with pytest.raises(MergeError):
+            sa.merge(sb)
+
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            ("gk_array", "kll"),
+            ("qdigest", "dcs"),
+            ("mrl99", "random"),
+            ("tdigest", "gk_adaptive"),
+            ("dcm", "rss"),
+            ("post", "dcs"),
+        ],
+    )
+    def test_cross_type_merge_raises(self, left, right) -> None:
+        sa, sb = build(left), build(right)
+        sa.extend(range(100))
+        sb.extend(range(100))
+        with pytest.raises(MergeError):
+            sa.merge(sb)
+
+    @pytest.mark.parametrize(
+        "name", [n for n in MERGEABLE if merge_shares_seed(n)]
+    )
+    def test_shared_seed_sketches_reject_seed_mismatch(self, name) -> None:
+        sa, sb = build(name, seed=1), build(name, seed=2)
+        sa.extend(range(100))
+        sb.extend(range(100))
+        with pytest.raises(MergeError):
+            sa.merge(sb)
+
+    @pytest.mark.parametrize(
+        "name", [n for n in MERGEABLE if merge_shares_seed(n)]
+    )
+    def test_shared_seed_sketches_accept_same_seed(self, name) -> None:
+        sa, sb = build(name, seed=3), build(name, seed=3)
+        sa.extend(range(100))
+        sb.extend(range(100, 200))
+        sa.merge(sb)
+        assert sa.n == 200
+
+
+class TestCapabilityLaw:
+    def test_registry_flags_match_classes(self) -> None:
+        for key in algorithms():
+            assert supports_merge(key) == bool(
+                getattr(get_algorithm(key), "mergeable", False)
+            )
+            assert supports_merge(key) == (key in MERGEABLE)
+
+    @pytest.mark.parametrize(
+        "key", sorted(set(algorithms()) - set(MERGEABLE))
+    )
+    def test_unmergeable_raises_typed_error(self, key) -> None:
+        sa, sb = build(key), build(key)
+        sa.extend(range(20))
+        sb.extend(range(20))
+        with pytest.raises(UnmergeableSketchError):
+            sa.merge(sb)
+
+    def test_unmergeable_is_a_merge_error(self) -> None:
+        assert issubclass(UnmergeableSketchError, MergeError)
+
+
+class TestDeterminism:
+    def test_merge_is_repeatable(self, name) -> None:
+        phis = [i / 10 for i in range(1, 10)]
+        answers = []
+        for _ in range(2):
+            rng = np.random.default_rng(11)
+            sa, sb = build(name), build(name)
+            sa.extend(rng.integers(0, UNIVERSE, size=400).tolist())
+            sb.extend(rng.integers(0, UNIVERSE, size=400).tolist())
+            sa.merge(sb)
+            answers.append(sa.query_batch(phis))
+        assert answers[0] == answers[1]

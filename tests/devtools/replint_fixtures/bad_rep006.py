@@ -1,0 +1,18 @@
+"""Worker entry points that break the plan-derived seed discipline."""
+
+import numpy as np
+
+from repro.core.rng import make_rng
+from repro.evaluation.harness import build_sketch
+
+
+def feed_worker(worker_id, out_queue):  # no plan parameter
+    out_queue.put(worker_id)
+
+
+def merge_worker(worker_id, plan, spec, out_queue):
+    rng = np.random.default_rng(1234)  # constant seed
+    other = make_rng(worker_id)  # shard id is not a plan-derived seed
+    sketch = build_sketch(spec["algorithm"], spec["eps"], seed=worker_id)
+    sketch.extend(rng.integers(0, 100, size=10).tolist())
+    out_queue.put((sketch, other))

@@ -1,0 +1,19 @@
+"""Compliant worker entry points: every seed flows from the plan."""
+
+import numpy as np
+
+from repro.core.rng import make_rng
+from repro.evaluation.harness import build_sketch
+
+
+def _shard_worker(worker_id, plan, spec, out_queue):
+    seed = plan.sketch_seed(worker_id, spec["shares_seed"])
+    sketch = build_sketch(spec["algorithm"], spec["eps"], seed=seed)
+    rng = np.random.default_rng(plan.worker_seed(worker_id))
+    sketch.extend(rng.integers(0, 100, size=10).tolist())
+    out_queue.put(sketch)
+
+
+def worker_warmup(shard, shard_plan):
+    master = int(shard_plan.worker_seed(shard))
+    return make_rng(master)

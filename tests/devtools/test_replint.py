@@ -146,6 +146,33 @@ class TestREP005MetricsPreregistration:
         assert result.diagnostics == []
 
 
+class TestREP006WorkerSeedDiscipline:
+    def test_bad_fixture_fires(self, tmp_path):
+        result = lint_fixtures(tmp_path, "bad_rep006.py", select={"REP006"})
+        messages = [d.message for d in result.diagnostics]
+        assert len(messages) == 4
+        assert any("takes no ShardPlan" in m for m in messages)
+        assert any("np.random.default_rng" in m for m in messages)
+        assert any("make_rng" in m for m in messages)
+        assert any("seed= passed" in m for m in messages)
+
+    def test_good_fixture_clean(self, tmp_path):
+        result = lint_fixtures(tmp_path, "good_rep006.py")
+        assert result.diagnostics == []
+
+    def test_non_worker_functions_ignored(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "harness.py").write_text(
+            "from repro.core.rng import make_rng\n\n\n"
+            "def run_experiment(seed):\n"
+            "    return make_rng(seed)\n",
+            encoding="utf-8",
+        )
+        result = Linter(DEFAULT_RULES, select={"REP006"}).run([str(src)])
+        assert result.diagnostics == []
+
+
 # ---------------------------------------------------------------------------
 # Suppressions.
 # ---------------------------------------------------------------------------
@@ -227,6 +254,7 @@ class TestEngine:
             "REP003",
             "REP004",
             "REP005",
+            "REP006",
         ]
         for rule in DEFAULT_RULES:
             assert rule.title

@@ -1,0 +1,115 @@
+"""Cross-process instrument shipping: export_state / absorb_state and
+Tracer.ingest — the bridge the sharded ingest engine uses to carry each
+worker's observability back to the parent."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    absorb_state,
+    export_state,
+)
+from repro.obs.trace import Tracer
+
+
+def loaded_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("parallel.chunks", 3, algo="kll")
+    registry.set("parallel.workers", 4)
+    registry.observe("parallel.ingest_ns", 1500.0, algo="kll")
+    registry.observe("parallel.ingest_ns", 2500.0, algo="kll")
+    return registry
+
+
+class TestExportState:
+    def test_roundtrips_counters_gauges_histograms(self) -> None:
+        state = export_state(loaded_registry())
+        kinds = {(kind, name) for kind, name, _, _ in state}
+        assert kinds == {
+            ("counter", "parallel.chunks"),
+            ("gauge", "parallel.workers"),
+            ("histogram", "parallel.ingest_ns"),
+        }
+
+    def test_skips_idle_instruments(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("parallel.chunks", algo="kll")  # never inc'd
+        registry.inc("parallel.elements", 1)
+        names = [name for _, name, _, _ in export_state(registry)]
+        assert names == ["parallel.elements"]
+
+    def test_state_is_picklable(self) -> None:
+        state = export_state(loaded_registry())
+        assert pickle.loads(pickle.dumps(state)) == state
+
+
+class TestAbsorbState:
+    def test_extra_labels_tag_every_series(self) -> None:
+        parent = MetricsRegistry()
+        absorb_state(parent, export_state(loaded_registry()), worker=2)
+        entry = parent.get("parallel.chunks", algo="kll", worker=2)
+        assert entry is not None and entry.value == 3
+
+    def test_counters_add_and_gauges_overwrite(self) -> None:
+        parent = MetricsRegistry()
+        for _ in range(2):
+            absorb_state(parent, export_state(loaded_registry()), worker=0)
+        assert parent.get(
+            "parallel.chunks", algo="kll", worker=0
+        ).value == 6
+        assert parent.get("parallel.workers", worker=0).value == 4
+
+    def test_histograms_merge_counts_totals_and_extremes(self) -> None:
+        parent = MetricsRegistry()
+        parent.observe("parallel.ingest_ns", 99.0, algo="kll", worker=1)
+        absorb_state(parent, export_state(loaded_registry()), worker=1)
+        hist = parent.get("parallel.ingest_ns", algo="kll", worker=1)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(99.0 + 1500.0 + 2500.0)
+        assert hist.min == pytest.approx(99.0)
+        assert hist.max == pytest.approx(2500.0)
+
+    def test_unknown_kind_rejected(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            absorb_state(
+                MetricsRegistry(), [("dial", "x", {}, (1,))]
+            )
+
+
+class TestTracerIngest:
+    def worker_events(self) -> list:
+        worker = Tracer()
+        with worker.span("parallel.ingest_chunk", {"algo": "kll", "n": 10}):
+            pass
+        with worker.span("parallel.ingest_chunk", {"algo": "kll", "n": 7}):
+            pass
+        return worker.events
+
+    def test_events_appended_with_extra_labels(self) -> None:
+        parent = Tracer()
+        with parent.span("parallel.merge_tree"):
+            pass
+        parent.ingest(self.worker_events(), worker=3)
+        assert len(parent.events) == 3
+        shipped = [
+            e for e in parent.events if e["labels"].get("worker") == 3
+        ]
+        assert len(shipped) == 2
+        assert all(e["name"] == "parallel.ingest_chunk" for e in shipped)
+        assert all(e["duration_ns"] >= 0 for e in shipped)
+
+    def test_source_events_not_mutated(self) -> None:
+        events = self.worker_events()
+        Tracer().ingest(events, worker=1)
+        assert all("worker" not in e["labels"] for e in events)
+
+    def test_max_events_bound_counts_dropped(self) -> None:
+        parent = Tracer(max_events=1)
+        parent.ingest(self.worker_events(), worker=0)
+        assert len(parent.events) == 1
+        assert parent.dropped == 1

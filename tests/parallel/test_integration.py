@@ -1,0 +1,124 @@
+"""Parallel ingest wired through the harness, the CLI, and the runner."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import run as cli_run
+from repro.core.errors import InvalidParameterError
+from repro.evaluation import parallel_sweep, sweep
+from repro.evaluation.harness import run_experiment
+
+
+@pytest.fixture
+def stream(rng) -> np.ndarray:
+    return rng.integers(0, 1 << 12, size=5_000, dtype=np.int64)
+
+
+class TestRunExperimentParallel:
+    def test_parallel_run_reports_workers_and_stays_within_eps(
+        self, stream
+    ) -> None:
+        result = run_experiment(
+            "gk_array", stream, 0.05, repeats=1, seed=9, parallel=2
+        )
+        assert result.extra["workers"] == 2
+        assert result.extra["ingest_path"] == "parallel[2]"
+        assert result.extra["sample_s"] == 0.0
+        assert result.max_error <= 0.05 + 1e-9
+
+    def test_parallel_run_is_deterministic(self, stream) -> None:
+        runs = [
+            run_experiment(
+                "kll", stream, 0.05, repeats=2, seed=9, parallel=2
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].max_error == runs[1].max_error
+        assert runs[0].avg_error == runs[1].avg_error
+
+    def test_parallel_below_one_rejected(self, stream) -> None:
+        with pytest.raises(InvalidParameterError):
+            run_experiment("gk_array", stream, 0.05, parallel=0)
+
+    def test_deletions_with_parallel_rejected(self, stream) -> None:
+        with pytest.raises(InvalidParameterError):
+            run_experiment(
+                "dcs", stream, 0.05, universe_log2=12,
+                deletions=stream[:100], parallel=2,
+            )
+
+
+class TestCliParallel:
+    def _run_json(self, args, text):
+        out = io.StringIO()
+        code = cli_run(args + ["--json"], stdin=io.StringIO(text), stdout=out)
+        return code, json.loads(out.getvalue())
+
+    def test_parallel_json_report(self, stream) -> None:
+        text = "\n".join(str(v) for v in stream.tolist()) + "\n"
+        code, payload = self._run_json(
+            ["-a", "gk_array", "--eps", "0.05", "--phi", "0.5",
+             "--parallel", "2", "--seed", "3"],
+            text,
+        )
+        assert code == 0
+        assert payload["workers"] == 2
+        assert payload["n"] == len(stream)
+        truth = float(np.quantile(stream, 0.5))
+        spread = 0.05 * (stream.max() - stream.min())
+        assert abs(payload["quantiles"][0]["value"] - truth) <= spread
+
+    def test_parallel_unmergeable_algorithm_fails_cleanly(self) -> None:
+        code, payload = self._run_json(
+            ["-a", "reservoir", "--eps", "0.05", "--parallel", "2"],
+            "1\n2\n3\n",
+        )
+        assert code == 2
+        assert "merge" in payload["error"]
+
+    def test_parallel_zero_rejected(self) -> None:
+        code, payload = self._run_json(["--parallel", "0"], "1\n")
+        assert code == 2
+        assert "--parallel" in payload["error"]
+
+    def test_parallel_empty_input_fails_cleanly(self) -> None:
+        code, payload = self._run_json(["--parallel", "2"], "")
+        assert code == 1
+        assert "no input values" in payload["error"]
+
+
+class TestParallelSweep:
+    def test_matches_serial_sweep_errors_and_space(self, stream) -> None:
+        kwargs = dict(
+            algorithms=["gk_array", "qdigest"],
+            data=stream,
+            eps_values=[0.05, 0.1],
+            universe_log2=12,
+            repeats=1,
+            seed=4,
+        )
+        serial = sweep(**kwargs)
+        fanned = parallel_sweep(max_workers=2, **kwargs)
+        assert len(fanned) == len(serial) == 4
+        for left, right in zip(serial, fanned):
+            assert left.algorithm == right.algorithm
+            assert left.eps == right.eps
+            assert left.max_error == right.max_error
+            assert left.avg_error == right.avg_error
+            assert left.peak_words == right.peak_words
+
+    def test_single_config_runs_inline(self, stream) -> None:
+        results = parallel_sweep(
+            algorithms=["gk_array"],
+            data=stream,
+            eps_values=[0.05],
+            repeats=1,
+            seed=4,
+        )
+        assert len(results) == 1
+        assert results[0].algorithm.lower().startswith("gk")

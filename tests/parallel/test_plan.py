@@ -1,0 +1,148 @@
+"""ShardPlan: the deterministic recipe behind every parallel run."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError
+from repro.parallel import DEFAULT_CHUNK_SIZE, ShardPlan
+
+
+class TestValidation:
+    @pytest.mark.parametrize("seed", [-1, 0.5, "7", None])
+    def test_bad_seed_rejected(self, seed) -> None:
+        with pytest.raises(InvalidParameterError):
+            ShardPlan(seed=seed, shards=2)
+
+    @pytest.mark.parametrize("shards", [0, -2, 1.5])
+    def test_bad_shards_rejected(self, shards) -> None:
+        with pytest.raises(InvalidParameterError):
+            ShardPlan(seed=1, shards=shards)
+
+    @pytest.mark.parametrize("chunk_size", [0, -1])
+    def test_bad_chunk_size_rejected(self, chunk_size) -> None:
+        with pytest.raises(InvalidParameterError):
+            ShardPlan(seed=1, shards=2, chunk_size=chunk_size)
+
+    def test_default_chunk_size(self) -> None:
+        assert ShardPlan(seed=1, shards=2).chunk_size == DEFAULT_CHUNK_SIZE
+
+    def test_plan_is_frozen(self) -> None:
+        plan = ShardPlan(seed=1, shards=2)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            plan.shards = 3
+
+
+class TestSeeds:
+    def test_worker_seeds_deterministic(self) -> None:
+        a = ShardPlan(seed=42, shards=4)
+        b = ShardPlan(seed=42, shards=4)
+        assert [a.worker_seed(i) for i in range(4)] == \
+            [b.worker_seed(i) for i in range(4)]
+
+    def test_worker_seeds_distinct_across_shards(self) -> None:
+        plan = ShardPlan(seed=42, shards=8)
+        seeds = [plan.worker_seed(i) for i in range(8)]
+        assert len(set(seeds)) == 8
+
+    def test_worker_seeds_differ_across_master_seeds(self) -> None:
+        assert ShardPlan(seed=1, shards=2).worker_seed(0) != \
+            ShardPlan(seed=2, shards=2).worker_seed(0)
+
+    def test_shared_seed_sketches_get_master_seed(self) -> None:
+        plan = ShardPlan(seed=42, shards=4)
+        assert all(
+            plan.sketch_seed(i, shares_seed=True) == 42 for i in range(4)
+        )
+
+    def test_independent_sketch_seed_is_worker_seed(self) -> None:
+        plan = ShardPlan(seed=42, shards=4)
+        for i in range(4):
+            assert plan.sketch_seed(i, shares_seed=False) == \
+                plan.worker_seed(i)
+
+    @pytest.mark.parametrize("shard", [-1, 4, 99])
+    def test_out_of_range_shard_rejected(self, shard) -> None:
+        plan = ShardPlan(seed=1, shards=4)
+        with pytest.raises(InvalidParameterError):
+            plan.worker_seed(shard)
+        with pytest.raises(InvalidParameterError):
+            plan.sketch_seed(shard, shares_seed=True)
+
+
+class TestChunking:
+    @given(
+        n=st.integers(0, 10_000),
+        shards=st.integers(1, 8),
+        chunk_size=st.integers(1, 500),
+    )
+    def test_chunks_partition_the_stream(
+        self, n, shards, chunk_size
+    ) -> None:
+        plan = ShardPlan(seed=1, shards=shards, chunk_size=chunk_size)
+        chunks = list(plan.chunks(n))
+        assert [lo for _, lo, _ in chunks] == \
+            list(range(0, n, chunk_size))
+        assert all(hi - lo <= chunk_size for _, lo, hi in chunks)
+        assert sum(hi - lo for _, lo, hi in chunks) == n
+        assert [i for i, _, _ in chunks] == list(range(len(chunks)))
+
+    @given(
+        n=st.integers(0, 10_000),
+        shards=st.integers(1, 8),
+        chunk_size=st.integers(1, 500),
+    )
+    def test_shard_sizes_sum_to_n(self, n, shards, chunk_size) -> None:
+        plan = ShardPlan(seed=1, shards=shards, chunk_size=chunk_size)
+        sizes = plan.shard_sizes(n)
+        assert len(sizes) == shards
+        assert sum(sizes) == n
+
+    def test_round_robin_deal(self) -> None:
+        plan = ShardPlan(seed=1, shards=3, chunk_size=10)
+        assert [plan.shard_of_chunk(i) for i in range(7)] == \
+            [0, 1, 2, 0, 1, 2, 0]
+
+    def test_first_chunk_continues_the_deal(self) -> None:
+        """ingest(a); ingest(b) must deal like ingest(a + b) when the
+        first piece is chunk-aligned."""
+        plan = ShardPlan(seed=1, shards=3, chunk_size=10)
+        whole = [
+            (plan.shard_of_chunk(i), lo, hi)
+            for i, lo, hi in plan.chunks(60)
+        ]
+        first = [
+            (plan.shard_of_chunk(i), lo, hi)
+            for i, lo, hi in plan.chunks(30)
+        ]
+        second = [
+            (plan.shard_of_chunk(i), lo + 30, hi + 30)
+            for i, lo, hi in plan.chunks(30, first_chunk=3)
+        ]
+        assert first + second == whole
+
+    def test_negative_chunk_index_rejected(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            ShardPlan(seed=1, shards=2).shard_of_chunk(-1)
+
+    def test_negative_n_rejected(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            list(ShardPlan(seed=1, shards=2).chunks(-5))
+
+
+class TestSeedQuality:
+    def test_worker_streams_are_uncorrelated(self) -> None:
+        """Spawned child seeds must give usable, distinct RNG streams."""
+        plan = ShardPlan(seed=7, shards=4)
+        draws = [
+            np.random.default_rng(plan.worker_seed(i)).random(100)
+            for i in range(4)
+        ]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.allclose(draws[i], draws[j])
