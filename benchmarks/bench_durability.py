@@ -1,0 +1,333 @@
+"""Durable-ingest cost model: WAL overhead per fsync policy, recovery
+time per checkpoint interval.
+
+Two sweeps, both against the same synthetic stream:
+
+* **fsync overhead** — a plain in-memory feed versus
+  :class:`~repro.durability.ingest.DurableIngest` under each fsync
+  policy (``never`` / ``rotate`` / ``always``).  The durable summary
+  must stay bit-identical to the plain one (same batches, same order,
+  same kernel dispatch), so the only thing the policy buys or costs is
+  wall clock and write amplification.
+* **recovery** — ingest, crash at ~80% of the batches (no seal, no
+  final fsync — exactly what a SIGKILL leaves behind), reopen, and time
+  the recovery.  Swept over checkpoint intervals: a tighter interval
+  bounds the WAL tail and hence replay work, at the price of more
+  checkpoint writes during ingest.  The resumed run must finish
+  bit-identical to an uninterrupted one.
+
+Results land in ``BENCH_durability.json`` at the repo root with the
+machine context.  There is deliberately no wall-clock acceptance gate —
+fsync latency is hardware truth, not a regression — but every
+bit-identical flag must hold and replay must stay bounded by the
+checkpoint interval.  Regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py
+
+``--smoke`` runs a small-n subset for CI; ``REPRO_SCALE`` scales the
+stream length as usual.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from repro.core.snapshot import snapshot
+from repro.durability import DurabilityConfig, DurableIngest
+from repro.durability.ingest import _apply_batch
+from repro.durability.wal import FSYNC_POLICIES
+from repro.evaluation import machine_context, scaled_n
+from repro.evaluation.harness import build_sketch
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_durability.json"
+
+#: (registry name, constructor kwargs).  gk_array is the deterministic
+#: reference; kll exercises the seeded-randomized path; qdigest the
+#: fixed-universe path.
+SPECS = [
+    ("gk_array", dict(eps=0.001)),
+    ("kll", dict(eps=0.01)),
+    ("qdigest", dict(eps=0.01, universe_log2=16)),
+]
+
+SMOKE_SPECS = [
+    ("gk_array", dict(eps=0.001)),
+]
+
+BATCH = 4096
+SEED = 42
+INTERVALS = (16, 64, 256)
+SMOKE_INTERVALS = (8, 32)
+CRASH_FRACTION = 0.8
+
+
+def _build(name: str, params: dict):
+    kwargs = dict(params)
+    eps = kwargs.pop("eps")
+    universe_log2 = kwargs.pop("universe_log2", None)
+    return build_sketch(name, eps, universe_log2, seed=SEED, **kwargs)
+
+
+def _plain_snapshot(name: str, params: dict, data: np.ndarray) -> tuple:
+    """Feed a plain sketch batch-for-batch; return (snapshot, seconds)."""
+    sketch = _build(name, params)
+    start = time.perf_counter()
+    for lo in range(0, len(data), BATCH):
+        _apply_batch(sketch, data[lo : lo + BATCH])
+    seconds = time.perf_counter() - start
+    return snapshot(sketch), seconds
+
+
+def _dir_bytes(path: pathlib.Path) -> int:
+    return sum(f.stat().st_size for f in path.rglob("*") if f.is_file())
+
+
+def _durable_kwargs(params: dict) -> tuple:
+    kwargs = dict(params)
+    eps = kwargs.pop("eps")
+    universe_log2 = kwargs.pop("universe_log2", None)
+    return eps, universe_log2, kwargs
+
+
+def measure_fsync(
+    name: str, params: dict, data: np.ndarray, workdir: pathlib.Path
+) -> dict:
+    """Plain baseline vs DurableIngest per fsync policy."""
+    baseline, plain_s = _plain_snapshot(name, params, data)
+    eps, universe_log2, kwargs = _durable_kwargs(params)
+    policies = {}
+    for policy in FSYNC_POLICIES:
+        directory = workdir / f"{name}-fsync-{policy}"
+        config = DurabilityConfig(
+            directory=directory, fsync=policy, checkpoint_interval=64
+        )
+        store = DurableIngest(
+            config, name, eps,
+            universe_log2=universe_log2, seed=SEED, dtype=data.dtype,
+            **kwargs,
+        )
+        start = time.perf_counter()
+        for lo in range(0, len(data), BATCH):
+            store.ingest(data[lo : lo + BATCH])
+        durable_bytes = _dir_bytes(directory)
+        summary = store.finish()
+        seconds = time.perf_counter() - start
+        policies[policy] = {
+            "seconds": seconds,
+            "overhead_x": seconds / max(plain_s, 1e-12),
+            "store_bytes": durable_bytes,
+            "bit_identical": snapshot(summary) == baseline,
+        }
+        shutil.rmtree(directory)
+    return {
+        "eps": eps,
+        "plain_seconds": plain_s,
+        "stream_bytes": int(data.nbytes),
+        "policies": policies,
+    }
+
+
+def measure_recovery(
+    name: str,
+    params: dict,
+    data: np.ndarray,
+    intervals: tuple,
+    workdir: pathlib.Path,
+) -> dict:
+    """Crash at ~80% of batches; time recovery per checkpoint interval."""
+    baseline, _ = _plain_snapshot(name, params, data)
+    eps, universe_log2, kwargs = _durable_kwargs(params)
+    batches = [data[lo : lo + BATCH] for lo in range(0, len(data), BATCH)]
+    crash_at = max(1, int(len(batches) * CRASH_FRACTION))
+    rows = {}
+    for interval in intervals:
+        directory = workdir / f"{name}-ckpt-{interval}"
+        config = DurabilityConfig(
+            directory=directory, checkpoint_interval=interval, fsync="rotate"
+        )
+        store = DurableIngest(
+            config, name, eps,
+            universe_log2=universe_log2, seed=SEED, dtype=data.dtype,
+            **kwargs,
+        )
+        ingest_start = time.perf_counter()
+        for batch in batches[:crash_at]:
+            store.ingest(batch)
+        ingest_s = time.perf_counter() - ingest_start
+        store.crash()
+        recover_start = time.perf_counter()
+        store = DurableIngest(
+            config, name, eps,
+            universe_log2=universe_log2, seed=SEED, dtype=data.dtype,
+            **kwargs,
+        )
+        recovery_s = time.perf_counter() - recover_start
+        report = store.recovery
+        for ordinal in range(store.wal.next_seq, len(batches)):
+            store.ingest(batches[ordinal])
+        summary = store.finish()
+        rows[str(interval)] = {
+            "ingest_seconds_to_crash": ingest_s,
+            "recovery_seconds": recovery_s,
+            "replayed_batches": report.replayed_batches,
+            "checkpoint_seq": report.checkpoint_seq,
+            "replay_bounded": report.replayed_batches <= interval,
+            "bit_identical": snapshot(summary) == baseline,
+        }
+        shutil.rmtree(directory)
+    return {
+        "eps": eps,
+        "batches": len(batches),
+        "crash_at_batch": crash_at,
+        "intervals": rows,
+    }
+
+
+def run_bench(n: int | None = None, smoke: bool = False) -> dict:
+    """Run both sweeps and return the BENCH_durability.json payload."""
+    specs = SMOKE_SPECS if smoke else SPECS
+    intervals = SMOKE_INTERVALS if smoke else INTERVALS
+    if n is None:
+        n = scaled_n(30_000 if smoke else 400_000)
+    rng = np.random.default_rng(SEED)
+    data = rng.integers(0, 1 << 16, size=n, dtype=np.int64)
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="bench-durability-"))
+    try:
+        fsync = {}
+        recovery = {}
+        for name, params in specs:
+            fsync[name] = measure_fsync(name, params, data, workdir)
+            recovery[name] = measure_recovery(
+                name, params, data, intervals, workdir
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "schema": 1,
+        "n": n,
+        "smoke": smoke,
+        "repro_scale": float(os.environ.get("REPRO_SCALE", "1")),
+        "generated_by": "benchmarks/bench_durability.py",
+        "batch": BATCH,
+        "fsync_policies": list(FSYNC_POLICIES),
+        "checkpoint_intervals": list(intervals),
+        "machine": machine_context(timestamp=time.time()),
+        "fsync_overhead": fsync,
+        "recovery": recovery,
+    }
+
+
+def check_payload(payload: dict) -> list[str]:
+    """Acceptance checks; returns a list of failure strings.
+
+    Correctness only — every durable and recovered run must be
+    bit-identical to its in-memory twin, and replay work must stay
+    bounded by the checkpoint interval.  Wall clock is recorded, never
+    gated.
+    """
+    failures = []
+    for name, row in payload["fsync_overhead"].items():
+        for policy, cell in row["policies"].items():
+            if not cell["bit_identical"]:
+                failures.append(f"{name}/fsync={policy}: summary diverged")
+    for name, row in payload["recovery"].items():
+        for interval, cell in row["intervals"].items():
+            if not cell["bit_identical"]:
+                failures.append(
+                    f"{name}/ckpt={interval}: recovered run diverged"
+                )
+            if not cell["replay_bounded"]:
+                failures.append(
+                    f"{name}/ckpt={interval}: replayed "
+                    f"{cell['replayed_batches']} batches > interval"
+                )
+    return failures
+
+
+def format_table(payload: dict) -> str:
+    lines = [
+        f"Durable ingest (n={payload['n']}, batch={payload['batch']}, "
+        f"{payload['machine']['cpu_count']} cores)",
+        "",
+        f"{'fsync overhead':14s} {'plain s':>8s} "
+        + " ".join(f"{policy:>9s}" for policy in payload["fsync_policies"]),
+    ]
+    for name, row in payload["fsync_overhead"].items():
+        cells = " ".join(
+            f"{row['policies'][policy]['overhead_x']:8.2f}x"
+            for policy in payload["fsync_policies"]
+        )
+        lines.append(f"{name:14s} {row['plain_seconds']:8.3f} {cells}")
+    lines.append("")
+    header = " ".join(
+        f"{f'ckpt={i}':>10s}" for i in payload["checkpoint_intervals"]
+    )
+    lines.append(f"{'recovery ms':14s} {header}  (replayed batches)")
+    for name, row in payload["recovery"].items():
+        cells = " ".join(
+            f"{1e3 * row['intervals'][str(i)]['recovery_seconds']:9.1f} "
+            for i in payload["checkpoint_intervals"]
+        )
+        replayed = "/".join(
+            str(row["intervals"][str(i)]["replayed_batches"])
+            for i in payload["checkpoint_intervals"]
+        )
+        lines.append(f"{name:14s} {cells}  ({replayed})")
+    return "\n".join(lines)
+
+
+def write_artifact(payload: dict) -> None:
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def test_bench_durability(benchmark) -> None:
+    from conftest import run_once, write_exhibit
+
+    payload = run_once(benchmark, lambda: run_bench(smoke=True))
+    write_exhibit("BENCH_durability_smoke", format_table(payload))
+    failures = check_payload(payload)
+    assert not failures, "\n".join(failures)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small-n subset (CI smoke; does not overwrite a full "
+             "artifact with a smoke one unless none exists)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="artifact path (default: repo-root BENCH_durability.json)",
+    )
+    args = parser.parse_args()
+    result = run_bench(smoke=args.smoke)
+    out = args.out
+    table_name = "BENCH_durability.txt"
+    if out is None:
+        out = ARTIFACT
+        if args.smoke and ARTIFACT.exists():
+            existing = json.loads(ARTIFACT.read_text())
+            if not existing.get("smoke", False):
+                out = REPO_ROOT / "BENCH_durability.smoke.json"
+                table_name = "BENCH_durability.smoke.txt"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    table = format_table(result)
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / table_name).write_text(table + "\n")
+    print(table)
+    print(f"\nwrote {out}")
+    problems = check_payload(result)
+    if problems:
+        raise SystemExit("FAIL:\n" + "\n".join(problems))
+    print("all acceptance checks passed")

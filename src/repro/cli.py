@@ -88,6 +88,14 @@ def make_parser() -> argparse.ArgumentParser:
              "repro.core.registry.mergeable_algorithms())",
     )
     parser.add_argument(
+        "--durable-dir", default=None, metavar="DIR",
+        help="crash-safe ingest: write-ahead-log every batch to DIR and "
+             "checkpoint the summary; reopening the same DIR recovers "
+             "the durable state and resumes (see docs/durability.md). "
+             "With --parallel the run is driven by the self-healing "
+             "supervised engine",
+    )
+    parser.add_argument(
         "--json", dest="as_json", action="store_true",
         help="emit the report as a single JSON object",
     )
@@ -166,6 +174,7 @@ def _run(
     )
     if args.parallel is not None and args.parallel < 1:
         return fail(f"--parallel must be >= 1, got {args.parallel}", 2)
+    durable_info: Optional[dict] = None
     try:
         if args.input == "-":
             lines: TextIO = stdin
@@ -191,11 +200,59 @@ def _run(
             build_s = 0.0  # workers build their shard sketches
             if len(values) == 0:
                 return fail("no input values", 1)
-            sketch, elapsed = parallel_feed(
-                args.algorithm, values, args.eps, plan,
-                universe_log2=args.universe_log2,
-                collect_metrics=registry is not None,
+            if args.durable_dir is not None:
+                from repro.durability import supervised_feed
+
+                start = time.perf_counter()
+                result = supervised_feed(
+                    args.algorithm, values, args.eps, plan,
+                    args.durable_dir,
+                    universe_log2=args.universe_log2,
+                    collect_metrics=registry is not None,
+                )
+                elapsed = time.perf_counter() - start
+                if result.summary is None:
+                    return fail("supervised run lost every shard", 2)
+                sketch = result.summary
+                durable_info = {
+                    "coverage": result.coverage,
+                    "effective_eps": result.effective_eps,
+                    "restarts": sum(result.restarts),
+                }
+            else:
+                sketch, elapsed = parallel_feed(
+                    args.algorithm, values, args.eps, plan,
+                    universe_log2=args.universe_log2,
+                    collect_metrics=registry is not None,
+                )
+        elif args.durable_dir is not None:
+            import numpy as np
+
+            from repro.durability import DurableIngest
+
+            as_int = args.as_int or needs_int
+            values = np.asarray(
+                list(_read_values(lines, as_int)),
+                dtype=np.int64 if as_int else np.float64,
             )
+            if args.input != "-":
+                lines.close()
+            build_start = time.perf_counter()
+            store = DurableIngest(
+                args.durable_dir, args.algorithm, args.eps,
+                universe_log2=args.universe_log2, seed=args.seed,
+                dtype=values.dtype,
+            )
+            build_s = time.perf_counter() - build_start
+            start = time.perf_counter()
+            for lo in range(0, len(values), 4096):
+                store.ingest(values[lo: lo + 4096])
+            sketch = store.finish()
+            elapsed = time.perf_counter() - start
+            durable_info = {
+                "recovered": store.recovery.recovered,
+                "replayed_batches": store.recovery.replayed_batches,
+            }
         else:
             build_start = time.perf_counter()
             sketch = build_sketch(
@@ -244,6 +301,8 @@ def _run(
             }
             if args.parallel is not None:
                 payload["workers"] = args.parallel
+            if durable_info is not None:
+                payload["durable"] = durable_info
             if registry is not None:
                 payload.update(metrics_to_json(registry))
             print(json.dumps(payload), file=stdout)
@@ -255,6 +314,11 @@ def _run(
                 f"memory={sketch.size_bytes()}B rate={rate:.0f}k/s",
                 file=stdout,
             )
+            if durable_info is not None:
+                note = " ".join(
+                    f"{key}={value}" for key, value in durable_info.items()
+                )
+                print(f"# durable: {note}", file=stdout)
             if registry is not None:
                 print("", file=stdout)
                 print(metrics_report(registry), file=stdout)

@@ -19,7 +19,9 @@ The hierarchy::
     ├── InvariantViolation (AssertionError)   structural invariant broken
     │                                         (survives ``python -O``)
     ├── SiteUnavailableError (RuntimeError)   distributed site unreachable
-    └── ParallelIngestError (RuntimeError)    sharded-ingest worker died
+    ├── ParallelIngestError (RuntimeError)    sharded-ingest worker died
+    └── DurabilityError (RuntimeError)        WAL/checkpoint store damaged
+                                              beyond what recovery repairs
 """
 
 from __future__ import annotations
@@ -115,4 +117,16 @@ class ParallelIngestError(ReproError, RuntimeError):
     worker process dies, reports an exception, or stops draining its
     shared-memory chunk queue.  Carries the worker's formatted traceback
     when one was reported.
+    """
+
+
+class DurabilityError(ReproError, RuntimeError):
+    """The durable-ingest store is damaged beyond self-repair.
+
+    Recovery tolerates the faults a crash can cause — a torn tail on the
+    final WAL segment, a corrupt newest checkpoint (it falls back to an
+    older one), an interrupted prune.  This error marks everything else:
+    corruption in the *middle* of the log, a segment with the wrong
+    dtype or format version, or a store whose manifest does not match
+    the requested algorithm.  See :mod:`repro.durability`.
     """

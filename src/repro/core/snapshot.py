@@ -108,7 +108,15 @@ def _decode(blob: bytes) -> Tuple[str, bytes]:
         raise CorruptSummaryError(
             f"snapshot truncated: {len(blob)} bytes < header"
         )
-    magic, version, crc, tag_len = _HEADER.unpack_from(blob)
+    try:
+        magic, version, crc, tag_len = _HEADER.unpack_from(blob)
+    except struct.error as exc:
+        # Unreachable for the current fixed-size header, but a future
+        # format revision must surface as CorruptSummaryError, never as
+        # a bare struct.error.
+        raise CorruptSummaryError(
+            f"snapshot header failed to decode: {exc}"
+        ) from exc
     if magic != MAGIC:
         raise CorruptSummaryError(f"bad snapshot magic {magic!r}")
     if version != FORMAT_VERSION:
@@ -143,13 +151,17 @@ def snapshot(summary) -> bytes:
     return _encode(tag, pickle.dumps(summary, protocol=4))
 
 
-def restore(blob: bytes):
+def restore(blob: bytes, validate: bool = True):
     """Rebuild a summary from :func:`snapshot` output, verifying integrity.
 
     The envelope checksum is verified *before* unpickling (corrupted
     bytes are never deserialized), the type tag must name a registered
-    class, the restored object must be an instance of it, and its
-    ``validate()`` self-check must pass.
+    class, the restored object must be an instance of it, and — with
+    ``validate=True``, the default every checkpoint load uses — its
+    ``validate()`` structural self-check must pass.  ``validate=False``
+    skips only that last invariant sweep (for hot paths re-restoring a
+    blob this process itself just produced); checksum, header, and type
+    checks always run.
 
     Raises:
         CorruptSummaryError: on any checksum, header, type, or invariant
@@ -170,7 +182,8 @@ def restore(blob: bytes):
             f"snapshot tagged {tag!r} deserialized to "
             f"{type(summary).__name__}, expected {cls.__name__}"
         )
-    summary.validate()
+    if validate:
+        summary.validate()
     return summary
 
 

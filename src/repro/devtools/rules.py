@@ -1,4 +1,4 @@
-"""The replint domain rules, REP001–REP006.
+"""The replint domain rules, REP001–REP007.
 
 Each rule encodes one invariant the library otherwise enforces only by
 convention; ``docs/static-analysis.md`` carries the full catalog with
@@ -30,6 +30,7 @@ from repro.devtools.engine import (
     ROLE_BENCHMARKS,
     ROLE_EXAMPLES,
     ROLE_LIBRARY,
+    ROLE_TESTS,
     Rule,
 )
 
@@ -643,6 +644,119 @@ class WorkerSeedDisciplineRule(Rule):
                     )
 
 
+class FaultInjectionDisciplineRule(Rule):
+    """REP007: process-kill primitives route through a seeded FaultPlan.
+
+    Flags ``os.kill`` / ``os.killpg`` / ``os._exit`` / ``os.abort`` /
+    ``signal.pthread_kill`` and ``.terminate()`` / ``.kill()`` method
+    calls in library and test code unless the innermost enclosing
+    function visibly works with a fault plan — it references a name
+    (parameter, local, or attribute) spelled ``plan`` / ``faults`` /
+    ``fault_plan`` / ``injector`` or ending in ``_plan`` /
+    ``_injector``.  Module-level kills are always flagged.
+
+    Supervision code that reaps processes for *cleanup* rather than
+    fault injection suppresses the specific line with
+    ``# replint: disable=REP007`` — the comment is the audit trail.
+    """
+
+    rule_id = "REP007"
+    title = "plan-routed process faults"
+    rationale = (
+        "Chaos tests are only reproducible when every induced crash "
+        "flows from a seeded FaultPlan; an ad-hoc os.kill/terminate() "
+        "is a fault no seed can replay, so kills must ride a plan (or "
+        "carry an explicit suppression marking them as supervision)."
+    )
+    roles = (ROLE_LIBRARY, ROLE_TESTS)
+
+    #: Fully-dotted process-fault primitives.
+    _KILL_DOTTED: Set[Tuple[str, ...]] = {
+        ("os", "kill"),
+        ("os", "killpg"),
+        ("os", "_exit"),
+        ("os", "abort"),
+        ("signal", "pthread_kill"),
+    }
+    #: Method names that end a process regardless of receiver type.
+    _KILL_METHODS = {"terminate", "kill"}
+    #: Identifiers that mark a function as fault-plan aware.
+    _PLAN_EXACT = {"plan", "faults", "fault_plan", "injector"}
+    _PLAN_SUFFIXES = ("_plan", "_injector")
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        yield from self._walk(ctx, ctx.tree, enclosing=None)
+
+    def _walk(
+        self, ctx: FileContext, node: ast.AST, enclosing: Optional[_FuncDef]
+    ) -> Iterator[Diagnostic]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._walk(ctx, child, enclosing=child)
+                continue
+            if isinstance(child, ast.Call):
+                diag = self._check_call(ctx, child, enclosing)
+                if diag is not None:
+                    yield diag
+            yield from self._walk(ctx, child, enclosing)
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        enclosing: Optional[_FuncDef],
+    ) -> Optional[Diagnostic]:
+        label = self._kill_label(node)
+        if label is None:
+            return None
+        if enclosing is not None and self._references_plan(enclosing):
+            return None
+        where = (
+            "at module level"
+            if enclosing is None
+            else f"in {enclosing.name}, which never touches a fault plan"
+        )
+        return self.diagnostic(
+            ctx.path,
+            node,
+            f"`{label}` {where}; induced process faults must flow from "
+            "a seeded repro.distributed.faults.FaultPlan (pass the plan/"
+            "injector into this function), or mark pure supervision "
+            "cleanup with `# replint: disable=REP007`",
+        )
+
+    @classmethod
+    def _kill_label(cls, node: ast.Call) -> Optional[str]:
+        parts = _dotted_parts(node.func)
+        if parts is not None and parts in cls._KILL_DOTTED:
+            return ".".join(parts)
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in cls._KILL_METHODS:
+            if parts is not None:
+                return ".".join(parts) + "()"
+            return f".{func.attr}()"
+        return None
+
+    @classmethod
+    def _is_planish(cls, name: str) -> bool:
+        return name in cls._PLAN_EXACT or name.endswith(cls._PLAN_SUFFIXES)
+
+    @classmethod
+    def _references_plan(cls, fn: _FuncDef) -> bool:
+        args = fn.args
+        params = (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+        )
+        if any(cls._is_planish(arg.arg) for arg in params):
+            return True
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name) and cls._is_planish(node.id):
+                return True
+            if isinstance(node, ast.Attribute) and cls._is_planish(node.attr):
+                return True
+        return False
+
+
 #: The rule set the CLI runs by default, in catalog order.
 DEFAULT_RULES: Tuple[Rule, ...] = (
     DeterminismRule(),
@@ -651,6 +765,7 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     NoLibraryAssertRule(),
     MetricsPreregistrationRule(),
     WorkerSeedDisciplineRule(),
+    FaultInjectionDisciplineRule(),
 )
 
 #: rule_id -> rule instance, for --select and docs generation.

@@ -7,6 +7,15 @@ die mid-round.  A :class:`FaultPlan` describes such an environment as
 data — drop / duplication / corruption rates and a site-crash schedule —
 and a :class:`FaultInjector` turns it into per-message decisions.
 
+The same machinery doubles as the *process-level* chaos vocabulary for
+the durable ingest stack (:mod:`repro.durability`): ``kill_worker_at``
+SIGKILLs a shard worker after a fixed number of chunks, ``stall_worker``
+freezes one long enough to trip the supervisor's hang detector, and
+``truncate_wal`` / ``corrupt_checkpoint`` damage the on-disk store
+before recovery runs.  Fault *application* must route through a plan —
+the replint REP007 rule flags any ``os.kill`` / ``terminate()`` call
+that does not.
+
 Determinism is the design center: every decision is a pure function of
 ``(plan.seed, src, dst, seq, attempt)``, derived by hashing those
 coordinates through a SplitMix64 mixer rather than by drawing from a
@@ -76,6 +85,23 @@ class FaultPlan:
         backoff_base: simulated-clock delay before the first retry.
         backoff_factor: multiplier applied to the delay per further retry
             (exponential backoff).
+        kill_worker_at: map ``worker_id -> k``: the ingest worker process
+            SIGKILLs itself after durably applying ``k`` chunks (the
+            process-level analogue of ``crash_at_step``).
+        stall_worker: map ``worker_id -> seconds``: the worker freezes
+            that long before acknowledging its next chunk, so the
+            supervisor's hang detector (not its death detector) must
+            fire.
+        truncate_wal: map ``store_id -> bytes``: chop that many bytes off
+            the final WAL segment of the store before recovery runs — a
+            simulated torn write.
+        corrupt_checkpoint: store ids whose *newest* checkpoint file gets
+            a deterministic one-bit flip before recovery runs, forcing
+            the fallback to an older checkpoint plus a longer replay.
+        repeat_worker_faults: by default ``kill_worker_at`` and
+            ``stall_worker`` fire only on a worker's first incarnation,
+            so a restarted worker can finish its replay; set True to
+            fault every incarnation (to exhaust a retry budget).
     """
 
     seed: int = 0
@@ -89,6 +115,17 @@ class FaultPlan:
     max_retries: int = 8
     backoff_base: float = 1.0
     backoff_factor: float = 2.0
+    kill_worker_at: Mapping[int, int] = dataclasses.field(
+        default_factory=dict
+    )
+    stall_worker: Mapping[int, float] = dataclasses.field(
+        default_factory=dict
+    )
+    truncate_wal: Mapping[int, int] = dataclasses.field(
+        default_factory=dict
+    )
+    corrupt_checkpoint: Tuple[int, ...] = ()
+    repeat_worker_faults: bool = False
 
     def __post_init__(self) -> None:
         _check_rate("drop_rate", self.drop_rate)
@@ -102,12 +139,41 @@ class FaultPlan:
             raise InvalidParameterError(
                 "backoff_base must be >= 0 and backoff_factor >= 1"
             )
+        for worker, chunks in dict(self.kill_worker_at).items():
+            if chunks < 0:
+                raise InvalidParameterError(
+                    f"kill_worker_at[{worker}] must be >= 0, got {chunks!r}"
+                )
+        for worker, seconds in dict(self.stall_worker).items():
+            if seconds < 0:
+                raise InvalidParameterError(
+                    f"stall_worker[{worker}] must be >= 0, got {seconds!r}"
+                )
+        for store, nbytes in dict(self.truncate_wal).items():
+            if nbytes < 1:
+                raise InvalidParameterError(
+                    f"truncate_wal[{store}] must be >= 1, got {nbytes!r}"
+                )
         # Normalize the collections so equal plans hash/compare equal.
         object.__setattr__(
             self, "crash_sites", tuple(sorted(set(self.crash_sites)))
         )
         object.__setattr__(
             self, "crash_at_step", dict(self.crash_at_step)
+        )
+        object.__setattr__(
+            self, "kill_worker_at", dict(self.kill_worker_at)
+        )
+        object.__setattr__(
+            self, "stall_worker", dict(self.stall_worker)
+        )
+        object.__setattr__(
+            self, "truncate_wal", dict(self.truncate_wal)
+        )
+        object.__setattr__(
+            self,
+            "corrupt_checkpoint",
+            tuple(sorted(set(self.corrupt_checkpoint))),
         )
 
     @classmethod
@@ -123,6 +189,10 @@ class FaultPlan:
             and self.corrupt_rate == 0.0
             and not self.crash_sites
             and not self.crash_at_step
+            and not self.kill_worker_at
+            and not self.stall_worker
+            and not self.truncate_wal
+            and not self.corrupt_checkpoint
         )
 
 
@@ -214,3 +284,39 @@ class FaultInjector:
         return plan.backoff_base * plan.backoff_factor ** max(
             0, attempt - 1
         )
+
+    # -- process-level (supervised ingest) faults -----------------------
+
+    def _worker_faults_active(self, incarnation: int) -> bool:
+        return incarnation == 0 or self.plan.repeat_worker_faults
+
+    def kill_after_chunks(
+        self, worker_id: int, incarnation: int = 0
+    ) -> Optional[int]:
+        """Chunks this worker incarnation applies before SIGKILLing itself.
+
+        None means the worker is not scheduled to die.  Incarnations
+        after the first are spared unless ``repeat_worker_faults`` is
+        set, so a restarted worker can complete its WAL replay.
+        """
+        if not self._worker_faults_active(incarnation):
+            return None
+        return self.plan.kill_worker_at.get(worker_id)
+
+    def stall_seconds(
+        self, worker_id: int, incarnation: int = 0
+    ) -> float:
+        """Seconds this worker incarnation freezes before its next ack."""
+        if not self._worker_faults_active(incarnation):
+            return 0.0
+        return self.plan.stall_worker.get(worker_id, 0.0)
+
+    # -- storage (durable store) faults ---------------------------------
+
+    def wal_truncate_bytes(self, store_id: int) -> int:
+        """Bytes to chop off the store's final WAL segment (0: none)."""
+        return self.plan.truncate_wal.get(store_id, 0)
+
+    def corrupts_checkpoint(self, store_id: int) -> bool:
+        """Whether the store's newest checkpoint gets a bit flipped."""
+        return store_id in self.plan.corrupt_checkpoint

@@ -1,0 +1,180 @@
+"""Checkpoint manager: periodic summary snapshots anchored to WAL offsets.
+
+Replaying a long WAL from sequence zero makes recovery linear in stream
+length.  Mergeable-summary checkpoints fix that: because every sketch in
+the inventory serializes to a self-validating snapshot envelope
+(:mod:`repro.core.snapshot`), the live summary can be persisted at any
+batch boundary together with the WAL sequence number it covers, and
+recovery becomes *newest valid checkpoint + WAL tail replay* — constant
+checkpoint read plus a tail bounded by the checkpoint interval.
+
+A checkpoint file ``ckpt-<index>.ck`` is one raw-payload envelope
+wrapping::
+
+    {"snapshot": <summary envelope bytes>, "wal_seq": <int>}
+
+so the outer CRC32 covers the inner envelope and the offset — a flipped
+bit anywhere fails decode, and :meth:`CheckpointManager.load_latest`
+falls back past corrupt files to the newest intact one (counting the
+skips).  Files are written to a temp name, fsynced, and renamed, so a
+crash mid-write can never shadow an older good checkpoint with a
+half-written new one.
+
+The exactly-once argument: a checkpoint at ``wal_seq = s`` is taken
+*after* batch ``s`` was applied to the summary and *before* batch
+``s + 1``.  Recovery restores that state and replays strictly from
+``s + 1``, so every batch is applied exactly once no matter where the
+crash landed — before the append (batch lost, never acked), between
+append and apply, after apply but before the next checkpoint, or during
+the checkpoint write itself.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, List, Optional, Union
+
+from repro.core.errors import CorruptSummaryError
+from repro.core.snapshot import decode_payload, encode_payload, restore, snapshot
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+_CKPT_PREFIX = "ckpt-"
+_CKPT_SUFFIX = ".ck"
+
+
+def _checkpoint_name(wal_seq: int) -> str:
+    # wal_seq is -1 for an empty-log checkpoint; shift to keep the
+    # zero-padded name sortable.
+    return f"{_CKPT_PREFIX}{wal_seq + 1:016d}{_CKPT_SUFFIX}"
+
+
+@dataclass
+class Checkpoint:
+    """One restored checkpoint: the summary and the WAL offset it covers."""
+
+    summary: Any
+    #: Highest WAL sequence number applied to ``summary``; replay starts
+    #: at ``wal_seq + 1``.
+    wal_seq: int
+    path: Path
+
+
+class CheckpointManager:
+    """Persist and recover summary checkpoints in one directory.
+
+    Args:
+        directory: checkpoint directory (created if missing).
+        keep: intact checkpoints retained by :meth:`prune` — more than
+            one, so a corrupt newest file still leaves a fallback.
+    """
+
+    def __init__(self, directory: Union[str, Path], keep: int = 2) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = max(1, keep)
+        #: Corrupt checkpoint files skipped by the most recent load.
+        self.corrupt_skipped = 0
+
+    def paths(self) -> List[Path]:
+        """Checkpoint files, oldest first (name order = wal_seq order)."""
+        return sorted(self.directory.glob(f"{_CKPT_PREFIX}*{_CKPT_SUFFIX}"))
+
+    def oldest_covered_seq(self) -> Optional[int]:
+        """WAL sequence covered by the *oldest* retained checkpoint.
+
+        This is the WAL prune floor: recovery may have to fall back to
+        the oldest checkpoint on disk (every newer one corrupt), and it
+        can only replay forward from there if the WAL still holds every
+        frame past that point.  Pruning through anything newer would
+        turn checkpoint fallback into silent data loss.
+        """
+        paths = self.paths()
+        if not paths:
+            return None
+        stem = paths[0].name[len(_CKPT_PREFIX): -len(_CKPT_SUFFIX)]
+        try:
+            return int(stem) - 1
+        except ValueError:  # pragma: no cover - non-canonical file name
+            return None
+
+    def save(self, summary: Any, wal_seq: int) -> Path:
+        """Write a checkpoint of ``summary`` covering ``wal_seq``.
+
+        The write is atomic (temp file + fsync + rename): a crash during
+        ``save`` leaves either the complete new checkpoint or none.
+        """
+        rec = obs_metrics.recorder()
+        start = time.perf_counter_ns()
+        blob = encode_payload(
+            {"snapshot": snapshot(summary), "wal_seq": wal_seq}
+        )
+        path = self.directory / _checkpoint_name(wal_seq)
+        tmp = path.with_suffix(".tmp")
+        with obs_trace.span("durability.checkpoint", wal_seq=wal_seq):
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        if rec.enabled:
+            rec.inc("durability.checkpoint.saved", 1)
+            rec.observe(
+                "durability.checkpoint.save_ns",
+                time.perf_counter_ns() - start,
+            )
+        return path
+
+    def load_latest(self, validate: bool = True) -> Optional[Checkpoint]:
+        """The newest checkpoint that decodes and validates, or None.
+
+        Corrupt files — failed envelope CRC, bad inner snapshot, or a
+        restored summary failing its ``validate()`` self-check — are
+        skipped (newest first) and counted in :attr:`corrupt_skipped`;
+        recovery falls back to the next older checkpoint rather than
+        failing outright.
+
+        The invariant sweep runs on a *throwaway* restore: some
+        ``validate()`` implementations normalize state (GK flushes its
+        buffer), and the summary handed back must be the exact state
+        that was checkpointed or recovered runs stop being bit-identical
+        to uninterrupted ones.
+        """
+        self.corrupt_skipped = 0
+        rec = obs_metrics.recorder()
+        for path in reversed(self.paths()):
+            try:
+                payload = decode_payload(path.read_bytes())
+                if validate:
+                    restore(payload["snapshot"], validate=True)
+                summary = restore(payload["snapshot"], validate=False)
+                wal_seq = int(payload["wal_seq"])
+            except (CorruptSummaryError, KeyError, OSError, TypeError):
+                self.corrupt_skipped += 1
+                if rec.enabled:
+                    rec.inc("durability.checkpoint.corrupt_skipped", 1)
+                continue
+            return Checkpoint(summary, wal_seq, path)
+        return None
+
+    def prune(self, keep: Optional[int] = None) -> int:
+        """Delete all but the newest ``keep`` checkpoints; returns count.
+
+        Crash-safe for the same reason WAL pruning is: each deletion is
+        one atomic unlink, and leftover *older* checkpoints are simply
+        never preferred by :meth:`load_latest`.
+        """
+        keep = self.keep if keep is None else max(1, keep)
+        removed = 0
+        paths = self.paths()
+        for path in paths[: max(0, len(paths) - keep)]:
+            path.unlink(missing_ok=True)
+            removed += 1
+        if removed:
+            rec = obs_metrics.recorder()
+            if rec.enabled:
+                rec.inc("durability.checkpoint.pruned", removed)
+        return removed

@@ -1,0 +1,349 @@
+"""Durable single-summary ingest: WAL-ahead apply with checkpoint recovery.
+
+:class:`DurableIngest` is the process-level durability wrapper around
+one sketch.  Every batch is appended to the write-ahead log *before* it
+touches the summary, and the summary is checkpointed every
+``checkpoint_interval`` batches, so a crash at any instant loses nothing
+that the fsync policy promised: reopening the same directory recovers
+the newest valid checkpoint and replays the WAL tail through the same
+batch kernels, landing in a state **bit-identical** to an uninterrupted
+run for deterministic sketches (error-equivalent for randomized ones —
+their RNG state rides inside the snapshot envelope).
+
+Directory layout::
+
+    <dir>/manifest.json      # the sketch spec this store was built for
+    <dir>/wal/wal-*.seg      # segmented write-ahead log
+    <dir>/checkpoints/ckpt-*.ck
+
+The manifest pins the spec: reopening with a different algorithm, eps,
+universe, seed, or dtype raises
+:class:`~repro.core.errors.DurabilityError` instead of silently
+replaying one algorithm's stream into another's summary.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.base import QuantileSketch, TurnstileSketch
+from repro.core.errors import DurabilityError, InvalidParameterError
+from repro.durability.checkpoint import CheckpointManager
+from repro.durability.wal import (
+    DEFAULT_SEGMENT_BYTES,
+    FSYNC_POLICIES,
+    WriteAheadLog,
+)
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+#: Manifest format version (bumped on incompatible layout changes).
+MANIFEST_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Knobs for a durable ingest store (serial or supervised).
+
+    Args:
+        directory: root of the durable store.
+        checkpoint_interval: batches applied between checkpoints; the
+            recovery-time vs. checkpoint-overhead dial (measured in
+            ``benchmarks/bench_durability.py``).
+        keep_checkpoints: intact checkpoints retained after pruning.
+        fsync: WAL fsync policy (see :mod:`repro.durability.wal`).
+        segment_bytes: WAL segment rotation threshold.
+        validate_restore: run ``validate()`` on every checkpoint load.
+    """
+
+    directory: Union[str, Path]
+    checkpoint_interval: int = 64
+    keep_checkpoints: int = 2
+    fsync: str = "rotate"
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    validate_restore: bool = True
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 1:
+            raise InvalidParameterError(
+                "checkpoint_interval must be >= 1, got "
+                f"{self.checkpoint_interval!r}"
+            )
+        if self.keep_checkpoints < 1:
+            raise InvalidParameterError(
+                "keep_checkpoints must be >= 1, got "
+                f"{self.keep_checkpoints!r}"
+            )
+        if self.fsync not in FSYNC_POLICIES:
+            raise InvalidParameterError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {self.fsync!r}"
+            )
+
+    @classmethod
+    def coerce(
+        cls, value: Union["DurabilityConfig", str, Path]
+    ) -> "DurabilityConfig":
+        """A config from a config, or from a bare directory path."""
+        if isinstance(value, DurabilityConfig):
+            return value
+        if isinstance(value, (str, Path)):
+            return cls(directory=value)
+        raise InvalidParameterError(
+            "durable must be a DurabilityConfig or a directory path, got "
+            f"{type(value).__name__}"
+        )
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery did when a store was reopened."""
+
+    recovered: bool = False
+    #: WAL sequence the restored checkpoint covered (-1: none found).
+    checkpoint_seq: int = -1
+    #: Corrupt checkpoint files skipped while falling back.
+    corrupt_checkpoints_skipped: int = 0
+    #: WAL batches replayed on top of the checkpoint.
+    replayed_batches: int = 0
+    #: Torn WAL tails repaired on open.
+    torn_tails_repaired: int = 0
+    #: Wall-clock seconds the recovery took.
+    seconds: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+def _apply_batch(sketch: QuantileSketch, batch: np.ndarray) -> None:
+    """Feed one batch through the same kernel path ``feed_stream`` uses,
+    so a durable run is bit-identical to a non-durable one."""
+    if isinstance(sketch, TurnstileSketch):
+        sketch.update_batch(batch)
+    elif type(sketch).extend is not QuantileSketch.extend:
+        sketch.extend(batch)
+    else:
+        sketch.extend(batch.tolist())
+
+
+class DurableIngest:
+    """One sketch whose state survives process crashes.
+
+    Args:
+        config: a :class:`DurabilityConfig` or a bare directory path.
+        algorithm: registry name of the sketch to build/recover.
+        eps: error parameter.
+        universe_log2: for fixed-universe algorithms.
+        seed: sketch seed (recovery rebuilds with the same seed, then
+            overwrites state from the checkpoint).
+        dtype: element dtype of the stream (fixed per store).
+        **kwargs: forwarded to the algorithm constructor.
+
+    Opening a directory that already holds a store *recovers* it:
+    the manifest is checked against the requested spec, the newest valid
+    checkpoint restored (falling back past corrupt ones), and the WAL
+    tail replayed.  :attr:`recovery` reports what happened.
+    """
+
+    def __init__(
+        self,
+        config: Union[DurabilityConfig, str, Path],
+        algorithm: str,
+        eps: float,
+        universe_log2: Optional[int] = None,
+        seed: Optional[int] = 0,
+        dtype: Any = np.int64,
+        **kwargs: Any,
+    ) -> None:
+        from repro.evaluation.harness import build_sketch
+
+        self.config = DurabilityConfig.coerce(config)
+        self.directory = Path(self.config.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._dtype = np.dtype(dtype)
+        self._spec: Dict[str, Any] = {
+            "manifest_version": MANIFEST_VERSION,
+            "algorithm": algorithm,
+            "eps": eps,
+            "universe_log2": universe_log2,
+            "seed": seed,
+            "dtype": self._dtype.str,
+            "kwargs": dict(kwargs),
+        }
+        self._check_or_write_manifest()
+        self.wal = WriteAheadLog(
+            self.directory / "wal",
+            dtype=self._dtype,
+            segment_bytes=self.config.segment_bytes,
+            fsync=self.config.fsync,
+        )
+        self.checkpoints = CheckpointManager(
+            self.directory / "checkpoints",
+            keep=self.config.keep_checkpoints,
+        )
+        self.recovery = RecoveryReport(
+            torn_tails_repaired=self.wal.repaired_tails
+        )
+        self._closed = False
+        self._since_checkpoint = 0
+        self.sketch = self._recover(
+            lambda: build_sketch(
+                algorithm, eps, universe_log2, seed, **kwargs
+            )
+        )
+
+    # -- manifest -------------------------------------------------------
+
+    @property
+    def _manifest_path(self) -> Path:
+        return self.directory / "manifest.json"
+
+    def _check_or_write_manifest(self) -> None:
+        path = self._manifest_path
+        if path.exists():
+            try:
+                existing = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                raise DurabilityError(
+                    f"durable store manifest {path} is unreadable: {exc}"
+                ) from exc
+            if existing != self._spec:
+                differing = sorted(
+                    key
+                    for key in set(existing) | set(self._spec)
+                    if existing.get(key) != self._spec.get(key)
+                )
+                raise DurabilityError(
+                    f"durable store at {self.directory} was built for a "
+                    f"different spec (fields differing: {differing}); "
+                    "refusing to replay one algorithm's WAL into another"
+                )
+        else:
+            path.write_text(
+                json.dumps(self._spec, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+
+    # -- recovery -------------------------------------------------------
+
+    def _recover(self, fresh: Any) -> QuantileSketch:
+        rec = obs_metrics.recorder()
+        start = time.perf_counter()
+        had_state = bool(self.checkpoints.paths()) or self.wal.batches() > 0
+        with obs_trace.span("durability.recover"):
+            checkpoint = self.checkpoints.load_latest(
+                validate=self.config.validate_restore
+            )
+            self.recovery.corrupt_checkpoints_skipped = (
+                self.checkpoints.corrupt_skipped
+            )
+            if checkpoint is not None:
+                sketch = checkpoint.summary
+                after_seq = checkpoint.wal_seq
+            else:
+                sketch = fresh()
+                after_seq = -1
+            self.recovery.checkpoint_seq = after_seq
+            self.wal.ensure_next_seq(after_seq + 1)
+            replayed = 0
+            with obs_trace.span("durability.replay", after_seq=after_seq):
+                for _seq, batch in self.wal.replay(after_seq):
+                    _apply_batch(sketch, batch)
+                    replayed += 1
+        self.recovery.replayed_batches = replayed
+        self.recovery.recovered = had_state
+        self.recovery.seconds = time.perf_counter() - start
+        if rec.enabled:
+            if had_state:
+                rec.inc("durability.recoveries", 1)
+                rec.observe(
+                    "durability.recovery_ns",
+                    1e9 * self.recovery.seconds,
+                )
+            if replayed:
+                rec.inc("durability.wal.replayed_batches", replayed)
+        return sketch
+
+    # -- ingest ---------------------------------------------------------
+
+    def ingest(self, values: np.ndarray) -> int:
+        """Log one batch durably, then apply it; returns its WAL seq."""
+        if self._closed:
+            raise DurabilityError("durable ingest session is closed")
+        batch = np.asarray(values, dtype=self._dtype)
+        rec = obs_metrics.recorder()
+        start = time.perf_counter_ns()
+        seq = self.wal.append(batch)
+        if rec.enabled:
+            rec.observe(
+                "durability.wal.append_ns",
+                time.perf_counter_ns() - start,
+            )
+        _apply_batch(self.sketch, batch)
+        self._since_checkpoint += 1
+        if self._since_checkpoint >= self.config.checkpoint_interval:
+            self.checkpoint()
+        return seq
+
+    def checkpoint(self) -> None:
+        """Persist the live summary now and prune covered WAL segments."""
+        if self._closed:
+            raise DurabilityError("durable ingest session is closed")
+        covered = self.wal.last_seq
+        self.checkpoints.save(self.sketch, covered)
+        self._since_checkpoint = 0
+        # Seal the active segment so everything the checkpoint covers is
+        # prunable; an interruption between save and prune only leaves
+        # covered segments behind, which replay skips by seq.  The WAL
+        # prune floor is the *oldest retained* checkpoint, not the one
+        # just written: recovery may fall back past a corrupt newest
+        # checkpoint and must still find every frame after the fallback.
+        self.wal.rotate()
+        self.checkpoints.prune()
+        floor = self.checkpoints.oldest_covered_seq()
+        if floor is None:  # pragma: no cover - save() just wrote one
+            floor = covered
+        self.wal.prune_through(floor)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def finish(self) -> QuantileSketch:
+        """Final checkpoint, close the store, return the summary."""
+        if not self._closed:
+            self.checkpoint()
+            self.close()
+        return self.sketch
+
+    def close(self) -> None:
+        """Close file handles *without* checkpointing.
+
+        The store stays recoverable — that is the whole point — but the
+        tail since the last checkpoint will be replayed on reopen,
+        exactly as after a crash.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.wal.close()
+
+    def crash(self) -> None:
+        """Simulate a process crash: abandon the store mid-flight.
+
+        No checkpoint, no WAL seal, no fsync — the on-disk state is
+        exactly what a SIGKILL would have left (modulo OS buffers, which
+        a process kill preserves anyway).  Used by the chaos harness;
+        reopening the directory afterwards runs real recovery.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.wal.drop()
+
+    def __enter__(self) -> "DurableIngest":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()

@@ -1,0 +1,462 @@
+"""Segmented write-ahead log for update batches.
+
+A crashed ingest process loses every summary it held in memory; the WAL
+makes the *stream itself* the durable artifact.  Every batch handed to a
+sketch is first appended here as one CRC32-framed record, so recovery
+can rebuild the exact summary by replaying the tail that a checkpoint
+does not already cover (see :mod:`repro.durability.checkpoint`).
+
+Layout: the log is a directory of segment files ``wal-<index>.seg``.
+Each segment starts with a header::
+
+    offset  size  field
+    0       4     magic  b"RQWL"
+    4       2     format version (currently 1)
+    6       2     length of the dtype string
+    8       d     numpy dtype string (e.g. "<i8")
+
+followed by frames, each::
+
+    offset  size  field
+    0       4     CRC32 over everything from offset 4 to the frame end
+    4       4     payload length in bytes
+    8       8     sequence number (int64, monotone from 0)
+    16      ...   payload: the batch's raw ndarray bytes
+
+A frame is atomic: recovery either replays all of a batch or none of it
+(never a prefix), which is what makes checkpoint offsets exact — a
+checkpoint covering sequence ``s`` means replay starts at ``s + 1``,
+never mid-batch.
+
+Torn writes: a crash (or a chaos ``truncate_wal`` fault) can leave the
+*last* segment ending in a partial frame or a frame whose CRC no longer
+matches.  :class:`WriteAheadLog` detects this on open and truncates the
+tail back to the last intact frame — losing only writes that were never
+acknowledged as durable under the active fsync policy.  A bad frame in
+any *earlier* segment is not a torn tail but real corruption, and raises
+:class:`~repro.core.errors.DurabilityError`.
+
+Fsync policy (the durability/throughput knob, measured in
+``benchmarks/bench_durability.py``):
+
+* ``"always"`` — fsync after every append; a batch is durable before the
+  sketch sees it.
+* ``"rotate"`` — fsync when a segment seals (rotation, checkpoint,
+  close); bounded loss of the active segment's buffered tail.
+* ``"never"`` — flush to the OS but never fsync; the OS decides.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.errors import DurabilityError, InvalidParameterError
+from repro.obs import metrics as obs_metrics
+
+#: Segment file magic ("Repro Quantile Write-ahead Log").
+MAGIC = b"RQWL"
+
+#: Current segment format version.
+FORMAT_VERSION = 1
+
+#: Segment header: magic, version, dtype-string length.
+_SEG_HEADER = struct.Struct("<4sHH")
+
+#: Frame header: crc32, payload length, sequence number.
+_FRAME = struct.Struct("<IIq")
+
+#: Accepted fsync policies.
+FSYNC_POLICIES = ("always", "rotate", "never")
+
+#: Default segment rotation threshold (bytes).
+DEFAULT_SEGMENT_BYTES = 1 << 20
+
+_SEGMENT_RE_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".seg"
+
+
+def _segment_name(index: int) -> str:
+    return f"{_SEGMENT_RE_PREFIX}{index:08d}{_SEGMENT_SUFFIX}"
+
+
+@dataclass
+class _Segment:
+    """Index entry for one on-disk segment."""
+
+    index: int
+    path: Path
+    #: First/last frame sequence numbers; None for a frameless segment.
+    first_seq: Optional[int]
+    last_seq: Optional[int]
+
+
+class WriteAheadLog:
+    """Append-only, segmented, CRC-framed log of update batches.
+
+    Args:
+        directory: segment directory (created if missing).  Reopening an
+            existing directory resumes sequence numbering after repairing
+            any torn tail.
+        dtype: element dtype of every batch (fixed per log; reopening
+            with a different dtype raises).
+        segment_bytes: rotation threshold — a segment that reaches this
+            size is sealed and a fresh one started.
+        fsync: one of :data:`FSYNC_POLICIES`.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        dtype: np.dtype = np.dtype(np.int64),
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        fsync: str = "rotate",
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise InvalidParameterError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if segment_bytes < _SEG_HEADER.size + _FRAME.size:
+            raise InvalidParameterError(
+                f"segment_bytes {segment_bytes!r} is below one header + "
+                "frame"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.dtype = np.dtype(dtype)
+        self.segment_bytes = segment_bytes
+        self.fsync = fsync
+        self._segments: List[_Segment] = []
+        self._fh: Optional[IO[bytes]] = None
+        self._active: Optional[_Segment] = None
+        self._active_size = 0
+        self._next_seq = 0
+        self._closed = False
+        #: Torn tails repaired (truncated) on the most recent open.
+        self.repaired_tails = 0
+        self._scan()
+
+    # -- scanning / repair ---------------------------------------------
+
+    def _segment_paths(self) -> List[Tuple[int, Path]]:
+        out = []
+        for path in sorted(self.directory.glob(f"{_SEGMENT_RE_PREFIX}*")):
+            stem = path.name[len(_SEGMENT_RE_PREFIX):]
+            if not stem.endswith(_SEGMENT_SUFFIX):
+                continue
+            try:
+                out.append((int(stem[: -len(_SEGMENT_SUFFIX)]), path))
+            except ValueError:
+                continue
+        return out
+
+    def _scan(self) -> None:
+        """Index every segment, repairing a torn tail on the last one."""
+        rec = obs_metrics.recorder()
+        paths = self._segment_paths()
+        for position, (index, path) in enumerate(paths):
+            is_last = position == len(paths) - 1
+            frames, good_end, problem = self._scan_segment(path)
+            if problem is not None and not is_last:
+                raise DurabilityError(
+                    f"WAL segment {path.name} is corrupt mid-log "
+                    f"({problem}); only the final segment may have a "
+                    "torn tail"
+                )
+            if problem is not None:
+                # Torn tail: drop everything past the last intact frame.
+                self.repaired_tails += 1
+                with open(path, "rb+") as fh:
+                    fh.truncate(good_end)
+                if rec.enabled:
+                    rec.inc("durability.wal.torn_tails", 1)
+            first = frames[0][0] if frames else None
+            last = frames[-1][0] if frames else None
+            self._segments.append(_Segment(index, path, first, last))
+            if last is not None:
+                self._next_seq = max(self._next_seq, last + 1)
+
+    def _scan_segment(
+        self, path: Path
+    ) -> Tuple[List[Tuple[int, int]], int, Optional[str]]:
+        """Read one segment; returns (frames, good_end, problem).
+
+        ``frames`` is a list of ``(seq, offset)``; ``good_end`` the byte
+        offset just past the last intact frame; ``problem`` a human
+        description of a torn/corrupt tail (None when clean).
+        """
+        frames: List[Tuple[int, int]] = []
+        with open(path, "rb") as fh:
+            header = fh.read(_SEG_HEADER.size)
+            if len(header) < _SEG_HEADER.size:
+                raise DurabilityError(
+                    f"WAL segment {path.name} is shorter than its header"
+                )
+            magic, version, dtype_len = _SEG_HEADER.unpack(header)
+            if magic != MAGIC:
+                raise DurabilityError(
+                    f"WAL segment {path.name} has bad magic {magic!r}"
+                )
+            if version != FORMAT_VERSION:
+                raise DurabilityError(
+                    f"WAL segment {path.name} has unsupported format "
+                    f"version {version}"
+                )
+            dtype_bytes = fh.read(dtype_len)
+            if len(dtype_bytes) < dtype_len:
+                raise DurabilityError(
+                    f"WAL segment {path.name} truncated inside its header"
+                )
+            seg_dtype = np.dtype(dtype_bytes.decode("ascii"))
+            if seg_dtype != self.dtype:
+                raise DurabilityError(
+                    f"WAL segment {path.name} carries dtype {seg_dtype}, "
+                    f"log opened with {self.dtype}"
+                )
+            good_end = fh.tell()
+            while True:
+                head = fh.read(_FRAME.size)
+                if not head:
+                    return frames, good_end, None
+                if len(head) < _FRAME.size:
+                    return frames, good_end, "partial frame header"
+                crc, length, seq = _FRAME.unpack(head)
+                payload = fh.read(length)
+                if len(payload) < length:
+                    return frames, good_end, "truncated frame payload"
+                if zlib.crc32(head[4:] + payload) != crc:
+                    return frames, good_end, "frame checksum mismatch"
+                frames.append((seq, good_end))
+                good_end = fh.tell()
+
+    # -- appending ------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next :meth:`append` will be assigned."""
+        return self._next_seq
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest appended batch (-1 when empty)."""
+        return self._next_seq - 1
+
+    def ensure_next_seq(self, seq: int) -> None:
+        """Raise the numbering floor so future appends start at ``seq``.
+
+        Recovery calls this with ``checkpoint_seq + 1`` after a prune may
+        have deleted every segment — sequence numbers must stay monotone
+        across the whole log lifetime or replay-by-offset breaks.
+        """
+        if seq > self._next_seq:
+            self._next_seq = seq
+
+    def _open_active(self) -> None:
+        if self._fh is not None:
+            return
+        if self._closed:
+            raise DurabilityError("write-ahead log is closed")
+        index = self._segments[-1].index + 1 if self._segments else 0
+        segment = _Segment(
+            index, self.directory / _segment_name(index), None, None
+        )
+        dtype_bytes = self.dtype.str.encode("ascii")
+        header = _SEG_HEADER.pack(
+            MAGIC, FORMAT_VERSION, len(dtype_bytes)
+        ) + dtype_bytes
+        fh = open(segment.path, "wb")
+        fh.write(header)
+        fh.flush()
+        self._fh = fh
+        self._active = segment
+        self._active_size = len(header)
+        self._segments.append(segment)
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc("durability.wal.rotations", 1)
+
+    def append(self, values: np.ndarray) -> int:
+        """Append one batch; returns its assigned sequence number.
+
+        The batch is durable per the fsync policy *before* this returns,
+        so the caller may apply it to the live sketch immediately after.
+        """
+        if self._closed:
+            raise DurabilityError("write-ahead log is closed")
+        batch = np.ascontiguousarray(np.asarray(values, dtype=self.dtype))
+        payload = batch.tobytes()
+        seq = self._next_seq
+        body = struct.pack("<Iq", len(payload), seq) + payload
+        frame = struct.pack("<I", zlib.crc32(body)) + body
+        self._open_active()
+        fh = self._fh
+        if fh is None:  # pragma: no cover - _open_active guarantees it
+            raise DurabilityError("write-ahead log has no active segment")
+        fh.write(frame)
+        fh.flush()
+        if self.fsync == "always":
+            os.fsync(fh.fileno())
+        self._next_seq = seq + 1
+        self._active_size += len(frame)
+        active = self._active
+        if active is not None:
+            if active.first_seq is None:
+                active.first_seq = seq
+            active.last_seq = seq
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc("durability.wal.appends", 1)
+            rec.inc("durability.wal.bytes", len(frame))
+            if self.fsync == "always":
+                rec.inc("durability.wal.fsyncs", 1)
+        if self._active_size >= self.segment_bytes:
+            self._seal_active()
+        return seq
+
+    def _seal_active(self) -> None:
+        fh = self._fh
+        if fh is None:
+            return
+        fh.flush()
+        if self.fsync in ("always", "rotate"):
+            os.fsync(fh.fileno())
+            rec = obs_metrics.recorder()
+            if rec.enabled:
+                rec.inc("durability.wal.fsyncs", 1)
+        fh.close()
+        self._fh = None
+        self._active = None
+        self._active_size = 0
+
+    def sync(self) -> None:
+        """Force the active segment to durable storage (any policy)."""
+        fh = self._fh
+        if fh is not None:
+            fh.flush()
+            if self.fsync != "never":
+                os.fsync(fh.fileno())
+                rec = obs_metrics.recorder()
+                if rec.enabled:
+                    rec.inc("durability.wal.fsyncs", 1)
+
+    # -- replay ---------------------------------------------------------
+
+    def replay(
+        self, after_seq: int = -1
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(seq, batch)`` for every frame with ``seq > after_seq``.
+
+        Frames are yielded in sequence order.  Batches at or below
+        ``after_seq`` — those a checkpoint already covers — are skipped
+        whole: replay never lands mid-batch because frames are atomic.
+        """
+        fh = self._fh
+        if fh is not None:
+            fh.flush()
+        for segment in self._segments:
+            if segment.last_seq is None or segment.last_seq <= after_seq:
+                continue
+            frames, _end, problem = self._scan_segment(segment.path)
+            if problem is not None and segment is not self._segments[-1]:
+                raise DurabilityError(
+                    f"WAL segment {segment.path.name} corrupt during "
+                    f"replay ({problem})"
+                )
+            with open(segment.path, "rb") as fh:
+                for seq, offset in frames:
+                    if seq <= after_seq:
+                        continue
+                    fh.seek(offset)
+                    head = fh.read(_FRAME.size)
+                    _crc, length, _seq = _FRAME.unpack(head)
+                    payload = fh.read(length)
+                    yield seq, np.frombuffer(
+                        payload, dtype=self.dtype
+                    ).copy()
+
+    def batches(self) -> int:
+        """Total frames currently indexed (cheap; from the scan index)."""
+        total = 0
+        for segment in self._segments:
+            if segment.first_seq is not None and segment.last_seq is not None:
+                total += segment.last_seq - segment.first_seq + 1
+        return total
+
+    def size_bytes(self) -> int:
+        """On-disk size of every segment file."""
+        return sum(
+            seg.path.stat().st_size
+            for seg in self._segments
+            if seg.path.exists()
+        )
+
+    # -- pruning --------------------------------------------------------
+
+    def prune_through(self, seq: int) -> int:
+        """Delete segments whose every frame is covered by ``seq``.
+
+        The active (still-writable) segment is never deleted.  Returns
+        the number of segments removed.  Deletion is per-file and
+        crash-safe: an interrupted prune leaves extra *covered* segments
+        behind, which a later replay skips by sequence number.
+        """
+        removed = 0
+        survivors: List[_Segment] = []
+        for segment in self._segments:
+            deletable = (
+                segment is not self._active
+                and segment.last_seq is not None
+                and segment.last_seq <= seq
+            )
+            if deletable:
+                segment.path.unlink(missing_ok=True)
+                removed += 1
+            else:
+                survivors.append(segment)
+        self._segments = survivors
+        rec = obs_metrics.recorder()
+        if removed and rec.enabled:
+            rec.inc("durability.wal.pruned_segments", removed)
+        return removed
+
+    # -- lifecycle ------------------------------------------------------
+
+    def rotate(self) -> None:
+        """Seal the active segment now (next append opens a fresh one)."""
+        self._seal_active()
+
+    def close(self) -> None:
+        """Seal and close the log; further appends raise."""
+        if self._closed:
+            return
+        self._seal_active()
+        self._closed = True
+
+    def drop(self) -> None:
+        """Abandon the log as a crash would: no seal, no fsync.
+
+        The chaos harness uses this to simulate a killed process.  Data
+        already flushed to the OS survives (as it would a real process
+        kill); nothing extra is made durable on the way out.
+        """
+        if self._closed:
+            return
+        fh = self._fh
+        if fh is not None:
+            fh.close()
+        self._fh = None
+        self._active = None
+        self._active_size = 0
+        self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()

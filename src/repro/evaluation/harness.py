@@ -188,6 +188,51 @@ def feed_stream(
     return update_s, tracker.peak_words
 
 
+def _feed_durable(
+    store: Any,
+    data: np.ndarray,
+    chunk: int,
+    timings: Dict[str, Any],
+) -> Tuple[float, int]:
+    """Durable analogue of :func:`feed_stream`: same chunking, same batch
+    kernels, but every chunk goes through the WAL first.
+
+    Returns ``(update_seconds, peak_words)``.  ``update_seconds``
+    includes the WAL append — the durability overhead is exactly what a
+    durable run is asked to measure.
+    """
+    sketch = store.sketch
+    tracker = PeakSpaceTracker(sketch)
+    rec = obs_metrics.recorder()
+    update_s = 0.0
+    sample_s = 0.0
+    with span("evaluation.feed_stream", algo=sketch.name, n=len(data)):
+        for lo in range(0, len(data), chunk):
+            start = time.perf_counter()
+            store.ingest(data[lo : lo + chunk])
+            mid = time.perf_counter()
+            tracker.sample()
+            done = time.perf_counter()
+            update_s += mid - start
+            sample_s += done - mid
+            if rec.enabled:
+                rec.observe(
+                    "evaluation.chunk_update_ns",
+                    1e9 * (mid - start),
+                    algo=sketch.name,
+                )
+        start = time.perf_counter()
+        tracker.sample()
+        sample_s += time.perf_counter() - start
+    if rec.enabled:
+        rec.inc("evaluation.updates", len(data), algo=sketch.name)
+    timings["update_s"] = update_s
+    timings["sample_s"] = sample_s
+    timings["ingest_path"] = "durable"
+    timings["batch_size"] = float(chunk)
+    return update_s, tracker.peak_words
+
+
 def run_experiment(
     algorithm: str,
     data: np.ndarray,
@@ -201,6 +246,7 @@ def run_experiment(
     collect_metrics: bool = False,
     batch_size: Optional[int] = None,
     parallel: Optional[int] = None,
+    durable: Optional[Any] = None,
     **kwargs: Any,
 ) -> RunResult:
     """Run one full measurement: build, stream, and evaluate.
@@ -228,6 +274,16 @@ def run_experiment(
             (:class:`repro.parallel.engine.ShardedIngestEngine`) and
             evaluate the *merged* summary.  Requires a mergeable
             algorithm and no deletions; ``None`` runs serially.
+        durable: a :class:`repro.durability.DurabilityConfig` or store
+            directory.  Serial runs feed through a crash-recoverable
+            :class:`~repro.durability.ingest.DurableIngest` store (WAL +
+            checkpoints; same chunking and batch kernels, so a zero-fault
+            durable run is bit-identical to a non-durable one); with
+            ``parallel`` the sharded run is driven by the self-healing
+            :class:`~repro.durability.supervisor.SupervisedIngestEngine`.
+            Each repeat gets its own ``run-<i>`` subdirectory (repeats
+            use different seeds, and a store is pinned to one spec).
+            Insertion-only.
         **kwargs: forwarded to the algorithm constructor (width, depth,
             eta, ...).
 
@@ -247,6 +303,16 @@ def run_experiment(
             raise InvalidParameterError(
                 "parallel ingest supports insertion-only streams; feed "
                 "deletion workloads serially"
+            )
+    durable_cfg = None
+    if durable is not None:
+        from repro.durability.ingest import DurabilityConfig
+
+        durable_cfg = DurabilityConfig.coerce(durable)
+        if deletions is not None and len(deletions):
+            raise InvalidParameterError(
+                "durable ingest supports insertion-only streams: WAL "
+                "frames carry insertion batches"
             )
     if deletions is not None and len(deletions):
         counts: Dict[int, int] = {}
@@ -273,9 +339,63 @@ def run_experiment(
     peak = 0
     phases: Dict[str, float] = {}
     extra: Dict[str, object] = {}
+    durable_extra: Dict[str, object] = {}
     for i in range(effective_repeats):
         timings: Dict[str, Any] = {}
-        if parallel is not None:
+        repeat_durable = None
+        if durable_cfg is not None:
+            from pathlib import Path
+
+            from repro.durability.ingest import DurabilityConfig
+
+            repeat_durable = DurabilityConfig(
+                directory=Path(durable_cfg.directory) / f"run-{i:02d}",
+                checkpoint_interval=durable_cfg.checkpoint_interval,
+                keep_checkpoints=durable_cfg.keep_checkpoints,
+                fsync=durable_cfg.fsync,
+                segment_bytes=durable_cfg.segment_bytes,
+                validate_restore=durable_cfg.validate_restore,
+            )
+        if parallel is not None and repeat_durable is not None:
+            from repro.durability.supervisor import SupervisedIngestEngine
+            from repro.parallel.plan import DEFAULT_CHUNK_SIZE, ShardPlan
+
+            plan = ShardPlan(
+                seed=seed + 1000 * i,
+                shards=parallel,
+                chunk_size=(
+                    batch_size if batch_size is not None
+                    else DEFAULT_CHUNK_SIZE
+                ),
+            )
+            build_start = time.perf_counter()
+            with SupervisedIngestEngine(
+                algorithm, eps, plan, repeat_durable,
+                universe_log2=universe_log2,
+                collect_metrics=collect_metrics,
+                dtype=data.dtype,
+                **kwargs,
+            ) as engine:
+                build_s = time.perf_counter() - build_start
+                feed_start = time.perf_counter()
+                engine.ingest(data)
+                supervised = engine.finish()
+                run_elapsed = time.perf_counter() - feed_start
+            if supervised.summary is None:
+                raise InvalidParameterError(
+                    "supervised run lost every shard; nothing to evaluate"
+                )
+            sketch = supervised.summary
+            run_peak = sketch.size_words()
+            timings.update(
+                update_s=run_elapsed,
+                sample_s=0.0,
+                ingest_path=f"supervised[{parallel}]",
+            )
+            if i == 0:
+                durable_extra["coverage"] = supervised.coverage
+                durable_extra["effective_eps"] = supervised.effective_eps
+        elif parallel is not None:
             from repro.parallel.engine import ShardedIngestEngine
             from repro.parallel.plan import DEFAULT_CHUNK_SIZE, ShardPlan
 
@@ -306,6 +426,33 @@ def run_experiment(
                 sample_s=0.0,
                 ingest_path=f"parallel[{parallel}]",
             )
+        elif repeat_durable is not None:
+            from repro.durability.ingest import DurableIngest
+
+            build_start = time.perf_counter()
+            store = DurableIngest(
+                repeat_durable, algorithm, eps,
+                universe_log2=universe_log2,
+                seed=seed + 1000 * i,
+                dtype=data.dtype,
+                **kwargs,
+            )
+            build_s = time.perf_counter() - build_start
+            run_elapsed, run_peak = _feed_durable(
+                store, data,
+                batch_size if batch_size is not None else 4096,
+                timings,
+            )
+            sketch = store.finish()
+            if i == 0:
+                durable_extra["durable"] = {
+                    "fsync": repeat_durable.fsync,
+                    "checkpoint_interval":
+                        repeat_durable.checkpoint_interval,
+                    "recovered": store.recovery.recovered,
+                    "replayed_batches": store.recovery.replayed_batches,
+                    "wal_appends": store.wal.batches(),
+                }
         else:
             build_start = time.perf_counter()
             sketch = build_sketch(
@@ -337,6 +484,7 @@ def run_experiment(
             extra = {**phases, "ingest_path": timings["ingest_path"]}
             if parallel is not None:
                 extra["workers"] = parallel
+            extra.update(durable_extra)
         max_errors.append(report.max_error)
         avg_errors.append(report.avg_error)
 

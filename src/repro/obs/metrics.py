@@ -359,6 +359,24 @@ DEFAULT_INSTRUMENTS: Tuple[Tuple[str, str], ...] = (
     ("gauge", "evaluation.stream.n"),
     ("histogram", "evaluation.phase_ns"),
     ("histogram", "evaluation.chunk_update_ns"),
+    ("counter", "durability.wal.appends"),
+    ("counter", "durability.wal.bytes"),
+    ("counter", "durability.wal.fsyncs"),
+    ("counter", "durability.wal.rotations"),
+    ("counter", "durability.wal.torn_tails"),
+    ("counter", "durability.wal.pruned_segments"),
+    ("counter", "durability.wal.replayed_batches"),
+    ("histogram", "durability.wal.append_ns"),
+    ("counter", "durability.checkpoint.saved"),
+    ("counter", "durability.checkpoint.corrupt_skipped"),
+    ("counter", "durability.checkpoint.pruned"),
+    ("histogram", "durability.checkpoint.save_ns"),
+    ("counter", "durability.recoveries"),
+    ("histogram", "durability.recovery_ns"),
+    ("counter", "durability.supervisor.restarts"),
+    ("counter", "durability.supervisor.abandoned"),
+    ("counter", "durability.supervisor.resent_chunks"),
+    ("counter", "durability.supervisor.hung_detected"),
 )
 
 

@@ -393,7 +393,7 @@ class ShardedIngestEngine:
         for process in self._workers:
             process.join(timeout=10.0)
             if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
+                process.terminate()  # replint: disable=REP007
                 process.join(timeout=5.0)
         for pool in self._slots:
             for slot in pool:

@@ -1,0 +1,20 @@
+"""Ad-hoc process kills that bypass the seeded FaultPlan."""
+
+import os
+import signal
+
+
+os.kill(4242, signal.SIGKILL)  # module level: always flagged
+
+
+def reap(process):
+    process.terminate()  # no plan anywhere in sight
+
+
+def hard_stop(process):
+    process.kill()
+
+
+def crash_self(worker_id):
+    if worker_id == 0:
+        os._exit(1)

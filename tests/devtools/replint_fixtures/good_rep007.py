@@ -1,0 +1,20 @@
+"""Process faults routed through a seeded FaultPlan, plus audited
+supervision cleanup."""
+
+import os
+import signal
+
+
+def crash_worker(worker_id, fault_plan):
+    kill_after = fault_plan.kill_worker_at.get(worker_id)
+    if kill_after is not None:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def stop_stalled(process, injector):
+    if injector.stall_seconds(0) > 0:
+        process.terminate()
+
+
+def reap_for_shutdown(process):
+    process.kill()  # replint: disable=REP007

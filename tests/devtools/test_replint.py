@@ -173,6 +173,59 @@ class TestREP006WorkerSeedDiscipline:
         assert result.diagnostics == []
 
 
+class TestREP007FaultInjectionDiscipline:
+    def test_bad_fixture_fires(self, tmp_path):
+        result = lint_fixtures(tmp_path, "bad_rep007.py", select={"REP007"})
+        messages = [d.message for d in result.diagnostics]
+        assert len(messages) == 4
+        assert any("at module level" in m for m in messages)
+        assert any(
+            "`process.terminate()` in reap" in m for m in messages
+        )
+        assert any("`process.kill()` in hard_stop" in m for m in messages)
+        assert any("`os._exit` in crash_self" in m for m in messages)
+
+    def test_good_fixture_clean(self, tmp_path):
+        result = lint_fixtures(tmp_path, "good_rep007.py", select={"REP007"})
+        assert result.diagnostics == []
+        # The supervision-cleanup line is audited, not silently passed.
+        assert result.suppressed == 1
+
+    def test_applies_to_test_role_too(self, tmp_path):
+        tests_dir = tmp_path / "tests"
+        tests_dir.mkdir()
+        (tests_dir / "test_kill.py").write_text(
+            "def test_crash(worker):\n    worker.terminate()\n",
+            encoding="utf-8",
+        )
+        result = Linter(DEFAULT_RULES, select={"REP007"}).run(
+            [str(tests_dir)]
+        )
+        assert rule_ids(result) == ["REP007"]
+
+    def test_plan_reference_via_attribute(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "chaos.py").write_text(
+            "import os\nimport signal\n\n\n"
+            "class Harness:\n"
+            "    def crash(self, pid):\n"
+            "        if self.fault_plan.kill_worker_at:\n"
+            "            os.kill(pid, signal.SIGKILL)\n",
+            encoding="utf-8",
+        )
+        result = Linter(DEFAULT_RULES, select={"REP007"}).run([str(src)])
+        assert result.diagnostics == []
+
+    def test_live_tree_is_clean(self):
+        # Every kill in the real tree rides a fault plan or carries an
+        # explicit supervision suppression.
+        result = Linter(DEFAULT_RULES, select={"REP007"}).run(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")]
+        )
+        assert result.diagnostics == []
+
+
 # ---------------------------------------------------------------------------
 # Suppressions.
 # ---------------------------------------------------------------------------
@@ -255,6 +308,7 @@ class TestEngine:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
         ]
         for rule in DEFAULT_RULES:
             assert rule.title

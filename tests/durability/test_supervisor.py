@@ -1,0 +1,112 @@
+"""Supervised parallel engine: restart, resend, degrade — with real
+process kills.
+
+Every fault here is a *real* fault: the worker SIGKILLs itself at the
+plan-scheduled chunk, or genuinely stalls, and the supervisor has to
+notice, restart, and resend.  Streams are kept small (the CI box may
+have a single core) and assertions are on outcomes — bit-identical
+summaries, exact coverage accounting — not on timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.snapshot import snapshot
+from repro.distributed.faults import FaultPlan
+from repro.durability import SupervisorConfig, supervised_feed
+from repro.parallel.engine import parallel_feed
+from repro.parallel.plan import ShardPlan
+
+EPS = 0.01
+N = 8192
+CHUNK = 1024
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(11)
+    return rng.integers(0, 1 << 16, size=N, dtype=np.int64)
+
+
+def plan(shards: int = 2) -> ShardPlan:
+    return ShardPlan(seed=0, shards=shards, chunk_size=CHUNK)
+
+
+def quick_supervisor(**kwargs) -> SupervisorConfig:
+    defaults = dict(
+        max_restarts=2,
+        restart_backoff_s=0.05,
+        hung_timeout_s=30.0,
+        poll_interval_s=0.1,
+    )
+    defaults.update(kwargs)
+    return SupervisorConfig(**defaults)
+
+
+@pytest.mark.slow
+def test_clean_run_matches_plain_engine(data, tmp_path):
+    result = supervised_feed(
+        "gk_array", data, EPS, plan(), tmp_path,
+        supervisor=quick_supervisor(),
+    )
+    baseline, _seconds = parallel_feed("gk_array", data, EPS, plan())
+    assert result.summary is not None
+    assert snapshot(result.summary) == snapshot(baseline)
+    assert result.coverage == 1.0
+    assert result.effective_eps == EPS
+    assert result.elements_merged == result.elements_total == N
+    assert sum(result.restarts) == 0
+
+
+@pytest.mark.slow
+def test_killed_worker_is_restarted_and_result_identical(data, tmp_path):
+    faults = FaultPlan(seed=3, kill_worker_at={1: 1})
+    result = supervised_feed(
+        "gk_array", data, EPS, plan(), tmp_path,
+        faults=faults, supervisor=quick_supervisor(),
+    )
+    baseline, _seconds = parallel_feed("gk_array", data, EPS, plan())
+    assert result.summary is not None
+    assert snapshot(result.summary) == snapshot(baseline)
+    assert result.coverage == 1.0
+    assert result.restarts[1] >= 1
+    assert result.resent_chunks >= 1
+
+
+@pytest.mark.slow
+def test_stalled_worker_is_detected_and_killed(data, tmp_path):
+    faults = FaultPlan(seed=4, stall_worker={0: 30.0})
+    result = supervised_feed(
+        "gk_array", data, EPS, plan(), tmp_path,
+        faults=faults,
+        supervisor=quick_supervisor(hung_timeout_s=1.5),
+    )
+    baseline, _seconds = parallel_feed("gk_array", data, EPS, plan())
+    assert result.summary is not None
+    assert snapshot(result.summary) == snapshot(baseline)
+    assert result.hung_detected >= 1
+    assert result.restarts[0] >= 1
+
+
+@pytest.mark.slow
+def test_exhausted_budget_degrades_with_honest_accounting(data, tmp_path):
+    # Shard 0 dies at its first chunk on *every* incarnation; after the
+    # budget the supervisor abandons it and salvages its durable store.
+    faults = FaultPlan(
+        seed=5, kill_worker_at={0: 0}, repeat_worker_faults=True
+    )
+    result = supervised_feed(
+        "gk_array", data, EPS, plan(), tmp_path,
+        faults=faults,
+        supervisor=quick_supervisor(max_restarts=1),
+    )
+    assert result.summary is not None
+    assert result.abandoned_shards == (0,)
+    assert result.restarts[0] == 1
+    assert result.elements_merged < result.elements_total
+    assert result.coverage == result.elements_merged / result.elements_total
+    expected = result.coverage * EPS + (1.0 - result.coverage)
+    assert result.effective_eps == pytest.approx(expected)
+    assert result.effective_eps > EPS

@@ -48,21 +48,31 @@ def stream() -> np.ndarray:
 )
 class TestBatchBeatsScalar:
     def test_batch_ingest_is_not_slower(self, factory, stream) -> None:
-        batched = factory()
-        start = time.perf_counter()
-        batched.extend(stream)
-        batch_s = time.perf_counter() - start
+        # Timed on a possibly loaded (single-core) CI box: pass on the
+        # first of three interleaved attempts where batch wins, so one
+        # scheduler hiccup cannot fail the gate.  The real margins are
+        # 2.5-8x (BENCH_speed.json); a kernel regression loses all
+        # three attempts.
+        attempts = []
+        for _ in range(3):
+            batched = factory()
+            start = time.perf_counter()
+            batched.extend(stream)
+            batch_s = time.perf_counter() - start
 
-        looped = factory()
-        values = stream.tolist()
-        start = time.perf_counter()
-        for v in values:
-            looped.update(v)
-        scalar_s = time.perf_counter() - start
+            looped = factory()
+            values = stream.tolist()
+            start = time.perf_counter()
+            for v in values:
+                looped.update(v)
+            scalar_s = time.perf_counter() - start
 
-        assert batch_s < scalar_s, (
-            f"batch extend ({batch_s:.3f}s) slower than the scalar loop "
-            f"({scalar_s:.3f}s)"
+            if batch_s < scalar_s:
+                return
+            attempts.append((batch_s, scalar_s))
+        pytest.fail(
+            "batch extend slower than the scalar loop on every attempt "
+            f"(batch_s, scalar_s): {attempts}"
         )
 
 
