@@ -108,6 +108,20 @@ def make_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="record tracing spans and write them as JSONL to PATH",
     )
+    parser.add_argument(
+        "--telemetry-port", type=int, default=None, metavar="PORT",
+        help="serve live telemetry over HTTP for the duration of the "
+             "run: /metrics (Prometheus), /healthz, /snapshot, /tracez, "
+             "/flight, /timeline on 127.0.0.1:PORT (0 picks a free "
+             "port, printed to stderr).  Implies --metrics",
+    )
+    parser.add_argument(
+        "--flight-dir", default=None, metavar="DIR",
+        help="flight recorder: keep a bounded ring of structured events "
+             "and dump it to DIR as JSONL whenever the run degrades "
+             "(worker restart/abandon, torn WAL tail, checkpoint "
+             "fallback, chaos fault)",
+    )
     return parser
 
 
@@ -141,14 +155,38 @@ def run(
 
     registry = None
     tracer = None
+    flight_rec = None
+    server = None
     previous_recorder = obs_metrics.recorder()
+    if args.telemetry_port is not None:
+        args.metrics = True  # a server over a null recorder shows nothing
     if args.metrics:
         registry = obs_metrics.enable(obs_metrics.MetricsRegistry())
     if args.trace is not None:
         tracer = obs_trace.enable_tracing(obs_trace.Tracer())
+    if args.flight_dir is not None:
+        from repro.obs.events import enable_flight
+
+        flight_rec = enable_flight(args.flight_dir)
+    if args.telemetry_port is not None:
+        from repro.obs.server import TelemetryServer
+
+        server = TelemetryServer(port=args.telemetry_port).start()
+        print(
+            f"# telemetry: http://{server.host}:{server.port}/metrics",
+            file=sys.stderr,
+        )
     try:
         return _run(args, stdin, stdout, registry)
     finally:
+        if server is not None:
+            server.stop()
+        if flight_rec is not None:
+            from repro.obs.events import disable_flight
+
+            disable_flight()
+            for path in flight_rec.dump_paths:
+                print(f"# flight record: {path}", file=sys.stderr)
         if args.metrics:
             obs_metrics._recorder = previous_recorder
         if tracer is not None:

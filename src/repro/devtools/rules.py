@@ -64,7 +64,9 @@ _WALL_CLOCK_DATETIME = {"now", "utcnow", "today", "fromtimestamp"}
 _METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
 
 #: Recorder methods whose first argument is a metric name.
-_RECORDER_METHODS = {"inc", "set", "observe", "counter", "gauge", "histogram"}
+_RECORDER_METHODS = {
+    "inc", "set", "observe", "counter", "gauge", "histogram", "summary",
+}
 
 #: Decorator that exempts a function from REP004.
 _ASSERT_ALLOWLIST_DECORATOR = "debug_asserts"

@@ -36,6 +36,7 @@ from repro.core.base import QuantileSketch
 from repro.distributed.faults import FaultInjector, FaultPlan
 from repro.durability.ingest import DurabilityConfig, DurableIngest
 from repro.durability.wal import _SEG_HEADER
+from repro.obs.events import record_event
 
 
 def _coerce_injector(
@@ -102,6 +103,14 @@ def apply_storage_faults(
                 injector.corrupt_blob(blob, src=store_id, seq=5)
             )
             report.corrupted_checkpoint = target.name
+    if report.truncated_bytes or report.corrupted_checkpoint:
+        record_event(
+            "chaos.storage_fault",
+            store_id=store_id,
+            truncated_bytes=report.truncated_bytes,
+            torn_segment=report.torn_segment,
+            corrupted_checkpoint=report.corrupted_checkpoint,
+        )
     return report
 
 

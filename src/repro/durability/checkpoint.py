@@ -41,6 +41,7 @@ from repro.core.errors import CorruptSummaryError
 from repro.core.snapshot import decode_payload, encode_payload, restore, snapshot
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.obs.events import record_event
 
 _CKPT_PREFIX = "ckpt-"
 _CKPT_SUFFIX = ".ck"
@@ -156,6 +157,9 @@ class CheckpointManager:
                 self.corrupt_skipped += 1
                 if rec.enabled:
                     rec.inc("durability.checkpoint.corrupt_skipped", 1)
+                record_event(
+                    "checkpoint.fallback", skipped=path.name
+                )
                 continue
             return Checkpoint(summary, wal_seq, path)
         return None

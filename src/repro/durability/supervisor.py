@@ -66,6 +66,7 @@ from repro.durability.chaos import apply_storage_faults
 from repro.durability.ingest import DurabilityConfig, DurableIngest
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.obs.events import record_event
 from repro.parallel.engine import _start_method
 from repro.parallel.plan import ShardPlan
 from repro.parallel.shm import (
@@ -232,7 +233,9 @@ def _supervised_worker(
                     if registry is not None
                     else []
                 )
-                span_events = tracer.events if tracer is not None else []
+                span_batch = (
+                    tracer.export_batch() if tracer is not None else None
+                )
                 reply_conn.send(
                     (
                         "result",
@@ -240,7 +243,7 @@ def _supervised_worker(
                         incarnation,
                         blob,
                         metrics_state,
-                        span_events,
+                        span_batch,
                     )
                 )
             elif kind == "stop":
@@ -372,9 +375,11 @@ class SupervisedIngestEngine:
             self._dtype,
         )
         self._started = True
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.set("telemetry.engine.up", 1)
         for worker_id in range(self.plan.shards):
             self._spawn(worker_id)
-        rec = obs_metrics.recorder()
         if rec.enabled:
             rec.set("parallel.workers", self.plan.shards)
 
@@ -412,6 +417,15 @@ class SupervisedIngestEngine:
         # predecessor was sent; _on_ready re-issues it when finishing.
         self._finish_sent[worker_id] = False
         self._last_reply[worker_id] = time.monotonic()
+        # Heartbeat gauges the /healthz endpoint reads live.
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.set("telemetry.shard.alive", 1, worker=worker_id)
+            rec.set(
+                "telemetry.shard.restarts_remaining",
+                self.supervisor.max_restarts - self._restarts[worker_id],
+                worker=worker_id,
+            )
 
     # -- supervision ----------------------------------------------------
 
@@ -475,6 +489,12 @@ class SupervisedIngestEngine:
         self._ready[worker_id] = True
         self._free[worker_id] = list(range(SLOTS_PER_WORKER))
         self._last_reply[worker_id] = time.monotonic()
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.set(
+                "telemetry.shard.high_water_seq", next_seq,
+                worker=worker_id,
+            )
         pending = self._pending[worker_id]
         self._pending[worker_id] = OrderedDict()
         resend = 0
@@ -499,6 +519,14 @@ class SupervisedIngestEngine:
         self._free[worker_id].append(slot)
         self._pending[worker_id].pop(ordinal, None)
         self._last_reply[worker_id] = time.monotonic()
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            # The ack means ordinal is durably applied: seqs < ordinal+1
+            # will never be resent to this shard.
+            rec.set(
+                "telemetry.shard.high_water_seq", ordinal + 1,
+                worker=worker_id,
+            )
 
     def _check_health(self) -> None:
         now = time.monotonic()
@@ -522,6 +550,11 @@ class SupervisedIngestEngine:
                 rec = obs_metrics.recorder()
                 if rec.enabled:
                     rec.inc("durability.supervisor.hung_detected", 1)
+                record_event(
+                    "supervisor.hung",
+                    worker=worker_id,
+                    silent_s=round(now - self._last_reply[worker_id], 3),
+                )
                 # Remediation of a hung worker the seeded plan stalled —
                 # the fault itself was injected in-worker via the plan.
                 process.kill()  # replint: disable=REP007
@@ -542,6 +575,9 @@ class SupervisedIngestEngine:
             conn.close()
             self._reply_conns[worker_id] = None
         self._ready[worker_id] = False
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.set("telemetry.shard.alive", 0, worker=worker_id)
         if self._restarts[worker_id] >= self.supervisor.max_restarts:
             self._abandon(worker_id, reason)
             return
@@ -562,9 +598,15 @@ class SupervisedIngestEngine:
                 self._injector,
                 store_id=worker_id,
             )
-        rec = obs_metrics.recorder()
         if rec.enabled:
             rec.inc("durability.supervisor.restarts", 1)
+        record_event(
+            "supervisor.restart",
+            worker=worker_id,
+            incarnation=self._incarnation[worker_id],
+            restarts_used=self._restarts[worker_id],
+            reason=reason.splitlines()[0] if reason else "",
+        )
         with obs_trace.span(
             "durability.supervisor.restart",
             worker=worker_id,
@@ -582,6 +624,16 @@ class SupervisedIngestEngine:
         rec = obs_metrics.recorder()
         if rec.enabled:
             rec.inc("durability.supervisor.abandoned", 1)
+            rec.set("telemetry.shard.abandoned", 1, worker=worker_id)
+            rec.set(
+                "telemetry.shard.restarts_remaining", 0, worker=worker_id
+            )
+        record_event(
+            "supervisor.abandon",
+            worker=worker_id,
+            restarts_used=self._restarts[worker_id],
+            reason=reason.splitlines()[0] if reason else "",
+        )
 
     # -- dispatch -------------------------------------------------------
 
@@ -645,7 +697,7 @@ class SupervisedIngestEngine:
             self._finish_sent[worker_id] = True
 
     def _on_result(self, reply: Any) -> None:
-        _, worker_id, incarnation, blob, metrics_state, span_events = reply
+        _, worker_id, incarnation, blob, metrics_state, span_batch = reply
         if (
             incarnation != self._incarnation[worker_id]
             or self._abandoned[worker_id]
@@ -657,8 +709,8 @@ class SupervisedIngestEngine:
         if metrics_state and isinstance(rec, obs_metrics.MetricsRegistry):
             obs_metrics.absorb_state(rec, metrics_state, worker=worker_id)
         parent_tracer = obs_trace.tracer()
-        if span_events and parent_tracer is not None:
-            parent_tracer.ingest(span_events, worker=worker_id)
+        if span_batch and parent_tracer is not None:
+            parent_tracer.ingest(span_batch, worker=worker_id)
 
     def _salvage(self, worker_id: int) -> Optional[QuantileSketch]:
         """Recover an abandoned shard's durable state in the parent."""
@@ -776,6 +828,11 @@ class SupervisedIngestEngine:
         if self._closed:
             return
         self._closed = True
+        rec = obs_metrics.recorder()
+        if rec.enabled and self._started:
+            rec.set("telemetry.engine.up", 0)
+            for worker_id in range(self.plan.shards):
+                rec.set("telemetry.shard.alive", 0, worker=worker_id)
         for task_queue in self._task_queues:
             if task_queue is None:
                 continue

@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -59,6 +60,7 @@ import numpy as np
 
 from repro.core.errors import DurabilityError, InvalidParameterError
 from repro.obs import metrics as obs_metrics
+from repro.obs.events import record_event
 
 #: Segment file magic ("Repro Quantile Write-ahead Log").
 MAGIC = b"RQWL"
@@ -176,6 +178,12 @@ class WriteAheadLog:
                     fh.truncate(good_end)
                 if rec.enabled:
                     rec.inc("durability.wal.torn_tails", 1)
+                record_event(
+                    "wal.torn_tail",
+                    segment=path.name,
+                    truncated_to=good_end,
+                    problem=problem,
+                )
             first = frames[0][0] if frames else None
             last = frames[-1][0] if frames else None
             self._segments.append(_Segment(index, path, first, last))
@@ -289,6 +297,7 @@ class WriteAheadLog:
         """
         if self._closed:
             raise DurabilityError("write-ahead log is closed")
+        start = time.perf_counter_ns()
         batch = np.ascontiguousarray(np.asarray(values, dtype=self.dtype))
         payload = batch.tobytes()
         seq = self._next_seq
@@ -315,6 +324,9 @@ class WriteAheadLog:
             rec.inc("durability.wal.bytes", len(frame))
             if self.fsync == "always":
                 rec.inc("durability.wal.fsyncs", 1)
+            rec.summary("latency.wal_append_ns").observe(
+                time.perf_counter_ns() - start
+            )
         if self._active_size >= self.segment_bytes:
             self._seal_active()
         return seq

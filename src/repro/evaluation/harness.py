@@ -158,11 +158,15 @@ def feed_stream(
         update_s += mid - start
         sample_s += done - mid
         if rec.enabled:
+            chunk_ns = 1e9 * (mid - start)
             rec.observe(
-                "evaluation.chunk_update_ns",
-                1e9 * (mid - start),
-                algo=sketch.name,
+                "evaluation.chunk_update_ns", chunk_ns, algo=sketch.name
             )
+            # Dogfooded: the same duration into a KLL summary, so the
+            # exported p99 is a true quantile, not a bucket midpoint.
+            rec.summary(
+                "latency.chunk_update_ns", algo=sketch.name
+            ).observe(chunk_ns)
 
     with span("evaluation.feed_stream", algo=sketch.name, n=len(data)):
         for lo in range(0, len(data), chunk):
@@ -216,11 +220,14 @@ def _feed_durable(
             update_s += mid - start
             sample_s += done - mid
             if rec.enabled:
+                chunk_ns = 1e9 * (mid - start)
                 rec.observe(
-                    "evaluation.chunk_update_ns",
-                    1e9 * (mid - start),
+                    "evaluation.chunk_update_ns", chunk_ns,
                     algo=sketch.name,
                 )
+                rec.summary(
+                    "latency.chunk_update_ns", algo=sketch.name
+                ).observe(chunk_ns)
         start = time.perf_counter()
         tracker.sample()
         sample_s += time.perf_counter() - start
@@ -247,6 +254,8 @@ def run_experiment(
     batch_size: Optional[int] = None,
     parallel: Optional[int] = None,
     durable: Optional[Any] = None,
+    telemetry_port: Optional[int] = None,
+    flight_dir: Optional[Any] = None,
     **kwargs: Any,
 ) -> RunResult:
     """Run one full measurement: build, stream, and evaluate.
@@ -284,6 +293,16 @@ def run_experiment(
             Each repeat gets its own ``run-<i>`` subdirectory (repeats
             use different seeds, and a store is pinned to one spec).
             Insertion-only.
+        telemetry_port: serve live telemetry for the duration of the
+            run: a :class:`repro.obs.TelemetryServer` on this port (0
+            picks a free one; the bound port lands in
+            ``RunResult.extra["telemetry_port"]``).  Implies
+            ``collect_metrics``.
+        flight_dir: install a flight recorder dumping JSONL post-mortems
+            into this directory when the run degrades (supervisor
+            restarts, torn WAL tails, ...).  It stays installed after
+            the run, like the metrics recorder, so late events are
+            still captured.
         **kwargs: forwarded to the algorithm constructor (width, depth,
             eta, ...).
 
@@ -292,224 +311,241 @@ def run_experiment(
     alongside the ``ingest_path`` feed_stream actually took
     (``update_batch`` / ``extend`` / ``update-loop``).
     """
-    if collect_metrics:
-        obs_metrics.enable()
-    if parallel is not None:
-        if parallel < 1:
-            raise InvalidParameterError(
-                f"parallel must be >= 1, got {parallel!r}"
-            )
-        if deletions is not None and len(deletions):
-            raise InvalidParameterError(
-                "parallel ingest supports insertion-only streams; feed "
-                "deletion workloads serially"
-            )
-    durable_cfg = None
-    if durable is not None:
-        from repro.durability.ingest import DurabilityConfig
+    if flight_dir is not None:
+        from repro.obs.events import enable_flight
 
-        durable_cfg = DurabilityConfig.coerce(durable)
-        if deletions is not None and len(deletions):
-            raise InvalidParameterError(
-                "durable ingest supports insertion-only streams: WAL "
-                "frames carry insertion batches"
-            )
-    if deletions is not None and len(deletions):
-        counts: Dict[int, int] = {}
-        for v in data.tolist():
-            counts[v] = counts.get(v, 0) + 1
-        for v in deletions.tolist():
-            counts[v] = counts.get(v, 0) - 1
-            if counts[v] < 0:
+        enable_flight(flight_dir)
+    server = None
+    if telemetry_port is not None:
+        from repro.obs.server import TelemetryServer
+
+        # A server without a collecting registry would expose nothing.
+        collect_metrics = True
+        server = TelemetryServer(port=telemetry_port).start()
+    try:
+        if collect_metrics:
+            obs_metrics.enable()
+        if parallel is not None:
+            if parallel < 1:
                 raise InvalidParameterError(
-                    "deletions must form a sub-multiset of the insertions"
+                    f"parallel must be >= 1, got {parallel!r}"
                 )
-        remaining = [v for v, c in counts.items() for _ in range(c)]
-        sorted_truth = np.sort(np.asarray(remaining, dtype=data.dtype))
-    else:
-        sorted_truth = np.sort(data)
-
-    cls = get_algorithm(algorithm)
-    effective_repeats = repeats if not cls.deterministic else 1
-    post_eta = kwargs.pop("eta", 0.1) if post_process else None
-
-    max_errors = []
-    avg_errors = []
-    elapsed = 0.0
-    peak = 0
-    phases: Dict[str, float] = {}
-    extra: Dict[str, object] = {}
-    durable_extra: Dict[str, object] = {}
-    for i in range(effective_repeats):
-        timings: Dict[str, Any] = {}
-        repeat_durable = None
-        if durable_cfg is not None:
-            from pathlib import Path
-
+            if deletions is not None and len(deletions):
+                raise InvalidParameterError(
+                    "parallel ingest supports insertion-only streams; feed "
+                    "deletion workloads serially"
+                )
+        durable_cfg = None
+        if durable is not None:
             from repro.durability.ingest import DurabilityConfig
 
-            repeat_durable = DurabilityConfig(
-                directory=Path(durable_cfg.directory) / f"run-{i:02d}",
-                checkpoint_interval=durable_cfg.checkpoint_interval,
-                keep_checkpoints=durable_cfg.keep_checkpoints,
-                fsync=durable_cfg.fsync,
-                segment_bytes=durable_cfg.segment_bytes,
-                validate_restore=durable_cfg.validate_restore,
-            )
-        if parallel is not None and repeat_durable is not None:
-            from repro.durability.supervisor import SupervisedIngestEngine
-            from repro.parallel.plan import DEFAULT_CHUNK_SIZE, ShardPlan
-
-            plan = ShardPlan(
-                seed=seed + 1000 * i,
-                shards=parallel,
-                chunk_size=(
-                    batch_size if batch_size is not None
-                    else DEFAULT_CHUNK_SIZE
-                ),
-            )
-            build_start = time.perf_counter()
-            with SupervisedIngestEngine(
-                algorithm, eps, plan, repeat_durable,
-                universe_log2=universe_log2,
-                collect_metrics=collect_metrics,
-                dtype=data.dtype,
-                **kwargs,
-            ) as engine:
-                build_s = time.perf_counter() - build_start
-                feed_start = time.perf_counter()
-                engine.ingest(data)
-                supervised = engine.finish()
-                run_elapsed = time.perf_counter() - feed_start
-            if supervised.summary is None:
+            durable_cfg = DurabilityConfig.coerce(durable)
+            if deletions is not None and len(deletions):
                 raise InvalidParameterError(
-                    "supervised run lost every shard; nothing to evaluate"
+                    "durable ingest supports insertion-only streams: WAL "
+                    "frames carry insertion batches"
                 )
-            sketch = supervised.summary
-            run_peak = sketch.size_words()
-            timings.update(
-                update_s=run_elapsed,
-                sample_s=0.0,
-                ingest_path=f"supervised[{parallel}]",
-            )
-            if i == 0:
-                durable_extra["coverage"] = supervised.coverage
-                durable_extra["effective_eps"] = supervised.effective_eps
-        elif parallel is not None:
-            from repro.parallel.engine import ShardedIngestEngine
-            from repro.parallel.plan import DEFAULT_CHUNK_SIZE, ShardPlan
-
-            plan = ShardPlan(
-                seed=seed + 1000 * i,
-                shards=parallel,
-                chunk_size=(
-                    batch_size if batch_size is not None
-                    else DEFAULT_CHUNK_SIZE
-                ),
-            )
-            build_start = time.perf_counter()
-            with ShardedIngestEngine(
-                algorithm, eps, plan,
-                universe_log2=universe_log2,
-                collect_metrics=collect_metrics,
-                dtype=data.dtype,
-                **kwargs,
-            ) as engine:
-                build_s = time.perf_counter() - build_start
-                feed_start = time.perf_counter()
-                engine.ingest(data)
-                sketch = engine.finish()
-                run_elapsed = time.perf_counter() - feed_start
-            run_peak = engine.worker_peak_words
-            timings.update(
-                update_s=run_elapsed,
-                sample_s=0.0,
-                ingest_path=f"parallel[{parallel}]",
-            )
-        elif repeat_durable is not None:
-            from repro.durability.ingest import DurableIngest
-
-            build_start = time.perf_counter()
-            store = DurableIngest(
-                repeat_durable, algorithm, eps,
-                universe_log2=universe_log2,
-                seed=seed + 1000 * i,
-                dtype=data.dtype,
-                **kwargs,
-            )
-            build_s = time.perf_counter() - build_start
-            run_elapsed, run_peak = _feed_durable(
-                store, data,
-                batch_size if batch_size is not None else 4096,
-                timings,
-            )
-            sketch = store.finish()
-            if i == 0:
-                durable_extra["durable"] = {
-                    "fsync": repeat_durable.fsync,
-                    "checkpoint_interval":
-                        repeat_durable.checkpoint_interval,
-                    "recovered": store.recovery.recovered,
-                    "replayed_batches": store.recovery.replayed_batches,
-                    "wal_appends": store.wal.batches(),
-                }
+        if deletions is not None and len(deletions):
+            counts: Dict[int, int] = {}
+            for v in data.tolist():
+                counts[v] = counts.get(v, 0) + 1
+            for v in deletions.tolist():
+                counts[v] = counts.get(v, 0) - 1
+                if counts[v] < 0:
+                    raise InvalidParameterError(
+                        "deletions must form a sub-multiset of the insertions"
+                    )
+            remaining = [v for v, c in counts.items() for _ in range(c)]
+            sorted_truth = np.sort(np.asarray(remaining, dtype=data.dtype))
         else:
-            build_start = time.perf_counter()
-            sketch = build_sketch(
-                algorithm, eps, universe_log2, seed + 1000 * i, **kwargs
-            )
-            build_s = time.perf_counter() - build_start
-            run_elapsed, run_peak = feed_stream(
-                sketch, data, deletions, timings=timings,
-                batch_size=batch_size,
-            )
-        # The OLS snapshot lives beyond the base interface (DCS only).
-        target: Any = sketch
-        if post_process:
-            target = target.post_processed(eta=post_eta)
-        query_start = time.perf_counter()
-        with span("evaluation.measure_errors", algo=sketch.name):
-            report: ErrorReport = measure_errors(
-                target, sorted_truth, eps, max_queries
-            )
-        query_s = time.perf_counter() - query_start
-        if i == 0:
-            elapsed, peak = run_elapsed, run_peak
-            phases = {
-                "build_s": build_s,
-                "update_s": float(timings["update_s"]),
-                "sample_s": float(timings["sample_s"]),
-                "query_s": query_s,
-            }
-            extra = {**phases, "ingest_path": timings["ingest_path"]}
-            if parallel is not None:
-                extra["workers"] = parallel
-            extra.update(durable_extra)
-        max_errors.append(report.max_error)
-        avg_errors.append(report.avg_error)
+            sorted_truth = np.sort(data)
 
-    n_effective = len(sorted_truth)
-    rec = obs_metrics.recorder()
-    if rec.enabled:
-        rec.inc("evaluation.runs", 1, algo=algorithm)
-        rec.set("evaluation.stream.n", len(data))
-        for phase_name, seconds in phases.items():
-            rec.observe(
-                "evaluation.phase_ns",
-                1e9 * seconds,
-                phase=phase_name[:-2],
-                algo=algorithm,
-            )
-    return RunResult(
-        algorithm=algorithm + ("+post" if post_process else ""),
-        eps=eps,
-        n=n_effective,
-        update_time_us=1e6 * elapsed / max(1, len(data)),
-        peak_words=peak,
-        max_error=float(np.mean(max_errors)),
-        avg_error=float(np.mean(avg_errors)),
-        repeats=effective_repeats,
-        extra=extra,
-    )
+        cls = get_algorithm(algorithm)
+        effective_repeats = repeats if not cls.deterministic else 1
+        post_eta = kwargs.pop("eta", 0.1) if post_process else None
+
+        max_errors = []
+        avg_errors = []
+        elapsed = 0.0
+        peak = 0
+        phases: Dict[str, float] = {}
+        extra: Dict[str, object] = {}
+        durable_extra: Dict[str, object] = {}
+        for i in range(effective_repeats):
+            timings: Dict[str, Any] = {}
+            repeat_durable = None
+            if durable_cfg is not None:
+                from pathlib import Path
+
+                from repro.durability.ingest import DurabilityConfig
+
+                repeat_durable = DurabilityConfig(
+                    directory=Path(durable_cfg.directory) / f"run-{i:02d}",
+                    checkpoint_interval=durable_cfg.checkpoint_interval,
+                    keep_checkpoints=durable_cfg.keep_checkpoints,
+                    fsync=durable_cfg.fsync,
+                    segment_bytes=durable_cfg.segment_bytes,
+                    validate_restore=durable_cfg.validate_restore,
+                )
+            if parallel is not None and repeat_durable is not None:
+                from repro.durability.supervisor import SupervisedIngestEngine
+                from repro.parallel.plan import DEFAULT_CHUNK_SIZE, ShardPlan
+
+                plan = ShardPlan(
+                    seed=seed + 1000 * i,
+                    shards=parallel,
+                    chunk_size=(
+                        batch_size if batch_size is not None
+                        else DEFAULT_CHUNK_SIZE
+                    ),
+                )
+                build_start = time.perf_counter()
+                with SupervisedIngestEngine(
+                    algorithm, eps, plan, repeat_durable,
+                    universe_log2=universe_log2,
+                    collect_metrics=collect_metrics,
+                    dtype=data.dtype,
+                    **kwargs,
+                ) as engine:
+                    build_s = time.perf_counter() - build_start
+                    feed_start = time.perf_counter()
+                    engine.ingest(data)
+                    supervised = engine.finish()
+                    run_elapsed = time.perf_counter() - feed_start
+                if supervised.summary is None:
+                    raise InvalidParameterError(
+                        "supervised run lost every shard; nothing to evaluate"
+                    )
+                sketch = supervised.summary
+                run_peak = sketch.size_words()
+                timings.update(
+                    update_s=run_elapsed,
+                    sample_s=0.0,
+                    ingest_path=f"supervised[{parallel}]",
+                )
+                if i == 0:
+                    durable_extra["coverage"] = supervised.coverage
+                    durable_extra["effective_eps"] = supervised.effective_eps
+            elif parallel is not None:
+                from repro.parallel.engine import ShardedIngestEngine
+                from repro.parallel.plan import DEFAULT_CHUNK_SIZE, ShardPlan
+
+                plan = ShardPlan(
+                    seed=seed + 1000 * i,
+                    shards=parallel,
+                    chunk_size=(
+                        batch_size if batch_size is not None
+                        else DEFAULT_CHUNK_SIZE
+                    ),
+                )
+                build_start = time.perf_counter()
+                with ShardedIngestEngine(
+                    algorithm, eps, plan,
+                    universe_log2=universe_log2,
+                    collect_metrics=collect_metrics,
+                    dtype=data.dtype,
+                    **kwargs,
+                ) as engine:
+                    build_s = time.perf_counter() - build_start
+                    feed_start = time.perf_counter()
+                    engine.ingest(data)
+                    sketch = engine.finish()
+                    run_elapsed = time.perf_counter() - feed_start
+                run_peak = engine.worker_peak_words
+                timings.update(
+                    update_s=run_elapsed,
+                    sample_s=0.0,
+                    ingest_path=f"parallel[{parallel}]",
+                )
+            elif repeat_durable is not None:
+                from repro.durability.ingest import DurableIngest
+
+                build_start = time.perf_counter()
+                store = DurableIngest(
+                    repeat_durable, algorithm, eps,
+                    universe_log2=universe_log2,
+                    seed=seed + 1000 * i,
+                    dtype=data.dtype,
+                    **kwargs,
+                )
+                build_s = time.perf_counter() - build_start
+                run_elapsed, run_peak = _feed_durable(
+                    store, data,
+                    batch_size if batch_size is not None else 4096,
+                    timings,
+                )
+                sketch = store.finish()
+                if i == 0:
+                    durable_extra["durable"] = {
+                        "fsync": repeat_durable.fsync,
+                        "checkpoint_interval":
+                            repeat_durable.checkpoint_interval,
+                        "recovered": store.recovery.recovered,
+                        "replayed_batches": store.recovery.replayed_batches,
+                        "wal_appends": store.wal.batches(),
+                    }
+            else:
+                build_start = time.perf_counter()
+                sketch = build_sketch(
+                    algorithm, eps, universe_log2, seed + 1000 * i, **kwargs
+                )
+                build_s = time.perf_counter() - build_start
+                run_elapsed, run_peak = feed_stream(
+                    sketch, data, deletions, timings=timings,
+                    batch_size=batch_size,
+                )
+            # The OLS snapshot lives beyond the base interface (DCS only).
+            target: Any = sketch
+            if post_process:
+                target = target.post_processed(eta=post_eta)
+            query_start = time.perf_counter()
+            with span("evaluation.measure_errors", algo=sketch.name):
+                report: ErrorReport = measure_errors(
+                    target, sorted_truth, eps, max_queries
+                )
+            query_s = time.perf_counter() - query_start
+            if i == 0:
+                elapsed, peak = run_elapsed, run_peak
+                phases = {
+                    "build_s": build_s,
+                    "update_s": float(timings["update_s"]),
+                    "sample_s": float(timings["sample_s"]),
+                    "query_s": query_s,
+                }
+                extra = {**phases, "ingest_path": timings["ingest_path"]}
+                if parallel is not None:
+                    extra["workers"] = parallel
+                extra.update(durable_extra)
+            max_errors.append(report.max_error)
+            avg_errors.append(report.avg_error)
+
+        if server is not None:
+            extra["telemetry_port"] = server.port
+        n_effective = len(sorted_truth)
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc("evaluation.runs", 1, algo=algorithm)
+            rec.set("evaluation.stream.n", len(data))
+            for phase_name, seconds in phases.items():
+                rec.observe(
+                    "evaluation.phase_ns",
+                    1e9 * seconds,
+                    phase=phase_name[:-2],
+                    algo=algorithm,
+                )
+        return RunResult(
+            algorithm=algorithm + ("+post" if post_process else ""),
+            eps=eps,
+            n=n_effective,
+            update_time_us=1e6 * elapsed / max(1, len(data)),
+            peak_words=peak,
+            max_error=float(np.mean(max_errors)),
+            avg_error=float(np.mean(avg_errors)),
+            repeats=effective_repeats,
+            extra=extra,
+        )
+    finally:
+        if server is not None:
+            server.stop()
 
 

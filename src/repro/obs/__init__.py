@@ -1,11 +1,25 @@
 """Observability: metrics registry, tracing spans, exposition.
 
-The instrumentation substrate every other package records into.  See
+The instrumentation substrate every other package records into, plus
+the live telemetry plane: an HTTP exposition server
+(:class:`TelemetryServer`), a flight recorder that dumps a JSONL
+post-mortem when a run degrades, Chrome-trace timelines, and KLL-backed
+latency summaries (the repo's own sketches measuring the repo).  See
 ``docs/observability.md`` for the API, naming conventions, and measured
 overhead of the disabled path.
 """
 
+from repro.obs.events import (
+    DEGRADE_KINDS,
+    EventLog,
+    FlightRecorder,
+    disable_flight,
+    enable_flight,
+    flight,
+    record_event,
+)
 from repro.obs.export import report, to_json, to_prometheus
+from repro.obs.latency import Summary, timed
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -19,6 +33,8 @@ from repro.obs.metrics import (
     preregister_defaults,
     recorder,
 )
+from repro.obs.server import TelemetryServer
+from repro.obs.timeline import to_chrome_trace, write_chrome_trace
 from repro.obs.trace import (
     Tracer,
     disable_tracing,
@@ -29,22 +45,34 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "DEGRADE_KINDS",
+    "EventLog",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
+    "Summary",
+    "TelemetryServer",
     "Tracer",
     "collecting",
     "disable",
+    "disable_flight",
     "disable_tracing",
     "enable",
+    "enable_flight",
     "enable_tracing",
+    "flight",
     "preregister_defaults",
+    "record_event",
     "recorder",
     "report",
     "span",
+    "timed",
+    "to_chrome_trace",
     "to_json",
     "to_prometheus",
     "tracer",
+    "write_chrome_trace",
 ]

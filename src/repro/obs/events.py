@@ -1,0 +1,206 @@
+"""Structured event log with a bounded flight-recorder ring.
+
+Metrics aggregate, spans time — neither answers "*what happened*, in
+order, just before the run degraded?".  This module keeps a bounded
+ring of structured events (a ``deque`` — old events age out, recent
+history survives) and, when a *degrade* event lands (supervisor
+restart/abandon/hang, WAL torn-tail repair, checkpoint fallback, chaos
+storage damage), dumps the whole ring as a JSONL post-mortem artifact.
+Every degraded run leaves evidence; a clean run writes nothing.
+
+Like the metrics recorder and tracer, the flight recorder is a
+process-wide singleton that costs one ``None`` check when disabled:
+
+    from repro.obs import events as obs_events
+
+    obs_events.enable_flight("artifacts/flight")   # dump dir optional
+    obs_events.record_event("supervisor.restart", worker=3, reason="died")
+
+Event kinds follow the metric naming convention
+(``<subsystem>.<what>``); the set of degrade kinds that trigger a dump
+is :data:`DEGRADE_KINDS`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Union
+
+from repro.core.errors import InvalidParameterError
+
+#: Event kinds that mean the run degraded: each one triggers a flight
+#: dump (when a dump directory is configured) so the ring around the
+#: moment of damage is preserved.
+DEGRADE_KINDS = frozenset(
+    {
+        "supervisor.restart",
+        "supervisor.abandon",
+        "supervisor.hung",
+        "wal.torn_tail",
+        "checkpoint.fallback",
+        "chaos.storage_fault",
+    }
+)
+
+
+class EventLog:
+    """A bounded ring of structured events.
+
+    Args:
+        max_events: ring capacity; the oldest events age out (counted in
+            :attr:`evicted`) so a long run keeps recent history in
+            constant memory.
+        clock: unix-seconds clock, injectable for tests.  Timestamps are
+            observational (post-mortems need real time); they feed no
+            algorithm.
+    """
+
+    def __init__(self, max_events: int = 4096, clock=None) -> None:
+        if max_events < 1:
+            raise InvalidParameterError(
+                f"max_events must be >= 1, got {max_events!r}"
+            )
+        self.max_events = max_events
+        self._clock = clock if clock is not None else time.time  # replint: disable=REP001
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=max_events)
+        self.seq = 0
+        self.evicted = 0
+
+    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event; returns the stored record."""
+        event: Dict[str, Any] = {
+            "seq": self.seq,
+            "unix_s": round(float(self._clock()), 6),
+            "kind": kind,
+        }
+        event.update(fields)
+        if len(self._ring) == self.max_events:
+            self.evicted += 1
+        self._ring.append(event)
+        self.seq += 1
+        return event
+
+    def events(self, tail: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The ring's contents oldest-first (last ``tail`` when given)."""
+        items = list(self._ring)
+        if tail is not None:
+            items = items[-tail:]
+        return items
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, oldest first."""
+        return "\n".join(json.dumps(event) for event in self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class FlightRecorder:
+    """An :class:`EventLog` that dumps itself when the run degrades.
+
+    Args:
+        directory: where dump files go; ``None`` records the ring but
+            never writes (the ``/flight`` endpoint can still read it).
+        max_events: ring capacity.
+        degrade_kinds: event kinds that trigger a dump.
+        clock: forwarded to the :class:`EventLog`.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        max_events: int = 4096,
+        degrade_kinds: frozenset = DEGRADE_KINDS,
+        clock=None,
+    ) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.degrade_kinds = degrade_kinds
+        self.log = EventLog(max_events=max_events, clock=clock)
+        self.dumps = 0
+        #: Paths of the dump files written so far, in order.
+        self.dump_paths: List[Path] = []
+
+    def record(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event; degrade kinds also dump the ring."""
+        from repro.obs import metrics as obs_metrics
+
+        evicted_before = self.log.evicted
+        event = self.log.emit(kind, **fields)
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc("flight.events", 1)
+            if self.log.evicted > evicted_before:
+                rec.inc("flight.dropped", self.log.evicted - evicted_before)
+        if kind in self.degrade_kinds and self.directory is not None:
+            self.dump(reason=kind)
+        return event
+
+    def dump(self, reason: str = "manual") -> Optional[Path]:
+        """Write the ring as JSONL into the dump directory."""
+        if self.directory is None:
+            return None
+        self.directory.mkdir(parents=True, exist_ok=True)
+        safe = reason.replace("/", "_").replace(".", "-")
+        path = self.directory / f"flight-{self.dumps:03d}-{safe}.jsonl"
+        text = self.log.to_jsonl()
+        with open(path, "w", encoding="utf-8") as fh:
+            if text:
+                fh.write(text + "\n")
+        self.dumps += 1
+        self.dump_paths.append(path)
+        from repro.obs import metrics as obs_metrics
+
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc("flight.dumps", 1)
+        return path
+
+
+_flight: Optional[FlightRecorder] = None
+
+
+def flight() -> Optional[FlightRecorder]:
+    """The active flight recorder, or None when disabled."""
+    return _flight
+
+
+def enable_flight(
+    directory: Optional[Union[str, Path]] = None,
+    max_events: int = 4096,
+    instance: Optional[FlightRecorder] = None,
+) -> FlightRecorder:
+    """Install (and return) the process-wide flight recorder.
+
+    Pass ``instance`` to install a pre-built recorder (tests); otherwise
+    a fresh one is created with ``directory``/``max_events``.
+    """
+    global _flight
+    if instance is not None:
+        if not isinstance(instance, FlightRecorder):
+            raise InvalidParameterError(
+                f"expected a FlightRecorder, got {type(instance).__name__}"
+            )
+        _flight = instance
+    else:
+        _flight = FlightRecorder(directory=directory, max_events=max_events)
+    return _flight
+
+
+def disable_flight() -> None:
+    """Uninstall the flight recorder: events revert to no-ops."""
+    global _flight
+    _flight = None
+
+
+def record_event(kind: str, **fields: Any) -> None:
+    """Record a structured event into the active flight recorder.
+
+    A no-op (one module-global ``None`` check) when no recorder is
+    installed — instrumented call sites need no guard of their own.
+    """
+    active = _flight
+    if active is not None:
+        active.record(kind, **fields)

@@ -17,6 +17,7 @@ import math
 import re
 from typing import Dict, List
 
+from repro.obs.latency import EXPORT_QUANTILES
 from repro.obs.metrics import Histogram, MetricsRegistry
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
@@ -26,10 +27,24 @@ def _prom_name(name: str) -> str:
     return "repro_" + _NAME_RE.sub("_", name)
 
 
+def _escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote, and line-feed are the three characters that
+    would otherwise terminate or corrupt the ``name="value"`` syntax."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in labels
+    )
     return "{" + inner + "}"
 
 
@@ -58,6 +73,21 @@ def to_prometheus(registry: MetricsRegistry) -> str:
                 lines.append(f"{name}_bucket{le} {cum}")
             le = _prom_labels(tuple(inst.labels) + (("le", "+Inf"),))
             lines.append(f"{name}_bucket{le} {inst.count}")
+            lines.append(
+                f"{name}_sum{_prom_labels(inst.labels)} {_num(inst.total)}"
+            )
+            lines.append(
+                f"{name}_count{_prom_labels(inst.labels)} {inst.count}"
+            )
+        elif inst.kind == "summary":
+            # Dogfooded KLL summaries: true quantiles, not bucket
+            # midpoints (repro.obs.latency).
+            values = inst.quantiles(EXPORT_QUANTILES)
+            for q, value in zip(EXPORT_QUANTILES, values):
+                qlabel = _prom_labels(
+                    tuple(inst.labels) + (("quantile", _num(q)),)
+                )
+                lines.append(f"{name}{qlabel} {_num(float(value))}")
             lines.append(
                 f"{name}_sum{_prom_labels(inst.labels)} {_num(inst.total)}"
             )
@@ -109,6 +139,13 @@ def report(registry: MetricsRegistry, title: str = "metrics report") -> str:
                     f"p50={_fmt(inst.quantile(0.5))} "
                     f"p99={_fmt(inst.quantile(0.99))} "
                     f"max={_fmt(inst.max if inst.count else 0)}"
+                )
+            elif inst.kind == "summary":
+                summary = (
+                    f"count={inst.count} mean={_fmt(inst.mean)} "
+                    f"p50={_fmt(inst.quantile(0.5))} "
+                    f"p99={_fmt(inst.quantile(0.99))} "
+                    f"p999={_fmt(inst.quantile(0.999))}"
                 )
             else:
                 summary = _fmt(inst.value)

@@ -148,6 +148,20 @@ class Histogram:
 _KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
 
 
+def _kind_class(kind: str) -> type:
+    """Instrument class for a ``DEFAULT_INSTRUMENTS`` kind string.
+
+    ``"summary"`` resolves lazily: :mod:`repro.obs.latency` imports this
+    module (and the KLL sketch), so the import must not run at module
+    load time.
+    """
+    if kind == "summary":
+        from repro.obs.latency import Summary
+
+        return Summary
+    return _KINDS[kind]
+
+
 class MetricsRegistry:
     """Process-local store of instruments, keyed by name + labels.
 
@@ -192,6 +206,11 @@ class MetricsRegistry:
     def histogram(self, name: str, **labels) -> Histogram:
         return self._get(Histogram, name, labels)
 
+    def summary(self, name: str, **labels):
+        """Get-or-create a KLL-backed latency summary (see
+        :mod:`repro.obs.latency`)."""
+        return self._get(_kind_class("summary"), name, labels)
+
     def inc(self, name: str, amount=1, **labels) -> None:
         self._get(Counter, name, labels).inc(amount)
 
@@ -228,6 +247,16 @@ class MetricsRegistry:
                     max=inst.max if inst.count else 0.0,
                     p50=inst.quantile(0.5),
                     p99=inst.quantile(0.99),
+                )
+            elif inst.kind == "summary":
+                entry.update(
+                    count=inst.count,
+                    sum=inst.total,
+                    mean=inst.mean,
+                    p50=inst.quantile(0.5),
+                    p90=inst.quantile(0.9),
+                    p99=inst.quantile(0.99),
+                    p999=inst.quantile(0.999),
                 )
             else:
                 entry["value"] = inst.value
@@ -283,6 +312,9 @@ class NullRecorder:
         return _NULL_INSTRUMENT
 
     def histogram(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def summary(self, name: str, **labels) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
     def inc(self, name: str, amount=1, **labels) -> None:
@@ -377,13 +409,28 @@ DEFAULT_INSTRUMENTS: Tuple[Tuple[str, str], ...] = (
     ("counter", "durability.supervisor.abandoned"),
     ("counter", "durability.supervisor.resent_chunks"),
     ("counter", "durability.supervisor.hung_detected"),
+    ("gauge", "telemetry.engine.up"),
+    ("gauge", "telemetry.server.up"),
+    ("counter", "telemetry.server.requests"),
+    ("counter", "telemetry.server.errors"),
+    ("gauge", "telemetry.shard.alive"),
+    ("gauge", "telemetry.shard.abandoned"),
+    ("gauge", "telemetry.shard.restarts_remaining"),
+    ("gauge", "telemetry.shard.high_water_seq"),
+    ("counter", "flight.events"),
+    ("counter", "flight.dropped"),
+    ("counter", "flight.dumps"),
+    ("summary", "latency.chunk_update_ns"),
+    ("summary", "latency.ingest_chunk_ns"),
+    ("summary", "latency.wal_append_ns"),
+    ("summary", "latency.telemetry.request_ns"),
 )
 
 
 def preregister_defaults(registry: MetricsRegistry) -> None:
     """Create the known instrument families (unlabeled series) at zero."""
     for kind, name in DEFAULT_INSTRUMENTS:
-        registry._get(_KINDS[kind], name, {})
+        registry._get(_kind_class(kind), name, {})
 
 
 #: Compact picklable instrument dump: (kind, name, labels, payload).
@@ -411,6 +458,10 @@ def export_state(
                 list(inst.buckets), inst.count, inst.total, inst.min,
                 inst.max,
             )
+        elif inst.kind == "summary":
+            if skip_idle and inst.count == 0:
+                continue
+            payload = inst.export()
         else:
             if skip_idle and inst.value == 0:
                 continue
@@ -450,6 +501,8 @@ def absorb_state(
                 hist.min = low
             if high > hist.max:
                 hist.max = high
+        elif kind == "summary":
+            registry.summary(name, **merged).absorb(payload)
         else:
             raise InvalidParameterError(
                 f"unknown instrument kind {kind!r} in exported state"

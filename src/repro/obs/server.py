@@ -1,0 +1,318 @@
+"""Live telemetry exposition: a stdlib HTTP server on a background
+thread.
+
+Everything ``repro.obs`` records was, until now, visible only after a
+run ended.  :class:`TelemetryServer` makes a *running* ingest — a
+supervised parallel run restarting workers, a WAL replay, a chaos
+experiment — observable while it happens, with zero dependencies
+(``http.server`` only):
+
+========== ==========================================================
+endpoint   serves
+========== ==========================================================
+/metrics   Prometheus text exposition (``export.to_prometheus``),
+           including the dogfooded KLL latency summaries
+/snapshot  the full registry as JSON (``export.to_json``)
+/healthz   liveness JSON fed by the ``telemetry.*`` heartbeat gauges
+           the engines maintain: per-shard alive/abandoned flags,
+           restart budgets, WAL high-water seqs.  HTTP 200 while
+           healthy, 503 once any shard is abandoned (degraded).
+/tracez    the most recent tracing spans as JSON
+/flight    the flight-recorder ring (recent structured events)
+/timeline  the spans as Chrome-trace JSON (open in chrome://tracing)
+========== ==========================================================
+
+The server binds ``127.0.0.1`` by default (telemetry is not an ingress
+surface), serves each request from a daemon thread
+(``ThreadingHTTPServer``), and reads live state — the registry is the
+process-wide recorder unless one is injected.  Its own request handling
+is dogfooded into ``latency.telemetry.request_ns``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+from urllib.parse import urlparse
+
+from repro.core.errors import InvalidParameterError
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.export import to_json, to_prometheus
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Spans returned by /tracez (most recent first).
+TRACEZ_TAIL = 256
+
+
+def _shard_health(registry: obs_metrics.MetricsRegistry) -> Dict[str, Any]:
+    """Digest the ``telemetry.shard.*`` heartbeat gauges into one view."""
+    shards: Dict[str, Dict[str, Any]] = {}
+    for inst in registry.instruments():
+        if not inst.name.startswith("telemetry.shard."):
+            continue
+        labels = dict(inst.labels)
+        if "worker" not in labels:
+            continue  # the preregistered unlabeled family at zero
+        field = inst.name.rsplit(".", 1)[1]
+        shards.setdefault(str(labels["worker"]), {})[field] = inst.value
+    abandoned = [
+        worker
+        for worker, fields in shards.items()
+        if fields.get("abandoned", 0)
+    ]
+    high_water = [
+        fields["high_water_seq"]
+        for fields in shards.values()
+        if "high_water_seq" in fields
+    ]
+    return {
+        "shards": shards,
+        "abandoned": sorted(abandoned),
+        "wal_high_water_seq": max(high_water) if high_water else None,
+    }
+
+
+class TelemetryServer:
+    """Serve live metrics, health, spans, and flight events over HTTP.
+
+    Args:
+        port: TCP port; 0 picks a free one (read it back via ``port``).
+        host: bind address (loopback by default).
+        registry: metrics registry to expose; ``None`` resolves the
+            process-wide recorder *per request*, so a server started
+            before ``obs.enable()`` still sees the run's metrics.
+        tracer: span source for ``/tracez``/``/timeline``; ``None``
+            resolves the active tracer per request.
+        flight: flight recorder for ``/flight``; ``None`` resolves the
+            active one per request.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[obs_metrics.MetricsRegistry] = None,
+        tracer: Optional[obs_trace.Tracer] = None,
+        flight: Optional[obs_events.FlightRecorder] = None,
+    ) -> None:
+        if not (0 <= port <= 65535):
+            raise InvalidParameterError(
+                f"port must be in [0, 65535], got {port!r}"
+            )
+        self._requested_port = port
+        self.host = host
+        self._registry = registry
+        self._tracer = tracer
+        self._flight = flight
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- live state resolution -----------------------------------------
+
+    def registry(self) -> obs_metrics.MetricsRegistry:
+        if self._registry is not None:
+            return self._registry
+        rec = obs_metrics.recorder()
+        if isinstance(rec, obs_metrics.MetricsRegistry):
+            return rec
+        return obs_metrics.MetricsRegistry()  # empty: nothing collecting
+
+    def tracer(self) -> Optional[obs_trace.Tracer]:
+        return self._tracer if self._tracer is not None else obs_trace.tracer()
+
+    def flight(self) -> Optional[obs_events.FlightRecorder]:
+        return self._flight if self._flight is not None else obs_events.flight()
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    def url(self, path: str = "/") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def start(self) -> "TelemetryServer":
+        """Bind and serve on a daemon thread; returns self."""
+        if self._httpd is not None:
+            return self
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt: str, *args: Any) -> None:
+                pass  # telemetry must not spam the run's stdout/stderr
+
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                server._handle(self)
+
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), Handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.set("telemetry.server.up", 1)
+        obs_events.record_event(
+            "telemetry.server.start", host=self.host, port=self.port
+        )
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.set("telemetry.server.up", 0)
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.stop()
+
+    # -- request handling ----------------------------------------------
+
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        start = time.perf_counter_ns()
+        path = urlparse(request.path).path.rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                body = to_prometheus(self.registry()).encode("utf-8")
+                self._respond(request, 200, PROMETHEUS_CONTENT_TYPE, body)
+            elif path == "/snapshot":
+                self._respond_json(request, 200, to_json(self.registry()))
+            elif path == "/healthz":
+                status, payload = self._healthz()
+                self._respond_json(request, status, payload)
+            elif path == "/tracez":
+                self._respond_json(request, 200, self._tracez())
+            elif path == "/flight":
+                self._respond_json(request, 200, self._flightz())
+            elif path == "/timeline":
+                self._respond_json(request, 200, self._timeline())
+            else:
+                self._respond_json(
+                    request,
+                    404,
+                    {
+                        "error": f"unknown path {path!r}",
+                        "endpoints": [
+                            "/metrics", "/snapshot", "/healthz",
+                            "/tracez", "/flight", "/timeline",
+                        ],
+                    },
+                )
+                path = "(404)"
+        except Exception as exc:  # pragma: no cover - defensive surface
+            rec = obs_metrics.recorder()
+            if rec.enabled:
+                rec.inc("telemetry.server.errors", 1)
+            try:
+                self._respond_json(request, 500, {"error": str(exc)})
+            except OSError:
+                pass  # client went away mid-response
+            return
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc("telemetry.server.requests", 1, endpoint=path)
+            rec.summary("latency.telemetry.request_ns").observe(
+                time.perf_counter_ns() - start
+            )
+
+    def _healthz(self) -> tuple:
+        registry = self.registry()
+        health = _shard_health(registry)
+        engine_up = getattr(
+            registry.get("telemetry.engine.up"), "value", 0
+        )
+        degraded = bool(health["abandoned"])
+        payload = {
+            "status": "degraded" if degraded else "ok",
+            "engine": {"up": int(bool(engine_up))},
+            "collecting": isinstance(
+                obs_metrics.recorder(), obs_metrics.MetricsRegistry
+            ),
+            **health,
+        }
+        return (503 if degraded else 200), payload
+
+    def _tracez(self) -> Dict[str, Any]:
+        tracer = self.tracer()
+        if tracer is None:
+            return {"tracing": False, "spans": [], "dropped": 0}
+        events = tracer.events[-TRACEZ_TAIL:]
+        return {
+            "tracing": True,
+            "total_spans": len(tracer.events),
+            "dropped": tracer.dropped,
+            "spans": list(reversed(events)),
+        }
+
+    def _flightz(self) -> Dict[str, Any]:
+        flight = self.flight()
+        if flight is None:
+            return {"recording": False, "events": []}
+        return {
+            "recording": True,
+            "events": flight.log.events(),
+            "evicted": flight.log.evicted,
+            "dumps": flight.dumps,
+            "dump_paths": [str(p) for p in flight.dump_paths],
+        }
+
+    def _timeline(self) -> Dict[str, Any]:
+        from repro.obs.timeline import to_chrome_trace
+
+        tracer = self.tracer()
+        if tracer is None:
+            return {"traceEvents": [], "displayTimeUnit": "ms"}
+        return to_chrome_trace(tracer)
+
+    # -- response helpers ----------------------------------------------
+
+    @staticmethod
+    def _respond(
+        request: BaseHTTPRequestHandler,
+        status: int,
+        content_type: str,
+        body: bytes,
+    ) -> None:
+        request.send_response(status)
+        request.send_header("Content-Type", content_type)
+        request.send_header("Content-Length", str(len(body)))
+        request.end_headers()
+        request.wfile.write(body)
+
+    def _respond_json(
+        self,
+        request: BaseHTTPRequestHandler,
+        status: int,
+        payload: Dict[str, Any],
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._respond(request, status, "application/json", body)

@@ -1,0 +1,122 @@
+"""Chrome-trace / Perfetto export of tracing spans.
+
+``chrome://tracing`` (or https://ui.perfetto.dev) renders the Trace
+Event Format: a JSON object with a ``traceEvents`` list of complete
+(``"ph": "X"``) events carrying microsecond ``ts``/``dur`` plus
+``pid``/``tid`` rows.  This module converts a
+:class:`~repro.obs.trace.Tracer`'s events into that format so a
+parallel or supervised run can be *seen*: parent spans on the main
+row, each worker's spans on its own row, aligned on one timeline.
+
+Alignment works because worker span batches ship a wall-clock anchor
+(:meth:`Tracer.export_batch`): ``Tracer.ingest`` re-bases worker
+``start_ns`` offsets onto the parent tracer's origin, so by the time
+events reach this module they already share a time base.  Rows are
+derived per event: the source ``pid`` (stamped by ``ingest``) names the
+process, and the ``worker`` label (when present) gives each shard a
+distinct ``tid`` row even under the fork start method, where every
+worker would otherwise collapse onto the parent's thread.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.trace import Tracer
+
+#: tid of the recording (parent) tracer's own spans.
+MAIN_TID = 0
+
+
+def _row_of(tracer: Tracer, event: Dict[str, Any]) -> tuple:
+    """(pid, tid, row name) for one span event."""
+    pid = int(event.get("pid", tracer.pid))
+    labels = event.get("labels") or {}
+    worker = labels.get("worker")
+    if worker is None:
+        return pid, MAIN_TID, "main"
+    try:
+        tid = int(worker) + 1
+    except (TypeError, ValueError):
+        # Stable fallback row for non-integer worker labels (crc32 is
+        # deterministic across processes, unlike str hash()).
+        import zlib
+
+        tid = 1 + (zlib.crc32(str(worker).encode()) % 1_000_000)
+    return pid, tid, f"worker {worker}"
+
+
+def to_chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """The tracer's spans as a Trace Event Format document (a dict).
+
+    Each span becomes a complete event (``ph: "X"``); ``ts``/``dur``
+    are microseconds relative to the tracer's origin.  Metadata events
+    name the process and one thread row per (pid, tid) actually seen,
+    so the viewer shows "main" / "worker 0" / "worker 1" instead of
+    bare ids.  The document also records ``dropped_spans`` so a
+    truncated trace is visibly incomplete.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    rows: Dict[tuple, str] = {}
+    for event in tracer.events:
+        pid, tid, row_name = _row_of(tracer, event)
+        rows.setdefault((pid, tid), row_name)
+        labels = dict(event.get("labels") or {})
+        args: Dict[str, Any] = {"depth": event.get("depth", 0)}
+        args.update(labels)
+        trace_events.append(
+            {
+                "name": event.get("name", "span"),
+                "cat": str(event.get("name", "span")).split(".", 1)[0],
+                "ph": "X",
+                "ts": int(event.get("start_ns", 0)) / 1000.0,
+                "dur": int(event.get("duration_ns", 0)) / 1000.0,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    metadata: List[Dict[str, Any]] = []
+    pids = sorted({pid for pid, _tid in rows})
+    for pid in pids:
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "name": "repro" if pid == tracer.pid else "repro worker"
+                },
+            }
+        )
+    for (pid, tid), row_name in sorted(rows.items()):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": row_name},
+            }
+        )
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "origin_unix_ns": tracer.origin_unix_ns,
+            "dropped_spans": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path) -> int:
+    """Write the Chrome-trace JSON to ``path``; returns the span count.
+
+    Load the file in ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    document = to_chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh)
+    return len(tracer.events)

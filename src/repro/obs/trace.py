@@ -22,10 +22,15 @@ run can never exhaust memory.
 from __future__ import annotations
 
 import json
+import os
 import time
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.core.errors import InvalidParameterError
+
+#: Picklable span batch a worker ships to its parent: the events plus
+#: the wall-clock anchor and pid needed to place them on one timeline.
+SpanBatch = Dict[str, Any]
 
 
 class Tracer:
@@ -44,6 +49,12 @@ class Tracer:
             )
         self._clock = clock if clock is not None else time.perf_counter_ns
         self._origin = self._clock()
+        # Wall-clock anchor paired with the perf-counter origin so span
+        # batches from different processes can be re-based onto one
+        # timeline (repro.obs.timeline).  The reading is observational —
+        # it never feeds an algorithm, so determinism is unaffected.
+        self.origin_unix_ns = time.time_ns()  # replint: disable=REP001
+        self.pid = os.getpid()
         self._depth = 0
         self.max_events = max_events
         self.events: List[Dict[str, object]] = []
@@ -75,19 +86,55 @@ class Tracer:
             }
         )
 
+    def export_batch(self) -> SpanBatch:
+        """This tracer's events plus the anchors a parent needs.
+
+        The sharded engines ship this (not the raw event list) so the
+        parent can re-base worker offsets onto its own timeline via the
+        wall-clock anchors, tag events with the worker pid, and account
+        for spans the worker dropped.
+        """
+        return {
+            "origin_unix_ns": self.origin_unix_ns,
+            "pid": self.pid,
+            "dropped": self.dropped,
+            "events": self.events,
+        }
+
     def ingest(
-        self, events: List[Dict[str, object]], **extra_labels: object
+        self,
+        batch: Union[SpanBatch, List[Dict[str, object]]],
+        **extra_labels: object,
     ) -> None:
         """Append completed span events recorded by *another* tracer.
 
-        The sharded ingest engine ships each worker's ``events`` list
-        back to the parent and re-registers them here, tagged with
-        ``extra_labels`` (``worker=<shard>``).  Start offsets stay
-        relative to the recording tracer's own origin — workers start
-        their clocks when they boot — so cross-process offsets are not
-        comparable; durations and nesting are.  The ``max_events`` bound
-        applies as usual (overflow counts into ``dropped``).
+        The sharded ingest engine ships each worker's
+        :meth:`export_batch` back to the parent and re-registers it
+        here, tagged with ``extra_labels`` (``worker=<shard>``).  A
+        batch carries the recording tracer's wall-clock anchor, so
+        start offsets are shifted onto *this* tracer's timeline (the
+        anchor skew — two clock reads at tracer construction — bounds
+        the alignment error); events are also tagged with the source
+        ``pid``, and the source's ``dropped`` count is added to this
+        tracer's so a truncated worker trace never looks complete.
+
+        A bare event list (the pre-anchor wire format) is still
+        accepted: offsets are appended unshifted, exactly as before.
+        The ``max_events`` bound applies as usual (overflow counts into
+        ``dropped``).
         """
+        if isinstance(batch, dict):
+            events = batch.get("events") or []
+            shift = (
+                int(batch.get("origin_unix_ns", self.origin_unix_ns))
+                - self.origin_unix_ns
+            )
+            pid = batch.get("pid")
+            self.dropped += int(batch.get("dropped", 0))
+        else:
+            events = batch
+            shift = 0
+            pid = None
         for event in events:
             if len(self.events) >= self.max_events:
                 self.dropped += 1
@@ -96,14 +143,31 @@ class Tracer:
             labels.update(extra_labels)
             merged = dict(event)
             merged["labels"] = labels
+            if shift:
+                merged["start_ns"] = int(merged.get("start_ns", 0)) + shift
+            if pid is not None and "pid" not in merged:
+                merged["pid"] = pid
             self.events.append(merged)
 
     def to_jsonl(self) -> str:
-        """All events, one JSON object per line."""
-        return "\n".join(json.dumps(event) for event in self.events)
+        """All events, one JSON object per line.
+
+        A trace that dropped spans (buffer overflow, worker truncation)
+        ends with a trailer record ``{"meta": "dropped_spans", ...}`` so
+        the JSONL can never silently pass for a complete trace.
+        """
+        lines = [json.dumps(event) for event in self.events]
+        if self.dropped:
+            lines.append(
+                json.dumps(
+                    {"meta": "dropped_spans", "dropped": self.dropped}
+                )
+            )
+        return "\n".join(lines)
 
     def write(self, path) -> int:
-        """Write the JSONL trace to ``path``; returns the event count."""
+        """Write the JSONL trace to ``path``; returns the event count
+        (the dropped-spans trailer, when present, is not an event)."""
         text = self.to_jsonl()
         with open(path, "w", encoding="utf-8") as fh:
             if text:

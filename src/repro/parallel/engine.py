@@ -122,11 +122,13 @@ def _shard_worker(
                     else:
                         sketch.extend(values)
                 if rec.enabled:
+                    elapsed = time.perf_counter_ns() - start
                     rec.observe(
-                        "parallel.ingest_ns",
-                        time.perf_counter_ns() - start,
-                        algo=sketch.name,
+                        "parallel.ingest_ns", elapsed, algo=sketch.name
                     )
+                    rec.summary(
+                        "latency.ingest_chunk_ns", algo=sketch.name
+                    ).observe(elapsed)
             elif kind == "finish":
                 blob = snapshot(sketch)
                 metrics_state = (
@@ -134,9 +136,13 @@ def _shard_worker(
                     if registry is not None
                     else []
                 )
-                span_events = tracer.events if tracer is not None else []
+                # Ship the anchored batch (not the raw event list) so the
+                # parent can re-base worker spans onto its timeline.
+                span_batch = (
+                    tracer.export_batch() if tracer is not None else None
+                )
                 reply_queue.put(
-                    ("result", worker_id, blob, metrics_state, span_events)
+                    ("result", worker_id, blob, metrics_state, span_batch)
                 )
             elif kind == "stop":
                 break
@@ -249,6 +255,9 @@ class ShardedIngestEngine:
         rec = obs_metrics.recorder()
         if rec.enabled:
             rec.set("parallel.workers", self.plan.shards)
+            rec.set("telemetry.engine.up", 1)
+            for worker_id in range(self.plan.shards):
+                rec.set("telemetry.shard.alive", 1, worker=worker_id)
 
     def __enter__(self) -> "ShardedIngestEngine":
         return self
@@ -344,7 +353,7 @@ class ShardedIngestEngine:
             if reply[0] == "ack":
                 self._free[reply[1]].append(reply[2])
                 continue
-            _, worker_id, blob, metrics_state, span_events = reply
+            _, worker_id, blob, metrics_state, span_batch = reply
             blobs[worker_id] = blob
             if metrics_state and isinstance(
                 rec, obs_metrics.MetricsRegistry
@@ -352,8 +361,8 @@ class ShardedIngestEngine:
                 obs_metrics.absorb_state(
                     rec, metrics_state, worker=worker_id
                 )
-            if span_events and parent_tracer is not None:
-                parent_tracer.ingest(span_events, worker=worker_id)
+            if span_batch and parent_tracer is not None:
+                parent_tracer.ingest(span_batch, worker=worker_id)
         sketches = [restore(blobs[i]) for i in range(self.plan.shards)]
         self.worker_peak_words = sum(s.size_words() for s in sketches)
         with obs_trace.span(
@@ -385,6 +394,11 @@ class ShardedIngestEngine:
         if self._closed:
             return
         self._closed = True
+        rec = obs_metrics.recorder()
+        if rec.enabled and self._started:
+            rec.set("telemetry.engine.up", 0)
+            for worker_id in range(self.plan.shards):
+                rec.set("telemetry.shard.alive", 0, worker=worker_id)
         for task_queue in self._task_queues:
             try:
                 task_queue.put(("stop",))

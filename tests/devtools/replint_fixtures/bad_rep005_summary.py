@@ -1,0 +1,5 @@
+"""REP005 bad fixture: a summary metric missing from the table."""
+
+
+def time_it(registry, elapsed_ns):
+    registry.summary("latency.unregistered_ns").observe(elapsed_ns)

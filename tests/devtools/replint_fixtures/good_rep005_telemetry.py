@@ -1,0 +1,8 @@
+"""REP005 good fixture: telemetry-plane names, including the summary
+recorder method, all preregistered in the instrument table."""
+
+
+def heartbeat(registry, worker, elapsed_ns):
+    registry.set("telemetry.shard.alive", 1, worker=worker)
+    registry.inc("flight.events", 1)
+    registry.summary("latency.request_ns").observe(elapsed_ns)

@@ -4,4 +4,7 @@ DEFAULT_INSTRUMENTS = (
     ("counter", "repro.ingest.items"),
     ("gauge", "repro.sketch.size_words"),
     ("histogram", "repro.query.latency_seconds"),
+    ("gauge", "telemetry.shard.alive"),
+    ("counter", "flight.events"),
+    ("summary", "latency.request_ns"),
 )

@@ -137,6 +137,21 @@ class TestREP005MetricsPreregistration:
         result = lint_fixtures(tmp_path, "instruments.py", "good_rep005.py")
         assert result.diagnostics == []
 
+    def test_summary_method_checked(self, tmp_path):
+        # summary() takes a metric name like inc()/observe(); an
+        # unregistered name recorded through it must fire.
+        result = lint_fixtures(
+            tmp_path, "instruments.py", "bad_rep005_summary.py"
+        )
+        assert rule_ids(result) == ["REP005"]
+        assert "latency.unregistered_ns" in result.diagnostics[0].message
+
+    def test_telemetry_names_clean(self, tmp_path):
+        result = lint_fixtures(
+            tmp_path, "instruments.py", "good_rep005_telemetry.py"
+        )
+        assert result.diagnostics == []
+
     def test_real_instrument_table_is_found(self):
         # The live src tree declares DEFAULT_INSTRUMENTS; every recorded
         # metric name must already be preregistered there.

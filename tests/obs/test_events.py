@@ -1,0 +1,135 @@
+"""Flight recorder: bounded event ring, dump-on-degrade, singleton."""
+
+import json
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs.events import (
+    DEGRADE_KINDS,
+    EventLog,
+    FlightRecorder,
+    enable_flight,
+    disable_flight,
+    record_event,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _isolated_singletons():
+    previous_rec = obs_metrics._recorder
+    previous_flight = obs_events._flight
+    obs_metrics.disable()
+    disable_flight()
+    yield
+    obs_metrics._recorder = previous_rec
+    obs_events._flight = previous_flight
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+class TestEventLog:
+    def test_emit_and_order(self):
+        log = EventLog(clock=FakeClock())
+        log.emit("supervisor.restart", worker=3)
+        log.emit("wal.torn_tail", segment="wal-000.seg")
+        events = log.events()
+        assert [e["kind"] for e in events] == [
+            "supervisor.restart", "wal.torn_tail",
+        ]
+        assert events[0]["seq"] == 0 and events[1]["seq"] == 1
+        assert events[0]["worker"] == 3
+        assert events[0]["unix_s"] == pytest.approx(1001.0)
+
+    def test_ring_evicts_oldest(self):
+        log = EventLog(max_events=3, clock=FakeClock())
+        for i in range(5):
+            log.emit("k", i=i)
+        assert len(log) == 3
+        assert log.evicted == 2
+        assert [e["i"] for e in log.events()] == [2, 3, 4]
+        assert [e["i"] for e in log.events(tail=2)] == [3, 4]
+
+    def test_jsonl_parses(self):
+        log = EventLog(clock=FakeClock())
+        log.emit("checkpoint.fallback", skipped="ckpt-7.ck")
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["kind"] == "checkpoint.fallback"
+
+    def test_validates_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            EventLog(max_events=0)
+
+
+class TestFlightRecorder:
+    def test_degrade_kind_dumps(self, tmp_path):
+        fr = FlightRecorder(directory=tmp_path, clock=FakeClock())
+        fr.record("parallel.chunk", n=4096)
+        assert fr.dumps == 0  # ordinary events never dump
+        fr.record("supervisor.restart", worker=1, reason="died")
+        assert fr.dumps == 1
+        (path,) = fr.dump_paths
+        assert path.name == "flight-000-supervisor-restart.jsonl"
+        records = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        # The whole ring is preserved: context before the degrade too.
+        assert [r["kind"] for r in records] == [
+            "parallel.chunk", "supervisor.restart",
+        ]
+        assert records[1]["worker"] == 1
+
+    def test_every_degrade_kind_triggers(self, tmp_path):
+        fr = FlightRecorder(directory=tmp_path, clock=FakeClock())
+        for kind in sorted(DEGRADE_KINDS):
+            fr.record(kind)
+        assert fr.dumps == len(DEGRADE_KINDS)
+
+    def test_no_directory_never_writes(self):
+        fr = FlightRecorder(clock=FakeClock())
+        fr.record("supervisor.abandon", worker=0)
+        assert fr.dumps == 0 and fr.dump_paths == []
+        assert len(fr.log) == 1
+
+    def test_metrics_counters(self, tmp_path):
+        reg = obs_metrics.enable(MetricsRegistry())
+        fr = FlightRecorder(
+            directory=tmp_path, max_events=2, clock=FakeClock()
+        )
+        for _ in range(3):
+            fr.record("noise")
+        fr.record("wal.torn_tail", segment="wal-001.seg")
+        assert reg.get("flight.events").value == 4
+        assert reg.get("flight.dropped").value == 2  # 4 events, ring of 2
+        assert reg.get("flight.dumps").value == 1
+
+
+class TestModuleSingleton:
+    def test_record_event_noop_when_disabled(self):
+        record_event("supervisor.restart", worker=0)  # must not raise
+        assert obs_events.flight() is None
+
+    def test_enable_record_disable(self, tmp_path):
+        fr = enable_flight(tmp_path)
+        assert obs_events.flight() is fr
+        record_event("chaos.storage_fault", store_id=2)
+        assert len(fr.log) == 1
+        assert fr.dumps == 1
+        disable_flight()
+        assert obs_events.flight() is None
+
+    def test_enable_rejects_non_recorder(self):
+        with pytest.raises(InvalidParameterError):
+            enable_flight(instance=object())

@@ -126,6 +126,42 @@ def test_null_recorder_calls_are_cheap():
     assert elapsed / loops < 1e-6
 
 
+def test_server_enabled_overhead_within_five_percent():
+    """A running telemetry server (background thread, scraped mid-feed)
+    must cost within 5% of plain collection on the ingest hot path."""
+    import urllib.request
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.server import TelemetryServer
+
+    rng = np.random.default_rng(19)
+    data = rng.integers(0, 1 << 20, size=N_ELEMENTS).tolist()
+    _feed_seconds(GKArray, data[:5000])  # warm-up
+
+    plain_times = []
+    served_times = []
+    for _ in range(ROUNDS):
+        with obs_metrics.collecting():
+            t, _sk = _feed_seconds(GKArray, data)
+        plain_times.append(t)
+        obs_metrics.enable(MetricsRegistry())
+        try:
+            with TelemetryServer() as server:
+                urllib.request.urlopen(server.url("/metrics"), timeout=5)
+                t, _sk = _feed_seconds(GKArray, data)
+            served_times.append(t)
+        finally:
+            obs_metrics.disable()
+
+    plain_best = min(plain_times)
+    served_best = min(served_times)
+    assert served_best <= plain_best * REL_TOLERANCE + ABS_SLACK_S, (
+        f"telemetry server overhead too high: "
+        f"served={served_best:.4f}s plain={plain_best:.4f}s "
+        f"(+{100 * (served_best / plain_best - 1):.1f}%)"
+    )
+
+
 @pytest.mark.parametrize("phi", [0.25, 0.5, 0.9])
 def test_enabled_collection_does_not_change_answers(phi):
     rng = np.random.default_rng(3)

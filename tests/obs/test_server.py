@@ -1,0 +1,275 @@
+"""Telemetry server endpoints, Prometheus text conformance, healthz."""
+
+import json
+import math
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.events import FlightRecorder
+from repro.obs.export import _escape_label_value, to_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.server import TelemetryServer
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture(autouse=True)
+def _isolated_singletons():
+    previous_rec = obs_metrics._recorder
+    previous_tracer = obs_trace._tracer
+    previous_flight = obs_events._flight
+    obs_metrics.disable()
+    obs_trace.disable_tracing()
+    obs_events.disable_flight()
+    yield
+    obs_metrics._recorder = previous_rec
+    obs_trace._tracer = previous_tracer
+    obs_events._flight = previous_flight
+
+
+def _get(server, path):
+    try:
+        response = urllib.request.urlopen(server.url(path), timeout=10)
+        return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
+
+
+def _loaded_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.inc("parallel.chunks", 7, algo="kll")
+    hist = reg.histogram("parallel.ingest_ns", algo="kll")
+    for v in (1.0, 3.0, 1e6):
+        hist.observe(v)
+    summary = reg.summary("latency.chunk_update_ns")
+    for v in range(100):
+        summary.observe(float(v))
+    return reg
+
+
+#: One sample line: name{labels} value  (labels optional).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+
+
+def _parse_prometheus(text):
+    """Parse the exposition into {(name, labels-str): float}; raises on
+    any malformed line — the conformance check."""
+    samples = {}
+    types = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            types[name] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match is not None, f"malformed sample line: {line!r}"
+        value = match.group("value")
+        parsed = (
+            math.inf if value == "+Inf" else float(value)
+        )
+        samples[(match.group("name"), match.group("labels") or "")] = parsed
+    return types, samples
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_text_parses(self):
+        with TelemetryServer(registry=_loaded_registry()) as server:
+            status, body = _get(server, "/metrics")
+        assert status == 200
+        types, samples = _parse_prometheus(body)
+        assert types["repro_parallel_chunks"] == "counter"
+        assert types["repro_parallel_ingest_ns"] == "histogram"
+        assert types["repro_latency_chunk_update_ns"] == "summary"
+        assert samples[("repro_parallel_chunks", 'algo="kll"')] == 7.0
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        with TelemetryServer(registry=_loaded_registry()) as server:
+            _, body = _get(server, "/metrics")
+        _, samples = _parse_prometheus(body)
+        buckets = [
+            (labels, value)
+            for (name, labels), value in samples.items()
+            if name == "repro_parallel_ingest_ns_bucket"
+        ]
+        assert buckets, "expected _bucket series"
+        counts = [value for _, value in buckets]
+        assert counts == sorted(counts), "le buckets must be cumulative"
+        inf_bucket = [v for lbl, v in buckets if 'le="+Inf"' in lbl]
+        assert inf_bucket == [3.0]
+        assert samples[
+            ("repro_parallel_ingest_ns_count", 'algo="kll"')
+        ] == 3.0
+        assert samples[
+            ("repro_parallel_ingest_ns_sum", 'algo="kll"')
+        ] == pytest.approx(1000004.0)
+
+    def test_summary_quantiles_and_count(self):
+        with TelemetryServer(registry=_loaded_registry()) as server:
+            _, body = _get(server, "/metrics")
+        _, samples = _parse_prometheus(body)
+        p50 = samples[
+            ("repro_latency_chunk_update_ns", 'quantile="0.5"')
+        ]
+        assert 40.0 <= p50 <= 60.0
+        assert samples[("repro_latency_chunk_update_ns_count", "")] == 100.0
+
+    def test_serves_live_process_recorder(self):
+        reg = obs_metrics.enable(MetricsRegistry())
+        with TelemetryServer() as server:
+            reg.inc("parallel.chunks", 5, algo="kll")
+            _, body = _get(server, "/metrics")
+        assert 'repro_parallel_chunks{algo="kll"} 5' in body
+
+    def test_request_counter_and_latency_recorded(self):
+        reg = obs_metrics.enable(MetricsRegistry())
+        with TelemetryServer() as server:
+            _get(server, "/metrics")
+            _get(server, "/metrics")
+        counter = reg.get(
+            "telemetry.server.requests", endpoint="/metrics"
+        )
+        assert counter is not None and counter.value == 2
+        summary = reg.get("latency.telemetry.request_ns")
+        assert summary is not None and summary.count == 2
+
+
+class TestLabelEscaping:
+    def test_escape_rules(self):
+        assert _escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert _escape_label_value("a\\b") == "a\\\\b"
+        assert _escape_label_value("two\nlines") == "two\\nlines"
+
+    def test_exposition_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.inc("parallel.chunks", 1, algo='we"ird\\name\nx')
+        text = to_prometheus(reg)
+        (sample_line,) = [
+            line for line in text.splitlines()
+            if not line.startswith("#")
+        ]
+        # One physical line, quotes balanced, escapes in place.
+        assert "\n" not in sample_line
+        assert 'algo="we\\"ird\\\\name\\nx"' in sample_line
+
+
+class TestHealthz:
+    def test_healthy(self):
+        reg = MetricsRegistry()
+        reg.set("telemetry.engine.up", 1)
+        reg.set("telemetry.shard.alive", 1, worker=0)
+        reg.set("telemetry.shard.restarts_remaining", 2, worker=0)
+        reg.set("telemetry.shard.high_water_seq", 41, worker=0)
+        with TelemetryServer(registry=reg) as server:
+            status, body = _get(server, "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["engine"]["up"] == 1
+        assert payload["shards"]["0"]["alive"] == 1
+        assert payload["wal_high_water_seq"] == 41
+
+    def test_abandoned_shard_degrades_to_503(self):
+        reg = MetricsRegistry()
+        reg.set("telemetry.shard.alive", 0, worker=1)
+        reg.set("telemetry.shard.abandoned", 1, worker=1)
+        reg.set("telemetry.shard.restarts_remaining", 0, worker=1)
+        with TelemetryServer(registry=reg) as server:
+            status, body = _get(server, "/healthz")
+        assert status == 503
+        payload = json.loads(body)
+        assert payload["status"] == "degraded"
+        assert payload["abandoned"] == ["1"]
+
+
+class TestOtherEndpoints:
+    def test_snapshot_json(self):
+        with TelemetryServer(registry=_loaded_registry()) as server:
+            status, body = _get(server, "/snapshot")
+        assert status == 200
+        names = {m["name"] for m in json.loads(body)["metrics"]}
+        assert "parallel.chunks" in names
+
+    def test_tracez(self):
+        tracer = Tracer()
+        with tracer.span("evaluation.run", {"algo": "KLL"}):
+            pass
+        with TelemetryServer(tracer=tracer) as server:
+            status, body = _get(server, "/tracez")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["tracing"] is True
+        assert payload["spans"][0]["name"] == "evaluation.run"
+
+    def test_tracez_without_tracer(self):
+        with TelemetryServer() as server:
+            status, body = _get(server, "/tracez")
+        assert status == 200
+        assert json.loads(body)["tracing"] is False
+
+    def test_flight_endpoint(self):
+        flight = FlightRecorder()
+        flight.record("supervisor.restart", worker=2)
+        with TelemetryServer(flight=flight) as server:
+            status, body = _get(server, "/flight")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["recording"] is True
+        assert payload["events"][0]["kind"] == "supervisor.restart"
+
+    def test_timeline_endpoint(self):
+        tracer = Tracer()
+        with tracer.span("evaluation.run", {}):
+            pass
+        with TelemetryServer(tracer=tracer) as server:
+            status, body = _get(server, "/timeline")
+        assert status == 200
+        doc = json.loads(body)
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_unknown_path_404(self):
+        with TelemetryServer() as server:
+            status, body = _get(server, "/nope")
+        assert status == 404
+        assert "/metrics" in json.loads(body)["endpoints"]
+
+
+class TestLifecycle:
+    def test_port_zero_binds_free_port(self):
+        server = TelemetryServer(port=0)
+        assert server.port == 0
+        with server:
+            assert server.port > 0
+            first = server.port
+            # idempotent start
+            assert server.start().port == first
+
+    def test_stop_releases(self):
+        server = TelemetryServer().start()
+        url = server.url("/metrics")
+        server.stop()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url, timeout=2)
+
+    def test_server_up_gauge(self):
+        reg = obs_metrics.enable(MetricsRegistry())
+        server = TelemetryServer().start()
+        assert reg.get("telemetry.server.up").value == 1
+        server.stop()
+        assert reg.get("telemetry.server.up").value == 0
+
+    def test_rejects_bad_port(self):
+        from repro.core.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            TelemetryServer(port=70000)

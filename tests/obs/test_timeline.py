@@ -1,0 +1,124 @@
+"""Chrome-trace export: one timeline, distinct worker rows, anchored
+cross-process alignment."""
+
+import json
+
+import pytest
+
+from repro.obs.timeline import MAIN_TID, to_chrome_trace, write_chrome_trace
+from repro.obs.trace import Tracer
+
+
+class FakeClock:
+    def __init__(self, step: int = 10) -> None:
+        self.now = 0
+        self.step = step
+
+    def __call__(self) -> int:
+        self.now += self.step
+        return self.now
+
+
+def _complete_events(doc):
+    return [e for e in doc["traceEvents"] if e["ph"] == "X"]
+
+
+def _metadata(doc, name):
+    return [e for e in doc["traceEvents"] if e["ph"] == "M" and e["name"] == name]
+
+
+class TestChromeTrace:
+    def test_parent_spans_on_main_row(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("evaluation.run", {"algo": "KLL"}):
+            pass
+        doc = to_chrome_trace(tracer)
+        (event,) = _complete_events(doc)
+        assert event["tid"] == MAIN_TID
+        assert event["pid"] == tracer.pid
+        assert event["name"] == "evaluation.run"
+        assert event["cat"] == "evaluation"
+        assert event["args"]["algo"] == "KLL"
+        assert event["dur"] > 0
+
+    def test_workers_get_distinct_tids(self):
+        parent = Tracer(clock=FakeClock())
+        for worker_id in (0, 1):
+            child = Tracer(clock=FakeClock())
+            with child.span("parallel.ingest_chunk", {"n": 100}):
+                pass
+            parent.ingest(child.export_batch(), worker=worker_id)
+        doc = to_chrome_trace(parent)
+        tids = sorted(e["tid"] for e in _complete_events(doc))
+        assert tids == [1, 2]  # worker 0 -> tid 1, worker 1 -> tid 2
+        rows = {
+            (m["tid"], m["args"]["name"])
+            for m in _metadata(doc, "thread_name")
+        }
+        assert (1, "worker 0") in rows
+        assert (2, "worker 1") in rows
+
+    def test_anchor_alignment(self):
+        """A worker batch's offsets are re-based onto the parent's
+        wall-clock origin, so spans land at the right absolute spot."""
+        parent = Tracer(clock=FakeClock())
+        child = Tracer(clock=FakeClock())
+        # Simulate the worker starting 5 ms after the parent.
+        child.origin_unix_ns = parent.origin_unix_ns + 5_000_000
+        with child.span("parallel.ingest_chunk", {}):
+            pass
+        child_offset_ns = child.events[0]["start_ns"]
+        parent.ingest(child.export_batch(), worker=0)
+        shifted = parent.events[0]["start_ns"]
+        assert shifted == child_offset_ns + 5_000_000
+        doc = to_chrome_trace(parent)
+        (event,) = _complete_events(doc)
+        assert event["ts"] == pytest.approx(shifted / 1000.0)
+
+    def test_worker_pid_names_second_process(self):
+        parent = Tracer(clock=FakeClock())
+        child = Tracer(clock=FakeClock())
+        child.pid = parent.pid + 17  # pretend it forked
+        with child.span("parallel.ingest_chunk", {}):
+            pass
+        parent.ingest(child.export_batch(), worker=0)
+        with parent.span("parallel.merge_tree", {}):
+            pass
+        doc = to_chrome_trace(parent)
+        names = {
+            m["pid"]: m["args"]["name"]
+            for m in _metadata(doc, "process_name")
+        }
+        assert names[parent.pid] == "repro"
+        assert names[child.pid] == "repro worker"
+
+    def test_dropped_spans_recorded(self):
+        tracer = Tracer(max_events=1, clock=FakeClock())
+        with tracer.span("a", {}):
+            pass
+        with tracer.span("b", {}):
+            pass
+        doc = to_chrome_trace(tracer)
+        assert doc["otherData"]["dropped_spans"] == 1
+
+    def test_write_file_is_valid_json(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("evaluation.run", {}):
+            pass
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(tracer, path)
+        assert count == 1
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_non_integer_worker_label_is_stable(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("x", {"worker": "site-a"}):
+            pass
+        with tracer.span("y", {"worker": "site-a"}):
+            pass
+        doc = to_chrome_trace(tracer)
+        tids = {e["tid"] for e in _complete_events(doc)}
+        assert len(tids) == 1  # same label, same row
+        assert tids != {MAIN_TID}

@@ -114,3 +114,79 @@ def test_validation():
         Tracer(max_events=0)
     with pytest.raises(InvalidParameterError):
         obs_trace.enable_tracing(object())
+
+
+def test_dropped_trailer_in_jsonl(tmp_path):
+    tracer = Tracer(max_events=1, clock=FakeClock())
+    for i in range(3):
+        with tracer.span(f"s{i}", {}):
+            pass
+    lines = tracer.to_jsonl().splitlines()
+    assert len(lines) == 2  # one event + the trailer
+    trailer = json.loads(lines[-1])
+    assert trailer == {"meta": "dropped_spans", "dropped": 2}
+    path = tmp_path / "trace.jsonl"
+    assert tracer.write(path) == 1  # trailer is not an event
+    assert json.loads(path.read_text().splitlines()[-1])["dropped"] == 2
+
+
+def test_complete_trace_has_no_trailer():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("a", {}):
+        pass
+    lines = tracer.to_jsonl().splitlines()
+    assert len(lines) == 1
+    assert "meta" not in json.loads(lines[0])
+
+
+def test_export_batch_carries_anchors():
+    tracer = Tracer(max_events=1, clock=FakeClock())
+    with tracer.span("a", {}):
+        pass
+    with tracer.span("b", {}):
+        pass
+    batch = tracer.export_batch()
+    assert batch["origin_unix_ns"] == tracer.origin_unix_ns
+    assert batch["pid"] == tracer.pid
+    assert batch["dropped"] == 1
+    assert batch["events"] is tracer.events
+
+
+def test_ingest_batch_rebases_and_stamps_pid():
+    parent = Tracer(clock=FakeClock())
+    child = Tracer(clock=FakeClock())
+    child.origin_unix_ns = parent.origin_unix_ns + 2_000
+    child.pid = parent.pid + 1
+    with child.span("chunk", {"n": 4}):
+        pass
+    offset = child.events[0]["start_ns"]
+    parent.ingest(child.export_batch(), worker=3)
+    (event,) = parent.events
+    assert event["start_ns"] == offset + 2_000
+    assert event["pid"] == child.pid
+    assert event["labels"] == {"n": 4, "worker": 3}
+    # Child events untouched: ingest copies, never mutates the source.
+    assert child.events[0]["labels"] == {"n": 4}
+
+
+def test_ingest_batch_propagates_worker_drops():
+    parent = Tracer(clock=FakeClock())
+    child = Tracer(max_events=1, clock=FakeClock())
+    for i in range(4):
+        with child.span(f"s{i}", {}):
+            pass
+    parent.ingest(child.export_batch(), worker=0)
+    assert parent.dropped == 3
+    assert "dropped" in json.loads(parent.to_jsonl().splitlines()[-1])
+
+
+def test_ingest_legacy_bare_list_unshifted():
+    parent = Tracer(clock=FakeClock())
+    child = Tracer(clock=FakeClock())
+    with child.span("old", {}):
+        pass
+    parent.ingest(child.events, worker=1)
+    (event,) = parent.events
+    assert event["start_ns"] == child.events[0]["start_ns"]
+    assert "pid" not in event
+    assert event["labels"]["worker"] == 1
