@@ -1,0 +1,276 @@
+"""Query-tier benchmark: sustained throughput, cache behavior, and the
+daemon's own latency telemetry checked against ground truth.
+
+Boots the serving daemon in-process (persistence on), loads one
+deterministic ``gk_array`` sketch, then drives the deterministic load
+generator (:mod:`repro.serve.loadgen`) over real HTTP connections.
+Four things are measured and (at full scale) gated:
+
+* **throughput** — >= 100k quantile queries/sec sustained on one box
+  (batched ``/v1/query`` requests; the answer cache does the heavy
+  lifting, which is the design being demonstrated);
+* **correctness** — the served quantile vector is identical to an
+  offline sketch fed the same stream through the same batch kernels;
+* **dogfooded latency** — the daemon's KLL request-latency summary
+  (``latency.serve.request_ns``) must put its reported p99 within
+  ``SUMMARY_EPS`` rank error of the exact p99 computed from a log of
+  every request — the serving tier measuring itself with the sketch it
+  serves, and being checkably right;
+* **warm restart** — kill the daemon, recover a fresh one from the
+  persist directory, and get bit-identical sealed-epoch answers.
+
+Results land in ``BENCH_serve.json`` at the repo root.  Regenerate::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+``--smoke`` runs a small subset for CI (gates disarmed; an existing
+full artifact is not overwritten).  ``REPRO_SCALE`` scales the load.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import tempfile
+import time
+
+import numpy as np
+
+from repro.evaluation import machine_context, scaled_n
+from repro.evaluation.harness import build_sketch, feed_stream
+from repro.obs import metrics as obs_metrics
+from repro.obs.latency import SUMMARY_EPS, rank_of
+from repro.serve.client import ServeClient
+from repro.serve.daemon import serve_in_thread
+from repro.serve.loadgen import run_load_sync
+from repro.serve.service import QuantileService
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_serve.json"
+
+ALGORITHM = "gk_array"  # deterministic: served == offline, exactly
+EPS = 1e-3
+SKETCH = "bench"
+QPS_TARGET = 100_000.0
+CHECK_PHIS = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999]
+
+
+def run_bench(smoke: bool) -> dict:
+    n = scaled_n(50_000 if smoke else 200_000)
+    total_requests = scaled_n(200 if smoke else 4_000)
+    connections = 2 if smoke else 4
+    rng = np.random.default_rng(11)
+    data = rng.uniform(0.0, 1e6, size=n)
+
+    registry = obs_metrics.enable(obs_metrics.MetricsRegistry())
+    latency_log: list = []
+    payload: dict = {
+        "smoke": smoke,
+        "algorithm": ALGORITHM,
+        "eps": EPS,
+        "n": n,
+        "qps_target": QPS_TARGET,
+    }
+    try:
+        with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+            handle = serve_in_thread(
+                service=QuantileService(persist_dir=tmp),
+                latency_log=latency_log,
+            )
+            try:
+                with ServeClient(handle.url()) as client:
+                    client.create(
+                        SKETCH, algorithm=ALGORITHM, eps=EPS, seed=0
+                    )
+                    # Chunked ingest like a real feed; one sealed epoch.
+                    ingest_start = time.perf_counter()
+                    for lo in range(0, n, 50_000):
+                        client.ingest(
+                            SKETCH, data[lo:lo + 50_000].tolist()
+                        )
+                    client.flush(SKETCH)
+                    payload["ingest_seconds"] = (
+                        time.perf_counter() - ingest_start
+                    )
+
+                    # Correctness: served == offline, same kernels.
+                    offline = build_sketch(ALGORITHM, EPS, seed=0)
+                    feed_stream(offline, data)
+                    served = client.quantile(SKETCH, CHECK_PHIS)
+                    expected = offline.query_batch(CHECK_PHIS)
+                    got = [q["value"] for q in served["quantiles"]]
+                    payload["correctness"] = {
+                        "phis": CHECK_PHIS,
+                        "identical_to_offline": got == expected,
+                        "epoch": served["epoch"],
+                    }
+
+                    before = client.stats()
+                    load = run_load_sync(
+                        handle.daemon.host,
+                        handle.port,
+                        [SKETCH],
+                        total_requests=total_requests,
+                        connections=connections,
+                        seed=3,
+                    )
+                    after = client.stats()
+                    sealed = client.quantile(SKETCH, CHECK_PHIS)
+            finally:
+                handle.stop()
+
+            # Warm restart: a fresh daemon recovers the sealed epoch
+            # from disk and must serve identical quantile vectors.
+            restart_start = time.perf_counter()
+            handle2 = serve_in_thread(
+                service=QuantileService(persist_dir=tmp)
+            )
+            try:
+                with ServeClient(handle2.url()) as client:
+                    recovered = client.quantile(SKETCH, CHECK_PHIS)
+            finally:
+                handle2.stop()
+            payload["warm_restart"] = {
+                "seconds": time.perf_counter() - restart_start,
+                "identical_vectors": (
+                    recovered["quantiles"] == sealed["quantiles"]
+                ),
+                "epoch": recovered["epoch"],
+            }
+    finally:
+        obs_metrics.disable()
+
+    payload["load"] = load
+    hits = after["cache"]["hits"] - before["cache"]["hits"]
+    misses = after["cache"]["misses"] - before["cache"]["misses"]
+    coalesced = (
+        after["cache"]["coalesced"] - before["cache"]["coalesced"]
+    )
+    lookups = hits + misses + coalesced
+    payload["cache"] = {
+        "hits": hits,
+        "misses": misses,
+        "coalesced": coalesced,
+        "hit_ratio": hits / lookups if lookups else 0.0,
+        "entries": after["cache"]["entries"],
+    }
+
+    # Dogfooded latency: the daemon's own KLL summary vs the exact log.
+    summary = registry.get("latency.serve.request_ns")
+    exact = sorted(latency_log)
+    dogfood_p99 = summary.quantile(0.99)
+    true_rank = rank_of(exact, dogfood_p99)
+    exact_p99 = exact[min(len(exact) - 1, int(0.99 * len(exact)))]
+    payload["request_latency_ns"] = {
+        "requests": len(exact),
+        "summary_count": summary.count,
+        "summary_eps": SUMMARY_EPS,
+        "dogfood_p50": summary.quantile(0.5),
+        "dogfood_p99": dogfood_p99,
+        "exact_p99": exact_p99,
+        "dogfood_p99_true_rank": true_rank,
+        "rank_error": abs(true_rank - 0.99),
+    }
+    payload["machine"] = machine_context(timestamp=time.time())
+    return payload
+
+
+def check_payload(payload: dict) -> list:
+    """Acceptance gates; armed only at full scale."""
+    problems = []
+    if not payload["correctness"]["identical_to_offline"]:
+        problems.append("served quantile vector diverged from offline")
+    if not payload["warm_restart"]["identical_vectors"]:
+        problems.append("warm restart changed sealed-epoch answers")
+    if payload["load"]["error_count"]:
+        problems.append(
+            f"load generator saw {payload['load']['error_count']} errors"
+        )
+    lat = payload["request_latency_ns"]
+    # One log entry of slack: rank_of is a step function on a finite
+    # sample, so ties at the boundary cost up to 1/requests of rank.
+    slack = SUMMARY_EPS + 1.0 / max(1, lat["requests"])
+    if lat["rank_error"] > slack:
+        problems.append(
+            f"dogfooded p99 rank error {lat['rank_error']:.4f} "
+            f"exceeds eps {slack:.4f}"
+        )
+    if payload["smoke"]:
+        return problems  # throughput gate arms only at full scale
+    if payload["load"]["qps"] < QPS_TARGET:
+        problems.append(
+            f"sustained {payload['load']['qps']:,.0f} qps "
+            f"< target {QPS_TARGET:,.0f}"
+        )
+    return problems
+
+
+def format_table(payload: dict) -> str:
+    load, cache = payload["load"], payload["cache"]
+    lat = payload["request_latency_ns"]
+    lines = [
+        "BENCH_serve -- always-on query tier "
+        f"({payload['algorithm']}, eps={payload['eps']}, "
+        f"n={payload['n']:,}{', smoke' if payload['smoke'] else ''})",
+        f"throughput   {load['qps']:>12,.0f} queries/s "
+        f"({load['rps']:,.0f} req/s, {load['connections']} conns, "
+        f"{load['queries_per_request']} queries/req)",
+        f"cache        {100 * cache['hit_ratio']:.1f}% hit "
+        f"({cache['hits']:,} hits / {cache['misses']:,} misses / "
+        f"{cache['coalesced']:,} coalesced)",
+        f"latency p99  dogfood {lat['dogfood_p99'] / 1e6:.3f} ms vs "
+        f"exact {lat['exact_p99'] / 1e6:.3f} ms "
+        f"(rank error {lat['rank_error']:.4f}, eps "
+        f"{lat['summary_eps']:.4f})",
+        f"warm restart {payload['warm_restart']['seconds']:.3f} s, "
+        "identical vectors: "
+        f"{payload['warm_restart']['identical_vectors']}",
+        f"correctness  identical to offline: "
+        f"{payload['correctness']['identical_to_offline']}",
+    ]
+    return "\n".join(lines)
+
+
+def test_bench_serve(benchmark) -> None:
+    from conftest import run_once, write_exhibit
+
+    payload = run_once(benchmark, lambda: run_bench(smoke=True))
+    write_exhibit("BENCH_serve_smoke", format_table(payload))
+    failures = check_payload(payload)
+    assert not failures, "\n".join(failures)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small subset (CI smoke; does not overwrite a full "
+             "artifact with a smoke one unless none exists)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="artifact path (default: repo-root BENCH_serve.json)",
+    )
+    args = parser.parse_args()
+    result = run_bench(smoke=args.smoke)
+    out = args.out
+    table_name = "BENCH_serve.txt"
+    if out is None:
+        out = ARTIFACT
+        if args.smoke and ARTIFACT.exists():
+            existing = json.loads(ARTIFACT.read_text())
+            if not existing.get("smoke", False):
+                out = REPO_ROOT / "BENCH_serve.smoke.json"
+                table_name = "BENCH_serve.smoke.txt"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    table = format_table(result)
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / table_name).write_text(table + "\n")
+    print(table)
+    print(f"\nwrote {out}")
+    problems = check_payload(result)
+    if problems:
+        raise SystemExit("FAIL:\n" + "\n".join(problems))
+    print("all acceptance checks passed")

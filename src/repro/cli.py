@@ -151,6 +151,14 @@ def run(
     """CLI entry point; returns a process exit code."""
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["serve"]:
+        # The query-tier daemon has its own parser and long-running
+        # event loop; hand the rest of the argv straight over.
+        from repro.serve.daemon import main as serve_main
+
+        return serve_main(list(argv[1:]))
     args = make_parser().parse_args(argv)
 
     registry = None

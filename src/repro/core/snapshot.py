@@ -32,7 +32,7 @@ from __future__ import annotations
 import pickle
 import struct
 import zlib
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, NamedTuple, Tuple
 
 from repro.core.errors import CorruptSummaryError, InvalidParameterError
 
@@ -133,6 +133,38 @@ def _decode(blob: bytes) -> Tuple[str, bytes]:
     except UnicodeDecodeError as exc:
         raise CorruptSummaryError("snapshot type tag is not utf-8") from exc
     return tag, covered[tag_len:]
+
+
+class EnvelopeInfo(NamedTuple):
+    """Verified header facts about a snapshot envelope (no unpickling)."""
+
+    #: Registry type tag (``"payload"`` for raw payload envelopes).
+    tag: str
+    #: Envelope format version.
+    version: int
+    #: CRC32 over the tag and payload, as stored in the header.
+    crc32: int
+    #: Size of the pickled payload in bytes.
+    payload_bytes: int
+
+
+def envelope_info(blob: bytes) -> EnvelopeInfo:
+    """Inspect an envelope's header after verifying its checksum.
+
+    Parses and checksum-verifies the envelope *without* deserializing
+    the payload — cheap enough to run on every request.  The serving
+    tier uses this to stamp snapshot responses with the tag and CRC (a
+    replica can compare CRCs to detect an already-applied envelope
+    before paying the restore), and warm-restart logs record the same
+    facts.
+
+    Raises:
+        CorruptSummaryError: if the envelope is damaged (same contract
+            as :func:`restore`, minus the unpickle and validate steps).
+    """
+    tag, body = _decode(blob)
+    _, version, crc, _ = _HEADER.unpack_from(bytes(blob))
+    return EnvelopeInfo(tag, version, crc, len(body))
 
 
 def snapshot(summary) -> bytes:

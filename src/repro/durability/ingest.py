@@ -32,7 +32,7 @@ from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
-from repro.core.base import QuantileSketch, TurnstileSketch
+from repro.core.base import QuantileSketch
 from repro.core.errors import DurabilityError, InvalidParameterError
 from repro.durability.checkpoint import CheckpointManager
 from repro.durability.wal import (
@@ -120,13 +120,15 @@ class RecoveryReport:
 
 def _apply_batch(sketch: QuantileSketch, batch: np.ndarray) -> None:
     """Feed one batch through the same kernel path ``feed_stream`` uses,
-    so a durable run is bit-identical to a non-durable one."""
-    if isinstance(sketch, TurnstileSketch):
-        sketch.update_batch(batch)
-    elif type(sketch).extend is not QuantileSketch.extend:
-        sketch.extend(batch)
-    else:
-        sketch.extend(batch.tolist())
+    so a durable run is bit-identical to a non-durable one.
+
+    Thin wrapper over :func:`repro.evaluation.harness.apply_batch` (the
+    import is deferred — ``repro.evaluation`` pulls in plotting and
+    analysis modules a durable store does not need at import time).
+    """
+    from repro.evaluation.harness import apply_batch
+
+    apply_batch(sketch, batch)
 
 
 class DurableIngest:

@@ -93,6 +93,26 @@ def build_sketch(
     return cls(**params)
 
 
+def apply_batch(sketch: QuantileSketch, batch: np.ndarray) -> None:
+    """Feed one ndarray batch through the same kernel dispatch
+    :func:`feed_stream` uses for its chunks.
+
+    Turnstile sketches take the vectorized ``update_batch`` path,
+    sketches with a batch ``extend`` override receive the array
+    directly, and scalar-only sketches get plain Python elements.  The
+    durable ingest store and the serving tier both apply batches through
+    this function, so a WAL replay or a live-ingest flush lands in a
+    state bit-identical to an offline :func:`feed_stream` run for
+    deterministic sketches (error-equivalent for randomized ones).
+    """
+    if isinstance(sketch, TurnstileSketch):
+        sketch.update_batch(batch)
+    elif type(sketch).extend is not QuantileSketch.extend:
+        sketch.extend(batch)
+    else:
+        sketch.extend(batch.tolist())
+
+
 def feed_stream(
     sketch: QuantileSketch,
     data: np.ndarray,

@@ -420,10 +420,30 @@ DEFAULT_INSTRUMENTS: Tuple[Tuple[str, str], ...] = (
     ("counter", "flight.events"),
     ("counter", "flight.dropped"),
     ("counter", "flight.dumps"),
+    ("gauge", "serve.up"),
+    ("gauge", "serve.sketches"),
+    ("gauge", "serve.epoch"),
+    ("counter", "serve.requests"),
+    ("counter", "serve.errors"),
+    ("counter", "serve.queries"),
+    ("counter", "serve.ingested"),
+    ("counter", "serve.flushes"),
+    ("counter", "serve.snapshots"),
+    ("counter", "serve.restores"),
+    ("counter", "serve.cache.hits"),
+    ("counter", "serve.cache.misses"),
+    ("counter", "serve.cache.coalesced"),
+    ("counter", "serve.cache.stale_retries"),
+    ("counter", "serve.cache.invalidations"),
+    ("counter", "serve.cache.evictions"),
+    ("gauge", "serve.cache.entries"),
+    ("histogram", "serve.flush_ns"),
     ("summary", "latency.chunk_update_ns"),
     ("summary", "latency.ingest_chunk_ns"),
     ("summary", "latency.wal_append_ns"),
     ("summary", "latency.telemetry.request_ns"),
+    ("summary", "latency.serve.request_ns"),
+    ("summary", "latency.serve.query_ns"),
 )
 
 

@@ -1,0 +1,47 @@
+"""The always-on quantile query tier.
+
+A daemon (:mod:`repro.serve.daemon`) owns a registry of named live
+sketches (:mod:`repro.serve.registry`), ingests through the same batch
+kernels as the offline harness, and answers ``quantile`` / ``rank`` /
+``cdf`` / batched queries over HTTP/JSON through an epoch-invalidated,
+request-coalescing answer cache (:mod:`repro.serve.cache`).  Flushed
+epochs seal to snapshot envelopes for warm restarts and read-replica
+fan-out.  The orchestration lives in :mod:`repro.serve.service`;
+:mod:`repro.serve.client` is a small synchronous client and
+:mod:`repro.serve.loadgen` the deterministic load generator behind
+``benchmarks/bench_serve.py``.
+
+Operator handbook: docs/serving.md.
+"""
+
+from repro.serve.cache import AnswerCache, STALE
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.daemon import (
+    DaemonHandle,
+    QuantileDaemon,
+    serve_in_thread,
+)
+from repro.serve.registry import (
+    DuplicateSketchError,
+    LiveSketch,
+    ServeRegistry,
+    SketchSpec,
+    UnknownSketchError,
+)
+from repro.serve.service import QuantileService
+
+__all__ = [
+    "AnswerCache",
+    "STALE",
+    "ServeClient",
+    "ServeClientError",
+    "DaemonHandle",
+    "QuantileDaemon",
+    "serve_in_thread",
+    "DuplicateSketchError",
+    "LiveSketch",
+    "ServeRegistry",
+    "SketchSpec",
+    "UnknownSketchError",
+    "QuantileService",
+]

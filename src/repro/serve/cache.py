@@ -1,0 +1,185 @@
+"""Epoch-invalidated answer cache with request coalescing.
+
+A sealed sketch's quantile vector is immutable until the next ingest
+flush, so the read path never needs to compute the same answer twice
+within an epoch.  Keys are ``(sketch, epoch, kind, params)`` tuples:
+
+* **hit** — the answer was computed earlier this epoch; returned in one
+  ordered-dict lookup.
+* **coalesced** — an identical query is being computed right now; the
+  caller awaits the in-flight future instead of duplicating the work.
+* **miss** — this caller computes, stores, and wakes any coalesced
+  waiters.
+
+Invalidation is atomic with respect to the event loop: a flush bumps
+the sketch's epoch (making every old key unreachable) and then calls
+:meth:`AnswerCache.invalidate`, which drops the sketch's completed
+entries *and* marks its in-flight computations stale in the same
+scheduling step — no await point separates the two.  A stale in-flight
+computation resolves to the :data:`STALE` sentinel; waiters (and the
+computer itself) re-read the current epoch and retry, so a flush
+mid-flight can never publish a pre-flush answer to a post-flush reader,
+and a post-flush computation can never be filed under a pre-flush key.
+
+Capacity is bounded: completed entries evict LRU-first past
+``capacity`` (see docs/serving.md for the footprint math).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from typing import Any, Awaitable, Callable, Dict, Hashable, Tuple
+
+from repro.core.errors import InvalidParameterError
+from repro.obs import metrics as obs_metrics
+
+#: Sentinel returned by :meth:`AnswerCache.get_or_compute` when the
+#: computation was invalidated mid-flight; callers re-key and retry.
+STALE = object()
+
+#: Default maximum number of completed answers kept.
+DEFAULT_CAPACITY = 4096
+
+CacheKey = Tuple[Any, ...]
+Supplier = Callable[[], Awaitable[Any]]
+
+
+class _Inflight:
+    """One in-progress computation: a future plus a staleness flag."""
+
+    __slots__ = ("future", "stale")
+
+    def __init__(self, future: "asyncio.Future[Any]") -> None:
+        self.future = future
+        self.stale = False
+
+
+class AnswerCache:
+    """Coalescing (sketch, epoch)-keyed cache of query answers.
+
+    Single-event-loop use only (the daemon's); nothing here is
+    thread-safe, and it does not need to be — mutation and invalidation
+    both happen between await points.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(
+                f"cache capacity must be >= 1, got {capacity!r}"
+            )
+        self.capacity = capacity
+        self._done: "OrderedDict[CacheKey, Any]" = OrderedDict()
+        self._inflight: Dict[CacheKey, _Inflight] = {}
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    async def get_or_compute(
+        self, key: CacheKey, supplier: Supplier
+    ) -> Tuple[Any, str]:
+        """Answer ``key`` from cache, a shared in-flight future, or
+        ``supplier``.
+
+        Returns ``(value, status)`` with status one of ``"hit"``,
+        ``"coalesced"``, ``"miss"``, or ``"stale"`` (value is
+        :data:`STALE`; the caller must re-derive the key from the
+        current epoch and retry).
+        """
+        rec = obs_metrics.recorder()
+        if key in self._done:
+            self._done.move_to_end(key)
+            if rec.enabled:
+                rec.inc("serve.cache.hits", 1)
+            return self._done[key], "hit"
+
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            if rec.enabled:
+                rec.inc("serve.cache.coalesced", 1)
+            value = await inflight.future
+            if inflight.stale or value is STALE:
+                if rec.enabled:
+                    rec.inc("serve.cache.stale_retries", 1)
+                return STALE, "stale"
+            return value, "coalesced"
+
+        if rec.enabled:
+            rec.inc("serve.cache.misses", 1)
+        inflight = _Inflight(asyncio.get_running_loop().create_future())
+        self._inflight[key] = inflight
+        try:
+            value = await supplier()
+        except BaseException:
+            # Errors are not cached; waiters retry and surface the same
+            # error themselves (a resolved-to-STALE future never leaves
+            # an unretrieved exception behind).
+            self._inflight.pop(key, None)
+            inflight.stale = True
+            if not inflight.future.done():
+                inflight.future.set_result(STALE)
+            raise
+        if inflight.stale:
+            # Invalidated while computing: the value was produced from a
+            # state that may already include the next epoch's data, so
+            # it must not be published under this (pre-flush) key.
+            if not inflight.future.done():
+                inflight.future.set_result(STALE)
+            if rec.enabled:
+                rec.inc("serve.cache.stale_retries", 1)
+            return STALE, "stale"
+        self._inflight.pop(key, None)
+        self._store(key, value)
+        if not inflight.future.done():
+            inflight.future.set_result(value)
+        return value, "miss"
+
+    def _store(self, key: CacheKey, value: Any) -> None:
+        self._done[key] = value
+        self._done.move_to_end(key)
+        rec = obs_metrics.recorder()
+        evicted = 0
+        while len(self._done) > self.capacity:
+            self._done.popitem(last=False)
+            evicted += 1
+        if rec.enabled:
+            if evicted:
+                rec.inc("serve.cache.evictions", evicted)
+            rec.set("serve.cache.entries", len(self._done))
+
+    def invalidate(self, sketch_name: Hashable) -> int:
+        """Atomically drop ``sketch_name``'s entries and mark its
+        in-flight computations stale.  Returns how many completed
+        entries were dropped."""
+        dropped = [k for k in self._done if k and k[0] == sketch_name]
+        for key in dropped:
+            del self._done[key]
+        for key in [
+            k for k in self._inflight if k and k[0] == sketch_name
+        ]:
+            self._inflight.pop(key).stale = True
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc("serve.cache.invalidations", 1)
+            rec.set("serve.cache.entries", len(self._done))
+        return len(dropped)
+
+    def clear(self) -> None:
+        self._done.clear()
+        for inflight in self._inflight.values():
+            inflight.stale = True
+        self._inflight.clear()
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.set("serve.cache.entries", 0)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._done),
+            "inflight": len(self._inflight),
+            "capacity": self.capacity,
+        }

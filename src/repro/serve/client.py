@@ -1,0 +1,213 @@
+"""A small synchronous client for the quantile daemon.
+
+Wraps one persistent keep-alive :class:`http.client.HTTPConnection`
+per :class:`ServeClient`, so a sequence of calls pays connection setup
+once.  Every method maps 1:1 onto a daemon endpoint and returns the
+decoded JSON payload; non-2xx responses raise :class:`ServeClientError`
+carrying the daemon's error message and status code.
+
+>>> from repro.serve.daemon import serve_in_thread
+>>> from repro.serve.client import ServeClient
+>>> with serve_in_thread() as handle:
+...     with ServeClient(handle.url()) as client:
+...         _ = client.create("doc", algorithm="gk_array", eps=0.01)
+...         _ = client.ingest("doc", list(range(1, 101)), flush=True)
+...         client.quantile("doc", [0.5])["values"]
+[50]
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Optional, Sequence
+from urllib.parse import quote, urlparse
+
+from repro.core.errors import ReproError
+
+#: Per-request socket timeout (seconds).
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServeClientError(ReproError):
+    """The daemon answered with a non-2xx status."""
+
+    def __init__(self, status: int, message: str, path: str) -> None:
+        super().__init__(f"{status} from {path}: {message}")
+        self.status = status
+        self.path = path
+
+
+class ServeClient:
+    """Talk to a :class:`~repro.serve.daemon.QuantileDaemon`.
+
+    Args:
+        base_url: daemon root, e.g. ``"http://127.0.0.1:8123"`` (what
+            :meth:`DaemonHandle.url` returns).
+        timeout: socket timeout in seconds for each request.
+    """
+
+    def __init__(
+        self, base_url: str, timeout: float = DEFAULT_TIMEOUT
+    ) -> None:
+        parsed = urlparse(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ReproError(
+                f"ServeClient only speaks http, got {base_url!r}"
+            )
+        host = parsed.hostname or "127.0.0.1"
+        port = parsed.port or 80
+        self._conn = http.client.HTTPConnection(
+            host, port, timeout=timeout
+        )
+
+    # -- transport ------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        raw: bool = False,
+    ) -> Any:
+        body = None
+        headers = {"Connection": "keep-alive"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            data = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # One reconnect: the daemon may have closed an idle
+            # keep-alive connection between calls.
+            self._conn.close()
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            data = response.read()
+        if not (200 <= response.status < 300):
+            message = data.decode("utf-8", "replace")
+            try:
+                message = json.loads(message).get("error", message)
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise ServeClientError(response.status, message, path)
+        if raw:
+            return data.decode("utf-8")
+        return json.loads(data.decode("utf-8")) if data else None
+
+    # -- sketch lifecycle ----------------------------------------------
+
+    def create(
+        self,
+        name: str,
+        algorithm: str,
+        eps: float,
+        universe_log2: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": name, "algorithm": algorithm, "eps": eps,
+        }
+        if universe_log2 is not None:
+            payload["universe_log2"] = universe_log2
+        if seed is not None:
+            payload["seed"] = seed
+        return self._request("POST", "/v1/sketches", payload)
+
+    def sketches(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/sketches")["sketches"]
+
+    def info(self, name: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/sketches/{quote(name)}")
+
+    def drop(self, name: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/v1/sketches/{quote(name)}")
+
+    # -- ingest ---------------------------------------------------------
+
+    def ingest(
+        self,
+        name: str,
+        values: Sequence[float],
+        flush: bool = False,
+        workers: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "values": list(values), "flush": flush,
+        }
+        if workers is not None:
+            payload["workers"] = workers
+        return self._request(
+            "POST", f"/v1/sketches/{quote(name)}/ingest", payload
+        )
+
+    def flush(self, name: str) -> Dict[str, Any]:
+        return self._request(
+            "POST", f"/v1/sketches/{quote(name)}/flush", {}
+        )
+
+    # -- queries --------------------------------------------------------
+
+    def quantile(
+        self, name: str, phis: Sequence[float]
+    ) -> Dict[str, Any]:
+        joined = ",".join(repr(float(phi)) for phi in phis)
+        return self._request(
+            "GET", f"/v1/sketches/{quote(name)}/quantile?phi={joined}"
+        )
+
+    def rank(self, name: str, values: Sequence[float]) -> Dict[str, Any]:
+        joined = ",".join(repr(float(v)) for v in values)
+        return self._request(
+            "GET", f"/v1/sketches/{quote(name)}/rank?value={joined}"
+        )
+
+    def cdf(self, name: str, points: int = 10) -> Dict[str, Any]:
+        return self._request(
+            "GET", f"/v1/sketches/{quote(name)}/cdf?points={points}"
+        )
+
+    def query(
+        self, queries: Sequence[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        return self._request(
+            "POST", "/v1/query", {"queries": list(queries)}
+        )["results"]
+
+    # -- replication ----------------------------------------------------
+
+    def snapshot(self, name: str) -> Dict[str, Any]:
+        return self._request(
+            "GET", f"/v1/sketches/{quote(name)}/snapshot"
+        )
+
+    def restore(
+        self, name: str, exported: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        return self._request(
+            "POST", f"/v1/sketches/{quote(name)}/restore", exported
+        )
+
+    # -- observability --------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/metrics", raw=True)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()

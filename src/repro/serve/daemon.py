@@ -1,0 +1,766 @@
+"""The always-on query tier: an asyncio HTTP/JSON quantile daemon.
+
+Zero dependencies beyond the standard library: requests are parsed
+straight off asyncio streams (HTTP/1.1 with keep-alive), routed to a
+:class:`~repro.serve.service.QuantileService`, and answered as JSON.
+The observability endpoints ride alongside the query routes — the same
+``/metrics`` Prometheus text and ``/healthz`` JSON the telemetry plane
+serves elsewhere — and every request's duration is dogfooded into the
+daemon's own KLL summary (``latency.serve.request_ns``), so the p99 the
+operator reads comes with the sketch's rank guarantee.
+
+Endpoint reference (full request/response examples in
+docs/serving.md):
+
+====== ================================== ===========================
+method path                               action
+====== ================================== ===========================
+GET    /v1/sketches                       list served sketches
+POST   /v1/sketches                       create (name + spec in body)
+GET    /v1/sketches/{name}                one sketch's info
+DELETE /v1/sketches/{name}                drop
+POST   /v1/sketches/{name}/ingest         buffer values (opt. flush /
+                                          parallel workers)
+POST   /v1/sketches/{name}/flush          apply pending, bump epoch
+GET    /v1/sketches/{name}/quantile       ?phi=0.5,0.99
+GET    /v1/sketches/{name}/rank           ?value=12,99
+GET    /v1/sketches/{name}/cdf            ?points=20
+POST   /v1/query                          coalesced quantile batch
+GET    /v1/sketches/{name}/snapshot       sealed envelope (replica
+                                          fan-out)
+POST   /v1/sketches/{name}/restore        install shipped envelope
+GET    /v1/stats                          service + cache statistics
+GET    /metrics                           Prometheus exposition
+GET    /healthz                           liveness JSON
+====== ================================== ===========================
+
+Boot from the CLI (``python -m repro serve --port 8123 --create
+"lat,kll,0.001,seed=7"``), in-process (:func:`serve_in_thread`, which
+tests, doctests, and the benchmark use), or embed
+:class:`QuantileDaemon` in an existing event loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import base64
+import binascii
+import json
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.errors import (
+    CorruptSummaryError,
+    EmptySummaryError,
+    InvalidParameterError,
+    ReproError,
+)
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs.export import to_prometheus
+from repro.serve.registry import (
+    DuplicateSketchError,
+    SketchSpec,
+    UnknownSketchError,
+)
+from repro.serve.service import QuantileService
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Hard cap on request body size (ingest batches are chunked anyway).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Hard cap on header section size.
+MAX_HEADER_BYTES = 16 * 1024
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    """Internal: carries an HTTP status + JSON error payload."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _error_status(exc: Exception) -> int:
+    if isinstance(exc, UnknownSketchError):
+        return 404
+    if isinstance(exc, DuplicateSketchError):
+        return 409
+    if isinstance(
+        exc,
+        (InvalidParameterError, EmptySummaryError, CorruptSummaryError),
+    ):
+        return 400
+    return 500
+
+
+class QuantileDaemon:
+    """Serve a :class:`QuantileService` over HTTP on an asyncio loop.
+
+    Args:
+        service: the service to expose (a fresh in-memory one if None).
+        host: bind address; loopback by default (put a real ingress in
+            front for anything else).
+        port: TCP port; 0 picks a free one (read it back via ``port``).
+        latency_log: optional list collecting every request's duration
+            in ns — the benchmark's exact offline baseline for checking
+            the dogfooded summary's p99.  Leave None in production.
+    """
+
+    def __init__(
+        self,
+        service: Optional[QuantileService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        latency_log: Optional[List[int]] = None,
+    ) -> None:
+        if not (0 <= port <= 65535):
+            raise InvalidParameterError(
+                f"port must be in [0, 65535], got {port!r}"
+            )
+        self.service = service if service is not None else QuantileService()
+        self.host = host
+        self._requested_port = port
+        self.latency_log = latency_log
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            return self._requested_port
+        return int(self._server.sockets[0].getsockname()[1])
+
+    def url(self, path: str = "/") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    async def start(self) -> "QuantileDaemon":
+        if self._server is not None:
+            return self
+        recovered = self.service.recover()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.set("serve.up", 1)
+        obs_events.record_event(
+            "serve.start", host=self.host, port=self.port,
+            recovered=recovered,
+        )
+        return self
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.set("serve.up", 0)
+
+    async def run_forever(self) -> None:
+        """Start and serve until cancelled (the CLI entry point)."""
+        await self.start()
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await self.stop()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, query, headers, body = request
+                close = headers.get("connection", "").lower() == "close"
+                start = time.perf_counter_ns()
+                status, content_type, payload, endpoint = (
+                    await self._route(method, path, query, body)
+                )
+                elapsed = time.perf_counter_ns() - start
+                self._account(endpoint, status, elapsed)
+                await self._respond(
+                    writer, status, content_type, payload, close
+                )
+                if close:
+                    break
+        except (
+            ConnectionError, asyncio.IncompleteReadError, TimeoutError
+        ):
+            pass  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, List[str]], Dict[str, str],
+                        bytes]]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, OSError):
+            return None
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            line = await reader.readline()
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                raise _HttpError(400, "header section too large")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            key, _sep, value = line.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        parsed = urlparse(target)
+        return (
+            method.upper(),
+            parsed.path.rstrip("/") or "/",
+            parse_qs(parsed.query),
+            headers,
+            body,
+        )
+
+    def _account(self, endpoint: str, status: int, elapsed_ns: int) -> None:
+        rec = obs_metrics.recorder()
+        if rec.enabled:
+            rec.inc("serve.requests", 1, endpoint=endpoint)
+            if status >= 400:
+                rec.inc("serve.errors", 1)
+            rec.summary("latency.serve.request_ns").observe(elapsed_ns)
+        if self.latency_log is not None:
+            self.latency_log.append(elapsed_ns)
+
+    # -- routing --------------------------------------------------------
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, List[str]],
+        body: bytes,
+    ) -> Tuple[int, str, bytes, str]:
+        """Dispatch one request; returns (status, ctype, body, endpoint
+        label) with the label normalized to the route pattern so metric
+        cardinality stays bounded."""
+        try:
+            return await self._dispatch(method, path, query, body)
+        except _HttpError as exc:
+            return (
+                exc.status,
+                "application/json",
+                _json_bytes({"error": exc.message}),
+                "(error)",
+            )
+        except ReproError as exc:
+            return (
+                _error_status(exc),
+                "application/json",
+                _json_bytes({
+                    "error": str(exc), "type": type(exc).__name__,
+                }),
+                "(error)",
+            )
+        except Exception as exc:  # defensive: the daemon must not die
+            return (
+                500,
+                "application/json",
+                _json_bytes({
+                    "error": str(exc), "type": type(exc).__name__,
+                }),
+                "(error)",
+            )
+
+    async def _dispatch(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, List[str]],
+        body: bytes,
+    ) -> Tuple[int, str, bytes, str]:
+        service = self.service
+        if path == "/metrics" and method == "GET":
+            registry = obs_metrics.recorder()
+            text = (
+                to_prometheus(registry)
+                if isinstance(registry, obs_metrics.MetricsRegistry)
+                else ""
+            )
+            return (
+                200, PROMETHEUS_CONTENT_TYPE, text.encode("utf-8"),
+                "/metrics",
+            )
+        if path == "/healthz" and method == "GET":
+            payload = {
+                "status": "ok",
+                "sketches": len(service.registry),
+                "epochs": {
+                    info["name"]: info["epoch"]
+                    for info in service.infos()
+                },
+                "collecting": isinstance(
+                    obs_metrics.recorder(), obs_metrics.MetricsRegistry
+                ),
+            }
+            return 200, "application/json", _json_bytes(payload), "/healthz"
+        if path == "/v1/stats" and method == "GET":
+            return (
+                200, "application/json", _json_bytes(service.stats()),
+                "/v1/stats",
+            )
+        if path == "/v1/sketches":
+            if method == "GET":
+                return (
+                    200, "application/json",
+                    _json_bytes({"sketches": service.infos()}),
+                    "/v1/sketches",
+                )
+            if method == "POST":
+                payload = _json_body(body)
+                name = payload.get("name")
+                if not isinstance(name, str):
+                    raise _HttpError(400, "create needs a 'name' string")
+                info = await service.create(
+                    name, SketchSpec.from_dict(payload)
+                )
+                return (
+                    201, "application/json", _json_bytes(info),
+                    "/v1/sketches",
+                )
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        if path == "/v1/query" and method == "POST":
+            payload = _json_body(body)
+            queries = payload.get("queries")
+            if not isinstance(queries, list) or not queries:
+                raise _HttpError(
+                    400, "batch query needs a non-empty 'queries' list"
+                )
+            results = await service.query_batch(queries)
+            return (
+                200, "application/json",
+                _json_bytes({"results": results}),
+                "/v1/query",
+            )
+
+        segments = path.split("/")
+        # /v1/sketches/{name}[/{action}]
+        if (
+            len(segments) in (4, 5)
+            and segments[1] == "v1"
+            and segments[2] == "sketches"
+        ):
+            name = segments[3]
+            action = segments[4] if len(segments) == 5 else None
+            return await self._sketch_route(
+                method, name, action, query, body
+            )
+        raise _HttpError(404, f"unknown path {path!r}")
+
+    async def _sketch_route(
+        self,
+        method: str,
+        name: str,
+        action: Optional[str],
+        query: Dict[str, List[str]],
+        body: bytes,
+    ) -> Tuple[int, str, bytes, str]:
+        service = self.service
+        if action is None:
+            if method == "GET":
+                return (
+                    200, "application/json",
+                    _json_bytes(service.info(name)),
+                    "/v1/sketches/{name}",
+                )
+            if method == "DELETE":
+                await service.drop(name)
+                return (
+                    200, "application/json",
+                    _json_bytes({"dropped": name}),
+                    "/v1/sketches/{name}",
+                )
+            raise _HttpError(405, f"{method} not allowed here")
+        label = "/v1/sketches/{name}/" + action
+        if action == "ingest" and method == "POST":
+            payload = _json_body(body)
+            values = payload.get("values")
+            if not isinstance(values, list):
+                raise _HttpError(400, "ingest needs a 'values' list")
+            workers = payload.get("workers")
+            result = await service.ingest(
+                name,
+                values,
+                flush=bool(payload.get("flush", False)),
+                workers=None if workers is None else int(workers),
+            )
+            return 200, "application/json", _json_bytes(result), label
+        if action == "flush" and method == "POST":
+            advanced = await service.flush(name)
+            info = service.info(name)
+            return (
+                200, "application/json",
+                _json_bytes({
+                    "name": name,
+                    "flushed": advanced,
+                    "epoch": info["epoch"],
+                    "n": info["n"],
+                }),
+                label,
+            )
+        if action == "quantile" and method == "GET":
+            phis = _float_list(query, "phi", default=[0.5])
+            return (
+                200, "application/json",
+                _json_bytes(await service.quantiles(name, phis)),
+                label,
+            )
+        if action == "rank" and method == "GET":
+            targets = _float_list(query, "value", default=None)
+            if targets is None:
+                raise _HttpError(400, "rank needs ?value=v1,v2,...")
+            return (
+                200, "application/json",
+                _json_bytes(await service.ranks(name, targets)),
+                label,
+            )
+        if action == "cdf" and method == "GET":
+            raw = query.get("points", ["10"])[-1]
+            try:
+                points = int(raw)
+            except ValueError:
+                raise _HttpError(400, f"bad points {raw!r}") from None
+            return (
+                200, "application/json",
+                _json_bytes(await service.cdf(name, points)),
+                label,
+            )
+        if action == "snapshot" and method == "GET":
+            exported = service.registry.export_envelope(name)
+            exported["envelope_b64"] = base64.b64encode(
+                exported.pop("envelope")
+            ).decode("ascii")
+            return (
+                200, "application/json", _json_bytes(exported), label,
+            )
+        if action == "restore" and method == "POST":
+            payload = _json_body(body)
+            blob_b64 = payload.get("envelope_b64")
+            if not isinstance(blob_b64, str):
+                raise _HttpError(
+                    400, "restore needs an 'envelope_b64' string"
+                )
+            try:
+                envelope = base64.b64decode(
+                    blob_b64.encode("ascii"), validate=True
+                )
+            except (binascii.Error, ValueError):
+                raise _HttpError(400, "envelope_b64 is not base64") from None
+            spec = SketchSpec.from_dict(payload.get("spec", {}))
+            entry = service.registry.restore_envelope(
+                name, envelope, spec, int(payload.get("epoch", 1))
+            )
+            self.service.cache.invalidate(name)
+            return (
+                200, "application/json", _json_bytes(entry.info()), label,
+            )
+        raise _HttpError(404, f"unknown action {action!r} for {name!r}")
+
+    # -- response writing ----------------------------------------------
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        body: bytes,
+        close: bool,
+    ) -> None:
+        reason = _REASONS.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+def _json_bytes(payload: Any) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+def _json_body(body: bytes) -> Dict[str, Any]:
+    if not body:
+        raise _HttpError(400, "request body must be JSON")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _HttpError(400, f"bad JSON body: {exc}") from None
+    if not isinstance(payload, dict):
+        raise _HttpError(400, "JSON body must be an object")
+    return payload
+
+
+def _float_list(
+    query: Dict[str, List[str]], key: str,
+    default: Optional[List[float]],
+) -> Optional[List[float]]:
+    if key not in query:
+        return default
+    out: List[float] = []
+    for chunk in query[key]:
+        for part in chunk.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            try:
+                out.append(float(part))
+            except ValueError:
+                raise _HttpError(
+                    400, f"bad {key} value {part!r}"
+                ) from None
+    if not out:
+        return default
+    return out
+
+
+# -- in-thread embedding ------------------------------------------------
+
+
+class DaemonHandle:
+    """A daemon running on its own event loop in a background thread.
+
+    What tests, doctests, and the benchmark hold: ``url``/``port`` to
+    reach it, ``call`` to run service coroutines on the daemon's loop,
+    and ``stop`` to shut everything down.
+    """
+
+    def __init__(
+        self,
+        daemon: QuantileDaemon,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.daemon = daemon
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def service(self) -> QuantileService:
+        return self.daemon.service
+
+    @property
+    def port(self) -> int:
+        return self.daemon.port
+
+    def url(self, path: str = "/") -> str:
+        return self.daemon.url(path)
+
+    def call(self, coro: Any, timeout: float = 30.0) -> Any:
+        """Run a coroutine on the daemon's loop and return its result."""
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout=timeout)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread.is_alive():
+            asyncio.run_coroutine_threadsafe(
+                self.daemon.stop(), self._loop
+            ).result(timeout=timeout)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "DaemonHandle":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    service: Optional[QuantileService] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    latency_log: Optional[List[int]] = None,
+) -> DaemonHandle:
+    """Boot a daemon on a fresh event loop in a daemon thread.
+
+    Returns once the socket is bound.  The caller owns shutdown via
+    :meth:`DaemonHandle.stop` (or use the handle as a context manager).
+    """
+    daemon = QuantileDaemon(
+        service=service, host=host, port=port, latency_log=latency_log
+    )
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    failure: List[BaseException] = []
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(daemon.start())
+        except BaseException as exc:  # bind failures surface to caller
+            failure.append(exc)
+            started.set()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    thread = threading.Thread(
+        target=_run, name="repro-serve", daemon=True
+    )
+    thread.start()
+    started.wait(timeout=30.0)
+    if failure:
+        raise failure[0]
+    return DaemonHandle(daemon, loop, thread)
+
+
+# -- CLI ----------------------------------------------------------------
+
+
+def _parse_create(text: str) -> Tuple[str, SketchSpec]:
+    """``name,algorithm,eps[,universe_log2=B][,seed=S]`` -> (name, spec)."""
+    parts = [part.strip() for part in text.split(",") if part.strip()]
+    if len(parts) < 3:
+        raise argparse.ArgumentTypeError(
+            f"--create wants 'name,algorithm,eps[,...]', got {text!r}"
+        )
+    name, algorithm, eps = parts[0], parts[1], parts[2]
+    extras: Dict[str, int] = {}
+    for part in parts[3:]:
+        key, sep, value = part.partition("=")
+        if not sep or key not in ("universe_log2", "seed"):
+            raise argparse.ArgumentTypeError(
+                f"unknown --create option {part!r} "
+                "(use universe_log2=B or seed=S)"
+            )
+        try:
+            extras[key] = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad integer in --create option {part!r}"
+            ) from None
+    try:
+        spec = SketchSpec(
+            algorithm=algorithm, eps=float(eps),
+            universe_log2=extras.get("universe_log2"),
+            seed=extras.get("seed"),
+        )
+    except (ValueError, ReproError) as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return name, spec
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Always-on quantile query daemon (HTTP/JSON).",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: loopback)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default: 0 = pick a free one, printed on boot)",
+    )
+    parser.add_argument(
+        "--persist-dir", default=None, metavar="DIR",
+        help="seal every flushed epoch to DIR and warm-restart from it "
+             "on boot (see docs/serving.md)",
+    )
+    parser.add_argument(
+        "--create", action="append", default=[], type=_parse_create,
+        metavar="NAME,ALGO,EPS[,universe_log2=B][,seed=S]",
+        help="create a sketch at boot (repeatable), e.g. "
+             "--create 'lat,kll,0.001,seed=7'",
+    )
+    parser.add_argument(
+        "--flush-threshold", type=int, default=65536, metavar="N",
+        help="auto-flush once N elements are pending (0 disables; "
+             "default 65536)",
+    )
+    parser.add_argument(
+        "--cache-capacity", type=int, default=4096, metavar="N",
+        help="answer-cache entry cap (default 4096)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro serve ...`` entry point."""
+    args = make_parser().parse_args(argv)
+    from repro.serve.cache import AnswerCache
+
+    obs_metrics.enable(obs_metrics.MetricsRegistry())
+    service = QuantileService(
+        persist_dir=args.persist_dir,
+        flush_threshold=args.flush_threshold,
+        cache=AnswerCache(capacity=args.cache_capacity),
+    )
+    daemon = QuantileDaemon(
+        service=service, host=args.host, port=args.port
+    )
+
+    async def _serve() -> None:
+        await daemon.start()
+        for name, spec in args.create:
+            if name not in service.registry:
+                await service.create(name, spec)
+        print(
+            f"# serving quantiles on {daemon.url()} "
+            f"(sketches: {', '.join(service.registry.names()) or 'none'})",
+            file=sys.stderr,
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await daemon.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("# serve: shut down", file=sys.stderr)
+    return 0

@@ -1,0 +1,199 @@
+"""Deterministic asyncio load generator for the query tier.
+
+Drives ``POST /v1/query`` over a handful of persistent keep-alive
+connections, each sending a fixed number of requests drawn from a
+seeded payload pool — so a run is exactly reproducible and the
+queries-per-second figure in ``BENCH_serve.json`` means the same thing
+on every box.  Each request carries a *batch* of quantile queries
+(``queries_per_request`` sub-queries x ``phis_per_query`` phis), which
+is how a one-core box clears 100k quantile answers per second: the
+daemon's answer cache collapses repeated batches into ordered-dict
+lookups, and HTTP overhead amortizes across the batch.
+
+The generator measures client-side per-request latency with
+``perf_counter_ns`` and returns raw stats; interpretation (targets,
+gating) belongs to the caller (``benchmarks/bench_serve.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+#: Default distinct request payloads in the pool (cache working set).
+DEFAULT_POOL = 64
+
+
+def build_payload_pool(
+    sketch_names: Sequence[str],
+    pool_size: int = DEFAULT_POOL,
+    queries_per_request: int = 4,
+    phis_per_query: int = 64,
+    seed: int = 0,
+) -> List[bytes]:
+    """Pre-serialize ``pool_size`` distinct ``/v1/query`` bodies.
+
+    Phis are drawn from a seeded RNG and rounded to 4 decimals, giving a
+    bounded universe of distinct cache keys: a realistic dashboard-style
+    workload where most queries repeat.
+    """
+    if not sketch_names:
+        raise InvalidParameterError("need at least one sketch name")
+    if min(pool_size, queries_per_request, phis_per_query) < 1:
+        raise InvalidParameterError(
+            "pool_size, queries_per_request, phis_per_query must be >= 1"
+        )
+    rng = np.random.default_rng(seed)
+    pool: List[bytes] = []
+    for _ in range(pool_size):
+        queries = []
+        for _ in range(queries_per_request):
+            name = sketch_names[int(rng.integers(len(sketch_names)))]
+            phis = np.round(
+                rng.uniform(0.001, 0.999, size=phis_per_query), 4
+            )
+            queries.append({"sketch": name, "phis": phis.tolist()})
+        pool.append(json.dumps({"queries": queries}).encode("utf-8"))
+    return pool
+
+
+async def _drive_connection(
+    host: str,
+    port: int,
+    payloads: Sequence[bytes],
+    requests: int,
+    offset: int,
+    latencies_ns: List[int],
+    errors: List[str],
+) -> int:
+    """One persistent connection issuing ``requests`` pooled payloads.
+
+    Returns the number of successful requests.  Speaks just enough
+    HTTP/1.1 to stay honest: full status-line + header parse, exact
+    Content-Length body reads, keep-alive reuse.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    ok = 0
+    try:
+        for i in range(requests):
+            body = payloads[(offset + i) % len(payloads)]
+            head = (
+                f"POST /v1/query HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: keep-alive\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            start = time.perf_counter_ns()
+            writer.write(head + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split()
+            if len(parts) < 2 or parts[1] != "200":
+                errors.append(status_line.decode("latin-1").strip())
+            length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                key, _sep, value = (
+                    line.decode("latin-1").partition(":")
+                )
+                if key.strip().lower() == "content-length":
+                    length = int(value)
+            if length:
+                await reader.readexactly(length)
+            latencies_ns.append(time.perf_counter_ns() - start)
+            if len(parts) >= 2 and parts[1] == "200":
+                ok += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+    return ok
+
+
+async def run_load(
+    host: str,
+    port: int,
+    sketch_names: Sequence[str],
+    total_requests: int = 2000,
+    connections: int = 4,
+    pool_size: int = DEFAULT_POOL,
+    queries_per_request: int = 4,
+    phis_per_query: int = 64,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Fire ``total_requests`` batched query requests at the daemon.
+
+    Returns a stats dict: request/query counts, wall-clock seconds,
+    ``qps`` (quantile queries per second — the acceptance figure),
+    ``rps`` (HTTP requests per second), error samples, and client-side
+    latency percentiles in nanoseconds.
+    """
+    if connections < 1 or total_requests < 1:
+        raise InvalidParameterError(
+            "connections and total_requests must be >= 1"
+        )
+    payloads = build_payload_pool(
+        sketch_names,
+        pool_size=pool_size,
+        queries_per_request=queries_per_request,
+        phis_per_query=phis_per_query,
+        seed=seed,
+    )
+    per_conn = [total_requests // connections] * connections
+    for i in range(total_requests % connections):
+        per_conn[i] += 1
+    latencies_ns: List[int] = []
+    errors: List[str] = []
+    start = time.perf_counter()
+    results = await asyncio.gather(*[
+        _drive_connection(
+            host, port, payloads, per_conn[i],
+            offset=i * 7919,  # a prime stride decorrelates pool order
+            latencies_ns=latencies_ns, errors=errors,
+        )
+        for i in range(connections)
+        if per_conn[i] > 0
+    ])
+    seconds = time.perf_counter() - start
+    ok = int(sum(results))
+    queries = ok * queries_per_request * phis_per_query
+    ordered = sorted(latencies_ns)
+
+    def pct(q: float) -> int:
+        if not ordered:
+            return 0
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    return {
+        "requests": total_requests,
+        "requests_ok": ok,
+        "queries": queries,
+        "connections": connections,
+        "pool_size": pool_size,
+        "queries_per_request": queries_per_request * phis_per_query,
+        "seconds": seconds,
+        "qps": queries / seconds if seconds > 0 else 0.0,
+        "rps": ok / seconds if seconds > 0 else 0.0,
+        "errors": errors[:10],
+        "error_count": len(errors),
+        "client_latency_ns": {
+            "p50": pct(0.50), "p90": pct(0.90), "p99": pct(0.99),
+        },
+    }
+
+
+def run_load_sync(*args: Any, **kwargs: Any) -> Dict[str, Any]:
+    """:func:`run_load` from synchronous code (owns a private loop)."""
+    return asyncio.run(run_load(*args, **kwargs))

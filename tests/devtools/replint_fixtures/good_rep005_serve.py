@@ -1,0 +1,17 @@
+"""REP005 good fixture: query-tier (serve.*) metric names, spanning
+every instrument kind the daemon records, all preregistered."""
+
+
+def account_request(registry, endpoint, elapsed_ns):
+    registry.set("serve.up", 1)
+    registry.inc("serve.requests", 1, endpoint=endpoint)
+    registry.summary("latency.serve.request_ns").observe(elapsed_ns)
+
+
+def account_cache(registry, hits, entries):
+    registry.inc("serve.cache.hits", hits)
+    registry.set("serve.cache.entries", entries)
+
+
+def account_flush(registry, sketch, elapsed_ns):
+    registry.observe("serve.flush_ns", elapsed_ns, sketch=sketch)

@@ -7,4 +7,10 @@ DEFAULT_INSTRUMENTS = (
     ("gauge", "telemetry.shard.alive"),
     ("counter", "flight.events"),
     ("summary", "latency.request_ns"),
+    ("gauge", "serve.up"),
+    ("counter", "serve.requests"),
+    ("counter", "serve.cache.hits"),
+    ("gauge", "serve.cache.entries"),
+    ("histogram", "serve.flush_ns"),
+    ("summary", "latency.serve.request_ns"),
 )

@@ -152,6 +152,14 @@ class TestREP005MetricsPreregistration:
         )
         assert result.diagnostics == []
 
+    def test_serve_names_clean(self, tmp_path):
+        # The query-tier daemon's serve.* families (every instrument
+        # kind it records) must count as preregistered.
+        result = lint_fixtures(
+            tmp_path, "instruments.py", "good_rep005_serve.py"
+        )
+        assert result.diagnostics == []
+
     def test_real_instrument_table_is_found(self):
         # The live src tree declares DEFAULT_INSTRUMENTS; every recorded
         # metric name must already be preregistered there.

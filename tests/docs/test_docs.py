@@ -4,9 +4,9 @@ Two cheap checks that keep the handbook honest:
 
 * every relative markdown link in README.md and docs/*.md points at a
   file that exists (external http(s) links are not fetched);
-* the fenced ``>>>`` examples in docs/performance.md actually execute
-  and produce the documented output (doctest), so the handbook's code
-  can be pasted verbatim.
+* the fenced ``>>>`` examples in docs/performance.md and
+  docs/serving.md actually execute and produce the documented output
+  (doctest), so the handbooks' code can be pasted verbatim.
 """
 
 from __future__ import annotations
@@ -45,19 +45,24 @@ def test_relative_links_resolve(doc: pathlib.Path) -> None:
     assert not missing, f"{doc.name}: broken relative links {missing}"
 
 
-def test_performance_handbook_examples_run() -> None:
-    """The performance handbook's doctests pass (CI also runs
-    ``python -m doctest docs/performance.md`` from the repo root)."""
+#: Handbooks whose ``>>>`` examples must execute verbatim.
+DOCTESTED = ["performance.md", "serving.md"]
+
+
+@pytest.mark.parametrize("name", DOCTESTED)
+def test_handbook_examples_run(name: str) -> None:
+    """The handbook's doctests pass (CI also runs
+    ``python -m doctest docs/<name>`` from the repo root)."""
     import os
 
     cwd = os.getcwd()
     os.chdir(REPO_ROOT)  # the BENCH_speed.json example opens a relative path
     try:
         failures, tests = doctest.testfile(
-            str(REPO_ROOT / "docs" / "performance.md"),
+            str(REPO_ROOT / "docs" / name),
             module_relative=False,
         )
     finally:
         os.chdir(cwd)
-    assert tests > 0, "performance.md lost its doctests"
+    assert tests > 0, f"{name} lost its doctests"
     assert failures == 0

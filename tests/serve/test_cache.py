@@ -1,0 +1,230 @@
+"""Answer-cache behavior: hits, coalescing, eviction, invalidation."""
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.obs import metrics as obs_metrics
+from repro.serve.cache import STALE, AnswerCache
+
+
+@pytest.fixture(autouse=True)
+def _no_metrics():
+    previous = obs_metrics._recorder
+    obs_metrics.disable()
+    yield
+    obs_metrics._recorder = previous
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _const(value):
+    return value
+
+
+class TestBasics:
+    def test_capacity_validated(self):
+        with pytest.raises(InvalidParameterError):
+            AnswerCache(capacity=0)
+
+    def test_miss_then_hit(self):
+        cache = AnswerCache()
+
+        async def scenario():
+            calls = []
+
+            async def supplier():
+                calls.append(1)
+                return [42]
+
+            first = await cache.get_or_compute(("s", 1, "q"), supplier)
+            second = await cache.get_or_compute(("s", 1, "q"), supplier)
+            return first, second, calls
+
+        first, second, calls = run(scenario())
+        assert first == ([42], "miss")
+        assert second == ([42], "hit")
+        assert calls == [1]  # computed once
+
+    def test_distinct_keys_do_not_share(self):
+        cache = AnswerCache()
+
+        async def scenario():
+            a = await cache.get_or_compute(("s", 1, "a"), lambda: _const(1))
+            b = await cache.get_or_compute(("s", 1, "b"), lambda: _const(2))
+            return a[0], b[0]
+
+        assert run(scenario()) == (1, 2)
+
+    def test_lru_eviction(self):
+        cache = AnswerCache(capacity=2)
+
+        async def scenario():
+            await cache.get_or_compute(("s", 1, "a"), lambda: _const(1))
+            await cache.get_or_compute(("s", 1, "b"), lambda: _const(2))
+            # touch "a" so "b" is the LRU victim
+            await cache.get_or_compute(("s", 1, "a"), lambda: _const(1))
+            await cache.get_or_compute(("s", 1, "c"), lambda: _const(3))
+            hit_a = await cache.get_or_compute(
+                ("s", 1, "a"), lambda: _const(99)
+            )
+            miss_b = await cache.get_or_compute(
+                ("s", 1, "b"), lambda: _const(98)
+            )
+            return hit_a, miss_b
+
+        hit_a, miss_b = run(scenario())
+        assert hit_a == (1, "hit")
+        assert miss_b == (98, "miss")  # "b" was evicted
+        assert len(cache) == 2
+
+
+class TestCoalescing:
+    def test_concurrent_identical_queries_compute_once(self):
+        cache = AnswerCache()
+
+        async def scenario():
+            calls = []
+            gate = asyncio.Event()
+
+            async def slow():
+                calls.append(1)
+                await gate.wait()
+                return [7]
+
+            tasks = [
+                asyncio.ensure_future(
+                    cache.get_or_compute(("s", 1, "q"), slow)
+                )
+                for _ in range(5)
+            ]
+            await asyncio.sleep(0)  # let every task reach the cache
+            gate.set()
+            results = await asyncio.gather(*tasks)
+            return calls, results
+
+        calls, results = run(scenario())
+        assert calls == [1]
+        assert {status for _value, status in results} == {
+            "miss", "coalesced"
+        }
+        assert all(value == [7] for value, _status in results)
+
+    def test_waiters_of_invalidated_computation_get_stale(self):
+        cache = AnswerCache()
+
+        async def scenario():
+            gate = asyncio.Event()
+
+            async def slow():
+                await gate.wait()
+                return [7]
+
+            leader = asyncio.ensure_future(
+                cache.get_or_compute(("s", 1, "q"), slow)
+            )
+            await asyncio.sleep(0)
+            waiter = asyncio.ensure_future(
+                cache.get_or_compute(("s", 1, "q"), slow)
+            )
+            await asyncio.sleep(0)
+            cache.invalidate("s")  # flush landed mid-computation
+            gate.set()
+            return await asyncio.gather(leader, waiter)
+
+        leader, waiter = run(scenario())
+        assert leader == (STALE, "stale")
+        assert waiter == (STALE, "stale")
+        assert len(cache) == 0  # nothing was published
+
+    def test_supplier_error_not_cached_and_waiters_retry(self):
+        cache = AnswerCache()
+
+        async def scenario():
+            gate = asyncio.Event()
+
+            async def failing():
+                await gate.wait()
+                raise RuntimeError("boom")
+
+            leader = asyncio.ensure_future(
+                cache.get_or_compute(("s", 1, "q"), failing)
+            )
+            await asyncio.sleep(0)
+            waiter = asyncio.ensure_future(
+                cache.get_or_compute(("s", 1, "q"), failing)
+            )
+            await asyncio.sleep(0)
+            gate.set()
+            with pytest.raises(RuntimeError):
+                await leader
+            waited = await waiter
+            # After the failure the key is computable again.
+            retry = await cache.get_or_compute(
+                ("s", 1, "q"), lambda: _const([1])
+            )
+            return waited, retry
+
+        waited, retry = run(scenario())
+        assert waited == (STALE, "stale")
+        assert retry == ([1], "miss")
+        assert cache.inflight == 0
+
+
+class TestInvalidation:
+    def test_invalidate_drops_only_that_sketch(self):
+        cache = AnswerCache()
+
+        async def scenario():
+            await cache.get_or_compute(("a", 1, "q"), lambda: _const(1))
+            await cache.get_or_compute(("a", 1, "r"), lambda: _const(2))
+            await cache.get_or_compute(("b", 1, "q"), lambda: _const(3))
+            dropped = cache.invalidate("a")
+            keep = await cache.get_or_compute(
+                ("b", 1, "q"), lambda: _const(99)
+            )
+            return dropped, keep
+
+        dropped, keep = run(scenario())
+        assert dropped == 2
+        assert keep == (3, "hit")
+        assert len(cache) == 1
+
+    def test_clear_resets_everything(self):
+        cache = AnswerCache()
+
+        async def scenario():
+            await cache.get_or_compute(("a", 1, "q"), lambda: _const(1))
+            cache.clear()
+            return await cache.get_or_compute(
+                ("a", 1, "q"), lambda: _const(2)
+            )
+
+        assert run(scenario()) == (2, "miss")
+
+    def test_stats_shape(self):
+        cache = AnswerCache(capacity=8)
+        stats = cache.stats()
+        assert stats == {"entries": 0, "inflight": 0, "capacity": 8}
+
+
+class TestMetricsAccounting:
+    def test_counters_flow_into_registry(self):
+        registry = obs_metrics.enable(obs_metrics.MetricsRegistry())
+        cache = AnswerCache(capacity=1)
+
+        async def scenario():
+            await cache.get_or_compute(("a", 1, "q"), lambda: _const(1))
+            await cache.get_or_compute(("a", 1, "q"), lambda: _const(1))
+            await cache.get_or_compute(("a", 1, "r"), lambda: _const(2))
+            cache.invalidate("a")
+
+        run(scenario())
+        assert registry.get("serve.cache.misses").value == 2
+        assert registry.get("serve.cache.hits").value == 1
+        assert registry.get("serve.cache.evictions").value == 1
+        assert registry.get("serve.cache.invalidations").value == 1
+        assert registry.get("serve.cache.entries").value == 0

@@ -1,0 +1,223 @@
+"""End-to-end daemon tests: HTTP surface, errors, replication, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.daemon import _parse_create, serve_in_thread
+from repro.serve.service import QuantileService
+
+
+@pytest.fixture(autouse=True)
+def _metrics_registry():
+    previous = obs_metrics._recorder
+    obs_metrics.enable(obs_metrics.MetricsRegistry())
+    yield
+    obs_metrics._recorder = previous
+
+
+@pytest.fixture()
+def daemon():
+    with serve_in_thread() as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(daemon):
+    with ServeClient(daemon.url()) as c:
+        yield c
+
+
+class TestLifecycle:
+    def test_create_list_info_drop(self, client):
+        info = client.create("a", algorithm="gk_array", eps=0.01)
+        assert info["name"] == "a" and info["epoch"] == 0
+        names = [s["name"] for s in client.sketches()]
+        assert names == ["a"]
+        assert client.info("a")["algorithm"] == "gk_array"
+        client.drop("a")
+        assert client.sketches() == []
+
+    def test_ingest_flush_query_round_trip(self, client):
+        client.create("q", algorithm="gk_array", eps=0.01)
+        result = client.ingest("q", list(range(1, 1001)), flush=True)
+        assert result["flushed"] is True and result["epoch"] == 1
+        answer = client.quantile("q", [0.5, 0.99])
+        assert answer["n"] == 1000
+        values = [q["value"] for q in answer["quantiles"]]
+        assert values[0] == pytest.approx(500, abs=15)
+        assert values[1] == pytest.approx(990, abs=15)
+        rank = client.rank("q", [500.0])
+        assert rank["ranks"][0]["rank"] == pytest.approx(0.5, abs=0.02)
+        cdf = client.cdf("q", points=5)
+        assert len(cdf["points"]) == 5
+        flushed = client.flush("q")
+        assert flushed["flushed"] is False  # nothing pending
+
+    def test_batch_query_and_cache_status(self, client):
+        client.create("b", algorithm="gk_array", eps=0.01)
+        client.ingest("b", list(range(100)), flush=True)
+        first, second = client.query([
+            {"sketch": "b", "phis": [0.5, 0.9]},
+            {"sketch": "b", "phis": [0.5, 0.9]},
+        ])
+        assert first["cache"] == "miss"
+        assert second["cache"] == "hit"
+        repeat = client.query([{"sketch": "b", "phis": [0.5, 0.9]}])
+        assert repeat[0]["cache"] == "hit"
+
+
+class TestErrors:
+    def test_unknown_sketch_404(self, client):
+        with pytest.raises(ServeClientError) as excinfo:
+            client.quantile("ghost", [0.5])
+        assert excinfo.value.status == 404
+
+    def test_duplicate_create_409(self, client):
+        client.create("dup", algorithm="gk_array", eps=0.01)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.create("dup", algorithm="gk_array", eps=0.01)
+        assert excinfo.value.status == 409
+
+    def test_bad_parameters_400(self, client):
+        client.create("e", algorithm="gk_array", eps=0.01)
+        client.ingest("e", [1.0], flush=True)
+        for call in (
+            lambda: client.quantile("e", [1.5]),
+            lambda: client.create("bad", algorithm="nope", eps=0.01),
+            lambda: client.cdf("e", points="x"),
+        ):
+            with pytest.raises(ServeClientError) as excinfo:
+                call()
+            assert excinfo.value.status == 400
+
+    def test_empty_sketch_400(self, client):
+        client.create("empty", algorithm="gk_array", eps=0.01)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.quantile("empty", [0.5])
+        assert excinfo.value.status == 400
+        assert "empty" in str(excinfo.value)
+
+    def test_unknown_path_404_and_bad_method_405(self, client):
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("PUT", "/v1/sketches")
+        assert excinfo.value.status == 405
+
+    def test_malformed_json_400(self, client):
+        client._conn.request(
+            "POST", "/v1/sketches", body=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        response = client._conn.getresponse()
+        response.read()
+        assert response.status == 400
+
+
+class TestObservability:
+    def test_metrics_exposition_has_serve_families(self, client):
+        client.create("m", algorithm="gk_array", eps=0.01)
+        client.ingest("m", [1.0, 2.0, 3.0], flush=True)
+        client.quantile("m", [0.5])
+        text = client.metrics_text()
+        for family in (
+            "repro_serve_up", "repro_serve_requests",
+            "repro_serve_sketches", "repro_serve_cache_hits",
+            "repro_latency_serve_request_ns",
+        ):
+            assert family in text, family
+
+    def test_healthz_reports_epochs(self, client):
+        client.create("h", algorithm="gk_array", eps=0.01)
+        client.ingest("h", [1.0], flush=True)
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["epochs"] == {"h": 1}
+
+    def test_stats_counts_requests(self, client):
+        client.create("st", algorithm="gk_array", eps=0.01)
+        client.ingest("st", list(range(10)), flush=True)
+        client.quantile("st", [0.5])
+        stats = client.stats()
+        assert stats["counters"]["requests"] >= 3
+        assert stats["counters"]["queries"] == 1
+        assert stats["request_latency_ns"]["count"] >= 3
+
+
+class TestReplication:
+    def test_snapshot_restore_identical_vectors(self, daemon, client):
+        client.create("r", algorithm="gk_array", eps=0.005)
+        client.ingest("r", list(range(1, 5001)), flush=True)
+        phis = [0.01, 0.25, 0.5, 0.75, 0.99]
+        primary = client.quantile("r", phis)
+        exported = client.snapshot("r")
+        assert exported["epoch"] == 1 and exported["n"] == 5000
+
+        with serve_in_thread() as replica:
+            with ServeClient(replica.url()) as rc:
+                restored = rc.restore("r", exported)
+                assert restored["epoch"] == 1
+                mirrored = rc.quantile("r", phis)
+        assert mirrored["quantiles"] == primary["quantiles"]
+
+    def test_warm_restart_from_persist_dir(self, tmp_path):
+        phis = [0.1, 0.5, 0.9]
+        with serve_in_thread(
+            service=QuantileService(persist_dir=str(tmp_path))
+        ) as handle:
+            with ServeClient(handle.url()) as c:
+                c.create("w", algorithm="gk_array", eps=0.01, seed=0)
+                c.ingest("w", list(range(1, 2001)), flush=True)
+                before = c.quantile("w", phis)
+
+        # The daemon is gone; a new one recovers the sealed epoch.
+        with serve_in_thread(
+            service=QuantileService(persist_dir=str(tmp_path))
+        ) as handle:
+            with ServeClient(handle.url()) as c:
+                after = c.quantile("w", phis)
+        assert after["quantiles"] == before["quantiles"]
+        assert after["epoch"] == before["epoch"]
+
+    def test_restore_rejects_garbage(self, client):
+        with pytest.raises(ServeClientError) as excinfo:
+            client.restore("x", {
+                "envelope_b64": "!!!notbase64!!!",
+                "spec": {"algorithm": "gk_array", "eps": 0.01},
+                "epoch": 1,
+            })
+        assert excinfo.value.status == 400
+
+
+class TestParallelIngestRoute:
+    def test_workers_route_over_http(self, client):
+        client.create("p", algorithm="kll", eps=0.02, seed=7)
+        data = np.arange(30_000, dtype=np.float64)
+        result = client.ingest("p", data.tolist(), workers=2)
+        assert result["flushed"] is True
+        answer = client.quantile("p", [0.5])
+        assert answer["n"] == 30_000
+        value = answer["quantiles"][0]["value"]
+        assert value == pytest.approx(15_000, rel=0.05)
+
+
+class TestCreateArgParsing:
+    def test_parse_create_full(self):
+        name, spec = _parse_create("lat,kll,0.001,seed=7")
+        assert name == "lat" and spec.algorithm == "kll"
+        assert spec.eps == 0.001 and spec.seed == 7
+
+    def test_parse_create_universe(self):
+        _name, spec = _parse_create("f,qdigest,0.05,universe_log2=16")
+        assert spec.universe_log2 == 16
+
+    def test_parse_create_rejects_garbage(self):
+        import argparse
+
+        for bad in ("onlyname", "a,b", "x,gk_array,0.01,zap=1",
+                    "x,gk_array,0.01,seed=z"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                _parse_create(bad)

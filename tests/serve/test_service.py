@@ -1,0 +1,322 @@
+"""Service semantics: cached reads, the parallel route, and the
+flush-mid-flight race (a pre-flush answer must never reach a
+post-flush reader)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    EmptySummaryError,
+    InvalidParameterError,
+    UnmergeableSketchError,
+)
+from repro.evaluation.harness import build_sketch, feed_stream
+from repro.obs import metrics as obs_metrics
+from repro.serve.registry import SketchSpec
+from repro.serve.service import QuantileService
+
+SPEC = SketchSpec(algorithm="gk_array", eps=0.01)
+
+
+@pytest.fixture(autouse=True)
+def _no_metrics():
+    previous = obs_metrics._recorder
+    obs_metrics.disable()
+    yield
+    obs_metrics._recorder = previous
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _loaded_service(data, **kwargs):
+    service = QuantileService(**kwargs)
+    await service.create("s", SPEC)
+    await service.ingest("s", data, flush=True)
+    return service
+
+
+class TestReads:
+    def test_quantiles_match_offline_sketch(self):
+        data = np.arange(1, 5001, dtype=np.float64)
+        phis = [0.01, 0.25, 0.5, 0.75, 0.99]
+
+        async def scenario():
+            service = await _loaded_service(data)
+            return await service.quantiles("s", phis)
+
+        result = run(scenario())
+        offline = build_sketch("gk_array", 0.01)
+        feed_stream(offline, data)
+        assert [q["value"] for q in result["quantiles"]] == (
+            offline.query_batch(phis)
+        )
+        assert result["epoch"] == 1 and result["n"] == 5000
+
+    def test_second_read_hits_cache(self):
+        async def scenario():
+            service = await _loaded_service([1.0, 2.0, 3.0])
+            first = await service.quantiles("s", [0.5])
+            second = await service.quantiles("s", [0.5])
+            return first, second
+
+        first, second = run(scenario())
+        assert first["cache"] == "miss"
+        assert second["cache"] == "hit"
+        assert first["quantiles"] == second["quantiles"]
+
+    def test_ranks_and_cdf(self):
+        data = np.arange(1, 1001, dtype=np.float64)
+
+        async def scenario():
+            service = await _loaded_service(data)
+            ranks = await service.ranks("s", [500.0])
+            cdf = await service.cdf("s", 4)
+            return ranks, cdf
+
+        ranks, cdf = run(scenario())
+        assert ranks["ranks"][0]["rank"] == pytest.approx(0.5, abs=0.02)
+        assert len(cdf["points"]) == 4
+        assert cdf["points"] == sorted(cdf["points"])
+
+    def test_query_batch_coalesces_duplicates(self):
+        async def scenario():
+            service = await _loaded_service(list(range(1, 101)))
+            results = await service.query_batch([
+                {"sketch": "s", "phis": [0.5, 0.9]},
+                {"sketch": "s", "phis": [0.5, 0.9]},
+            ])
+            return results
+
+        first, second = run(scenario())
+        assert first["cache"] == "miss"
+        assert second["cache"] == "hit"
+        assert first["quantiles"] == second["quantiles"]
+
+    def test_empty_sketch_refuses_reads(self):
+        async def scenario():
+            service = QuantileService()
+            await service.create("s", SPEC)
+            await service.quantiles("s", [0.5])
+
+        with pytest.raises(EmptySummaryError):
+            run(scenario())
+
+    def test_bad_params_rejected(self):
+        async def scenario(call):
+            service = await _loaded_service([1.0, 2.0])
+            await call(service)
+
+        for call in (
+            lambda s: s.quantiles("s", []),
+            lambda s: s.ranks("s", []),
+            lambda s: s.cdf("s", 0),
+            lambda s: s.quantiles("s", [1.5]),
+        ):
+            with pytest.raises(InvalidParameterError):
+                run(scenario(call))
+
+
+class TestWrites:
+    def test_buffered_ingest_leaves_answers_sealed(self):
+        async def scenario():
+            service = await _loaded_service(list(range(1, 101)))
+            before = await service.quantiles("s", [0.5])
+            result = await service.ingest("s", [1e6] * 500)
+            mid = await service.quantiles("s", [0.5])
+            await service.flush("s")
+            after = await service.quantiles("s", [0.5])
+            return before, result, mid, after
+
+        before, result, mid, after = run(scenario())
+        assert result["flushed"] is False
+        assert result["pending_elements"] == 500
+        assert mid["quantiles"] == before["quantiles"]  # still sealed
+        assert mid["epoch"] == 1
+        assert after["epoch"] == 2
+        assert after["quantiles"] != before["quantiles"]
+
+    def test_auto_flush_threshold(self):
+        async def scenario():
+            service = QuantileService(flush_threshold=100)
+            await service.create("s", SPEC)
+            small = await service.ingest("s", list(range(50)))
+            big = await service.ingest("s", list(range(60)))
+            return small, big
+
+        small, big = run(scenario())
+        assert small["flushed"] is False
+        assert big["flushed"] is True  # 110 pending >= 100
+        assert big["pending_elements"] == 0
+
+    def test_parallel_route_merges_and_bumps_epoch(self):
+        data = np.arange(50_000, dtype=np.float64)
+
+        async def scenario():
+            service = QuantileService()
+            await service.create(
+                "p", SketchSpec(algorithm="kll", eps=0.02, seed=7)
+            )
+            result = await service.ingest("p", data, workers=2)
+            query = await service.quantiles("p", [0.5])
+            return result, query
+
+        result, query = run(scenario())
+        assert result["flushed"] is True and result["accepted"] == 50_000
+        assert query["n"] == 50_000
+        assert query["quantiles"][0]["value"] == pytest.approx(
+            25_000, rel=0.05
+        )
+
+    def test_parallel_route_rejects_unmergeable(self):
+        async def scenario():
+            service = QuantileService()
+            await service.create(
+                "u", SketchSpec(algorithm="reservoir", eps=0.05)
+            )
+            await service.ingest("u", [1.0, 2.0], workers=2)
+
+        with pytest.raises(UnmergeableSketchError):
+            run(scenario())
+
+    def test_parallel_route_rejects_shared_seed_merges(self):
+        async def scenario():
+            service = QuantileService()
+            await service.create(
+                "d", SketchSpec(algorithm="dcs", eps=0.05,
+                                universe_log2=16, seed=3)
+            )
+            await service.ingest("d", [1, 2, 3], workers=2)
+
+        with pytest.raises(InvalidParameterError, match="seed"):
+            run(scenario())
+
+    def test_drop_invalidates_cache(self):
+        async def scenario():
+            service = await _loaded_service([1.0, 2.0, 3.0])
+            await service.quantiles("s", [0.5])
+            await service.drop("s")
+            return len(service.cache)
+
+        assert run(scenario()) == 0
+
+
+class TestFlushMidFlightRace:
+    """The satellite acceptance test: pause a coalesced computation
+    across a flush and prove no pre-flush answer leaks to any
+    post-flush reader (and no answer lands under a pre-flush key)."""
+
+    def test_paused_computation_never_serves_stale_answers(self):
+        async def scenario():
+            service = await _loaded_service(
+                list(range(1, 1001)), flush_threshold=0
+            )
+            warm = await service.quantiles("s", [0.5])
+
+            original = service._compute
+            release = asyncio.Event()
+            compute_log = []
+
+            async def paused(entry, kind, params):
+                compute_log.append((entry.epoch, kind, params))
+                await release.wait()
+                return await original(entry, kind, params)
+
+            service._compute = paused
+
+            # Two identical reads: a leader paused inside the compute
+            # and a coalesced waiter parked on its future.
+            leader = asyncio.ensure_future(
+                service.quantiles("s", [0.9])
+            )
+            await asyncio.sleep(0)
+            waiter = asyncio.ensure_future(
+                service.quantiles("s", [0.9])
+            )
+            await asyncio.sleep(0)
+            assert service.cache.inflight == 1
+
+            # A flush lands mid-flight with wildly different data.
+            await service.ingest("s", [1e6] * 3000, flush=True)
+
+            release.set()
+            leader_result = await leader
+            waiter_result = await waiter
+            post = await service.quantiles("s", [0.5])
+            return warm, leader_result, waiter_result, post, (
+                compute_log, list(service.cache._done)
+            )
+
+        warm, leader_result, waiter_result, post, extras = run(scenario())
+        compute_log, cached_keys = extras
+
+        # Both paused readers retried into epoch 2 — their answers
+        # include the post-flush data, not the epoch-1 snapshot.
+        assert warm["epoch"] == 1
+        for result in (leader_result, waiter_result):
+            assert result["epoch"] == 2
+            assert result["n"] == 4000
+            assert result["quantiles"][0]["value"] == 1e6
+        # A post-flush reader of the warmed params sees epoch 2, not
+        # the pre-flush cached answer.
+        assert post["epoch"] == 2
+        assert post["cache"] != "hit" or post["n"] == 4000
+        assert post["quantiles"] != warm["quantiles"]
+        # The paused compute ran at epoch 1 first, then the retries at
+        # epoch 2; nothing was ever filed under an epoch-1 key.
+        assert compute_log[0][0] == 1
+        assert all(epoch == 2 for epoch, _k, _p in compute_log[1:])
+        assert cached_keys and all(key[1] == 2 for key in cached_keys)
+
+    def test_repeated_flushes_fall_back_to_uncached(self):
+        """If a flush lands during *every* retry, the read still
+        answers (uncached) instead of looping forever."""
+
+        async def scenario():
+            service = await _loaded_service(
+                list(range(1, 101)), flush_threshold=0
+            )
+            original = service._compute
+
+            async def flushing_compute(entry, kind, params):
+                # Sabotage: every computation is immediately staled.
+                service.cache.invalidate(entry.name)
+                return await original(entry, kind, params)
+
+            service._compute = flushing_compute
+            return await service.quantiles("s", [0.5])
+
+        result = run(scenario())
+        assert result["cache"] == "uncached"
+        assert result["n"] == 100
+
+
+class TestStats:
+    def test_stats_shape_and_counters(self):
+        obs_metrics.enable(obs_metrics.MetricsRegistry())
+
+        async def scenario():
+            service = await _loaded_service(list(range(1, 101)))
+            await service.quantiles("s", [0.5])
+            await service.quantiles("s", [0.5])
+            return service.stats()
+
+        stats = run(scenario())
+        assert stats["cache"]["hits"] == 1
+        assert stats["cache"]["misses"] == 1
+        assert stats["counters"]["queries"] == 2
+        assert stats["counters"]["ingested"] == 100
+        assert stats["counters"]["flushes"] == 1
+        assert stats["uptime_s"] >= 0
+        assert stats["sketches"][0]["name"] == "s"
+
+    def test_registry_and_persist_dir_conflict(self):
+        from repro.serve.registry import ServeRegistry
+
+        with pytest.raises(InvalidParameterError):
+            QuantileService(
+                registry=ServeRegistry(), persist_dir="/tmp/x"
+            )
