@@ -1,0 +1,851 @@
+"""Flow-aware concurrency rules REP008-REP012.
+
+These rules run on the CFG/dataflow machinery in
+:mod:`repro.devtools.flow` and guard the three concurrency-heavy layers
+the single-pass rules cannot see: the asyncio serve tier (REP008), lock
+discipline anywhere in the library (REP009/REP010), the shared-memory
+slot protocol between the parallel/durability engines and their workers
+(REP011), and swallowed errors in long-lived loops (REP012).
+
+Vocabulary is heuristic by design: replint never imports the code it
+lints, so "is this a lock" is answered by how the object is named and
+constructed (``threading.Lock()`` assignments, receivers whose last
+component looks like ``*lock*``/``*mutex*``/``*cond*``), and "does this
+block" by a catalog of known primitives plus transitive propagation
+through the project's own call graph.  Every heuristic is documented in
+docs/static-analysis.md; `# replint: disable=REPxxx` with a
+justification comment is the escape hatch when the analysis is wrong.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from . import flow
+from .engine import (
+    Diagnostic,
+    FileContext,
+    ProjectIndex,
+    ROLE_LIBRARY,
+    Rule,
+)
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+# ---------------------------------------------------------------------------
+# Shared vocabulary helpers
+# ---------------------------------------------------------------------------
+
+
+def _dotted(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """Dotted path of a receiver expression, subscripts elided.
+
+    ``self._free[worker_id].pop`` -> ("self", "_free", "pop").  Returns
+    None for anything that is not a Name/Attribute/Subscript chain.
+    """
+    if isinstance(node, ast.Name):
+        return (node.id,)
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return None if base is None else base + (node.attr,)
+    if isinstance(node, ast.Subscript):
+        return _dotted(node.value)
+    return None
+
+
+def _display(node: ast.expr) -> str:
+    parts = _dotted(node)
+    return ".".join(parts) if parts else "<expr>"
+
+
+#: Receiver names that read as locks (last dotted component).
+_LOCKISH_NAME = re.compile(r"(?i)(lock|mutex|cond)")
+#: Constructor call names that build locks: threading.Lock(), RLock(),
+#: Condition(), Semaphore(), and aliased factories ending in "lock".
+_LOCK_CONSTRUCTOR = re.compile(r"(?i)(r?lock|condition|(bounded)?semaphore)$")
+
+
+def _is_lock_constructor(call: ast.expr) -> bool:
+    if not isinstance(call, ast.Call):
+        return False
+    parts = _dotted(call.func)
+    return parts is not None and bool(_LOCK_CONSTRUCTOR.search(parts[-1]))
+
+
+def module_lock_names(tree: ast.AST) -> Set[Tuple[str, ...]]:
+    """Dotted targets assigned from a lock constructor anywhere in the file."""
+    names: Set[Tuple[str, ...]] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and _is_lock_constructor(node.value):
+            for target in node.targets:
+                parts = _dotted(target)
+                if parts is not None:
+                    names.add(parts)
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and node.value is not None
+            and _is_lock_constructor(node.value)
+        ):
+            parts = _dotted(node.target)
+            if parts is not None:
+                names.add(parts)
+    return names
+
+
+def _lock_token(
+    expr: ast.expr, lock_names: Set[Tuple[str, ...]]
+) -> Optional[str]:
+    """The lock identity of a receiver, or None when it isn't lock-like."""
+    parts = _dotted(expr)
+    if parts is None:
+        return None
+    if parts in lock_names or _LOCKISH_NAME.search(parts[-1]):
+        return ".".join(parts)
+    return None
+
+
+def _iter_stmt_calls(stmt: ast.stmt) -> Iterator[Tuple[ast.Call, bool]]:
+    """(call, awaited) pairs owned by one CFG statement node.
+
+    Compound heads (``if``/``while``/``for``/handlers) contribute only
+    their header expressions: their body statements have CFG nodes of
+    their own, and double-attributing a body call to the head would let
+    an acquire or release "happen" one node early.
+    """
+    for root in flow.stmt_header_exprs(stmt):
+        yield from flow.iter_calls(root, skip_nested=True)
+
+
+class _LockEvents:
+    """Per-function lock acquire/release events, keyed by CFG node."""
+
+    def __init__(self, fn: _FuncDef, lock_names: Set[Tuple[str, ...]]) -> None:
+        self.cfg = flow.build_cfg(fn)
+        self.node_acquires: Dict[int, FrozenSet[str]] = {}
+        self.node_releases: Dict[int, FrozenSet[str]] = {}
+        #: token -> bare ``.acquire()`` call sites (with-scoped excluded).
+        self.bare_acquires: Dict[str, List[ast.Call]] = {}
+        #: node index -> (token, anchor) acquired there (with or bare).
+        self.acquire_anchors: Dict[int, List[Tuple[str, ast.AST]]] = {}
+        for node in self.cfg.nodes:
+            acquires: Set[str] = set()
+            releases: Set[str] = set()
+            if node.kind == flow.WITH_ENTER and node.item is not None:
+                token = _lock_token(node.item.context_expr, lock_names)
+                if token is not None:
+                    acquires.add(token)
+                    self.acquire_anchors.setdefault(node.index, []).append(
+                        (token, node.item.context_expr)
+                    )
+            elif node.kind == flow.WITH_EXIT and node.item is not None:
+                token = _lock_token(node.item.context_expr, lock_names)
+                if token is not None:
+                    releases.add(token)
+            elif node.kind == flow.STMT and node.stmt is not None:
+                for call, awaited in _iter_stmt_calls(node.stmt):
+                    if awaited or not isinstance(call.func, ast.Attribute):
+                        continue
+                    if call.func.attr == "acquire":
+                        token = _lock_token(call.func.value, lock_names)
+                        if token is not None:
+                            acquires.add(token)
+                            self.bare_acquires.setdefault(token, []).append(call)
+                            self.acquire_anchors.setdefault(
+                                node.index, []
+                            ).append((token, call))
+                    elif call.func.attr == "release":
+                        token = _lock_token(call.func.value, lock_names)
+                        if token is not None:
+                            releases.add(token)
+            if acquires:
+                self.node_acquires[node.index] = frozenset(acquires)
+            if releases:
+                self.node_releases[node.index] = frozenset(releases)
+
+    def acquires(self, node: flow.CFNode) -> FrozenSet[str]:
+        return self.node_acquires.get(node.index, frozenset())
+
+    def releases(self, node: flow.CFNode) -> FrozenSet[str]:
+        return self.node_releases.get(node.index, frozenset())
+
+    @property
+    def has_lock_events(self) -> bool:
+        return bool(self.node_acquires)
+
+
+def _functions_with_owner(
+    tree: ast.AST,
+) -> Iterator[Tuple[_FuncDef, Optional[str]]]:
+    """Every function def paired with its directly enclosing class name."""
+    owners: Dict[int, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    owners[id(child)] = node.name
+    for fn in flow.iter_function_defs(tree):
+        yield fn, owners.get(id(fn))
+
+
+# ---------------------------------------------------------------------------
+# REP008: no blocking calls reachable inside async def bodies
+# ---------------------------------------------------------------------------
+
+#: (dotted-prefix or exact match) -> why it blocks.  Checked against the
+#: call's dotted path after project-function resolution fails.
+_BLOCKING_EXACT: Dict[Tuple[str, ...], str] = {
+    ("time", "sleep"): "sleeps the whole event loop (time.sleep)",
+    ("os", "system"): "blocks on a subprocess (os.system)",
+    ("os", "popen"): "blocks on a subprocess (os.popen)",
+    ("os", "wait"): "blocks on child processes (os.wait)",
+    ("os", "waitpid"): "blocks on child processes (os.waitpid)",
+    ("open",): "performs synchronous file I/O (open)",
+}
+_BLOCKING_PREFIXES: Dict[str, str] = {
+    "subprocess": "blocks until a subprocess finishes",
+    "socket": "performs synchronous socket I/O",
+}
+
+#: method-call heuristics: attr -> (receiver substring, why).
+_BLOCKING_METHODS: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "get": (("queue",), "performs a blocking queue get"),
+    "join": (
+        ("proc", "thread", "worker"),
+        "blocks joining a process/thread",
+    ),
+    "recv": (("sock", "conn", "pipe"), "performs a blocking receive"),
+    "recv_bytes": (("sock", "conn", "pipe"), "performs a blocking receive"),
+    "accept": (("sock", "server"), "performs a blocking accept"),
+    "connect": (("sock", "conn"), "performs a blocking connect"),
+    "sendall": (("sock", "conn"), "performs a blocking send"),
+    "wait": (
+        ("proc", "process", "conn", "connection", "cond"),
+        "performs a blocking wait",
+    ),
+    "urlopen": ((), "performs a synchronous HTTP fetch"),
+}
+
+
+def _direct_blocking_reason(
+    call: ast.Call, lock_names: Set[Tuple[str, ...]]
+) -> Optional[str]:
+    """Why this single call blocks, per the primitive catalog, or None."""
+    parts = _dotted(call.func)
+    if parts is None:
+        return None
+    exact = _BLOCKING_EXACT.get(parts)
+    if exact is not None:
+        return exact
+    prefix_reason = _BLOCKING_PREFIXES.get(parts[0])
+    if prefix_reason is not None and len(parts) > 1:
+        return prefix_reason
+    if isinstance(call.func, ast.Attribute):
+        attr = call.func.attr
+        if attr == "acquire":
+            if _lock_token(call.func.value, lock_names) is not None:
+                return "blocks on an un-awaited lock acquire"
+            return None
+        entry = _BLOCKING_METHODS.get(attr)
+        if entry is not None:
+            substrings, why = entry
+            receiver = ".".join(parts[:-1]).lower()
+            if not substrings or any(s in receiver for s in substrings):
+                return why
+    return None
+
+
+class _FnRecord:
+    """One indexed function: where it lives and what it calls."""
+
+    __slots__ = ("node", "path", "owner", "blocking")
+
+    def __init__(self, node: _FuncDef, path: str, owner: Optional[str]) -> None:
+        self.node = node
+        self.path = path
+        self.owner = owner
+        #: "why it blocks" once classified, else None.
+        self.blocking: Optional[str] = None
+
+
+def _local_ctor_types(fn: _FuncDef, known: Set[str]) -> Dict[str, str]:
+    """Local name -> class name, for ``x = Cls(...)`` / ``with Cls() as x``."""
+    out: Dict[str, str] = {}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            callee = node.value.func
+            if isinstance(callee, ast.Name) and callee.id in known:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out[target.id] = callee.id
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if (
+                    isinstance(item.context_expr, ast.Call)
+                    and isinstance(item.context_expr.func, ast.Name)
+                    and item.context_expr.func.id in known
+                    and isinstance(item.optional_vars, ast.Name)
+                ):
+                    out[item.optional_vars.id] = item.context_expr.func.id
+    return out
+
+
+class BlockingInAsyncRule(Rule):
+    """REP008: nothing reachable from an ``async def`` may block the loop."""
+
+    rule_id = "REP008"
+    title = "no blocking calls reachable inside async def bodies"
+    rationale = (
+        "One synchronous sleep, subprocess, queue get, or file read on "
+        "the serve event loop stalls every in-flight request and "
+        "invalidates the p99 latency the serve tier advertises.  "
+        "Blocking work belongs in `await loop.run_in_executor(...)`."
+    )
+    roles = (ROLE_LIBRARY,)
+
+    def check_project(
+        self, project: ProjectIndex, contexts: Sequence[FileContext]
+    ) -> Iterator[Diagnostic]:
+        library = [ctx for ctx in contexts if ctx.role in self.roles]
+
+        # Pass 1: index every function and seed direct blocking reasons.
+        by_name: Dict[str, List[_FnRecord]] = {}
+        by_method: Dict[Tuple[str, str], _FnRecord] = {}
+        records: List[_FnRecord] = []
+        lock_names_by_path: Dict[str, Set[Tuple[str, ...]]] = {}
+        for ctx in library:
+            lock_names = module_lock_names(ctx.tree)
+            lock_names_by_path[ctx.path] = lock_names
+            for fn, owner in _functions_with_owner(ctx.tree):
+                record = _FnRecord(fn, ctx.path, owner)
+                records.append(record)
+                if owner is None:
+                    by_name.setdefault(fn.name, []).append(record)
+                else:
+                    by_method[(owner, fn.name)] = record
+                if isinstance(fn, ast.AsyncFunctionDef):
+                    continue  # async callees are awaited, not blocking
+                for call, awaited in flow.iter_calls(fn, skip_nested=True):
+                    if awaited:
+                        continue
+                    reason = _direct_blocking_reason(call, lock_names)
+                    if reason is not None:
+                        record.blocking = reason
+                        break
+
+        known_classes = set(project.classes) | {cls for cls, _ in by_method}
+
+        def resolve(
+            call: ast.Call, record: _FnRecord, ctor_types: Dict[str, str]
+        ) -> Optional[_FnRecord]:
+            func = call.func
+            if isinstance(func, ast.Name):
+                candidates = by_name.get(func.id, [])
+                same_file = [c for c in candidates if c.path == record.path]
+                if same_file:
+                    return same_file[0]
+                if len(candidates) == 1:
+                    return candidates[0]
+                return None
+            if isinstance(func, ast.Attribute):
+                receiver = func.value
+                cls: Optional[str] = None
+                if isinstance(receiver, ast.Name):
+                    if receiver.id == "self":
+                        cls = record.owner
+                    else:
+                        cls = ctor_types.get(receiver.id)
+                if cls is None:
+                    return None
+                for info in project.iter_subclass_chain(cls):
+                    method = by_method.get((info.name, func.attr))
+                    if method is not None:
+                        return method
+                return by_method.get((cls, func.attr))
+            return None
+
+        # Pass 2: propagate blocking through the project call graph to a
+        # fixpoint (sync functions only; awaited calls never count).
+        ctor_cache: Dict[int, Dict[str, str]] = {}
+        changed = True
+        while changed:
+            changed = False
+            for record in records:
+                if record.blocking is not None or isinstance(
+                    record.node, ast.AsyncFunctionDef
+                ):
+                    continue
+                ctor_types = ctor_cache.get(id(record.node))
+                if ctor_types is None:
+                    ctor_types = _local_ctor_types(record.node, known_classes)
+                    ctor_cache[id(record.node)] = ctor_types
+                for call, awaited in flow.iter_calls(
+                    record.node, skip_nested=True
+                ):
+                    if awaited:
+                        continue
+                    callee = resolve(call, record, ctor_types)
+                    if callee is not None and callee.blocking is not None:
+                        record.blocking = (
+                            f"calls {_display(call.func)}(), which "
+                            f"{callee.blocking}"
+                        )
+                        changed = True
+                        break
+
+        # Pass 3: flag blocking calls lexically inside async bodies.
+        for ctx in library:
+            lock_names = lock_names_by_path[ctx.path]
+            for fn, owner in _functions_with_owner(ctx.tree):
+                if not isinstance(fn, ast.AsyncFunctionDef):
+                    continue
+                record = _FnRecord(fn, ctx.path, owner)
+                ctor_types = self._reaching_ctor_types(fn, known_classes)
+                for call, awaited in flow.iter_calls(fn, skip_nested=True):
+                    if awaited:
+                        continue
+                    reason = _direct_blocking_reason(call, lock_names)
+                    if reason is None:
+                        callee = resolve(call, record, ctor_types)
+                        if callee is not None and callee.blocking is not None:
+                            reason = callee.blocking
+                    if reason is not None:
+                        yield self.diagnostic(
+                            ctx.path,
+                            call,
+                            f"blocking call {_display(call.func)}() inside "
+                            f"async def {fn.name}: {reason}; offload it "
+                            "with await loop.run_in_executor(...)",
+                        )
+
+    @staticmethod
+    def _reaching_ctor_types(
+        fn: _FuncDef, known: Set[str]
+    ) -> Dict[str, str]:
+        """Like :func:`_local_ctor_types` but definition-precise: a name
+        maps to a class only when *every* definition reaching the end of
+        the function is a constructor call of that class."""
+        cfg = flow.build_cfg(fn)
+        in_states, _ = flow.solve(cfg, flow.ReachingDefinitions(cfg))
+        exit_state = in_states[cfg.exit.index]
+        lexical = _local_ctor_types(fn, known)
+        if exit_state is None:
+            return lexical
+        out: Dict[str, str] = {}
+        for name, cls in lexical.items():
+            defs = flow.definition_nodes(exit_state, name)
+            consistent = True
+            for index in defs:
+                node = cfg.nodes[index]
+                stmt = node.stmt
+                if not (
+                    isinstance(stmt, ast.Assign)
+                    and isinstance(stmt.value, ast.Call)
+                    and isinstance(stmt.value.func, ast.Name)
+                    and stmt.value.func.id == cls
+                ) and node.kind != flow.WITH_ENTER:
+                    consistent = False
+                    break
+            if consistent:
+                out[name] = cls
+        return out
+
+
+# ---------------------------------------------------------------------------
+# REP009: every lock acquire is with-scoped or released on all paths
+# ---------------------------------------------------------------------------
+
+#: Functions that legitimately return while holding: lock wrappers
+#: implementing the lock protocol themselves.
+_LOCK_PROTOCOL_NAMES = {
+    "acquire",
+    "release",
+    "locked",
+    "__enter__",
+    "__exit__",
+    "_acquire_restore",
+    "_release_save",
+}
+
+
+class LockReleaseRule(Rule):
+    """REP009: no path may leave a function with a bare acquire unreleased."""
+
+    rule_id = "REP009"
+    title = "lock acquires must be with-scoped or released on every path"
+    rationale = (
+        "A lock that stays held on one early-return or exception path "
+        "deadlocks the next acquirer — usually in a different thread, "
+        "minutes later, with no stack trace pointing here.  `with lock:` "
+        "makes the release structural."
+    )
+    roles = (ROLE_LIBRARY,)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        lock_names = module_lock_names(ctx.tree)
+        for fn in flow.iter_function_defs(ctx.tree):
+            if fn.name in _LOCK_PROTOCOL_NAMES:
+                continue
+            events = _LockEvents(fn, lock_names)
+            if not events.bare_acquires:
+                continue
+            analysis = flow.HeldSetAnalysis(
+                events.acquires, events.releases, mode=flow.MAY
+            )
+            in_states, _ = flow.solve(events.cfg, analysis)
+            exit_state = in_states[events.cfg.exit.index]
+            if not exit_state:
+                continue
+            for token, sites in sorted(events.bare_acquires.items()):
+                if token in exit_state:
+                    yield self.diagnostic(
+                        ctx.path,
+                        sites[0],
+                        f"lock {token} acquired here may never be released "
+                        f"on some path out of {fn.name}(); use `with "
+                        f"{token}:` or release in try/finally",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# REP010: globally consistent lock-acquisition order
+# ---------------------------------------------------------------------------
+
+
+class LockOrderRule(Rule):
+    """REP010: the project-wide lock graph must be acyclic."""
+
+    rule_id = "REP010"
+    title = "lock acquisition order must be globally consistent"
+    rationale = (
+        "Two code paths that take the same pair of locks in opposite "
+        "orders deadlock the moment they run concurrently.  The rule "
+        "builds the global acquired-while-holding graph and reports "
+        "every cycle."
+    )
+    roles = (ROLE_LIBRARY,)
+
+    def check_project(
+        self, project: ProjectIndex, contexts: Sequence[FileContext]
+    ) -> Iterator[Diagnostic]:
+        # edge (held -> acquired) -> first witness (path, anchor).
+        edges: Dict[Tuple[str, str], Tuple[str, ast.AST]] = {}
+        for ctx in contexts:
+            if ctx.role not in self.roles:
+                continue
+            lock_names = module_lock_names(ctx.tree)
+            module = Path(ctx.path).stem
+            for fn, owner in _functions_with_owner(ctx.tree):
+                events = _LockEvents(fn, lock_names)
+                if not events.has_lock_events:
+                    continue
+                analysis = flow.HeldSetAnalysis(
+                    events.acquires, events.releases, mode=flow.MUST
+                )
+                in_states, _ = flow.solve(events.cfg, analysis)
+                for index, anchors in events.acquire_anchors.items():
+                    held = in_states.get(index) or frozenset()
+                    for token, anchor in anchors:
+                        acquired = _global_token(token, owner, module)
+                        for other in held:
+                            if other == token:
+                                continue
+                            edge = (
+                                _global_token(other, owner, module),
+                                acquired,
+                            )
+                            edges.setdefault(edge, (ctx.path, anchor))
+
+        graph: Dict[str, Set[str]] = {}
+        for held, acquired in edges:
+            graph.setdefault(held, set()).add(acquired)
+
+        seen_cycles: Set[Tuple[str, ...]] = set()
+        for (held, acquired), (path, anchor) in sorted(
+            edges.items(), key=lambda kv: (kv[1][0], getattr(kv[1][1], "lineno", 0))
+        ):
+            cycle = _find_path(graph, acquired, held)
+            if cycle is None:
+                continue
+            loop_nodes = [held, acquired] + cycle[1:]
+            canonical = _canonical_cycle(loop_nodes)
+            if canonical in seen_cycles:
+                continue
+            seen_cycles.add(canonical)
+            rendered = " -> ".join(loop_nodes + [held])
+            yield self.diagnostic(
+                path,
+                anchor,
+                f"lock-order cycle: {rendered}; acquiring {acquired} while "
+                f"holding {held} here conflicts with the opposite order "
+                "elsewhere in the project",
+            )
+
+
+def _global_token(token: str, owner: Optional[str], module: str) -> str:
+    if token.startswith("self.") and owner is not None:
+        return f"{owner}.{token[len('self.'):]}"
+    return f"{module}.{token}"
+
+
+def _find_path(
+    graph: Dict[str, Set[str]], start: str, goal: str
+) -> Optional[List[str]]:
+    """A simple DFS path start -> goal in the lock graph, or None."""
+    stack: List[Tuple[str, List[str]]] = [(start, [start])]
+    visited: Set[str] = set()
+    while stack:
+        node, path = stack.pop()
+        if node == goal:
+            return path
+        if node in visited:
+            continue
+        visited.add(node)
+        for succ in sorted(graph.get(node, ())):
+            stack.append((succ, path + [succ]))
+    return None
+
+
+def _canonical_cycle(nodes: List[str]) -> Tuple[str, ...]:
+    return tuple(sorted(set(nodes)))
+
+
+# ---------------------------------------------------------------------------
+# REP011: shared-memory slot lifecycle (acquire -> write -> ack)
+# ---------------------------------------------------------------------------
+
+
+def _is_slot_acquire(call: ast.Call) -> bool:
+    if isinstance(call.func, ast.Attribute):
+        if call.func.attr == "pop":
+            parts = _dotted(call.func.value)
+            if parts is not None and any("free" in p.lower() for p in parts):
+                return True
+    parts = _dotted(call.func)
+    if parts is not None:
+        last = parts[-1].lower()
+        if "take_free_slot" in last or "acquire_slot" in last or "take_slot" in last:
+            return True
+    return False
+
+
+def _flat_args(call: ast.Call) -> Iterator[ast.expr]:
+    todo: List[ast.expr] = list(call.args) + [kw.value for kw in call.keywords]
+    while todo:
+        arg = todo.pop()
+        if isinstance(arg, (ast.Tuple, ast.List)):
+            todo.extend(arg.elts)
+        else:
+            yield arg
+
+
+def _released_tokens(stmt: ast.stmt, tokens: Set[str]) -> Set[str]:
+    """Tokens this statement hands back (queued, acked, or re-freed)."""
+    released: Set[str] = set()
+    for call, _awaited in _iter_stmt_calls(stmt):
+        release_call = False
+        if isinstance(call.func, ast.Attribute):
+            attr = call.func.attr
+            if attr in ("put", "put_nowait", "send"):
+                release_call = True
+            elif attr == "append":
+                parts = _dotted(call.func.value)
+                release_call = parts is not None and any(
+                    "free" in p.lower() for p in parts
+                )
+        parts = _dotted(call.func)
+        if parts is not None and "release" in parts[-1].lower():
+            release_call = True
+        if not release_call:
+            continue
+        for arg in _flat_args(call):
+            if isinstance(arg, ast.Name) and arg.id in tokens:
+                released.add(arg.id)
+    return released
+
+
+class SlotLifecycleRule(Rule):
+    """REP011: a popped shared-memory slot is released exactly once per path."""
+
+    rule_id = "REP011"
+    title = "shared-memory slots must not leak or double-release"
+    rationale = (
+        "The parallel and durability engines hand ChunkSlots to workers "
+        "over queues and get them back as acks.  A slot that leaks on an "
+        "error path permanently shrinks the double-buffer ring; a slot "
+        "queued twice lets a worker overwrite data another worker is "
+        "still reading."
+    )
+    roles = (ROLE_LIBRARY,)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for fn in flow.iter_function_defs(ctx.tree):
+            cfg = flow.build_cfg(fn)
+
+            # Collect the slot tokens this function acquires.
+            acquire_sites: Dict[str, List[ast.stmt]] = {}
+            node_acquires: Dict[int, FrozenSet[str]] = {}
+            for node in cfg.iter_nodes(flow.STMT):
+                stmt = node.stmt
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Call)
+                    and _is_slot_acquire(stmt.value)
+                ):
+                    token = stmt.targets[0].id
+                    acquire_sites.setdefault(token, []).append(stmt)
+                    node_acquires[node.index] = frozenset({token})
+            if not acquire_sites:
+                continue
+            tokens = set(acquire_sites)
+
+            node_releases: Dict[int, FrozenSet[str]] = {}
+            release_anchor: Dict[int, ast.stmt] = {}
+            for node in cfg.iter_nodes(flow.STMT):
+                stmt = node.stmt
+                if stmt is None:
+                    continue
+                released = _released_tokens(stmt, tokens)
+                if released:
+                    node_releases[node.index] = frozenset(released)
+                    release_anchor[node.index] = stmt
+
+            def acquires(node: flow.CFNode) -> FrozenSet[str]:
+                return node_acquires.get(node.index, frozenset())
+
+            def releases(node: flow.CFNode) -> FrozenSet[str]:
+                return node_releases.get(node.index, frozenset())
+
+            may = flow.HeldSetAnalysis(acquires, releases, mode=flow.MAY)
+            may_in, _ = flow.solve(cfg, may)
+            must = flow.HeldSetAnalysis(acquires, releases, mode=flow.MUST)
+            must_in, _ = flow.solve(cfg, must)
+
+            # Double release: a release the slot may not be held for.
+            for index, released in sorted(node_releases.items()):
+                held = must_in.get(index)
+                if held is None:
+                    continue  # unreachable
+                for token in sorted(released):
+                    if token not in held and token in (
+                        may_in.get(index) or frozenset()
+                    ):
+                        yield self.diagnostic(
+                            ctx.path,
+                            release_anchor[index],
+                            f"slot {token} may already have been released "
+                            f"when it is handed back here in {fn.name}(); "
+                            "double-release lets two workers share a buffer",
+                        )
+
+            # Leak: held on some path at function exit.
+            exit_state = may_in[cfg.exit.index]
+            if exit_state:
+                for token in sorted(tokens & exit_state):
+                    yield self.diagnostic(
+                        ctx.path,
+                        acquire_sites[token][0],
+                        f"slot {token} acquired here may leak on some path "
+                        f"out of {fn.name}() (never queued, acked, or "
+                        "returned to the free list)",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# REP012: no silently swallowed broad exceptions
+# ---------------------------------------------------------------------------
+
+_BROAD_EXCEPTION_NAMES = {"Exception", "BaseException"}
+_EVIDENCE_CALLS = {
+    "record_event",
+    "format_exc",
+    "print_exc",
+    "print_exception",
+    "exception",
+}
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types: List[ast.expr] = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        parts = _dotted(node)
+        if parts is not None and parts[-1] in _BROAD_EXCEPTION_NAMES:
+            return True
+    return False
+
+
+def _handler_has_evidence(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            parts = _dotted(node.func)
+            if parts is not None and parts[-1] in _EVIDENCE_CALLS:
+                return True
+    return False
+
+
+class SilentExceptionRule(Rule):
+    """REP012: broad handlers must surface the error somewhere."""
+
+    rule_id = "REP012"
+    title = "broad except handlers must record_event() or re-raise"
+    rationale = (
+        "A worker loop that catches Exception and moves on turns every "
+        "future bug into silent data loss — the supervisor keeps "
+        "resending, the daemon keeps answering, and nothing in the "
+        "flight recorder says why the numbers are wrong."
+    )
+    roles = (ROLE_LIBRARY,)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad_handler(node):
+                continue
+            if _handler_has_evidence(node):
+                continue
+            what = "bare except" if node.type is None else (
+                f"except {_display(node.type)}"
+                if not isinstance(node.type, ast.Tuple)
+                else "broad except"
+            )
+            yield self.diagnostic(
+                ctx.path,
+                node,
+                f"{what} swallows errors silently; narrow the exception "
+                "type, re-raise, or record_event() it for the flight "
+                "recorder",
+            )
+
+
+#: The concurrency pack, in catalog order (appended to DEFAULT_RULES).
+CONCURRENCY_RULES: Tuple[Rule, ...] = (
+    BlockingInAsyncRule(),
+    LockReleaseRule(),
+    LockOrderRule(),
+    SlotLifecycleRule(),
+    SilentExceptionRule(),
+)

@@ -446,6 +446,11 @@ class Rule:
         )
 
 
+#: Version tag of the JSON output schema (see docs/static-analysis.md).
+#: Bump only when a documented key changes meaning or disappears.
+JSON_SCHEMA = "replint-json/1"
+
+
 @dataclasses.dataclass
 class LintResult:
     """Outcome of one lint run."""
@@ -453,16 +458,41 @@ class LintResult:
     diagnostics: List[Diagnostic]
     files_checked: int
     suppressed: int
+    #: the findings silenced by `# replint: disable` comments, kept so
+    #: the JSON output can show what the suppressions are hiding.
+    suppressed_diagnostics: List[Diagnostic] = dataclasses.field(
+        default_factory=list
+    )
 
     @property
     def exit_code(self) -> int:
         return 1 if self.diagnostics else 0
 
     def to_json(self) -> Dict[str, object]:
+        """The stable JSON payload.
+
+        Schema (``replint-json/1``): top-level ``schema``,
+        ``files_checked``, ``suppressed`` (count), and ``diagnostics`` —
+        one record per finding *including suppressed ones*, each with
+        ``rule``, ``path``, ``line``, ``col``, ``message``, and
+        ``suppressed`` (bool).  ``rule_id`` is kept as an alias of
+        ``rule``.  The exit code counts only unsuppressed findings.
+        """
+        merged: List[Tuple[Diagnostic, bool]] = [
+            (d, False) for d in self.diagnostics
+        ] + [(d, True) for d in self.suppressed_diagnostics]
+        merged.sort(key=lambda pair: (pair[0].path, pair[0].line, pair[0].col, pair[0].rule_id))
+        records: List[Dict[str, object]] = []
+        for diag, was_suppressed in merged:
+            record = diag.to_json()
+            record["rule"] = diag.rule_id
+            record["suppressed"] = was_suppressed
+            records.append(record)
         return {
+            "schema": JSON_SCHEMA,
             "files_checked": self.files_checked,
             "suppressed": self.suppressed,
-            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "diagnostics": records,
         }
 
 
@@ -538,14 +568,14 @@ class Linter:
     def run(self, paths: Iterable[str]) -> LintResult:
         files = discover_files(paths)
         project, contexts, diagnostics = self.build_contexts(files)
-        suppressed = 0
+        suppressed: List[Diagnostic] = []
         for ctx in contexts:
             for rule in self.rules:
                 if not rule.applies_to(ctx):
                     continue
                 for diag in rule.check(ctx):
                     if ctx.is_suppressed(diag.rule_id, diag.line):
-                        suppressed += 1
+                        suppressed.append(diag)
                     else:
                         diagnostics.append(diag)
         ctx_by_path = {ctx.path: ctx for ctx in contexts}
@@ -553,14 +583,15 @@ class Linter:
             for diag in rule.check_project(project, contexts):
                 ctx = ctx_by_path.get(diag.path)
                 if ctx is not None and ctx.is_suppressed(diag.rule_id, diag.line):
-                    suppressed += 1
+                    suppressed.append(diag)
                 else:
                     diagnostics.append(diag)
         diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule_id))
         return LintResult(
             diagnostics=diagnostics,
             files_checked=len(contexts),
-            suppressed=suppressed,
+            suppressed=len(suppressed),
+            suppressed_diagnostics=suppressed,
         )
 
 

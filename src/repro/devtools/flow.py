@@ -1,0 +1,620 @@
+"""Intraprocedural control-flow graphs and forward dataflow over ``ast``.
+
+This is the flow-aware core behind the replint v2 concurrency rules
+(REP008-REP012 in :mod:`repro.devtools.concurrency`).  The single-pass
+AST rules in :mod:`repro.devtools.rules` answer "does this syntax occur";
+the questions the concurrency pack asks -- "is this lock released on
+*every* path out of the function", "which locks are held *at the moment*
+this one is acquired" -- need paths, not syntax.  This module provides
+just enough machinery to answer them:
+
+* :func:`build_cfg` lowers one function body to a CFG whose nodes are
+  single *events* (a statement, a ``with``-item entry, or a ``with``-item
+  exit) so transfer functions never have to re-discover structure.
+* :func:`solve` runs any :class:`ForwardAnalysis` to fixpoint with a
+  worklist; unreachable nodes keep state ``None``.
+* :class:`ReachingDefinitions` and :class:`HeldSetAnalysis` are the two
+  analyses the rule pack composes: the first supports local "what was
+  this name assigned from" queries, the second is a gen/kill set lattice
+  with a selectable join (union for may-analyses such as leak detection,
+  intersection for must-analyses such as lock-order edges).
+
+Design limits, on purpose: the CFG is intraprocedural, models explicit
+``raise`` (routed to enclosing handlers, else to exit), approximates
+implicit exceptions by edging every statement inside a ``try`` body to
+its handlers, and routes abrupt exits (``return``/``break``/``raise``)
+through enclosing ``with`` exits and ``finally`` blocks.  ``finally``
+blocks are shared by all paths through them, which over-approximates
+successor sets -- sound for may-analyses, conservative for must-analyses.
+Nested function and lambda bodies are *not* part of the enclosing CFG:
+they execute at call time, not definition time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Generic,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+# Node kinds.  ``stmt`` anchors one ast.stmt; ``with_enter``/``with_exit``
+# bracket a single withitem (so lock acquisition/release can be modelled
+# without re-parsing the With statement inside every transfer function).
+ENTRY = "entry"
+EXIT = "exit"
+STMT = "stmt"
+WITH_ENTER = "with_enter"
+WITH_EXIT = "with_exit"
+
+
+class CFNode:
+    """One CFG event: entry/exit marker, statement, or with-item bracket."""
+
+    __slots__ = ("index", "kind", "stmt", "item", "succs")
+
+    def __init__(
+        self,
+        index: int,
+        kind: str,
+        stmt: Optional[ast.stmt] = None,
+        item: Optional[ast.withitem] = None,
+    ) -> None:
+        self.index = index
+        self.kind = kind
+        self.stmt = stmt
+        self.item = item
+        self.succs: List[int] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.kind
+        if self.stmt is not None:
+            label += f"@{getattr(self.stmt, 'lineno', '?')}"
+        return f"CFNode({self.index}, {label}, succs={self.succs})"
+
+
+class CFG:
+    """Control-flow graph for one function body."""
+
+    __slots__ = ("function", "nodes", "entry", "exit")
+
+    def __init__(self, function: FunctionNode) -> None:
+        self.function = function
+        self.nodes: List[CFNode] = []
+        self.entry = self._new(ENTRY)
+        self.exit = self._new(EXIT)
+
+    def _new(
+        self,
+        kind: str,
+        stmt: Optional[ast.stmt] = None,
+        item: Optional[ast.withitem] = None,
+    ) -> CFNode:
+        node = CFNode(len(self.nodes), kind, stmt, item)
+        self.nodes.append(node)
+        return node
+
+    def add_edge(self, src: CFNode, dst: CFNode) -> None:
+        if dst.index not in src.succs:
+            src.succs.append(dst.index)
+
+    def predecessors(self) -> Dict[int, List[int]]:
+        preds: Dict[int, List[int]] = {node.index: [] for node in self.nodes}
+        for node in self.nodes:
+            for succ in node.succs:
+                preds[succ].append(node.index)
+        return preds
+
+    def iter_nodes(self, kind: Optional[str] = None) -> Iterator[CFNode]:
+        for node in self.nodes:
+            if kind is None or node.kind == kind:
+                yield node
+
+
+class _Frame:
+    """Construction-time record of an enclosing region to unwind through."""
+
+    __slots__ = (
+        "kind",
+        "items",
+        "handlers",
+        "break_out",
+        "continue_to",
+        "abrupt",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        items: Sequence[ast.withitem] = (),
+        handlers: Sequence[CFNode] = (),
+        continue_to: Optional[CFNode] = None,
+    ) -> None:
+        self.kind = kind  # "with" | "try" | "loop" | "finally"
+        self.items = list(items)
+        self.handlers = list(handlers)
+        self.break_out: List[CFNode] = []
+        self.continue_to = continue_to
+        #: for "finally" frames: abrupt exits parked at the finally's
+        #: entrance, with the kind of continuation they still owe.
+        self.abrupt: List[Tuple[CFNode, str]] = []
+
+
+class _CFGBuilder:
+    def __init__(self, function: FunctionNode) -> None:
+        self.cfg = CFG(function)
+        self.frames: List[_Frame] = []
+        # All stmt nodes created inside the currently-open try bodies, so
+        # implicit-exception edges (any stmt may raise) can be added.
+        self.try_body_nodes: List[List[CFNode]] = []
+        # ``with`` statement source: maps each with_enter node to the
+        # matching exit factory so unwinding can synthesize fresh exits.
+
+    def build(self) -> CFG:
+        outs = self._visit_body(self.cfg.function.body, [self.cfg.nodes[self.cfg.entry.index]])
+        for node in outs:
+            self.cfg.add_edge(node, self.cfg.exit)
+        return self.cfg
+
+    # -- plumbing ------------------------------------------------------
+
+    def _link(self, preds: Sequence[CFNode], node: CFNode) -> None:
+        for pred in preds:
+            self.cfg.add_edge(pred, node)
+
+    def _stmt_node(self, stmt: ast.stmt) -> CFNode:
+        node = self.cfg._new(STMT, stmt)
+        for bucket in self.try_body_nodes:
+            bucket.append(node)
+        return node
+
+    def _route_abrupt(self, src: CFNode, kind: str) -> None:
+        """Route an abrupt exit (``return``/``raise``/``break``/``continue``).
+
+        Walks enclosing frames inner-to-outer, synthesizing ``with``-exit
+        cleanup nodes as it goes, until some frame consumes the exit: a
+        ``try`` with handlers consumes a ``raise``, a loop consumes
+        ``break``/``continue``, and a ``finally`` parks *any* abrupt exit
+        at its entrance (``_visit_try`` re-routes it onward from the
+        finally's out-nodes once the finally body exists).  If nothing
+        consumes it, the edge goes to function exit.
+        """
+        current = src
+        for frame in reversed(self.frames):
+            if frame.kind == "with":
+                for item in reversed(frame.items):
+                    exit_node = self.cfg._new(WITH_EXIT, None, item)
+                    self.cfg.add_edge(current, exit_node)
+                    current = exit_node
+                continue
+            if frame.kind == "loop" and kind in ("break", "continue"):
+                if kind == "break":
+                    frame.break_out.append(current)
+                elif frame.continue_to is not None:
+                    self.cfg.add_edge(current, frame.continue_to)
+                return
+            if frame.kind == "try" and kind == "raise" and frame.handlers:
+                for handler in frame.handlers:
+                    self.cfg.add_edge(current, handler)
+                return
+            if frame.kind == "finally":
+                frame.abrupt.append((current, kind))
+                return
+        self.cfg.add_edge(current, self.cfg.exit)
+
+    # -- statement dispatch --------------------------------------------
+
+    def _visit_body(self, body: Sequence[ast.stmt], preds: List[CFNode]) -> List[CFNode]:
+        current = list(preds)
+        for stmt in body:
+            if not current:
+                # Dead code after return/raise/break: still build nodes so
+                # diagnostics can anchor there, but leave them unreachable.
+                current = []
+            current = self._visit_stmt(stmt, current)
+        return current
+
+    def _visit_stmt(self, stmt: ast.stmt, preds: List[CFNode]) -> List[CFNode]:
+        if isinstance(stmt, ast.If):
+            return self._visit_if(stmt, preds)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._visit_loop(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._visit_with(stmt, preds)
+        if isinstance(stmt, ast.Try):
+            return self._visit_try(stmt, preds)
+        if isinstance(stmt, (ast.Return, ast.Raise, ast.Break, ast.Continue)):
+            node = self._stmt_node(stmt)
+            self._link(preds, node)
+            kind = {
+                ast.Return: "return",
+                ast.Raise: "raise",
+                ast.Break: "break",
+                ast.Continue: "continue",
+            }[type(stmt)]
+            self._route_abrupt(node, kind)
+            return []
+        # Plain statement (incl. nested FunctionDef/ClassDef: their bodies
+        # run at call time, not here, so they are opaque single events).
+        node = self._stmt_node(stmt)
+        self._link(preds, node)
+        return [node]
+
+    def _visit_if(self, stmt: ast.If, preds: List[CFNode]) -> List[CFNode]:
+        cond = self._stmt_node(stmt)
+        self._link(preds, cond)
+        then_out = self._visit_body(stmt.body, [cond])
+        else_out = self._visit_body(stmt.orelse, [cond]) if stmt.orelse else [cond]
+        return then_out + else_out
+
+    def _visit_loop(
+        self, stmt: Union[ast.While, ast.For, ast.AsyncFor], preds: List[CFNode]
+    ) -> List[CFNode]:
+        head = self._stmt_node(stmt)
+        self._link(preds, head)
+        frame = _Frame("loop", continue_to=head)
+        self.frames.append(frame)
+        body_out = self._visit_body(stmt.body, [head])
+        self.frames.pop()
+        for node in body_out:
+            self.cfg.add_edge(node, head)
+        outs: List[CFNode] = [head] + frame.break_out
+        if stmt.orelse:
+            outs = self._visit_body(stmt.orelse, outs)
+        return outs
+
+    def _visit_with(
+        self, stmt: Union[ast.With, ast.AsyncWith], preds: List[CFNode]
+    ) -> List[CFNode]:
+        current = list(preds)
+        enters: List[CFNode] = []
+        for item in stmt.items:
+            enter = self.cfg._new(WITH_ENTER, stmt, item)
+            for bucket in self.try_body_nodes:
+                bucket.append(enter)
+            self._link(current, enter)
+            current = [enter]
+            enters.append(enter)
+        frame = _Frame("with", items=stmt.items)
+        self.frames.append(frame)
+        body_out = self._visit_body(stmt.body, current)
+        self.frames.pop()
+        for item in reversed(stmt.items):
+            exit_node = self.cfg._new(WITH_EXIT, stmt, item)
+            self._link(body_out, exit_node)
+            body_out = [exit_node]
+        return body_out
+
+    def _visit_try(self, stmt: ast.Try, preds: List[CFNode]) -> List[CFNode]:
+        # Handler entry nodes are created first so raises inside the body
+        # can target them.
+        handler_entries: List[CFNode] = []
+        for handler in stmt.handlers:
+            node = self.cfg._new(STMT, handler)  # type: ignore[arg-type]
+            for bucket in self.try_body_nodes:
+                bucket.append(node)
+            handler_entries.append(node)
+
+        # The finally frame sits *outside* the try frame: a raise in the
+        # body prefers the handlers; returns in the body and raises in the
+        # handler bodies park at the finally.
+        finally_frame: Optional[_Frame] = None
+        if stmt.finalbody:
+            finally_frame = _Frame("finally")
+            self.frames.append(finally_frame)
+
+        frame = _Frame("try", handlers=handler_entries)
+        self.frames.append(frame)
+        bucket: List[CFNode] = []
+        self.try_body_nodes.append(bucket)
+        body_out = self._visit_body(stmt.body, preds)
+        self.try_body_nodes.pop()
+        self.frames.pop()
+
+        # Any statement in the try body may raise: edge each to every
+        # handler.  Also edge the try's own predecessors, covering an
+        # exception in the very first statement.
+        if handler_entries:
+            sources: List[CFNode] = list(preds) + bucket
+            for src in sources:
+                for handler in handler_entries:
+                    self.cfg.add_edge(src, handler)
+
+        handler_outs: List[CFNode] = []
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            handler_outs.extend(self._visit_body(handler.body, [entry]))
+
+        else_out = self._visit_body(stmt.orelse, body_out) if stmt.orelse else body_out
+        merged = else_out + handler_outs
+
+        if finally_frame is not None:
+            self.frames.pop()  # pop before building the finally body
+            parked = finally_frame.abrupt
+            # The finally body is shared by every path through it: the
+            # normal continuation and every parked abrupt exit all enter
+            # it, which over-approximates successor sets (sound for
+            # may-analyses, conservative for must-analyses).
+            merged = self._visit_body(
+                stmt.finalbody, merged + [node for node, _kind in parked]
+            )
+            # Each parked exit still owes its continuation: re-route it
+            # from the finally's out-nodes in the *enclosing* context.
+            for kind in sorted({k for _node, k in parked}):
+                for out in merged:
+                    self._route_abrupt(out, kind)
+        return merged
+
+
+def build_cfg(function: FunctionNode) -> CFG:
+    """Build the control-flow graph for one (async) function body."""
+    return _CFGBuilder(function).build()
+
+
+# ---------------------------------------------------------------------------
+# Forward dataflow
+# ---------------------------------------------------------------------------
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """A forward dataflow problem over :class:`CFG` nodes.
+
+    State flows along edges; ``None`` means "unreachable" and is the
+    identity of :meth:`join`.  States should be immutable (frozensets,
+    tuples) so fixpoint detection by equality is cheap and correct.
+    """
+
+    def initial(self) -> S:
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        raise NotImplementedError
+
+    def transfer(self, node: CFNode, state: S) -> S:
+        raise NotImplementedError
+
+
+def solve(cfg: CFG, analysis: ForwardAnalysis[S]) -> Tuple[Dict[int, Optional[S]], Dict[int, Optional[S]]]:
+    """Run ``analysis`` to fixpoint; returns (in_states, out_states).
+
+    ``in_states[i]``/``out_states[i]`` is the state just before/after node
+    ``i``, or ``None`` when the node is unreachable from entry.
+    """
+    in_states: Dict[int, Optional[S]] = {node.index: None for node in cfg.nodes}
+    out_states: Dict[int, Optional[S]] = {node.index: None for node in cfg.nodes}
+    in_states[cfg.entry.index] = analysis.initial()
+
+    worklist: List[int] = [cfg.entry.index]
+    enqueued = {cfg.entry.index}
+    while worklist:
+        index = worklist.pop()
+        enqueued.discard(index)
+        node = cfg.nodes[index]
+        state = in_states[index]
+        if state is None:
+            continue
+        out = analysis.transfer(node, state)
+        if out == out_states[index] and out_states[index] is not None:
+            continue
+        out_states[index] = out
+        for succ in node.succs:
+            existing = in_states[succ]
+            merged = out if existing is None else analysis.join(existing, out)
+            if merged != in_states[succ]:
+                in_states[succ] = merged
+                if succ not in enqueued:
+                    worklist.append(succ)
+                    enqueued.add(succ)
+    return in_states, out_states
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions
+# ---------------------------------------------------------------------------
+
+#: A definition: (name, node index of the defining event).
+Definition = Tuple[str, int]
+ReachingState = FrozenSet[Definition]
+
+
+def assigned_names(stmt: ast.stmt) -> List[str]:
+    """Simple names bound by this statement (targets of =, for, as, def)."""
+    names: List[str] = []
+
+    def collect(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                collect(element)
+        elif isinstance(target, ast.Starred):
+            collect(target.value)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            collect(target)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        collect(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        collect(stmt.target)
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        names.append(stmt.name)
+    elif isinstance(stmt, ast.ExceptHandler) and stmt.name:
+        names.append(stmt.name)
+    return names
+
+
+class ReachingDefinitions(ForwardAnalysis[ReachingState]):
+    """Classic reaching definitions over simple names.
+
+    ``with ... as name`` binds at the ``with_enter`` event; everything else
+    binds at its ``stmt`` event.  Query helpers on the solved result live
+    in :meth:`definition_nodes`.
+    """
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+
+    def initial(self) -> ReachingState:
+        params: List[Definition] = []
+        args = self.cfg.function.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            params.append((arg.arg, self.cfg.entry.index))
+        if args.vararg is not None:
+            params.append((args.vararg.arg, self.cfg.entry.index))
+        if args.kwarg is not None:
+            params.append((args.kwarg.arg, self.cfg.entry.index))
+        return frozenset(params)
+
+    def join(self, a: ReachingState, b: ReachingState) -> ReachingState:
+        return a | b
+
+    def transfer(self, node: CFNode, state: ReachingState) -> ReachingState:
+        bound: List[str] = []
+        if node.kind == STMT and node.stmt is not None:
+            bound = assigned_names(node.stmt)
+        elif node.kind == WITH_ENTER and node.item is not None and node.item.optional_vars is not None:
+            target = node.item.optional_vars
+            if isinstance(target, ast.Name):
+                bound = [target.id]
+        if not bound:
+            return state
+        kill = frozenset(d for d in state if d[0] in bound)
+        gen = frozenset((name, node.index) for name in bound)
+        return (state - kill) | gen
+
+
+def definition_nodes(state: Optional[ReachingState], name: str) -> List[int]:
+    """Node indices whose definition of ``name`` reaches this state."""
+    if state is None:
+        return []
+    return sorted(index for (defined, index) in state if defined == name)
+
+
+# ---------------------------------------------------------------------------
+# Gen/kill set lattice with selectable join (held locks, resource states)
+# ---------------------------------------------------------------------------
+
+Token = str
+HeldState = FrozenSet[Token]
+
+MAY = "union"
+MUST = "intersection"
+
+
+class HeldSetAnalysis(ForwardAnalysis[HeldState]):
+    """Track a set of held tokens (locks, slots) through the CFG.
+
+    ``acquires(node)``/``releases(node)`` map each CFG event to the tokens
+    it takes or drops; the rule pack supplies the vocabulary.  ``join``
+    is union for may-held (leak detection: "is there *a* path on which
+    this is still held") or intersection for must-held (lock ordering:
+    "is this *always* held here").
+    """
+
+    def __init__(
+        self,
+        acquires: Callable[[CFNode], FrozenSet[Token]],
+        releases: Callable[[CFNode], FrozenSet[Token]],
+        mode: str = MAY,
+    ) -> None:
+        if mode not in (MAY, MUST):
+            raise ValueError(f"mode must be {MAY!r} or {MUST!r}, got {mode!r}")
+        self.acquires = acquires
+        self.releases = releases
+        self.mode = mode
+
+    def initial(self) -> HeldState:
+        return frozenset()
+
+    def join(self, a: HeldState, b: HeldState) -> HeldState:
+        return (a | b) if self.mode == MAY else (a & b)
+
+    def transfer(self, node: CFNode, state: HeldState) -> HeldState:
+        state = state - self.releases(node)
+        return state | self.acquires(node)
+
+
+# ---------------------------------------------------------------------------
+# Async-context helpers
+# ---------------------------------------------------------------------------
+
+
+def iter_function_defs(tree: ast.AST) -> Iterator[FunctionNode]:
+    """Yield every (async) function definition in the tree, any nesting."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def stmt_header_exprs(stmt: ast.stmt) -> List[ast.AST]:
+    """The expressions evaluated *at* this statement's CFG node.
+
+    Compound statements own only their header — an ``if``/``while`` its
+    test, a ``for`` its iterable, an except handler its type — because
+    their bodies get CFG nodes of their own.  Simple statements own
+    their whole subtree.  Nested definitions own nothing: their bodies
+    run at call time.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return []
+    return [stmt]
+
+
+def iter_calls(
+    root: ast.AST, *, skip_nested: bool = True
+) -> Iterator[Tuple[ast.Call, bool]]:
+    """Yield ``(call, awaited)`` pairs lexically inside ``root``.
+
+    ``awaited`` is true when the call is the direct operand of an
+    ``await``.  With ``skip_nested`` (the default), calls inside nested
+    ``def``/``async def``/``lambda`` bodies are skipped -- they run when
+    the nested callable runs, not when ``root``'s body does, which is the
+    distinction REP008 needs for ``run_in_executor(None, lambda: ...)``.
+    """
+    root_node = root
+    if isinstance(root_node, ast.Call):
+        yield (root_node, False)
+
+    def walk(node: ast.AST, awaited: bool) -> Iterator[Tuple[ast.Call, bool]]:
+        for child in ast.iter_child_nodes(node):
+            if skip_nested and child is not root_node and isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(child, ast.Await):
+                if isinstance(child.value, ast.Call):
+                    yield (child.value, True)
+                    yield from walk(child.value, False)
+                else:
+                    yield from walk(child.value, False)
+                continue
+            if isinstance(child, ast.Call):
+                yield (child, awaited)
+            yield from walk(child, False)
+
+    yield from walk(root_node, False)
+
+
+def is_async_function(function: FunctionNode) -> bool:
+    return isinstance(function, ast.AsyncFunctionDef)

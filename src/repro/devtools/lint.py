@@ -14,6 +14,7 @@ rule fired, and 2 on usage errors.
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, Set
@@ -46,7 +47,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--select",
         default=None,
         metavar="RULES",
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids and/or inclusive ranges to run, "
+        "e.g. REP001,REP008-REP012 (default: all)",
     )
     parser.add_argument(
         "--list-rules",
@@ -54,6 +56,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalog and exit",
     )
     return parser
+
+
+_RANGE_RE = re.compile(r"^(REP)(\d+)-(REP)(\d+)$")
+
+
+def parse_select(spec: str) -> Set[str]:
+    """Expand a ``--select`` spec: ids and ``REPxxx-REPyyy`` ranges.
+
+    Raises ValueError on malformed ranges; unknown-id validation is the
+    caller's job (ranges expand only to ids that exist in the catalog,
+    so ``REP001-REP099`` simply selects everything).
+    """
+    selected: Set[str] = set()
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        match = _RANGE_RE.match(part)
+        if match is None:
+            selected.add(part)
+            continue
+        low, high = int(match.group(2)), int(match.group(4))
+        if low > high:
+            raise ValueError(f"backwards rule range: {part}")
+        expanded = {
+            rule_id
+            for rule_id in RULES_BY_ID
+            if rule_id.startswith("REP")
+            and low <= int(rule_id[3:]) <= high
+        }
+        if not expanded:
+            raise ValueError(f"rule range matches nothing: {part}")
+        selected |= expanded
+    return selected
 
 
 def list_rules() -> str:
@@ -73,7 +109,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     select: Optional[Set[str]] = None
     if args.select:
-        select = {part.strip() for part in args.select.split(",") if part.strip()}
+        try:
+            select = parse_select(args.select)
+        except ValueError as exc:
+            parser.error(str(exc))
         unknown = select - set(RULES_BY_ID)
         if unknown:
             parser.error(

@@ -1,5 +1,9 @@
 """The replint domain rules, REP001–REP007.
 
+The flow-aware concurrency pack (REP008–REP012) lives in
+:mod:`repro.devtools.concurrency` and is appended to
+:data:`DEFAULT_RULES` below.
+
 Each rule encodes one invariant the library otherwise enforces only by
 convention; ``docs/static-analysis.md`` carries the full catalog with
 rationale and examples.  Rules are pure AST analyses over the
@@ -416,7 +420,7 @@ class MetricsPreregistrationRule(Rule):
             return project.declared_metrics
         try:
             from repro.obs.metrics import DEFAULT_INSTRUMENTS
-        except Exception:
+        except ImportError:
             return None
         return {name for _kind, name in DEFAULT_INSTRUMENTS}
 
@@ -759,6 +763,8 @@ class FaultInjectionDisciplineRule(Rule):
         return False
 
 
+from repro.devtools.concurrency import CONCURRENCY_RULES  # noqa: E402
+
 #: The rule set the CLI runs by default, in catalog order.
 DEFAULT_RULES: Tuple[Rule, ...] = (
     DeterminismRule(),
@@ -768,7 +774,7 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     MetricsPreregistrationRule(),
     WorkerSeedDisciplineRule(),
     FaultInjectionDisciplineRule(),
-)
+) + CONCURRENCY_RULES
 
 #: rule_id -> rule instance, for --select and docs generation.
 RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in DEFAULT_RULES}

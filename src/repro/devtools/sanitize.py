@@ -1,0 +1,410 @@
+"""Runtime lock-order sanitizer and pytest plugin.
+
+The static pack (REP009/REP010) reasons about locks it can *see*; this
+module watches the locks the process actually takes.  Installing the
+sanitizer replaces ``threading.Lock``/``threading.RLock`` with
+instrumented wrappers that:
+
+* maintain a per-thread stack of held locks,
+* add an edge ``A -> B`` to a process-global lock-order graph every
+  time ``B`` is acquired while ``A`` is held, and report a violation
+  the moment an edge closes a cycle (the deadlock-prone pattern: two
+  threads taking the same pair of locks in opposite orders),
+* flag acquires that *wait* longer than a threshold, and releases after
+  *holding* longer than the threshold, on a thread that is running an
+  asyncio event loop — the serve tier's p99 dies quietly when a lock
+  parks the loop.
+
+Because patching replaces the ``threading`` constructors, everything
+built on them during the test run — ``queue.Queue`` internals, library
+locks such as ``MetricsRegistry._lock``, test-local locks — feeds the
+graph for free.  ``Condition`` objects wrap whatever lock they are
+given; their internal waiter locks come from ``_thread.allocate_lock``
+and stay raw, so a ``wait()`` never fabricates false edges.
+
+Use as a pytest plugin::
+
+    pytest -p repro.devtools.sanitize tests/serve tests/parallel
+
+The plugin installs the wrappers for the whole session, prints a
+violation report at the end, and fails the run (exit status 1) if the
+lock-order graph ever grew a cycle or an event loop was blocked past
+the threshold (``--lock-sanitizer-threshold``, seconds).
+
+The wrappers are also usable directly (no global patching) for targeted
+tests: build a :class:`SanitizerState` and construct
+:class:`InstrumentedLock` objects against it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+# Captured before any patching so the sanitizer's own bookkeeping never
+# recurses into the wrappers.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+#: Seconds a lock may wait/hold on an event-loop thread before the
+#: sanitizer calls it a violation.
+DEFAULT_BLOCK_THRESHOLD_S = 0.25
+
+_CYCLE = "lock-order-cycle"
+_LOOP_WAIT = "event-loop-blocked-wait"
+_LOOP_HOLD = "event-loop-blocked-hold"
+
+
+class Violation:
+    """One sanitizer finding."""
+
+    __slots__ = ("kind", "message")
+
+    def __init__(self, kind: str, message: str) -> None:
+        self.kind = kind
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"Violation({self.kind}: {self.message})"
+
+
+def _caller_site() -> str:
+    """file:line of the nearest frame outside this module."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not filename.endswith("sanitize.py") and "threading" not in filename:
+            return f"{filename}:{frame.f_lineno}"
+        back = frame.f_back
+        if back is None:
+            break
+        frame = back
+    return "<unknown>"
+
+
+def _loop_running_here() -> bool:
+    """Whether an asyncio event loop is running on *this* thread."""
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return False
+    return True
+
+
+class SanitizerState:
+    """Process-global lock graph, per-thread held stacks, violations."""
+
+    def __init__(
+        self, block_threshold_s: float = DEFAULT_BLOCK_THRESHOLD_S
+    ) -> None:
+        self.block_threshold_s = block_threshold_s
+        self._mu = _REAL_LOCK()
+        self._serial = 0
+        #: lock serial -> display name (creation site).
+        self.names: Dict[int, str] = {}
+        #: adjacency: held serial -> serials acquired while holding it.
+        self.graph: Dict[int, Set[int]] = {}
+        #: edge -> first witness site, for reporting.
+        self.edge_sites: Dict[Tuple[int, int], str] = {}
+        self.violations: List[Violation] = []
+        self._seen_cycles: Set[Tuple[int, ...]] = set()
+        self._seen_loop_sites: Set[Tuple[str, str]] = set()
+        self._tls = threading.local()
+
+    # -- registration ---------------------------------------------------
+
+    def register(self, name: str) -> int:
+        with self._mu:
+            self._serial += 1
+            self.names[self._serial] = name
+            return self._serial
+
+    # -- per-thread held stack -----------------------------------------
+
+    def _stack(self) -> List[Tuple[int, float]]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def held_serials(self) -> List[int]:
+        return [serial for serial, _t0 in self._stack()]
+
+    # -- events ---------------------------------------------------------
+
+    def on_acquired(
+        self, serial: int, t0: float, waited_s: float, reentrant: bool
+    ) -> None:
+        stack = self._stack()
+        if not reentrant:
+            held = [s for s, _t in stack if s != serial]
+            if held:
+                site = _caller_site()
+                with self._mu:
+                    for h in held:
+                        self._add_edge(h, serial, site)
+        stack.append((serial, t0))
+        if waited_s > self.block_threshold_s and _loop_running_here():
+            self._loop_violation(
+                _LOOP_WAIT,
+                f"waited {waited_s:.3f}s for {self._name(serial)} on an "
+                f"event-loop thread at {_caller_site()}",
+                serial,
+            )
+
+    def on_released(self, serial: int, now: float) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][0] == serial:
+                _s, t0 = stack.pop(index)
+                held_s = now - t0
+                if held_s > self.block_threshold_s and _loop_running_here():
+                    self._loop_violation(
+                        _LOOP_HOLD,
+                        f"held {self._name(serial)} for {held_s:.3f}s on an "
+                        f"event-loop thread (released at {_caller_site()})",
+                        serial,
+                    )
+                return
+
+    # -- graph ----------------------------------------------------------
+
+    def _name(self, serial: int) -> str:
+        with self._mu:
+            return self.names.get(serial, f"Lock#{serial}")
+
+    def _add_edge(self, held: int, acquired: int, site: str) -> None:
+        # _mu is held by the caller.
+        edge = (held, acquired)
+        if edge in self.edge_sites:
+            return
+        self.edge_sites[edge] = site
+        self.graph.setdefault(held, set()).add(acquired)
+        cycle = self._find_path(acquired, held)
+        if cycle is None:
+            return
+        nodes = [held] + cycle
+        canonical = tuple(sorted(set(nodes)))
+        if canonical in self._seen_cycles:
+            return
+        self._seen_cycles.add(canonical)
+        chain = " -> ".join(self.names.get(s, f"Lock#{s}") for s in nodes + [held])
+        sites = "; ".join(
+            f"{self.names.get(a, a)} then {self.names.get(b, b)} at "
+            f"{self.edge_sites.get((a, b), '?')}"
+            for a, b in zip(nodes, nodes[1:] + [held])
+            if (a, b) in self.edge_sites
+        )
+        self.violations.append(
+            Violation(
+                _CYCLE,
+                f"lock-order cycle {chain} (edges: {sites})",
+            )
+        )
+
+    def _find_path(self, start: int, goal: int) -> Optional[List[int]]:
+        # _mu is held by the caller.
+        stack: List[Tuple[int, List[int]]] = [(start, [start])]
+        visited: Set[int] = set()
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            if node in visited:
+                continue
+            visited.add(node)
+            for succ in self.graph.get(node, ()):
+                stack.append((succ, path + [succ]))
+        return None
+
+    def _loop_violation(self, kind: str, message: str, serial: int) -> None:
+        with self._mu:
+            key = (kind, self.names.get(serial, str(serial)))
+            if key in self._seen_loop_sites:
+                return
+            self._seen_loop_sites.add(key)
+            self.violations.append(Violation(kind, message))
+
+    def report(self) -> str:
+        with self._mu:
+            if not self.violations:
+                return "lock sanitizer: no violations"
+            lines = [
+                f"lock sanitizer: {len(self.violations)} violation(s):"
+            ]
+            for violation in self.violations:
+                lines.append(f"  [{violation.kind}] {violation.message}")
+            return "\n".join(lines)
+
+
+class InstrumentedLock:
+    """A ``threading.Lock``/``RLock`` stand-in that feeds a sanitizer.
+
+    Delegates everything it does not instrument (``locked``,
+    ``_is_owned``, ``_release_save`` ...) to the wrapped lock, so it
+    drops into ``Condition``/``queue.Queue`` unchanged.
+    """
+
+    def __init__(
+        self,
+        state: SanitizerState,
+        inner: Optional[Any] = None,
+        reentrant: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        self._state = state
+        self._reentrant = reentrant
+        self._inner = inner if inner is not None else (
+            _REAL_RLOCK() if reentrant else _REAL_LOCK()
+        )
+        site = name if name is not None else _caller_site()
+        kind = "RLock" if reentrant else "Lock"
+        self._serial = state.register(f"{kind}({site})")
+
+    # The actual lock protocol ----------------------------------------
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        already_held = self._reentrant and self._serial in set(
+            self._state.held_serials()
+        )
+        start = time.perf_counter()
+        got = self._inner.acquire(blocking, timeout)
+        now = time.perf_counter()
+        if got:
+            self._state.on_acquired(
+                self._serial, now, now - start, reentrant=already_held
+            )
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._state.on_released(self._serial, time.perf_counter())
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return bool(self._inner.locked())
+
+    def __getattr__(self, attr: str) -> Any:
+        # Condition support: _is_owned/_release_save/_acquire_restore and
+        # anything else the inner lock offers pass through untouched.
+        return getattr(self._inner, attr)
+
+    def __repr__(self) -> str:
+        return f"<InstrumentedLock {self._state.names.get(self._serial)}>"
+
+
+class Sanitizer:
+    """Installs/uninstalls the global patch and owns the state."""
+
+    def __init__(
+        self, block_threshold_s: float = DEFAULT_BLOCK_THRESHOLD_S
+    ) -> None:
+        self.state = SanitizerState(block_threshold_s)
+        self._installed = False
+
+    def install(self) -> None:
+        if self._installed:
+            return
+        state = self.state
+
+        def make_lock() -> InstrumentedLock:
+            return InstrumentedLock(state, reentrant=False)
+
+        def make_rlock() -> InstrumentedLock:
+            return InstrumentedLock(state, reentrant=True)
+
+        threading.Lock = make_lock  # type: ignore[assignment, misc]
+        threading.RLock = make_rlock  # type: ignore[assignment, misc]
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        threading.Lock = _REAL_LOCK  # type: ignore[misc]
+        threading.RLock = _REAL_RLOCK  # type: ignore[misc]
+        self._installed = False
+
+    @property
+    def violations(self) -> List[Violation]:
+        return list(self.state.violations)
+
+
+_active: Optional[Sanitizer] = None
+
+
+def install(
+    block_threshold_s: float = DEFAULT_BLOCK_THRESHOLD_S,
+) -> Sanitizer:
+    """Patch ``threading`` constructors process-wide; returns the sanitizer."""
+    global _active
+    if _active is None:
+        _active = Sanitizer(block_threshold_s)
+        _active.install()
+    return _active
+
+
+def uninstall() -> None:
+    """Undo :func:`install` and drop the active sanitizer."""
+    global _active
+    if _active is not None:
+        _active.uninstall()
+        _active = None
+
+
+def current() -> Optional[Sanitizer]:
+    return _active
+
+
+# ---------------------------------------------------------------------------
+# pytest plugin surface (`pytest -p repro.devtools.sanitize`)
+# ---------------------------------------------------------------------------
+
+
+def pytest_addoption(parser: Any) -> None:
+    group = parser.getgroup("lock sanitizer")
+    group.addoption(
+        "--lock-sanitizer-threshold",
+        action="store",
+        type=float,
+        default=DEFAULT_BLOCK_THRESHOLD_S,
+        help=(
+            "seconds a lock may wait/hold on an event-loop thread before "
+            "the sanitizer reports a violation"
+        ),
+    )
+
+
+def pytest_configure(config: Any) -> None:
+    threshold = float(
+        config.getoption("--lock-sanitizer-threshold", DEFAULT_BLOCK_THRESHOLD_S)
+    )
+    install(threshold)
+
+
+def pytest_terminal_summary(
+    terminalreporter: Any, exitstatus: int, config: Any
+) -> None:
+    sanitizer = current()
+    if sanitizer is None:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line(sanitizer.state.report())
+
+
+def pytest_sessionfinish(session: Any, exitstatus: int) -> None:
+    sanitizer = current()
+    if sanitizer is not None and sanitizer.violations:
+        session.exitstatus = 1
+
+
+def pytest_unconfigure(config: Any) -> None:
+    uninstall()

@@ -640,12 +640,14 @@ class SupervisedIngestEngine:
     def _send_chunk(
         self, worker_id: int, ordinal: int, values: np.ndarray
     ) -> None:
-        slot = self._free[worker_id].pop()
-        count = self._slots[worker_id][slot].write(values)
-        self._pending[worker_id][ordinal] = values
+        # Resolve the queue before popping the slot: raising with the
+        # slot already off the free list would leak it (REP011).
         task_queue = self._task_queues[worker_id]
         if task_queue is None:
             raise DurabilityError(f"shard {worker_id} has no live worker")
+        slot = self._free[worker_id].pop()
+        count = self._slots[worker_id][slot].write(values)
+        self._pending[worker_id][ordinal] = values
         task_queue.put(("chunk", slot, count, ordinal))
 
     def _await_slot(self, worker_id: int) -> bool:

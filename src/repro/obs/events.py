@@ -24,6 +24,7 @@ is :data:`DEGRADE_KINDS`.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import deque
 from pathlib import Path
@@ -68,6 +69,11 @@ class EventLog:
         self._ring: Deque[Dict[str, Any]] = deque(maxlen=max_events)
         self.seq = 0
         self.evicted = 0
+        # The /flight endpoint reads the ring from the telemetry server
+        # thread while engine/daemon threads emit; the lock makes each
+        # emit and each read atomic (iterating a deque that another
+        # thread is appending to raises RuntimeError).
+        self._lock = threading.Lock()
 
     def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
         """Append one event; returns the stored record."""
@@ -77,22 +83,27 @@ class EventLog:
             "kind": kind,
         }
         event.update(fields)
-        if len(self._ring) == self.max_events:
-            self.evicted += 1
-        self._ring.append(event)
-        self.seq += 1
+        with self._lock:
+            event["seq"] = self.seq
+            if len(self._ring) == self.max_events:
+                self.evicted += 1
+            self._ring.append(event)
+            self.seq += 1
         return event
 
     def events(self, tail: Optional[int] = None) -> List[Dict[str, Any]]:
         """The ring's contents oldest-first (last ``tail`` when given)."""
-        items = list(self._ring)
+        with self._lock:
+            items = list(self._ring)
         if tail is not None:
             items = items[-tail:]
         return items
 
     def to_jsonl(self) -> str:
         """One JSON object per line, oldest first."""
-        return "\n".join(json.dumps(event) for event in self._ring)
+        with self._lock:
+            events = list(self._ring)
+        return "\n".join(json.dumps(event) for event in events)
 
     def __len__(self) -> int:
         return len(self._ring)

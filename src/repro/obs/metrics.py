@@ -32,6 +32,7 @@ from __future__ import annotations
 import bisect
 import contextlib
 import math
+import threading
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.errors import InvalidParameterError
@@ -176,21 +177,32 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: Dict[Tuple[str, LabelItems], object] = {}
         self._kind_of: Dict[str, type] = {}
+        # Guards *structural* mutation only — instrument creation,
+        # clear(), and whole-registry iteration.  The telemetry server
+        # thread scrapes while the engine/daemon threads record; without
+        # this, a scrape racing a first-touch `inc` can observe the
+        # instruments dict mid-resize.  The hot path (recording into an
+        # existing instrument) takes no lock: the dict read is atomic
+        # under the GIL and instruments mutate only their own state.
+        self._lock = threading.Lock()
 
     def _get(self, cls: type, name: str, labels: Dict[str, object]):
         key = (name, _label_key(labels))
         inst = self._instruments.get(key)
         if inst is None:
-            seen = self._kind_of.get(name)
-            if seen is not None and seen is not cls:
-                raise InvalidParameterError(
-                    f"metric {name!r} already registered as {seen.kind}, "
-                    f"requested as {cls.kind}"
-                )
-            self._kind_of[name] = cls
-            inst = cls(name, key[1])
-            self._instruments[key] = inst
-        elif type(inst) is not cls:
+            with self._lock:
+                inst = self._instruments.get(key)
+                if inst is None:
+                    seen = self._kind_of.get(name)
+                    if seen is not None and seen is not cls:
+                        raise InvalidParameterError(
+                            f"metric {name!r} already registered as "
+                            f"{seen.kind}, requested as {cls.kind}"
+                        )
+                    self._kind_of[name] = cls
+                    inst = cls(name, key[1])
+                    self._instruments[key] = inst
+        if type(inst) is not cls:
             raise InvalidParameterError(
                 f"metric {name!r} already registered as {inst.kind}, "
                 f"requested as {cls.kind}"
@@ -225,9 +237,18 @@ class MetricsRegistry:
         return self._instruments.get((name, _label_key(labels)))
 
     def instruments(self) -> Iterator[object]:
-        """All instruments, sorted by (name, labels) for stable export."""
-        for key in sorted(self._instruments, key=lambda k: (k[0], repr(k[1]))):
-            yield self._instruments[key]
+        """All instruments, sorted by (name, labels) for stable export.
+
+        Snapshots the key set under the lock so a scrape from the
+        telemetry thread never iterates a dict another thread is
+        growing.
+        """
+        with self._lock:
+            items = sorted(
+                self._instruments.items(), key=lambda kv: (kv[0][0], repr(kv[0][1]))
+            )
+        for _key, inst in items:
+            yield inst
 
     def snapshot(self) -> List[Dict[str, object]]:
         """JSON-ready dump of every instrument (see also obs.export)."""
@@ -264,8 +285,9 @@ class MetricsRegistry:
         return out
 
     def clear(self) -> None:
-        self._instruments.clear()
-        self._kind_of.clear()
+        with self._lock:
+            self._instruments.clear()
+            self._kind_of.clear()
 
     def __len__(self) -> int:
         return len(self._instruments)

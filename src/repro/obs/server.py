@@ -232,6 +232,11 @@ class TelemetryServer:
             rec = obs_metrics.recorder()
             if rec.enabled:
                 rec.inc("telemetry.server.errors", 1)
+            obs_events.record_event(
+                "telemetry.server.error",
+                error=str(exc),
+                type=type(exc).__name__,
+            )
             try:
                 self._respond_json(request, 500, {"error": str(exc)})
             except OSError:

@@ -298,6 +298,11 @@ class QuantileDaemon:
                 "(error)",
             )
         except Exception as exc:  # defensive: the daemon must not die
+            obs_events.record_event(
+                "serve.unhandled_error",
+                error=str(exc),
+                type=type(exc).__name__,
+            )
             return (
                 500,
                 "application/json",
@@ -636,7 +641,9 @@ def serve_in_thread(
         asyncio.set_event_loop(loop)
         try:
             loop.run_until_complete(daemon.start())
-        except BaseException as exc:  # bind failures surface to caller
+        # Not swallowed: the caller re-raises whatever lands in
+        # ``failure`` once ``started`` fires (see below).
+        except BaseException as exc:  # replint: disable=REP012
             failure.append(exc)
             started.set()
             return

@@ -28,6 +28,7 @@ state as one epoch step.
 
 from __future__ import annotations
 
+import asyncio
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -174,10 +175,26 @@ class QuantileService:
             seed=spec.seed if spec.seed is not None else 0,
             shards=workers,
         )
-        shard_summary, _seconds = parallel_feed(
-            spec.algorithm, batch, spec.eps, plan,
-            universe_log2=spec.universe_log2,
+        # The engine forks workers and blocks on their reply queue; run
+        # it in the default executor so the loop keeps serving reads
+        # (REP008 — this was the one call that stalled every in-flight
+        # request for the duration of a bulk load).
+        loop = asyncio.get_running_loop()
+        shard_summary, _seconds = await loop.run_in_executor(
+            None,
+            lambda: parallel_feed(
+                spec.algorithm, batch, spec.eps, plan,
+                universe_log2=spec.universe_log2,
+            ),
         )
+        # Reads ran while the engine did; if the sketch was dropped (or
+        # dropped and re-created) across the await, discard the batch
+        # rather than mutate a zombie entry.
+        if self.registry.get(entry.name) is not entry:
+            raise InvalidParameterError(
+                f"sketch {entry.name!r} was replaced during parallel "
+                "ingest; the batch was discarded — retry"
+            )
         entry.merge_in(shard_summary)
         rec = obs_metrics.recorder()
         if rec.enabled:

@@ -1,0 +1,43 @@
+"""Blocking calls reachable from async bodies: every one flagged."""
+
+import subprocess
+import time
+
+
+def load_config(path):
+    with open(path) as handle:  # blocking, but sync context: fine here
+        return handle.read()
+
+
+def warm_up():
+    time.sleep(0.5)  # sync helper that sleeps
+
+
+class Engine:
+    def pull(self):
+        return self.task_queue.get()  # blocking queue get
+
+
+async def direct_sleep():
+    time.sleep(1.0)  # direct: sleeps the loop
+
+
+async def shell_out():
+    subprocess.run(["ls"])  # direct: subprocess
+
+
+async def read_file(path):
+    return open(path).read()  # direct: sync file I/O
+
+
+async def unawaited_acquire(lock):
+    lock.acquire()  # un-awaited lock acquire
+
+
+async def transitive():
+    warm_up()  # one hop: warm_up -> time.sleep
+
+
+async def through_method():
+    engine = Engine()
+    engine.pull()  # resolved via local constructor type

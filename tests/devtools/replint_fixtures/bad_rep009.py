@@ -1,0 +1,27 @@
+"""Lock acquires that can leak past a return or exception path."""
+
+import threading
+
+_registry_lock = threading.Lock()
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = {}
+
+    def add(self, key, value):
+        self._lock.acquire()  # leaks on the early return below
+        if key in self.items:
+            return False
+        self.items[key] = value
+        self._lock.release()
+        return True
+
+
+def update_registry(entries, validate):
+    _registry_lock.acquire()  # leaks when validate() raises
+    for entry in entries:
+        if not validate(entry):
+            raise ValueError(entry)
+    _registry_lock.release()

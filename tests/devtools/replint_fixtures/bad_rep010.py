@@ -1,0 +1,20 @@
+"""Two lock-acquisition orders that form a cycle: REP010 fires."""
+
+import threading
+
+_stats_lock = threading.Lock()
+_registry_lock = threading.Lock()
+
+
+def record(name, value, registry, stats):
+    with _stats_lock:
+        stats[name] = value
+        with _registry_lock:  # stats -> registry
+            registry[name] = value
+
+
+def evict(name, registry, stats):
+    with _registry_lock:
+        registry.pop(name, None)
+        with _stats_lock:  # registry -> stats: opposite order
+            stats.pop(name, None)

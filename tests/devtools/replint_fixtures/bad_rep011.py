@@ -1,0 +1,18 @@
+"""Shared-memory slot lifecycle gone wrong: leaks and double releases."""
+
+
+def send_chunk(free_slots, queue, chunk, ready):
+    slot = free_slots.pop()  # slot off the free list
+    if not ready:
+        return None  # leak: the slot never goes back
+    slot.write(chunk)
+    queue.put(slot)
+    return True
+
+
+def flaky_ack(free_slots, queue, chunk, fast_path):
+    slot = free_slots.pop()
+    slot.write(chunk)
+    if fast_path:
+        queue.put(slot)  # fast ack
+    queue.put(slot)  # double release when fast_path already queued it

@@ -1,0 +1,28 @@
+"""Async bodies that keep the loop free: nothing flagged."""
+
+import asyncio
+import time
+
+
+def crunch(values):
+    time.sleep(0.01)  # blocking, but only ever called via the executor
+    return sorted(values)
+
+
+async def polite_sleep():
+    await asyncio.sleep(1.0)
+
+
+async def offloaded(values):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, lambda: crunch(values))
+
+
+async def awaited_lock(lock):
+    await lock.acquire()  # asyncio lock, properly awaited
+    lock.release()
+
+
+def sync_can_block(path):
+    with open(path) as handle:  # sync context: not REP008's business
+        return handle.read()

@@ -1,0 +1,37 @@
+"""Lock discipline done right: with-scoped or released on every path."""
+
+import threading
+
+_registry_lock = threading.Lock()
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = {}
+
+    def add(self, key, value):
+        with self._lock:
+            if key in self.items:
+                return False
+            self.items[key] = value
+            return True
+
+
+def update_registry(entries, validate):
+    _registry_lock.acquire()
+    try:
+        for entry in entries:
+            if not validate(entry):
+                raise ValueError(entry)
+    finally:
+        _registry_lock.release()
+
+
+def branch_release(flag, state_lock):
+    state_lock.acquire()
+    if flag:
+        state_lock.release()
+        return "fast"
+    state_lock.release()
+    return "slow"

@@ -1,0 +1,25 @@
+"""Every function takes the same lock order: no cycle, REP010 quiet."""
+
+import threading
+
+_stats_lock = threading.Lock()
+_registry_lock = threading.Lock()
+
+
+def record(name, value, registry, stats):
+    with _stats_lock:
+        stats[name] = value
+        with _registry_lock:  # stats -> registry everywhere
+            registry[name] = value
+
+
+def evict(name, registry, stats):
+    with _stats_lock:
+        stats.pop(name, None)
+        with _registry_lock:  # same order as record()
+            registry.pop(name, None)
+
+
+def stats_only(name, value, stats):
+    with _stats_lock:
+        stats[name] = value

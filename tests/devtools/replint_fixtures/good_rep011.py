@@ -1,0 +1,18 @@
+"""Slot lifecycle done right: exactly one release on every path."""
+
+
+def send_chunk(free_slots, queue, chunk):
+    slot = free_slots.pop()
+    slot.write(chunk)
+    queue.put(slot)
+
+
+def send_checked(free_slots, chunk, ready):
+    if not ready:
+        return False  # decide *before* taking the slot
+    slot = free_slots.pop()
+    try:
+        slot.write(chunk)
+    finally:
+        free_slots.append(slot)  # back on the free list on every path
+    return True

@@ -1,0 +1,28 @@
+"""Broad handlers that leave evidence (event, traceback, or re-raise)."""
+
+import traceback
+
+
+def drain(queue, record_event):
+    items = []
+    try:
+        while True:
+            items.append(queue.get_nowait())
+    except Exception as exc:
+        record_event("drain.stopped", error=str(exc))
+    return items
+
+
+def forward_errors(work, out_queue):
+    try:
+        return work()
+    except Exception:
+        out_queue.put(traceback.format_exc())  # parent sees the traceback
+        raise
+
+
+def narrow(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:  # narrow handler: not REP012's concern
+        return None

@@ -1,0 +1,159 @@
+"""Fixture-pair tests for the flow-aware concurrency rules REP008-REP012."""
+
+from pathlib import Path
+
+from repro.devtools.engine import Linter
+from repro.devtools.rules import DEFAULT_RULES
+
+FIXTURES = Path(__file__).parent / "replint_fixtures"
+
+
+def lint_fixtures(tmp_path, *names, select=None):
+    """Copy fixtures into ``tmp_path/src`` (library role) and lint."""
+    src = tmp_path / "src"
+    src.mkdir(exist_ok=True)
+    for name in names:
+        (src / name).write_text(
+            (FIXTURES / name).read_text(encoding="utf-8"), encoding="utf-8"
+        )
+    return Linter(DEFAULT_RULES, select=select).run([str(src)])
+
+
+class TestREP008BlockingInAsync:
+    def test_bad_fixture_fires(self, tmp_path):
+        result = lint_fixtures(tmp_path, "bad_rep008.py", select={"REP008"})
+        messages = [d.message for d in result.diagnostics]
+        assert len(messages) == 6
+        assert any("time.sleep" in m and "direct_sleep" in m for m in messages)
+        assert any("subprocess" in m for m in messages)
+        assert any("synchronous file I/O" in m for m in messages)
+        assert any("un-awaited lock acquire" in m for m in messages)
+        # Transitive: warm_up() is blocking because it sleeps.
+        assert any(
+            "warm_up" in m and "sleeps the whole event loop" in m
+            for m in messages
+        )
+        # Method resolution through a local constructor type.
+        assert any(
+            "engine.pull" in m and "blocking queue get" in m for m in messages
+        )
+
+    def test_good_fixture_clean(self, tmp_path):
+        result = lint_fixtures(tmp_path, "good_rep008.py", select={"REP008"})
+        assert result.diagnostics == []
+
+    def test_offload_suggestion_in_message(self, tmp_path):
+        result = lint_fixtures(tmp_path, "bad_rep008.py", select={"REP008"})
+        assert all(
+            "run_in_executor" in d.message for d in result.diagnostics
+        )
+
+
+class TestREP009LockRelease:
+    def test_bad_fixture_fires(self, tmp_path):
+        result = lint_fixtures(tmp_path, "bad_rep009.py", select={"REP009"})
+        messages = [d.message for d in result.diagnostics]
+        assert len(messages) == 2
+        assert any("self._lock" in m and "add()" in m for m in messages)
+        assert any(
+            "_registry_lock" in m and "update_registry()" in m
+            for m in messages
+        )
+
+    def test_good_fixture_clean(self, tmp_path):
+        # with-scoping, try/finally, and release-on-every-branch all pass.
+        result = lint_fixtures(tmp_path, "good_rep009.py", select={"REP009"})
+        assert result.diagnostics == []
+
+
+class TestREP010LockOrder:
+    def test_bad_fixture_fires_once_per_cycle(self, tmp_path):
+        result = lint_fixtures(tmp_path, "bad_rep010.py", select={"REP010"})
+        assert len(result.diagnostics) == 1
+        message = result.diagnostics[0].message
+        assert "lock-order cycle" in message
+        assert "bad_rep010._stats_lock" in message
+        assert "bad_rep010._registry_lock" in message
+
+    def test_good_fixture_clean(self, tmp_path):
+        result = lint_fixtures(tmp_path, "good_rep010.py", select={"REP010"})
+        assert result.diagnostics == []
+
+    def test_consistent_order_across_files_clean(self, tmp_path):
+        # Nesting alone is fine; only *conflicting* orders form a cycle.
+        src = tmp_path / "src"
+        src.mkdir(exist_ok=True)
+        (src / "one_order.py").write_text(
+            "import threading\n"
+            "_a_lock = threading.Lock()\n"
+            "_b_lock = threading.Lock()\n"
+            "def f(x):\n"
+            "    with _a_lock:\n"
+            "        with _b_lock:\n"
+            "            return x\n",
+            encoding="utf-8",
+        )
+        result = Linter(DEFAULT_RULES, select={"REP010"}).run([str(src)])
+        assert result.diagnostics == []
+
+
+class TestREP011SlotLifecycle:
+    def test_bad_fixture_fires(self, tmp_path):
+        result = lint_fixtures(tmp_path, "bad_rep011.py", select={"REP011"})
+        messages = [d.message for d in result.diagnostics]
+        assert len(messages) == 2
+        assert any("may leak" in m and "send_chunk" in m for m in messages)
+        assert any(
+            "already have been released" in m and "flaky_ack" in m
+            for m in messages
+        )
+
+    def test_good_fixture_clean(self, tmp_path):
+        result = lint_fixtures(tmp_path, "good_rep011.py", select={"REP011"})
+        assert result.diagnostics == []
+
+
+class TestREP012SilentException:
+    def test_bad_fixture_fires(self, tmp_path):
+        result = lint_fixtures(tmp_path, "bad_rep012.py", select={"REP012"})
+        messages = [d.message for d in result.diagnostics]
+        assert len(messages) == 2
+        assert any("except Exception" in m for m in messages)
+        assert any("bare except" in m for m in messages)
+
+    def test_good_fixture_clean(self, tmp_path):
+        # record_event, format_exc-and-reraise, and narrow handlers pass.
+        result = lint_fixtures(tmp_path, "good_rep012.py", select={"REP012"})
+        assert result.diagnostics == []
+
+    def test_suppression_with_justification(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir(exist_ok=True)
+        (src / "justified.py").write_text(
+            "def run(work, failure):\n"
+            "    try:\n"
+            "        work()\n"
+            "    # Not swallowed: the caller re-raises from ``failure``.\n"
+            "    except Exception as exc:  # replint: disable=REP012\n"
+            "        failure.append(exc)\n",
+            encoding="utf-8",
+        )
+        result = Linter(DEFAULT_RULES, select={"REP012"}).run([str(src)])
+        assert result.diagnostics == []
+        assert result.suppressed == 1
+
+
+class TestNewRulesRoleScoping:
+    def test_rules_skip_test_code(self, tmp_path):
+        # The concurrency pack applies to library code only: tests may
+        # block, hold locks across asserts, and swallow exceptions.
+        tests_dir = tmp_path / "tests"
+        tests_dir.mkdir(exist_ok=True)
+        (tests_dir / "test_fixture_style.py").write_text(
+            (FIXTURES / "bad_rep012.py").read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        result = Linter(
+            DEFAULT_RULES, select={"REP008", "REP009", "REP010", "REP011", "REP012"}
+        ).run([str(tests_dir)])
+        assert result.diagnostics == []

@@ -1,0 +1,403 @@
+"""Unit tests for the replint v2 CFG and dataflow engine."""
+
+import ast
+import textwrap
+
+from repro.devtools import flow
+
+
+def get_fn(source, name=None):
+    tree = ast.parse(textwrap.dedent(source))
+    fns = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    if name is None:
+        return fns[0]
+    return next(fn for fn in fns if fn.name == name)
+
+
+def fn_cfg(source, name=None):
+    return flow.build_cfg(get_fn(source, name))
+
+
+def stmt_node(cfg, stmt_type):
+    return next(
+        node
+        for node in cfg.iter_nodes(flow.STMT)
+        if isinstance(node.stmt, stmt_type)
+    )
+
+
+def lock_events(cfg):
+    """acquire/release callables keyed on ``<name>.acquire()``/``.release()``."""
+
+    def tokens(node, attr):
+        if node.kind != flow.STMT or node.stmt is None:
+            return frozenset()
+        found = set()
+        for root in flow.stmt_header_exprs(node.stmt):
+            for sub in ast.walk(root):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == attr
+                    and isinstance(sub.func.value, ast.Name)
+                ):
+                    found.add(sub.func.value.id)
+        return frozenset(found)
+
+    return (
+        lambda node: tokens(node, "acquire"),
+        lambda node: tokens(node, "release"),
+    )
+
+
+def may_held_at_exit(cfg):
+    acquires, releases = lock_events(cfg)
+    analysis = flow.HeldSetAnalysis(acquires, releases, mode=flow.MAY)
+    in_states, _ = flow.solve(cfg, analysis)
+    return in_states[cfg.exit.index]
+
+
+class TestCFGShapes:
+    def test_linear_chain(self):
+        cfg = fn_cfg(
+            """
+            def f(x):
+                a = x + 1
+                b = a * 2
+                return b
+            """
+        )
+        stmts = list(cfg.iter_nodes(flow.STMT))
+        assert len(stmts) == 3
+        assert cfg.entry.succs == [stmts[0].index]
+        assert cfg.exit.index in stmts[-1].succs
+
+    def test_if_branches_join(self):
+        cfg = fn_cfg(
+            """
+            def f(flag):
+                if flag:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        ret = stmt_node(cfg, ast.Return)
+        assert len(cfg.predecessors()[ret.index]) == 2
+
+    def test_loop_head_cycles_and_break_exits(self):
+        cfg = fn_cfg(
+            """
+            def f(xs):
+                for x in xs:
+                    if x:
+                        break
+                return 1
+            """
+        )
+        head = stmt_node(cfg, ast.For)
+        brk = stmt_node(cfg, ast.Break)
+        ret = stmt_node(cfg, ast.Return)
+        # The if-condition loops back to the head; break exits to return.
+        assert head.index in cfg.predecessors()[head.index] or any(
+            head.index in cfg.nodes[p].succs for p in cfg.predecessors()[head.index]
+        )
+        assert ret.index in brk.succs
+        assert head.index in cfg.predecessors()[ret.index]
+
+    def test_continue_edges_to_loop_head(self):
+        cfg = fn_cfg(
+            """
+            def f(xs):
+                for x in xs:
+                    if x:
+                        continue
+                    handle(x)
+            """
+        )
+        head = stmt_node(cfg, ast.For)
+        cont = stmt_node(cfg, ast.Continue)
+        assert head.index in cont.succs
+
+    def test_with_brackets_body(self):
+        cfg = fn_cfg(
+            """
+            def f(lock):
+                with lock:
+                    touch()
+            """
+        )
+        enters = list(cfg.iter_nodes(flow.WITH_ENTER))
+        exits = list(cfg.iter_nodes(flow.WITH_EXIT))
+        assert len(enters) == 1 and len(exits) == 1
+        assert enters[0].item is exits[0].item
+
+    def test_return_inside_with_synthesizes_exit(self):
+        cfg = fn_cfg(
+            """
+            def f(lock):
+                with lock:
+                    return 1
+            """
+        )
+        ret = stmt_node(cfg, ast.Return)
+        succ = cfg.nodes[ret.succs[0]]
+        assert succ.kind == flow.WITH_EXIT
+        assert cfg.exit.index in succ.succs
+
+    def test_try_body_may_raise_into_handler(self):
+        cfg = fn_cfg(
+            """
+            def f(x):
+                try:
+                    a = x()
+                    b = a + 1
+                except ValueError:
+                    b = 0
+                return b
+            """
+        )
+        handler = stmt_node(cfg, ast.ExceptHandler)
+        # The two body statements plus the try's own predecessor (entry)
+        # can all raise into the handler.
+        assert len(cfg.predecessors()[handler.index]) == 3
+
+    def test_dead_code_after_return_is_unreachable(self):
+        cfg = fn_cfg(
+            """
+            def f():
+                return 1
+                x = 2
+            """
+        )
+        dead = stmt_node(cfg, ast.Assign)
+        assert cfg.predecessors()[dead.index] == []
+        in_states, _ = flow.solve(cfg, flow.ReachingDefinitions(cfg))
+        assert in_states[dead.index] is None
+
+
+class TestFinallyRouting:
+    def test_raise_routes_through_finally(self):
+        cfg = fn_cfg(
+            """
+            def f(lock, items):
+                lock.acquire()
+                try:
+                    if not items:
+                        raise ValueError(items)
+                finally:
+                    lock.release()
+            """
+        )
+        assert may_held_at_exit(cfg) == frozenset()
+
+    def test_raise_without_finally_leaks(self):
+        cfg = fn_cfg(
+            """
+            def f(lock, items):
+                lock.acquire()
+                if not items:
+                    raise ValueError(items)
+                lock.release()
+            """
+        )
+        assert may_held_at_exit(cfg) == frozenset({"lock"})
+
+    def test_return_routes_through_finally(self):
+        cfg = fn_cfg(
+            """
+            def f(lock, key, table):
+                lock.acquire()
+                try:
+                    if key in table:
+                        return table[key]
+                    return None
+                finally:
+                    lock.release()
+            """
+        )
+        assert may_held_at_exit(cfg) == frozenset()
+
+    def test_break_routes_through_finally_to_loop_exit(self):
+        cfg = fn_cfg(
+            """
+            def f(xs, log):
+                for x in xs:
+                    try:
+                        if x:
+                            break
+                    finally:
+                        log.append(x)
+                return 1
+            """
+        )
+        ret = stmt_node(cfg, ast.Return)
+        append_node = next(
+            node
+            for node in cfg.iter_nodes(flow.STMT)
+            if isinstance(node.stmt, ast.Expr)
+        )
+        # The break re-routes from the finally's out-node to the loop exit.
+        assert ret.index in append_node.succs
+
+    def test_raise_in_body_prefers_handler_over_finally(self):
+        cfg = fn_cfg(
+            """
+            def f(x):
+                try:
+                    raise ValueError(x)
+                except ValueError:
+                    handled = True
+                finally:
+                    cleanup = True
+            """
+        )
+        raise_node = stmt_node(cfg, ast.Raise)
+        handler = stmt_node(cfg, ast.ExceptHandler)
+        assert handler.index in raise_node.succs
+
+
+class TestSolveAndReachingDefs:
+    def test_params_reach_from_entry(self):
+        cfg = fn_cfg(
+            """
+            def f(flag):
+                return flag
+            """
+        )
+        in_states, _ = flow.solve(cfg, flow.ReachingDefinitions(cfg))
+        ret = stmt_node(cfg, ast.Return)
+        assert flow.definition_nodes(in_states[ret.index], "flag") == [
+            cfg.entry.index
+        ]
+
+    def test_branch_definitions_merge(self):
+        cfg = fn_cfg(
+            """
+            def f(flag):
+                x = 1
+                if flag:
+                    x = 2
+                return x
+            """
+        )
+        in_states, _ = flow.solve(cfg, flow.ReachingDefinitions(cfg))
+        ret = stmt_node(cfg, ast.Return)
+        assert len(flow.definition_nodes(in_states[ret.index], "x")) == 2
+
+    def test_redefinition_kills_prior(self):
+        cfg = fn_cfg(
+            """
+            def f():
+                x = 1
+                x = 2
+                return x
+            """
+        )
+        in_states, _ = flow.solve(cfg, flow.ReachingDefinitions(cfg))
+        ret = stmt_node(cfg, ast.Return)
+        assert len(flow.definition_nodes(in_states[ret.index], "x")) == 1
+
+    def test_with_as_binds_at_enter(self):
+        cfg = fn_cfg(
+            """
+            def f(path):
+                with open(path) as handle:
+                    return handle.read()
+            """
+        )
+        in_states, _ = flow.solve(cfg, flow.ReachingDefinitions(cfg))
+        ret = stmt_node(cfg, ast.Return)
+        enter = next(cfg.iter_nodes(flow.WITH_ENTER))
+        assert flow.definition_nodes(in_states[ret.index], "handle") == [
+            enter.index
+        ]
+
+    def test_assigned_names_targets(self):
+        stmt = ast.parse("a, (b, *c) = rhs").body[0]
+        assert sorted(flow.assigned_names(stmt)) == ["a", "b", "c"]
+
+
+class TestHeldSetAnalysis:
+    def test_may_vs_must_on_branch(self):
+        cfg = fn_cfg(
+            """
+            def f(flag, a_lock):
+                if flag:
+                    a_lock.acquire()
+                probe()
+                a_lock.release()
+            """
+        )
+        acquires, releases = lock_events(cfg)
+        probe = next(
+            node
+            for node in cfg.iter_nodes(flow.STMT)
+            if isinstance(node.stmt, ast.Expr)
+            and isinstance(node.stmt.value, ast.Call)
+            and isinstance(node.stmt.value.func, ast.Name)
+        )
+        may_in, _ = flow.solve(
+            cfg, flow.HeldSetAnalysis(acquires, releases, mode=flow.MAY)
+        )
+        must_in, _ = flow.solve(
+            cfg, flow.HeldSetAnalysis(acquires, releases, mode=flow.MUST)
+        )
+        assert may_in[probe.index] == frozenset({"a_lock"})
+        assert must_in[probe.index] == frozenset()
+
+    def test_invalid_mode_rejected(self):
+        try:
+            flow.HeldSetAnalysis(
+                lambda n: frozenset(), lambda n: frozenset(), mode="bogus"
+            )
+        except ValueError as exc:
+            assert "bogus" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+
+class TestCallIteration:
+    def test_awaited_flag_and_nested_skip(self):
+        fn = get_fn(
+            """
+            async def f(loop, lock):
+                await lock.acquire()
+                loop.run_in_executor(None, lambda: blocking())
+                helper()
+            """
+        )
+        rendered = sorted(
+            (ast.unparse(call.func), awaited)
+            for call, awaited in flow.iter_calls(fn, skip_nested=True)
+        )
+        assert rendered == [
+            ("helper", False),
+            ("lock.acquire", True),
+            ("loop.run_in_executor", False),
+        ]
+
+    def test_nested_def_bodies_excluded(self):
+        fn = get_fn(
+            """
+            def outer():
+                def inner():
+                    hidden()
+                visible()
+            """,
+            name="outer",
+        )
+        names = [
+            ast.unparse(call.func)
+            for call, _ in flow.iter_calls(fn, skip_nested=True)
+        ]
+        assert names == ["visible"]
+
+    def test_is_async_function(self):
+        assert flow.is_async_function(get_fn("async def f():\n    pass"))
+        assert not flow.is_async_function(get_fn("def f():\n    pass"))

@@ -1,0 +1,167 @@
+"""CLI coverage for replint v2: exit codes, --select ranges, JSON schema."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.engine import JSON_SCHEMA, Linter, render_json
+from repro.devtools.lint import main as lint_main, parse_select
+from repro.devtools.rules import DEFAULT_RULES, RULES_BY_ID
+
+FIXTURES = Path(__file__).parent / "replint_fixtures"
+
+
+def stage(tmp_path, name, content=None):
+    src = tmp_path / "src"
+    src.mkdir(exist_ok=True)
+    target = src / name
+    if content is None:
+        content = (FIXTURES / name).read_text(encoding="utf-8")
+    target.write_text(content, encoding="utf-8")
+    return src
+
+
+class TestParseSelect:
+    def test_single_ids(self):
+        assert parse_select("REP001,REP012") == {"REP001", "REP012"}
+
+    def test_range_expansion(self):
+        assert parse_select("REP008-REP012") == {
+            "REP008",
+            "REP009",
+            "REP010",
+            "REP011",
+            "REP012",
+        }
+
+    def test_mixed_ids_and_ranges(self):
+        assert parse_select("REP001,REP010-REP012") == {
+            "REP001",
+            "REP010",
+            "REP011",
+            "REP012",
+        }
+
+    def test_range_clips_to_catalog(self):
+        # An over-wide range selects only ids that actually exist.
+        assert parse_select("REP001-REP099") == set(RULES_BY_ID)
+
+    def test_backwards_range_rejected(self):
+        with pytest.raises(ValueError, match="backwards"):
+            parse_select("REP012-REP008")
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError, match="matches nothing"):
+            parse_select("REP090-REP099")
+
+
+class TestExitCodes:
+    def test_zero_on_clean_tree(self, tmp_path, capsys):
+        src = stage(tmp_path, "clean.py", "X = 1\n")
+        assert lint_main([str(src)]) == 0
+        assert "0 problem(s)" in capsys.readouterr().out
+
+    def test_one_on_findings(self, tmp_path, capsys):
+        src = stage(tmp_path, "bad_rep012.py")
+        assert lint_main(["--select", "REP012", str(src)]) == 1
+        assert "REP012" in capsys.readouterr().out
+
+    def test_two_on_unknown_rule(self, tmp_path):
+        src = stage(tmp_path, "clean.py", "X = 1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            lint_main(["--select", "REP999", str(src)])
+        assert excinfo.value.code == 2
+
+    def test_two_on_malformed_range(self, tmp_path):
+        src = stage(tmp_path, "clean.py", "X = 1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            lint_main(["--select", "REP012-REP008", str(src)])
+        assert excinfo.value.code == 2
+
+    def test_select_range_on_cli(self, tmp_path, capsys):
+        src = stage(tmp_path, "bad_rep008.py")
+        assert lint_main(["--select", "REP008-REP012", str(src)]) == 1
+        out = capsys.readouterr().out
+        assert "REP008" in out
+
+    def test_list_rules_includes_concurrency_pack(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP008", "REP009", "REP010", "REP011", "REP012"):
+            assert rule_id in out
+
+
+class TestJsonSchema:
+    """The JSON output is a stable machine-readable contract for CI."""
+
+    def run_json(self, tmp_path, name, content=None, select=None):
+        src = stage(tmp_path, name, content)
+        result = Linter(DEFAULT_RULES, select=select).run([str(src)])
+        return json.loads(render_json(result))
+
+    def test_top_level_shape(self, tmp_path):
+        payload = self.run_json(
+            tmp_path, "bad_rep012.py", select={"REP012"}
+        )
+        assert payload["schema"] == JSON_SCHEMA == "replint-json/1"
+        assert payload["files_checked"] == 1
+        assert isinstance(payload["suppressed"], int)
+        assert isinstance(payload["diagnostics"], list)
+
+    def test_record_keys(self, tmp_path):
+        payload = self.run_json(
+            tmp_path, "bad_rep012.py", select={"REP012"}
+        )
+        assert payload["diagnostics"], "expected findings"
+        for record in payload["diagnostics"]:
+            for key in ("rule", "path", "line", "col", "message", "suppressed"):
+                assert key in record, key
+            assert record["rule"] == "REP012"
+            assert record["rule"] == record["rule_id"]  # back-compat alias
+            assert isinstance(record["line"], int) and record["line"] >= 1
+            assert record["suppressed"] is False
+
+    def test_suppressed_records_included_and_marked(self, tmp_path):
+        payload = self.run_json(
+            tmp_path,
+            "suppressed.py",
+            content=(
+                "def run(work, failure):\n"
+                "    try:\n"
+                "        work()\n"
+                "    except Exception as exc:  # replint: disable=REP012\n"
+                "        failure.append(exc)\n"
+            ),
+            select={"REP012"},
+        )
+        assert payload["suppressed"] == 1
+        marked = [r for r in payload["diagnostics"] if r["suppressed"]]
+        assert len(marked) == 1
+        assert marked[0]["rule"] == "REP012"
+
+    def test_exit_code_ignores_suppressed(self, tmp_path, capsys):
+        src = stage(
+            tmp_path,
+            "suppressed.py",
+            (
+                "def run(work, failure):\n"
+                "    try:\n"
+                "        work()\n"
+                "    except Exception as exc:  # replint: disable=REP012\n"
+                "        failure.append(exc)\n"
+            ),
+        )
+        assert lint_main(["--format", "json", str(src)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["suppressed"] == 1
+
+    def test_records_sorted_by_location(self, tmp_path):
+        payload = self.run_json(
+            tmp_path, "bad_rep012.py", select={"REP012"}
+        )
+        keys = [
+            (r["path"], r["line"], r["col"], r["rule"])
+            for r in payload["diagnostics"]
+        ]
+        assert keys == sorted(keys)

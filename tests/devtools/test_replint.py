@@ -332,6 +332,11 @@ class TestEngine:
             "REP005",
             "REP006",
             "REP007",
+            "REP008",
+            "REP009",
+            "REP010",
+            "REP011",
+            "REP012",
         ]
         for rule in DEFAULT_RULES:
             assert rule.title
@@ -409,7 +414,7 @@ def test_live_tree_is_clean():
     """The repo's own sources must lint clean — replint gates CI."""
     paths = [
         str(REPO_ROOT / name)
-        for name in ("src", "tests", "benchmarks")
+        for name in ("src", "tests", "benchmarks", "examples")
         if (REPO_ROOT / name).exists()
     ]
     result = Linter(DEFAULT_RULES).run(paths)

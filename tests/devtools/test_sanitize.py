@@ -1,0 +1,222 @@
+"""Runtime lock-order sanitizer tests, including the deadlock proof.
+
+The cycle tests build private :class:`SanitizerState` instances, so they
+can seed deliberate deadlock-prone orders without tripping the globally
+installed plugin state (CI runs this file under ``-p
+repro.devtools.sanitize`` precisely to prove the detector fires).
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.devtools import sanitize
+from repro.devtools.sanitize import (
+    InstrumentedLock,
+    Sanitizer,
+    SanitizerState,
+)
+
+
+def run_in_thread(fn):
+    worker = threading.Thread(target=fn)
+    worker.start()
+    worker.join(timeout=10)
+    assert not worker.is_alive()
+
+
+class TestLockOrderCycle:
+    def test_deliberate_deadlock_order_fires(self):
+        """The seeded AB/BA order must produce a cycle violation."""
+        state = SanitizerState()
+        lock_a = InstrumentedLock(state, name="A")
+        lock_b = InstrumentedLock(state, name="B")
+
+        with lock_a:
+            with lock_b:  # edge A -> B
+                pass
+
+        def opposite_order():
+            with lock_b:
+                with lock_a:  # edge B -> A: closes the cycle
+                    pass
+
+        run_in_thread(opposite_order)
+
+        kinds = [v.kind for v in state.violations]
+        assert kinds == ["lock-order-cycle"]
+        message = state.violations[0].message
+        assert "Lock(A)" in message and "Lock(B)" in message
+        assert "edges:" in message
+
+    def test_cycle_reported_once(self):
+        state = SanitizerState()
+        lock_a = InstrumentedLock(state, name="A")
+        lock_b = InstrumentedLock(state, name="B")
+        for _ in range(3):
+            with lock_a:
+                with lock_b:
+                    pass
+            with lock_b:
+                with lock_a:
+                    pass
+        assert len(state.violations) == 1
+
+    def test_consistent_order_is_clean(self):
+        state = SanitizerState()
+        lock_a = InstrumentedLock(state, name="A")
+        lock_b = InstrumentedLock(state, name="B")
+
+        def same_order():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        same_order()
+        run_in_thread(same_order)
+        assert state.violations == []
+        assert state.report() == "lock sanitizer: no violations"
+
+    def test_three_lock_cycle(self):
+        state = SanitizerState()
+        locks = [InstrumentedLock(state, name=n) for n in "ABC"]
+        pairs = [(0, 1), (1, 2), (2, 0)]  # A->B, B->C, C->A
+        for first, second in pairs:
+            with locks[first]:
+                with locks[second]:
+                    pass
+        assert [v.kind for v in state.violations] == ["lock-order-cycle"]
+
+    def test_reentrant_acquire_adds_no_self_edge(self):
+        state = SanitizerState()
+        outer = InstrumentedLock(state, name="outer")
+        rlock = InstrumentedLock(state, reentrant=True, name="R")
+        with outer:
+            rlock.acquire()
+            rlock.acquire()  # reentrant: no new edges, no self-cycle
+            rlock.release()
+            rlock.release()
+        assert state.violations == []
+        serials = list(state.graph)
+        for held in serials:
+            assert held not in state.graph.get(held, set())
+
+    def test_held_stack_unwinds(self):
+        state = SanitizerState()
+        lock_a = InstrumentedLock(state, name="A")
+        with lock_a:
+            assert state.held_serials() != []
+        assert state.held_serials() == []
+
+
+class TestEventLoopBlocking:
+    def test_long_hold_on_loop_thread_flagged(self):
+        state = SanitizerState(block_threshold_s=0.01)
+        lock = InstrumentedLock(state, name="hot")
+
+        async def main():
+            lock.acquire()
+            time.sleep(0.05)  # deliberately parks the loop while holding
+            lock.release()
+
+        asyncio.run(main())
+        kinds = [v.kind for v in state.violations]
+        assert kinds == ["event-loop-blocked-hold"]
+        assert "Lock(hot)" in state.violations[0].message
+
+    def test_long_wait_on_loop_thread_flagged(self):
+        state = SanitizerState(block_threshold_s=0.01)
+        lock = InstrumentedLock(state, name="contended")
+        held = threading.Event()
+
+        def holder():
+            lock.acquire()
+            held.set()
+            time.sleep(0.05)
+            lock.release()
+
+        worker = threading.Thread(target=holder)
+        worker.start()
+        held.wait(timeout=10)
+
+        async def main():
+            lock.acquire()  # blocks the loop until the holder releases
+            lock.release()
+
+        asyncio.run(main())
+        worker.join(timeout=10)
+        assert "event-loop-blocked-wait" in [v.kind for v in state.violations]
+
+    def test_fast_locks_off_loop_are_clean(self):
+        state = SanitizerState(block_threshold_s=0.01)
+        lock = InstrumentedLock(state, name="cold")
+        lock.acquire()
+        time.sleep(0.05)  # long hold, but no event loop on this thread
+        lock.release()
+        assert state.violations == []
+
+
+class TestGlobalPatch:
+    def test_install_patches_and_uninstall_restores(self):
+        sanitizer = Sanitizer()
+        try:
+            sanitizer.install()
+            lock = threading.Lock()
+            assert isinstance(lock, InstrumentedLock)
+            rlock = threading.RLock()
+            assert isinstance(rlock, InstrumentedLock)
+        finally:
+            sanitizer.uninstall()
+        assert threading.Lock is sanitize._REAL_LOCK
+        assert threading.RLock is sanitize._REAL_RLOCK
+
+    def test_queue_and_condition_work_under_patch(self):
+        # queue.Queue builds its mutex from threading.Lock and Condition
+        # wraps it; both must behave normally under instrumentation.
+        sanitizer = Sanitizer()
+        try:
+            sanitizer.install()
+            import queue
+
+            q = queue.Queue()
+            results = []
+
+            def consumer():
+                results.append(q.get(timeout=10))
+
+            worker = threading.Thread(target=consumer)
+            worker.start()
+            q.put("payload")
+            worker.join(timeout=10)
+            assert results == ["payload"]
+            assert not sanitizer.violations
+        finally:
+            sanitizer.uninstall()
+
+    def test_module_install_is_idempotent(self):
+        was_active = sanitize.current()
+        if was_active is not None:
+            pytest.skip("plugin already active in this session")
+        first = sanitize.install()
+        try:
+            assert sanitize.install() is first
+            assert sanitize.current() is first
+        finally:
+            sanitize.uninstall()
+        assert sanitize.current() is None
+
+    def test_report_lists_violations(self):
+        state = SanitizerState()
+        lock_a = InstrumentedLock(state, name="A")
+        lock_b = InstrumentedLock(state, name="B")
+        with lock_a:
+            with lock_b:
+                pass
+        with lock_b:
+            with lock_a:
+                pass
+        report = state.report()
+        assert "1 violation(s)" in report
+        assert "[lock-order-cycle]" in report
