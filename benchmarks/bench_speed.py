@@ -49,6 +49,7 @@ SPECS = [
     ("mrl99", dict(eps=0.01), "same-seed-identical", None),
     ("kll", dict(eps=0.01), "same-seed-identical", 200_000),
     ("dcs", dict(eps=0.01, universe_log2=16), "exact (update_batch)", 5_000),
+    ("dcm", dict(eps=0.01, universe_log2=16), "exact (update_batch)", 5_000),
 ]
 
 PHI_COUNT = 99

@@ -1,7 +1,7 @@
-"""The replint domain rules, REP001–REP007.
+"""The replint domain rules, REP001–REP007 and REP013.
 
 The flow-aware concurrency pack (REP008–REP012) lives in
-:mod:`repro.devtools.concurrency` and is appended to
+:mod:`repro.devtools.concurrency` and is spliced into
 :data:`DEFAULT_RULES` below.
 
 Each rule encodes one invariant the library otherwise enforces only by
@@ -763,6 +763,82 @@ class FaultInjectionDisciplineRule(Rule):
         return False
 
 
+class HotPathHashConstructionRule(Rule):
+    """REP013: no per-call hash-table construction in ingest/query kernels.
+
+    Flags construction of hash machinery — ``KWiseHash`` / ``SignHash``
+    instances, RNGs (``make_rng`` / ``default_rng``), plane caches, or
+    direct plane builds (``_compute_bucket_plane`` and friends) — inside
+    the hot batch kernels ``extend`` / ``update`` / ``update_batch`` /
+    ``estimate`` / ``estimate_batch`` in library code.  Hash functions
+    are fixed maps once their coefficients are drawn: rebuilding one per
+    call silently reintroduces the rehash-per-batch cost the hash-plane
+    cache exists to eliminate (and a *fresh* hash would change the
+    sketch's answers).  Build hash objects in ``__init__`` and fetch
+    plane tables from :mod:`repro.sketches.hashplan`.
+    """
+
+    rule_id = "REP013"
+    title = "cached hash planes in hot kernels"
+    rationale = (
+        "The turnstile hot path is only fast because hash evaluations "
+        "over reduced universes are materialized once and reused; any "
+        "hash-table construction inside an extend/update_batch body "
+        "re-pays that cost per call — and a freshly drawn hash function "
+        "computes a different map, corrupting the sketch."
+    )
+    roles = (ROLE_LIBRARY,)
+
+    #: The batch kernels that form the ingest/query hot path.
+    _HOT_METHODS = {
+        "extend", "update", "update_batch", "estimate", "estimate_batch",
+    }
+    #: Constructors whose per-call use the rule forbids.
+    _HASH_CONSTRUCTION = {
+        "KWiseHash",
+        "SignHash",
+        "HashPlaneCache",
+        "make_rng",
+        "default_rng",
+        "_compute_bucket_plane",
+        "_compute_sign_plane",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in self._HOT_METHODS
+            ):
+                yield from self._check_kernel(ctx, node)
+
+    def _check_kernel(
+        self, ctx: FileContext, fn: _FuncDef
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            label = self._construction_label(node.func)
+            if label is not None:
+                yield self.diagnostic(
+                    ctx.path,
+                    node,
+                    f"`{label}` constructed inside hot kernel "
+                    f"`{fn.name}`; hash functions and plane tables are "
+                    "fixed maps — build them in __init__ and fetch "
+                    "cached planes via repro.sketches.hashplan",
+                )
+
+    @classmethod
+    def _construction_label(cls, func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Name) and func.id in cls._HASH_CONSTRUCTION:
+            return func.id
+        parts = _dotted_parts(func)
+        if parts is not None and parts[-1] in cls._HASH_CONSTRUCTION:
+            return ".".join(parts)
+        return None
+
+
 from repro.devtools.concurrency import CONCURRENCY_RULES  # noqa: E402
 
 #: The rule set the CLI runs by default, in catalog order.
@@ -774,7 +850,7 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     MetricsPreregistrationRule(),
     WorkerSeedDisciplineRule(),
     FaultInjectionDisciplineRule(),
-) + CONCURRENCY_RULES
+) + CONCURRENCY_RULES + (HotPathHashConstructionRule(),)
 
 #: rule_id -> rule instance, for --select and docs generation.
 RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in DEFAULT_RULES}

@@ -405,9 +405,15 @@ DEFAULT_INSTRUMENTS: Tuple[Tuple[str, str], ...] = (
     ("counter", "parallel.chunks"),
     ("counter", "parallel.elements"),
     ("counter", "parallel.merges"),
+    ("counter", "parallel.acks"),
+    ("counter", "parallel.acked_slots"),
     ("gauge", "parallel.workers"),
+    ("gauge", "parallel.slots_per_worker"),
     ("histogram", "parallel.ingest_ns"),
     ("histogram", "parallel.merge_ns"),
+    ("counter", "hashplan.cache.hits"),
+    ("counter", "hashplan.cache.misses"),
+    ("counter", "hashplan.cache.evictions"),
     ("counter", "evaluation.updates"),
     ("counter", "evaluation.runs"),
     ("gauge", "evaluation.stream.n"),
@@ -577,6 +583,23 @@ def disable() -> None:
     """Stop collecting: instrumentation reverts to no-ops."""
     global _recorder
     _recorder = NULL_RECORDER
+
+
+@contextlib.contextmanager
+def paused():
+    """Context manager: suspend collection within the block.
+
+    For calibration probes (e.g. the parallel engine's slot-sizing
+    ns/item measurement) whose sketch updates must not pollute the
+    run's counters; the previous recorder is restored on exit.
+    """
+    global _recorder
+    previous = _recorder
+    _recorder = NULL_RECORDER
+    try:
+        yield
+    finally:
+        _recorder = previous
 
 
 @contextlib.contextmanager

@@ -46,6 +46,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.parallel.plan import ShardPlan
 from repro.parallel.shm import (
+    MAX_SLOTS_PER_WORKER,
     SLOTS_PER_WORKER,
     attach_slots,
     create_slot_pool,
@@ -53,6 +54,15 @@ from repro.parallel.shm import (
 
 #: Seconds the parent waits on worker replies before declaring it dead.
 _REPLY_TIMEOUT_S = 120.0
+
+#: Elements fed to the one-shot kernel-speed probe that sizes slot pools.
+_PROBE_ELEMENTS = 4096
+
+#: Probe thresholds (ns/item) for slot-pool depth.  Cheap kernels drain
+#: chunks faster than ack round trips restock the pool, so they get deep
+#: pools; kernels slower than ~1 µs/item can't outrun double buffering.
+_FAST_KERNEL_NS = 250.0
+_MEDIUM_KERNEL_NS = 1000.0
 
 
 def _start_method() -> str:
@@ -77,13 +87,21 @@ def _shard_worker(
     Every random draw in the worker flows from the plan: the sketch seed
     is ``plan.sketch_seed(worker_id, shares_seed)`` (REP006).  Messages
     on ``task_queue`` are ``("chunk", slot, count)``, ``("finish",)``,
-    or ``("stop",)``; replies are ``("ack", worker, slot)`` after the
-    chunk is copied out (so the parent can refill the slot while the
-    sketch ingests), ``("result", worker, blob, metrics, spans)``, and
-    ``("error", worker, traceback)``.
+    or ``("stop",)``; replies are ``("ack", worker, [slots])`` — one ack
+    per *drained group*, not per chunk — sent after every drained chunk
+    is copied out of shared memory (so the parent refills the whole
+    group while the sketch ingests), ``("result", worker, blob, metrics,
+    spans)``, and ``("error", worker, traceback)``.
+
+    The drain keeps chunk ingest order identical to send order (chunks
+    are copied out and ingested in queue order, one ``update_batch`` /
+    ``extend`` call per chunk), so the merged result stays a pure
+    function of the plan regardless of how the drain groups land.
     """
     # Imported here, not at module top, to keep the worker's fork-time
     # surface identical to the parent's (spawn re-imports this module).
+    import queue as queue_module
+
     from repro.evaluation.harness import build_sketch
 
     registry = None
@@ -106,29 +124,51 @@ def _shard_worker(
             slot_names, plan.chunk_size, np.dtype(dtype_str)
         )
         rec = obs_metrics.recorder()
+        pending: List[Any] = []
         while True:
-            message = task_queue.get()
+            message = pending.pop() if pending else task_queue.get()
             kind = message[0]
             if kind == "chunk":
-                _, slot, count = message
-                values = slots[slot].read(count)
-                reply_queue.put(("ack", worker_id, slot))
-                start = time.perf_counter_ns()
-                with obs_trace.span(
-                    "parallel.ingest_chunk", algo=sketch.name, n=count
-                ):
-                    if is_turnstile:
-                        sketch.update_batch(values)
+                # Drain whatever else already sits in the queue (bounded
+                # by the slot-pool depth), copy every drained chunk out,
+                # then free the whole slot group with a single ack.
+                group = [message]
+                while len(group) < len(slots) and not pending:
+                    try:
+                        extra = task_queue.get_nowait()
+                    except queue_module.Empty:
+                        break
+                    if extra[0] == "chunk":
+                        group.append(extra)
                     else:
-                        sketch.extend(values)
+                        pending.append(extra)
+                chunks = [
+                    (count, slots[slot].read(count))
+                    for _, slot, count in group
+                ]
+                reply_queue.put(
+                    ("ack", worker_id, [slot for _, slot, _ in group])
+                )
                 if rec.enabled:
-                    elapsed = time.perf_counter_ns() - start
-                    rec.observe(
-                        "parallel.ingest_ns", elapsed, algo=sketch.name
-                    )
-                    rec.summary(
-                        "latency.ingest_chunk_ns", algo=sketch.name
-                    ).observe(elapsed)
+                    rec.inc("parallel.acks", 1)
+                    rec.inc("parallel.acked_slots", len(group))
+                for count, values in chunks:
+                    start = time.perf_counter_ns()
+                    with obs_trace.span(
+                        "parallel.ingest_chunk", algo=sketch.name, n=count
+                    ):
+                        if is_turnstile:
+                            sketch.update_batch(values)
+                        else:
+                            sketch.extend(values)
+                    if rec.enabled:
+                        elapsed = time.perf_counter_ns() - start
+                        rec.observe(
+                            "parallel.ingest_ns", elapsed, algo=sketch.name
+                        )
+                        rec.summary(
+                            "latency.ingest_chunk_ns", algo=sketch.name
+                        ).observe(elapsed)
             elif kind == "finish":
                 blob = snapshot(sketch)
                 metrics_state = (
@@ -171,6 +211,13 @@ class ShardedIngestEngine:
             at ``finish()``.  Worker spans are shipped the same way when
             the parent has tracing enabled.
         dtype: element dtype of the stream (slots are sized for it).
+        slots_per_worker: shared-memory slots per worker.  ``None``
+            (default) sizes the pool from a one-shot ns/item probe of
+            the ingest kernel at first :meth:`ingest`: fast kernels get
+            :data:`~repro.parallel.shm.MAX_SLOTS_PER_WORKER` slots so
+            refill overlaps ingest deeply enough that they stop
+            stalling on ack round trips; slow kernels keep the classic
+            double buffer.
         **kwargs: forwarded to the algorithm constructor.
 
     Use as a context manager, or call :meth:`close` — slots are
@@ -185,12 +232,20 @@ class ShardedIngestEngine:
         universe_log2: Optional[int] = None,
         collect_metrics: bool = False,
         dtype: Any = np.int64,
+        slots_per_worker: Optional[int] = None,
         **kwargs: Any,
     ) -> None:
         if not supports_merge(algorithm):
             raise UnmergeableSketchError(
                 f"{algorithm} cannot shard: it defines no merge operation "
                 "(see repro.core.registry.mergeable_algorithms())"
+            )
+        if slots_per_worker is not None and not (
+            1 <= slots_per_worker <= MAX_SLOTS_PER_WORKER
+        ):
+            raise InvalidParameterError(
+                f"slots_per_worker must be in [1, {MAX_SLOTS_PER_WORKER}], "
+                f"got {slots_per_worker!r}"
             )
         self.algorithm = algorithm
         self.eps = eps
@@ -204,6 +259,8 @@ class ShardedIngestEngine:
         }
         self._dtype = np.dtype(dtype)
         self._collect_metrics = collect_metrics
+        #: Resolved at :meth:`_start` (probe) when constructed as None.
+        self.slots_per_worker = slots_per_worker
         self._ctx = mp.get_context(_start_method())
         self._workers: List[Any] = []
         self._task_queues: List[Any] = []
@@ -221,12 +278,52 @@ class ShardedIngestEngine:
 
     # -- lifecycle ------------------------------------------------------
 
-    def _start(self) -> None:
+    def _probe_slots_per_worker(self, data: np.ndarray) -> int:
+        """Size the slot pools from a measured ns/item kernel probe.
+
+        Builds a throwaway sketch (metrics paused, so the probe's
+        updates never pollute the run's counters) and times one batch.
+        Pool depth never affects the merged result — only how deeply
+        refill overlaps ingest — so a timing-derived value preserves
+        the plan-determinism contract.
+        """
+        sample = data[: min(_PROBE_ELEMENTS, len(data))]
+        if not len(sample):
+            return SLOTS_PER_WORKER
+        from repro.evaluation.harness import build_sketch
+
+        with obs_metrics.paused():
+            probe = build_sketch(
+                self._spec["algorithm"],
+                self._spec["eps"],
+                self._spec["universe_log2"],
+                self.plan.seed,
+                **self._spec["kwargs"],
+            )
+            start = time.perf_counter_ns()
+            if isinstance(probe, TurnstileSketch):
+                probe.update_batch(sample)
+            else:
+                probe.extend(sample)
+            ns_per_item = (time.perf_counter_ns() - start) / len(sample)
+        if ns_per_item < _FAST_KERNEL_NS:
+            return MAX_SLOTS_PER_WORKER
+        if ns_per_item < _MEDIUM_KERNEL_NS:
+            return 4
+        return SLOTS_PER_WORKER
+
+    def _start(self, data: Optional[np.ndarray] = None) -> None:
         if self._started:
             return
+        if self.slots_per_worker is None:
+            self.slots_per_worker = (
+                self._probe_slots_per_worker(data)
+                if data is not None
+                else SLOTS_PER_WORKER
+            )
         collect_spans = obs_trace.tracer() is not None
         self._slots = create_slot_pool(
-            self.plan.shards, SLOTS_PER_WORKER, self.plan.chunk_size,
+            self.plan.shards, self.slots_per_worker, self.plan.chunk_size,
             self._dtype,
         )
         self._reply_queue = self._ctx.Queue()
@@ -250,11 +347,12 @@ class ShardedIngestEngine:
             process.start()
             self._workers.append(process)
             self._task_queues.append(task_queue)
-            self._free.append(list(range(SLOTS_PER_WORKER)))
+            self._free.append(list(range(self.slots_per_worker)))
         self._started = True
         rec = obs_metrics.recorder()
         if rec.enabled:
             rec.set("parallel.workers", self.plan.shards)
+            rec.set("parallel.slots_per_worker", self.slots_per_worker)
             rec.set("telemetry.engine.up", 1)
             for worker_id in range(self.plan.shards):
                 rec.set("telemetry.shard.alive", 1, worker=worker_id)
@@ -287,15 +385,38 @@ class ShardedIngestEngine:
             )
         return reply
 
+    def _absorb_ack(self, reply: Any) -> None:
+        """Return an acked slot group to its worker's free pool."""
+        if reply[0] != "ack":  # pragma: no cover - protocol guard
+            raise ParallelIngestError(
+                f"unexpected reply {reply[0]!r} while waiting for acks"
+            )
+        self._free[reply[1]].extend(reply[2])
+
+    def _drain_acks(self) -> None:
+        """Absorb every already-arrived ack without blocking.
+
+        Called opportunistically during the deal so free lists restock
+        as soon as workers drain, keeping the parent's slot writes
+        overlapped with worker ingest instead of bursting at stalls.
+        """
+        import queue as queue_module
+
+        while True:
+            try:
+                reply = self._reply_queue.get_nowait()
+            except queue_module.Empty:
+                return
+            if reply[0] == "error":
+                raise ParallelIngestError(
+                    f"worker {reply[1]} failed:\n{reply[2]}"
+                )
+            self._absorb_ack(reply)
+
     def _take_free_slot(self, worker_id: int) -> int:
         """A free slot for ``worker_id``, draining acks until one shows."""
         while not self._free[worker_id]:
-            reply = self._next_reply()
-            if reply[0] != "ack":  # pragma: no cover - protocol guard
-                raise ParallelIngestError(
-                    f"unexpected reply {reply[0]!r} while waiting for acks"
-                )
-            self._free[reply[1]].append(reply[2])
+            self._absorb_ack(self._next_reply())
         return self._free[worker_id].pop()
 
     # -- ingest ---------------------------------------------------------
@@ -312,14 +433,15 @@ class ShardedIngestEngine:
             raise InvalidParameterError(
                 "engine already finished; build a new one to ingest more"
             )
-        self._start()
         data = np.asarray(data, dtype=self._dtype)
+        self._start(data)
         rec = obs_metrics.recorder()
         chunks = 0
         for index, lo, hi in self.plan.chunks(
             len(data), first_chunk=self._chunk_counter
         ):
             worker_id = self.plan.shard_of_chunk(index)
+            self._drain_acks()
             slot = self._take_free_slot(worker_id)
             count = self._slots[worker_id][slot].write(data[lo:hi])
             self._task_queues[worker_id].put(("chunk", slot, count))
@@ -351,7 +473,7 @@ class ShardedIngestEngine:
         while len(blobs) < self.plan.shards:
             reply = self._next_reply()
             if reply[0] == "ack":
-                self._free[reply[1]].append(reply[2])
+                self._free[reply[1]].extend(reply[2])
                 continue
             _, worker_id, blob, metrics_state, span_batch = reply
             blobs[worker_id] = blob

@@ -23,9 +23,15 @@ import numpy as np
 
 from repro.core.errors import InvalidParameterError
 
-#: Slots per worker; two gives classic double buffering (parent fills
-#: slot B while the worker drains slot A).
+#: Default slots per worker; two gives classic double buffering (parent
+#: fills slot B while the worker drains slot A).  The engine deepens the
+#: pool for fast kernels based on a measured ns/item probe.
 SLOTS_PER_WORKER = 2
+
+#: Ceiling for probe-sized pools: deep enough that a cheap ``extend``
+#: kernel never starves between ack round trips, small enough that the
+#: shared-memory footprint stays ``O(workers * chunk_size)``.
+MAX_SLOTS_PER_WORKER = 8
 
 
 class ChunkSlot:

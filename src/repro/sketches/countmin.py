@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.errors import InvalidParameterError, MergeError
 from repro.obs import metrics as obs_metrics
+from repro.sketches import hashplan
 from repro.sketches.hashing import ArrayLike, KWiseHash, make_rng
 
 
@@ -31,6 +32,12 @@ class CountMinSketch:
         depth: number of rows (``d``); controls the failure probability.
         rng: numpy Generator for the hash coefficients (or ``seed=``).
         seed: convenience alternative to ``rng``.
+        universe: optional exclusive key upper bound.  When the domain is
+            small enough (:data:`repro.sketches.hashplan.PLANE_UNIVERSE_MAX`),
+            batch updates and estimates run over cached hash planes —
+            precomputed ``h_i(arange(universe))`` tables shared process-
+            wide — instead of re-evaluating the polynomials per batch.
+            The dyadic structures pass their per-level reduced universe.
     """
 
     #: Estimates are upper bounds (strict turnstile streams).
@@ -42,17 +49,34 @@ class CountMinSketch:
         depth: int,
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
+        universe: Optional[int] = None,
     ) -> None:
         if width < 1:
             raise InvalidParameterError(f"width must be >= 1, got {width!r}")
         if depth < 1:
             raise InvalidParameterError(f"depth must be >= 1, got {depth!r}")
+        if universe is not None and universe < 1:
+            raise InvalidParameterError(
+                f"universe must be >= 1, got {universe!r}"
+            )
         if rng is None:
             rng = make_rng(seed)
         self.width = width
         self.depth = depth
+        self.universe = universe
         self._table = np.zeros((depth, width), dtype=np.int64)
         self._hashes = [KWiseHash(2, width, rng) for _ in range(depth)]
+
+    def _bucket_planes(self) -> Optional[np.ndarray]:
+        """The cached ``(depth, universe)`` bucket plane, or ``None``.
+
+        Only derived data: the plane is recomputed from the hash
+        coefficients on demand and never stored on the sketch, so
+        snapshot envelopes stay plane-free.
+        """
+        if self.universe is None:
+            return None
+        return hashplan.bucket_planes(self._hashes, self.universe)
 
     def update(self, key: int, delta: int = 1) -> None:
         """Add ``delta`` to the frequency of ``key``."""
@@ -60,18 +84,35 @@ class CountMinSketch:
             self._table[i, h.hash_one(key)] += delta
 
     def update_batch(self, keys: ArrayLike, deltas: ArrayLike = 1) -> None:
-        """Vectorized bulk update: ``deltas`` broadcasts against ``keys``."""
+        """Vectorized bulk update: ``deltas`` broadcasts against ``keys``.
+
+        With a declared small ``universe`` the update is a pure gather +
+        ``np.add.at`` scatter over the cached bucket plane (no hashing);
+        otherwise repeated keys are folded up front when profitable
+        (blocked repetition) and the rows fall through to the direct
+        polynomial evaluation.  All three paths produce bit-identical
+        tables: integer addition commutes.
+        """
         keys = np.asarray(keys, dtype=np.uint64)
-        deltas = np.broadcast_to(
+        deltas_arr = np.broadcast_to(
             np.asarray(deltas, dtype=np.int64), keys.shape
         )
-        for i, h in enumerate(self._hashes):
-            np.add.at(self._table[i], h(keys), deltas)
+        planes = self._bucket_planes()
+        hashed = 0
+        if planes is None:
+            pair = hashplan.dedup_batch(keys, deltas_arr)
+            if pair is not None:
+                keys, deltas_arr = pair
+            hashed = self.depth * int(keys.size)
+        for i in range(self.depth):
+            cols = planes[i][keys] if planes is not None \
+                else self._hashes[i](keys)
+            np.add.at(self._table[i], cols, deltas_arr)
         rec = obs_metrics.recorder()
         if rec.enabled:
             touched = self.depth * int(keys.size)
             rec.inc("sketches.row_updates", touched, sketch="countmin")
-            rec.inc("sketches.hash_evals", touched, sketch="countmin")
+            rec.inc("sketches.hash_evals", hashed, sketch="countmin")
 
     def estimate(self, key: int) -> int:
         """Point estimate of the frequency of ``key`` (min over rows)."""
@@ -83,11 +124,18 @@ class CountMinSketch:
         )
 
     def estimate_batch(self, keys: ArrayLike) -> np.ndarray:
-        """Vectorized point estimates for an array of keys."""
+        """Vectorized point estimates for an array of keys.
+
+        Reuses the same cached bucket plane the ingest path scatters
+        over, so the rank-query prefix expansion never rehashes either.
+        """
         keys = np.asarray(keys, dtype=np.uint64)
+        planes = self._bucket_planes()
         rows = np.empty((self.depth,) + keys.shape, dtype=np.int64)
-        for i, h in enumerate(self._hashes):
-            rows[i] = self._table[i, h(keys)]
+        for i in range(self.depth):
+            cols = planes[i][keys] if planes is not None \
+                else self._hashes[i](keys)
+            rows[i] = self._table[i, cols]
         return rows.min(axis=0)
 
     def merge_compatible(self, other) -> bool:

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.errors import InvalidParameterError, MergeError
 from repro.obs import metrics as obs_metrics
+from repro.sketches import hashplan
 from repro.sketches.hashing import ArrayLike, KWiseHash, SignHash, make_rng
 
 
@@ -36,6 +37,11 @@ class CountSketch:
         depth: number of rows (``d``), odd recommended (median of ``d``).
         rng: numpy Generator for hash coefficients (or ``seed=``).
         seed: convenience alternative to ``rng``.
+        universe: optional exclusive key upper bound.  Small domains
+            (:data:`repro.sketches.hashplan.PLANE_UNIVERSE_MAX`) route
+            batch updates and estimates through cached bucket *and* sign
+            planes instead of re-evaluating the polynomials per batch;
+            the dyadic structures pass their per-level reduced universe.
     """
 
     biased_up = False
@@ -46,18 +52,35 @@ class CountSketch:
         depth: int,
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
+        universe: Optional[int] = None,
     ) -> None:
         if width < 1:
             raise InvalidParameterError(f"width must be >= 1, got {width!r}")
         if depth < 1:
             raise InvalidParameterError(f"depth must be >= 1, got {depth!r}")
+        if universe is not None and universe < 1:
+            raise InvalidParameterError(
+                f"universe must be >= 1, got {universe!r}"
+            )
         if rng is None:
             rng = make_rng(seed)
         self.width = width
         self.depth = depth
+        self.universe = universe
         self._table = np.zeros((depth, width), dtype=np.int64)
         self._hashes = [KWiseHash(2, width, rng) for _ in range(depth)]
         self._signs = [SignHash(rng) for _ in range(depth)]
+
+    def _planes(self) -> tuple:
+        """``(bucket_plane, sign_plane)`` from the cache, or ``(None,
+        None)``.  Derived data only — never stored on the sketch, so
+        snapshot envelopes stay plane-free."""
+        if self.universe is None:
+            return None, None
+        buckets = hashplan.bucket_planes(self._hashes, self.universe)
+        if buckets is None:
+            return None, None
+        return buckets, hashplan.sign_planes(self._signs, self.universe)
 
     def update(self, key: int, delta: int = 1) -> None:
         """Add ``delta`` to the frequency of ``key``."""
@@ -66,20 +89,41 @@ class CountSketch:
             self._table[i, col] += self._signs[i].sign_one(key) * delta
 
     def update_batch(self, keys: ArrayLike, deltas: ArrayLike = 1) -> None:
-        """Vectorized bulk update: ``deltas`` broadcasts against ``keys``."""
+        """Vectorized bulk update: ``deltas`` broadcasts against ``keys``.
+
+        With a declared small ``universe`` each row is a gather over the
+        cached bucket/sign planes plus one ``np.add.at`` scatter — no
+        hashing; large universes fold repeated keys when profitable
+        (blocked repetition) and fall through to direct evaluation.
+        Both paths are bit-identical to the naive one: the sign gather
+        yields the same ±1 values and integer addition commutes.
+        """
         keys = np.asarray(keys, dtype=np.uint64)
-        deltas = np.broadcast_to(
+        deltas_arr = np.broadcast_to(
             np.asarray(deltas, dtype=np.int64), keys.shape
         )
+        buckets, sign_plane = self._planes()
+        hashed = 0
+        if buckets is None:
+            pair = hashplan.dedup_batch(keys, deltas_arr)
+            if pair is not None:
+                keys, deltas_arr = pair
+            hashed = 2 * self.depth * int(keys.size)
         for i in range(self.depth):
-            signed = self._signs[i](keys) * deltas
-            np.add.at(self._table[i], self._hashes[i](keys), signed)
+            if buckets is not None:
+                cols = buckets[i][keys]
+                signed = sign_plane[i][keys] * deltas_arr
+            else:
+                cols = self._hashes[i](keys)
+                signed = self._signs[i](keys) * deltas_arr
+            np.add.at(self._table[i], cols, signed)
         rec = obs_metrics.recorder()
         if rec.enabled:
             touched = self.depth * int(keys.size)
             rec.inc("sketches.row_updates", touched, sketch="countsketch")
-            # Each row evaluates both the bucket hash and the sign hash.
-            rec.inc("sketches.hash_evals", 2 * touched, sketch="countsketch")
+            # Each row evaluates both the bucket hash and the sign hash
+            # (zero on the plane path — that is the point).
+            rec.inc("sketches.hash_evals", hashed, sketch="countsketch")
 
     def estimate(self, key: int) -> int:
         """Point estimate of the frequency of ``key``: median over rows of
@@ -92,13 +136,23 @@ class CountSketch:
         return int(np.median(vals))
 
     def estimate_batch(self, keys: ArrayLike) -> np.ndarray:
-        """Vectorized point estimates for an array of keys."""
+        """Vectorized point estimates for an array of keys.
+
+        Reuses the same cached bucket/sign planes the ingest path uses,
+        so the rank-query prefix expansion never rehashes either.
+        """
         keys = np.asarray(keys, dtype=np.uint64)
+        buckets, sign_plane = self._planes()
         rows = np.empty((self.depth,) + keys.shape, dtype=np.int64)
         for i in range(self.depth):
-            rows[i] = self._signs[i](keys) * self._table[
-                i, self._hashes[i](keys)
-            ]
+            if buckets is not None:
+                rows[i] = sign_plane[i][keys] * self._table[
+                    i, buckets[i][keys]
+                ]
+            else:
+                rows[i] = self._signs[i](keys) * self._table[
+                    i, self._hashes[i](keys)
+                ]
         return np.median(rows, axis=0).astype(np.int64)
 
     def merge_compatible(self, other) -> bool:

@@ -21,7 +21,7 @@ constraint in practice.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -145,6 +145,18 @@ class KWiseHash:
             and bool(np.array_equal(self._coeffs, other._coeffs))
         )
 
+    def identity(self) -> Tuple[int, ...]:
+        """A value identity for this function: range plus coefficients.
+
+        Two instances with equal identity compute the same map (the
+        :meth:`same_function` relation as a hashable tuple).  The hash
+        plane cache (:mod:`repro.sketches.hashplan`) keys its entries on
+        this, so sketches built from one seed — serve replicas, restored
+        snapshots, parallel shards of ``merge_shares_seed`` algorithms —
+        share cached planes while distinct functions never collide.
+        """
+        return (self.range, *(int(c) for c in self._coeffs))
+
 
 class SignHash:
     """A 4-wise independent sign hash ``[2**32] -> {-1, +1}``.
@@ -170,6 +182,11 @@ class SignHash:
         return isinstance(other, SignHash) and self._hash.same_function(
             other._hash
         )
+
+    def identity(self) -> Tuple[int, ...]:
+        """Value identity of the underlying 4-wise hash (see
+        :meth:`KWiseHash.identity`)."""
+        return self._hash.identity()
 
 
 def make_rng(seed: Optional[int]) -> np.random.Generator:

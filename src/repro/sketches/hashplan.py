@@ -1,0 +1,337 @@
+"""Cached hash planes: precomputed bucket/sign tables for reduced universes.
+
+The turnstile hot path spends almost all of its time re-evaluating the
+k-wise polynomial hashes of :mod:`repro.sketches.hashing` — every
+``update_batch`` call re-hashes every key for every row of every dyadic
+level, even though a hash function is a *fixed* map once its
+coefficients are drawn.  For the reduced universes the dyadic structure
+feeds its level sketches (Section 3: level ``i`` hashes ``[0, u >> i)``),
+the whole map fits in memory: a **plane** is the hash evaluated over
+``arange(universe)`` once, after which batch ingest and the rank-query
+prefix expansion become pure fancy-indexed gathers and ``np.add.at``
+scatters over the precomputed table (the CSVec trick of caching bucket
+and sign tables keyed by sketch shape).
+
+Planes live in one bounded, process-wide LRU shared across sketch
+instances.  Entries are keyed by the hash functions' *coefficients* (plus
+range and universe) rather than by the seed the caller claims to have
+used — sketches built from one seed draw identical coefficients, so
+serve replicas, restored snapshots, and parallel workers running
+``merge_shares_seed`` algorithms all hit the same entries, while two
+different functions can never collide.  The cache holds only derived,
+recomputable data: sketches never store plane arrays on themselves, so
+snapshot envelopes stay plane-free by construction.
+
+Cache traffic is metered through ``hashplan.cache.{hits,misses,
+evictions}`` (preregistered in ``DEFAULT_INSTRUMENTS``); the lock is a
+plain mutex held only for the OrderedDict bookkeeping — plane
+*computation* happens outside the lock, and the disabled-metrics
+overhead gate covers the lookup cost (``tests/obs/test_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.obs import metrics as obs_metrics
+from repro.sketches.hashing import KWiseHash, SignHash
+
+#: Largest reduced universe a plane is materialized for.  A bucket plane
+#: is ``universe`` int32 cells per row and a sign plane ``universe`` int8
+#: cells per row, so at the cap a 7-row Count-Sketch level costs ~2.3 MiB
+#: — amortized after roughly one 64K-element chunk of hashing.
+PLANE_UNIVERSE_MAX = 1 << 16
+
+#: Default cache budget in bytes (plane payloads only).  At the default,
+#: a full DCS/DCM inventory over 2**16 universes (all sketched levels of
+#: several sketches) fits with room to spare; overflow evicts LRU-first.
+DEFAULT_CACHE_BYTES = 128 * 1024 * 1024
+
+#: Above this many elements a batch stops deduplicating keys up front
+#: (``np.unique`` costs a sort; it only pays when the stream repeats).
+#: Exposed for the blocked-repetition path in the sketches.
+DEDUP_MIN_BATCH = 1024
+
+#: Minimum batch size for the dyadic counts-fold path, where one sort is
+#: amortized over every level of the structure (lower than
+#: :data:`DEDUP_MIN_BATCH` because the aggregate is reused ``log2 u``
+#: times and coarsens further at each level).
+FOLD_MIN_BATCH = 512
+
+PlaneKey = Tuple[object, ...]
+
+
+class HashPlaneCache:
+    """A bounded LRU of computed hash planes, keyed by hash identity.
+
+    Args:
+        max_bytes: total plane payload budget; least-recently-used
+            entries are evicted once the budget is exceeded.  The cache
+            never refuses an entry that fits the budget on its own.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        if max_bytes < 1:
+            raise InvalidParameterError(
+                f"max_bytes must be >= 1, got {max_bytes!r}"
+            )
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[PlaneKey, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of cached plane payloads."""
+        with self._lock:
+            return self._bytes
+
+    def clear(self) -> None:
+        """Drop every entry (does not reset the hit/miss counters)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Point-in-time counters: hits, misses, evictions, entries."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+            }
+
+    # -- the one hot method ---------------------------------------------
+
+    def get(self, key: PlaneKey, compute) -> np.ndarray:
+        """The plane for ``key``, computing (outside the lock) on miss.
+
+        The lock guards only the OrderedDict bookkeeping; a miss
+        releases it, computes the plane, then re-acquires to insert.
+        Two threads racing on the same key may both compute — the planes
+        are identical by construction, so last-write-wins is harmless
+        and the hot path never blocks behind another key's hashing.
+        """
+        with self._lock:
+            plane = self._entries.get(key)
+            if plane is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                _meter("hits")
+                return plane
+            self.misses += 1
+        _meter("misses")
+        plane = compute()
+        plane.setflags(write=False)
+        with self._lock:
+            evicted = 0
+            if key not in self._entries:
+                self._entries[key] = plane
+                self._bytes += plane.nbytes
+            while self._bytes > self.max_bytes and len(self._entries) > 1:
+                _, dropped = self._entries.popitem(last=False)
+                self._bytes -= dropped.nbytes
+                self.evictions += 1
+                evicted += 1
+        if evicted:
+            _meter("evictions", evicted)
+        return plane
+
+
+def _meter(event: str, value: int = 1) -> None:
+    rec = obs_metrics.recorder()
+    if rec.enabled:
+        rec.inc(f"hashplan.cache.{event}", value)
+
+
+# -- process-wide singleton and the enable switch -----------------------
+
+_cache = HashPlaneCache()
+_enabled = True
+
+
+def cache() -> HashPlaneCache:
+    """The process-wide plane cache."""
+    return _cache
+
+
+def configure(max_bytes: int) -> HashPlaneCache:
+    """Replace the process-wide cache with a fresh one of ``max_bytes``."""
+    global _cache
+    _cache = HashPlaneCache(max_bytes)
+    return _cache
+
+
+def enabled() -> bool:
+    """Whether the cached-plane fast paths are active."""
+    return _enabled
+
+
+def set_enabled(value: bool) -> None:
+    """Globally enable/disable the plane fast paths (equivalence tests
+    compare against the direct ``_poly_eval`` path by turning them off)."""
+    global _enabled
+    _enabled = bool(value)
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Context manager: force the direct hashing path within the block."""
+    previous = _enabled
+    set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+# -- plane construction -------------------------------------------------
+
+
+def bucket_plane_key(
+    hashes: Sequence[KWiseHash], universe: int
+) -> PlaneKey:
+    """Cache key for the stacked bucket plane of ``hashes`` over
+    ``[0, universe)``.  Built from :meth:`KWiseHash.identity`, so any
+    two sketches evaluating the same functions share one entry."""
+    return ("bucket", universe, *(h.identity() for h in hashes))
+
+
+def sign_plane_key(
+    signs: Sequence[SignHash], universe: int
+) -> PlaneKey:
+    """Cache key for the stacked sign plane of ``signs`` over
+    ``[0, universe)``."""
+    return ("sign", universe, *(s.identity() for s in signs))
+
+
+def _compute_bucket_plane(
+    hashes: Sequence[KWiseHash], universe: int
+) -> np.ndarray:
+    domain = np.arange(universe, dtype=np.uint64)
+    plane = np.empty((len(hashes), universe), dtype=np.int32)
+    for i, h in enumerate(hashes):
+        plane[i] = h(domain).astype(np.int32)
+    return plane
+
+
+def _compute_sign_plane(
+    signs: Sequence[SignHash], universe: int
+) -> np.ndarray:
+    domain = np.arange(universe, dtype=np.uint64)
+    plane = np.empty((len(signs), universe), dtype=np.int8)
+    for i, s in enumerate(signs):
+        plane[i] = s(domain).astype(np.int8)
+    return plane
+
+
+def bucket_planes(
+    hashes: Sequence[KWiseHash], universe: int
+) -> Optional[np.ndarray]:
+    """The stacked ``(rows, universe)`` int32 bucket plane, or ``None``.
+
+    ``None`` when planes are disabled or the universe exceeds
+    :data:`PLANE_UNIVERSE_MAX` — callers fall through to the direct
+    ``_poly_eval`` path.  Row ``i`` of the result satisfies
+    ``plane[i, x] == hashes[i](x)`` for every ``x`` in the universe.
+    """
+    if not _enabled or not hashes or universe > PLANE_UNIVERSE_MAX:
+        return None
+    key = bucket_plane_key(hashes, universe)
+    return _cache.get(key, lambda: _compute_bucket_plane(hashes, universe))
+
+
+def sign_planes(
+    signs: Sequence[SignHash], universe: int
+) -> Optional[np.ndarray]:
+    """The stacked ``(rows, universe)`` int8 sign plane, or ``None``.
+
+    Same gating as :func:`bucket_planes`; row ``i`` satisfies
+    ``plane[i, x] == signs[i](x)`` (values are -1/+1).
+    """
+    if not _enabled or not signs or universe > PLANE_UNIVERSE_MAX:
+        return None
+    key = sign_plane_key(signs, universe)
+    return _cache.get(key, lambda: _compute_sign_plane(signs, universe))
+
+
+# -- blocked repetition (large universes) -------------------------------
+
+
+def aggregate_batch(
+    keys: np.ndarray, deltas: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Unconditional aggregation into ``(unique_keys, summed_deltas)``.
+
+    ``unique_keys`` is sorted strictly ascending; the summed deltas are
+    exact int64 sums, so feeding the aggregate downstream is
+    bit-identical to feeding the raw batch (integer addition commutes).
+    """
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    agg = np.zeros(uniq.size, dtype=np.int64)
+    np.add.at(agg, inverse, deltas)
+    return uniq, agg
+
+
+def dedup_batch(
+    keys: np.ndarray, deltas: np.ndarray
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Aggregate a batch into ``(unique_keys, summed_deltas)`` when the
+    batch repeats itself enough to pay for the sort; ``None`` otherwise.
+
+    This is the blocked-repetition fallback for universes too large to
+    materialize planes: the polynomial hashes are evaluated once per
+    *unique* key per row (and the unique pass is shared across every row
+    and both bucket and sign hashes), instead of once per stream
+    element.  Integer addition is commutative, so feeding the aggregate
+    is bit-identical to feeding the raw batch.  A strictly increasing
+    batch is already an aggregate (the dyadic counts-fold path emits
+    those) and skips the sort outright.
+    """
+    if not _enabled or keys.size < DEDUP_MIN_BATCH:
+        return None
+    if bool(np.all(keys[1:] > keys[:-1])):
+        return None
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    if uniq.size * 2 > keys.size:
+        return None
+    agg = np.zeros(uniq.size, dtype=np.int64)
+    np.add.at(agg, inverse, deltas)
+    return uniq, agg
+
+
+def fold_level(
+    cells: np.ndarray, deltas: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One dyadic coarsening step over an aggregated, sorted cell list.
+
+    Given unique ascending ``cells`` at level ``i`` with summed
+    ``deltas``, returns the level-``i+1`` aggregate (``cells >> 1``,
+    duplicates folded by integer addition).  Used by the dyadic
+    structures to hash each stream block once and reuse the aggregation
+    across every level — the polynomial structure of the level hashes is
+    independent, but the *key multiset* at level ``i+1`` is a pure
+    function of the level-``i`` aggregate.
+    """
+    shifted = cells >> 1
+    if shifted.size <= 1:
+        return shifted, deltas
+    starts = np.flatnonzero(np.r_[True, shifted[1:] != shifted[:-1]])
+    return shifted[starts], np.add.reduceat(deltas, starts)

@@ -61,4 +61,11 @@ class DyadicCountMin(DyadicQuantiles):
         return self._width * self.depth
 
     def _make_estimator(self, level: int):
-        return CountMinSketch(self._width, self.depth, rng=self._rng)
+        # Declaring the level's reduced universe arms the hash-plane
+        # fast path for levels small enough to materialize.
+        return CountMinSketch(
+            self._width,
+            self.depth,
+            rng=self._rng,
+            universe=1 << (self.universe_log2 - level),
+        )

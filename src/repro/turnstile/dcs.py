@@ -66,7 +66,14 @@ class DyadicCountSketch(DyadicQuantiles):
         return self._width * self.depth
 
     def _make_estimator(self, level: int):
-        return CountSketch(self._width, self.depth, rng=self._rng)
+        # Declaring the level's reduced universe arms the hash-plane
+        # fast path for levels small enough to materialize.
+        return CountSketch(
+            self._width,
+            self.depth,
+            rng=self._rng,
+            universe=1 << (self.universe_log2 - level),
+        )
 
     def post_processed(self, eta: float = 0.1):
         """An OLS-corrected snapshot of the current state (Section 3.2).

@@ -39,6 +39,7 @@ from repro.core.errors import (
 )
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
+from repro.sketches import hashplan
 from repro.sketches.exact_counter import ExactCounter
 from repro.sketches.hashing import make_rng
 
@@ -129,7 +130,18 @@ class DyadicQuantiles(TurnstileSketch):
             est.update(value >> level, -1)
 
     def update_batch(self, values: Sequence[int], deltas=1) -> None:
-        """Vectorized bulk update (``deltas`` is +/-1 scalar or array)."""
+        """Vectorized bulk update (``deltas`` is +/-1 scalar or array).
+
+        Large batches take the counts-fold fast path: the batch is
+        aggregated once into ``(unique cells, summed deltas)`` at level
+        0, then coarsened per level with one ``reduceat`` — the level-
+        ``i+1`` key multiset is a pure function of the level-``i``
+        aggregate — so each estimator sees at most ``min(batch,
+        universe >> level)`` rows instead of the full batch, and the
+        estimators' own plane gathers shrink accordingly.  Integer
+        addition commutes, so the resulting state is bit-identical to
+        the per-level fan-out.
+        """
         keys = np.asarray(values, dtype=np.int64)
         if keys.size == 0:
             return
@@ -142,8 +154,15 @@ class DyadicQuantiles(TurnstileSketch):
         )
         self._n += int(deltas_arr.sum())
         keys = keys.astype(np.uint64)
-        for level, est in enumerate(self._levels):
-            est.update_batch(keys >> np.uint64(level), deltas_arr)
+        if hashplan.enabled() and keys.size >= hashplan.FOLD_MIN_BATCH:
+            cells, sums = hashplan.aggregate_batch(keys, deltas_arr)
+            for level, est in enumerate(self._levels):
+                if level:
+                    cells, sums = hashplan.fold_level(cells, sums)
+                est.update_batch(cells, sums)
+        else:
+            for level, est in enumerate(self._levels):
+                est.update_batch(keys >> np.uint64(level), deltas_arr)
 
     def extend(self, values) -> None:
         self.update_batch(np.fromiter(values, dtype=np.int64))

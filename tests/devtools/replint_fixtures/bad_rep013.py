@@ -1,0 +1,30 @@
+"""Bad: hash machinery constructed per call inside hot batch kernels."""
+
+import numpy as np
+
+from repro.sketches.hashing import KWiseHash, SignHash, make_rng
+from repro.sketches.hashplan import _compute_bucket_plane
+
+
+class RehashingSketch:
+    def __init__(self, width, depth, seed):
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        self._table = np.zeros((depth, width), dtype=np.int64)
+
+    def update_batch(self, keys, deltas=1):
+        rng = make_rng(self.seed)  # bad: fresh RNG per batch
+        for i in range(self.depth):
+            h = KWiseHash(2, self.width, rng)  # bad: fresh hash per batch
+            g = SignHash(rng)  # bad: fresh sign hash per batch
+            np.add.at(self._table[i], h(keys), g(keys) * deltas)
+
+    def extend(self, values):
+        hashes = [
+            KWiseHash(2, self.width, make_rng(self.seed))  # bad: twice over
+            for _ in range(self.depth)
+        ]
+        plane = _compute_bucket_plane(hashes, self.width)  # bad: uncached
+        for i in range(self.depth):
+            np.add.at(self._table[i], plane[i][values], 1)

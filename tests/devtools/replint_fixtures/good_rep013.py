@@ -1,0 +1,42 @@
+"""Good: hash objects built once in __init__, planes fetched from the
+cache inside the hot kernels."""
+
+import numpy as np
+
+from repro.sketches import hashplan
+from repro.sketches.hashing import KWiseHash, SignHash, make_rng
+
+
+class PlaneSketch:
+    def __init__(self, width, depth, seed, universe):
+        self.width = width
+        self.depth = depth
+        self.universe = universe
+        rng = make_rng(seed)
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        self._hashes = [KWiseHash(2, width, rng) for _ in range(depth)]
+        self._signs = [SignHash(rng) for _ in range(depth)]
+
+    def update_batch(self, keys, deltas=1):
+        planes = hashplan.bucket_planes(self._hashes, self.universe)
+        signs = hashplan.sign_planes(self._signs, self.universe)
+        for i in range(self.depth):
+            if planes is not None:
+                cols = planes[i][keys]
+                signed = signs[i][keys] * deltas
+            else:
+                cols = self._hashes[i](keys)
+                signed = self._signs[i](keys) * deltas
+            np.add.at(self._table[i], cols, signed)
+
+    def estimate_batch(self, keys):
+        planes = hashplan.bucket_planes(self._hashes, self.universe)
+        rows = np.empty((self.depth, len(keys)), dtype=np.int64)
+        for i in range(self.depth):
+            cols = (
+                planes[i][keys]
+                if planes is not None
+                else self._hashes[i](keys)
+            )
+            rows[i] = self._table[i, cols]
+        return rows.min(axis=0)

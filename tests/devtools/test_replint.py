@@ -249,6 +249,61 @@ class TestREP007FaultInjectionDiscipline:
         assert result.diagnostics == []
 
 
+class TestREP013HotPathHashConstruction:
+    def test_bad_fixture_fires(self, tmp_path):
+        result = lint_fixtures(tmp_path, "bad_rep013.py", select={"REP013"})
+        messages = [d.message for d in result.diagnostics]
+        assert len(messages) == 6
+        assert any("`KWiseHash` constructed inside hot kernel "
+                   "`update_batch`" in m for m in messages)
+        assert any("`SignHash`" in m for m in messages)
+        assert any("`make_rng`" in m for m in messages)
+        assert any("`_compute_bucket_plane` constructed inside hot kernel "
+                   "`extend`" in m for m in messages)
+
+    def test_good_fixture_clean(self, tmp_path):
+        result = lint_fixtures(tmp_path, "good_rep013.py", select={"REP013"})
+        assert result.diagnostics == []
+
+    def test_init_construction_is_fine(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "warm.py").write_text(
+            "from repro.sketches.hashing import KWiseHash, make_rng\n\n\n"
+            "class S:\n"
+            "    def __init__(self, w, d, seed):\n"
+            "        rng = make_rng(seed)\n"
+            "        self._hashes = [KWiseHash(2, w, rng)"
+            " for _ in range(d)]\n",
+            encoding="utf-8",
+        )
+        result = Linter(DEFAULT_RULES, select={"REP013"}).run([str(src)])
+        assert result.diagnostics == []
+
+    def test_skips_test_role(self, tmp_path):
+        tests_dir = tmp_path / "tests"
+        tests_dir.mkdir()
+        (tests_dir / "test_hash.py").write_text(
+            "from repro.sketches.hashing import KWiseHash, make_rng\n\n\n"
+            "def update_batch(keys):\n"
+            "    h = KWiseHash(2, 8, make_rng(0))\n"
+            "    return h(keys)\n",
+            encoding="utf-8",
+        )
+        result = Linter(DEFAULT_RULES, select={"REP013"}).run(
+            [str(tests_dir)]
+        )
+        assert result.diagnostics == []
+
+    def test_live_tree_is_clean(self):
+        # The real sketches build hashes in __init__ and pull planes
+        # from the hashplan cache — the hot kernels never construct.
+        result = Linter(DEFAULT_RULES, select={"REP013"}).run(
+            [str(REPO_ROOT / "src")]
+        )
+        assert result.diagnostics == []
+
+
 # ---------------------------------------------------------------------------
 # Suppressions.
 # ---------------------------------------------------------------------------
@@ -337,6 +392,7 @@ class TestEngine:
             "REP010",
             "REP011",
             "REP012",
+            "REP013",
         ]
         for rule in DEFAULT_RULES:
             assert rule.title

@@ -162,6 +162,60 @@ def test_server_enabled_overhead_within_five_percent():
     )
 
 
+def test_hashplan_lock_overhead_within_five_percent():
+    """The plane cache's LRU mutex sits on the warm turnstile ingest
+    path (two locked lookups per batch); it must stay within the same
+    ≤5% gate the disabled-metrics path is held to.  Baseline: identical
+    plane-gather kernel with the planes pinned on the instance, so the
+    only difference is the locked OrderedDict lookup."""
+    from repro.sketches import hashplan
+    from repro.sketches.countsketch import CountSketch
+
+    assert not obs_metrics.recorder().enabled, (
+        "overhead guard must run with collection disabled"
+    )
+
+    class _PinnedPlaneCountSketch(CountSketch):
+        """Planes held on the instance: no cache, no lock (test-only —
+        the real sketches must stay plane-free for snapshot hygiene)."""
+
+        def _planes(self):
+            if not hasattr(self, "_pinned"):
+                self._pinned = super()._planes()
+            return self._pinned
+
+    universe = 1 << 12
+    rng = np.random.default_rng(23)
+    batches = [
+        rng.integers(0, universe, size=16_384) for _ in range(20)
+    ]
+
+    def feed_seconds(cls) -> float:
+        sketch = cls(width=400, depth=7, seed=5, universe=universe)
+        sketch.update_batch(batches[0])  # materialize the planes
+        start = time.perf_counter()
+        for batch in batches:
+            sketch.update_batch(batch)
+        return time.perf_counter() - start
+
+    hashplan.configure(hashplan.DEFAULT_CACHE_BYTES)
+    feed_seconds(CountSketch)  # warm-up
+    feed_seconds(_PinnedPlaneCountSketch)
+    locked_times = []
+    pinned_times = []
+    for _ in range(ROUNDS):  # interleaved so drift hits both equally
+        locked_times.append(feed_seconds(CountSketch))
+        pinned_times.append(feed_seconds(_PinnedPlaneCountSketch))
+
+    locked_best = min(locked_times)
+    pinned_best = min(pinned_times)
+    assert locked_best <= pinned_best * REL_TOLERANCE + ABS_SLACK_S, (
+        f"hashplan LRU lock overhead too high: "
+        f"locked={locked_best:.4f}s pinned={pinned_best:.4f}s "
+        f"(+{100 * (locked_best / pinned_best - 1):.1f}%)"
+    )
+
+
 @pytest.mark.parametrize("phi", [0.25, 0.5, 0.9])
 def test_enabled_collection_does_not_change_answers(phi):
     rng = np.random.default_rng(3)

@@ -1,0 +1,364 @@
+"""Tests for the hash-plane cache (repro.sketches.hashplan).
+
+The load-bearing property is *bit-identical equivalence*: every fast
+path the cache enables — plane gathers, blocked-repetition dedup, the
+dyadic counts-fold — only reorders commutative int64 additions, so
+tables, estimates, and quantile answers must match the direct
+``_poly_eval`` path exactly, not approximately.  The suite also pins
+the cache's bounded-growth behavior (LRU eviction under a byte budget),
+cross-instance sharing (same seed ⇒ same entries), and snapshot
+hygiene (planes never serialize into envelopes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError
+from repro.core.snapshot import restore, snapshot
+from repro.obs import metrics as obs_metrics
+from repro.sketches import hashplan
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.hashing import KWiseHash, SignHash, make_rng
+from repro.turnstile.dcm import DyadicCountMin
+from repro.turnstile.dcs import DyadicCountSketch
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test starts from an empty, default-budget cache."""
+    hashplan.configure(hashplan.DEFAULT_CACHE_BYTES)
+    yield
+    hashplan.configure(hashplan.DEFAULT_CACHE_BYTES)
+
+
+def _stream(seed, n, universe):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, universe, size=n)
+    deltas = rng.choice(np.array([-2, -1, 1, 1, 3]), size=n)
+    return keys, deltas.astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identical equivalence: plane path vs direct hashing.
+# ---------------------------------------------------------------------------
+
+
+class TestSketchEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        width=st.integers(2, 300),
+        depth=st.integers(1, 7),
+        universe_log2=st.integers(1, 12),
+        data_seed=st.integers(0, 2**32 - 1),
+    )
+    def test_countmin_bit_identical(
+        self, seed, width, depth, universe_log2, data_seed
+    ):
+        universe = 1 << universe_log2
+        keys, deltas = _stream(data_seed, 800, universe)
+        fast = CountMinSketch(width, depth, seed=seed, universe=universe)
+        fast.update_batch(keys, deltas)
+        with hashplan.disabled():
+            slow = CountMinSketch(width, depth, seed=seed, universe=universe)
+            slow.update_batch(keys, deltas)
+        probe = np.arange(universe)
+        assert np.array_equal(fast._table, slow._table)
+        assert np.array_equal(
+            fast.estimate_batch(probe),
+            slow_estimates := slow.estimate_batch(probe),
+        )
+        with hashplan.disabled():
+            # Query side: plane gather vs direct hash on the same state.
+            assert np.array_equal(fast.estimate_batch(probe), slow_estimates)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        width=st.integers(2, 300),
+        depth=st.integers(1, 7),
+        universe_log2=st.integers(1, 12),
+        data_seed=st.integers(0, 2**32 - 1),
+    )
+    def test_countsketch_bit_identical(
+        self, seed, width, depth, universe_log2, data_seed
+    ):
+        universe = 1 << universe_log2
+        keys, deltas = _stream(data_seed, 800, universe)
+        fast = CountSketch(width, depth, seed=seed, universe=universe)
+        fast.update_batch(keys, deltas)
+        with hashplan.disabled():
+            slow = CountSketch(width, depth, seed=seed, universe=universe)
+            slow.update_batch(keys, deltas)
+        probe = np.arange(universe)
+        assert np.array_equal(fast._table, slow._table)
+        assert np.array_equal(
+            fast.estimate_batch(probe), slow.estimate_batch(probe)
+        )
+
+    def test_dedup_fallback_bit_identical(self):
+        # Universe above PLANE_UNIVERSE_MAX: the blocked-repetition
+        # dedup path must still produce exactly the direct tables.
+        universe = hashplan.PLANE_UNIVERSE_MAX * 8
+        keys, deltas = _stream(3, 5000, universe)
+        keys = keys % 500  # heavy repetition so the dedup gate opens
+        for cls in (CountMinSketch, CountSketch):
+            fast = cls(64, 5, seed=11, universe=universe)
+            fast.update_batch(keys, deltas)
+            with hashplan.disabled():
+                slow = cls(64, 5, seed=11, universe=universe)
+                slow.update_batch(keys, deltas)
+            assert np.array_equal(fast._table, slow._table)
+
+
+class TestDyadicEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        universe_log2=st.integers(2, 14),
+        data_seed=st.integers(0, 2**32 - 1),
+    )
+    def test_dcs_ingest_and_query_bit_identical(
+        self, seed, universe_log2, data_seed
+    ):
+        keys, deltas = _stream(data_seed, 1500, 1 << universe_log2)
+        deltas = np.abs(deltas)  # strict turnstile for valid quantiles
+        fast = DyadicCountSketch(0.05, universe_log2, seed=seed)
+        fast.update_batch(keys, deltas)
+        with hashplan.disabled():
+            slow = DyadicCountSketch(0.05, universe_log2, seed=seed)
+            slow.update_batch(keys, deltas)
+        for mine, theirs in zip(fast._levels, slow._levels):
+            state = getattr(mine, "_table", None)
+            other = getattr(theirs, "_table", None)
+            if state is None:
+                state, other = mine._counts, theirs._counts
+            assert np.array_equal(state, other)
+        phis = [0.01, 0.25, 0.5, 0.75, 0.99]
+        assert fast.query_batch(phis) == slow.query_batch(phis)
+        probe = np.arange(0, fast.universe + 1, max(1, fast.universe // 64))
+        assert np.array_equal(fast.rank_batch(probe), slow.rank_batch(probe))
+
+    def test_dcm_turnstile_deletes_bit_identical(self):
+        keys, _ = _stream(5, 4000, 1 << 10)
+        fast = DyadicCountMin(0.05, 10, seed=2)
+        fast.update_batch(keys)
+        fast.update_batch(keys[:1000], -1)
+        with hashplan.disabled():
+            slow = DyadicCountMin(0.05, 10, seed=2)
+            slow.update_batch(keys)
+            slow.update_batch(keys[:1000], -1)
+        assert fast.query_batch([0.1, 0.5, 0.9]) == slow.query_batch(
+            [0.1, 0.5, 0.9]
+        )
+
+    def test_small_batches_skip_the_fold(self):
+        # Below FOLD_MIN_BATCH the per-level fan-out runs; results must
+        # agree with the folded path for the concatenated stream.
+        keys, deltas = _stream(9, 3000, 1 << 8)
+        deltas = np.abs(deltas)
+        folded = DyadicCountSketch(0.05, 8, seed=4)
+        folded.update_batch(keys, deltas)
+        trickled = DyadicCountSketch(0.05, 8, seed=4)
+        step = hashplan.FOLD_MIN_BATCH // 2
+        for lo in range(0, len(keys), step):
+            trickled.update_batch(
+                keys[lo:lo + step], deltas[lo:lo + step]
+            )
+        for mine, theirs in zip(folded._levels, trickled._levels):
+            state = getattr(mine, "_table", getattr(mine, "_counts", None))
+            other = getattr(
+                theirs, "_table", getattr(theirs, "_counts", None)
+            )
+            assert np.array_equal(state, other)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot hygiene: planes never ride in envelopes.
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotHygiene:
+    def test_envelope_identical_with_and_without_planes(self):
+        keys, deltas = _stream(21, 2000, 1 << 10)
+        deltas = np.abs(deltas)
+        warm = DyadicCountSketch(0.05, 10, seed=8)
+        warm.update_batch(keys, deltas)
+        with hashplan.disabled():
+            cold = DyadicCountSketch(0.05, 10, seed=8)
+            cold.update_batch(keys, deltas)
+        # Same bytes: the warmed sketch holds no plane arrays, so the
+        # envelope is exactly what the plane-free run produces.
+        assert snapshot(warm) == snapshot(cold)
+
+    def test_restore_round_trip_rehits_the_cache(self):
+        keys, deltas = _stream(22, 2000, 1 << 10)
+        deltas = np.abs(deltas)
+        sketch = DyadicCountSketch(0.05, 10, seed=8)
+        sketch.update_batch(keys, deltas)
+        blob = snapshot(sketch)
+        revived = restore(blob)
+        hits_before = hashplan.cache().hits
+        revived.update_batch(keys, deltas)
+        # The restored sketch's hashes have the same coefficients, so
+        # its first batch hits the already-materialized planes.
+        assert hashplan.cache().hits > hits_before
+        sketch.update_batch(keys, deltas)
+        assert sketch.query_batch([0.5]) == revived.query_batch([0.5])
+
+    def test_merge_after_restore_stays_linear(self):
+        keys, deltas = _stream(23, 2000, 1 << 9)
+        deltas = np.abs(deltas)
+        a = DyadicCountMin(0.05, 9, seed=3)
+        b = DyadicCountMin(0.05, 9, seed=3)
+        a.update_batch(keys[:1000], deltas[:1000])
+        b.update_batch(keys[1000:], deltas[1000:])
+        a = restore(snapshot(a))
+        a.merge(b)
+        whole = DyadicCountMin(0.05, 9, seed=3)
+        whole.update_batch(keys, deltas)
+        assert a.query_batch([0.25, 0.5, 0.75]) == whole.query_batch(
+            [0.25, 0.5, 0.75]
+        )
+
+
+# ---------------------------------------------------------------------------
+# The cache itself: sharing, bounding, eviction, metering.
+# ---------------------------------------------------------------------------
+
+
+class TestHashPlaneCache:
+    def test_same_seed_instances_share_entries(self):
+        universe = 1 << 10
+        a = CountSketch(64, 5, seed=42, universe=universe)
+        b = CountSketch(64, 5, seed=42, universe=universe)
+        keys = np.arange(universe, dtype=np.uint64)
+        a.update_batch(keys)
+        entries_after_first = len(hashplan.cache())
+        b.update_batch(keys)
+        assert len(hashplan.cache()) == entries_after_first
+        assert hashplan.cache().hits > 0
+
+    def test_different_seeds_do_not_collide(self):
+        universe = 1 << 10
+        a = CountMinSketch(64, 5, seed=1, universe=universe)
+        b = CountMinSketch(64, 5, seed=2, universe=universe)
+        keys = np.arange(universe, dtype=np.uint64)
+        a.update_batch(keys)
+        b.update_batch(keys)
+        assert len(hashplan.cache()) == 2
+        assert not np.array_equal(a._table, b._table)
+
+    def test_byte_budget_evicts_lru(self):
+        cache = hashplan.configure(64 * 1024)
+        rng = make_rng(0)
+        hashes = [[KWiseHash(2, 64, rng) for _ in range(3)]
+                  for _ in range(8)]
+        for hs in hashes:
+            hashplan.bucket_planes(hs, 1 << 12)  # 48 KiB per plane
+        stats = cache.stats()
+        assert stats["evictions"] > 0
+        assert cache.nbytes <= 64 * 1024
+        # Most-recent entry survives.
+        assert hashplan.bucket_planes(hashes[-1], 1 << 12) is not None
+        assert cache.hits >= 1
+
+    def test_oversized_universe_falls_through(self):
+        rng = make_rng(0)
+        hashes = [KWiseHash(2, 64, rng)]
+        signs = [SignHash(rng)]
+        too_big = hashplan.PLANE_UNIVERSE_MAX * 2
+        assert hashplan.bucket_planes(hashes, too_big) is None
+        assert hashplan.sign_planes(signs, too_big) is None
+        assert len(hashplan.cache()) == 0
+
+    def test_planes_match_direct_evaluation(self):
+        rng = make_rng(7)
+        hashes = [KWiseHash(2, 97, rng) for _ in range(4)]
+        signs = [SignHash(rng) for _ in range(4)]
+        universe = 1 << 9
+        buckets = hashplan.bucket_planes(hashes, universe)
+        sign_plane = hashplan.sign_planes(signs, universe)
+        domain = np.arange(universe, dtype=np.uint64)
+        for i in range(4):
+            assert np.array_equal(buckets[i], hashes[i](domain))
+            assert np.array_equal(sign_plane[i], signs[i](domain))
+
+    def test_planes_are_read_only(self):
+        rng = make_rng(1)
+        plane = hashplan.bucket_planes([KWiseHash(2, 8, rng)], 256)
+        with pytest.raises(ValueError):
+            plane[0, 0] = 99
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(InvalidParameterError):
+            hashplan.HashPlaneCache(0)
+
+    def test_metrics_flow_through_preregistered_names(self):
+        with obs_metrics.collecting() as reg:
+            universe = 1 << 8
+            s = CountMinSketch(32, 3, seed=5, universe=universe)
+            keys = np.arange(universe, dtype=np.uint64)
+            s.update_batch(keys)
+            s.update_batch(keys)
+        by_name = {
+            name: payload[0]
+            for kind, name, labels, payload in obs_metrics.export_state(
+                reg, skip_idle=False
+            )
+            if name.startswith("hashplan.")
+        }
+        assert by_name["hashplan.cache.misses"] >= 1
+        assert by_name["hashplan.cache.hits"] >= 1
+        assert "hashplan.cache.evictions" in by_name
+
+
+class TestFoldHelpers:
+    def test_aggregate_batch_sums_exactly(self):
+        keys = np.array([5, 1, 5, 1, 9], dtype=np.uint64)
+        deltas = np.array([1, 2, 3, -7, 10], dtype=np.int64)
+        uniq, agg = hashplan.aggregate_batch(keys, deltas)
+        assert uniq.tolist() == [1, 5, 9]
+        assert agg.tolist() == [-5, 4, 10]
+
+    def test_fold_level_halves_cells(self):
+        cells = np.array([0, 1, 2, 5, 6, 7], dtype=np.uint64)
+        deltas = np.array([1, 2, 4, 8, 16, 32], dtype=np.int64)
+        folded_cells, folded = hashplan.fold_level(cells, deltas)
+        assert folded_cells.tolist() == [0, 1, 2, 3]
+        assert folded.tolist() == [3, 4, 8, 48]
+
+    def test_fold_chain_matches_shifted_aggregate(self):
+        keys, deltas = _stream(13, 4000, 1 << 12)
+        cells, sums = hashplan.aggregate_batch(
+            keys.astype(np.uint64), deltas
+        )
+        for level in range(1, 12):
+            cells, sums = hashplan.fold_level(cells, sums)
+            want_cells, want_sums = hashplan.aggregate_batch(
+                keys.astype(np.uint64) >> np.uint64(level), deltas
+            )
+            assert np.array_equal(cells, want_cells)
+            assert np.array_equal(sums, want_sums)
+
+    def test_dedup_skips_strictly_increasing_batches(self):
+        keys = np.arange(hashplan.DEDUP_MIN_BATCH * 2, dtype=np.uint64)
+        deltas = np.ones(keys.size, dtype=np.int64)
+        assert hashplan.dedup_batch(keys, deltas) is None
+
+    def test_dedup_requires_enough_repetition(self):
+        rng = np.random.default_rng(0)
+        keys = rng.permutation(
+            np.arange(hashplan.DEDUP_MIN_BATCH * 2, dtype=np.uint64)
+        )
+        deltas = np.ones(keys.size, dtype=np.int64)
+        assert hashplan.dedup_batch(keys, deltas) is None
+        repeated = keys % 16
+        uniq, agg = hashplan.dedup_batch(repeated, deltas)
+        assert uniq.size == 16
+        assert int(agg.sum()) == keys.size
